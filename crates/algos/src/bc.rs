@@ -1,0 +1,255 @@
+//! Betweenness centrality (§5.3), Brandes's two-phase formulation.
+//!
+//! "The first phase has an advance step identical to the original BFS
+//! and a computation step that computes the number of shortest paths
+//! from source to each vertex. The second phase uses an advance step to
+//! iterate over the BFS frontier backwards with a computation step to
+//! compute the dependency scores." Both phases here are advances with
+//! the computation fused into the functor (edge-parallel, like the
+//! gpu_BC comparison kernel).
+
+use gunrock::prelude::*;
+use gunrock_engine::atomics::{atomic_u32_vec, unwrap_atomic_u32, AtomicF64};
+use gunrock_graph::{Csr, EdgeId, VertexId, INFINITY};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// BC configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BcOptions {
+    /// Workload mapping for both phases' advances.
+    pub mode: AdvanceMode,
+}
+
+impl Default for BcOptions {
+    fn default() -> Self {
+        BcOptions { mode: AdvanceMode::Auto }
+    }
+}
+
+/// BC output for one source.
+#[derive(Clone, Debug)]
+pub struct BcResult {
+    /// Dependency score of each vertex for this source (the per-source
+    /// betweenness contribution).
+    pub bc_values: Vec<f64>,
+    /// Number of shortest paths from the source to each vertex.
+    pub sigmas: Vec<f64>,
+    /// BFS depth of each vertex.
+    pub labels: Vec<u32>,
+    /// Edges examined across both phases.
+    pub edges_examined: u64,
+    /// Bulk-synchronous iterations executed (forward + backward).
+    pub iterations: u32,
+    /// Wall time of the enact loop.
+    pub elapsed: std::time::Duration,
+}
+
+impl BcResult {
+    /// Millions of traversed edges per second (both phases).
+    pub fn mteps(&self) -> f64 {
+        Timing { elapsed: self.elapsed, edges_examined: self.edges_examined }.mteps()
+    }
+}
+
+/// Forward-phase functor: BFS labeling with fused sigma accumulation.
+struct ForwardSigma<'a> {
+    depth: &'a [AtomicU32],
+    sigma: &'a [AtomicF64],
+    level: u32,
+}
+
+impl AdvanceFunctor for ForwardSigma<'_> {
+    #[inline]
+    fn cond_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
+        if self.depth[dst as usize].load(Ordering::Relaxed) == INFINITY {
+            let _ = self.depth[dst as usize].compare_exchange(
+                INFINITY,
+                self.level,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+        if self.depth[dst as usize].load(Ordering::Relaxed) == self.level {
+            // every shortest-path edge contributes its source's count
+            self.sigma[dst as usize].fetch_add(self.sigma[src as usize].load());
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Backward-phase functor: dependency accumulation along BFS edges,
+/// run for effect only (the paper's second advance over the frontier
+/// stack, backwards).
+struct BackwardDelta<'a> {
+    depth: &'a [AtomicU32],
+    sigma: &'a [AtomicF64],
+    delta: &'a [AtomicF64],
+    level: u32,
+}
+
+impl AdvanceFunctor for BackwardDelta<'_> {
+    #[inline]
+    fn cond_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
+        if self.depth[dst as usize].load(Ordering::Relaxed) == self.level + 1 {
+            let s = self.sigma[src as usize].load() / self.sigma[dst as usize].load()
+                * (1.0 + self.delta[dst as usize].load());
+            self.delta[src as usize].fetch_add(s);
+        }
+        false // effect-only: no output frontier
+    }
+}
+
+/// Per-level claim filter: a vertex enters the level frontier once.
+struct ClaimLevel<'a> {
+    tags: &'a [AtomicU32],
+    level: u32,
+}
+
+impl FilterFunctor for ClaimLevel<'_> {
+    #[inline]
+    fn cond(&self, v: u32) -> bool {
+        self.tags[v as usize].swap(self.level, Ordering::Relaxed) != self.level
+    }
+}
+
+/// Runs a single-source BC pass from `src`. Summing `bc_values` over all
+/// sources yields full betweenness centrality.
+pub fn bc(ctx: &Context<'_>, src: VertexId, opts: BcOptions) -> BcResult {
+    let n = ctx.num_vertices();
+    assert!((src as usize) < n, "source out of range");
+    let start = std::time::Instant::now();
+    let depth = atomic_u32_vec(n, INFINITY);
+    depth[src as usize].store(0, Ordering::Relaxed);
+    let sigma: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
+    sigma[src as usize].store(1.0);
+    let tags = atomic_u32_vec(n, u32::MAX);
+    let mut levels: Vec<Frontier> = vec![Frontier::single(src)];
+    let mut level = 0u32;
+    let mut iterations = 0u32;
+
+    // Phase 1: forward BFS with fused sigma accumulation.
+    loop {
+        level += 1;
+        iterations += 1;
+        ctx.counters.add_iteration(false);
+        let f = ForwardSigma { depth: &depth, sigma: &sigma, level };
+        let spec = AdvanceSpec::v2v().with_mode(opts.mode);
+        let raw = advance::advance(ctx, levels.last().unwrap(), spec, &f);
+        let next = filter::filter(ctx, &raw, &ClaimLevel { tags: &tags, level });
+        if next.is_empty() {
+            break;
+        }
+        levels.push(next);
+    }
+
+    // Phase 2: backward sweep over the frontier stack.
+    let delta: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
+    for lvl in (0..levels.len() - 1).rev() {
+        iterations += 1;
+        ctx.counters.add_iteration(false);
+        let f = BackwardDelta {
+            depth: &depth,
+            sigma: &sigma,
+            delta: &delta,
+            level: lvl as u32,
+        };
+        let spec = AdvanceSpec::for_effect().with_mode(opts.mode);
+        let _ = advance::advance(ctx, &levels[lvl], spec, &f);
+    }
+
+    let mut bc_values: Vec<f64> = delta.iter().map(|a| a.load()).collect();
+    bc_values[src as usize] = 0.0;
+    BcResult {
+        bc_values,
+        sigmas: sigma.iter().map(|a| a.load()).collect(),
+        labels: unwrap_atomic_u32(&depth),
+        edges_examined: ctx.counters.edges(),
+        iterations,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Full betweenness centrality by enacting every source (tests and small
+/// graphs; the paper's evaluation times single-source enactments).
+pub fn bc_all_sources(g: &Csr, opts: BcOptions) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut total = vec![0.0f64; n];
+    for s in 0..n as VertexId {
+        let ctx = Context::new(g);
+        for (v, d) in bc(&ctx, s, opts).bc_values.into_iter().enumerate() {
+            total[v] += d;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gunrock_baselines::serial;
+    use gunrock_graph::generators::{erdos_renyi, grid2d, rmat};
+    use gunrock_graph::{Coo, GraphBuilder};
+
+    fn close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_serial_brandes_on_suite() {
+        let graphs = [GraphBuilder::new().build(erdos_renyi(300, 900, 1)),
+            GraphBuilder::new().build(rmat(8, 8, Default::default(), 2)),
+            GraphBuilder::new().build(grid2d(15, 15, 0.1, 0.0, 3))];
+        for (i, g) in graphs.iter().enumerate() {
+            let ctx = Context::new(g);
+            let r = bc(&ctx, 0, BcOptions::default());
+            let want = serial::brandes_single_source(g, 0);
+            close(&r.bc_values, &want, 1e-6);
+            assert_eq!(r.labels, serial::bfs(g, 0), "graph {i}");
+        }
+    }
+
+    #[test]
+    fn sigma_counts_shortest_paths() {
+        // diamond: 0-1, 0-2, 1-3, 2-3: two shortest paths 0..3
+        let g = GraphBuilder::new()
+            .build(Coo::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
+        let ctx = Context::new(&g);
+        let r = bc(&ctx, 0, BcOptions::default());
+        assert_eq!(r.sigmas, vec![1.0, 1.0, 1.0, 2.0]);
+        // each middle vertex carries half the dependency of vertex 3
+        assert!((r.bc_values[1] - 0.5).abs() < 1e-12);
+        assert!((r.bc_values[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let g = GraphBuilder::new().build(rmat(8, 16, Default::default(), 5));
+        let want = serial::brandes_single_source(&g, 2);
+        for mode in [AdvanceMode::ThreadMapped, AdvanceMode::Twc, AdvanceMode::LoadBalanced] {
+            let ctx = Context::new(&g);
+            let r = bc(&ctx, 2, BcOptions { mode });
+            close(&r.bc_values, &want, 1e-6);
+        }
+    }
+
+    #[test]
+    fn full_bc_matches_serial_on_small_graph() {
+        let g = GraphBuilder::new().build(erdos_renyi(60, 150, 7));
+        let got = bc_all_sources(&g, BcOptions::default());
+        let want = serial::betweenness_centrality(&g);
+        close(&got, &want, 1e-6);
+    }
+
+    #[test]
+    fn source_score_is_zero() {
+        let g = GraphBuilder::new().build(erdos_renyi(100, 400, 9));
+        let ctx = Context::new(&g);
+        let r = bc(&ctx, 5, BcOptions::default());
+        assert_eq!(r.bc_values[5], 0.0);
+    }
+}

@@ -1,0 +1,499 @@
+//! Breadth-first search (§5.1).
+//!
+//! Three variants, matching the paper:
+//!
+//! * **atomic** — the base implementation "uses atomics during advance to
+//!   prevent concurrent vertex discovery": a CAS on the label array makes
+//!   each vertex enter the output frontier exactly once; no filter pass
+//!   is needed.
+//! * **idempotent** — "Gunrock's fastest BFS uses the idempotent advance
+//!   operator (thus avoiding the cost of atomics) and uses heuristics
+//!   within its filter that reduce the concurrent discovery of child
+//!   nodes": plain loads during advance, duplicates culled afterwards by
+//!   the history/bitmask filter.
+//! * **direction-optimized** — push/pull switching per Beamer (§4.1.1).
+
+use gunrock::prelude::*;
+use gunrock_engine::atomics::{atomic_u32_vec, unwrap_atomic_u32};
+use gunrock_engine::compact::compact;
+use gunrock_graph::{EdgeId, VertexId, INFINITY, INVALID_VERTEX};
+#[cfg(test)]
+use gunrock_graph::Csr;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Traversal variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BfsVariant {
+    /// Atomic unique discovery (CAS on labels).
+    Atomic,
+    /// Idempotent advance + culling filter.
+    Idempotent,
+    /// Direction-optimized (push/pull) over idempotent-style labeling.
+    DirectionOptimized,
+    /// Fully-fused single-kernel traversal (§7 kernel fusion): the
+    /// visited-bitmap filter runs inside the advance loop, like the
+    /// hardwired b40c expansion.
+    Fused,
+}
+
+/// BFS configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BfsOptions {
+    /// Traversal variant (atomic / idempotent / direction-optimized / fused).
+    pub variant: BfsVariant,
+    /// Workload mapping for push advances.
+    pub mode: AdvanceMode,
+    /// Record BFS-tree predecessors.
+    pub record_predecessors: bool,
+    /// Culling heuristics (idempotent variant).
+    pub culling: CullingConfig,
+    /// Direction-switch thresholds (direction-optimized variant).
+    pub policy: DirectionPolicy,
+}
+
+impl Default for BfsOptions {
+    fn default() -> Self {
+        BfsOptions {
+            variant: BfsVariant::Idempotent,
+            mode: AdvanceMode::Auto,
+            record_predecessors: true,
+            culling: CullingConfig::default(),
+            policy: DirectionPolicy::default(),
+        }
+    }
+}
+
+impl BfsOptions {
+    /// The paper's fastest configuration: idempotent + culling heuristics.
+    pub fn fastest() -> Self {
+        Self::default()
+    }
+
+    /// Direction-optimized traversal (requires a reverse graph in the
+    /// context; for undirected graphs the forward graph serves).
+    pub fn direction_optimized() -> Self {
+        BfsOptions { variant: BfsVariant::DirectionOptimized, ..Self::default() }
+    }
+
+    /// Base atomic variant.
+    pub fn atomic() -> Self {
+        BfsOptions { variant: BfsVariant::Atomic, ..Self::default() }
+    }
+
+    /// Fully-fused single-kernel variant.
+    pub fn fused() -> Self {
+        BfsOptions { variant: BfsVariant::Fused, ..Self::default() }
+    }
+
+    /// Overrides the advance workload mapping.
+    pub fn with_mode(mut self, mode: AdvanceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the direction policy.
+    pub fn with_policy(mut self, policy: DirectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// BFS output: depths, optional BFS-tree parents, and traversal stats.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    /// Depth of each vertex from the source (`INFINITY` = unreachable).
+    pub labels: Vec<u32>,
+    /// BFS-tree parent per vertex (`INVALID_VERTEX` for the source and
+    /// unreachable vertices); empty if not recorded.
+    pub preds: Vec<VertexId>,
+    /// Edges examined during traversal.
+    pub edges_examined: u64,
+    /// Bulk-synchronous iterations (levels) executed.
+    pub iterations: u32,
+    /// Iterations that ran in the pull direction.
+    pub pull_iterations: u32,
+    /// Wall time of the enact loop.
+    pub elapsed: std::time::Duration,
+}
+
+impl BfsResult {
+    /// Millions of traversed edges per second.
+    pub fn mteps(&self) -> f64 {
+        Timing { elapsed: self.elapsed, edges_examined: self.edges_examined }.mteps()
+    }
+}
+
+struct BfsState<'a> {
+    labels: &'a [AtomicU32],
+    preds: Option<&'a [AtomicU32]>,
+}
+
+impl BfsState<'_> {
+    #[inline]
+    fn set_pred(&self, dst: VertexId, src: VertexId) {
+        if let Some(p) = self.preds {
+            p[dst as usize].store(src, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Atomic discovery functor: CAS wins exactly once per vertex.
+struct AtomicDiscover<'a> {
+    st: BfsState<'a>,
+    level: u32,
+}
+
+impl AdvanceFunctor for AtomicDiscover<'_> {
+    #[inline]
+    fn cond_edge(&self, _src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
+        self.st.labels[dst as usize]
+            .compare_exchange(INFINITY, self.level, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+    #[inline]
+    fn apply_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) {
+        self.st.set_pred(dst, src);
+    }
+}
+
+/// Idempotent expand functor (the Merrill expand/contract split): the
+/// advance only tests for "unvisited" and records a candidate parent —
+/// labels are NOT set here, so every same-level edge into an unvisited
+/// vertex produces a duplicate frontier entry, exactly the redundancy
+/// the culling filter exists to remove. Racy pred writes are harmless:
+/// all writers are valid same-level parents.
+struct IdempotentExpand<'a> {
+    st: BfsState<'a>,
+}
+
+impl AdvanceFunctor for IdempotentExpand<'_> {
+    #[inline]
+    fn cond_edge(&self, _src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
+        self.st.labels[dst as usize].load(Ordering::Relaxed) == INFINITY
+    }
+    #[inline]
+    fn apply_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) {
+        self.st.set_pred(dst, src);
+    }
+}
+
+/// Contract-side labeling: filter survivors receive their depth (the
+/// "computation step" fused into the filter kernel).
+struct ContractLabel<'a> {
+    labels: &'a [AtomicU32],
+    level: u32,
+}
+
+impl FilterFunctor for ContractLabel<'_> {
+    #[inline]
+    fn cond(&self, _v: u32) -> bool {
+        true
+    }
+    #[inline]
+    fn apply(&self, v: u32) {
+        self.labels[v as usize].store(self.level, Ordering::Relaxed);
+    }
+}
+
+/// Pull-direction discovery: the candidate is unvisited by construction;
+/// label and parent are set on first acceptance (pull output has no
+/// duplicates, so no contract pass runs).
+struct PullDiscover<'a> {
+    st: BfsState<'a>,
+    level: u32,
+}
+
+impl AdvanceFunctor for PullDiscover<'_> {
+    #[inline]
+    fn cond_edge(&self, _src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
+        self.st.labels[dst as usize].load(Ordering::Relaxed) == INFINITY
+    }
+    #[inline]
+    fn apply_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) {
+        self.st.labels[dst as usize].store(self.level, Ordering::Relaxed);
+        self.st.set_pred(dst, src);
+    }
+}
+
+/// Runs BFS from `src`. Direction-optimized traversal requires
+/// `ctx.reverse` (the forward graph itself for undirected graphs).
+pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
+    let n = ctx.num_vertices();
+    assert!((src as usize) < n, "source out of range");
+    let start = std::time::Instant::now();
+    let labels = atomic_u32_vec(n, INFINITY);
+    labels[src as usize].store(0, Ordering::Relaxed);
+    let preds = opts
+        .record_predecessors
+        .then(|| atomic_u32_vec(n, INVALID_VERTEX));
+    let mut enactor_iters = 0u32;
+    let mut pull_iters = 0u32;
+
+    match opts.variant {
+        BfsVariant::Atomic => {
+            let mut frontier = Frontier::single(src);
+            let mut level = 0u32;
+            while !frontier.is_empty() {
+                level += 1;
+                let f = AtomicDiscover {
+                    st: BfsState { labels: &labels, preds: preds.as_deref() },
+                    level,
+                };
+                let spec = AdvanceSpec::v2v().with_mode(opts.mode);
+                frontier = advance::advance(ctx, &frontier, spec, &f);
+                enactor_iters += 1;
+                ctx.counters.add_iteration(false);
+            }
+        }
+        BfsVariant::Idempotent => {
+            let visited = AtomicBitmap::new(n);
+            visited.set(src as usize);
+            let mut frontier = Frontier::single(src);
+            let mut level = 0u32;
+            while !frontier.is_empty() {
+                level += 1;
+                let f = IdempotentExpand {
+                    st: BfsState { labels: &labels, preds: preds.as_deref() },
+                };
+                let spec = AdvanceSpec::v2v().with_mode(opts.mode);
+                let raw = advance::advance(ctx, &frontier, spec, &f);
+                frontier = filter::culling::filter_with_culling(
+                    ctx,
+                    &raw,
+                    &visited,
+                    &ContractLabel { labels: &labels, level },
+                    opts.culling,
+                );
+                enactor_iters += 1;
+                ctx.counters.add_iteration(false);
+            }
+        }
+        BfsVariant::Fused => {
+            let visited = AtomicBitmap::new(n);
+            visited.set(src as usize);
+            let mut frontier = Frontier::single(src);
+            let mut level = 0u32;
+            while !frontier.is_empty() {
+                level += 1;
+                // fused: cond tests unvisited, apply labels + sets pred —
+                // all inside the single advance kernel; the bitmap
+                // test-and-set guarantees the apply runs once per vertex
+                let f = PullDiscover {
+                    st: BfsState { labels: &labels, preds: preds.as_deref() },
+                    level,
+                };
+                frontier = advance::fused::advance_filter_fused(
+                    ctx,
+                    &frontier,
+                    AdvanceSpec::v2v(),
+                    &f,
+                    &visited,
+                );
+                enactor_iters += 1;
+                ctx.counters.add_iteration(false);
+            }
+        }
+        BfsVariant::DirectionOptimized => {
+            let visited = AtomicBitmap::new(n);
+            visited.set(src as usize);
+            let mut frontier = Frontier::single(src);
+            let mut level = 0u32;
+            let mut direction = TraversalDirection::Push;
+            // lazily maintained unvisited candidate list and edge budget
+            let mut unvisited: Vec<u32> =
+                (0..n as u32).filter(|&v| v != src).collect();
+            let mut unvisited_edges: u64 =
+                ctx.graph.num_edges() as u64 - ctx.graph.out_degree(src) as u64;
+            while !frontier.is_empty() {
+                level += 1;
+                let m_f = advance::push::frontier_neighbor_count(
+                    ctx,
+                    &frontier,
+                    InputKind::Vertices,
+                );
+                direction = opts.policy.decide(
+                    direction,
+                    m_f,
+                    unvisited_edges,
+                    frontier.len(),
+                    n,
+                );
+                let next = match direction {
+                    TraversalDirection::Push => {
+                        let f = IdempotentExpand {
+                            st: BfsState { labels: &labels, preds: preds.as_deref() },
+                        };
+                        let spec = AdvanceSpec::v2v().with_mode(opts.mode);
+                        let raw = advance::advance(ctx, &frontier, spec, &f);
+                        filter::culling::filter_with_culling(
+                            ctx,
+                            &raw,
+                            &visited,
+                            &ContractLabel { labels: &labels, level },
+                            opts.culling,
+                        )
+                    }
+                    TraversalDirection::Pull => {
+                        pull_iters += 1;
+                        let f = PullDiscover {
+                            st: BfsState { labels: &labels, preds: preds.as_deref() },
+                            level,
+                        };
+                        // prune candidates already labeled, then pull
+                        unvisited = compact(&unvisited, |&v| {
+                            labels[v as usize].load(Ordering::Relaxed) == INFINITY
+                        });
+                        let bm = frontier_bitmap(n, &frontier);
+                        let out = advance_pull(ctx, &unvisited, &bm, &f);
+                        // mark discoveries in the shared visited bitmap so
+                        // a later push iteration culls correctly
+                        for &v in out.as_slice() {
+                            visited.set(v as usize);
+                        }
+                        out
+                    }
+                };
+                unvisited_edges = unvisited_edges.saturating_sub(
+                    advance::push::frontier_neighbor_count(ctx, &next, InputKind::Vertices),
+                );
+                ctx.counters
+                    .add_iteration(direction == TraversalDirection::Pull);
+                enactor_iters += 1;
+                frontier = next;
+            }
+        }
+    }
+
+    BfsResult {
+        labels: unwrap_atomic_u32(&labels),
+        preds: preds.map(|p| unwrap_atomic_u32(&p)).unwrap_or_default(),
+        edges_examined: ctx.counters.edges(),
+        iterations: enactor_iters,
+        pull_iterations: pull_iters,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gunrock_baselines::serial;
+    use gunrock_graph::generators::{erdos_renyi, grid2d, rmat};
+    use gunrock_graph::GraphBuilder;
+
+    fn suite() -> Vec<Csr> {
+        vec![
+            GraphBuilder::new().build(erdos_renyi(400, 1200, 1)),
+            GraphBuilder::new().build(rmat(9, 8, Default::default(), 2)),
+            GraphBuilder::new().build(grid2d(20, 20, 0.1, 0.0, 3)),
+            GraphBuilder::new().build(erdos_renyi(300, 150, 4)), // disconnected
+        ]
+    }
+
+    fn check_parents(g: &Csr, labels: &[u32], preds: &[VertexId], src: VertexId) {
+        for v in 0..g.num_vertices() {
+            if v as u32 == src || labels[v] == INFINITY {
+                assert_eq!(preds[v], INVALID_VERTEX, "vertex {v}");
+            } else {
+                let p = preds[v] as usize;
+                assert_eq!(labels[p] + 1, labels[v], "vertex {v} parent {p}");
+                assert!(g.neighbors(p as u32).contains(&(v as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn all_variants_match_serial_depths() {
+        for (i, g) in suite().iter().enumerate() {
+            let want = serial::bfs(g, 0);
+            for variant in [
+                BfsVariant::Atomic,
+                BfsVariant::Idempotent,
+                BfsVariant::DirectionOptimized,
+                BfsVariant::Fused,
+            ] {
+                let ctx = Context::new(g).with_reverse(g);
+                let opts = BfsOptions { variant, ..Default::default() };
+                let r = bfs(&ctx, 0, opts);
+                assert_eq!(r.labels, want, "graph {i} variant {variant:?}");
+                check_parents(g, &r.labels, &r.preds, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_advance_modes_agree() {
+        let g = GraphBuilder::new().build(rmat(9, 16, Default::default(), 7));
+        let want = serial::bfs(&g, 3);
+        for mode in [
+            AdvanceMode::ThreadMapped,
+            AdvanceMode::Twc,
+            AdvanceMode::LoadBalanced,
+            AdvanceMode::Auto,
+        ] {
+            let ctx = Context::new(&g);
+            let r = bfs(&ctx, 3, BfsOptions::atomic().with_mode(mode));
+            assert_eq!(r.labels, want, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn direction_optimized_pulls_on_scale_free() {
+        let g = GraphBuilder::new().build(rmat(11, 16, Default::default(), 5));
+        let ctx = Context::new(&g).with_reverse(&g);
+        let r = bfs(&ctx, 0, BfsOptions::direction_optimized());
+        assert!(r.pull_iterations > 0, "expected at least one pull iteration");
+        assert_eq!(r.labels, serial::bfs(&g, 0));
+    }
+
+    #[test]
+    fn direction_optimized_saves_edge_visits() {
+        let g = GraphBuilder::new().build(rmat(11, 16, Default::default(), 5));
+        let push = {
+            let ctx = Context::new(&g).with_reverse(&g);
+            bfs(&ctx, 0, BfsOptions::fastest())
+        };
+        let opt = {
+            let ctx = Context::new(&g).with_reverse(&g);
+            bfs(&ctx, 0, BfsOptions::direction_optimized())
+        };
+        assert!(
+            opt.edges_examined < push.edges_examined,
+            "pull should skip edges: {} vs {}",
+            opt.edges_examined,
+            push.edges_examined
+        );
+    }
+
+    #[test]
+    fn without_predecessors_preds_is_empty() {
+        let g = GraphBuilder::new().build(erdos_renyi(100, 300, 9));
+        let ctx = Context::new(&g);
+        let r = bfs(
+            &ctx,
+            0,
+            BfsOptions { record_predecessors: false, ..Default::default() },
+        );
+        assert!(r.preds.is_empty());
+        assert_eq!(r.labels, serial::bfs(&g, 0));
+    }
+
+    #[test]
+    fn source_only_graph() {
+        let g = GraphBuilder::new().build(gunrock_graph::Coo::new(3));
+        let ctx = Context::new(&g);
+        let r = bfs(&ctx, 1, BfsOptions::default());
+        assert_eq!(r.labels, vec![INFINITY, 0, INFINITY]);
+        assert_eq!(r.iterations, 1); // one advance finding nothing
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = GraphBuilder::new().build(erdos_renyi(500, 2000, 11));
+        let ctx = Context::new(&g);
+        let r = bfs(&ctx, 0, BfsOptions::default());
+        assert!(r.edges_examined > 0);
+        assert!(r.iterations > 0);
+        assert!(r.mteps() >= 0.0);
+    }
+}

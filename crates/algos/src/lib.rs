@@ -1,0 +1,57 @@
+//! # gunrock-algos
+//!
+//! The graph primitives of the Gunrock paper (§5), written against the
+//! [`gunrock`] operator set exactly as the paper describes — each
+//! primitive is a short enactor loop over advance/filter/compute steps
+//! with fused functors (Figure 5's flow charts are these loops):
+//!
+//! * [`bfs`] — atomic, idempotent (+culling filter), and
+//!   direction-optimized variants (§5.1);
+//! * [`sssp`] — advance + redundant-removal filter + two-level
+//!   priority queue / delta stepping (§5.2, Algorithm 1);
+//! * [`bc`] — Brandes betweenness, forward sigma + backward dependency
+//!   advances (§5.3);
+//! * [`cc`] — Soman hooking/pointer-jumping over an *edge* frontier
+//!   (§5.4);
+//! * [`pagerank`] — full-frontier advance with atomic accumulation and
+//!   a convergence filter (§5.5);
+//! * [`bipartite`] — HITS / SALSA / personalized PageRank and the
+//!   who-to-follow pipeline (§5.5, "WTF, GPU!");
+//! * [`extras`] — maximal independent set and greedy coloring, from the
+//!   paper's in-development list;
+//! * [`triangles`] / [`kcore`] — edge-frontier triangle counting and
+//!   filter-loop k-core peeling, common Gunrock-family additions.
+//!
+//! ```
+//! use gunrock::prelude::*;
+//! use gunrock_algos::bfs::{bfs, BfsOptions};
+//! use gunrock_graph::{generators, GraphBuilder};
+//!
+//! let g = GraphBuilder::new().build(generators::rmat(8, 8, Default::default(), 1));
+//! let ctx = Context::new(&g);
+//! let result = bfs(&ctx, 0, BfsOptions::fastest());
+//! assert_eq!(result.labels[0], 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bc;
+pub mod bfs;
+pub mod bipartite;
+pub mod cc;
+pub mod extras;
+pub mod kcore;
+pub mod label_prop;
+pub mod mst;
+pub mod pagerank;
+pub mod sssp;
+pub mod triangles;
+
+pub use bc::{bc, BcOptions, BcResult};
+pub use bfs::{bfs, BfsOptions, BfsResult, BfsVariant};
+pub use cc::{cc, CcResult};
+pub use pagerank::{pagerank, pagerank_pull, PrOptions, PrResult};
+pub use kcore::{k_core, KcoreResult};
+pub use mst::{mst, MstResult};
+pub use sssp::{sssp, SsspOptions, SsspResult};
+pub use triangles::{triangle_count, TriangleResult};

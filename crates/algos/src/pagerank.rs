@@ -1,0 +1,316 @@
+//! PageRank (§5.5).
+//!
+//! "In Gunrock, we begin with a frontier that contains all vertices in
+//! the graph and end when all vertices have converged. Each iteration
+//! contains one advance operator to compute the PageRank value on the
+//! frontier of vertices, and one filter operator to remove the vertices
+//! whose PageRanks have already converged. We accumulate PageRank values
+//! with AtomicAdd operations."
+//!
+//! Realized as residual (push-style) PageRank: every frontier vertex
+//! pushes `d * residual / degree` to its neighbors via atomic adds; a
+//! vertex re-enters the frontier while its incoming residual exceeds the
+//! tolerance. The fixed point is the standard PageRank vector (teleport
+//! `(1-d)/n`), so results are directly comparable to power iteration.
+
+use gunrock::prelude::*;
+use gunrock_engine::atomics::AtomicF64;
+use gunrock_engine::compact::compact_indices;
+use gunrock_graph::{EdgeId, VertexId};
+use rayon::prelude::*;
+
+/// PageRank configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PrOptions {
+    /// Damping factor (`d` in the PageRank equation).
+    pub damping: f64,
+    /// Convergence tolerance. For [`pagerank`] (push): per-vertex pending
+    /// residual mass — a vertex below it leaves the frontier. For
+    /// [`pagerank_pull`]: global L1 change per iteration (there is no
+    /// per-vertex frontier in the dense gather). The pull threshold is
+    /// the coarser of the two for equal values.
+    pub epsilon: f64,
+    /// Hard iteration cap (`1` reproduces the paper's one-iteration
+    /// Ligra comparison).
+    pub max_iters: usize,
+    /// Workload mapping for the push advance.
+    pub mode: AdvanceMode,
+}
+
+impl Default for PrOptions {
+    fn default() -> Self {
+        PrOptions { damping: 0.85, epsilon: 1e-9, max_iters: 1000, mode: AdvanceMode::Auto }
+    }
+}
+
+/// PageRank output.
+#[derive(Clone, Debug)]
+pub struct PrResult {
+    /// Converged scores (sum to ~1; dangling mass teleports uniformly).
+    pub scores: Vec<f64>,
+    /// Bulk-synchronous iterations executed.
+    pub iterations: u32,
+    /// Edges pushed across over all iterations.
+    pub edges_examined: u64,
+    /// Wall time of the enact loop.
+    pub elapsed: std::time::Duration,
+}
+
+/// Residual-push functor: scatter the source's frozen residual share to
+/// the destination's accumulator (the paper's AtomicAdd accumulation).
+struct PushResidual<'a> {
+    graph: &'a gunrock_graph::Csr,
+    residual_in: &'a [f64],
+    acc: &'a [AtomicF64],
+    damping: f64,
+}
+
+impl AdvanceFunctor for PushResidual<'_> {
+    #[inline]
+    fn cond_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
+        let deg = self.graph.out_degree(src) as f64;
+        self.acc[dst as usize].fetch_add(self.damping * self.residual_in[src as usize] / deg);
+        false // effect-only
+    }
+}
+
+/// Runs PageRank over the whole graph.
+pub fn pagerank(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
+    let g = ctx.graph;
+    let n = g.num_vertices();
+    let start = std::time::Instant::now();
+    if n == 0 {
+        return PrResult {
+            scores: Vec::new(),
+            iterations: 0,
+            edges_examined: 0,
+            elapsed: start.elapsed(),
+        };
+    }
+    let base = (1.0 - opts.damping) / n as f64;
+    let mut scores = vec![0.0f64; n];
+    // every vertex starts with the teleport mass as pending residual
+    let mut residual: Vec<f64> = vec![base; n];
+    let mut frontier = Frontier::full(n);
+    let mut iterations = 0u32;
+    // reused accumulator (zeroed as it is drained each iteration)
+    let acc: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
+
+    while !frontier.is_empty() && (iterations as usize) < opts.max_iters {
+        iterations += 1;
+        ctx.counters.add_iteration(false);
+        // absorb frontier residuals into the scores (compute step); a
+        // dangling (out-degree 0) vertex cannot push, so its damped mass
+        // teleports uniformly, matching the power-iteration fixed point
+        let mut dangling = 0.0f64;
+        for &v in frontier.as_slice() {
+            scores[v as usize] += residual[v as usize];
+            if g.out_degree(v) == 0 {
+                dangling += opts.damping * residual[v as usize];
+            }
+        }
+        // push: advance for effect with atomic accumulation
+        let functor = PushResidual {
+            graph: g,
+            residual_in: &residual,
+            acc: &acc,
+            damping: opts.damping,
+        };
+        let spec = AdvanceSpec::for_effect().with_mode(opts.mode);
+        let _ = advance::advance(ctx, &frontier, spec, &functor);
+        // consumed residuals are gone; newly received ones replace them
+        for &v in frontier.as_slice() {
+            residual[v as usize] = 0.0;
+        }
+        let teleport = dangling / n as f64;
+        residual
+            .par_iter_mut()
+            .zip(acc.par_iter())
+            .for_each(|(r, a)| {
+                *r += a.load() + teleport;
+                a.store(0.0);
+            });
+        // filter: vertices with enough pending residual re-enter
+        let eps = opts.epsilon;
+        let next = compact_indices(&residual, |&r| r > eps);
+        frontier = Frontier::from_vec(next);
+    }
+    // fold any remaining sub-threshold residual into the scores
+    scores
+        .par_iter_mut()
+        .zip(residual.par_iter())
+        .for_each(|(s, r)| *s += r);
+
+    PrResult {
+        scores,
+        iterations,
+        edges_examined: ctx.counters.edges(),
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Edge throughput: every iteration touches the frontier's out-edges.
+pub fn pr_mteps(result: &PrResult) -> f64 {
+    Timing { elapsed: result.elapsed, edges_examined: result.edges_examined }.mteps()
+}
+
+/// Pull-mode (gather) PageRank built on the [`neighbor_reduce`]
+/// operator — the atomic-free path §4.5 describes ("Gunrock ... supports
+/// both push-based (scatter) communication and pull-based (gather)
+/// communication during traversal steps") and §7 motivates ("global and
+/// neighborhood operations ... generally require less-efficient atomic
+/// operations"; gather-reduce removes them). Synchronous full-frontier
+/// iterations: each vertex gathers `pr[u] / deg(u)` over its in-edges
+/// (== out-edges on the undirected benchmark graphs; pass the reverse
+/// graph as `ctx.graph` for directed inputs).
+pub fn pagerank_pull(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
+    let g = ctx.graph;
+    let n = g.num_vertices();
+    let start = std::time::Instant::now();
+    if n == 0 {
+        return PrResult {
+            scores: Vec::new(),
+            iterations: 0,
+            edges_examined: 0,
+            elapsed: start.elapsed(),
+        };
+    }
+    let base = (1.0 - opts.damping) / n as f64;
+    let mut pr = vec![1.0 / n as f64; n];
+    let frontier = Frontier::full(n);
+    let mut iterations = 0u32;
+    while (iterations as usize) < opts.max_iters {
+        iterations += 1;
+        ctx.counters.add_iteration(false);
+        let dangling: f64 = (0..n as u32)
+            .filter(|&v| g.out_degree(v) == 0)
+            .map(|v| pr[v as usize])
+            .sum();
+        let teleport = base + opts.damping * dangling / n as f64;
+        let pr_ref = &pr;
+        let gathered = neighbor_reduce(
+            ctx,
+            &frontier,
+            0.0f64,
+            |_v, u, _e| {
+                let deg = g.out_degree(u);
+                if deg == 0 {
+                    0.0
+                } else {
+                    pr_ref[u as usize] / deg as f64
+                }
+            },
+            |a, b| a + b,
+        );
+        let next: Vec<f64> = gathered
+            .into_par_iter()
+            .map(|acc| teleport + opts.damping * acc)
+            .collect();
+        let l1: f64 = pr.par_iter().zip(next.par_iter()).map(|(a, b)| (a - b).abs()).sum();
+        pr = next;
+        if l1 < opts.epsilon {
+            break;
+        }
+    }
+    PrResult {
+        scores: pr,
+        iterations,
+        edges_examined: ctx.counters.edges(),
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gunrock_baselines::serial;
+    use gunrock_graph::generators::{erdos_renyi, rmat};
+    use gunrock_graph::{Coo, GraphBuilder};
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // v indexes three parallel arrays
+    fn pull_mode_matches_push_mode_and_oracle() {
+        let g = GraphBuilder::new().build(rmat(8, 16, Default::default(), 6));
+        let want = serial::pagerank(&g, 0.85, 1e-14, 2000);
+        let pull = {
+            let ctx = Context::new(&g);
+            pagerank_pull(&ctx, PrOptions { epsilon: 1e-12, ..Default::default() })
+        };
+        let push = {
+            let ctx = Context::new(&g);
+            pagerank(&ctx, PrOptions { epsilon: 1e-12, ..Default::default() })
+        };
+        for v in 0..g.num_vertices() {
+            assert!((pull.scores[v] - want[v]).abs() < 1e-6, "pull vertex {v}");
+            assert!((pull.scores[v] - push.scores[v]).abs() < 1e-6, "pull vs push {v}");
+        }
+    }
+
+    #[test]
+    fn matches_power_iteration() {
+        let graphs = [GraphBuilder::new().build(erdos_renyi(300, 1500, 1)),
+            GraphBuilder::new().build(rmat(8, 16, Default::default(), 2))];
+        for (i, g) in graphs.iter().enumerate() {
+            let ctx = Context::new(g);
+            let got = pagerank(&ctx, PrOptions { epsilon: 1e-12, ..Default::default() });
+            let want = serial::pagerank(g, 0.85, 1e-14, 2000);
+            for (v, (a, b)) in got.scores.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 1e-6, "graph {i} vertex {v}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_sum_to_one_even_with_isolated_vertices() {
+        // rmat leaves isolated vertices; their mass must teleport, not leak
+        let g = GraphBuilder::new().build(rmat(9, 16, Default::default(), 3));
+        let ctx = Context::new(&g);
+        let r = pagerank(&ctx, PrOptions { epsilon: 1e-12, ..Default::default() });
+        let sum: f64 = r.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    fn hub_ranks_highest_on_star() {
+        let g = GraphBuilder::new()
+            .build(Coo::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]));
+        let ctx = Context::new(&g);
+        let r = pagerank(&ctx, PrOptions::default());
+        for v in 1..6 {
+            assert!(r.scores[0] > r.scores[v]);
+        }
+    }
+
+    #[test]
+    fn one_iteration_mode_stops_early() {
+        let g = GraphBuilder::new().build(erdos_renyi(200, 800, 5));
+        let ctx = Context::new(&g);
+        let r = pagerank(&ctx, PrOptions { max_iters: 1, ..Default::default() });
+        assert_eq!(r.iterations, 1);
+        // after one push every vertex holds teleport + one hop of mass
+        assert!(r.scores.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn frontier_shrinks_over_time() {
+        let g = GraphBuilder::new().build(erdos_renyi(300, 1200, 6));
+        let loose = {
+            let ctx = Context::new(&g);
+            pagerank(&ctx, PrOptions { epsilon: 1e-4, ..Default::default() })
+        };
+        let tight = {
+            let ctx = Context::new(&g);
+            pagerank(&ctx, PrOptions { epsilon: 1e-10, ..Default::default() })
+        };
+        assert!(loose.iterations < tight.iterations);
+        assert!(loose.edges_examined < tight.edges_examined);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build(Coo::new(0));
+        let ctx = Context::new(&g);
+        let r = pagerank(&ctx, PrOptions::default());
+        assert!(r.scores.is_empty());
+    }
+}

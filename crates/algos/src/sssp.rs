@@ -1,0 +1,285 @@
+//! Single-source shortest path (§4.2, §5.2, Algorithm 1).
+//!
+//! One iteration maps onto three Gunrock steps exactly as in the paper:
+//! *advance* relaxes the frontier's out-edges (`UpdateLabel`: the
+//! `new_label < atomicMin(labels[dst], new_label)` idiom, with `SetPred`
+//! fused as the apply), *filter* removes redundant vertex ids (the
+//! `output_queue_id` claim of `RemoveRedundant`), and the two-level
+//! *priority queue* splits the output into near/far piles (delta
+//! stepping, generalizing Davidson et al.).
+
+use gunrock::prelude::*;
+use gunrock_engine::atomics::{atomic_u32_vec, unwrap_atomic_u32};
+use gunrock_graph::{Csr, EdgeId, VertexId, INFINITY, INVALID_VERTEX};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// SSSP configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SsspOptions {
+    /// Near/far bucket width. `None` = Meyer–Sanders style heuristic
+    /// (max weight / average degree).
+    pub delta: Option<u32>,
+    /// Disable the priority queue entirely (plain frontier
+    /// label-correcting, i.e. parallel Bellman-Ford) — the paper's
+    /// pre-Davidson baseline, kept for the ablation.
+    pub use_priority_queue: bool,
+    /// Workload mapping for the advance.
+    pub mode: AdvanceMode,
+    /// Record shortest-path-tree predecessors.
+    pub record_predecessors: bool,
+}
+
+impl Default for SsspOptions {
+    fn default() -> Self {
+        SsspOptions {
+            delta: None,
+            use_priority_queue: true,
+            mode: AdvanceMode::Auto,
+            record_predecessors: true,
+        }
+    }
+}
+
+/// SSSP output.
+#[derive(Clone, Debug)]
+pub struct SsspResult {
+    /// Shortest distance per vertex (`INFINITY` = unreachable).
+    pub dist: Vec<u32>,
+    /// Shortest-path-tree parent (`INVALID_VERTEX` for source/unreached).
+    pub preds: Vec<VertexId>,
+    /// Edge relaxations attempted.
+    pub edges_examined: u64,
+    /// Bulk-synchronous iterations executed.
+    pub iterations: u32,
+    /// Wall time of the enact loop.
+    pub elapsed: std::time::Duration,
+}
+
+impl SsspResult {
+    /// Millions of traversed edges per second.
+    pub fn mteps(&self) -> f64 {
+        Timing { elapsed: self.elapsed, edges_examined: self.edges_examined }.mteps()
+    }
+}
+
+/// The paper's `UpdateLabel` + `SetPred` functors fused into one advance
+/// functor over the weighted graph.
+struct Relax<'a> {
+    graph: &'a Csr,
+    dist: &'a [AtomicU32],
+    preds: Option<&'a [AtomicU32]>,
+}
+
+impl AdvanceFunctor for Relax<'_> {
+    #[inline]
+    fn cond_edge(&self, src: VertexId, dst: VertexId, e: EdgeId) -> bool {
+        let new_label = self.dist[src as usize]
+            .load(Ordering::Relaxed)
+            .saturating_add(self.graph.weight(e));
+        // new_label < atomicMin(labels[dst], new_label)
+        self.dist[dst as usize].fetch_min(new_label, Ordering::Relaxed) > new_label
+    }
+    #[inline]
+    fn apply_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) {
+        if let Some(p) = self.preds {
+            p[dst as usize].store(src, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The paper's `RemoveRedundant`: each improved vertex survives the
+/// filter exactly once per iteration, claimed via its output-queue tag.
+struct RemoveRedundant<'a> {
+    tags: &'a [AtomicU32],
+    queue_id: u32,
+}
+
+impl FilterFunctor for RemoveRedundant<'_> {
+    #[inline]
+    fn cond(&self, v: u32) -> bool {
+        self.tags[v as usize].swap(self.queue_id, Ordering::Relaxed) != self.queue_id
+    }
+}
+
+/// Picks a delta-stepping bucket width: roughly max-weight / avg-degree,
+/// so each near pile carries a bounded amount of re-relaxation work.
+pub fn default_delta(g: &Csr) -> u32 {
+    let max_w = g.edge_values().map(|w| w.iter().copied().max().unwrap_or(1)).unwrap_or(1);
+    let avg_deg = (g.num_edges() as f64 / g.num_vertices().max(1) as f64).max(1.0);
+    ((max_w as f64 / avg_deg).ceil() as u32).max(1)
+}
+
+/// Runs SSSP from `src` (Dijkstra-class: needs non-negative weights;
+/// unweighted graphs degenerate to BFS distances).
+pub fn sssp(ctx: &Context<'_>, src: VertexId, opts: SsspOptions) -> SsspResult {
+    let n = ctx.num_vertices();
+    assert!((src as usize) < n, "source out of range");
+    let start = std::time::Instant::now();
+    let dist = atomic_u32_vec(n, INFINITY);
+    dist[src as usize].store(0, Ordering::Relaxed);
+    let preds = opts
+        .record_predecessors
+        .then(|| atomic_u32_vec(n, INVALID_VERTEX));
+    let tags = atomic_u32_vec(n, u32::MAX);
+    let delta = opts.delta.unwrap_or_else(|| default_delta(ctx.graph));
+    let mut queue = NearFarQueue::new(delta);
+    let mut frontier = Frontier::single(src);
+    let mut iterations = 0u32;
+    let mut queue_id = 0u32;
+
+    let relax = Relax { graph: ctx.graph, dist: &dist, preds: preds.as_deref() };
+    loop {
+        while !frontier.is_empty() {
+            iterations += 1;
+            ctx.counters.add_iteration(false);
+            let spec = AdvanceSpec::v2v().with_mode(opts.mode);
+            let raw = advance::advance(ctx, &frontier, spec, &relax);
+            let dedup = filter::filter(
+                ctx,
+                &raw,
+                &RemoveRedundant { tags: &tags, queue_id },
+            );
+            queue_id = queue_id.wrapping_add(1);
+            frontier = if opts.use_priority_queue {
+                queue.split(dedup, |v| dist[v as usize].load(Ordering::Relaxed))
+            } else {
+                dedup
+            };
+        }
+        if !opts.use_priority_queue {
+            break;
+        }
+        frontier = queue.refill(|v| dist[v as usize].load(Ordering::Relaxed));
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    SsspResult {
+        dist: unwrap_atomic_u32(&dist),
+        preds: preds.map(|p| unwrap_atomic_u32(&p)).unwrap_or_default(),
+        edges_examined: ctx.counters.edges(),
+        iterations,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gunrock_baselines::serial;
+    use gunrock_graph::generators::{erdos_renyi, grid2d, hub_chain, rmat};
+    use gunrock_graph::GraphBuilder;
+
+    fn suite() -> Vec<Csr> {
+        vec![
+            GraphBuilder::new()
+                .random_weights(1, 64, 1)
+                .build(erdos_renyi(400, 1200, 1)),
+            GraphBuilder::new()
+                .random_weights(1, 64, 2)
+                .build(rmat(9, 8, Default::default(), 2)),
+            GraphBuilder::new()
+                .random_weights(1, 64, 3)
+                .build(grid2d(18, 18, 0.1, 0.0, 3)),
+            GraphBuilder::new()
+                .random_weights(1, 64, 4)
+                .build(hub_chain(500, 0.1, 100, 4)),
+        ]
+    }
+
+    #[test]
+    fn matches_dijkstra_on_all_topologies() {
+        for (i, g) in suite().iter().enumerate() {
+            let want = serial::dijkstra(g, 0);
+            let ctx = Context::new(g);
+            let r = sssp(&ctx, 0, SsspOptions::default());
+            assert_eq!(r.dist, want, "graph {i}");
+        }
+    }
+
+    #[test]
+    fn bellman_ford_mode_matches_too() {
+        for g in suite() {
+            let want = serial::dijkstra(&g, 0);
+            let ctx = Context::new(&g);
+            let r = sssp(
+                &ctx,
+                0,
+                SsspOptions { use_priority_queue: false, ..Default::default() },
+            );
+            assert_eq!(r.dist, want);
+        }
+    }
+
+    #[test]
+    fn all_deltas_give_correct_distances() {
+        let g = &suite()[0];
+        let want = serial::dijkstra(g, 0);
+        for delta in [1u32, 4, 16, 64, 100_000] {
+            let ctx = Context::new(g);
+            let r = sssp(&ctx, 0, SsspOptions { delta: Some(delta), ..Default::default() });
+            assert_eq!(r.dist, want, "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn priority_queue_reduces_relaxations_vs_bellman_ford() {
+        // on a long-diameter weighted graph, delta stepping should do
+        // fewer edge relaxations than frontier Bellman-Ford
+        let g = GraphBuilder::new()
+            .random_weights(1, 64, 7)
+            .build(grid2d(40, 40, 0.05, 0.0, 7));
+        let bf = {
+            let ctx = Context::new(&g);
+            sssp(&ctx, 0, SsspOptions { use_priority_queue: false, ..Default::default() })
+        };
+        let ds = {
+            let ctx = Context::new(&g);
+            sssp(&ctx, 0, SsspOptions::default())
+        };
+        assert_eq!(bf.dist, ds.dist);
+        assert!(
+            ds.edges_examined < bf.edges_examined,
+            "delta stepping {} vs bellman-ford {}",
+            ds.edges_examined,
+            bf.edges_examined
+        );
+    }
+
+    #[test]
+    fn predecessors_form_shortest_path_tree() {
+        let g = &suite()[1];
+        let ctx = Context::new(g);
+        let r = sssp(&ctx, 0, SsspOptions::default());
+        for v in 0..g.num_vertices() {
+            if r.dist[v] == INFINITY || v == 0 {
+                continue;
+            }
+            let p = r.preds[v];
+            assert_ne!(p, INVALID_VERTEX, "vertex {v}");
+            // the recorded parent achieves the shortest distance
+            let e = g
+                .edge_range(p)
+                .find(|&e| g.col_indices()[e] == v as u32)
+                .expect("pred edge exists");
+            assert_eq!(r.dist[p as usize] + g.weight(e as u32), r.dist[v], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn unweighted_graph_degenerates_to_bfs() {
+        let g = GraphBuilder::new().build(erdos_renyi(300, 900, 9));
+        let ctx = Context::new(&g);
+        let r = sssp(&ctx, 0, SsspOptions::default());
+        assert_eq!(r.dist, serial::bfs(&g, 0));
+    }
+
+    #[test]
+    fn default_delta_is_sane() {
+        for g in suite() {
+            let d = default_delta(&g);
+            assert!((1..=64).contains(&d), "delta {d}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion: single-source betweenness centrality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gunrock::prelude::*;
+use gunrock_algos::bc::{bc, BcOptions};
+use gunrock_baselines::{hardwired, serial};
+use gunrock_bench::load_dataset;
+
+fn bench_bc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bc");
+    group.sample_size(10);
+    for name in ["kron", "roadnet"] {
+        let d = load_dataset(name, 11);
+        let g = &d.graph;
+        group.bench_with_input(BenchmarkId::new("gunrock", name), g, |b, g| {
+            b.iter(|| {
+                let ctx = Context::new(g);
+                bc(&ctx, 0, BcOptions::default())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hardwired", name), g, |b, g| {
+            b.iter(|| hardwired::bc(g, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("serial_brandes", name), g, |b, g| {
+            b.iter(|| serial::brandes_single_source(g, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bc);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: PageRank to convergence and single-iteration (the paper's
+//! bold Ligra comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gunrock::prelude::*;
+use gunrock_algos::pagerank::{pagerank, PrOptions};
+use gunrock_baselines::{hardwired, serial};
+use gunrock_bench::load_dataset;
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagerank");
+    group.sample_size(10);
+    for name in ["kron", "roadnet"] {
+        let d = load_dataset(name, 11);
+        let g = &d.graph;
+        group.bench_with_input(BenchmarkId::new("gunrock", name), g, |b, g| {
+            b.iter(|| {
+                let ctx = Context::new(g);
+                pagerank(&ctx, PrOptions { epsilon: 1e-7, max_iters: 100, ..Default::default() })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gunrock_1iter", name), g, |b, g| {
+            b.iter(|| {
+                let ctx = Context::new(g);
+                pagerank(&ctx, PrOptions { max_iters: 1, ..Default::default() })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hardwired", name), g, |b, g| {
+            b.iter(|| hardwired::pagerank(g, g, 0.85, 1e-7, 100))
+        });
+        group.bench_with_input(BenchmarkId::new("serial", name), g, |b, g| {
+            b.iter(|| serial::pagerank(g, 0.85, 1e-7, 100))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank);
+criterion_main!(benches);

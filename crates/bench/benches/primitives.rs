@@ -1,0 +1,33 @@
+//! Criterion: the engine's data-parallel primitives (scan, compact,
+//! merge-path partition) — the building blocks whose cost every operator
+//! inherits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gunrock_engine::compact::compact;
+use gunrock_engine::scan::scan_exclusive_u32;
+use gunrock_engine::search::merge_path_partitions;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(20);
+    for size in [1usize << 16, 1 << 20] {
+        let input: Vec<u32> = (0..size as u32).map(|i| i % 17).collect();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("scan_exclusive", size), &input, |b, v| {
+            b.iter(|| scan_exclusive_u32(v))
+        });
+        group.bench_with_input(BenchmarkId::new("compact", size), &input, |b, v| {
+            b.iter(|| compact(v, |&x| x % 3 == 0))
+        });
+        let (offsets, total) = scan_exclusive_u32(&input);
+        group.bench_with_input(
+            BenchmarkId::new("merge_path_partition", size),
+            &(offsets, total),
+            |b, (o, t)| b.iter(|| merge_path_partitions(o, *t, 256)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation **A1** (§4.4): the three workload-mapping strategies plus
+//! the shipped hybrid, per topology class. Expected shape: the
+//! load-balanced strategy wins on skewed-degree graphs (kron, bitcoin),
+//! the fine-grained per-thread strategy is competitive on even-degree
+//! graphs (roadnet), and the hybrid tracks the best of both — the
+//! reasoning behind the paper's runtime threshold of 4096.
+//!
+//! Usage: `cargo run --release -p gunrock-bench --bin ablation_lb
+//!         [--scale N] [--runs N]`
+
+use gunrock::prelude::*;
+use gunrock_algos::bfs::{bfs, BfsOptions};
+use gunrock_bench::table::{fmt_ms, Table};
+use gunrock_bench::{standard_datasets, time_avg_ms, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("## Advance load-balancing strategies, BFS runtime ms (scale {})\n", args.scale);
+    let mut t = Table::new(vec![
+        "Dataset",
+        "ThreadMapped",
+        "TWC",
+        "LoadBalanced",
+        "Hybrid(4096)",
+        "TM max task edges",
+        "LB max task edges",
+    ]);
+    for d in standard_datasets(args.scale) {
+        let g = &d.graph;
+        let mut cells = vec![d.name.to_string()];
+        for mode in [
+            AdvanceMode::ThreadMapped,
+            AdvanceMode::Twc,
+            AdvanceMode::LoadBalanced,
+            AdvanceMode::Auto,
+        ] {
+            let ms = time_avg_ms(args.runs, || {
+                let ctx = Context::new(g);
+                std::hint::black_box(bfs(&ctx, 0, BfsOptions::atomic().with_mode(mode)))
+            });
+            cells.push(fmt_ms(ms));
+        }
+        // the hardware-independent imbalance signal: the largest number
+        // of edges any single task must process serially. ThreadMapped
+        // cannot split a neighbor list (bound = max degree); the
+        // load-balanced strategy caps every task at one CTA-sized chunk.
+        cells.push(g.max_degree().to_string());
+        cells.push(gunrock_engine::config::CTA_SIZE.to_string());
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    println!("\nThe task-size columns are the load-balance story independent of core");
+    println!("count: ThreadMapped serializes whole neighbor lists (up to max degree");
+    println!("edges in one task) while LoadBalanced bounds every task at one chunk.");
+    println!("Wall-clock differences track this only when cores are available to");
+    println!("waste; on few cores the strategies tie and TWC's classification");
+    println!("overhead (its three extra passes) is the visible term, matching the");
+    println!("paper's note that TWC costs \"higher overhead due to the sequential");
+    println!("processing of the three different sizes\".");
+}

@@ -1,0 +1,74 @@
+//! Extension ablation (§7 scalability): partitioned BFS across shard
+//! counts, reporting the inter-shard frontier traffic a multi-device
+//! deployment would pay. The communication volume is hardware
+//! independent: it is the number of discovered vertices whose owner is a
+//! different shard than their discoverer.
+//!
+//! Usage: `cargo run --release -p gunrock-bench --bin ablation_partition
+//!         [--scale N]`
+
+use gunrock::partition::{partitioned_advance, total_len, ExchangeStats, VertexPartition};
+use gunrock::prelude::*;
+use gunrock_bench::table::Table;
+use gunrock_bench::{standard_datasets, BenchArgs};
+use gunrock_engine::atomics::atomic_u32_vec;
+use gunrock_graph::INFINITY;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+struct Discover<'a> {
+    labels: &'a [AtomicU32],
+    level: u32,
+}
+
+impl AdvanceFunctor for Discover<'_> {
+    fn cond_edge(&self, _s: u32, d: u32, _e: u32) -> bool {
+        self.labels[d as usize]
+            .compare_exchange(INFINITY, self.level, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+fn partitioned_bfs(g: &gunrock_graph::Csr, shards: usize) -> ExchangeStats {
+    let n = g.num_vertices();
+    let ctx = Context::new(g);
+    let partition = VertexPartition::even(n, shards);
+    let labels = atomic_u32_vec(n, INFINITY);
+    labels[0].store(0, Ordering::Relaxed);
+    let mut frontiers = partition.split_frontier(&Frontier::single(0));
+    let mut level = 0;
+    let mut total = ExchangeStats::default();
+    while total_len(&frontiers) > 0 {
+        level += 1;
+        let f = Discover { labels: &labels, level };
+        let (next, stats) = partitioned_advance(&ctx, &partition, &frontiers, &f);
+        total.merge(stats);
+        frontiers = next;
+    }
+    total
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!(
+        "## Partitioned BFS: inter-shard frontier traffic vs shard count (scale {})\n",
+        args.scale
+    );
+    let shard_counts = [1usize, 2, 4, 8, 16];
+    let mut header: Vec<String> = vec!["Dataset".into()];
+    header.extend(shard_counts.iter().map(|s| format!("{s} shards")));
+    let mut t = Table::new(header);
+    for d in standard_datasets(args.scale) {
+        let mut cells = vec![d.name.to_string()];
+        for &shards in &shard_counts {
+            let stats = partitioned_bfs(&d.graph, shards);
+            cells.push(format!("{:.0}%", stats.remote_fraction() * 100.0));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    println!("\nCells show the fraction of BFS discoveries crossing shard boundaries");
+    println!("(the frontier traffic a multi-GPU deployment ships between devices).");
+    println!("Range partitioning keeps roadnet traffic low (spatial locality in");
+    println!("vertex ids) while scale-free graphs approach the 1 - 1/P random-cut");
+    println!("bound — the distribution challenge §7 anticipates for frontiers.");
+}

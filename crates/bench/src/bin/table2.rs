@@ -1,0 +1,88 @@
+//! Reproduces **Table 2** (the headline comparison): runtime (ms) and
+//! edge throughput (MTEPS) for five primitives across the seven systems,
+//! on the four datasets. With `--geomeans`, also prints the §6 geomean
+//! speedup summaries (Gunrock vs MapGraph-role: paper reports BFS 3.0,
+//! PR 1.6, SSSP 2.5, CC 12.1; and vs BGL/PowerGraph: "at least an order
+//! of magnitude").
+//!
+//! Usage: `cargo run --release -p gunrock-bench --bin table2
+//!         [--scale N] [--runs N] [--geomeans]`
+
+use gunrock_bench::table::{fmt_ms, fmt_mteps, geomean, Table};
+use gunrock_bench::{arg_flag, run_system, standard_datasets, Algorithm, BenchArgs, System};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let datasets = standard_datasets(args.scale);
+    println!(
+        "## Table 2: runtime (ms, lower is better) and MTEPS (higher is better), scale {}\n",
+        args.scale
+    );
+    let mut speedups: Vec<(System, Algorithm, f64)> = Vec::new();
+
+    for alg in Algorithm::ALL {
+        let mut t = Table::new(vec![
+            "Alg", "Dataset", "BGL", "PG", "Medusa", "MapGraph", "Hardwired", "Ligra", "Gunrock",
+            "Gunrock MTEPS",
+        ]);
+        for d in &datasets {
+            let mut cells: Vec<String> = vec![alg.name().to_string(), d.name.to_string()];
+            let mut gunrock_ms = None;
+            let mut per_sys: Vec<(System, Option<f64>)> = Vec::new();
+            let mut gunrock_mteps = 0.0;
+            for sys in System::ALL {
+                let m = run_system(sys, alg, d, args.runs);
+                per_sys.push((sys, m.map(|x| x.millis)));
+                match m {
+                    Some(x) => {
+                        if sys == System::Gunrock {
+                            gunrock_ms = Some(x.millis);
+                            gunrock_mteps = x.mteps;
+                        }
+                        cells.push(fmt_ms(x.millis));
+                    }
+                    None => cells.push("—".into()),
+                }
+            }
+            cells.push(fmt_mteps(gunrock_mteps));
+            t.row(cells);
+            if let Some(gms) = gunrock_ms {
+                for (sys, ms) in per_sys {
+                    if sys != System::Gunrock {
+                        if let Some(ms) = ms {
+                            speedups.push((sys, alg, ms / gms));
+                        }
+                    }
+                }
+            }
+        }
+        println!("{}", t.render());
+    }
+
+    if arg_flag("--geomeans") {
+        println!("## Geomean speedups of Gunrock over each system (paper §6)\n");
+        let mut t = Table::new(vec!["System", "BFS", "SSSP", "BC", "PageRank", "CC"]);
+        for sys in System::ALL {
+            if sys == System::Gunrock {
+                continue;
+            }
+            let mut cells = vec![sys.name().to_string()];
+            for alg in Algorithm::ALL {
+                let vals: Vec<f64> = speedups
+                    .iter()
+                    .filter(|(s, a, _)| *s == sys && *a == alg)
+                    .map(|&(_, _, v)| v)
+                    .collect();
+                cells.push(if vals.is_empty() {
+                    "—".into()
+                } else {
+                    format!("{:.2}x", geomean(&vals))
+                });
+            }
+            t.row(cells);
+        }
+        print!("{}", t.render());
+        println!("\nPaper reference points: vs MapGraph-role geomeans BFS 3.0, SSSP 2.5,");
+        println!("PR 1.6, CC 12.1; vs BGL and PowerGraph-role at least an order of magnitude.");
+    }
+}

@@ -1,0 +1,109 @@
+//! The four benchmark datasets of Table 1, generated synthetically at a
+//! tunable scale (see DESIGN.md §2 for the substitution rationale):
+//!
+//! | name | paper dataset | topology class |
+//! |---|---|---|
+//! | `soc` | soc-LiveJournal1 | scale-free social (mild skew) |
+//! | `bitcoin` | bitcoin | one super-hub + very long chain |
+//! | `kron` | kron_g500-logn20 | Kronecker scale-free (heavy skew) |
+//! | `roadnet` | roadNet-CA | small even degree, huge diameter |
+//!
+//! All are undirected with symmetric random weights in `1..=64`, exactly
+//! as §6 prepares them.
+
+use gunrock_graph::generators::{grid2d, hub_chain, rmat, RmatParams};
+use gunrock_graph::{Csr, GraphBuilder};
+
+/// A prepared benchmark dataset.
+pub struct Dataset {
+    /// Canonical dataset name (a row of Table 1).
+    pub name: &'static str,
+    /// The prepared undirected weighted graph.
+    pub graph: Csr,
+}
+
+impl Dataset {
+    /// The reverse graph for pull traversal. Benchmark graphs are
+    /// undirected (symmetric structure and weights), so the forward
+    /// graph is its own reverse.
+    pub fn reverse(&self) -> &Csr {
+        &self.graph
+    }
+}
+
+/// The canonical names, in the paper's row order.
+pub const DATASET_NAMES: [&str; 4] = ["soc", "bitcoin", "kron", "roadnet"];
+
+/// Builds one dataset at the given scale (`scale` ~ log2 of the vertex
+/// count; the paper's originals correspond to scale 20-23).
+pub fn load_dataset(name: &str, scale: u32) -> Dataset {
+    let builder = || GraphBuilder::new().random_weights(1, 64, 0xC0FFEE);
+    let graph = match name {
+        // milder-skew social graph, a bit larger than kron as in Table 1
+        "soc" => builder().build(rmat(scale + 1, 8, RmatParams::social(), 101)),
+        // one huge hub, 94% degree < 4, diameter in the hundreds
+        "bitcoin" => {
+            let n = 3usize << scale;
+            builder().build(hub_chain(n, 0.15, n / 4, 102))
+        }
+        // Graph500 Kronecker
+        "kron" => builder().build(rmat(scale, 16, RmatParams::graph500(), 103)),
+        // near-square grid with light perturbation
+        "roadnet" => {
+            let side = ((1u64 << scale) as f64).sqrt().round() as usize;
+            builder().build(grid2d(2 * side, side, 0.05, 0.02, 104))
+        }
+        other => panic!("unknown dataset {other:?} (expected one of {DATASET_NAMES:?})"),
+    };
+    let name = DATASET_NAMES
+        .iter()
+        .find(|&&n| n == name)
+        .expect("validated above");
+    Dataset { name, graph }
+}
+
+/// All four datasets at one scale.
+pub fn standard_datasets(scale: u32) -> Vec<Dataset> {
+    DATASET_NAMES.iter().map(|n| load_dataset(n, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gunrock_graph::stats::graph_stats;
+
+    #[test]
+    fn all_datasets_build_and_are_undirected() {
+        for d in standard_datasets(9) {
+            assert!(d.graph.num_vertices() > 0, "{}", d.name);
+            assert!(d.graph.is_symmetric(), "{}", d.name);
+            assert!(d.graph.edge_values().is_some(), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn topology_classes_match_table_one() {
+        let soc = load_dataset("soc", 10);
+        let kron = load_dataset("kron", 10);
+        let road = load_dataset("roadnet", 10);
+        let btc = load_dataset("bitcoin", 10);
+        let s = |d: &Dataset| graph_stats(&d.graph);
+        // scale-free graphs: tiny diameter, big max degree
+        assert!(s(&kron).pseudo_diameter < 15);
+        assert!(s(&kron).max_degree > 100);
+        // road: huge diameter, tiny max degree
+        assert!(s(&road).pseudo_diameter > 40);
+        assert!(s(&road).max_degree <= 8);
+        // bitcoin: biggest max degree AND a long diameter
+        assert!(s(&btc).max_degree > s(&soc).max_degree);
+        assert!(s(&btc).pseudo_diameter > 100);
+        // kron skews harder than soc
+        assert!(s(&kron).max_degree > s(&soc).max_degree);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_name_panics() {
+        load_dataset("nope", 8);
+    }
+}

@@ -1,0 +1,440 @@
+//! Command-line driver for the Gunrock reproduction.
+//!
+//! ```text
+//! gunrock <primitive> [--graph FILE | --gen KIND --scale N] [options]
+//!
+//! primitives: bfs sssp bc cc pagerank mst kcore triangles labelprop stats
+//! generators: kron soc roadnet bitcoin random smallworld
+//!
+//! options:
+//!   --graph FILE       load a graph (.bin, .mtx, or edge list)
+//!   --gen KIND         generate a synthetic graph (default: kron)
+//!   --scale N          generator size exponent (default: 12)
+//!   --seed N           generator seed (default: 42)
+//!   --src N            source vertex for bfs/sssp/bc (default: 0)
+//!   --weights LO..HI   random edge weights (default: 1..64 for sssp/mst)
+//!   --verify           cross-check the result against the serial oracle
+//!   --top K            print the top-K vertices by score (default: 5)
+//! ```
+//!
+//! The dispatch logic lives in this library crate so it can be unit
+//! tested; `main` is a one-liner.
+
+#![warn(missing_docs)]
+
+use gunrock::prelude::*;
+use gunrock_algos as algos;
+use gunrock_baselines::serial;
+use gunrock_graph::prelude::*;
+use gunrock_graph::{io, stats};
+use std::collections::HashMap;
+
+/// Usage text printed for `--help` and argument errors.
+pub const USAGE: &str = "\
+usage: gunrock <primitive> [--graph FILE | --gen KIND --scale N] [options]
+
+primitives: bfs sssp bc cc pagerank mst kcore triangles labelprop stats
+generators: kron soc roadnet bitcoin random smallworld
+
+options:
+  --graph FILE       load a graph (.bin, .mtx, or edge list)
+  --gen KIND         generate a synthetic graph (default: kron)
+  --scale N          generator size exponent (default: 12)
+  --seed N           generator seed (default: 42)
+  --src N            source vertex for bfs/sssp/bc (default: 0)
+  --weights LO..HI   random edge weights (default: 1..64 for sssp/mst)
+  --verify           cross-check against the serial oracle
+  --top K            print the top-K vertices by score (default: 5)";
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Args {
+    /// The primitive (or `stats`) to run.
+    pub primitive: String,
+    /// `--flag value` options.
+    pub flags: HashMap<String, String>,
+    /// Cross-check results against the serial oracle.
+    pub verify: bool,
+}
+
+/// Parses raw arguments; `Err` carries a message for the user.
+pub fn parse_args(raw: Vec<String>) -> Result<Args, String> {
+    let mut it = raw.into_iter().peekable();
+    let primitive = match it.next() {
+        Some(p) if p == "--help" || p == "-h" => return Err(USAGE.to_string()),
+        Some(p) if !p.starts_with('-') => p,
+        Some(p) => return Err(format!("expected a primitive, got {p:?}\n\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    };
+    let mut flags = HashMap::new();
+    let mut verify = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--verify" => verify = true,
+            flag if flag.starts_with("--") => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag {flag} requires a value"))?;
+                flags.insert(flag.trim_start_matches("--").to_string(), value);
+            }
+            other => return Err(format!("unexpected argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(Args { primitive, flags, verify })
+}
+
+impl Args {
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+            None => Ok(default),
+        }
+    }
+
+    fn weights(&self) -> Result<Option<(u32, u32)>, String> {
+        match self.flags.get("weights") {
+            None => Ok(None),
+            Some(spec) => {
+                let (lo, hi) = spec
+                    .split_once("..")
+                    .ok_or_else(|| format!("--weights expects LO..HI, got {spec:?}"))?;
+                let lo = lo.parse().map_err(|_| format!("bad weight {lo:?}"))?;
+                let hi = hi.parse().map_err(|_| format!("bad weight {hi:?}"))?;
+                if lo > hi || lo == 0 {
+                    return Err(format!("--weights needs 1 <= LO <= HI, got {spec:?}"));
+                }
+                Ok(Some((lo, hi)))
+            }
+        }
+    }
+}
+
+/// Builds the input graph from `--graph` or `--gen`.
+pub fn load_or_generate(args: &Args) -> Result<Csr, String> {
+    if let Some(path) = args.flags.get("graph") {
+        return io::load_graph(std::path::Path::new(path))
+            .map_err(|e| format!("cannot load {path}: {e}"));
+    }
+    let scale = args.get_usize("scale", 12)? as u32;
+    let seed = args.get_usize("seed", 42)? as u64;
+    let kind = args.flags.get("gen").map(String::as_str).unwrap_or("kron");
+    // sssp/mst want weights by default
+    let default_weighted = matches!(args.primitive.as_str(), "sssp" | "mst");
+    let weights = args
+        .weights()?
+        .or(if default_weighted { Some((1, 64)) } else { None });
+    let mut builder = GraphBuilder::new();
+    if let Some((lo, hi)) = weights {
+        builder = builder.random_weights(lo, hi, seed);
+    }
+    let coo = match kind {
+        "kron" => generators::rmat(scale, 16, generators::RmatParams::graph500(), seed),
+        "soc" => generators::rmat(scale, 8, generators::RmatParams::social(), seed),
+        "roadnet" => {
+            let side = ((1u64 << scale) as f64).sqrt().round() as usize;
+            generators::grid2d(2 * side, side, 0.05, 0.02, seed)
+        }
+        "bitcoin" => {
+            let n = 3usize << scale;
+            generators::hub_chain(n, 0.15, n / 4, seed)
+        }
+        "random" => generators::erdos_renyi(1 << scale, 8 << scale, seed),
+        "smallworld" => generators::watts_strogatz(1 << scale, 4, 0.1, seed),
+        other => return Err(format!("unknown generator {other:?}\n\n{USAGE}")),
+    };
+    Ok(builder.build(coo))
+}
+
+fn top_k(scores: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut v: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+    v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+/// The primitives `execute` understands.
+pub const PRIMITIVES: [&str; 10] = [
+    "bfs", "sssp", "bc", "cc", "pagerank", "mst", "kcore", "triangles", "labelprop", "stats",
+];
+
+/// Executes the parsed command, printing results; returns a process exit
+/// code.
+pub fn execute(args: &Args) -> Result<(), String> {
+    // reject unknown primitives before paying for graph construction
+    if !PRIMITIVES.contains(&args.primitive.as_str()) {
+        return Err(format!("unknown primitive {:?}\n\n{USAGE}", args.primitive));
+    }
+    let g = load_or_generate(args)?;
+    let n = g.num_vertices();
+    let src = args.get_usize("src", 0)? as u32;
+    if matches!(args.primitive.as_str(), "bfs" | "sssp" | "bc") && src as usize >= n {
+        return Err(format!("--src {src} out of range (graph has {n} vertices)"));
+    }
+    let k = args.get_usize("top", 5)?;
+    println!(
+        "graph: {} vertices, {} directed edges, max degree {}",
+        n,
+        g.num_edges(),
+        g.max_degree()
+    );
+    match args.primitive.as_str() {
+        "stats" => {
+            let s = stats::graph_stats(&g);
+            println!(
+                "avg degree {:.2}, pseudo-diameter {}, {:.1}% of vertices below degree 128",
+                s.avg_degree,
+                s.pseudo_diameter,
+                s.frac_degree_lt_128 * 100.0
+            );
+            let hist = stats::degree_histogram(&g);
+            for (i, &c) in hist.iter().enumerate().filter(|&(_, &c)| c > 0) {
+                let lo = if i == 0 { 0 } else { 1 << (i - 1) };
+                let hi = if i == 0 { 0 } else { (1 << i) - 1 };
+                println!("  degree {lo:>6}..{hi:<6} : {c} vertices");
+            }
+        }
+        "bfs" => {
+            let ctx = Context::new(&g).with_reverse(&g);
+            let r = algos::bfs(&ctx, src, algos::BfsOptions::direction_optimized());
+            let reached = r.labels.iter().filter(|&&l| l != INFINITY).count();
+            println!(
+                "bfs from {src}: reached {reached} vertices in {} levels ({} pull), {:.2} ms, {:.1} MTEPS",
+                r.iterations,
+                r.pull_iterations,
+                r.elapsed.as_secs_f64() * 1e3,
+                r.mteps()
+            );
+            if args.verify {
+                verify_eq(&r.labels, &serial::bfs(&g, src), "bfs depths")?;
+            }
+        }
+        "sssp" => {
+            let ctx = Context::new(&g);
+            let r = algos::sssp(&ctx, src, algos::SsspOptions::default());
+            let reached = r.dist.iter().filter(|&&d| d != INFINITY).count();
+            println!(
+                "sssp from {src}: reached {reached} vertices, {} iterations, {:.2} ms, {:.1} MTEPS",
+                r.iterations,
+                r.elapsed.as_secs_f64() * 1e3,
+                r.mteps()
+            );
+            if args.verify {
+                verify_eq(&r.dist, &serial::dijkstra(&g, src), "sssp distances")?;
+            }
+        }
+        "bc" => {
+            let ctx = Context::new(&g);
+            let r = algos::bc(&ctx, src, algos::BcOptions::default());
+            println!(
+                "bc from {src}: {} iterations, {:.2} ms; top dependency scores:",
+                r.iterations,
+                r.elapsed.as_secs_f64() * 1e3
+            );
+            for (v, s) in top_k(&r.bc_values, k) {
+                println!("  #{v:<8} {s:.2}");
+            }
+            if args.verify {
+                let want = serial::brandes_single_source(&g, src);
+                for (i, (a, b)) in r.bc_values.iter().zip(&want).enumerate() {
+                    if (a - b).abs() > 1e-6 {
+                        return Err(format!("VERIFY FAILED: bc[{i}] {a} vs oracle {b}"));
+                    }
+                }
+                println!("verified against serial Brandes");
+            }
+        }
+        "cc" => {
+            let ctx = Context::new(&g);
+            let r = algos::cc(&ctx);
+            println!(
+                "cc: {} components in {} iterations, {:.2} ms",
+                r.num_components,
+                r.iterations,
+                r.elapsed.as_secs_f64() * 1e3
+            );
+            if args.verify {
+                verify_eq(&r.labels, &serial::connected_components(&g), "component labels")?;
+            }
+        }
+        "pagerank" => {
+            let ctx = Context::new(&g);
+            let r = algos::pagerank(
+                &ctx,
+                algos::PrOptions { epsilon: 1e-10, ..Default::default() },
+            );
+            println!(
+                "pagerank: {} iterations, {:.2} ms; top scores:",
+                r.iterations,
+                r.elapsed.as_secs_f64() * 1e3
+            );
+            for (v, s) in top_k(&r.scores, k) {
+                println!("  #{v:<8} {s:.6}");
+            }
+            if args.verify {
+                let want = serial::pagerank(&g, 0.85, 1e-12, 2000);
+                for (i, (a, b)) in r.scores.iter().zip(&want).enumerate() {
+                    if (a - b).abs() > 1e-5 {
+                        return Err(format!("VERIFY FAILED: pr[{i}] {a} vs oracle {b}"));
+                    }
+                }
+                println!("verified against power iteration");
+            }
+        }
+        "mst" => {
+            let ctx = Context::new(&g);
+            let r = algos::mst(&ctx);
+            println!(
+                "mst: {} edges, total weight {}, {} trees, {} rounds",
+                r.edges.len(),
+                r.total_weight,
+                r.num_trees,
+                r.rounds
+            );
+            if args.verify {
+                let want = algos::mst::mst_weight_kruskal(&g);
+                if r.total_weight != want {
+                    return Err(format!(
+                        "VERIFY FAILED: mst weight {} vs kruskal {want}",
+                        r.total_weight
+                    ));
+                }
+                println!("verified against Kruskal");
+            }
+        }
+        "kcore" => {
+            let ctx = Context::new(&g);
+            let r = algos::k_core(&ctx);
+            println!("kcore: degeneracy {}, {} iterations", r.degeneracy, r.iterations);
+            if args.verify {
+                verify_eq(&r.core_numbers, &algos::kcore::k_core_serial(&g), "core numbers")?;
+            }
+        }
+        "triangles" => {
+            let ctx = Context::new(&g);
+            let r = algos::triangle_count(&ctx);
+            println!("triangles: {} total", r.total);
+            if args.verify {
+                let want = serial::triangle_count(&g);
+                if r.total != want {
+                    return Err(format!("VERIFY FAILED: {} vs oracle {want}", r.total));
+                }
+                println!("verified against oracle");
+            }
+        }
+        "labelprop" => {
+            let ctx = Context::new(&g);
+            let r = algos::label_prop::label_propagation(&ctx, 50);
+            println!(
+                "label propagation: {} communities after {} rounds",
+                r.num_communities, r.rounds
+            );
+        }
+        other => unreachable!("primitive {other:?} validated against PRIMITIVES"),
+    }
+    Ok(())
+}
+
+fn verify_eq<T: PartialEq + std::fmt::Debug>(
+    got: &[T],
+    want: &[T],
+    what: &str,
+) -> Result<(), String> {
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        if a != b {
+            return Err(format!("VERIFY FAILED: {what}[{i}] = {a:?}, oracle says {b:?}"));
+        }
+    }
+    println!("verified against serial oracle");
+    Ok(())
+}
+
+/// Entry point used by `main`: returns the process exit code.
+pub fn run(raw: Vec<String>) -> i32 {
+    match parse_args(raw).and_then(|args| execute(&args)) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("{msg}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_primitive_and_flags() {
+        let a = parse_args(args(&["bfs", "--scale", "8", "--verify", "--src", "3"])).unwrap();
+        assert_eq!(a.primitive, "bfs");
+        assert!(a.verify);
+        assert_eq!(a.flags.get("scale").unwrap(), "8");
+        assert_eq!(a.flags.get("src").unwrap(), "3");
+    }
+
+    #[test]
+    fn parse_errors_are_helpful() {
+        assert!(parse_args(args(&[])).unwrap_err().contains("usage"));
+        assert!(parse_args(args(&["--scale", "8"])).unwrap_err().contains("primitive"));
+        assert!(parse_args(args(&["bfs", "--scale"])).unwrap_err().contains("requires a value"));
+        assert!(parse_args(args(&["bfs", "stray"])).unwrap_err().contains("unexpected"));
+    }
+
+    #[test]
+    fn weights_spec_parsing() {
+        let a = parse_args(args(&["sssp", "--weights", "1..9"])).unwrap();
+        assert_eq!(a.weights().unwrap(), Some((1, 9)));
+        let bad = parse_args(args(&["sssp", "--weights", "9..1"])).unwrap();
+        assert!(bad.weights().is_err());
+        let malformed = parse_args(args(&["sssp", "--weights", "7"])).unwrap();
+        assert!(malformed.weights().is_err());
+    }
+
+    #[test]
+    fn generators_produce_graphs() {
+        for kind in ["kron", "soc", "roadnet", "bitcoin", "random", "smallworld"] {
+            let a = parse_args(args(&["stats", "--gen", kind, "--scale", "7"])).unwrap();
+            let g = load_or_generate(&a).unwrap();
+            assert!(g.num_vertices() > 0, "{kind}");
+        }
+        let bad = parse_args(args(&["stats", "--gen", "nope"])).unwrap();
+        assert!(load_or_generate(&bad).is_err());
+    }
+
+    #[test]
+    fn execute_every_primitive_with_verify() {
+        for prim in [
+            "bfs", "sssp", "bc", "cc", "pagerank", "mst", "kcore", "triangles", "labelprop",
+            "stats",
+        ] {
+            let a = parse_args(args(&[prim, "--scale", "7", "--verify"])).unwrap();
+            execute(&a).unwrap_or_else(|e| panic!("{prim}: {e}"));
+        }
+    }
+
+    #[test]
+    fn src_out_of_range_is_an_error() {
+        let a = parse_args(args(&["bfs", "--scale", "7", "--src", "99999999"])).unwrap();
+        assert!(execute(&a).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn unknown_primitive_fails_before_building_a_graph() {
+        let a = parse_args(args(&["frobnicate"])).unwrap();
+        let t = std::time::Instant::now();
+        let err = execute(&a).unwrap_err();
+        assert!(err.contains("unknown primitive"));
+        // rejection must not pay for the default scale-12 generation
+        assert!(t.elapsed() < std::time::Duration::from_millis(200));
+    }
+
+    #[test]
+    fn run_returns_exit_codes() {
+        assert_eq!(run(args(&["stats", "--scale", "6"])), 0);
+        assert_eq!(run(args(&["bogus"])), 1);
+    }
+}

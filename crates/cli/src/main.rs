@@ -1,0 +1,2 @@
+//! `gunrock` binary entry point; all logic lives in [`gunrock_cli`].
+fn main() { std::process::exit(gunrock_cli::run(std::env::args().skip(1).collect())) }

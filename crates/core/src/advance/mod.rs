@@ -1,0 +1,236 @@
+//! The **advance** operator (§4.1): "generates a new frontier from the
+//! current frontier by visiting the neighbors of the current frontier."
+//!
+//! Advance is the irregular heart of the system; this module generalizes
+//! the workload-mapping strategies of §4.4 behind one entry point:
+//!
+//! * [`AdvanceMode::ThreadMapped`] — per-thread fine-grained: one frontier
+//!   element's whole neighbor list per task. Best on large-diameter,
+//!   even-degree graphs.
+//! * [`AdvanceMode::Twc`] — Merrill et al.'s per-warp/per-CTA
+//!   coarse-grained three-bucket specialization for skewed degrees.
+//! * [`AdvanceMode::LoadBalanced`] — Davidson et al.'s equal-width edge
+//!   chunks located by sorted/binary search over the scanned degree
+//!   array; balanced both within and across blocks.
+//! * [`AdvanceMode::Auto`] — the paper's shipped hybrid: LB when the
+//!   frontier's neighbor count exceeds the runtime threshold (4096),
+//!   thread-mapped otherwise.
+//!
+//! Pull-direction advance (§4.1.1) lives in [`pull`]; the push/pull
+//! switching policy in [`policy`].
+
+pub mod fused;
+pub mod policy;
+pub mod pull;
+pub mod push;
+
+use crate::context::Context;
+use crate::functor::AdvanceFunctor;
+use gunrock_engine::frontier::Frontier;
+use gunrock_graph::VertexId;
+
+/// Workload-mapping strategy for push advance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdvanceMode {
+    /// One frontier element per task; the element's neighbor list is
+    /// processed serially by that task.
+    ThreadMapped,
+    /// Three degree buckets (sub-warp, warp..CTA, super-CTA) processed
+    /// with per-thread, per-warp, and per-CTA cooperation respectively.
+    Twc,
+    /// Equal-length edge chunks over the scanned degree array.
+    LoadBalanced,
+    /// Hybrid: LB above `EngineConfig::lb_threshold` total neighbors,
+    /// thread-mapped below (the paper's default, threshold 4096).
+    #[default]
+    Auto,
+}
+
+/// What the input frontier's ids denote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputKind {
+    /// Frontier of vertex ids; each vertex expands its out-neighbors.
+    Vertices,
+    /// Frontier of edge ids; each edge expands the out-neighbors of its
+    /// destination (the far endpoint), enabling the paper's 2-hop
+    /// edge-frontier traversals.
+    Edges,
+}
+
+/// What the output frontier's ids denote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputKind {
+    /// Collect destination vertices of successful traversals.
+    Vertices,
+    /// Collect edge ids of successful traversals.
+    Edges,
+    /// Discard output (advance run only for its functor side effects,
+    /// e.g. PageRank accumulation).
+    None,
+}
+
+/// Full specification of one advance step.
+#[derive(Clone, Copy, Debug)]
+pub struct AdvanceSpec {
+    /// Workload-mapping strategy.
+    pub mode: AdvanceMode,
+    /// What the input frontier's ids denote.
+    pub input: InputKind,
+    /// What the output frontier should contain.
+    pub output: OutputKind,
+}
+
+impl Default for AdvanceSpec {
+    fn default() -> Self {
+        AdvanceSpec {
+            mode: AdvanceMode::Auto,
+            input: InputKind::Vertices,
+            output: OutputKind::Vertices,
+        }
+    }
+}
+
+impl AdvanceSpec {
+    /// Vertex-to-vertex advance with the default hybrid strategy.
+    pub fn v2v() -> Self {
+        Self::default()
+    }
+
+    /// Vertex-to-edge advance.
+    pub fn v2e() -> Self {
+        AdvanceSpec { output: OutputKind::Edges, ..Self::default() }
+    }
+
+    /// Edge-to-vertex advance.
+    pub fn e2v() -> Self {
+        AdvanceSpec { input: InputKind::Edges, ..Self::default() }
+    }
+
+    /// Side-effect-only advance (no output frontier).
+    pub fn for_effect() -> Self {
+        AdvanceSpec { output: OutputKind::None, ..Self::default() }
+    }
+
+    /// Overrides the workload-mapping mode.
+    pub fn with_mode(mut self, mode: AdvanceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Maps a frontier item to the vertex whose neighbor list it expands.
+#[inline]
+pub(crate) fn expansion_vertex(
+    ctx: &Context<'_>,
+    input: InputKind,
+    item: u32,
+) -> VertexId {
+    match input {
+        InputKind::Vertices => item,
+        InputKind::Edges => ctx.graph.edge_dest(item),
+    }
+}
+
+/// Runs one push-direction advance step: visits every out-edge of the
+/// input frontier, calls the functor's `cond`/`apply` on each (fused),
+/// and returns the output frontier per `spec.output`.
+pub fn advance<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    input: &Frontier,
+    spec: AdvanceSpec,
+    functor: &F,
+) -> Frontier {
+    if input.is_empty() {
+        return Frontier::new();
+    }
+    match spec.mode {
+        AdvanceMode::ThreadMapped => push::thread_mapped(ctx, input, spec, functor),
+        AdvanceMode::Twc => push::twc(ctx, input, spec, functor),
+        AdvanceMode::LoadBalanced => push::load_balanced(ctx, input, spec, functor),
+        AdvanceMode::Auto => {
+            let work = push::frontier_neighbor_count(ctx, input, spec.input);
+            if work as usize > ctx.config.lb_threshold {
+                push::load_balanced(ctx, input, spec, functor)
+            } else {
+                push::thread_mapped(ctx, input, spec, functor)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functor::AcceptAll;
+    use gunrock_graph::{Coo, GraphBuilder};
+
+    fn star_plus_path() -> gunrock_graph::Csr {
+        // vertex 0 is a hub to 1..=5; 5 -> 6 -> 7 path
+        GraphBuilder::new().directed().build(Coo::from_edges(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6), (6, 7)],
+        ))
+    }
+
+    #[test]
+    fn all_modes_agree_on_v2v_output_as_sets() {
+        let g = star_plus_path();
+        let ctx = Context::new(&g);
+        let input = Frontier::from_vec(vec![0, 5]);
+        let mut results = Vec::new();
+        for mode in [
+            AdvanceMode::ThreadMapped,
+            AdvanceMode::Twc,
+            AdvanceMode::LoadBalanced,
+            AdvanceMode::Auto,
+        ] {
+            let out = advance(&ctx, &input, AdvanceSpec::v2v().with_mode(mode), &AcceptAll);
+            let mut v = out.into_vec();
+            v.sort_unstable();
+            results.push(v);
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(results[0], vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn v2e_collects_edge_ids() {
+        let g = star_plus_path();
+        let ctx = Context::new(&g);
+        let out = advance(&ctx, &Frontier::single(0), AdvanceSpec::v2e(), &AcceptAll);
+        let mut ids = out.into_vec();
+        ids.sort_unstable();
+        // vertex 0 owns the first 5 edge slots in CSR order
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn e2v_expands_from_edge_destinations() {
+        let g = star_plus_path();
+        let ctx = Context::new(&g);
+        // edge (0 -> 5) has destination 5, which expands to 6
+        let e05 = g.edge_range(0).clone().find(|&e| g.edge_dest(e as u32) == 5).unwrap();
+        let out = advance(&ctx, &Frontier::single(e05 as u32), AdvanceSpec::e2v(), &AcceptAll);
+        assert_eq!(out.as_slice(), &[6]);
+    }
+
+    #[test]
+    fn effect_only_advance_returns_empty() {
+        let g = star_plus_path();
+        let ctx = Context::new(&g);
+        let out = advance(&ctx, &Frontier::single(0), AdvanceSpec::for_effect(), &AcceptAll);
+        assert!(out.is_empty());
+        assert_eq!(ctx.counters.edges(), 5);
+    }
+
+    #[test]
+    fn empty_input_short_circuits() {
+        let g = star_plus_path();
+        let ctx = Context::new(&g);
+        let out = advance(&ctx, &Frontier::new(), AdvanceSpec::v2v(), &AcceptAll);
+        assert!(out.is_empty());
+        assert_eq!(ctx.counters.edges(), 0);
+    }
+}

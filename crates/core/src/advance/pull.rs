@@ -1,0 +1,121 @@
+//! Pull-direction advance (§4.1.1).
+//!
+//! "Gunrock internally converts the current frontier into a bitmap of
+//! vertices, generates a new frontier of all unvisited nodes, then uses
+//! an advance step to 'pull' the computation from these nodes'
+//! predecessors if they are valid in the bitmap."
+//!
+//! Each *unvisited* candidate scans its in-neighbors until one is found
+//! in the current-frontier bitmap and the functor accepts the edge; the
+//! early exit is what saves edge visits once the frontier dwarfs the
+//! unvisited set (Beamer et al.). Note the functor sees edge ids of the
+//! *reverse* graph (weights transpose along, so weight lookups stay
+//! correct).
+
+use crate::context::Context;
+use crate::functor::AdvanceFunctor;
+use crate::util::{concat_chunks, grain_size};
+use gunrock_engine::bitmap::AtomicBitmap;
+use gunrock_engine::frontier::Frontier;
+use gunrock_graph::EdgeId;
+use rayon::prelude::*;
+
+/// Builds the frontier-membership bitmap for a pull step.
+pub fn frontier_bitmap(num_vertices: usize, frontier: &Frontier) -> AtomicBitmap {
+    let bm = AtomicBitmap::new(num_vertices);
+    if frontier.len() < 4096 {
+        for v in frontier {
+            bm.set(v as usize);
+        }
+    } else {
+        frontier.as_slice().par_iter().for_each(|&v| bm.set(v as usize));
+    }
+    bm
+}
+
+/// Runs one pull-direction advance: for each candidate vertex (typically
+/// the unvisited set), scan in-neighbors against `in_frontier`; the first
+/// edge accepted by the functor admits the candidate to the output
+/// frontier and stops its scan.
+pub fn advance_pull<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    candidates: &[u32],
+    in_frontier: &AtomicBitmap,
+    functor: &F,
+) -> Frontier {
+    let rev = ctx.reverse_graph();
+    let grain = grain_size(candidates.len());
+    let per_chunk: Vec<(Vec<u32>, u64)> = candidates
+        .par_chunks(grain)
+        .map(|chunk| {
+            let mut local = Vec::new();
+            let mut edges = 0u64;
+            let cols = rev.col_indices();
+            for &v in chunk {
+                for e in rev.edge_range(v) {
+                    edges += 1;
+                    let u = cols[e];
+                    if in_frontier.get(u as usize) && functor.cond_edge(u, v, e as EdgeId) {
+                        functor.apply_edge(u, v, e as EdgeId);
+                        local.push(v);
+                        break; // one valid predecessor suffices
+                    }
+                }
+            }
+            (local, edges)
+        })
+        .collect();
+    ctx.counters.add_edges(per_chunk.iter().map(|(_, e)| e).sum());
+    let out = concat_chunks(per_chunk.into_iter().map(|(v, _)| v).collect());
+    Frontier::from_vec(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functor::AcceptAll;
+    use gunrock_graph::{Coo, GraphBuilder};
+
+    #[test]
+    fn pull_discovers_exactly_the_next_bfs_level() {
+        // path 0 - 1 - 2 - 3 (undirected)
+        let g = GraphBuilder::new().build(Coo::from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
+        let ctx = Context::new(&g).with_reverse(&g);
+        let frontier = Frontier::single(1);
+        let bm = frontier_bitmap(4, &frontier);
+        // candidates: unvisited = {2, 3} (0 already visited)
+        let out = advance_pull(&ctx, &[2, 3], &bm, &AcceptAll);
+        assert_eq!(out.as_slice(), &[2]);
+    }
+
+    #[test]
+    fn pull_early_exit_limits_edges_examined() {
+        // hub 0 connected to everything; frontier = {0}; all others pull
+        let edges: Vec<(u32, u32)> = (1..100).map(|v| (0, v)).collect();
+        let g = GraphBuilder::new().build(Coo::from_edges(100, &edges));
+        let ctx = Context::new(&g).with_reverse(&g);
+        let bm = frontier_bitmap(100, &Frontier::single(0));
+        let candidates: Vec<u32> = (1..100).collect();
+        let out = advance_pull(&ctx, &candidates, &bm, &AcceptAll);
+        assert_eq!(out.len(), 99);
+        // each candidate's in-list starts with the hub: one edge each
+        assert_eq!(ctx.counters.edges(), 99);
+    }
+
+    #[test]
+    fn bitmap_reflects_frontier_membership() {
+        let bm = frontier_bitmap(10, &Frontier::from_vec(vec![1, 7]));
+        assert!(bm.get(1) && bm.get(7));
+        assert!(!bm.get(0) && !bm.get(9));
+    }
+
+    #[test]
+    fn candidates_with_no_frontier_neighbor_stay_out() {
+        // two disconnected edges: 0-1, 2-3
+        let g = GraphBuilder::new().build(Coo::from_edges(4, &[(0, 1), (2, 3)]));
+        let ctx = Context::new(&g).with_reverse(&g);
+        let bm = frontier_bitmap(4, &Frontier::single(0));
+        let out = advance_pull(&ctx, &[1, 2, 3], &bm, &AcceptAll);
+        assert_eq!(out.as_slice(), &[1]);
+    }
+}

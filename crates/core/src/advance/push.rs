@@ -1,0 +1,358 @@
+//! Push-direction advance strategies (§4.4).
+//!
+//! All three strategies call the functor inline per edge (kernel fusion)
+//! and produce a compacted output frontier. `load_balanced` is
+//! deterministic down to output order (output slot = global edge rank);
+//! the chunked strategies are deterministic given a fixed chunk grain.
+
+use super::{expansion_vertex, AdvanceSpec, InputKind, OutputKind};
+use crate::context::Context;
+use crate::functor::AdvanceFunctor;
+use crate::util::{concat_chunks, grain_size};
+use gunrock_engine::compact::compact;
+use gunrock_engine::frontier::Frontier;
+use gunrock_engine::scan::scan_exclusive_u32;
+use gunrock_engine::search::merge_path_partitions;
+use gunrock_engine::unsafe_slice::UnsafeSlice;
+use gunrock_graph::{EdgeId, VertexId};
+use rayon::prelude::*;
+
+const INVALID_SLOT: u32 = u32::MAX;
+
+/// Total neighbor count of the frontier — the workload size an advance
+/// will generate, used by the Auto strategy switch and the
+/// direction-optimizing policy.
+pub fn frontier_neighbor_count(ctx: &Context<'_>, input: &Frontier, kind: InputKind) -> u64 {
+    let g = ctx.graph;
+    if input.len() < 2048 {
+        input
+            .as_slice()
+            .iter()
+            .map(|&it| g.out_degree(expansion_vertex(ctx, kind, it)) as u64)
+            .sum()
+    } else {
+        input
+            .as_slice()
+            .par_iter()
+            .map(|&it| g.out_degree(expansion_vertex(ctx, kind, it)) as u64)
+            .sum()
+    }
+}
+
+/// Expands one item's neighbor list serially, appending successful
+/// traversals to `out`. Returns edges examined.
+#[inline]
+fn expand_serial<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    functor: &F,
+    spec: AdvanceSpec,
+    item: u32,
+    out: &mut Vec<u32>,
+) -> u64 {
+    let g = ctx.graph;
+    let src = expansion_vertex(ctx, spec.input, item);
+    let range = g.edge_range(src);
+    let examined = range.len() as u64;
+    let cols = g.col_indices();
+    for e in range {
+        let dst = cols[e];
+        if functor.cond_edge(src, dst, e as EdgeId) {
+            functor.apply_edge(src, dst, e as EdgeId);
+            match spec.output {
+                OutputKind::Vertices => out.push(dst),
+                OutputKind::Edges => out.push(e as EdgeId),
+                OutputKind::None => {}
+            }
+        }
+    }
+    examined
+}
+
+/// Per-thread fine-grained strategy: each task owns a grain of frontier
+/// items and walks each item's neighbor list serially. Balanced within a
+/// task group, "but not across CTAs" — skewed degrees serialize on the
+/// task owning the hub.
+pub fn thread_mapped<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    input: &Frontier,
+    spec: AdvanceSpec,
+    functor: &F,
+) -> Frontier {
+    let grain = grain_size(input.len());
+    let per_chunk: Vec<(Vec<u32>, u64)> = input
+        .as_slice()
+        .par_chunks(grain)
+        .map(|chunk| {
+            let mut local = Vec::new();
+            let mut edges = 0u64;
+            for &item in chunk {
+                edges += expand_serial(ctx, functor, spec, item, &mut local);
+            }
+            (local, edges)
+        })
+        .collect();
+    let edges: u64 = per_chunk.iter().map(|(_, e)| e).sum();
+    ctx.counters.add_edges(edges);
+    let chunks: Vec<Vec<u32>> = per_chunk.into_iter().map(|(v, _)| v).collect();
+    Frontier::from_vec(concat_chunks(chunks))
+}
+
+/// Per-warp / per-CTA coarse-grained strategy (Merrill et al.): the
+/// frontier is split into three degree classes, each processed with a
+/// cooperation width matched to its size — whole "CTA" chunks for huge
+/// lists, per-"warp" tasks for medium lists, per-thread grains for small
+/// lists. Higher throughput on high-variance frontiers, at the cost of
+/// the classification passes.
+pub fn twc<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    input: &Frontier,
+    spec: AdvanceSpec,
+    functor: &F,
+) -> Frontier {
+    let g = ctx.graph;
+    let warp = ctx.config.warp_size as u32;
+    let cta = ctx.config.cta_size as u32;
+    let deg = |&it: &u32| g.out_degree(expansion_vertex(ctx, spec.input, it));
+    let small = compact(input.as_slice(), |it| deg(it) <= warp);
+    let medium = compact(input.as_slice(), |it| {
+        let d = deg(it);
+        d > warp && d <= cta
+    });
+    let large = compact(input.as_slice(), |it| deg(it) > cta);
+
+    // Small lists: fine-grained grains of items.
+    let small_out = thread_mapped(ctx, &Frontier::from_vec(small), spec, functor);
+
+    // Medium lists: one task per item (a "warp" cooperates on one list).
+    let medium_chunks: Vec<(Vec<u32>, u64)> = medium
+        .par_iter()
+        .map(|&item| {
+            let mut local = Vec::new();
+            let edges = expand_serial(ctx, functor, spec, item, &mut local);
+            (local, edges)
+        })
+        .collect();
+    ctx.counters.add_edges(medium_chunks.iter().map(|(_, e)| e).sum());
+    let medium_out = concat_chunks(medium_chunks.into_iter().map(|(v, _)| v).collect());
+
+    // Large lists: the whole "CTA" cooperates on one neighbor list,
+    // processing it in cta-sized slices in parallel.
+    let mut large_parts: Vec<Vec<u32>> = Vec::new();
+    let mut large_edges = 0u64;
+    for &item in &large {
+        let src = expansion_vertex(ctx, spec.input, item);
+        let range = g.edge_range(src);
+        large_edges += range.len() as u64;
+        let cols = &g.col_indices()[range.clone()];
+        let base = range.start;
+        let mut parts: Vec<Vec<u32>> = cols
+            .par_chunks(ctx.config.cta_size)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let mut local = Vec::new();
+                let start = base + ci * ctx.config.cta_size;
+                for (i, &dst) in slice.iter().enumerate() {
+                    let e = (start + i) as EdgeId;
+                    if functor.cond_edge(src, dst, e) {
+                        functor.apply_edge(src, dst, e);
+                        match spec.output {
+                            OutputKind::Vertices => local.push(dst),
+                            OutputKind::Edges => local.push(e),
+                            OutputKind::None => {}
+                        }
+                    }
+                }
+                local
+            })
+            .collect();
+        large_parts.append(&mut parts);
+    }
+    ctx.counters.add_edges(large_edges);
+    let large_out = concat_chunks(large_parts);
+
+    let merged = concat_chunks(vec![small_out.into_vec(), medium_out, large_out]);
+    Frontier::from_vec(merged)
+}
+
+/// Load-balanced strategy (Davidson et al.): scan frontier degrees into a
+/// global edge ranking, split the ranking into equal-width chunks, locate
+/// each chunk's first source by binary search over the scanned offsets
+/// (merge-path), then walk. Every task touches exactly `cta_size` edges
+/// regardless of degree skew: balanced within and across blocks.
+pub fn load_balanced<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    input: &Frontier,
+    spec: AdvanceSpec,
+    functor: &F,
+) -> Frontier {
+    let g = ctx.graph;
+    let items = input.as_slice();
+    // Phase 1: per-item degrees and their exclusive scan.
+    let degrees: Vec<u32> = if items.len() < 2048 {
+        items.iter().map(|&it| g.out_degree(expansion_vertex(ctx, spec.input, it))).collect()
+    } else {
+        items
+            .par_iter()
+            .map(|&it| g.out_degree(expansion_vertex(ctx, spec.input, it)))
+            .collect()
+    };
+    let (scanned, total) = scan_exclusive_u32(&degrees);
+    ctx.counters.add_edges(total as u64);
+    if total == 0 {
+        return Frontier::new();
+    }
+    let chunk = ctx.config.cta_size;
+    // Phase 2: merge-path partition of the edge ranking.
+    let starts = merge_path_partitions(&scanned, total, chunk);
+    // Phase 3: walk each chunk; slot w of the output belongs to edge rank
+    // w, making output order deterministic.
+    let collect_output = spec.output != OutputKind::None;
+    let mut slots: Vec<u32> = if collect_output { vec![INVALID_SLOT; total as usize] } else { Vec::new() };
+    {
+        let out_ref = UnsafeSlice::new(&mut slots);
+        starts.par_iter().enumerate().for_each(|(ci, &seg_start)| {
+            let w0 = (ci * chunk) as u32;
+            let w1 = (((ci + 1) * chunk) as u32).min(total);
+            let mut seg = seg_start as usize;
+            // cache the current segment's expansion data
+            let mut src: VertexId = expansion_vertex(ctx, spec.input, items[seg]);
+            let mut seg_base = scanned[seg];
+            let mut row_start = g.edge_range(src).start as u32;
+            let cols = g.col_indices();
+            for w in w0..w1 {
+                // advance to the segment owning rank w (skips empty lists)
+                while seg + 1 < items.len() && scanned[seg + 1] <= w {
+                    seg += 1;
+                    src = expansion_vertex(ctx, spec.input, items[seg]);
+                    seg_base = scanned[seg];
+                    row_start = g.edge_range(src).start as u32;
+                }
+                let e = row_start + (w - seg_base);
+                let dst = cols[e as usize];
+                if functor.cond_edge(src, dst, e) {
+                    functor.apply_edge(src, dst, e);
+                    if collect_output {
+                        let v = match spec.output {
+                            OutputKind::Vertices => dst,
+                            OutputKind::Edges => e,
+                            OutputKind::None => unreachable!(),
+                        };
+                        // SAFETY: each rank w written by exactly one chunk.
+                        unsafe { out_ref.write(w as usize, v) };
+                    }
+                }
+            }
+        });
+    }
+    if !collect_output {
+        return Frontier::new();
+    }
+    Frontier::from_vec(compact(&slots, |&v| v != INVALID_SLOT))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functor::{AcceptAll, EdgeCond};
+    use gunrock_graph::generators::rmat;
+    use gunrock_graph::{Coo, GraphBuilder};
+
+    fn skewed_graph() -> gunrock_graph::Csr {
+        GraphBuilder::new().build(rmat(9, 16, Default::default(), 5))
+    }
+
+    fn modes_output(
+        g: &gunrock_graph::Csr,
+        input: Vec<u32>,
+        spec: AdvanceSpec,
+    ) -> Vec<Vec<u32>> {
+        let ctx = Context::new(g);
+        let f = Frontier::from_vec(input);
+        [thread_mapped(&ctx, &f, spec, &AcceptAll),
+         twc(&ctx, &f, spec, &AcceptAll),
+         load_balanced(&ctx, &f, spec, &AcceptAll)]
+            .into_iter()
+            .map(|fr| {
+                let mut v = fr.into_vec();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strategies_agree_on_skewed_graph() {
+        let g = skewed_graph();
+        let input: Vec<u32> = (0..g.num_vertices() as u32).step_by(3).collect();
+        let outs = modes_output(&g, input, AdvanceSpec::v2v());
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0], outs[2]);
+        assert!(!outs[0].is_empty());
+    }
+
+    #[test]
+    fn strategies_agree_on_edge_output() {
+        let g = skewed_graph();
+        let input: Vec<u32> = (0..g.num_vertices() as u32).step_by(7).collect();
+        let outs = modes_output(&g, input, AdvanceSpec::v2e());
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0], outs[2]);
+    }
+
+    #[test]
+    fn load_balanced_output_is_in_edge_rank_order() {
+        let g = GraphBuilder::new().directed().build(Coo::from_edges(
+            4,
+            &[(0, 3), (0, 1), (2, 0), (2, 3)],
+        ));
+        let ctx = Context::new(&g);
+        let out = load_balanced(
+            &ctx,
+            &Frontier::from_vec(vec![0, 2]),
+            AdvanceSpec::v2v(),
+            &AcceptAll,
+        );
+        // CSR sorts (0->1),(0->3),(2->0),(2->3); frontier order [0, 2]
+        assert_eq!(out.as_slice(), &[1, 3, 0, 3]);
+    }
+
+    #[test]
+    fn cond_false_edges_are_culled_everywhere() {
+        let g = skewed_graph();
+        let keep_even = EdgeCond(|_s: u32, d: u32, _e: u32| d.is_multiple_of(2));
+        let ctx = Context::new(&g);
+        let input = Frontier::from_vec((0..g.num_vertices() as u32).collect());
+        for out in [
+            thread_mapped(&ctx, &input, AdvanceSpec::v2v(), &keep_even),
+            twc(&ctx, &input, AdvanceSpec::v2v(), &keep_even),
+            load_balanced(&ctx, &input, AdvanceSpec::v2v(), &keep_even),
+        ] {
+            assert!(out.as_slice().iter().all(|&v| v % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn edge_counters_count_full_neighbor_lists() {
+        let g = skewed_graph();
+        let input = Frontier::from_vec((0..g.num_vertices() as u32).collect());
+        let expect = g.num_edges() as u64;
+        for mode in [AdvanceMode::ThreadMapped, AdvanceMode::Twc, AdvanceMode::LoadBalanced] {
+            let ctx = Context::new(&g);
+            let _ = super::super::advance(&ctx, &input, AdvanceSpec::v2v().with_mode(mode), &AcceptAll);
+            assert_eq!(ctx.counters.edges(), expect, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn neighbor_count_matches_degree_sum() {
+        let g = skewed_graph();
+        let ctx = Context::new(&g);
+        let input = Frontier::from_vec((0..g.num_vertices() as u32).collect());
+        assert_eq!(
+            frontier_neighbor_count(&ctx, &input, InputKind::Vertices),
+            g.num_edges() as u64
+        );
+    }
+
+    use super::super::AdvanceMode;
+}

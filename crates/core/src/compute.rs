@@ -1,0 +1,91 @@
+//! The **compute** operator (§4.1): "a programmer-specified computation
+//! step defines an operation on all elements in the current frontier;
+//! Gunrock then performs that operation in parallel across all elements."
+//!
+//! Standalone compute exists mainly for primitives that are a single
+//! regular pass (degree distributions, value initialization) and for the
+//! *unfused* ablation path — in normal primitives the computation is
+//! fused into advance/filter via the functor API (§4.3).
+
+use gunrock_engine::frontier::Frontier;
+use rayon::prelude::*;
+
+/// Applies `op` to every element of the frontier in parallel.
+pub fn for_each<F>(input: &Frontier, op: F)
+where
+    F: Fn(u32) + Send + Sync,
+{
+    if input.len() < 4096 {
+        for v in input {
+            op(v);
+        }
+    } else {
+        input.as_slice().par_iter().for_each(|&v| op(v));
+    }
+}
+
+/// Applies `op` to every id in `0..n` (an implicit full frontier, e.g.
+/// PageRank initialization) in parallel.
+pub fn for_each_id<F>(n: usize, op: F)
+where
+    F: Fn(u32) + Send + Sync,
+{
+    if n < 4096 {
+        for v in 0..n as u32 {
+            op(v);
+        }
+    } else {
+        (0..n as u32).into_par_iter().for_each(op);
+    }
+}
+
+/// Parallel map over a frontier collecting results (used by primitives
+/// that derive per-element values, e.g. priorities for the near-far
+/// split).
+pub fn map<T, F>(input: &Frontier, op: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u32) -> T + Send + Sync,
+{
+    if input.len() < 4096 {
+        input.as_slice().iter().map(|&v| op(v)).collect()
+    } else {
+        input.as_slice().par_iter().map(|&v| op(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn for_each_touches_every_element_small_and_large() {
+        for n in [100u32, 50_000] {
+            let acc = AtomicU64::new(0);
+            let f = Frontier::from_vec((0..n).collect());
+            for_each(&f, |v| {
+                acc.fetch_add(v as u64, Ordering::Relaxed);
+            });
+            assert_eq!(acc.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+        }
+    }
+
+    #[test]
+    fn for_each_id_covers_range() {
+        let acc = AtomicU64::new(0);
+        for_each_id(10_000, |_| {
+            acc.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let f = Frontier::from_vec(vec![3, 1, 2]);
+        assert_eq!(map(&f, |v| v * 10), vec![30, 10, 20]);
+        let big = Frontier::from_vec((0..20_000).collect());
+        let mapped = map(&big, |v| v + 1);
+        assert!(mapped.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+}

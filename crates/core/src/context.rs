@@ -1,0 +1,86 @@
+//! Execution context shared by all operators: graph views, engine
+//! configuration, and work counters. The analog of Gunrock's per-problem
+//! `GraphSlice` + kernel launch settings.
+
+use gunrock_engine::config::EngineConfig;
+use gunrock_engine::stats::WorkCounters;
+use gunrock_graph::Csr;
+
+/// Everything an operator needs to run: the forward CSR, an optional
+/// reverse CSR (CSC) for pull-based traversal, engine knobs, and
+/// counters.
+pub struct Context<'g> {
+    /// Forward graph (out-edges).
+    pub graph: &'g Csr,
+    /// Reverse graph (in-edges); required for pull advance on directed
+    /// graphs. For undirected (symmetric) graphs, pass the forward graph.
+    pub reverse: Option<&'g Csr>,
+    /// Engine configuration (warp/CTA sizes, LB threshold).
+    pub config: EngineConfig,
+    /// Work counters accumulated across all operators.
+    pub counters: WorkCounters,
+}
+
+impl<'g> Context<'g> {
+    /// Context over a forward graph with default configuration.
+    pub fn new(graph: &'g Csr) -> Self {
+        Context {
+            graph,
+            reverse: None,
+            config: EngineConfig::default(),
+            counters: WorkCounters::new(),
+        }
+    }
+
+    /// Attaches a reverse graph enabling pull traversal. For symmetric
+    /// graphs the forward graph doubles as its own reverse.
+    pub fn with_reverse(mut self, reverse: &'g Csr) -> Self {
+        self.reverse = Some(reverse);
+        self
+    }
+
+    /// Overrides engine configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The reverse graph, panicking with a clear message if missing.
+    pub fn reverse_graph(&self) -> &'g Csr {
+        self.reverse
+            .expect("pull advance requires a reverse graph: call Context::with_reverse")
+    }
+
+    /// Number of vertices in the forward graph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of directed edges in the forward graph.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gunrock_graph::{Coo, GraphBuilder};
+
+    #[test]
+    fn context_builders() {
+        let g = GraphBuilder::new().build(Coo::from_edges(3, &[(0, 1), (1, 2)]));
+        let ctx = Context::new(&g).with_reverse(&g);
+        assert_eq!(ctx.num_vertices(), 3);
+        assert_eq!(ctx.num_edges(), 4);
+        assert_eq!(ctx.reverse_graph().num_edges(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "reverse graph")]
+    fn missing_reverse_panics_clearly() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let ctx = Context::new(&g);
+        ctx.reverse_graph();
+    }
+}

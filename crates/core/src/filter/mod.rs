@@ -1,0 +1,73 @@
+//! The **filter** operator (§4.1): "generates a new frontier from the
+//! current frontier by choosing a subset of the current frontier based on
+//! programmer-specified criteria."
+//!
+//! Two implementations, as in Gunrock:
+//!
+//! * [`filter`] — the exact scan-compact filter: order-preserving, no
+//!   duplicates survive if the predicate is a uniqueness test.
+//! * [`culling`] — the heuristic filter used with *idempotent* advance:
+//!   cheap hash/bitmask culling passes that remove most (here: all
+//!   already-visited, most intra-frontier) redundant entries without
+//!   atomics on the algorithm's data.
+
+pub mod culling;
+
+use crate::context::Context;
+use crate::functor::FilterFunctor;
+use gunrock_engine::compact::compact_map;
+use gunrock_engine::frontier::Frontier;
+
+/// Exact filter: keeps frontier elements whose `cond` holds, running
+/// `apply` on survivors (fused), preserving order via scan-compact.
+pub fn filter<F: FilterFunctor>(ctx: &Context<'_>, input: &Frontier, functor: &F) -> Frontier {
+    ctx.counters.add_filtered(input.len() as u64);
+    let kept = compact_map(input.as_slice(), |&id| {
+        if functor.cond(id) {
+            functor.apply(id);
+            Some(id)
+        } else {
+            None
+        }
+    });
+    Frontier::from_vec(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functor::VertexCond;
+    use gunrock_graph::{Coo, GraphBuilder};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn keeps_matching_in_order() {
+        let g = GraphBuilder::new().build(Coo::from_edges(10, &[(0, 1)]));
+        let ctx = Context::new(&g);
+        let input = Frontier::from_vec(vec![5, 2, 8, 3]);
+        let out = filter(&ctx, &input, &VertexCond(|v: u32| v.is_multiple_of(2)));
+        assert_eq!(out.as_slice(), &[2, 8]);
+        assert_eq!(ctx.counters.elements_filtered.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn apply_runs_only_on_survivors() {
+        struct Probe {
+            applied: AtomicU32,
+        }
+        impl crate::functor::FilterFunctor for Probe {
+            fn cond(&self, id: u32) -> bool {
+                id < 100
+            }
+            fn apply(&self, _: u32) {
+                self.applied.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let ctx = Context::new(&g);
+        let probe = Probe { applied: AtomicU32::new(0) };
+        let out = filter(&ctx, &Frontier::from_vec(vec![1, 200, 3]), &probe);
+        assert_eq!(out.len(), 2);
+        assert_eq!(probe.applied.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! # gunrock
+//!
+//! A Rust reproduction of **Gunrock: A High-Performance Graph Processing
+//! Library on the GPU** (Wang et al., PPoPP 2015) — the data-centric,
+//! frontier-focused bulk-synchronous programming model, with the paper's
+//! GPU kernels realized over a multicore data-parallel engine
+//! ([`gunrock_engine`]; see DESIGN.md for the substitution rationale).
+//!
+//! ## The abstraction
+//!
+//! Graph primitives are iterative convergent processes over a
+//! **frontier** — the subset of vertices or edges currently of interest —
+//! assembled from three bulk-synchronous steps:
+//!
+//! * [`advance`](crate::advance) — visit frontier neighbors, producing a
+//!   new frontier (push or pull, under several load-balance strategies);
+//! * [`filter`](crate::filter) — select a frontier subset (exact
+//!   scan-compact or heuristic culling);
+//! * [`compute`](crate::compute) — regular per-element work, normally
+//!   *fused* into advance/filter via the [`functor`] API.
+//!
+//! Plus the [`priority_queue`] near-far split generalizing delta-stepping.
+//!
+//! ## Example: two BFS levels by hand
+//!
+//! ```
+//! use gunrock::prelude::*;
+//! use gunrock_graph::{Coo, GraphBuilder};
+//!
+//! let g = GraphBuilder::new().build(Coo::from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
+//! let ctx = Context::new(&g);
+//! let level1 = advance::advance(&ctx, &Frontier::single(0), AdvanceSpec::v2v(), &AcceptAll);
+//! assert_eq!(level1.as_slice(), &[1]);
+//! let level2 = advance::advance(&ctx, &level1, AdvanceSpec::v2v(), &AcceptAll);
+//! let mut v = level2.into_vec();
+//! v.sort_unstable();
+//! assert_eq!(v, vec![0, 2]); // undirected: includes the parent
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod advance;
+pub mod compute;
+pub mod context;
+pub mod enactor;
+pub mod filter;
+pub mod functor;
+pub mod neighbor_reduce;
+pub mod partition;
+pub mod priority_queue;
+pub mod problem;
+pub mod sample;
+pub(crate) mod util;
+
+/// Commonly used items for writing primitives.
+pub mod prelude {
+    pub use crate::advance::{
+        self,
+        fused::advance_filter_fused,
+        policy::{DirectionPolicy, TraversalDirection},
+        pull::{advance_pull, frontier_bitmap},
+        AdvanceMode, AdvanceSpec, InputKind, OutputKind,
+    };
+    pub use crate::compute;
+    pub use crate::context::Context;
+    pub use crate::enactor::{Enactor, IterationRecord};
+    pub use crate::filter::{self, culling::CullingConfig};
+    pub use crate::functor::{AcceptAll, AdvanceFunctor, EdgeCond, FilterFunctor, VertexCond};
+    pub use crate::neighbor_reduce::neighbor_reduce;
+    pub use crate::partition::{partitioned_advance, ExchangeStats, VertexPartition};
+    pub use crate::priority_queue::NearFarQueue;
+    pub use crate::problem::{enact, EnactStats, Primitive};
+    pub use crate::sample::{sample, sample_k};
+    pub use gunrock_engine::bitmap::AtomicBitmap;
+    pub use gunrock_engine::frontier::{Frontier, FrontierPair};
+    pub use gunrock_engine::stats::{Timing, WorkCounters};
+    pub use gunrock_engine::EngineConfig;
+}
+
+pub use context::Context;
+pub use enactor::Enactor;
+pub use functor::{AdvanceFunctor, FilterFunctor};

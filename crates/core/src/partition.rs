@@ -1,0 +1,256 @@
+//! Partitioned execution — a working model of the paper's §7 scalability
+//! direction: "a future Gunrock must scale ... to multiple GPUs on a
+//! single node; and to a distributed, multi-node clustered system. We
+//! hope that Gunrock's data-centric focus on frontiers — which we
+//! believe is vital for data distributions that go beyond a single GPU's
+//! memory — provides an excellent substrate."
+//!
+//! Vertices are range-partitioned into shards ("devices"). A partitioned
+//! advance expands each shard's sub-frontier independently; output
+//! elements owned by other shards become **remote messages** exchanged at
+//! the bulk-synchronous boundary, exactly as a multi-GPU frontier
+//! exchange would ship them over NVLink/PCIe. The exchange statistics
+//! (local vs remote discoveries) are the communication volume a real
+//! multi-device deployment would pay, making partition-count/locality
+//! trade-offs measurable on this substrate.
+
+use crate::advance::{self, AdvanceSpec};
+use crate::context::Context;
+use crate::functor::AdvanceFunctor;
+use gunrock_engine::frontier::Frontier;
+use gunrock_graph::VertexId;
+
+/// A contiguous range partition of the vertex set into `num_shards`
+/// near-equal shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexPartition {
+    /// Shard boundaries: shard `s` owns `boundaries[s]..boundaries[s+1]`.
+    boundaries: Vec<VertexId>,
+}
+
+impl VertexPartition {
+    /// Splits `num_vertices` into `num_shards` contiguous ranges.
+    pub fn even(num_vertices: usize, num_shards: usize) -> Self {
+        assert!(num_shards > 0);
+        let mut boundaries = Vec::with_capacity(num_shards + 1);
+        for s in 0..=num_shards {
+            boundaries.push((num_vertices * s / num_shards) as VertexId);
+        }
+        VertexPartition { boundaries }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The shard owning vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        debug_assert!(v < *self.boundaries.last().unwrap());
+        self.boundaries.partition_point(|&b| b <= v) - 1
+    }
+
+    /// The vertex range owned by shard `s`.
+    pub fn range(&self, s: usize) -> std::ops::Range<VertexId> {
+        self.boundaries[s]..self.boundaries[s + 1]
+    }
+
+    /// Splits a global frontier into per-shard sub-frontiers.
+    pub fn split_frontier(&self, frontier: &Frontier) -> Vec<Frontier> {
+        let mut shards = vec![Vec::new(); self.num_shards()];
+        for v in frontier {
+            shards[self.shard_of(v)].push(v);
+        }
+        shards.into_iter().map(Frontier::from_vec).collect()
+    }
+}
+
+/// Communication statistics from one partitioned bulk step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Output elements that stayed on their producing shard.
+    pub local: u64,
+    /// Output elements shipped to another shard (the inter-device
+    /// traffic a multi-GPU deployment would pay).
+    pub remote: u64,
+}
+
+impl ExchangeStats {
+    /// Fraction of output that crossed shard boundaries.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local + self.remote;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another step's stats.
+    pub fn merge(&mut self, other: ExchangeStats) {
+        self.local += other.local;
+        self.remote += other.remote;
+    }
+}
+
+/// One partitioned vertex-to-vertex advance: each shard expands its
+/// sub-frontier (shards run sequentially here — one device's work at a
+/// time on the shared substrate — but each shard's expansion uses the
+/// full parallel advance internally), then outputs are routed to their
+/// owning shards. Returns the per-shard next frontiers plus exchange
+/// statistics.
+pub fn partitioned_advance<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    partition: &VertexPartition,
+    shard_frontiers: &[Frontier],
+    functor: &F,
+) -> (Vec<Frontier>, ExchangeStats) {
+    assert_eq!(shard_frontiers.len(), partition.num_shards());
+    let mut next: Vec<Vec<u32>> = vec![Vec::new(); partition.num_shards()];
+    let mut stats = ExchangeStats::default();
+    for (s, frontier) in shard_frontiers.iter().enumerate() {
+        if frontier.is_empty() {
+            continue;
+        }
+        let out = advance::advance(ctx, frontier, AdvanceSpec::v2v(), functor);
+        for v in &out {
+            let owner = partition.shard_of(v);
+            if owner == s {
+                stats.local += 1;
+            } else {
+                stats.remote += 1;
+            }
+            next[owner].push(v);
+        }
+    }
+    (next.into_iter().map(Frontier::from_vec).collect(), stats)
+}
+
+/// Total size of a set of per-shard frontiers.
+pub fn total_len(shards: &[Frontier]) -> usize {
+    shards.iter().map(Frontier::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functor::AcceptAll;
+    use gunrock_engine::atomics::{atomic_u32_vec, unwrap_atomic_u32};
+    use gunrock_graph::{generators, GraphBuilder, INFINITY};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn even_partition_covers_everything_once() {
+        let p = VertexPartition::even(10, 3);
+        assert_eq!(p.num_shards(), 3);
+        let mut owned = [0u32; 10];
+        for s in 0..3 {
+            for v in p.range(s) {
+                owned[v as usize] += 1;
+                assert_eq!(p.shard_of(v), s);
+            }
+        }
+        assert!(owned.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn split_frontier_routes_by_ownership() {
+        let p = VertexPartition::even(9, 3);
+        let f = Frontier::from_vec(vec![0, 4, 8, 1, 5]);
+        let shards = p.split_frontier(&f);
+        assert_eq!(shards[0].as_slice(), &[0, 1]);
+        assert_eq!(shards[1].as_slice(), &[4, 5]);
+        assert_eq!(shards[2].as_slice(), &[8]);
+    }
+
+    /// Multi-shard BFS must agree with single-shard BFS, shard count
+    /// notwithstanding — the correctness half of the scalability story.
+    #[test]
+    fn partitioned_bfs_matches_serial_for_any_shard_count() {
+        let g = GraphBuilder::new().build(generators::rmat(9, 8, Default::default(), 7));
+        let n = g.num_vertices();
+        let want = {
+            // serial reference
+            let mut depth = vec![INFINITY; n];
+            let mut q = std::collections::VecDeque::new();
+            depth[0] = 0;
+            q.push_back(0u32);
+            while let Some(u) = q.pop_front() {
+                for &v in g.neighbors(u) {
+                    if depth[v as usize] == INFINITY {
+                        depth[v as usize] = depth[u as usize] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            depth
+        };
+        for shards in [1usize, 2, 3, 8] {
+            let ctx = Context::new(&g);
+            let partition = VertexPartition::even(n, shards);
+            let labels = atomic_u32_vec(n, INFINITY);
+            labels[0].store(0, Ordering::Relaxed);
+            struct Discover<'a> {
+                labels: &'a [AtomicU32],
+                level: u32,
+            }
+            impl AdvanceFunctor for Discover<'_> {
+                fn cond_edge(&self, _s: u32, d: u32, _e: u32) -> bool {
+                    self.labels[d as usize]
+                        .compare_exchange(
+                            INFINITY,
+                            self.level,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                }
+            }
+            let mut frontiers = partition.split_frontier(&Frontier::single(0));
+            let mut level = 0;
+            let mut exchange = ExchangeStats::default();
+            while total_len(&frontiers) > 0 {
+                level += 1;
+                let f = Discover { labels: &labels, level };
+                let (next, stats) = partitioned_advance(&ctx, &partition, &frontiers, &f);
+                exchange.merge(stats);
+                frontiers = next;
+            }
+            assert_eq!(unwrap_atomic_u32(&labels), want, "{shards} shards");
+            if shards == 1 {
+                assert_eq!(exchange.remote, 0, "one shard has no remote traffic");
+            } else {
+                assert!(exchange.remote > 0, "cross-shard edges must ship");
+            }
+        }
+    }
+
+    #[test]
+    fn remote_fraction_grows_with_shard_count_on_random_graphs() {
+        let g = GraphBuilder::new().build(generators::erdos_renyi(400, 2000, 3));
+        let n = g.num_vertices();
+        let mut fractions = Vec::new();
+        for shards in [2usize, 8] {
+            let ctx = Context::new(&g);
+            let partition = VertexPartition::even(n, shards);
+            let frontiers =
+                partition.split_frontier(&Frontier::from_vec((0..n as u32).collect()));
+            let (_, stats) = partitioned_advance(&ctx, &partition, &frontiers, &AcceptAll);
+            fractions.push(stats.remote_fraction());
+        }
+        assert!(
+            fractions[1] > fractions[0],
+            "more shards, more cut edges: {fractions:?}"
+        );
+    }
+
+    #[test]
+    fn exchange_stats_merge_and_fraction() {
+        let mut a = ExchangeStats { local: 3, remote: 1 };
+        a.merge(ExchangeStats { local: 1, remote: 3 });
+        assert_eq!(a, ExchangeStats { local: 4, remote: 4 });
+        assert!((a.remote_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(ExchangeStats::default().remote_fraction(), 0.0);
+    }
+}

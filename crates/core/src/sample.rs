@@ -1,0 +1,96 @@
+//! Frontier sampling — the second operator the paper names as future
+//! work (§7): "we also expect to explore a 'sample' step that can take a
+//! random subsample of a frontier, which we can use to compute a rough
+//! or seeded solution that may allow faster convergence on a full
+//! graph."
+//!
+//! Sampling is deterministic given a seed (a per-element hash decides
+//! membership), so sampled runs are reproducible and the sample of a
+//! fixed frontier is stable across calls.
+
+use gunrock_engine::compact::compact;
+use gunrock_engine::frontier::Frontier;
+
+#[inline]
+fn mix(seed: u64, v: u32) -> u64 {
+    let mut x = seed ^ ((v as u64) << 1 | 1);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Keeps each frontier element independently with probability
+/// `fraction` (deterministic per `(seed, element)`); order preserved.
+pub fn sample(frontier: &Frontier, fraction: f64, seed: u64) -> Frontier {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    if fraction >= 1.0 {
+        return frontier.clone();
+    }
+    let threshold = (fraction * u64::MAX as f64) as u64;
+    Frontier::from_vec(compact(frontier.as_slice(), |&v| mix(seed, v) < threshold))
+}
+
+/// Keeps approximately `k` elements (exactly `min(k, len)` when `k`
+/// small relative to the frontier): the `k` elements with the smallest
+/// per-element hash, i.e. a uniform random subset without replacement.
+pub fn sample_k(frontier: &Frontier, k: usize, seed: u64) -> Frontier {
+    if k >= frontier.len() {
+        return frontier.clone();
+    }
+    let mut keyed: Vec<(u64, u32)> = frontier
+        .as_slice()
+        .iter()
+        .map(|&v| (mix(seed, v), v))
+        .collect();
+    keyed.select_nth_unstable(k);
+    let mut out: Vec<u32> = keyed[..k].iter().map(|&(_, v)| v).collect();
+    out.sort_unstable();
+    Frontier::from_vec(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extreme_fractions() {
+        let f = Frontier::from_vec((0..100).collect());
+        assert_eq!(sample(&f, 1.0, 1).len(), 100);
+        assert_eq!(sample(&f, 0.0, 1).len(), 0);
+    }
+
+    #[test]
+    fn fraction_is_approximately_respected() {
+        let f = Frontier::from_vec((0..100_000).collect());
+        let s = sample(&f, 0.25, 7);
+        let frac = s.len() as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn deterministic_and_order_preserving() {
+        let f = Frontier::from_vec((0..10_000).collect());
+        let a = sample(&f, 0.5, 42);
+        let b = sample(&f, 0.5, 42);
+        assert_eq!(a, b);
+        assert!(a.as_slice().windows(2).all(|w| w[0] < w[1]));
+        let c = sample(&f, 0.5, 43);
+        assert_ne!(a, c, "different seed, different sample");
+    }
+
+    #[test]
+    fn sample_k_exact_size_and_subset() {
+        let f = Frontier::from_vec((0..1000).map(|x| x * 3).collect());
+        let s = sample_k(&f, 50, 9);
+        assert_eq!(s.len(), 50);
+        assert!(s.as_slice().iter().all(|&v| v % 3 == 0));
+        assert_eq!(sample_k(&f, 5000, 9).len(), 1000); // k >= len: all
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_rejected() {
+        sample(&Frontier::new(), 1.5, 0);
+    }
+}

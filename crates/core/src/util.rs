@@ -1,0 +1,57 @@
+//! Internal parallel utilities shared by operators.
+
+use gunrock_engine::scan::scan_exclusive_usize;
+use gunrock_engine::unsafe_slice::UnsafeSlice;
+use rayon::prelude::*;
+
+/// Concatenates per-task output vectors into one contiguous vector with a
+/// parallel scatter (scan of sizes + disjoint copies). Preserves chunk
+/// order, which keeps operators deterministic.
+pub fn concat_chunks(chunks: Vec<Vec<u32>>) -> Vec<u32> {
+    let sizes: Vec<usize> = chunks.iter().map(Vec::len).collect();
+    let (offsets, total) = scan_exclusive_usize(&sizes);
+    let mut out = vec![0u32; total];
+    {
+        let out_ref = UnsafeSlice::new(&mut out);
+        chunks
+            .par_iter()
+            .zip(offsets.par_iter())
+            .for_each(|(chunk, &base)| {
+                for (i, &v) in chunk.iter().enumerate() {
+                    // SAFETY: chunks write disjoint ranges [base, base+len).
+                    unsafe { out_ref.write(base + i, v) };
+                }
+            });
+    }
+    out
+}
+
+/// Splits `len` items into per-task grains: enough chunks to keep every
+/// worker busy without oversubscribing tiny inputs.
+pub fn grain_size(len: usize) -> usize {
+    let tasks = rayon::current_num_threads() * 8;
+    len.div_ceil(tasks).max(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_preserves_order() {
+        let chunks = vec![vec![1, 2], vec![], vec![3], vec![4, 5, 6]];
+        assert_eq!(concat_chunks(chunks), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn concat_empty() {
+        assert!(concat_chunks(vec![]).is_empty());
+        assert!(concat_chunks(vec![vec![], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn grain_bounds() {
+        assert!(grain_size(0) >= 1);
+        assert!(grain_size(1_000_000) >= 64);
+    }
+}

@@ -1,0 +1,167 @@
+//! Concurrent bitmap over atomic words.
+//!
+//! Gunrock's pull-based advance "internally converts the current frontier
+//! into a bitmap of vertices" (§4.1.1), and the idempotent filter's
+//! bitmask-culling heuristic tests a visited bitmap before enqueueing.
+//! `test_and_set` is the GPU's `atomicOr` returning the old bit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity bitmap supporting concurrent set/test.
+pub struct AtomicBitmap {
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl AtomicBitmap {
+    /// Creates a cleared bitmap with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        let words = (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        AtomicBitmap { words, len }
+    }
+
+    /// Bit capacity.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if capacity is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+    }
+
+    /// Atomically sets bit `i`, returning its previous value. The winner
+    /// of a concurrent race observes `false` exactly once — the mechanism
+    /// behind unique vertex discovery.
+    #[inline]
+    pub fn test_and_set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        self.words[i / 64].fetch_or(mask, Ordering::Relaxed) & mask != 0
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64].fetch_and(!(1 << (i % 64)), Ordering::Relaxed);
+    }
+
+    /// Clears all bits. Not safe to call concurrently with setters
+    /// (requires `&mut`).
+    pub fn clear_all(&mut self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the indices of set bits (ascending).
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, w)| {
+            let mut bits = w.load(Ordering::Relaxed);
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for AtomicBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicBitmap({} bits, {} set)", self.len, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn set_get_clear() {
+        let bm = AtomicBitmap::new(130);
+        assert!(!bm.get(0));
+        bm.set(0);
+        bm.set(64);
+        bm.set(129);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1));
+        bm.clear(64);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn test_and_set_returns_old_value() {
+        let bm = AtomicBitmap::new(10);
+        assert!(!bm.test_and_set(3));
+        assert!(bm.test_and_set(3));
+    }
+
+    #[test]
+    fn concurrent_test_and_set_has_exactly_one_winner_per_bit() {
+        let bm = AtomicBitmap::new(1000);
+        let winners: usize = (0..8000usize)
+            .into_par_iter()
+            .map(|i| !bm.test_and_set(i % 1000) as usize)
+            .sum();
+        assert_eq!(winners, 1000);
+        assert_eq!(bm.count_ones(), 1000);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let bm = AtomicBitmap::new(200);
+        for i in [5usize, 63, 64, 130, 199] {
+            bm.set(i);
+        }
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![5, 63, 64, 130, 199]);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut bm = AtomicBitmap::new(100);
+        for i in 0..100 {
+            bm.set(i);
+        }
+        bm.clear_all();
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = AtomicBitmap::new(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Stream compaction: the engine behind Gunrock's exact *filter* operator
+//! (§4.1: "using parallel scan for efficient filtering is well-understood
+//! on GPUs").
+//!
+//! `compact` keeps elements satisfying a predicate, preserving input
+//! order, via the scan-then-scatter idiom: flag each element, exclusive
+//! scan the flags to obtain output positions, then scatter in parallel.
+
+use crate::config::SEQUENTIAL_CUTOFF;
+use crate::scan::scan_exclusive_usize;
+use crate::unsafe_slice::UnsafeSlice;
+use rayon::prelude::*;
+
+/// Returns the elements of `input` satisfying `pred`, in order.
+pub fn compact<T, F>(input: &[T], pred: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    compact_map(input, |x| if pred(x) { Some(*x) } else { None })
+}
+
+/// Filter-map in one pass: elements mapping to `Some` are kept (in
+/// order). This is the fused form used by filter kernels that both cull
+/// and transform.
+pub fn compact_map<T, U, F>(input: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Copy + Send + Sync,
+    F: Fn(&T) -> Option<U> + Send + Sync,
+{
+    let n = input.len();
+    if n < SEQUENTIAL_CUTOFF || rayon::current_num_threads() == 1 {
+        return input.iter().filter_map(&f).collect();
+    }
+    // Phase 1: flags (recomputing f in phase 3 would double user work, so
+    // materialize the mapped values once).
+    let mapped: Vec<Option<U>> = input.par_iter().map(&f).collect();
+    let flags: Vec<usize> = mapped.par_iter().map(|m| m.is_some() as usize).collect();
+    // Phase 2: positions.
+    let (positions, total) = scan_exclusive_usize(&flags);
+    // Phase 3: scatter.
+    let mut out = Vec::with_capacity(total);
+    // SAFETY: set_len before writes is sound because every slot 0..total is
+    // written exactly once below (scan guarantees a bijection between kept
+    // inputs and output positions) and U: Copy has no drop obligations.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(total)
+    };
+    {
+        let out_ref = UnsafeSlice::new(&mut out);
+        mapped
+            .par_iter()
+            .zip(positions.par_iter())
+            .for_each(|(m, &pos)| {
+                if let Some(v) = m {
+                    // SAFETY: distinct kept elements get distinct positions.
+                    unsafe { out_ref.write(pos, *v) };
+                }
+            });
+    }
+    out
+}
+
+/// Returns the *indices* of elements satisfying `pred`, in order. Used by
+/// frontier filters that operate on index sets.
+pub fn compact_indices<T, F>(input: &[T], pred: F) -> Vec<u32>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    assert!(input.len() <= u32::MAX as usize);
+    if input.len() < SEQUENTIAL_CUTOFF || rayon::current_num_threads() == 1 {
+        return input
+            .iter()
+            .enumerate()
+            .filter_map(|(i, x)| pred(x).then_some(i as u32))
+            .collect();
+    }
+    let flags: Vec<usize> = input.par_iter().map(|x| pred(x) as usize).collect();
+    let (positions, total) = scan_exclusive_usize(&flags);
+    let mut out = vec![0u32; total];
+    {
+        let out_ref = UnsafeSlice::new(&mut out);
+        flags
+            .par_iter()
+            .enumerate()
+            .for_each(|(i, &keep)| {
+                if keep == 1 {
+                    // SAFETY: scan assigns each kept index a unique slot.
+                    unsafe { out_ref.write(positions[i], i as u32) };
+                }
+            });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_order_small() {
+        let v = [5u32, 2, 8, 1, 9];
+        assert_eq!(compact(&v, |&x| x > 4), vec![5, 8, 9]);
+    }
+
+    #[test]
+    fn keeps_order_large_parallel() {
+        let v: Vec<u32> = (0..200_000).collect();
+        let got = compact(&v, |&x| x % 3 == 0);
+        let want: Vec<u32> = v.iter().copied().filter(|&x| x % 3 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_and_none() {
+        let v: Vec<u32> = (0..10_000).collect();
+        assert_eq!(compact(&v, |_| true), v);
+        assert!(compact(&v, |_| false).is_empty());
+    }
+
+    #[test]
+    fn compact_map_transforms() {
+        let v: Vec<u32> = (0..50_000).collect();
+        let got = compact_map(&v, |&x| (x % 2 == 0).then_some(x * 10));
+        assert_eq!(got.len(), 25_000);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[1], 20);
+        assert_eq!(*got.last().unwrap(), 499_980);
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        let v = [10u32, 0, 30, 0, 50];
+        assert_eq!(compact_indices(&v, |&x| x > 0), vec![0, 2, 4]);
+        let big: Vec<u32> = (0..100_000).map(|i| i % 5).collect();
+        let got = compact_indices(&big, |&x| x == 4);
+        assert_eq!(got.len(), 20_000);
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+        assert!(got.iter().all(|&i| big[i as usize] == 4));
+    }
+}

@@ -1,0 +1,82 @@
+//! Engine configuration: the knobs of the virtual GPU.
+//!
+//! The constants mirror the Kepler-class hardware the paper evaluates on
+//! (§3) and the paper's tuned thresholds (§4.4).
+
+/// Threads per warp on the modeled GPU; also the chunklet size for the
+/// TWC medium bucket.
+pub const WARP_SIZE: usize = 32;
+
+/// Threads per cooperative thread array (block); also the chunk size for
+/// the TWC large bucket and the default load-balanced edge-chunk length.
+pub const CTA_SIZE: usize = 256;
+
+/// The paper's tuned frontier-neighbor-count threshold (§4.4) selecting
+/// between the fine-grained (thread-mapped) and coarse-grained
+/// (load-balanced) advance strategies: "we set this value to 4096".
+pub const LB_THRESHOLD: usize = 4096;
+
+/// Minimum items per parallel task; below this, operations run
+/// sequentially to avoid scheduling overhead (the CPU analog of not
+/// launching a kernel for tiny inputs).
+pub const SEQUENTIAL_CUTOFF: usize = 4096;
+
+/// Runtime configuration for the engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Work chunk emulating a warp.
+    pub warp_size: usize,
+    /// Work chunk emulating a CTA.
+    pub cta_size: usize,
+    /// Advance strategy switch threshold on frontier neighbor count
+    /// (users "can change this value easily in the Enactor module", §4.4).
+    pub lb_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { warp_size: WARP_SIZE, cta_size: CTA_SIZE, lb_threshold: LB_THRESHOLD }
+    }
+}
+
+impl EngineConfig {
+    /// Default configuration (paper-tuned values).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the load-balance threshold.
+    pub fn with_lb_threshold(mut self, t: usize) -> Self {
+        self.lb_threshold = t;
+        self
+    }
+
+    /// Number of worker threads in the underlying pool.
+    pub fn num_threads(&self) -> usize {
+        rayon::current_num_threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = EngineConfig::new();
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.cta_size, 256);
+        assert_eq!(c.lb_threshold, 4096);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = EngineConfig::new().with_lb_threshold(128);
+        assert_eq!(c.lb_threshold, 128);
+    }
+
+    #[test]
+    fn pool_reports_threads() {
+        assert!(EngineConfig::new().num_threads() >= 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Parallel reductions over slices: sums, extrema, and counting — the
+//! regular-parallel building blocks of convergence checks (e.g. "did any
+//! component id change this iteration?") and frontier sizing (total
+//! neighbor count ahead of an advance).
+
+use crate::config::SEQUENTIAL_CUTOFF;
+use rayon::prelude::*;
+
+/// Generic parallel reduction with identity and associative operator.
+pub fn reduce<T, F>(input: &[T], identity: T, op: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    if input.len() < SEQUENTIAL_CUTOFF {
+        return input.iter().fold(identity, |a, &b| op(a, b));
+    }
+    input
+        .par_iter()
+        .copied()
+        .reduce(|| identity, &op)
+}
+
+/// Sum of `u32` values widened to `u64` (degree sums overflow u32 on
+/// large frontiers).
+pub fn sum_u32(input: &[u32]) -> u64 {
+    if input.len() < SEQUENTIAL_CUTOFF {
+        return input.iter().map(|&x| x as u64).sum();
+    }
+    input.par_iter().map(|&x| x as u64).sum()
+}
+
+/// Maximum value, or `None` for an empty slice.
+pub fn max_u32(input: &[u32]) -> Option<u32> {
+    if input.is_empty() {
+        return None;
+    }
+    Some(reduce(input, 0, |a, b| a.max(b)))
+}
+
+/// Counts elements satisfying the predicate.
+pub fn count_if<T, F>(input: &[T], pred: F) -> usize
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    if input.len() < SEQUENTIAL_CUTOFF {
+        return input.iter().filter(|x| pred(x)).count();
+    }
+    input.par_iter().filter(|x| pred(x)).count()
+}
+
+/// True if any element satisfies the predicate (short-circuiting in the
+/// parallel path).
+pub fn any<T, F>(input: &[T], pred: F) -> bool
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    if input.len() < SEQUENTIAL_CUTOFF {
+        return input.iter().any(&pred);
+    }
+    input.par_iter().any(pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_small_and_large_agree_with_reference() {
+        let small: Vec<u32> = (0..100).collect();
+        assert_eq!(sum_u32(&small), 4950);
+        let large: Vec<u32> = (0..1_000_000).map(|i| i % 7).collect();
+        let want: u64 = large.iter().map(|&x| x as u64).sum();
+        assert_eq!(sum_u32(&large), want);
+    }
+
+    #[test]
+    fn sum_does_not_overflow_u32() {
+        let v = vec![u32::MAX; 8];
+        assert_eq!(sum_u32(&v), 8 * u32::MAX as u64);
+    }
+
+    #[test]
+    fn max_of_empty_is_none() {
+        assert_eq!(max_u32(&[]), None);
+        assert_eq!(max_u32(&[5, 2, 9, 1]), Some(9));
+    }
+
+    #[test]
+    fn count_and_any() {
+        let v: Vec<u32> = (0..10_000).collect();
+        assert_eq!(count_if(&v, |&x| x % 10 == 0), 1000);
+        assert!(any(&v, |&x| x == 9_999));
+        assert!(!any(&v, |&x| x == 10_000));
+    }
+
+    #[test]
+    fn generic_reduce_with_min() {
+        let v = [7u32, 3, 9];
+        assert_eq!(reduce(&v, u32::MAX, |a, b| a.min(b)), 3);
+    }
+}

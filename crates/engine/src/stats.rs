@@ -1,0 +1,141 @@
+//! Work counters and timing for the evaluation harness.
+//!
+//! The paper reports runtime (ms) and edge throughput (MTEPS = millions
+//! of traversed edges per second); operators increment these counters so
+//! primitives can report both without re-deriving traversal counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Cumulative work counters for one primitive execution. Cheap enough to
+/// update per bulk step (not per element).
+#[derive(Debug, Default)]
+pub struct WorkCounters {
+    /// Edges examined by advance steps (the numerator of MTEPS).
+    pub edges_examined: AtomicU64,
+    /// Elements processed by filter steps.
+    pub elements_filtered: AtomicU64,
+    /// Bulk-synchronous iterations executed.
+    pub iterations: AtomicU64,
+    /// Iterations run in pull (reverse) direction by the
+    /// direction-optimized advance.
+    pub pull_iterations: AtomicU64,
+}
+
+impl WorkCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds to the edge-examination count.
+    #[inline]
+    pub fn add_edges(&self, n: u64) {
+        self.edges_examined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the filtered-element count.
+    #[inline]
+    pub fn add_filtered(&self, n: u64) {
+        self.elements_filtered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one completed iteration; `pull` marks reverse-direction.
+    #[inline]
+    pub fn add_iteration(&self, pull: bool) {
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+        if pull {
+            self.pull_iterations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the edge count.
+    pub fn edges(&self) -> u64 {
+        self.edges_examined.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the iteration count.
+    pub fn iters(&self) -> u64 {
+        self.iterations.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of pull-direction iterations.
+    pub fn pull_iters(&self) -> u64 {
+        self.pull_iterations.load(Ordering::Relaxed)
+    }
+}
+
+/// Result of timing a primitive: wall time plus derived throughput.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Timing {
+    /// Measured wall time.
+    pub elapsed: Duration,
+    /// Edges examined during the measured interval.
+    pub edges_examined: u64,
+}
+
+impl Timing {
+    /// Runtime in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3
+    }
+
+    /// Millions of traversed edges per second, the paper's throughput
+    /// metric. Returns 0 for zero-duration runs.
+    pub fn mteps(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.edges_examined as f64 / s / 1e6
+        }
+    }
+}
+
+/// Times a closure, pairing its wall time with an edge count supplied by
+/// the closure's return value.
+pub fn time_with_edges<T>(f: impl FnOnce() -> (T, u64)) -> (T, Timing) {
+    let start = Instant::now();
+    let (value, edges) = f();
+    let elapsed = start.elapsed();
+    (value, Timing { elapsed, edges_examined: edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = WorkCounters::new();
+        c.add_edges(10);
+        c.add_edges(5);
+        c.add_filtered(3);
+        c.add_iteration(false);
+        c.add_iteration(true);
+        assert_eq!(c.edges(), 15);
+        assert_eq!(c.iters(), 2);
+        assert_eq!(c.pull_iters(), 1);
+        assert_eq!(c.elements_filtered.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn mteps_math() {
+        let t = Timing { elapsed: Duration::from_millis(100), edges_examined: 1_000_000 };
+        assert!((t.mteps() - 10.0).abs() < 1e-9);
+        assert!((t.millis() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_gives_zero_mteps() {
+        let t = Timing { elapsed: Duration::ZERO, edges_examined: 5 };
+        assert_eq!(t.mteps(), 0.0);
+    }
+
+    #[test]
+    fn time_with_edges_passes_value_through() {
+        let (v, t) = time_with_edges(|| (42u32, 7u64));
+        assert_eq!(v, 42);
+        assert_eq!(t.edges_examined, 7);
+    }
+}

@@ -1,0 +1,91 @@
+//! A shared mutable slice for scatter-style parallel writes.
+//!
+//! Scan-then-scatter kernels (compact, load-balanced advance output) know
+//! statically that every output index is written by exactly one task, but
+//! the borrow checker cannot see that. `UnsafeSlice` is the standard HPC
+//! escape hatch: a `Sync` wrapper over a raw slice whose `write` is
+//! `unsafe`, with the disjointness obligation documented at each call
+//! site.
+
+use std::cell::UnsafeCell;
+
+/// A wrapper over `&mut [T]` allowing concurrent writes to *disjoint*
+/// indices from multiple threads.
+pub struct UnsafeSlice<'a, T> {
+    slice: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: the only way to touch the data is through `write`/`read`, whose
+// contracts require callers to guarantee disjointness (or synchronization).
+unsafe impl<T: Send + Sync> Send for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: [T] and [UnsafeCell<T>] have identical layout.
+        let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
+        UnsafeSlice { slice: unsafe { &*ptr } }
+    }
+
+    /// Length of the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    /// No other thread may read or write `index` concurrently; each index
+    /// must be written by at most one task per parallel phase.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        *self.slice[index].get() = value;
+    }
+
+    /// Reads the value at `index`.
+    ///
+    /// # Safety
+    /// No other thread may be writing `index` concurrently.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        *self.slice[index].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn parallel_disjoint_writes() {
+        let mut data = vec![0u32; 1000];
+        {
+            let out = UnsafeSlice::new(&mut data);
+            (0..1000usize).into_par_iter().for_each(|i| {
+                // SAFETY: each i is written exactly once.
+                unsafe { out.write(i, i as u32 * 2) };
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 * 2));
+    }
+
+    #[test]
+    fn len_reflects_slice() {
+        let mut data = vec![0u8; 5];
+        let s = UnsafeSlice::new(&mut data);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Coordinate-format (edge list) graph representation.
+//!
+//! COO is the interchange format: generators and parsers produce it, the
+//! [`crate::builder::GraphBuilder`] consumes it to produce CSR. Edge weights
+//! are carried in a parallel array (structure-of-arrays, per the paper's
+//! SOA design for coalesced access).
+
+use crate::types::{VertexId, Weight};
+
+/// An edge list with optional per-edge weights.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    /// Number of vertices (`max id + 1` unless explicitly larger).
+    pub num_vertices: usize,
+    /// Edge sources.
+    pub src: Vec<VertexId>,
+    /// Edge destinations.
+    pub dst: Vec<VertexId>,
+    /// Optional per-edge weights; if present, `weights.len() == src.len()`.
+    pub weights: Option<Vec<Weight>>,
+}
+
+impl Coo {
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Coo { num_vertices, src: Vec::new(), dst: Vec::new(), weights: None }
+    }
+
+    /// Creates an edge list from `(src, dst)` pairs, inferring the vertex
+    /// count from the largest endpoint if `num_vertices` is too small.
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut coo = Coo::new(num_vertices);
+        coo.src.reserve(edges.len());
+        coo.dst.reserve(edges.len());
+        for &(s, d) in edges {
+            coo.push(s, d);
+        }
+        coo
+    }
+
+    /// Creates a weighted edge list from `(src, dst, w)` triples.
+    pub fn from_weighted_edges(
+        num_vertices: usize,
+        edges: &[(VertexId, VertexId, Weight)],
+    ) -> Self {
+        let mut coo = Coo::new(num_vertices);
+        for &(s, d, w) in edges {
+            coo.push_weighted(s, d, w);
+        }
+        coo
+    }
+
+    /// Number of edges currently stored.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Appends an unweighted edge, growing the vertex count if needed.
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        debug_assert!(self.weights.is_none(), "mixing weighted and unweighted edges");
+        self.grow_to_fit(src, dst);
+        self.src.push(src);
+        self.dst.push(dst);
+    }
+
+    /// Appends a weighted edge, growing the vertex count if needed.
+    pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, w: Weight) {
+        self.grow_to_fit(src, dst);
+        self.src.push(src);
+        self.dst.push(dst);
+        self.weights.get_or_insert_with(Vec::new).push(w);
+        debug_assert_eq!(self.weights.as_ref().unwrap().len(), self.src.len());
+    }
+
+    fn grow_to_fit(&mut self, src: VertexId, dst: VertexId) {
+        let need = src.max(dst) as usize + 1;
+        if need > self.num_vertices {
+            self.num_vertices = need;
+        }
+    }
+
+    /// Iterates over `(src, dst)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.src.iter().copied().zip(self.dst.iter().copied())
+    }
+
+    /// Adds the reverse of every edge, making the graph undirected (the
+    /// paper converts all datasets to undirected). Reverse edges copy the
+    /// forward weight.
+    pub fn symmetrize(&mut self) {
+        let m = self.num_edges();
+        self.src.reserve(m);
+        self.dst.reserve(m);
+        for i in 0..m {
+            let (s, d) = (self.src[i], self.dst[i]);
+            self.src.push(d);
+            self.dst.push(s);
+        }
+        if let Some(w) = &mut self.weights {
+            w.reserve(m);
+            for i in 0..m {
+                let wi = w[i];
+                w.push(wi);
+            }
+        }
+    }
+
+    /// Removes self loops (`u -> u`), preserving edge order.
+    pub fn remove_self_loops(&mut self) {
+        self.retain(|s, d, _| s != d);
+    }
+
+    /// Retains only edges for which the predicate returns true.
+    pub fn retain(&mut self, mut pred: impl FnMut(VertexId, VertexId, Option<Weight>) -> bool) {
+        let m = self.num_edges();
+        let mut keep = 0usize;
+        for i in 0..m {
+            let w = self.weights.as_ref().map(|w| w[i]);
+            if pred(self.src[i], self.dst[i], w) {
+                self.src[keep] = self.src[i];
+                self.dst[keep] = self.dst[i];
+                if let Some(ws) = &mut self.weights {
+                    ws[keep] = ws[i];
+                }
+                keep += 1;
+            }
+        }
+        self.src.truncate(keep);
+        self.dst.truncate(keep);
+        if let Some(ws) = &mut self.weights {
+            ws.truncate(keep);
+        }
+    }
+
+    /// Sorts edges by `(src, dst)` and removes exact duplicates, keeping the
+    /// first weight of each duplicate group.
+    pub fn sort_and_dedup(&mut self) {
+        let m = self.num_edges();
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            (self.src[i as usize], self.dst[i as usize])
+        });
+        let mut src = Vec::with_capacity(m);
+        let mut dst = Vec::with_capacity(m);
+        let mut wts = self.weights.as_ref().map(|_| Vec::with_capacity(m));
+        let mut last: Option<(VertexId, VertexId)> = None;
+        for &i in &order {
+            let i = i as usize;
+            let e = (self.src[i], self.dst[i]);
+            if last == Some(e) {
+                continue;
+            }
+            last = Some(e);
+            src.push(e.0);
+            dst.push(e.1);
+            if let (Some(out), Some(ws)) = (&mut wts, &self.weights) {
+                out.push(ws[i]);
+            }
+        }
+        self.src = src;
+        self.dst = dst;
+        self.weights = wts;
+    }
+
+    /// Assigns uniform random weights in `lo..=hi` (the paper uses 1..=64),
+    /// replacing any existing weights. `seed` makes the assignment
+    /// deterministic.
+    pub fn randomize_weights(&mut self, lo: Weight, hi: Weight, seed: u64) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = self.num_edges();
+        let mut w = Vec::with_capacity(m);
+        for _ in 0..m {
+            w.push(rng.random_range(lo..=hi));
+        }
+        self.weights = Some(w);
+    }
+
+    /// Assigns uniform random weights in `lo..=hi` such that `(u, v)` and
+    /// `(v, u)` always receive the same weight — the correct model for an
+    /// undirected weighted graph (the per-edge weight is a hash of the
+    /// unordered endpoint pair and the seed).
+    pub fn randomize_weights_symmetric(&mut self, lo: Weight, hi: Weight, seed: u64) {
+        assert!(hi >= lo);
+        let span = (hi - lo + 1) as u64;
+        let m = self.num_edges();
+        let mut w = Vec::with_capacity(m);
+        for i in 0..m {
+            let (a, b) = (self.src[i].min(self.dst[i]), self.src[i].max(self.dst[i]));
+            let h = splitmix64(seed ^ (((a as u64) << 32) | b as u64));
+            w.push(lo + (h % span) as Weight);
+        }
+        self.weights = Some(w);
+    }
+}
+
+/// SplitMix64 mixer: a fast, high-quality 64-bit hash used for
+/// deterministic per-edge values.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Coo {
+        Coo::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn push_grows_vertex_count() {
+        let mut c = Coo::new(1);
+        c.push(0, 5);
+        assert_eq!(c.num_vertices, 6);
+        assert_eq!(c.num_edges(), 1);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let mut c = triangle();
+        c.symmetrize();
+        assert_eq!(c.num_edges(), 6);
+        assert!(c.edges().any(|e| e == (1, 0)));
+    }
+
+    #[test]
+    fn symmetrize_copies_weights() {
+        let mut c = Coo::from_weighted_edges(2, &[(0, 1, 7)]);
+        c.symmetrize();
+        assert_eq!(c.weights.as_ref().unwrap(), &[7, 7]);
+    }
+
+    #[test]
+    fn remove_self_loops() {
+        let mut c = Coo::from_edges(3, &[(0, 0), (0, 1), (2, 2), (1, 2)]);
+        c.remove_self_loops();
+        assert_eq!(c.num_edges(), 2);
+        assert_eq!(c.edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn sort_and_dedup_removes_duplicates_keeps_first_weight() {
+        let mut c = Coo::from_weighted_edges(3, &[(1, 2, 9), (0, 1, 3), (1, 2, 4)]);
+        c.sort_and_dedup();
+        assert_eq!(c.edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2)]);
+        assert_eq!(c.weights.as_ref().unwrap(), &[3, 9]);
+    }
+
+    #[test]
+    fn randomize_weights_in_range_and_deterministic() {
+        let mut a = triangle();
+        a.randomize_weights(1, 64, 42);
+        let mut b = triangle();
+        b.randomize_weights(1, 64, 42);
+        assert_eq!(a.weights, b.weights);
+        assert!(a.weights.unwrap().iter().all(|&w| (1..=64).contains(&w)));
+    }
+}

@@ -1,0 +1,88 @@
+//! Bipartite graph generator for the who-to-follow node-ranking
+//! extensions (§5.5): Personalized PageRank, SALSA, and HITS operate on a
+//! bipartite "hubs/authorities" structure.
+//!
+//! Vertices `0..n_left` form the left side (e.g. users), vertices
+//! `n_left..n_left+n_right` the right side (e.g. followed accounts). All
+//! edges go left -> right; degree on the left is Zipf-distributed to mimic
+//! follow-count skew.
+
+use crate::coo::Coo;
+use crate::types::VertexId;
+use rand::{Rng, SeedableRng};
+
+/// Describes the two sides of a generated bipartite graph.
+#[derive(Clone, Copy, Debug)]
+pub struct BipartiteShape {
+    /// Left-partition size (vertices `0..n_left`).
+    pub n_left: usize,
+    /// Right-partition size (vertices `n_left..n_left + n_right`).
+    pub n_right: usize,
+}
+
+/// Generates a left->right bipartite edge list where each left vertex gets
+/// `avg_degree` edges on average (Zipf-skewed) and right endpoints are
+/// chosen with preferential skew (low ids are "popular"). Returns the edge
+/// list and the shape. Directed output: keep it directed for HITS/SALSA,
+/// or symmetrize for undirected analytics.
+pub fn bipartite_random(
+    n_left: usize,
+    n_right: usize,
+    avg_degree: usize,
+    seed: u64,
+) -> (Coo, BipartiteShape) {
+    assert!(n_left > 0 && n_right > 0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = n_left + n_right;
+    let mut coo = Coo::new(n);
+    for u in 0..n_left {
+        // Zipf-ish out-degree: most users follow few, some follow many.
+        let r: f64 = rng.random::<f64>().max(1e-9);
+        let deg = ((avg_degree as f64 * 0.5 / r.sqrt()) as usize).clamp(1, 4 * avg_degree + 1);
+        for _ in 0..deg {
+            // popularity skew on the right: squaring biases toward low ids
+            let t: f64 = rng.random();
+            let v = ((t * t) * n_right as f64) as usize;
+            let v = v.min(n_right - 1);
+            coo.push(u as VertexId, (n_left + v) as VertexId);
+        }
+    }
+    (coo, BipartiteShape { n_left, n_right })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_edges_cross_the_partition() {
+        let (coo, shape) = bipartite_random(100, 50, 8, 1);
+        assert_eq!(coo.num_vertices, 150);
+        for (s, d) in coo.edges() {
+            assert!((s as usize) < shape.n_left);
+            assert!((d as usize) >= shape.n_left && (d as usize) < 150);
+        }
+    }
+
+    #[test]
+    fn every_left_vertex_has_an_edge() {
+        let (coo, _) = bipartite_random(64, 32, 4, 2);
+        let mut seen = [false; 64];
+        for (s, _) in coo.edges() {
+            seen[s as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn popularity_is_skewed_toward_low_right_ids() {
+        let (coo, shape) = bipartite_random(2_000, 1_000, 10, 3);
+        let mut indeg = vec![0usize; shape.n_right];
+        for (_, d) in coo.edges() {
+            indeg[d as usize - shape.n_left] += 1;
+        }
+        let top: usize = indeg[..100].iter().sum();
+        let bottom: usize = indeg[shape.n_right - 100..].iter().sum();
+        assert!(top > 3 * bottom.max(1), "top {top} bottom {bottom}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Road-network-like generator: a 2D lattice with random perturbation.
+//!
+//! Stands in for roadNet-CA (Table 1): every vertex has degree <= 4-ish,
+//! the degree distribution is nearly uniform, and the diameter grows as
+//! `O(width + height)` — the "small-degree large-diameter" topology class
+//! on which the paper's fine-grained load balancing and push-only traversal
+//! behave best.
+
+use crate::coo::Coo;
+use crate::types::VertexId;
+use rand::{Rng, SeedableRng};
+
+/// Generates a `width x height` 4-neighbor grid. `drop_prob` randomly
+/// deletes that fraction of lattice edges (making the network irregular,
+/// like a real road map) and `diag_prob` adds that fraction of diagonal
+/// shortcuts. Directed output; symmetrize via the builder.
+pub fn grid2d(width: usize, height: usize, drop_prob: f64, diag_prob: f64, seed: u64) -> Coo {
+    assert!(width * height <= VertexId::MAX as usize);
+    assert!((0.0..1.0).contains(&drop_prob));
+    assert!((0.0..1.0).contains(&diag_prob));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let id = |x: usize, y: usize| (y * width + x) as VertexId;
+    let mut coo = Coo::new(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width && !rng.random_bool(drop_prob) {
+                coo.push(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < height && !rng.random_bool(drop_prob) {
+                coo.push(id(x, y), id(x, y + 1));
+            }
+            if x + 1 < width && y + 1 < height && rng.random_bool(diag_prob) {
+                coo.push(id(x, y), id(x + 1, y + 1));
+            }
+        }
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn full_grid_edge_count() {
+        // no drops, no diagonals: horizontal (w-1)*h + vertical w*(h-1)
+        let coo = grid2d(4, 3, 0.0, 0.0, 1);
+        assert_eq!(coo.num_vertices, 12);
+        assert_eq!(coo.num_edges(), 3 * 3 + 4 * 2);
+    }
+
+    #[test]
+    fn degrees_are_small_and_even() {
+        let g = GraphBuilder::new().build(grid2d(20, 20, 0.05, 0.02, 3));
+        assert!(g.max_degree() <= 8);
+        // and no large holes: average degree close to 4
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(avg > 3.0, "avg {avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = grid2d(10, 10, 0.1, 0.1, 9);
+        let b = grid2d(10, 10, 0.1, 0.1, 9);
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.dst, b.dst);
+    }
+
+    #[test]
+    fn drop_prob_reduces_edges() {
+        let full = grid2d(30, 30, 0.0, 0.0, 5);
+        let sparse = grid2d(30, 30, 0.3, 0.0, 5);
+        assert!(sparse.num_edges() < full.num_edges());
+    }
+}

@@ -1,0 +1,83 @@
+//! Bitcoin-transaction-like generator: one enormous hub plus a very long
+//! chain.
+//!
+//! Table 1's `bitcoin` dataset is singular: one vertex of degree > 0.5M,
+//! 94% of vertices with degree < 4, and diameter > 1000. That combination
+//! stresses both extremes of the load-balancing spectrum at once (a single
+//! neighbor list larger than any CTA, and a long critical path of tiny
+//! frontiers). This generator reproduces exactly those three properties.
+
+use crate::coo::Coo;
+use crate::types::VertexId;
+use rand::{Rng, SeedableRng};
+
+/// Generates a hub-and-chain graph over `n` vertices:
+///
+/// * vertex 0 is a hub connected to a `hub_fraction` share of all vertices;
+/// * vertices `1..n` form a path (guaranteeing diameter ~ `n / chain_stride`);
+/// * `extra_edges` random edges are sprinkled between non-hub vertices.
+///
+/// Directed output; symmetrize via the builder.
+pub fn hub_chain(n: usize, hub_fraction: f64, extra_edges: usize, seed: u64) -> Coo {
+    assert!(n >= 2);
+    assert!((0.0..=1.0).contains(&hub_fraction));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n);
+    // The chain: a long path through every non-hub vertex.
+    for v in 1..n - 1 {
+        coo.push(v as VertexId, (v + 1) as VertexId);
+    }
+    // The hub: attach to a contiguous prefix of the chain so the hub's
+    // neighbor list is huge but the far end of the chain stays far away
+    // (the real bitcoin graph pairs a 0.5M-degree vertex with a >1000
+    // diameter, so the hub must not shortcut the whole graph).
+    let hub_degree = ((n as f64) * hub_fraction) as usize;
+    for v in 1..=hub_degree.min(n - 1) {
+        coo.push(0, v as VertexId);
+    }
+    // Sparse *local* shortcuts among the tail (short range keeps the
+    // diameter proportional to the chain length).
+    for _ in 0..extra_edges {
+        let u = rng.random_range(1..n - 1);
+        let span = rng.random_range(1..50usize);
+        let v = (u + span).min(n - 1);
+        coo.push(u as VertexId, v as VertexId);
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn hub_dominates_degree_distribution() {
+        let g = GraphBuilder::new().build(hub_chain(10_000, 0.08, 2_000, 1));
+        let hub_deg = g.out_degree(0);
+        assert!(hub_deg >= 700, "hub degree {hub_deg}");
+        assert_eq!(g.max_degree(), hub_deg);
+        // the vast majority of vertices have tiny degree, as in bitcoin
+        let small = (1..g.num_vertices() as VertexId)
+            .filter(|&v| g.out_degree(v) < 4)
+            .count();
+        assert!(small as f64 > 0.85 * g.num_vertices() as f64);
+    }
+
+    #[test]
+    fn chain_guarantees_connectivity_of_tail() {
+        let g = GraphBuilder::new().build(hub_chain(100, 0.1, 0, 2));
+        // walk the chain: every vertex 1..n-1 must reach its successor
+        for v in 1..98u32 {
+            assert!(g.neighbors(v).contains(&(v + 1)), "missing chain edge at {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = hub_chain(500, 0.05, 100, 11);
+        let b = hub_chain(500, 0.05, 100, 11);
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.dst, b.dst);
+    }
+}

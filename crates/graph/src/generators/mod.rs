@@ -1,0 +1,28 @@
+//! Synthetic graph generators standing in for the paper's datasets.
+//!
+//! The evaluation (§6, Table 1) spans four topology classes; each has a
+//! generator here (see DESIGN.md §2 for the substitution rationale):
+//!
+//! | Paper dataset      | Class                                  | Generator |
+//! |--------------------|----------------------------------------|-----------|
+//! | `kron_g500-logn20` | scale-free, tiny diameter              | [`rmat::rmat`] with Graph500 parameters |
+//! | `soc-LiveJournal1` | scale-free social, mild skew           | [`rmat::rmat`] with flatter parameters |
+//! | `roadNet-CA`       | small even degree, huge diameter       | [`grid::grid2d`] |
+//! | `bitcoin`          | one super-hub + long chain             | [`hubchain::hub_chain`] |
+//!
+//! All generators are deterministic given a seed and return [`crate::coo::Coo`]
+//! edge lists to be finished by [`crate::builder::GraphBuilder`].
+
+pub mod bipartite;
+pub mod grid;
+pub mod hubchain;
+pub mod random;
+pub mod rmat;
+pub mod smallworld;
+
+pub use bipartite::bipartite_random;
+pub use grid::grid2d;
+pub use hubchain::hub_chain;
+pub use random::erdos_renyi;
+pub use rmat::{rmat, RmatParams};
+pub use smallworld::watts_strogatz;

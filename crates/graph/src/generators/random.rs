@@ -1,0 +1,43 @@
+//! Uniform random (Erdős–Rényi G(n, m)) generator, used mainly by tests
+//! and property-based cross-validation: every engine must agree on
+//! arbitrary graphs, not just the benchmark topologies.
+
+use crate::coo::Coo;
+use crate::types::VertexId;
+use rand::{Rng, SeedableRng};
+
+/// Generates `m` directed edges chosen uniformly at random over `n`
+/// vertices (with replacement; dedup via the builder if needed).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Coo {
+    assert!(n > 0 && n <= VertexId::MAX as usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n);
+    coo.src.reserve(m);
+    coo.dst.reserve(m);
+    for _ in 0..m {
+        coo.src.push(rng.random_range(0..n) as VertexId);
+        coo.dst.push(rng.random_range(0..n) as VertexId);
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_requested_sizes() {
+        let coo = erdos_renyi(100, 500, 3);
+        assert_eq!(coo.num_vertices, 100);
+        assert_eq!(coo.num_edges(), 500);
+        assert!(coo.edges().all(|(s, d)| s < 100 && d < 100));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = erdos_renyi(50, 200, 8);
+        let b = erdos_renyi(50, 200, 8);
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.dst, b.dst);
+    }
+}

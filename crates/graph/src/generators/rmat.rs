@@ -1,0 +1,147 @@
+//! R-MAT / Kronecker recursive-matrix generator (Chakrabarti et al.), the
+//! generator behind the Graph500 `kron_g500` datasets the paper evaluates
+//! (Tables 1 and 3).
+
+use crate::coo::Coo;
+use crate::types::VertexId;
+use rand::{Rng, SeedableRng};
+
+/// Quadrant probabilities for the recursive matrix. Must sum to ~1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+    /// Per-level multiplicative noise applied to the quadrant probabilities
+    /// to avoid staircase artifacts. 0.0 disables noise.
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// Graph500 / `kron_g500` parameters: a=0.57, b=0.19, c=0.19, d=0.05.
+    /// Produces heavy-tailed scale-free graphs with tiny diameter.
+    pub fn graph500() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05, noise: 0.1 }
+    }
+
+    /// Flatter parameters approximating a social graph like
+    /// soc-LiveJournal1 (skewed but far less than Graph500 Kronecker).
+    pub fn social() -> Self {
+        RmatParams { a: 0.45, b: 0.22, c: 0.22, d: 0.11, noise: 0.1 }
+    }
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!((sum - 1.0).abs() < 1e-6, "RMAT parameters must sum to 1, got {sum}");
+        assert!((0.0..=1.0).contains(&self.noise));
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self::graph500()
+    }
+}
+
+/// Generates a directed R-MAT edge list with `2^scale` vertices and
+/// `edge_factor * 2^scale` edges (Graph500 convention: edge_factor 16).
+/// Self loops and duplicates are *not* removed here — run the result
+/// through [`crate::builder::GraphBuilder`], matching the paper's
+/// undirected conversion.
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Coo {
+    params.validate();
+    assert!(scale < 32, "scale must fit VertexId");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n);
+    coo.src.reserve(m);
+    coo.dst.reserve(m);
+    for _ in 0..m {
+        let (u, v) = sample_edge(scale, &params, &mut rng);
+        coo.src.push(u);
+        coo.dst.push(v);
+    }
+    coo
+}
+
+fn sample_edge(scale: u32, p: &RmatParams, rng: &mut impl Rng) -> (VertexId, VertexId) {
+    let mut row = 0u64;
+    let mut col = 0u64;
+    for _ in 0..scale {
+        // multiplicative noise keeps degree sequence smooth across levels
+        let mut jitter = |base: f64| -> f64 {
+            if p.noise == 0.0 {
+                base
+            } else {
+                base * (1.0 - p.noise / 2.0 + p.noise * rng.random::<f64>())
+            }
+        };
+        let (a, b, c, d) = (jitter(p.a), jitter(p.b), jitter(p.c), jitter(p.d));
+        let total = a + b + c + d;
+        let r = rng.random::<f64>() * total;
+        row <<= 1;
+        col <<= 1;
+        if r < a {
+            // top-left quadrant: nothing to add
+        } else if r < a + b {
+            col |= 1;
+        } else if r < a + b + c {
+            row |= 1;
+        } else {
+            row |= 1;
+            col |= 1;
+        }
+    }
+    (row as VertexId, col as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn sizes_follow_scale_and_edge_factor() {
+        let coo = rmat(8, 16, RmatParams::graph500(), 1);
+        assert_eq!(coo.num_vertices, 256);
+        assert_eq!(coo.num_edges(), 16 * 256);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = rmat(7, 8, RmatParams::graph500(), 42);
+        let b = rmat(7, 8, RmatParams::graph500(), 42);
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.dst, b.dst);
+        let c = rmat(7, 8, RmatParams::graph500(), 43);
+        assert_ne!(a.src, c.src);
+    }
+
+    #[test]
+    fn graph500_params_give_skewed_degrees() {
+        let g = GraphBuilder::new().build(rmat(10, 16, RmatParams::graph500(), 7));
+        let n = g.num_vertices() as f64;
+        let avg = g.num_edges() as f64 / n;
+        // scale-free: max degree far exceeds the average
+        assert!(f64::from(g.max_degree()) > 8.0 * avg, "max {} avg {}", g.max_degree(), avg);
+    }
+
+    #[test]
+    fn social_params_less_skewed_than_graph500() {
+        let kron = GraphBuilder::new().build(rmat(10, 16, RmatParams::graph500(), 7));
+        let soc = GraphBuilder::new().build(rmat(10, 16, RmatParams::social(), 7));
+        assert!(soc.max_degree() < kron.max_degree());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_params() {
+        rmat(4, 4, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0, noise: 0.0 }, 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Watts–Strogatz small-world generator: a ring lattice with random
+//! rewiring. Provides a topology between the grid (high diameter) and
+//! R-MAT (scale-free) extremes for ablation studies of the
+//! direction-optimized traversal crossover.
+
+use crate::coo::Coo;
+use crate::types::VertexId;
+use rand::{Rng, SeedableRng};
+
+/// Generates a ring over `n` vertices where each vertex connects to its
+/// `k` clockwise neighbors; each edge is rewired to a random destination
+/// with probability `p`. Directed output; symmetrize via the builder.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Coo {
+    assert!(n > 2 * k, "ring needs n > 2k");
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n);
+    for v in 0..n {
+        for j in 1..=k {
+            let mut dst = ((v + j) % n) as VertexId;
+            if rng.random_bool(p) {
+                // rewire, avoiding a self loop
+                loop {
+                    dst = rng.random_range(0..n) as VertexId;
+                    if dst as usize != v {
+                        break;
+                    }
+                }
+            }
+            coo.push(v as VertexId, dst);
+        }
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn zero_rewiring_is_a_pure_ring() {
+        let coo = watts_strogatz(10, 2, 0.0, 1);
+        assert_eq!(coo.num_edges(), 20);
+        assert!(coo.edges().any(|e| e == (9, 0))); // wraps around
+        assert!(coo.edges().any(|e| e == (9, 1)));
+    }
+
+    #[test]
+    fn rewiring_keeps_edge_count_and_avoids_self_loops() {
+        let coo = watts_strogatz(100, 3, 0.5, 2);
+        assert_eq!(coo.num_edges(), 300);
+        assert!(coo.edges().all(|(s, d)| s != d));
+    }
+
+    #[test]
+    fn degrees_stay_low() {
+        let g = GraphBuilder::new().build(watts_strogatz(200, 2, 0.1, 3));
+        assert!(g.max_degree() <= 16);
+    }
+}

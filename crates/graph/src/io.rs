@@ -1,0 +1,445 @@
+//! Graph I/O: whitespace edge lists (SNAP style), MatrixMarket coordinate
+//! files, and a compact little-endian binary format for fast reloading of
+//! generated benchmark graphs.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::types::{EdgeId, VertexId, Weight};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parses a SNAP-style edge list: one `src dst [weight]` triple per line,
+/// `#`- or `%`-prefixed comment lines ignored. Vertex ids must be
+/// non-negative integers.
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Coo> {
+    let mut coo = Coo::new(0);
+    let reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            // honor the writer's "# vertices N ..." header so trailing
+            // isolated vertices survive a round trip
+            let mut words = t.trim_start_matches(['#', '%']).split_whitespace();
+            if words.next() == Some("vertices") {
+                if let Some(Ok(n)) = words.next().map(str::parse::<usize>) {
+                    coo.num_vertices = coo.num_vertices.max(n);
+                }
+            }
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>, what: &str| -> io::Result<u64> {
+            s.ok_or_else(|| bad_line(lineno, &format!("missing {what}")))?
+                .parse::<u64>()
+                .map_err(|_| bad_line(lineno, &format!("invalid {what}")))
+        };
+        let s = parse(it.next(), "source")? as VertexId;
+        let d = parse(it.next(), "destination")? as VertexId;
+        match it.next() {
+            Some(w) => {
+                let w: Weight = w
+                    .parse()
+                    .map_err(|_| bad_line(lineno, "invalid weight"))?;
+                coo.push_weighted(s, d, w);
+            }
+            None => {
+                if coo.weights.is_some() {
+                    return Err(bad_line(lineno, "missing weight on weighted edge list"));
+                }
+                coo.push(s, d);
+            }
+        }
+    }
+    Ok(coo)
+}
+
+fn bad_line(lineno: usize, msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("line {lineno}: {msg}"))
+}
+
+/// Writes a SNAP-style edge list (with weights if present).
+pub fn write_edge_list<W: Write>(coo: &Coo, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {} edges {}", coo.num_vertices, coo.num_edges())?;
+    for i in 0..coo.num_edges() {
+        match &coo.weights {
+            Some(ws) => writeln!(w, "{} {} {}", coo.src[i], coo.dst[i], ws[i])?,
+            None => writeln!(w, "{} {}", coo.src[i], coo.dst[i])?,
+        }
+    }
+    w.flush()
+}
+
+/// Parses a MatrixMarket coordinate file (`%%MatrixMarket matrix
+/// coordinate ...`). 1-based indices are converted to 0-based. If the
+/// header declares `symmetric`, the mirrored edges are materialized.
+pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Coo> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let header = line.to_ascii_lowercase();
+    if !header.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a MatrixMarket coordinate file",
+        ));
+    }
+    let symmetric = header.contains("symmetric");
+    let pattern = header.contains("pattern");
+    // skip remaining comments; first non-comment line is the size line
+    let (rows, cols, nnz) = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "missing size line"));
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let mut next = |what: &str| -> io::Result<usize> {
+            it.next()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("size line missing {what}")))?
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what}")))
+        };
+        break (next("rows")?, next("cols")?, next("nnz")?);
+    };
+    let n = rows.max(cols);
+    let mut coo = Coo::new(n);
+    let mut read = 0usize;
+    let mut lineno = 0usize;
+    while read < nnz {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected {nnz} entries, found {read}"),
+            ));
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let mut next_id = |what: &str| -> io::Result<VertexId> {
+            let v: u64 = it
+                .next()
+                .ok_or_else(|| bad_line(lineno, &format!("missing {what}")))?
+                .parse()
+                .map_err(|_| bad_line(lineno, &format!("invalid {what}")))?;
+            if v == 0 {
+                return Err(bad_line(lineno, "MatrixMarket indices are 1-based"));
+            }
+            Ok((v - 1) as VertexId)
+        };
+        let r = next_id("row")?;
+        let c = next_id("col")?;
+        if pattern {
+            coo.push(r, c);
+            if symmetric && r != c {
+                coo.push(c, r);
+            }
+        } else {
+            // real/integer value: round to the nearest non-negative weight
+            let v: f64 = it
+                .next()
+                .ok_or_else(|| bad_line(lineno, "missing value"))?
+                .parse()
+                .map_err(|_| bad_line(lineno, "invalid value"))?;
+            let w = v.abs().round() as Weight;
+            coo.push_weighted(r, c, w);
+            if symmetric && r != c {
+                coo.push_weighted(c, r, w);
+            }
+        }
+        read += 1;
+    }
+    Ok(coo)
+}
+
+/// Parses a DIMACS shortest-path challenge file (`.gr`): `c` comment
+/// lines, one `p sp <n> <m>` problem line, and `a <src> <dst> <weight>`
+/// arc lines with 1-based vertex ids (the format the real roadNet
+/// benchmark graphs ship in).
+pub fn read_dimacs<R: Read>(reader: R) -> io::Result<Coo> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut coo: Option<Coo> = None;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        let mut it = t.split_whitespace();
+        match it.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                if it.next() != Some("sp") {
+                    return Err(bad_line(lineno, "expected 'p sp <n> <m>'"));
+                }
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| bad_line(lineno, "missing vertex count"))?
+                    .parse()
+                    .map_err(|_| bad_line(lineno, "bad vertex count"))?;
+                coo = Some(Coo::new(n));
+            }
+            Some("a") => {
+                let coo = coo
+                    .as_mut()
+                    .ok_or_else(|| bad_line(lineno, "arc before problem line"))?;
+                let mut next_num = |what: &str| -> io::Result<u64> {
+                    it.next()
+                        .ok_or_else(|| bad_line(lineno, &format!("missing {what}")))?
+                        .parse()
+                        .map_err(|_| bad_line(lineno, &format!("bad {what}")))
+                };
+                let s = next_num("source")?;
+                let d = next_num("destination")?;
+                let w = next_num("weight")? as Weight;
+                if s == 0 || d == 0 {
+                    return Err(bad_line(lineno, "DIMACS ids are 1-based"));
+                }
+                coo.push_weighted((s - 1) as VertexId, (d - 1) as VertexId, w);
+            }
+            Some(other) => {
+                return Err(bad_line(lineno, &format!("unknown record type {other:?}")))
+            }
+        }
+    }
+    coo.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing problem line"))
+}
+
+/// Writes a DIMACS `.gr` file (weight 1 for unweighted edge lists).
+pub fn write_dimacs<W: Write>(coo: &Coo, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "c generated by gunrock-graph")?;
+    writeln!(w, "p sp {} {}", coo.num_vertices, coo.num_edges())?;
+    for i in 0..coo.num_edges() {
+        let weight = coo.weights.as_ref().map(|ws| ws[i]).unwrap_or(1);
+        writeln!(w, "a {} {} {}", coo.src[i] + 1, coo.dst[i] + 1, weight)?;
+    }
+    w.flush()
+}
+
+/// Writes a MatrixMarket coordinate file (general, integer weights or
+/// pattern when unweighted), 1-based indices.
+pub fn write_matrix_market<W: Write>(coo: &Coo, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let kind = if coo.weights.is_some() { "integer" } else { "pattern" };
+    writeln!(w, "%%MatrixMarket matrix coordinate {kind} general")?;
+    writeln!(w, "{} {} {}", coo.num_vertices, coo.num_vertices, coo.num_edges())?;
+    for i in 0..coo.num_edges() {
+        match &coo.weights {
+            Some(ws) => writeln!(w, "{} {} {}", coo.src[i] + 1, coo.dst[i] + 1, ws[i])?,
+            None => writeln!(w, "{} {}", coo.src[i] + 1, coo.dst[i] + 1)?,
+        }
+    }
+    w.flush()
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"GNRKCSR1";
+
+/// Serializes a CSR to the compact binary format (little-endian u32/u64
+/// arrays; magic `GNRKCSR1`).
+pub fn write_csr_binary<W: Write>(csr: &Csr, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(csr.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(csr.num_edges() as u64).to_le_bytes())?;
+    w.write_all(&[csr.edge_values().is_some() as u8])?;
+    for &x in csr.row_offsets() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    for &x in csr.col_indices() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    if let Some(vals) = csr.edge_values() {
+        for &x in vals {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Deserializes a CSR written by [`write_csr_binary`].
+pub fn read_csr_binary<R: Read>(reader: R) -> io::Result<Csr> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let n = u64::from_le_bytes(u64buf) as usize;
+    r.read_exact(&mut u64buf)?;
+    let m = u64::from_le_bytes(u64buf) as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let read_u32s = |r: &mut BufReader<R>, len: usize| -> io::Result<Vec<u32>> {
+        let mut bytes = vec![0u8; len * 4];
+        r.read_exact(&mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    };
+    let offsets: Vec<EdgeId> = read_u32s(&mut r, n + 1)?;
+    let cols: Vec<VertexId> = read_u32s(&mut r, m)?;
+    let vals = if flag[0] != 0 { Some(read_u32s(&mut r, m)?) } else { None };
+    Ok(Csr::from_raw(offsets, cols, vals))
+}
+
+/// Convenience: load a graph from a path, dispatching on extension
+/// (`.mtx` -> MatrixMarket, `.bin` -> binary CSR, anything else -> edge
+/// list). Returns a CSR built with default (undirected) options for text
+/// formats.
+pub fn load_graph(path: &Path) -> io::Result<Csr> {
+    let file = std::fs::File::open(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("bin") => read_csr_binary(file),
+        Some("gr") => {
+            let coo = read_dimacs(file)?;
+            Ok(crate::builder::GraphBuilder::new().build(coo))
+        }
+        Some("mtx") => {
+            let coo = read_matrix_market(file)?;
+            Ok(crate::builder::GraphBuilder::new().build(coo))
+        }
+        _ => {
+            let coo = read_edge_list(file)?;
+            Ok(crate::builder::GraphBuilder::new().build(coo))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::rmat;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let mut coo = Coo::from_edges(4, &[(0, 1), (2, 3), (1, 2)]);
+        let mut buf = Vec::new();
+        write_edge_list(&coo, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back.src, coo.src);
+        assert_eq!(back.dst, coo.dst);
+        // weighted round trip
+        coo.randomize_weights(1, 64, 1);
+        buf.clear();
+        write_edge_list(&coo, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back.weights, coo.weights);
+    }
+
+    #[test]
+    fn edge_list_ignores_comments_and_blank_lines() {
+        let text = "# comment\n\n0 1\n% another\n1 2\n";
+        let coo = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(coo.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_general_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n% c\n3 3 2\n1 2\n3 1\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.num_vertices, 3);
+        assert_eq!(coo.edges().collect::<Vec<_>>(), vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_mirrors_edges() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 3.0\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.num_edges(), 2);
+        assert_eq!(coo.weights.as_ref().unwrap(), &[3, 3]);
+    }
+
+    #[test]
+    fn matrix_market_rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let coo = Coo::from_weighted_edges(4, &[(0, 1, 5), (2, 3, 9), (1, 2, 1)]);
+        let mut buf = Vec::new();
+        write_dimacs(&coo, &mut buf).unwrap();
+        let back = read_dimacs(&buf[..]).unwrap();
+        assert_eq!(back.num_vertices, 4);
+        assert_eq!(back.src, coo.src);
+        assert_eq!(back.dst, coo.dst);
+        assert_eq!(back.weights, coo.weights);
+    }
+
+    #[test]
+    fn dimacs_rejects_malformed_input() {
+        assert!(read_dimacs("a 1 2 3\n".as_bytes()).is_err()); // arc before p
+        assert!(read_dimacs("p tw 3 1\n".as_bytes()).is_err()); // wrong kind
+        assert!(read_dimacs("p sp 3 1\na 0 2 1\n".as_bytes()).is_err()); // 0-based
+        assert!(read_dimacs("x\n".as_bytes()).is_err()); // unknown record
+    }
+
+    #[test]
+    fn matrix_market_writer_round_trips_through_reader() {
+        for weighted in [false, true] {
+            let mut coo = Coo::from_edges(5, &[(0, 1), (3, 4), (2, 2)]);
+            if weighted {
+                coo.randomize_weights(1, 9, 3);
+            }
+            let mut buf = Vec::new();
+            write_matrix_market(&coo, &mut buf).unwrap();
+            let back = read_matrix_market(&buf[..]).unwrap();
+            assert_eq!(back.num_vertices, 5);
+            assert_eq!(back.src, coo.src);
+            assert_eq!(back.dst, coo.dst);
+            assert_eq!(back.weights, coo.weights);
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_weighted_and_unweighted() {
+        for weighted in [false, true] {
+            let mut coo = rmat(6, 8, Default::default(), 3);
+            if weighted {
+                coo.randomize_weights(1, 64, 9);
+            }
+            let g = GraphBuilder::new().build(coo);
+            let mut buf = Vec::new();
+            write_csr_binary(&g, &mut buf).unwrap();
+            let back = read_csr_binary(&buf[..]).unwrap();
+            assert_eq!(back.row_offsets(), g.row_offsets());
+            assert_eq!(back.col_indices(), g.col_indices());
+            assert_eq!(back.edge_values(), g.edge_values());
+        }
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        assert!(read_csr_binary(&b"NOTMAGIC........"[..]).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # gunrock-graph
+//!
+//! Graph substrate for the Gunrock (PPoPP 2015) reproduction: storage
+//! formats, dataset builders, synthetic generators standing in for the
+//! paper's datasets, I/O, and statistics.
+//!
+//! The representation choices follow §3 of the paper: compressed sparse
+//! row (CSR) by default for vertex-centric operators, an edge list (COO)
+//! for edge-centric ones, and structure-of-arrays property storage.
+//!
+//! ```
+//! use gunrock_graph::prelude::*;
+//!
+//! // Build a small scale-free graph like the paper's kron datasets.
+//! let coo = generators::rmat(10, 16, generators::RmatParams::graph500(), 42);
+//! let graph = GraphBuilder::new().random_weights(1, 64, 42).build(coo);
+//! assert!(graph.is_symmetric());
+//! assert!(graph.max_degree() > 64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod coo;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod stats;
+pub mod types;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::builder::GraphBuilder;
+    pub use crate::coo::Coo;
+    pub use crate::csr::Csr;
+    pub use crate::generators;
+    pub use crate::stats::{degree_histogram, graph_stats, GraphStats};
+    pub use crate::types::{
+        Edge, EdgeId, VertexId, Weight, WeightedEdge, INFINITY, INVALID_EDGE, INVALID_VERTEX,
+    };
+}
+
+pub use builder::GraphBuilder;
+pub use coo::Coo;
+pub use csr::Csr;
+pub use types::{EdgeId, VertexId, Weight, INFINITY, INVALID_EDGE, INVALID_VERTEX};

@@ -1,0 +1,49 @@
+//! Fundamental identifier types shared across the workspace.
+//!
+//! Vertex and edge identifiers are 32-bit, following the paper's graphs
+//! (up to 2^21 vertices / 182M edges) and the general HPC guidance that
+//! narrower indices reduce memory traffic on bandwidth-bound kernels.
+
+/// Identifier of a vertex. Valid vertices are `0..num_vertices`.
+pub type VertexId = u32;
+
+/// Identifier of an edge: an index into the CSR column/value arrays.
+pub type EdgeId = u32;
+
+/// Sentinel for "no vertex" (unreached predecessor, unset label, ...).
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// Sentinel for "no edge".
+pub const INVALID_EDGE: EdgeId = EdgeId::MAX;
+
+/// Sentinel distance/label meaning "unvisited / infinity" for u32-valued
+/// labels (BFS depths, SSSP distances with integer weights).
+pub const INFINITY: u32 = u32::MAX;
+
+/// Edge weight type used by weighted primitives (SSSP). The paper assigns
+/// random integer weights in `1..=64`.
+pub type Weight = u32;
+
+/// A directed edge as a `(source, destination)` pair.
+pub type Edge = (VertexId, VertexId);
+
+/// A directed weighted edge.
+pub type WeightedEdge = (VertexId, VertexId, Weight);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_are_max_values() {
+        assert_eq!(INVALID_VERTEX, u32::MAX);
+        assert_eq!(INVALID_EDGE, u32::MAX);
+        assert_eq!(INFINITY, u32::MAX);
+    }
+
+    #[test]
+    fn ids_are_word_sized_or_smaller() {
+        assert!(std::mem::size_of::<VertexId>() <= std::mem::size_of::<usize>());
+        assert_eq!(std::mem::size_of::<Edge>(), 8);
+    }
+}

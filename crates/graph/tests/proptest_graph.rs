@@ -1,0 +1,129 @@
+//! Property-based tests for the graph substrate: structural laws of the
+//! builder pipeline, CSR/COO conversions, transpose, and I/O round
+//! trips, on arbitrary edge lists.
+
+use gunrock_graph::{io, Coo, Csr, GraphBuilder};
+use proptest::prelude::*;
+
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (1usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(((0..n as u32), (0..n as u32)), 0..120);
+        (Just(n), edges)
+    })
+}
+
+fn edge_set(g: &Csr) -> std::collections::BTreeSet<(u32, u32)> {
+    g.to_coo().edges().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn builder_output_is_clean((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new().build(Coo::from_edges(n, &edges));
+        // symmetric
+        prop_assert!(g.is_symmetric());
+        // no self loops
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert!(!g.neighbors(v).contains(&v));
+        }
+        // sorted, deduplicated adjacency
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert!(g.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+        }
+        // exactly the undirected closure of the input minus self loops
+        let mut want = std::collections::BTreeSet::new();
+        for &(s, d) in &edges {
+            if s != d {
+                want.insert((s, d));
+                want.insert((d, s));
+            }
+        }
+        prop_assert_eq!(edge_set(&g), want);
+    }
+
+    #[test]
+    fn transpose_is_involutive((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new().directed().build(Coo::from_edges(n, &edges));
+        let tt = g.transpose().transpose();
+        prop_assert_eq!(tt.row_offsets(), g.row_offsets());
+        prop_assert_eq!(tt.col_indices(), g.col_indices());
+    }
+
+    #[test]
+    fn transpose_reverses_every_edge((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new().directed().build(Coo::from_edges(n, &edges));
+        let t = g.transpose();
+        let fwd = edge_set(&g);
+        let rev: std::collections::BTreeSet<(u32, u32)> =
+            edge_set(&t).into_iter().map(|(a, b)| (b, a)).collect();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn edge_source_inverts_edge_ranges((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new().directed().build(Coo::from_edges(n, &edges));
+        for v in 0..g.num_vertices() as u32 {
+            for e in g.edge_range(v) {
+                prop_assert_eq!(g.edge_source(e as u32), v);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_weights_agree_in_both_directions((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new()
+            .random_weights(1, 64, 99)
+            .build(Coo::from_edges(n, &edges));
+        for u in 0..g.num_vertices() as u32 {
+            for e in g.edge_range(u) {
+                let v = g.col_indices()[e];
+                let back = g
+                    .edge_range(v)
+                    .find(|&be| g.col_indices()[be] == u)
+                    .expect("symmetric");
+                prop_assert_eq!(g.weight(e as u32), g.weight(back as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn binary_io_round_trips((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new()
+            .random_weights(1, 64, 5)
+            .build(Coo::from_edges(n, &edges));
+        let mut buf = Vec::new();
+        io::write_csr_binary(&g, &mut buf).unwrap();
+        let back = io::read_csr_binary(&buf[..]).unwrap();
+        prop_assert_eq!(back.row_offsets(), g.row_offsets());
+        prop_assert_eq!(back.col_indices(), g.col_indices());
+        prop_assert_eq!(back.edge_values(), g.edge_values());
+    }
+
+    #[test]
+    fn edge_list_io_round_trips_including_vertex_count((n, edges) in arb_edges()) {
+        let coo = Coo::from_edges(n, &edges);
+        let mut buf = Vec::new();
+        io::write_edge_list(&coo, &mut buf).unwrap();
+        let back = io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(back.num_vertices, coo.num_vertices);
+        prop_assert_eq!(back.src, coo.src);
+        prop_assert_eq!(back.dst, coo.dst);
+    }
+
+    #[test]
+    fn csr_coo_round_trip((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new().directed().build(Coo::from_edges(n, &edges));
+        let back = Csr::from_coo(&g.to_coo());
+        prop_assert_eq!(back.row_offsets(), g.row_offsets());
+        prop_assert_eq!(back.col_indices(), g.col_indices());
+    }
+
+    #[test]
+    fn degree_sum_equals_edge_count((n, edges) in arb_edges()) {
+        let g = GraphBuilder::new().directed().build(Coo::from_edges(n, &edges));
+        let sum: u64 = (0..g.num_vertices() as u32).map(|v| g.out_degree(v) as u64).sum();
+        prop_assert_eq!(sum, g.num_edges() as u64);
+    }
+}

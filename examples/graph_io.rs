@@ -1,0 +1,62 @@
+//! Dataset I/O tour: generate a benchmark-style graph, persist it in
+//! both supported formats, reload, and verify the analytics survive the
+//! round trip — the workflow for caching generated datasets between
+//! benchmark runs.
+//!
+//! Run with: `cargo run --release -p gunrock-examples --example graph_io`
+
+use gunrock::prelude::*;
+use gunrock_algos::cc::cc;
+use gunrock_graph::prelude::*;
+use gunrock_graph::io;
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join("gunrock_io_example");
+    std::fs::create_dir_all(&dir)?;
+
+    // Generate a mid-sized Kronecker graph with SSSP weights.
+    let coo = generators::rmat(13, 16, generators::RmatParams::graph500(), 99);
+    let graph = GraphBuilder::new().random_weights(1, 64, 99).build(coo);
+    println!(
+        "generated: {} vertices, {} edges, weighted: {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.edge_values().is_some()
+    );
+
+    // Binary CSR: compact and instant to reload.
+    let bin = dir.join("kron.bin");
+    io::write_csr_binary(&graph, std::fs::File::create(&bin)?)?;
+    let reloaded = io::load_graph(&bin)?;
+    println!(
+        "binary file: {} KiB -> reloaded {} vertices",
+        std::fs::metadata(&bin)?.len() / 1024,
+        reloaded.num_vertices()
+    );
+    assert_eq!(reloaded.col_indices(), graph.col_indices());
+    assert_eq!(reloaded.edge_values(), graph.edge_values());
+
+    // Text edge list: interchange with other tools (SNAP-style).
+    let txt = dir.join("kron.txt");
+    io::write_edge_list(&graph.to_coo(), std::fs::File::create(&txt)?)?;
+    let from_text = io::load_graph(&txt)?;
+    println!(
+        "edge list:   {} KiB -> rebuilt {} vertices",
+        std::fs::metadata(&txt)?.len() / 1024,
+        from_text.num_vertices()
+    );
+
+    // Analytics agree across all three copies.
+    let comps = |g: &Csr| {
+        let ctx = Context::new(g);
+        cc(&ctx).num_components
+    };
+    let (a, b, c) = (comps(&graph), comps(&reloaded), comps(&from_text));
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+    println!("connected components agree across formats: {a}");
+
+    std::fs::remove_dir_all(&dir)?;
+    println!("cleaned up {}", dir.display());
+    Ok(())
+}

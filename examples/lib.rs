@@ -1,0 +1,2 @@
+//! Placeholder library target for the `gunrock-examples` package; the
+//! runnable binaries live in the adjacent `*.rs` example files.

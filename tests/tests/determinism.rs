@@ -1,0 +1,75 @@
+//! Determinism guarantees: generators are seed-deterministic, and every
+//! primitive's *result* is run-to-run deterministic even though the
+//! engines race internally (labels/distances/components are unique fixed
+//! points; only tie-broken artifacts like BFS parents may vary, and even
+//! those must stay valid).
+
+use gunrock::prelude::*;
+use gunrock_algos as algos;
+use gunrock_graph::generators::rmat;
+use gunrock_graph::GraphBuilder;
+use gunrock_integration::graph_suite;
+
+#[test]
+fn generators_are_seed_deterministic() {
+    let a = GraphBuilder::new().build(rmat(9, 8, Default::default(), 31));
+    let b = GraphBuilder::new().build(rmat(9, 8, Default::default(), 31));
+    assert_eq!(a.row_offsets(), b.row_offsets());
+    assert_eq!(a.col_indices(), b.col_indices());
+}
+
+#[test]
+fn repeated_runs_reach_identical_fixed_points() {
+    for (name, g) in graph_suite() {
+        let run_bfs = || {
+            let ctx = Context::new(&g).with_reverse(&g);
+            algos::bfs(&ctx, 0, algos::BfsOptions::direction_optimized()).labels
+        };
+        assert_eq!(run_bfs(), run_bfs(), "bfs on {name}");
+
+        let run_sssp = || {
+            let ctx = Context::new(&g);
+            algos::sssp(&ctx, 0, algos::SsspOptions::default()).dist
+        };
+        assert_eq!(run_sssp(), run_sssp(), "sssp on {name}");
+
+        let run_cc = || {
+            let ctx = Context::new(&g);
+            algos::cc(&ctx).labels
+        };
+        assert_eq!(run_cc(), run_cc(), "cc on {name}");
+
+        let run_pr = || {
+            let ctx = Context::new(&g);
+            algos::pagerank(&ctx, algos::PrOptions::default()).scores
+        };
+        // floating accumulation order can vary: compare within epsilon
+        let (a, b) = (run_pr(), run_pr());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "pagerank on {name}: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn load_balanced_advance_output_is_bit_deterministic() {
+    // the LB strategy assigns output slots by edge rank, so even the
+    // *order* of the output frontier is reproducible
+    for (name, g) in graph_suite() {
+        let ctx = Context::new(&g);
+        let input = Frontier::from_vec((0..g.num_vertices() as u32).collect());
+        let out1 = advance::advance(
+            &ctx,
+            &input,
+            AdvanceSpec::v2v().with_mode(AdvanceMode::LoadBalanced),
+            &AcceptAll,
+        );
+        let out2 = advance::advance(
+            &ctx,
+            &input,
+            AdvanceSpec::v2v().with_mode(AdvanceMode::LoadBalanced),
+            &AcceptAll,
+        );
+        assert_eq!(out1.as_slice(), out2.as_slice(), "lb order on {name}");
+    }
+}

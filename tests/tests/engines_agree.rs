@@ -1,0 +1,143 @@
+//! Figure 4 made executable: the same primitive expressed in every
+//! abstraction — Gunrock's frontier operators, Ligra's edgeMap, the GAS
+//! engine, the Medusa-style message engine, the hardwired kernels, and
+//! the serial reference — must agree on every graph in the suite.
+
+use gunrock::prelude::*;
+use gunrock_algos as algos;
+use gunrock_baselines::{gas, hardwired, ligra, medusa, serial};
+use gunrock_graph::INFINITY;
+use gunrock_integration::graph_suite;
+
+#[test]
+fn bfs_all_engines_agree() {
+    for (name, g) in graph_suite() {
+        let want = serial::bfs(&g, 0);
+        let ctx = Context::new(&g).with_reverse(&g);
+        let gr = algos::bfs(&ctx, 0, algos::BfsOptions::direction_optimized());
+        assert_eq!(gr.labels, want, "gunrock on {name}");
+        assert_eq!(ligra::bfs(&g, &g, 0).0, want, "ligra on {name}");
+        assert_eq!(gas::bfs(&g, &g, 0, gas::GasMode::PerVertex), want, "gas-pv on {name}");
+        assert_eq!(gas::bfs(&g, &g, 0, gas::GasMode::Balanced), want, "gas-bal on {name}");
+        assert_eq!(medusa::bfs(&g, 0), want, "medusa on {name}");
+        assert_eq!(hardwired::bfs(&g, &g, 0), want, "hardwired on {name}");
+    }
+}
+
+#[test]
+fn sssp_all_engines_agree() {
+    for (name, g) in graph_suite() {
+        let want = serial::dijkstra(&g, 0);
+        let ctx = Context::new(&g);
+        let gr = algos::sssp(&ctx, 0, algos::SsspOptions::default());
+        assert_eq!(gr.dist, want, "gunrock on {name}");
+        assert_eq!(ligra::sssp_bellman_ford(&g, &g, 0), want, "ligra on {name}");
+        assert_eq!(gas::sssp(&g, &g, 0, gas::GasMode::Balanced), want, "gas on {name}");
+        assert_eq!(medusa::sssp(&g, 0), want, "medusa on {name}");
+        assert_eq!(
+            hardwired::sssp_delta_stepping(&g, 0, algos::sssp::default_delta(&g)),
+            want,
+            "hardwired on {name}"
+        );
+        // Bellman-Ford oracle agrees with Dijkstra (sanity of the oracle)
+        assert_eq!(serial::bellman_ford(&g, 0), want, "bellman-ford oracle on {name}");
+    }
+}
+
+#[test]
+fn cc_all_engines_agree() {
+    for (name, g) in graph_suite() {
+        let want = serial::connected_components(&g);
+        let ctx = Context::new(&g);
+        let gr = algos::cc(&ctx);
+        assert_eq!(gr.labels, want, "gunrock on {name}");
+        assert_eq!(gr.num_components, serial::num_components(&want), "count on {name}");
+        assert_eq!(ligra::connected_components(&g, &g), want, "ligra on {name}");
+        assert_eq!(
+            gas::connected_components(&g, &g, gas::GasMode::Balanced),
+            want,
+            "gas on {name}"
+        );
+        assert_eq!(hardwired::cc_soman(&g), want, "hardwired on {name}");
+    }
+}
+
+#[test]
+fn bc_all_engines_agree() {
+    for (name, g) in graph_suite() {
+        let want = serial::brandes_single_source(&g, 0);
+        let ctx = Context::new(&g);
+        let gr = algos::bc(&ctx, 0, algos::BcOptions::default());
+        for (v, (a, b)) in gr.bc_values.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-6, "gunrock on {name} vertex {v}: {a} vs {b}");
+        }
+        let lg = ligra::bc(&g, &g, 0);
+        for (v, (a, b)) in lg.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-6, "ligra on {name} vertex {v}: {a} vs {b}");
+        }
+        let hw = hardwired::bc(&g, 0);
+        for (v, (a, b)) in hw.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-6, "hardwired on {name} vertex {v}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn pagerank_all_engines_agree() {
+    for (name, g) in graph_suite() {
+        let want = serial::pagerank(&g, 0.85, 1e-14, 2000);
+        let ctx = Context::new(&g);
+        let gr = algos::pagerank(&ctx, algos::PrOptions { epsilon: 1e-13, ..Default::default() });
+        for (v, (a, b)) in gr.scores.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-6, "gunrock on {name} vertex {v}: {a} vs {b}");
+        }
+        let lg = ligra::pagerank(&g, &g, 0.85, 1e-14, 2000);
+        for (v, (a, b)) in lg.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-6, "ligra on {name} vertex {v}: {a} vs {b}");
+        }
+        let hw = hardwired::pagerank(&g, &g, 0.85, 1e-14, 2000);
+        for (v, (a, b)) in hw.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-6, "hardwired on {name} vertex {v}: {a} vs {b}");
+        }
+        let md = medusa::pagerank(&g, 0.85, 1e-14, 2000);
+        for (v, (a, b)) in md.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-6, "medusa on {name} vertex {v}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn bfs_variants_and_modes_cross_product() {
+    use algos::bfs::{bfs, BfsOptions, BfsVariant};
+    for (name, g) in graph_suite() {
+        let want = serial::bfs(&g, 0);
+        for variant in [BfsVariant::Atomic, BfsVariant::Idempotent, BfsVariant::DirectionOptimized]
+        {
+            for mode in [AdvanceMode::ThreadMapped, AdvanceMode::Twc, AdvanceMode::LoadBalanced] {
+                let ctx = Context::new(&g).with_reverse(&g);
+                let r = bfs(&ctx, 0, BfsOptions { variant, mode, ..Default::default() });
+                assert_eq!(r.labels, want, "{name} {variant:?} {mode:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sssp_dist_satisfies_triangle_inequality() {
+    for (name, g) in graph_suite() {
+        let ctx = Context::new(&g);
+        let r = algos::sssp(&ctx, 0, algos::SsspOptions::default());
+        for u in 0..g.num_vertices() as u32 {
+            if r.dist[u as usize] == INFINITY {
+                continue;
+            }
+            for e in g.edge_range(u) {
+                let v = g.col_indices()[e];
+                assert!(
+                    r.dist[v as usize] <= r.dist[u as usize].saturating_add(g.weight(e as u32)),
+                    "{name}: edge ({u},{v}) violates relaxation"
+                );
+            }
+        }
+    }
+}
