@@ -42,6 +42,11 @@ pub struct BcResult {
     pub iterations: u32,
     /// Wall time of the enact loop.
     pub elapsed: std::time::Duration,
+    /// How the enact loop ended. A trip during the forward phase leaves
+    /// `bc_values` all zero (no dependency accumulated yet); a trip
+    /// during the backward phase leaves them partially accumulated.
+    /// `labels`/`sigmas` are always consistent for the levels completed.
+    pub outcome: RunOutcome,
 }
 
 impl BcResult {
@@ -129,8 +134,15 @@ pub fn bc(ctx: &Context<'_>, src: VertexId, opts: BcOptions) -> BcResult {
     let mut level = 0u32;
     let mut iterations = 0u32;
 
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
+
     // Phase 1: forward BFS with fused sigma accumulation.
     loop {
+        if let Some(tripped) = guard.check(iterations) {
+            outcome = tripped;
+            break;
+        }
         level += 1;
         iterations += 1;
         ctx.counters.add_iteration(false);
@@ -144,17 +156,22 @@ pub fn bc(ctx: &Context<'_>, src: VertexId, opts: BcOptions) -> BcResult {
         levels.push(next);
     }
 
-    // Phase 2: backward sweep over the frontier stack.
+    // Phase 2: backward sweep over the frontier stack (skipped when the
+    // forward phase already tripped — half-built sigmas would make the
+    // dependency sums meaningless).
     let delta: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
     for lvl in (0..levels.len() - 1).rev() {
+        if outcome != RunOutcome::Converged {
+            break;
+        }
+        if let Some(tripped) = guard.check(iterations) {
+            outcome = tripped;
+            break;
+        }
         iterations += 1;
         ctx.counters.add_iteration(false);
-        let f = BackwardDelta {
-            depth: &depth,
-            sigma: &sigma,
-            delta: &delta,
-            level: lvl as u32,
-        };
+        let f =
+            BackwardDelta { depth: &depth, sigma: &sigma, delta: &delta, level: lvl as u32 };
         let spec = AdvanceSpec::for_effect().with_mode(opts.mode);
         let _ = advance::advance(ctx, &levels[lvl], spec, &f);
     }
@@ -168,6 +185,7 @@ pub fn bc(ctx: &Context<'_>, src: VertexId, opts: BcOptions) -> BcResult {
         edges_examined: ctx.counters.edges(),
         iterations,
         elapsed: start.elapsed(),
+        outcome,
     }
 }
 
@@ -201,9 +219,11 @@ mod tests {
 
     #[test]
     fn matches_serial_brandes_on_suite() {
-        let graphs = [GraphBuilder::new().build(erdos_renyi(300, 900, 1)),
+        let graphs = [
+            GraphBuilder::new().build(erdos_renyi(300, 900, 1)),
             GraphBuilder::new().build(rmat(8, 8, Default::default(), 2)),
-            GraphBuilder::new().build(grid2d(15, 15, 0.1, 0.0, 3))];
+            GraphBuilder::new().build(grid2d(15, 15, 0.1, 0.0, 3)),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             let ctx = Context::new(g);
             let r = bc(&ctx, 0, BcOptions::default());
@@ -216,8 +236,8 @@ mod tests {
     #[test]
     fn sigma_counts_shortest_paths() {
         // diamond: 0-1, 0-2, 1-3, 2-3: two shortest paths 0..3
-        let g = GraphBuilder::new()
-            .build(Coo::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
+        let g =
+            GraphBuilder::new().build(Coo::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
         let ctx = Context::new(&g);
         let r = bc(&ctx, 0, BcOptions::default());
         assert_eq!(r.sigmas, vec![1.0, 1.0, 1.0, 2.0]);
@@ -243,6 +263,26 @@ mod tests {
         let got = bc_all_sources(&g, BcOptions::default());
         let want = serial::betweenness_centrality(&g);
         close(&got, &want, 1e-6);
+    }
+
+    #[test]
+    fn forward_phase_cap_yields_partial_depths_and_zero_scores() {
+        let g = GraphBuilder::new().build(grid2d(15, 15, 0.0, 0.0, 11));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(2));
+        let r = bc(&ctx, 0, BcOptions::default());
+        assert_eq!(r.outcome, RunOutcome::IterationCapped);
+        assert_eq!(r.iterations, 2);
+        // two completed forward levels: depths 0..=2 settled, deeper
+        // vertices untouched; no dependency was accumulated
+        let full = serial::bfs(&g, 0);
+        for (v, &depth) in full.iter().enumerate() {
+            if depth <= 2 {
+                assert_eq!(r.labels[v], depth, "vertex {v}");
+            } else {
+                assert_eq!(r.labels[v], INFINITY, "vertex {v}");
+            }
+        }
+        assert!(r.bc_values.iter().all(|&d| d == 0.0));
     }
 
     #[test]

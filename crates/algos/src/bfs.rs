@@ -16,9 +16,9 @@
 use gunrock::prelude::*;
 use gunrock_engine::atomics::{atomic_u32_vec, unwrap_atomic_u32};
 use gunrock_engine::compact::compact;
-use gunrock_graph::{EdgeId, VertexId, INFINITY, INVALID_VERTEX};
 #[cfg(test)]
 use gunrock_graph::Csr;
+use gunrock_graph::{EdgeId, VertexId, INFINITY, INVALID_VERTEX};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Traversal variant.
@@ -114,6 +114,10 @@ pub struct BfsResult {
     pub pull_iterations: u32,
     /// Wall time of the enact loop.
     pub elapsed: std::time::Duration,
+    /// How the loop ended (converged, or which execution guard tripped).
+    /// Partial outcomes leave `labels`/`preds` consistent for every
+    /// completed level and untouched (`INFINITY`/`INVALID_VERTEX`) beyond.
+    pub outcome: RunOutcome,
 }
 
 impl BfsResult {
@@ -223,17 +227,21 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
     let start = std::time::Instant::now();
     let labels = atomic_u32_vec(n, INFINITY);
     labels[src as usize].store(0, Ordering::Relaxed);
-    let preds = opts
-        .record_predecessors
-        .then(|| atomic_u32_vec(n, INVALID_VERTEX));
+    let preds = opts.record_predecessors.then(|| atomic_u32_vec(n, INVALID_VERTEX));
     let mut enactor_iters = 0u32;
     let mut pull_iters = 0u32;
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
 
     match opts.variant {
         BfsVariant::Atomic => {
             let mut frontier = Frontier::single(src);
             let mut level = 0u32;
             while !frontier.is_empty() {
+                if let Some(tripped) = guard.check(enactor_iters) {
+                    outcome = tripped;
+                    break;
+                }
                 level += 1;
                 let f = AtomicDiscover {
                     st: BfsState { labels: &labels, preds: preds.as_deref() },
@@ -251,6 +259,10 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
             let mut frontier = Frontier::single(src);
             let mut level = 0u32;
             while !frontier.is_empty() {
+                if let Some(tripped) = guard.check(enactor_iters) {
+                    outcome = tripped;
+                    break;
+                }
                 level += 1;
                 let f = IdempotentExpand {
                     st: BfsState { labels: &labels, preds: preds.as_deref() },
@@ -274,6 +286,10 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
             let mut frontier = Frontier::single(src);
             let mut level = 0u32;
             while !frontier.is_empty() {
+                if let Some(tripped) = guard.check(enactor_iters) {
+                    outcome = tripped;
+                    break;
+                }
                 level += 1;
                 // fused: cond tests unvisited, apply labels + sets pred —
                 // all inside the single advance kernel; the bitmap
@@ -300,24 +316,19 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
             let mut level = 0u32;
             let mut direction = TraversalDirection::Push;
             // lazily maintained unvisited candidate list and edge budget
-            let mut unvisited: Vec<u32> =
-                (0..n as u32).filter(|&v| v != src).collect();
+            let mut unvisited: Vec<u32> = (0..n as u32).filter(|&v| v != src).collect();
             let mut unvisited_edges: u64 =
                 ctx.graph.num_edges() as u64 - ctx.graph.out_degree(src) as u64;
             while !frontier.is_empty() {
+                if let Some(tripped) = guard.check(enactor_iters) {
+                    outcome = tripped;
+                    break;
+                }
                 level += 1;
-                let m_f = advance::push::frontier_neighbor_count(
-                    ctx,
-                    &frontier,
-                    InputKind::Vertices,
-                );
-                direction = opts.policy.decide(
-                    direction,
-                    m_f,
-                    unvisited_edges,
-                    frontier.len(),
-                    n,
-                );
+                let m_f =
+                    advance::push::frontier_neighbor_count(ctx, &frontier, InputKind::Vertices);
+                direction =
+                    opts.policy.decide(direction, m_f, unvisited_edges, frontier.len(), n);
                 let next = match direction {
                     TraversalDirection::Push => {
                         let f = IdempotentExpand {
@@ -356,8 +367,7 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
                 unvisited_edges = unvisited_edges.saturating_sub(
                     advance::push::frontier_neighbor_count(ctx, &next, InputKind::Vertices),
                 );
-                ctx.counters
-                    .add_iteration(direction == TraversalDirection::Pull);
+                ctx.counters.add_iteration(direction == TraversalDirection::Pull);
                 enactor_iters += 1;
                 frontier = next;
             }
@@ -371,6 +381,7 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
         iterations: enactor_iters,
         pull_iterations: pull_iters,
         elapsed: start.elapsed(),
+        outcome,
     }
 }
 
@@ -469,11 +480,7 @@ mod tests {
     fn without_predecessors_preds_is_empty() {
         let g = GraphBuilder::new().build(erdos_renyi(100, 300, 9));
         let ctx = Context::new(&g);
-        let r = bfs(
-            &ctx,
-            0,
-            BfsOptions { record_predecessors: false, ..Default::default() },
-        );
+        let r = bfs(&ctx, 0, BfsOptions { record_predecessors: false, ..Default::default() });
         assert!(r.preds.is_empty());
         assert_eq!(r.labels, serial::bfs(&g, 0));
     }
@@ -495,5 +502,54 @@ mod tests {
         assert!(r.edges_examined > 0);
         assert!(r.iterations > 0);
         assert!(r.mteps() >= 0.0);
+        assert_eq!(r.outcome, RunOutcome::Converged);
+    }
+
+    #[test]
+    fn iteration_cap_yields_partial_depths_in_every_variant() {
+        // path graph needs many levels; a 1-iteration cap must stop each
+        // variant after one level with the completed level intact
+        let edges: Vec<(u32, u32)> = (0..19).map(|i| (i, i + 1)).collect();
+        let g = GraphBuilder::new().build(gunrock_graph::Coo::from_edges(20, &edges));
+        for variant in [
+            BfsVariant::Atomic,
+            BfsVariant::Idempotent,
+            BfsVariant::DirectionOptimized,
+            BfsVariant::Fused,
+        ] {
+            let ctx = Context::new(&g)
+                .with_reverse(&g)
+                .with_policy(RunPolicy::unbounded().max_iterations(1));
+            let r = bfs(&ctx, 0, BfsOptions { variant, ..Default::default() });
+            assert_eq!(r.outcome, RunOutcome::IterationCapped, "{variant:?}");
+            assert_eq!(r.iterations, 1, "{variant:?}");
+            // level 1 is complete, deeper levels untouched
+            assert_eq!(r.labels[0], 0, "{variant:?}");
+            assert_eq!(r.labels[1], 1, "{variant:?}");
+            assert!(
+                r.labels[2..].iter().all(|&l| l == INFINITY),
+                "{variant:?}: {:?}",
+                &r.labels[..5]
+            );
+        }
+    }
+
+    #[test]
+    fn pre_tripped_cancel_returns_consistent_source_only_state() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let g = GraphBuilder::new().build(erdos_renyi(200, 600, 13));
+        let flag = Arc::new(AtomicBool::new(true));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().cancel_flag(flag));
+        let r = bfs(&ctx, 5, BfsOptions::default());
+        assert_eq!(r.outcome, RunOutcome::Cancelled);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.labels[5], 0);
+        assert!(r.labels.iter().enumerate().all(|(v, &l)| if v == 5 {
+            l == 0
+        } else {
+            l == INFINITY
+        }));
+        assert!(r.preds.iter().all(|&p| p == INVALID_VERTEX));
     }
 }

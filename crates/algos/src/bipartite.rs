@@ -22,6 +22,10 @@ pub struct HubAuthScores {
     pub auths: Vec<f64>,
     /// Mutual-reinforcement iterations executed.
     pub iterations: u32,
+    /// How the loop ended. Scores are valid at every iteration boundary
+    /// (each round fully recomputes both sides), so a partial outcome
+    /// just means fewer reinforcement rounds than requested.
+    pub outcome: RunOutcome,
 }
 
 /// Accumulate-into functor: adds `weight(src) = source_score[src] /
@@ -68,7 +72,12 @@ pub fn salsa(ctx: &Context<'_>, n_left: usize, iters: u32) -> HubAuthScores {
     run_hub_auth(ctx, n_left, iters, true)
 }
 
-fn run_hub_auth(ctx: &Context<'_>, n_left: usize, iters: u32, degree_norm: bool) -> HubAuthScores {
+fn run_hub_auth(
+    ctx: &Context<'_>,
+    n_left: usize,
+    iters: u32,
+    degree_norm: bool,
+) -> HubAuthScores {
     let g = ctx.graph;
     let rev = ctx.reverse_graph();
     let n = g.num_vertices();
@@ -88,7 +97,15 @@ fn run_hub_auth(ctx: &Context<'_>, n_left: usize, iters: u32, degree_norm: bool)
     } else {
         ones_norm(n)
     };
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
+    let mut completed = 0u32;
     for _ in 0..iters {
+        if let Some(tripped) = guard.check(completed) {
+            outcome = tripped;
+            break;
+        }
+        completed += 1;
         // authority update: pull hub mass along forward edges
         let sink: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
         let f = Accumulate { source_score: &hubs, norm: &out_norm, sink: &sink };
@@ -110,7 +127,7 @@ fn run_hub_auth(ctx: &Context<'_>, n_left: usize, iters: u32, degree_norm: bool)
         }
         ctx.counters.add_iteration(false);
     }
-    HubAuthScores { hubs, auths, iterations: iters }
+    HubAuthScores { hubs, auths, iterations: completed, outcome }
 }
 
 /// Personalized PageRank: residual push with all teleport mass on
@@ -132,7 +149,13 @@ pub fn personalized_pagerank(
     }
     let mut frontier = Frontier::from_vec(sources.to_vec());
     let mut iterations = 0usize;
+    // honor the context's run policy: a trip folds the pending residual
+    // back into the scores below, keeping mass conserved
+    let guard = ctx.guard();
     while !frontier.is_empty() && iterations < max_iters {
+        if guard.check(iterations as u32).is_some() {
+            break;
+        }
         iterations += 1;
         // dangling mass restarts at the sources (PPR semantics)
         let mut dangling = 0.0f64;
@@ -163,26 +186,20 @@ pub fn personalized_pagerank(
         for &v in frontier.as_slice() {
             residual[v as usize] = 0.0;
         }
-        residual
-            .par_iter_mut()
-            .zip(acc.par_iter())
-            .for_each(|(r, a)| *r += a.load());
+        residual.par_iter_mut().zip(acc.par_iter()).for_each(|(r, a)| *r += a.load());
         if dangling > 0.0 {
             let share = dangling / sources.len().max(1) as f64;
             for &s in sources {
                 residual[s as usize] += share;
             }
         }
-        frontier = Frontier::from_vec(gunrock_engine::compact::compact_indices(
-            &residual,
-            |&r| r > epsilon,
-        ));
+        frontier =
+            Frontier::from_vec(gunrock_engine::compact::compact_indices(&residual, |&r| {
+                r > epsilon
+            }));
         ctx.counters.add_iteration(false);
     }
-    scores
-        .par_iter_mut()
-        .zip(residual.par_iter())
-        .for_each(|(s, r)| *s += r);
+    scores.par_iter_mut().zip(residual.par_iter()).for_each(|(s, r)| *s += r);
     scores
 }
 
@@ -215,11 +232,8 @@ pub fn who_to_follow(
         .filter(|&(v, s)| s > 0.0 && v != user)
         .collect();
     left_scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-    let mut circle: Vec<VertexId> = left_scores
-        .into_iter()
-        .take(circle_size.saturating_sub(1))
-        .map(|(v, _)| v)
-        .collect();
+    let mut circle: Vec<VertexId> =
+        left_scores.into_iter().take(circle_size.saturating_sub(1)).map(|(v, _)| v).collect();
     circle.push(user);
     // 2. SALSA-style scoring: one hub->auth push from the circle
     // (degree-normalized), i.e. a 2-hop bipartite traversal seeded at
@@ -287,13 +301,26 @@ mod tests {
     fn ppr_concentrates_mass_near_source() {
         let (g, rev, _) = small_bipartite();
         // make it walkable both ways for PPR
-        let und = GraphBuilder::new()
-            .build(Coo::from_edges(5, &[(0, 3), (1, 3), (2, 3), (2, 4)]));
+        let und =
+            GraphBuilder::new().build(Coo::from_edges(5, &[(0, 3), (1, 3), (2, 3), (2, 4)]));
         let _ = (g, rev);
         let ctx = Context::new(&und);
         let p = personalized_pagerank(&ctx, &[0], 0.85, 1e-12, 500);
         assert!(p[0] > p[1], "source outranks distant vertices");
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn policy_cap_stops_hits_early_with_valid_scores() {
+        let (g, rev, n_left) = small_bipartite();
+        let ctx = Context::new(&g)
+            .with_reverse(&rev)
+            .with_policy(RunPolicy::unbounded().max_iterations(2));
+        let s = hits(&ctx, n_left, 20);
+        assert_eq!(s.outcome, RunOutcome::IterationCapped);
+        assert_eq!(s.iterations, 2);
+        // two full rounds are enough for the qualitative ordering
+        assert!(s.auths[3] > s.auths[4]);
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub struct CcResult {
     pub iterations: u32,
     /// Wall time of the enact loop.
     pub elapsed: std::time::Duration,
+    /// How the enact loop ended. On a partial outcome `labels` is a
+    /// valid *refinement* of the final components (vertices with equal
+    /// labels really are connected; some components may still be split
+    /// across several labels) and `num_components` counts the current
+    /// label roots, an upper bound on the true component count.
+    pub outcome: RunOutcome,
 }
 
 /// Hooking functor over the edge frontier: hooks the larger-labeled
@@ -100,7 +106,13 @@ pub fn cc(ctx: &Context<'_>) -> CcResult {
 
     let mut edge_frontier = Frontier::full(m);
     let mut iterations = 0u32;
-    while !edge_frontier.is_empty() {
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
+    'enact: while !edge_frontier.is_empty() {
+        if let Some(tripped) = guard.check(iterations) {
+            outcome = tripped;
+            break 'enact;
+        }
         iterations += 1;
         ctx.counters.add_iteration(false);
         // Hooking pass: filter on the edge frontier.
@@ -115,6 +127,10 @@ pub fn cc(ctx: &Context<'_>) -> CcResult {
         // point at roots.
         let mut vertex_frontier = Frontier::full(n);
         while !vertex_frontier.is_empty() {
+            if let Some(tripped) = guard.check(iterations) {
+                outcome = tripped;
+                break 'enact;
+            }
             iterations += 1;
             ctx.counters.add_iteration(false);
             vertex_frontier = filter::filter(ctx, &vertex_frontier, &Jump { labels: &labels });
@@ -122,12 +138,8 @@ pub fn cc(ctx: &Context<'_>) -> CcResult {
     }
 
     let labels = unwrap_atomic_u32(&labels);
-    let num_components = labels
-        .par_iter()
-        .enumerate()
-        .filter(|&(v, &l)| v as u32 == l)
-        .count();
-    CcResult { labels, num_components, iterations, elapsed: start.elapsed() }
+    let num_components = labels.par_iter().enumerate().filter(|&(v, &l)| v as u32 == l).count();
+    CcResult { labels, num_components, iterations, elapsed: start.elapsed(), outcome }
 }
 
 /// Edge throughput for CC is conventionally |E| / time (every edge is
@@ -176,6 +188,39 @@ mod tests {
         let r = cc(&ctx);
         assert_eq!(r.num_components, 1);
         assert!(r.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn iteration_cap_yields_a_refinement_of_true_components() {
+        let g = GraphBuilder::new().build(grid2d(20, 20, 0.0, 0.0, 9));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(1));
+        let r = cc(&ctx);
+        assert_eq!(r.outcome, RunOutcome::IterationCapped);
+        assert_eq!(r.iterations, 1);
+        // partial labels refine the final labeling: equal partial label
+        // implies equal final component
+        let want = serial::connected_components(&g);
+        for v in 0..g.num_vertices() {
+            assert_eq!(
+                want[r.labels[v] as usize], want[v],
+                "vertex {v} hooked across a component boundary"
+            );
+        }
+        // root count bounds the true component count from above
+        assert!(r.num_components >= serial::num_components(&want));
+    }
+
+    #[test]
+    fn cancelled_cc_returns_identity_labels() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let g = GraphBuilder::new().build(erdos_renyi(200, 400, 10));
+        let flag = Arc::new(AtomicBool::new(true));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().cancel_flag(flag));
+        let r = cc(&ctx);
+        assert_eq!(r.outcome, RunOutcome::Cancelled);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.labels, (0..200u32).collect::<Vec<_>>());
     }
 
     #[test]

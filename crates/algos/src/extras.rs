@@ -17,11 +17,23 @@ fn priority(v: u32, seed: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// MIS output.
+#[derive(Clone, Debug)]
+pub struct MisResult {
+    /// Membership mask: `true` means the vertex is in the set.
+    pub in_set: Vec<bool>,
+    /// Selection rounds executed.
+    pub rounds: u32,
+    /// How the loop ended. On a partial outcome the mask is independent
+    /// (no two members adjacent) but possibly not yet *maximal*: some
+    /// vertices are still undecided and marked `false`.
+    pub outcome: RunOutcome,
+}
+
 /// Luby's maximal independent set: iteratively select undecided vertices
 /// whose random priority beats every undecided neighbor, then drop their
-/// neighbors; repeat until all vertices are decided. Returns a membership
-/// mask.
-pub fn maximal_independent_set(ctx: &Context<'_>, seed: u64) -> Vec<bool> {
+/// neighbors; repeat until all vertices are decided.
+pub fn maximal_independent_set(ctx: &Context<'_>, seed: u64) -> MisResult {
     let g = ctx.graph;
     let n = g.num_vertices();
     const UNDECIDED: u8 = 0;
@@ -32,7 +44,13 @@ pub fn maximal_independent_set(ctx: &Context<'_>, seed: u64) -> Vec<bool> {
     use std::sync::atomic::Ordering;
     let mut frontier = Frontier::full(n);
     let mut round = 0u64;
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
     while !frontier.is_empty() {
+        if let Some(tripped) = guard.check(round as u32) {
+            outcome = tripped;
+            break;
+        }
         round += 1;
         let rseed = seed.wrapping_add(round);
         // selection filter: local maxima among undecided neighbors join
@@ -71,10 +89,11 @@ pub fn maximal_independent_set(ctx: &Context<'_>, seed: u64) -> Vec<bool> {
         );
         ctx.counters.add_iteration(false);
     }
-    state
-        .into_iter()
-        .map(|s| s.into_inner() == IN_SET)
-        .collect()
+    MisResult {
+        in_set: state.into_iter().map(|s| s.into_inner() == IN_SET).collect(),
+        rounds: round as u32,
+        outcome,
+    }
 }
 
 /// Checks the two MIS invariants: independence (no two members adjacent)
@@ -92,17 +111,39 @@ pub fn verify_mis(g: &Csr, mis: &[bool]) -> bool {
     true
 }
 
+/// Coloring output.
+#[derive(Clone, Debug)]
+pub struct ColoringResult {
+    /// Color per vertex (0-based); `u32::MAX` means still uncolored
+    /// (only possible on a partial outcome).
+    pub colors: Vec<u32>,
+    /// Coloring rounds executed.
+    pub rounds: u32,
+    /// How the loop ended. On a partial outcome the assigned colors are
+    /// still a proper partial coloring (no two adjacent vertices share
+    /// one), but some vertices remain `u32::MAX`.
+    pub outcome: RunOutcome,
+}
+
 /// Jones–Plassmann greedy coloring: a vertex colors itself with the
 /// smallest color unused by its neighbors once all higher-priority
-/// uncolored neighbors are done. Returns colors (0-based).
-pub fn greedy_coloring(ctx: &Context<'_>, seed: u64) -> Vec<u32> {
+/// uncolored neighbors are done.
+pub fn greedy_coloring(ctx: &Context<'_>, seed: u64) -> ColoringResult {
     let g = ctx.graph;
     let n = g.num_vertices();
     const UNCOLORED: u32 = u32::MAX;
     let colors = gunrock_engine::atomics::atomic_u32_vec(n, UNCOLORED);
     use std::sync::atomic::Ordering;
     let mut frontier = Frontier::full(n);
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
+    let mut rounds = 0u32;
     while !frontier.is_empty() {
+        if let Some(tripped) = guard.check(rounds) {
+            outcome = tripped;
+            break;
+        }
+        rounds += 1;
         // color the local priority maxima among uncolored neighbors
         let ready: Vec<u32> = frontier
             .as_slice()
@@ -146,7 +187,11 @@ pub fn greedy_coloring(ctx: &Context<'_>, seed: u64) -> Vec<u32> {
         );
         ctx.counters.add_iteration(false);
     }
-    gunrock_engine::atomics::unwrap_atomic_u32(&colors)
+    ColoringResult {
+        colors: gunrock_engine::atomics::unwrap_atomic_u32(&colors),
+        rounds,
+        outcome,
+    }
 }
 
 /// Checks a proper coloring: adjacent vertices have different colors.
@@ -180,8 +225,9 @@ mod tests {
         for (i, g) in suite().iter().enumerate() {
             let ctx = Context::new(g);
             let mis = maximal_independent_set(&ctx, 42);
-            assert!(verify_mis(g, &mis), "graph {i}");
-            assert!(mis.iter().any(|&b| b), "graph {i}: MIS nonempty");
+            assert_eq!(mis.outcome, RunOutcome::Converged, "graph {i}");
+            assert!(verify_mis(g, &mis.in_set), "graph {i}");
+            assert!(mis.in_set.iter().any(|&b| b), "graph {i}: MIS nonempty");
         }
     }
 
@@ -190,16 +236,17 @@ mod tests {
         let g = GraphBuilder::new().build(gunrock_graph::Coo::new(5));
         let ctx = Context::new(&g);
         let mis = maximal_independent_set(&ctx, 1);
-        assert!(mis.iter().all(|&b| b));
+        assert!(mis.in_set.iter().all(|&b| b));
     }
 
     #[test]
     fn coloring_is_proper_and_bounded() {
         for (i, g) in suite().iter().enumerate() {
             let ctx = Context::new(g);
-            let colors = greedy_coloring(&ctx, 7);
-            assert!(verify_coloring(g, &colors), "graph {i}");
-            let max_color = colors.iter().copied().max().unwrap_or(0);
+            let r = greedy_coloring(&ctx, 7);
+            assert_eq!(r.outcome, RunOutcome::Converged, "graph {i}");
+            assert!(verify_coloring(g, &r.colors), "graph {i}");
+            let max_color = r.colors.iter().copied().max().unwrap_or(0);
             assert!(max_color <= g.max_degree(), "greedy bound: {max_color}");
         }
     }
@@ -209,8 +256,47 @@ mod tests {
         // bipartite-ish grid: greedy should stay well under degree bound
         let g = GraphBuilder::new().build(grid2d(20, 20, 0.0, 0.0, 5));
         let ctx = Context::new(&g);
-        let colors = greedy_coloring(&ctx, 3);
-        assert!(verify_coloring(&g, &colors));
-        assert!(*colors.iter().max().unwrap() <= 4);
+        let r = greedy_coloring(&ctx, 3);
+        assert!(verify_coloring(&g, &r.colors));
+        assert!(*r.colors.iter().max().unwrap() <= 4);
+    }
+
+    #[test]
+    fn capped_mis_is_independent_but_may_be_incomplete() {
+        let g = GraphBuilder::new().build(erdos_renyi(300, 1500, 13));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(1));
+        let mis = maximal_independent_set(&ctx, 42);
+        assert_eq!(mis.outcome, RunOutcome::IterationCapped);
+        assert_eq!(mis.rounds, 1);
+        // independence holds at every round boundary, maximality may not
+        for v in 0..g.num_vertices() {
+            if mis.in_set[v] {
+                assert!(
+                    !g.neighbors(v as u32)
+                        .iter()
+                        .any(|&u| u as usize != v && mis.in_set[u as usize]),
+                    "vertex {v} adjacent to another member"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capped_coloring_is_a_proper_partial_coloring() {
+        let g = GraphBuilder::new().build(erdos_renyi(300, 1500, 17));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(1));
+        let r = greedy_coloring(&ctx, 7);
+        assert_eq!(r.outcome, RunOutcome::IterationCapped);
+        assert_eq!(r.rounds, 1);
+        for v in 0..g.num_vertices() {
+            if r.colors[v] == u32::MAX {
+                continue;
+            }
+            for &u in g.neighbors(v as u32) {
+                if u as usize != v && r.colors[u as usize] != u32::MAX {
+                    assert_ne!(r.colors[u as usize], r.colors[v], "edge {v}-{u}");
+                }
+            }
+        }
     }
 }

@@ -17,6 +17,11 @@ pub struct KcoreResult {
     pub degeneracy: u32,
     /// Peeling sub-rounds executed.
     pub iterations: u32,
+    /// How the peeling loop ended. On a partial outcome every settled
+    /// `core_numbers` entry (vertices already peeled) is exact; vertices
+    /// still alive hold the highest k fully processed so far, a lower
+    /// bound on their true core number.
+    pub outcome: RunOutcome,
 }
 
 /// Computes core numbers for every vertex.
@@ -24,15 +29,22 @@ pub fn k_core(ctx: &Context<'_>) -> KcoreResult {
     let g = ctx.graph;
     let n = g.num_vertices();
     // residual degree of each still-alive vertex
-    let degree: Vec<AtomicU32> = (0..n as u32).map(|v| AtomicU32::new(g.out_degree(v))).collect();
+    let degree: Vec<AtomicU32> =
+        (0..n as u32).map(|v| AtomicU32::new(g.out_degree(v))).collect();
     let core: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let mut alive = Frontier::full(n);
     let mut k = 0u32;
     let mut iterations = 0u32;
-    while !alive.is_empty() {
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
+    'enact: while !alive.is_empty() {
         k += 1;
         // peel everything of residual degree < k (cascading)
         loop {
+            if let Some(tripped) = guard.check(iterations) {
+                outcome = tripped;
+                break 'enact;
+            }
             iterations += 1;
             ctx.counters.add_iteration(false);
             // vertices that fall out of the k-core this sub-round
@@ -72,18 +84,15 @@ pub fn k_core(ctx: &Context<'_>) -> KcoreResult {
                 }
             });
             // survivors continue
-            alive = filter::filter(
-                ctx,
-                &alive,
-                &VertexCond(|v: u32| !peeled_set.get(v as usize)),
-            );
+            alive =
+                filter::filter(ctx, &alive, &VertexCond(|v: u32| !peeled_set.get(v as usize)));
         }
         // everything still alive is in the k-core
         compute::for_each(&alive, |v| core[v as usize].store(k, Ordering::Relaxed));
     }
     let core_numbers: Vec<u32> = core.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     let degeneracy = core_numbers.iter().copied().max().unwrap_or(0);
-    KcoreResult { core_numbers, degeneracy, iterations }
+    KcoreResult { core_numbers, degeneracy, iterations, outcome }
 }
 
 /// Serial peeling oracle (bucket-based, O(n + m)).
@@ -160,10 +169,34 @@ mod tests {
     }
 
     #[test]
+    fn iteration_cap_bounds_core_numbers_from_below() {
+        let g = GraphBuilder::new().build(rmat(8, 8, Default::default(), 5));
+        let full = {
+            let ctx = Context::new(&g);
+            k_core(&ctx)
+        };
+        assert_eq!(full.outcome, RunOutcome::Converged);
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(2));
+        let r = k_core(&ctx);
+        assert_eq!(r.outcome, RunOutcome::IterationCapped);
+        assert_eq!(r.iterations, 2);
+        for v in 0..g.num_vertices() {
+            assert!(
+                r.core_numbers[v] <= full.core_numbers[v],
+                "vertex {v}: partial {} exceeds true {}",
+                r.core_numbers[v],
+                full.core_numbers[v]
+            );
+        }
+    }
+
+    #[test]
     fn matches_serial_peeling_on_suite() {
-        let graphs = [GraphBuilder::new().build(erdos_renyi(200, 800, 1)),
+        let graphs = [
+            GraphBuilder::new().build(erdos_renyi(200, 800, 1)),
             GraphBuilder::new().build(rmat(8, 8, Default::default(), 2)),
-            GraphBuilder::new().build(grid2d(12, 12, 0.1, 0.05, 3))];
+            GraphBuilder::new().build(grid2d(12, 12, 0.1, 0.05, 3)),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             let ctx = Context::new(g);
             let r = k_core(&ctx);

@@ -26,6 +26,12 @@ pub struct LabelPropResult {
     pub num_communities: usize,
     /// Rounds executed.
     pub rounds: u32,
+    /// How the loop ended. LPA labels are usable at any round boundary —
+    /// a partial outcome just means coarser communities than the run
+    /// would have settled on. The algorithm's own `max_rounds` cap
+    /// counts as convergence; only the context's [`RunPolicy`] produces
+    /// partial outcomes.
+    pub outcome: RunOutcome,
 }
 
 /// Runs synchronous label propagation for at most `max_rounds`.
@@ -36,7 +42,13 @@ pub fn label_propagation(ctx: &Context<'_>, max_rounds: u32) -> LabelPropResult 
     labels.par_iter().enumerate().for_each(|(v, l)| l.store(v as u32, Ordering::Relaxed));
     let mut frontier = Frontier::full(n);
     let mut rounds = 0u32;
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
     while !frontier.is_empty() && rounds < max_rounds {
+        if let Some(tripped) = guard.check(rounds) {
+            outcome = tripped;
+            break;
+        }
         rounds += 1;
         ctx.counters.add_iteration(false);
         // compute step: each active vertex picks its neighbors' majority
@@ -75,9 +87,8 @@ pub fn label_propagation(ctx: &Context<'_>, max_rounds: u32) -> LabelPropResult 
                 }
             })
             .collect();
-        ctx.counters.add_edges(
-            frontier.as_slice().iter().map(|&v| g.out_degree(v) as u64).sum(),
-        );
+        ctx.counters
+            .add_edges(frontier.as_slice().iter().map(|&v| g.out_degree(v) as u64).sum());
         // next frontier: neighbors of changed vertices (deduplicated)
         let bm = AtomicBitmap::new(n);
         let next: Vec<Vec<u32>> = changed
@@ -98,7 +109,7 @@ pub fn label_propagation(ctx: &Context<'_>, max_rounds: u32) -> LabelPropResult 
     let mut distinct: Vec<u32> = final_labels.clone();
     distinct.sort_unstable();
     distinct.dedup();
-    LabelPropResult { labels: final_labels, num_communities: distinct.len(), rounds }
+    LabelPropResult { labels: final_labels, num_communities: distinct.len(), rounds, outcome }
 }
 
 #[cfg(test)]
@@ -184,5 +195,20 @@ mod tests {
         let ctx = Context::new(&g);
         let r = label_propagation(&ctx, 3);
         assert!(r.rounds <= 3);
+        // the algorithm's own cap is convergence, not a policy trip
+        assert_eq!(r.outcome, RunOutcome::Converged);
+    }
+
+    #[test]
+    fn policy_cap_yields_partial_communities() {
+        let g = two_cliques_with_bridge();
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(1));
+        let r = label_propagation(&ctx, 50);
+        assert_eq!(r.outcome, RunOutcome::IterationCapped);
+        assert_eq!(r.rounds, 1);
+        // one round of LPA has merged labels but not yet settled: still
+        // a valid labeling (every label is some vertex id)
+        assert!(r.labels.iter().all(|&l| (l as usize) < g.num_vertices()));
+        assert!(r.num_communities < g.num_vertices());
     }
 }

@@ -50,8 +50,8 @@ pub mod triangles;
 pub use bc::{bc, BcOptions, BcResult};
 pub use bfs::{bfs, BfsOptions, BfsResult, BfsVariant};
 pub use cc::{cc, CcResult};
-pub use pagerank::{pagerank, pagerank_pull, PrOptions, PrResult};
 pub use kcore::{k_core, KcoreResult};
 pub use mst::{mst, MstResult};
+pub use pagerank::{pagerank, pagerank_pull, PrOptions, PrResult};
 pub use sssp::{sssp, SsspOptions, SsspResult};
 pub use triangles::{triangle_count, TriangleResult};

@@ -27,6 +27,11 @@ pub struct MstResult {
     pub num_trees: usize,
     /// Borůvka rounds executed.
     pub rounds: u32,
+    /// How the loop ended. On a partial outcome `edges` is a valid
+    /// *sub-forest* of some minimum spanning forest (Borůvka rounds only
+    /// ever commit safe edges), but components may not be fully merged:
+    /// `num_trees` counts the merge state so far, an upper bound.
+    pub outcome: RunOutcome,
 }
 
 /// Packs (weight, edge id) into one u64 so the per-component minimum can
@@ -54,8 +59,14 @@ pub fn mst(ctx: &Context<'_>) -> MstResult {
     let mut total_weight = 0u64;
     let mut rounds = 0u32;
     const NONE: u64 = u64::MAX;
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
 
     loop {
+        if let Some(tripped) = guard.check(rounds) {
+            outcome = tripped;
+            break;
+        }
         rounds += 1;
         ctx.counters.add_iteration(false);
         // Step 1: per-component minimum outgoing edge (atomic min over
@@ -67,7 +78,8 @@ pub fn mst(ctx: &Context<'_>) -> MstResult {
                 let v = g.col_indices()[e];
                 let lv = labels[v as usize].load(Ordering::Relaxed);
                 if lu != lv {
-                    best[lu as usize].fetch_min(pack(g.weight(e as u32), e as u32), Ordering::Relaxed);
+                    best[lu as usize]
+                        .fetch_min(pack(g.weight(e as u32), e as u32), Ordering::Relaxed);
                 }
             }
         });
@@ -130,10 +142,9 @@ pub fn mst(ctx: &Context<'_>) -> MstResult {
         }
     }
 
-    let num_trees = (0..n as u32)
-        .filter(|&v| labels[v as usize].load(Ordering::Relaxed) == v)
-        .count();
-    MstResult { edges: chosen, total_weight, num_trees, rounds }
+    let num_trees =
+        (0..n as u32).filter(|&v| labels[v as usize].load(Ordering::Relaxed) == v).count();
+    MstResult { edges: chosen, total_weight, num_trees, rounds, outcome }
 }
 
 /// Serial Kruskal oracle returning the forest's total weight.
@@ -202,10 +213,8 @@ mod tests {
     #[test]
     fn hand_checked_diamond() {
         // 0-1 (1), 1-3 (2), 0-2 (5), 2-3 (1): MST = {0-1, 2-3, 1-3} = 4
-        let g = GraphBuilder::new().build(Coo::from_weighted_edges(
-            4,
-            &[(0, 1, 1), (1, 3, 2), (0, 2, 5), (2, 3, 1)],
-        ));
+        let g = GraphBuilder::new()
+            .build(Coo::from_weighted_edges(4, &[(0, 1, 1), (1, 3, 2), (0, 2, 5), (2, 3, 1)]));
         let ctx = Context::new(&g);
         let r = mst(&ctx);
         assert_eq!(r.total_weight, 4);
@@ -228,9 +237,7 @@ mod tests {
 
     #[test]
     fn grid_mst() {
-        let g = GraphBuilder::new()
-            .random_weights(1, 64, 9)
-            .build(grid2d(12, 12, 0.1, 0.0, 9));
+        let g = GraphBuilder::new().random_weights(1, 64, 9).build(grid2d(12, 12, 0.1, 0.0, 9));
         let ctx = Context::new(&g);
         let r = mst(&ctx);
         assert_eq!(r.total_weight, mst_weight_kruskal(&g));
@@ -239,14 +246,42 @@ mod tests {
 
     #[test]
     fn disconnected_graph_gives_forest() {
-        let g = GraphBuilder::new()
-            .random_weights(1, 10, 3)
-            .build(erdos_renyi(200, 100, 3));
+        let g = GraphBuilder::new().random_weights(1, 10, 3).build(erdos_renyi(200, 100, 3));
         let ctx = Context::new(&g);
         let r = mst(&ctx);
         assert!(r.num_trees > 1);
         assert_eq!(r.total_weight, mst_weight_kruskal(&g));
         check_is_spanning_forest(&g, &r);
+    }
+
+    #[test]
+    fn iteration_cap_yields_a_safe_sub_forest() {
+        let g = GraphBuilder::new().random_weights(1, 64, 5).build(grid2d(20, 20, 0.0, 0.0, 5));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(1));
+        let r = mst(&ctx);
+        assert_eq!(r.outcome, RunOutcome::IterationCapped);
+        assert_eq!(r.rounds, 1);
+        // partial forest: acyclic, from the graph, and strictly fewer
+        // edges than the full spanning tree on a diameter-40 grid
+        let n = g.num_vertices();
+        assert!(!r.edges.is_empty());
+        assert!(r.edges.len() < n - 1);
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(p: &mut [u32], mut x: u32) -> u32 {
+            while p[x as usize] != x {
+                p[x as usize] = p[p[x as usize] as usize];
+                x = p[x as usize];
+            }
+            x
+        }
+        for &e in &r.edges {
+            let (u, v) = (g.edge_source(e), g.edge_dest(e));
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            assert_ne!(ru, rv, "edge {e} forms a cycle");
+            parent[ru.max(rv) as usize] = ru.min(rv);
+        }
+        // every committed edge weight is part of the final MST weight
+        assert!(r.total_weight <= mst_weight_kruskal(&g));
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub struct PrResult {
     pub edges_examined: u64,
     /// Wall time of the enact loop.
     pub elapsed: std::time::Duration,
+    /// How the enact loop ended. A partial outcome still carries a
+    /// usable score vector: residual mass not yet propagated is folded
+    /// back in, so scores always sum to ~1 — they are simply further
+    /// from the fixed point. The algorithm's own `max_iters` knob counts
+    /// as convergence; only the context's [`RunPolicy`] produces partial
+    /// outcomes.
+    pub outcome: RunOutcome,
 }
 
 /// Residual-push functor: scatter the source's frozen residual share to
@@ -85,6 +92,7 @@ pub fn pagerank(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
             iterations: 0,
             edges_examined: 0,
             elapsed: start.elapsed(),
+            outcome: RunOutcome::Converged,
         };
     }
     let base = (1.0 - opts.damping) / n as f64;
@@ -95,8 +103,14 @@ pub fn pagerank(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
     let mut iterations = 0u32;
     // reused accumulator (zeroed as it is drained each iteration)
     let acc: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
 
     while !frontier.is_empty() && (iterations as usize) < opts.max_iters {
+        if let Some(tripped) = guard.check(iterations) {
+            outcome = tripped;
+            break;
+        }
         iterations += 1;
         ctx.counters.add_iteration(false);
         // absorb frontier residuals into the scores (compute step); a
@@ -110,12 +124,8 @@ pub fn pagerank(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
             }
         }
         // push: advance for effect with atomic accumulation
-        let functor = PushResidual {
-            graph: g,
-            residual_in: &residual,
-            acc: &acc,
-            damping: opts.damping,
-        };
+        let functor =
+            PushResidual { graph: g, residual_in: &residual, acc: &acc, damping: opts.damping };
         let spec = AdvanceSpec::for_effect().with_mode(opts.mode);
         let _ = advance::advance(ctx, &frontier, spec, &functor);
         // consumed residuals are gone; newly received ones replace them
@@ -123,29 +133,24 @@ pub fn pagerank(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
             residual[v as usize] = 0.0;
         }
         let teleport = dangling / n as f64;
-        residual
-            .par_iter_mut()
-            .zip(acc.par_iter())
-            .for_each(|(r, a)| {
-                *r += a.load() + teleport;
-                a.store(0.0);
-            });
+        residual.par_iter_mut().zip(acc.par_iter()).for_each(|(r, a)| {
+            *r += a.load() + teleport;
+            a.store(0.0);
+        });
         // filter: vertices with enough pending residual re-enter
         let eps = opts.epsilon;
         let next = compact_indices(&residual, |&r| r > eps);
         frontier = Frontier::from_vec(next);
     }
     // fold any remaining sub-threshold residual into the scores
-    scores
-        .par_iter_mut()
-        .zip(residual.par_iter())
-        .for_each(|(s, r)| *s += r);
+    scores.par_iter_mut().zip(residual.par_iter()).for_each(|(s, r)| *s += r);
 
     PrResult {
         scores,
         iterations,
         edges_examined: ctx.counters.edges(),
         elapsed: start.elapsed(),
+        outcome,
     }
 }
 
@@ -173,19 +178,24 @@ pub fn pagerank_pull(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
             iterations: 0,
             edges_examined: 0,
             elapsed: start.elapsed(),
+            outcome: RunOutcome::Converged,
         };
     }
     let base = (1.0 - opts.damping) / n as f64;
     let mut pr = vec![1.0 / n as f64; n];
     let frontier = Frontier::full(n);
     let mut iterations = 0u32;
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
     while (iterations as usize) < opts.max_iters {
+        if let Some(tripped) = guard.check(iterations) {
+            outcome = tripped;
+            break;
+        }
         iterations += 1;
         ctx.counters.add_iteration(false);
-        let dangling: f64 = (0..n as u32)
-            .filter(|&v| g.out_degree(v) == 0)
-            .map(|v| pr[v as usize])
-            .sum();
+        let dangling: f64 =
+            (0..n as u32).filter(|&v| g.out_degree(v) == 0).map(|v| pr[v as usize]).sum();
         let teleport = base + opts.damping * dangling / n as f64;
         let pr_ref = &pr;
         let gathered = neighbor_reduce(
@@ -202,10 +212,8 @@ pub fn pagerank_pull(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
             },
             |a, b| a + b,
         );
-        let next: Vec<f64> = gathered
-            .into_par_iter()
-            .map(|acc| teleport + opts.damping * acc)
-            .collect();
+        let next: Vec<f64> =
+            gathered.into_par_iter().map(|acc| teleport + opts.damping * acc).collect();
         let l1: f64 = pr.par_iter().zip(next.par_iter()).map(|(a, b)| (a - b).abs()).sum();
         pr = next;
         if l1 < opts.epsilon {
@@ -217,6 +225,7 @@ pub fn pagerank_pull(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
         iterations,
         edges_examined: ctx.counters.edges(),
         elapsed: start.elapsed(),
+        outcome,
     }
 }
 
@@ -248,8 +257,10 @@ mod tests {
 
     #[test]
     fn matches_power_iteration() {
-        let graphs = [GraphBuilder::new().build(erdos_renyi(300, 1500, 1)),
-            GraphBuilder::new().build(rmat(8, 16, Default::default(), 2))];
+        let graphs = [
+            GraphBuilder::new().build(erdos_renyi(300, 1500, 1)),
+            GraphBuilder::new().build(rmat(8, 16, Default::default(), 2)),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             let ctx = Context::new(g);
             let got = pagerank(&ctx, PrOptions { epsilon: 1e-12, ..Default::default() });
@@ -304,6 +315,29 @@ mod tests {
         };
         assert!(loose.iterations < tight.iterations);
         assert!(loose.edges_examined < tight.edges_examined);
+    }
+
+    #[test]
+    fn policy_cap_yields_partial_but_mass_conserving_scores() {
+        let g = GraphBuilder::new().build(erdos_renyi(300, 1200, 8));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(2));
+        let r = pagerank(&ctx, PrOptions { epsilon: 1e-12, ..Default::default() });
+        assert_eq!(r.outcome, RunOutcome::IterationCapped);
+        assert_eq!(r.iterations, 2);
+        // unpropagated residual folds back in: after k completed rounds
+        // the absorbed mass is exactly (1-d)(1 + d + ... + d^k) = 1-d^(k+1)
+        let sum: f64 = r.scores.iter().sum();
+        let want = 1.0 - 0.85f64.powi(3);
+        assert!((sum - want).abs() < 1e-9, "sum {sum}, want {want}");
+        // the algorithm's own cap is NOT a policy trip
+        let ctx = Context::new(&g);
+        let own = pagerank(&ctx, PrOptions { max_iters: 1, ..Default::default() });
+        assert_eq!(own.outcome, RunOutcome::Converged);
+        // pull mode honors the policy too
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(2));
+        let pull = pagerank_pull(&ctx, PrOptions { epsilon: 1e-12, ..Default::default() });
+        assert_eq!(pull.outcome, RunOutcome::IterationCapped);
+        assert_eq!(pull.iterations, 2);
     }
 
     #[test]

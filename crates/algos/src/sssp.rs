@@ -53,6 +53,11 @@ pub struct SsspResult {
     pub iterations: u32,
     /// Wall time of the enact loop.
     pub elapsed: std::time::Duration,
+    /// How the enact loop ended. Anything but
+    /// [`RunOutcome::Converged`] means `dist`/`preds` are a consistent
+    /// partial relaxation: every finite distance is a real path length,
+    /// but not necessarily the shortest.
+    pub outcome: RunOutcome,
 }
 
 impl SsspResult {
@@ -117,9 +122,7 @@ pub fn sssp(ctx: &Context<'_>, src: VertexId, opts: SsspOptions) -> SsspResult {
     let start = std::time::Instant::now();
     let dist = atomic_u32_vec(n, INFINITY);
     dist[src as usize].store(0, Ordering::Relaxed);
-    let preds = opts
-        .record_predecessors
-        .then(|| atomic_u32_vec(n, INVALID_VERTEX));
+    let preds = opts.record_predecessors.then(|| atomic_u32_vec(n, INVALID_VERTEX));
     let tags = atomic_u32_vec(n, u32::MAX);
     let delta = opts.delta.unwrap_or_else(|| default_delta(ctx.graph));
     let mut queue = NearFarQueue::new(delta);
@@ -128,17 +131,19 @@ pub fn sssp(ctx: &Context<'_>, src: VertexId, opts: SsspOptions) -> SsspResult {
     let mut queue_id = 0u32;
 
     let relax = Relax { graph: ctx.graph, dist: &dist, preds: preds.as_deref() };
-    loop {
+    let guard = ctx.guard();
+    let mut outcome = RunOutcome::Converged;
+    'enact: loop {
         while !frontier.is_empty() {
+            if let Some(tripped) = guard.check(iterations) {
+                outcome = tripped;
+                break 'enact;
+            }
             iterations += 1;
             ctx.counters.add_iteration(false);
             let spec = AdvanceSpec::v2v().with_mode(opts.mode);
             let raw = advance::advance(ctx, &frontier, spec, &relax);
-            let dedup = filter::filter(
-                ctx,
-                &raw,
-                &RemoveRedundant { tags: &tags, queue_id },
-            );
+            let dedup = filter::filter(ctx, &raw, &RemoveRedundant { tags: &tags, queue_id });
             queue_id = queue_id.wrapping_add(1);
             frontier = if opts.use_priority_queue {
                 queue.split(dedup, |v| dist[v as usize].load(Ordering::Relaxed))
@@ -161,6 +166,7 @@ pub fn sssp(ctx: &Context<'_>, src: VertexId, opts: SsspOptions) -> SsspResult {
         edges_examined: ctx.counters.edges(),
         iterations,
         elapsed: start.elapsed(),
+        outcome,
     }
 }
 
@@ -173,18 +179,15 @@ mod tests {
 
     fn suite() -> Vec<Csr> {
         vec![
-            GraphBuilder::new()
-                .random_weights(1, 64, 1)
-                .build(erdos_renyi(400, 1200, 1)),
-            GraphBuilder::new()
-                .random_weights(1, 64, 2)
-                .build(rmat(9, 8, Default::default(), 2)),
-            GraphBuilder::new()
-                .random_weights(1, 64, 3)
-                .build(grid2d(18, 18, 0.1, 0.0, 3)),
-            GraphBuilder::new()
-                .random_weights(1, 64, 4)
-                .build(hub_chain(500, 0.1, 100, 4)),
+            GraphBuilder::new().random_weights(1, 64, 1).build(erdos_renyi(400, 1200, 1)),
+            GraphBuilder::new().random_weights(1, 64, 2).build(rmat(
+                9,
+                8,
+                Default::default(),
+                2,
+            )),
+            GraphBuilder::new().random_weights(1, 64, 3).build(grid2d(18, 18, 0.1, 0.0, 3)),
+            GraphBuilder::new().random_weights(1, 64, 4).build(hub_chain(500, 0.1, 100, 4)),
         ]
     }
 
@@ -203,11 +206,8 @@ mod tests {
         for g in suite() {
             let want = serial::dijkstra(&g, 0);
             let ctx = Context::new(&g);
-            let r = sssp(
-                &ctx,
-                0,
-                SsspOptions { use_priority_queue: false, ..Default::default() },
-            );
+            let r =
+                sssp(&ctx, 0, SsspOptions { use_priority_queue: false, ..Default::default() });
             assert_eq!(r.dist, want);
         }
     }
@@ -227,9 +227,8 @@ mod tests {
     fn priority_queue_reduces_relaxations_vs_bellman_ford() {
         // on a long-diameter weighted graph, delta stepping should do
         // fewer edge relaxations than frontier Bellman-Ford
-        let g = GraphBuilder::new()
-            .random_weights(1, 64, 7)
-            .build(grid2d(40, 40, 0.05, 0.0, 7));
+        let g =
+            GraphBuilder::new().random_weights(1, 64, 7).build(grid2d(40, 40, 0.05, 0.0, 7));
         let bf = {
             let ctx = Context::new(&g);
             sssp(&ctx, 0, SsspOptions { use_priority_queue: false, ..Default::default() })
@@ -273,6 +272,41 @@ mod tests {
         let ctx = Context::new(&g);
         let r = sssp(&ctx, 0, SsspOptions::default());
         assert_eq!(r.dist, serial::bfs(&g, 0));
+    }
+
+    #[test]
+    fn iteration_cap_returns_consistent_partial_distances() {
+        let g =
+            GraphBuilder::new().random_weights(1, 64, 11).build(grid2d(30, 30, 0.0, 0.0, 11));
+        let full = {
+            let ctx = Context::new(&g);
+            sssp(&ctx, 0, SsspOptions::default())
+        };
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(2));
+        let r = sssp(&ctx, 0, SsspOptions::default());
+        assert_eq!(r.outcome, RunOutcome::IterationCapped);
+        assert_eq!(r.iterations, 2);
+        assert_eq!(full.outcome, RunOutcome::Converged);
+        // every settled distance is an upper bound on the true distance
+        // (a real path length), never an undershoot
+        for v in 0..g.num_vertices() {
+            assert!(r.dist[v] >= full.dist[v], "vertex {v}");
+        }
+        assert_eq!(r.dist[0], 0);
+    }
+
+    #[test]
+    fn pre_tripped_cancel_leaves_only_the_source_settled() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let g = &suite()[0];
+        let flag = Arc::new(AtomicBool::new(true));
+        let ctx = Context::new(g).with_policy(RunPolicy::unbounded().cancel_flag(flag));
+        let r = sssp(&ctx, 0, SsspOptions::default());
+        assert_eq!(r.outcome, RunOutcome::Cancelled);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.dist[0], 0);
+        assert!(r.dist[1..].iter().all(|&d| d == INFINITY));
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub struct TriangleResult {
     pub total: u64,
     /// Triangles incident to each vertex.
     pub per_vertex: Vec<u64>,
+    /// How the run ended. Triangle counting is two compute passes, not
+    /// an iterative loop, so the guard is checked between passes: a trip
+    /// before the first pass returns all zeros; a trip between passes
+    /// returns the exact total with empty `per_vertex`.
+    pub outcome: RunOutcome,
 }
 
 /// Size of the intersection of two ascending slices.
@@ -43,10 +48,13 @@ fn intersect_count(a: &[VertexId], b: &[VertexId]) -> u64 {
 pub fn triangle_count(ctx: &Context<'_>) -> TriangleResult {
     let g = ctx.graph;
     debug_assert!(
-        (0..g.num_vertices() as u32)
-            .all(|v| g.neighbors(v).windows(2).all(|w| w[0] < w[1])),
+        (0..g.num_vertices() as u32).all(|v| g.neighbors(v).windows(2).all(|w| w[0] < w[1])),
         "triangle counting requires sorted, deduplicated adjacency"
     );
+    let guard = ctx.guard();
+    if let Some(tripped) = guard.check(0) {
+        return TriangleResult { total: 0, per_vertex: Vec::new(), outcome: tripped };
+    }
     // Pass 1: total, over the edge frontier.
     let edge_frontier = Frontier::full(g.num_edges());
     let total = AtomicU64::new(0);
@@ -65,9 +73,17 @@ pub fn triangle_count(ctx: &Context<'_>) -> TriangleResult {
         }
     });
     ctx.counters.add_edges(g.num_edges() as u64);
+    if let Some(tripped) = guard.check(1) {
+        return TriangleResult {
+            total: total.load(Ordering::Relaxed),
+            per_vertex: Vec::new(),
+            outcome: tripped,
+        };
+    }
     TriangleResult {
         total: total.load(Ordering::Relaxed),
         per_vertex: per_vertex_counts(g),
+        outcome: RunOutcome::Converged,
     }
 }
 
@@ -107,10 +123,8 @@ mod tests {
             GraphBuilder::new().build(Coo::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]));
         let ctx = Context::new(&square);
         assert_eq!(triangle_count(&ctx).total, 0);
-        let k4 = GraphBuilder::new().build(Coo::from_edges(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        ));
+        let k4 = GraphBuilder::new()
+            .build(Coo::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]));
         let ctx = Context::new(&k4);
         let r = triangle_count(&ctx);
         assert_eq!(r.total, 4);
@@ -127,6 +141,29 @@ mod tests {
             // sum of per-vertex counts = 3 * total
             assert_eq!(r.per_vertex.iter().sum::<u64>(), 3 * r.total);
         }
+    }
+
+    #[test]
+    fn cancelled_count_returns_zero_without_panicking() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let g = GraphBuilder::new().build(erdos_renyi(100, 400, 6));
+        let flag = Arc::new(AtomicBool::new(true));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().cancel_flag(flag));
+        let r = triangle_count(&ctx);
+        assert_eq!(r.outcome, RunOutcome::Cancelled);
+        assert_eq!(r.total, 0);
+        assert!(r.per_vertex.is_empty());
+    }
+
+    #[test]
+    fn iteration_cap_between_passes_keeps_the_exact_total() {
+        let g = GraphBuilder::new().build(erdos_renyi(100, 400, 6));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(1));
+        let r = triangle_count(&ctx);
+        assert_eq!(r.outcome, RunOutcome::IterationCapped);
+        assert_eq!(r.total, serial::triangle_count(&g));
+        assert!(r.per_vertex.is_empty());
     }
 
     #[test]

@@ -67,18 +67,15 @@ pub fn run<P: VertexProgram>(
         iters += 1;
         // ---- Kernel 1: GATHER (materialized accumulator array) ----
         let acc: Vec<Option<P::Gather>> = match mode {
-            GasMode::PerVertex => active
-                .par_iter()
-                .map(|&v| gather_one(rev, program, v))
-                .collect(),
+            GasMode::PerVertex => {
+                active.par_iter().map(|&v| gather_one(rev, program, v)).collect()
+            }
             GasMode::Balanced => {
                 // dynamic chunks sized by a grain of vertices but using
                 // rayon's work stealing to smooth degree skew
                 active
                     .par_chunks(64)
-                    .flat_map_iter(|chunk| {
-                        chunk.iter().map(|&v| gather_one(rev, program, v))
-                    })
+                    .flat_map_iter(|chunk| chunk.iter().map(|&v| gather_one(rev, program, v)))
                     .collect()
             }
         };
@@ -282,19 +279,20 @@ impl VertexProgram for PrProgram<'_> {
 /// their score settles under `tol`). Graphs with dangling vertices are
 /// supported by uniform teleport only (dangling mass is dropped, as in
 /// the GAS frameworks).
-pub fn pagerank(g: &Csr, rev: &Csr, damping: f64, tol: f64, max_iters: usize, mode: GasMode) -> Vec<f64> {
+pub fn pagerank(
+    g: &Csr,
+    rev: &Csr,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+    mode: GasMode,
+) -> Vec<f64> {
     let n = g.num_vertices();
     if n == 0 {
         return Vec::new();
     }
     let pr: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(1.0 / n as f64)).collect();
-    let program = PrProgram {
-        g,
-        pr: &pr,
-        damping,
-        base: (1.0 - damping) / n as f64,
-        tol,
-    };
+    let program = PrProgram { g, pr: &pr, damping, base: (1.0 - damping) / n as f64, tol };
     let initial: Vec<u32> = (0..n as u32).collect();
     run(g, rev, &program, initial, mode, max_iters);
     pr.iter().map(|a| a.load()).collect()
@@ -309,12 +307,13 @@ mod tests {
 
     fn graphs() -> Vec<Csr> {
         vec![
-            GraphBuilder::new()
-                .random_weights(1, 64, 1)
-                .build(erdos_renyi(250, 700, 1)),
-            GraphBuilder::new()
-                .random_weights(1, 64, 2)
-                .build(rmat(8, 8, Default::default(), 2)),
+            GraphBuilder::new().random_weights(1, 64, 1).build(erdos_renyi(250, 700, 1)),
+            GraphBuilder::new().random_weights(1, 64, 2).build(rmat(
+                8,
+                8,
+                Default::default(),
+                2,
+            )),
         ]
     }
 

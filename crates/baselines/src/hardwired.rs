@@ -26,8 +26,7 @@ pub fn bfs(g: &Csr, rev: &Csr, src: VertexId) -> Vec<u32> {
     let mut unvisited_edges: u64 = g.num_edges() as u64 - g.out_degree(src) as u64;
     while !frontier.is_empty() {
         level += 1;
-        let frontier_edges: u64 =
-            frontier.par_iter().map(|&u| g.out_degree(u) as u64).sum();
+        let frontier_edges: u64 = frontier.par_iter().map(|&u| g.out_degree(u) as u64).sum();
         let next: Vec<u32> = if frontier_edges * 15 > unvisited_edges {
             // pull sweep over unvisited vertices
             let in_frontier = AtomicBitmap::new(n);
@@ -69,8 +68,8 @@ pub fn bfs(g: &Csr, rev: &Csr, src: VertexId) -> Vec<u32> {
                     a
                 })
         };
-        unvisited_edges =
-            unvisited_edges.saturating_sub(next.par_iter().map(|&v| g.out_degree(v) as u64).sum());
+        unvisited_edges = unvisited_edges
+            .saturating_sub(next.par_iter().map(|&v| g.out_degree(v) as u64).sum());
         frontier = next;
     }
     unwrap_atomic_u32(&depth)
@@ -291,15 +290,14 @@ mod tests {
 
     fn suite() -> Vec<Csr> {
         vec![
-            GraphBuilder::new()
-                .random_weights(1, 64, 1)
-                .build(erdos_renyi(300, 900, 1)),
-            GraphBuilder::new()
-                .random_weights(1, 64, 2)
-                .build(rmat(8, 8, Default::default(), 2)),
-            GraphBuilder::new()
-                .random_weights(1, 64, 3)
-                .build(grid2d(18, 18, 0.1, 0.05, 3)),
+            GraphBuilder::new().random_weights(1, 64, 1).build(erdos_renyi(300, 900, 1)),
+            GraphBuilder::new().random_weights(1, 64, 2).build(rmat(
+                8,
+                8,
+                Default::default(),
+                2,
+            )),
+            GraphBuilder::new().random_weights(1, 64, 3).build(grid2d(18, 18, 0.1, 0.05, 3)),
         ]
     }
 

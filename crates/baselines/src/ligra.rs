@@ -53,11 +53,9 @@ impl VertexSubset {
     pub fn to_vec(&self) -> Vec<u32> {
         match self {
             VertexSubset::Sparse(v) => v.clone(),
-            VertexSubset::Dense(d) => d
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &b)| b.then_some(i as u32))
-                .collect(),
+            VertexSubset::Dense(d) => {
+                d.iter().enumerate().filter_map(|(i, &b)| b.then_some(i as u32)).collect()
+            }
         }
     }
 }
@@ -133,7 +131,8 @@ where
                 for &u in chunk {
                     for e in g.edge_range(u) {
                         let v = g.col_indices()[e];
-                        if cond(v) && update(u, v, g.weight(e as u32))
+                        if cond(v)
+                            && update(u, v, g.weight(e as u32))
                             && !claimed.test_and_set(v as usize)
                         {
                             local.push(v);
@@ -158,10 +157,7 @@ where
             VertexSubset::Sparse(v.par_iter().copied().filter(|&u| f(u)).collect())
         }
         VertexSubset::Dense(d) => VertexSubset::Dense(
-            d.par_iter()
-                .enumerate()
-                .map(|(i, &b)| b && f(i as u32))
-                .collect(),
+            d.par_iter().enumerate().map(|(i, &b)| b && f(i as u32)).collect(),
         ),
     }
 }
@@ -387,9 +383,7 @@ mod tests {
     use gunrock_graph::{Coo, GraphBuilder};
 
     fn random_graph(seed: u64) -> Csr {
-        GraphBuilder::new()
-            .random_weights(1, 64, seed)
-            .build(erdos_renyi(300, 900, seed))
+        GraphBuilder::new().random_weights(1, 64, seed).build(erdos_renyi(300, 900, seed))
     }
 
     #[test]

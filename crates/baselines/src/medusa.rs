@@ -109,9 +109,7 @@ pub fn bfs(g: &Csr, src: VertexId) -> Vec<u32> {
                 }
             },
             |a: u32, b: u32| a.min(b),
-            |v, d| {
-                depth_ref[v as usize].fetch_min(d, Ordering::Relaxed) > d
-            },
+            |v, d| depth_ref[v as usize].fetch_min(d, Ordering::Relaxed) > d,
         );
     }
     unwrap_atomic_u32(&depth)
@@ -171,10 +169,8 @@ pub fn pagerank(g: &Csr, damping: f64, tol: f64, max_iters: usize) -> Vec<f64> {
                 false
             },
         );
-        let next: Vec<f64> = (0..n)
-            .into_par_iter()
-            .map(|v| base + damping * acc[v].load())
-            .collect();
+        let next: Vec<f64> =
+            (0..n).into_par_iter().map(|v| base + damping * acc[v].load()).collect();
         let l1: f64 = pr.par_iter().zip(next.par_iter()).map(|(a, b)| (a - b).abs()).sum();
         pr = next;
         if l1 < tol {
@@ -192,16 +188,13 @@ mod tests {
     use gunrock_graph::GraphBuilder;
 
     fn weighted_random(seed: u64) -> Csr {
-        GraphBuilder::new()
-            .random_weights(1, 64, seed)
-            .build(erdos_renyi(250, 800, seed))
+        GraphBuilder::new().random_weights(1, 64, seed).build(erdos_renyi(250, 800, seed))
     }
 
     #[test]
     fn superstep_combines_messages_per_destination() {
         // star: 0 -> {1, 2}; 1 -> 0; 2 -> 0. active {1, 2} both message 0
-        let g = GraphBuilder::new()
-            .build(gunrock_graph::Coo::from_edges(3, &[(0, 1), (0, 2)]));
+        let g = GraphBuilder::new().build(gunrock_graph::Coo::from_edges(3, &[(0, 1), (0, 2)]));
         let seen = atomic_u32_vec(3, 0);
         let seen_ref: &[AtomicU32] = &seen;
         let next = superstep(
@@ -247,13 +240,7 @@ mod tests {
     #[test]
     fn empty_active_set_is_stable() {
         let g = weighted_random(1);
-        let next = superstep(
-            &g,
-            &[],
-            |_, _, _| Some(0u32),
-            |a, _| a,
-            |_, _| true,
-        );
+        let next = superstep(&g, &[], |_, _, _| Some(0u32), |a, _| a, |_, _| true);
         assert!(next.is_empty());
     }
 }

@@ -170,12 +170,8 @@ pub fn connected_components(g: &Csr) -> Vec<VertexId> {
 
 /// Number of distinct components given a label array.
 pub fn num_components(labels: &[VertexId]) -> usize {
-    let mut roots: Vec<VertexId> = labels
-        .iter()
-        .enumerate()
-        .filter(|&(v, &l)| v as u32 == l)
-        .map(|(_, &l)| l)
-        .collect();
+    let mut roots: Vec<VertexId> =
+        labels.iter().enumerate().filter(|&(v, &l)| v as u32 == l).map(|(_, &l)| l).collect();
     roots.dedup();
     roots.len()
 }
@@ -192,7 +188,8 @@ pub fn triangle_count(g: &Csr) -> u64 {
             }
             let nu = g.neighbors(u);
             let nv = g.neighbors(v);
-            let (mut i, mut j) = (nu.partition_point(|&x| x <= v), nv.partition_point(|&x| x <= v));
+            let (mut i, mut j) =
+                (nu.partition_point(|&x| x <= v), nv.partition_point(|&x| x <= v));
             while i < nu.len() && j < nv.len() {
                 match nu[i].cmp(&nv[j]) {
                     std::cmp::Ordering::Less => i += 1,
@@ -221,10 +218,8 @@ pub fn pagerank(g: &Csr, d: f64, tol: f64, max_iters: usize) -> Vec<f64> {
     let mut pr = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
     for _ in 0..max_iters {
-        let dangling: f64 = (0..n as VertexId)
-            .filter(|&v| g.out_degree(v) == 0)
-            .map(|v| pr[v as usize])
-            .sum();
+        let dangling: f64 =
+            (0..n as VertexId).filter(|&v| g.out_degree(v) == 0).map(|v| pr[v as usize]).sum();
         let base = (1.0 - d) / n as f64 + d * dangling / n as f64;
         next.iter_mut().for_each(|x| *x = base);
         for u in 0..n as VertexId {
@@ -257,10 +252,8 @@ mod tests {
 
     fn weighted_diamond() -> Csr {
         // 0 -1- 1 -1- 3 ; 0 -5- 2 -1- 3 : shortest 0..3 = 2 via 1
-        GraphBuilder::new().build(Coo::from_weighted_edges(
-            4,
-            &[(0, 1, 1), (1, 3, 1), (0, 2, 5), (2, 3, 1)],
-        ))
+        GraphBuilder::new()
+            .build(Coo::from_weighted_edges(4, &[(0, 1, 1), (1, 3, 1), (0, 2, 5), (2, 3, 1)]))
     }
 
     #[test]
@@ -325,8 +318,8 @@ mod tests {
     #[test]
     fn pagerank_sums_to_one_and_ranks_hub_highest() {
         // star: hub 0 with 4 leaves
-        let g = GraphBuilder::new()
-            .build(Coo::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]));
+        let g =
+            GraphBuilder::new().build(Coo::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]));
         let pr = pagerank(&g, 0.85, 1e-12, 200);
         let sum: f64 = pr.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");

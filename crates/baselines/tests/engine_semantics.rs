@@ -25,13 +25,7 @@ fn edge_map_small_frontier_stays_sparse_large_goes_dense() {
     let out = edge_map(&g, &g, &VertexSubset::single(0), |_, _, _| true, |_| true);
     assert!(matches!(out, VertexSubset::Sparse(_)), "tiny frontier should push");
     // full frontier: dense output expected
-    let out = edge_map(
-        &g,
-        &g,
-        &VertexSubset::full(g.num_vertices()),
-        |_, _, _| true,
-        |_| true,
-    );
+    let out = edge_map(&g, &g, &VertexSubset::full(g.num_vertices()), |_, _, _| true, |_| true);
     assert!(matches!(out, VertexSubset::Dense(_)), "full frontier should pull");
 }
 
@@ -55,10 +49,8 @@ fn edge_map_update_sees_each_directed_edge_at_most_once_in_sparse_mode() {
 #[test]
 fn gas_superstep_count_tracks_graph_diameter() {
     // a path graph needs about diameter supersteps for BFS-like programs
-    let g = GraphBuilder::new().build(Coo::from_edges(
-        6,
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
-    ));
+    let g = GraphBuilder::new()
+        .build(Coo::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]));
     let depth = gas::bfs(&g, &g, 0, gas::GasMode::Balanced);
     assert_eq!(depth, serial::bfs(&g, 0));
     assert_eq!(depth[5], 5);

@@ -16,7 +16,10 @@ fn bench_pagerank(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("gunrock", name), g, |b, g| {
             b.iter(|| {
                 let ctx = Context::new(g);
-                pagerank(&ctx, PrOptions { epsilon: 1e-7, max_iters: 100, ..Default::default() })
+                pagerank(
+                    &ctx,
+                    PrOptions { epsilon: 1e-7, max_iters: 100, ..Default::default() },
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("gunrock_1iter", name), g, |b, g| {

@@ -21,10 +21,7 @@ fn run_config(g: &gunrock_graph::Csr, opts: BfsOptions, runs: usize) -> (f64, f6
     let ctx = Context::new(g);
     let r = bfs(&ctx, 0, opts);
     let reached = r.labels.iter().filter(|&&l| l != INFINITY).count().max(1);
-    let filtered = ctx
-        .counters
-        .elements_filtered
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let filtered = ctx.counters.elements_filtered.load(std::sync::atomic::Ordering::Relaxed);
     (ms, filtered as f64 / reached as f64)
 }
 

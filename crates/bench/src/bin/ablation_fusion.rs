@@ -73,8 +73,7 @@ fn main() {
             let ctx = Context::new(g);
             std::hint::black_box(bfs(&ctx, 0, BfsOptions::fused()))
         });
-        let unfused_ms =
-            time_avg_ms(args.runs, || std::hint::black_box(bfs_unfused(g, 0)));
+        let unfused_ms = time_avg_ms(args.runs, || std::hint::black_box(bfs_unfused(g, 0)));
         t.row(vec![
             d.name.to_string(),
             fmt_ms(unfused_ms),

@@ -22,7 +22,15 @@ fn main() {
 
     for alg in Algorithm::ALL {
         let mut t = Table::new(vec![
-            "Alg", "Dataset", "BGL", "PG", "Medusa", "MapGraph", "Hardwired", "Ligra", "Gunrock",
+            "Alg",
+            "Dataset",
+            "BGL",
+            "PG",
+            "Medusa",
+            "MapGraph",
+            "Hardwired",
+            "Ligra",
+            "Gunrock",
             "Gunrock MTEPS",
         ]);
         for d in &datasets {

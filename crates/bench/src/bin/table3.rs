@@ -16,9 +16,7 @@ use gunrock_graph::GraphBuilder;
 
 fn main() {
     let args = BenchArgs::parse();
-    let base: u32 = arg_value("--scale")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let base: u32 = arg_value("--scale").and_then(|s| s.parse().ok()).unwrap_or(10);
     println!("## Table 3: scalability on Kronecker graphs, scales {}..{}\n", base, base + 4);
     let mut t = Table::new(vec![
         "Dataset",
@@ -32,9 +30,12 @@ fn main() {
         "SSSP MTEPS",
     ]);
     for scale in base..base + 5 {
-        let g = GraphBuilder::new()
-            .random_weights(1, 64, 0xC0FFEE)
-            .build(rmat(scale, 16, RmatParams::graph500(), 103));
+        let g = GraphBuilder::new().random_weights(1, 64, 0xC0FFEE).build(rmat(
+            scale,
+            16,
+            RmatParams::graph500(),
+            103,
+        ));
         let m = g.num_edges() as f64;
         let mteps = |ms: f64| m / (ms / 1e3) / 1e6;
         let bfs_ms = time_avg_ms(args.runs, || {

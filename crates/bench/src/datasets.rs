@@ -55,10 +55,7 @@ pub fn load_dataset(name: &str, scale: u32) -> Dataset {
         }
         other => panic!("unknown dataset {other:?} (expected one of {DATASET_NAMES:?})"),
     };
-    let name = DATASET_NAMES
-        .iter()
-        .find(|&&n| n == name)
-        .expect("validated above");
+    let name = DATASET_NAMES.iter().find(|&&n| n == name).expect("validated above");
     Dataset { name, graph }
 }
 

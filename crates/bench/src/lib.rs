@@ -32,10 +32,7 @@ pub use table::{geomean, Table};
 /// the value for `name` if present.
 pub fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
 }
 
 /// True if the bare flag `name` is present.

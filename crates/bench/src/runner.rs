@@ -101,7 +101,12 @@ const PR_MAX_ITERS: usize = 100;
 /// Runs `alg` on `sys` over the dataset, timing `runs` executions.
 /// Returns `None` for combinations with no implementation (mirroring the
 /// dashes in Table 2: Medusa has no BC/CC, the GAS engines have no BC).
-pub fn run_system(sys: System, alg: Algorithm, d: &Dataset, runs: usize) -> Option<Measurement> {
+pub fn run_system(
+    sys: System,
+    alg: Algorithm,
+    d: &Dataset,
+    runs: usize,
+) -> Option<Measurement> {
     let g = &d.graph;
     let rev = d.reverse();
     let src = 0u32;
@@ -212,7 +217,11 @@ pub fn run_system(sys: System, alg: Algorithm, d: &Dataset, runs: usize) -> Opti
 
         (System::Gunrock, Algorithm::Bfs) => Box::new(move || {
             let ctx = Context::new(g).with_reverse(rev);
-            std::hint::black_box(algos::bfs(&ctx, src, algos::BfsOptions::direction_optimized()));
+            std::hint::black_box(algos::bfs(
+                &ctx,
+                src,
+                algos::BfsOptions::direction_optimized(),
+            ));
         }),
         (System::Gunrock, Algorithm::Sssp) => Box::new(move || {
             let ctx = Context::new(g);

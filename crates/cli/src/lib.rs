@@ -15,7 +15,13 @@
 //!   --weights LO..HI   random edge weights (default: 1..64 for sssp/mst)
 //!   --verify           cross-check the result against the serial oracle
 //!   --top K            print the top-K vertices by score (default: 5)
+//!   --max-iters N      stop after N bulk-synchronous iterations
+//!   --timeout-ms N     stop after N milliseconds of wall clock
 //! ```
+//!
+//! Exit codes: `0` converged, `1` error (bad arguments, unreadable or
+//! malformed graph, failed verification), `2` a guard tripped and the
+//! printed result is partial.
 //!
 //! The dispatch logic lives in this library crate so it can be unit
 //! tested; `main` is a one-liner.
@@ -44,7 +50,9 @@ options:
   --src N            source vertex for bfs/sssp/bc (default: 0)
   --weights LO..HI   random edge weights (default: 1..64 for sssp/mst)
   --verify           cross-check against the serial oracle
-  --top K            print the top-K vertices by score (default: 5)";
+  --top K            print the top-K vertices by score (default: 5)
+  --max-iters N      stop after N bulk-synchronous iterations (exit 2)
+  --timeout-ms N     stop after N milliseconds of wall clock (exit 2)";
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,9 +80,7 @@ pub fn parse_args(raw: Vec<String>) -> Result<Args, String> {
         match a.as_str() {
             "--verify" => verify = true,
             flag if flag.starts_with("--") => {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag {flag} requires a value"))?;
+                let value = it.next().ok_or_else(|| format!("flag {flag} requires a value"))?;
                 flags.insert(flag.trim_start_matches("--").to_string(), value);
             }
             other => return Err(format!("unexpected argument {other:?}\n\n{USAGE}")),
@@ -89,6 +95,22 @@ impl Args {
             Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
             None => Ok(default),
         }
+    }
+
+    /// Builds the execution policy from `--max-iters` / `--timeout-ms`.
+    pub fn policy(&self) -> Result<RunPolicy, String> {
+        let mut policy = RunPolicy::unbounded();
+        if let Some(v) = self.flags.get("max-iters") {
+            let cap: u32 =
+                v.parse().map_err(|_| format!("--max-iters expects a number, got {v:?}"))?;
+            policy = policy.max_iterations(cap);
+        }
+        if let Some(v) = self.flags.get("timeout-ms") {
+            let ms: u64 =
+                v.parse().map_err(|_| format!("--timeout-ms expects a number, got {v:?}"))?;
+            policy = policy.wall_clock_budget(std::time::Duration::from_millis(ms));
+        }
+        Ok(policy)
     }
 
     fn weights(&self) -> Result<Option<(u32, u32)>, String> {
@@ -120,9 +142,7 @@ pub fn load_or_generate(args: &Args) -> Result<Csr, String> {
     let kind = args.flags.get("gen").map(String::as_str).unwrap_or("kron");
     // sssp/mst want weights by default
     let default_weighted = matches!(args.primitive.as_str(), "sssp" | "mst");
-    let weights = args
-        .weights()?
-        .or(if default_weighted { Some((1, 64)) } else { None });
+    let weights = args.weights()?.or(if default_weighted { Some((1, 64)) } else { None });
     let mut builder = GraphBuilder::new();
     if let Some((lo, hi)) = weights {
         builder = builder.random_weights(lo, hi, seed);
@@ -153,17 +173,18 @@ fn top_k(scores: &[f64], k: usize) -> Vec<(usize, f64)> {
 }
 
 /// The primitives `execute` understands.
-pub const PRIMITIVES: [&str; 10] = [
-    "bfs", "sssp", "bc", "cc", "pagerank", "mst", "kcore", "triangles", "labelprop", "stats",
-];
+pub const PRIMITIVES: [&str; 10] =
+    ["bfs", "sssp", "bc", "cc", "pagerank", "mst", "kcore", "triangles", "labelprop", "stats"];
 
-/// Executes the parsed command, printing results; returns a process exit
-/// code.
-pub fn execute(args: &Args) -> Result<(), String> {
+/// Executes the parsed command, printing results. `Ok` carries how the
+/// enact loop ended: anything but [`RunOutcome::Converged`] means the
+/// printed result is partial (exit code 2).
+pub fn execute(args: &Args) -> Result<RunOutcome, String> {
     // reject unknown primitives before paying for graph construction
     if !PRIMITIVES.contains(&args.primitive.as_str()) {
         return Err(format!("unknown primitive {:?}\n\n{USAGE}", args.primitive));
     }
+    let policy = args.policy()?;
     let g = load_or_generate(args)?;
     let n = g.num_vertices();
     let src = args.get_usize("src", 0)? as u32;
@@ -177,6 +198,16 @@ pub fn execute(args: &Args) -> Result<(), String> {
         g.num_edges(),
         g.max_degree()
     );
+    let mut outcome = RunOutcome::Converged;
+    // --verify against a converged oracle only makes sense for a
+    // converged run; a tripped guard skips it with a note instead of
+    // reporting a spurious mismatch
+    let verify = |o: RunOutcome| -> bool {
+        if args.verify && !o.is_converged() {
+            println!("skipping --verify: result is partial ({o})");
+        }
+        args.verify && o.is_converged()
+    };
     match args.primitive.as_str() {
         "stats" => {
             let s = stats::graph_stats(&g);
@@ -194,7 +225,7 @@ pub fn execute(args: &Args) -> Result<(), String> {
             }
         }
         "bfs" => {
-            let ctx = Context::new(&g).with_reverse(&g);
+            let ctx = Context::new(&g).with_reverse(&g).with_policy(policy);
             let r = algos::bfs(&ctx, src, algos::BfsOptions::direction_optimized());
             let reached = r.labels.iter().filter(|&&l| l != INFINITY).count();
             println!(
@@ -204,12 +235,13 @@ pub fn execute(args: &Args) -> Result<(), String> {
                 r.elapsed.as_secs_f64() * 1e3,
                 r.mteps()
             );
-            if args.verify {
+            outcome = r.outcome;
+            if verify(r.outcome) {
                 verify_eq(&r.labels, &serial::bfs(&g, src), "bfs depths")?;
             }
         }
         "sssp" => {
-            let ctx = Context::new(&g);
+            let ctx = Context::new(&g).with_policy(policy);
             let r = algos::sssp(&ctx, src, algos::SsspOptions::default());
             let reached = r.dist.iter().filter(|&&d| d != INFINITY).count();
             println!(
@@ -218,12 +250,13 @@ pub fn execute(args: &Args) -> Result<(), String> {
                 r.elapsed.as_secs_f64() * 1e3,
                 r.mteps()
             );
-            if args.verify {
+            outcome = r.outcome;
+            if verify(r.outcome) {
                 verify_eq(&r.dist, &serial::dijkstra(&g, src), "sssp distances")?;
             }
         }
         "bc" => {
-            let ctx = Context::new(&g);
+            let ctx = Context::new(&g).with_policy(policy);
             let r = algos::bc(&ctx, src, algos::BcOptions::default());
             println!(
                 "bc from {src}: {} iterations, {:.2} ms; top dependency scores:",
@@ -233,7 +266,8 @@ pub fn execute(args: &Args) -> Result<(), String> {
             for (v, s) in top_k(&r.bc_values, k) {
                 println!("  #{v:<8} {s:.2}");
             }
-            if args.verify {
+            outcome = r.outcome;
+            if verify(r.outcome) {
                 let want = serial::brandes_single_source(&g, src);
                 for (i, (a, b)) in r.bc_values.iter().zip(&want).enumerate() {
                     if (a - b).abs() > 1e-6 {
@@ -244,7 +278,7 @@ pub fn execute(args: &Args) -> Result<(), String> {
             }
         }
         "cc" => {
-            let ctx = Context::new(&g);
+            let ctx = Context::new(&g).with_policy(policy);
             let r = algos::cc(&ctx);
             println!(
                 "cc: {} components in {} iterations, {:.2} ms",
@@ -252,12 +286,13 @@ pub fn execute(args: &Args) -> Result<(), String> {
                 r.iterations,
                 r.elapsed.as_secs_f64() * 1e3
             );
-            if args.verify {
+            outcome = r.outcome;
+            if verify(r.outcome) {
                 verify_eq(&r.labels, &serial::connected_components(&g), "component labels")?;
             }
         }
         "pagerank" => {
-            let ctx = Context::new(&g);
+            let ctx = Context::new(&g).with_policy(policy);
             let r = algos::pagerank(
                 &ctx,
                 algos::PrOptions { epsilon: 1e-10, ..Default::default() },
@@ -270,7 +305,8 @@ pub fn execute(args: &Args) -> Result<(), String> {
             for (v, s) in top_k(&r.scores, k) {
                 println!("  #{v:<8} {s:.6}");
             }
-            if args.verify {
+            outcome = r.outcome;
+            if verify(r.outcome) {
                 let want = serial::pagerank(&g, 0.85, 1e-12, 2000);
                 for (i, (a, b)) in r.scores.iter().zip(&want).enumerate() {
                     if (a - b).abs() > 1e-5 {
@@ -281,7 +317,7 @@ pub fn execute(args: &Args) -> Result<(), String> {
             }
         }
         "mst" => {
-            let ctx = Context::new(&g);
+            let ctx = Context::new(&g).with_policy(policy);
             let r = algos::mst(&ctx);
             println!(
                 "mst: {} edges, total weight {}, {} trees, {} rounds",
@@ -290,7 +326,8 @@ pub fn execute(args: &Args) -> Result<(), String> {
                 r.num_trees,
                 r.rounds
             );
-            if args.verify {
+            outcome = r.outcome;
+            if verify(r.outcome) {
                 let want = algos::mst::mst_weight_kruskal(&g);
                 if r.total_weight != want {
                     return Err(format!(
@@ -302,18 +339,20 @@ pub fn execute(args: &Args) -> Result<(), String> {
             }
         }
         "kcore" => {
-            let ctx = Context::new(&g);
+            let ctx = Context::new(&g).with_policy(policy);
             let r = algos::k_core(&ctx);
             println!("kcore: degeneracy {}, {} iterations", r.degeneracy, r.iterations);
-            if args.verify {
+            outcome = r.outcome;
+            if verify(r.outcome) {
                 verify_eq(&r.core_numbers, &algos::kcore::k_core_serial(&g), "core numbers")?;
             }
         }
         "triangles" => {
-            let ctx = Context::new(&g);
+            let ctx = Context::new(&g).with_policy(policy);
             let r = algos::triangle_count(&ctx);
             println!("triangles: {} total", r.total);
-            if args.verify {
+            outcome = r.outcome;
+            if verify(r.outcome) {
                 let want = serial::triangle_count(&g);
                 if r.total != want {
                     return Err(format!("VERIFY FAILED: {} vs oracle {want}", r.total));
@@ -322,16 +361,20 @@ pub fn execute(args: &Args) -> Result<(), String> {
             }
         }
         "labelprop" => {
-            let ctx = Context::new(&g);
+            let ctx = Context::new(&g).with_policy(policy);
             let r = algos::label_prop::label_propagation(&ctx, 50);
             println!(
                 "label propagation: {} communities after {} rounds",
                 r.num_communities, r.rounds
             );
+            outcome = r.outcome;
         }
         other => unreachable!("primitive {other:?} validated against PRIMITIVES"),
     }
-    Ok(())
+    if !outcome.is_converged() {
+        println!("partial result: {outcome}");
+    }
+    Ok(outcome)
 }
 
 fn verify_eq<T: PartialEq + std::fmt::Debug>(
@@ -349,9 +392,11 @@ fn verify_eq<T: PartialEq + std::fmt::Debug>(
 }
 
 /// Entry point used by `main`: returns the process exit code.
+/// `0` converged, `1` error, `2` partial result (a guard tripped).
 pub fn run(raw: Vec<String>) -> i32 {
     match parse_args(raw).and_then(|args| execute(&args)) {
-        Ok(()) => 0,
+        Ok(outcome) if outcome.is_converged() => 0,
+        Ok(_) => 2,
         Err(msg) => {
             eprintln!("{msg}");
             1
@@ -380,7 +425,9 @@ mod tests {
     fn parse_errors_are_helpful() {
         assert!(parse_args(args(&[])).unwrap_err().contains("usage"));
         assert!(parse_args(args(&["--scale", "8"])).unwrap_err().contains("primitive"));
-        assert!(parse_args(args(&["bfs", "--scale"])).unwrap_err().contains("requires a value"));
+        assert!(parse_args(args(&["bfs", "--scale"]))
+            .unwrap_err()
+            .contains("requires a value"));
         assert!(parse_args(args(&["bfs", "stray"])).unwrap_err().contains("unexpected"));
     }
 
@@ -408,11 +455,59 @@ mod tests {
     #[test]
     fn execute_every_primitive_with_verify() {
         for prim in [
-            "bfs", "sssp", "bc", "cc", "pagerank", "mst", "kcore", "triangles", "labelprop",
+            "bfs",
+            "sssp",
+            "bc",
+            "cc",
+            "pagerank",
+            "mst",
+            "kcore",
+            "triangles",
+            "labelprop",
             "stats",
         ] {
             let a = parse_args(args(&[prim, "--scale", "7", "--verify"])).unwrap();
-            execute(&a).unwrap_or_else(|e| panic!("{prim}: {e}"));
+            let outcome = execute(&a).unwrap_or_else(|e| panic!("{prim}: {e}"));
+            assert!(outcome.is_converged(), "{prim}");
+        }
+    }
+
+    #[test]
+    fn policy_flags_build_a_run_policy() {
+        let a = parse_args(args(&["bfs", "--max-iters", "3", "--timeout-ms", "500"])).unwrap();
+        let p = a.policy().unwrap();
+        assert!(!p.is_unbounded());
+        let bad = parse_args(args(&["bfs", "--max-iters", "lots"])).unwrap();
+        assert!(bad.policy().unwrap_err().contains("--max-iters"));
+        let bad = parse_args(args(&["bfs", "--timeout-ms", "-1"])).unwrap();
+        assert!(bad.policy().unwrap_err().contains("--timeout-ms"));
+    }
+
+    #[test]
+    fn capped_run_reports_partial_and_exit_code_2() {
+        // scale-9 kron BFS needs more than one level to converge
+        let a = parse_args(args(&["bfs", "--scale", "9", "--max-iters", "1"])).unwrap();
+        let outcome = execute(&a).unwrap();
+        assert_eq!(outcome, RunOutcome::IterationCapped);
+        assert_eq!(run(args(&["bfs", "--scale", "9", "--max-iters", "1"])), 2);
+        // verify is skipped (not failed) on a partial result
+        let a =
+            parse_args(args(&["bfs", "--scale", "9", "--max-iters", "1", "--verify"])).unwrap();
+        assert!(execute(&a).is_ok());
+        // unbounded runs still exit 0
+        assert_eq!(run(args(&["bfs", "--scale", "7"])), 0);
+    }
+
+    #[test]
+    fn every_primitive_honors_the_iteration_cap() {
+        // every iterative primitive must come back quickly with a
+        // partial outcome under a 1-iteration policy, never hang or panic
+        for prim in
+            ["bfs", "sssp", "bc", "cc", "pagerank", "mst", "kcore", "triangles", "labelprop"]
+        {
+            let a = parse_args(args(&[prim, "--scale", "8", "--max-iters", "1"])).unwrap();
+            let outcome = execute(&a).unwrap_or_else(|e| panic!("{prim}: {e}"));
+            assert_eq!(outcome, RunOutcome::IterationCapped, "{prim}");
         }
     }
 

@@ -1,2 +1,4 @@
 //! `gunrock` binary entry point; all logic lives in [`gunrock_cli`].
-fn main() { std::process::exit(gunrock_cli::run(std::env::args().skip(1).collect())) }
+fn main() {
+    std::process::exit(gunrock_cli::run(std::env::args().skip(1).collect()))
+}

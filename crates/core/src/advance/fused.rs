@@ -157,8 +157,8 @@ mod tests {
     fn fused_output_is_a_set_of_new_discoveries() {
         // diamond: 0-1, 0-2, 1-3, 2-3: both 1 and 2 reach 3, fused
         // output must contain 3 exactly once
-        let g = GraphBuilder::new()
-            .build(Coo::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
+        let g =
+            GraphBuilder::new().build(Coo::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
         let ctx = Context::new(&g);
         let visited = AtomicBitmap::new(4);
         visited.set(0);
@@ -186,14 +186,9 @@ mod tests {
             for v in &frontier {
                 visited.set(v as usize);
             }
-            let mut v = advance_filter_fused(
-                &ctx,
-                &frontier,
-                AdvanceSpec::v2v(),
-                &AcceptAll,
-                &visited,
-            )
-            .into_vec();
+            let mut v =
+                advance_filter_fused(&ctx, &frontier, AdvanceSpec::v2v(), &AcceptAll, &visited)
+                    .into_vec();
             v.sort_unstable();
             v
         };
@@ -228,14 +223,9 @@ mod tests {
             let config = gunrock_engine::EngineConfig::new().with_lb_threshold(threshold);
             let ctx = Context::new(&g).with_config(config);
             let visited = AtomicBitmap::new(n);
-            let mut v = advance_filter_fused(
-                &ctx,
-                &frontier,
-                AdvanceSpec::v2v(),
-                &AcceptAll,
-                &visited,
-            )
-            .into_vec();
+            let mut v =
+                advance_filter_fused(&ctx, &frontier, AdvanceSpec::v2v(), &AcceptAll, &visited)
+                    .into_vec();
             v.sort_unstable();
             v
         };
@@ -247,8 +237,13 @@ mod tests {
         let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
         let ctx = Context::new(&g);
         let visited = AtomicBitmap::new(2);
-        let out =
-            advance_filter_fused(&ctx, &Frontier::new(), AdvanceSpec::v2v(), &AcceptAll, &visited);
+        let out = advance_filter_fused(
+            &ctx,
+            &Frontier::new(),
+            AdvanceSpec::v2v(),
+            &AcceptAll,
+            &visited,
+        );
         assert!(out.is_empty());
     }
 }

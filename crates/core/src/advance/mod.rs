@@ -120,11 +120,7 @@ impl AdvanceSpec {
 
 /// Maps a frontier item to the vertex whose neighbor list it expands.
 #[inline]
-pub(crate) fn expansion_vertex(
-    ctx: &Context<'_>,
-    input: InputKind,
-    item: u32,
-) -> VertexId {
+pub(crate) fn expansion_vertex(ctx: &Context<'_>, input: InputKind, item: u32) -> VertexId {
     match input {
         InputKind::Vertices => item,
         InputKind::Edges => ctx.graph.edge_dest(item),

@@ -207,7 +207,8 @@ pub fn load_balanced<F: AdvanceFunctor>(
     // Phase 3: walk each chunk; slot w of the output belongs to edge rank
     // w, making output order deterministic.
     let collect_output = spec.output != OutputKind::None;
-    let mut slots: Vec<u32> = if collect_output { vec![INVALID_SLOT; total as usize] } else { Vec::new() };
+    let mut slots: Vec<u32> =
+        if collect_output { vec![INVALID_SLOT; total as usize] } else { Vec::new() };
     {
         let out_ref = UnsafeSlice::new(&mut slots);
         starts.par_iter().enumerate().for_each(|(ci, &seg_start)| {
@@ -268,16 +269,18 @@ mod tests {
     ) -> Vec<Vec<u32>> {
         let ctx = Context::new(g);
         let f = Frontier::from_vec(input);
-        [thread_mapped(&ctx, &f, spec, &AcceptAll),
-         twc(&ctx, &f, spec, &AcceptAll),
-         load_balanced(&ctx, &f, spec, &AcceptAll)]
-            .into_iter()
-            .map(|fr| {
-                let mut v = fr.into_vec();
-                v.sort_unstable();
-                v
-            })
-            .collect()
+        [
+            thread_mapped(&ctx, &f, spec, &AcceptAll),
+            twc(&ctx, &f, spec, &AcceptAll),
+            load_balanced(&ctx, &f, spec, &AcceptAll),
+        ]
+        .into_iter()
+        .map(|fr| {
+            let mut v = fr.into_vec();
+            v.sort_unstable();
+            v
+        })
+        .collect()
     }
 
     #[test]
@@ -301,10 +304,9 @@ mod tests {
 
     #[test]
     fn load_balanced_output_is_in_edge_rank_order() {
-        let g = GraphBuilder::new().directed().build(Coo::from_edges(
-            4,
-            &[(0, 3), (0, 1), (2, 0), (2, 3)],
-        ));
+        let g = GraphBuilder::new()
+            .directed()
+            .build(Coo::from_edges(4, &[(0, 3), (0, 1), (2, 0), (2, 3)]));
         let ctx = Context::new(&g);
         let out = load_balanced(
             &ctx,
@@ -338,7 +340,12 @@ mod tests {
         let expect = g.num_edges() as u64;
         for mode in [AdvanceMode::ThreadMapped, AdvanceMode::Twc, AdvanceMode::LoadBalanced] {
             let ctx = Context::new(&g);
-            let _ = super::super::advance(&ctx, &input, AdvanceSpec::v2v().with_mode(mode), &AcceptAll);
+            let _ = super::super::advance(
+                &ctx,
+                &input,
+                AdvanceSpec::v2v().with_mode(mode),
+                &AcceptAll,
+            );
             assert_eq!(ctx.counters.edges(), expect, "mode {mode:?}");
         }
     }

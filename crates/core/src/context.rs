@@ -2,6 +2,7 @@
 //! configuration, and work counters. The analog of Gunrock's per-problem
 //! `GraphSlice` + kernel launch settings.
 
+use crate::policy::{RunGuard, RunPolicy};
 use gunrock_engine::config::EngineConfig;
 use gunrock_engine::stats::WorkCounters;
 use gunrock_graph::Csr;
@@ -19,6 +20,8 @@ pub struct Context<'g> {
     pub config: EngineConfig,
     /// Work counters accumulated across all operators.
     pub counters: WorkCounters,
+    /// Execution bounds every enact loop honors (default: unbounded).
+    pub policy: RunPolicy,
 }
 
 impl<'g> Context<'g> {
@@ -29,6 +32,7 @@ impl<'g> Context<'g> {
             reverse: None,
             config: EngineConfig::default(),
             counters: WorkCounters::new(),
+            policy: RunPolicy::default(),
         }
     }
 
@@ -45,10 +49,23 @@ impl<'g> Context<'g> {
         self
     }
 
+    /// Attaches execution bounds (iteration cap, wall-clock budget,
+    /// cancel flag) that every primitive's enact loop will honor.
+    pub fn with_policy(mut self, policy: RunPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Arms a [`RunGuard`] for one enactment, starting its wall clock.
+    /// Primitives call this once before their loop and check the guard
+    /// at the top of every bulk-synchronous step.
+    pub fn guard(&self) -> RunGuard<'_> {
+        self.policy.guard()
+    }
+
     /// The reverse graph, panicking with a clear message if missing.
     pub fn reverse_graph(&self) -> &'g Csr {
-        self.reverse
-            .expect("pull advance requires a reverse graph: call Context::with_reverse")
+        self.reverse.expect("pull advance requires a reverse graph: call Context::with_reverse")
     }
 
     /// Number of vertices in the forward graph.

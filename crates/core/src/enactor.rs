@@ -12,9 +12,10 @@ use crate::compute;
 use crate::context::Context;
 use crate::filter::{self, culling::CullingConfig};
 use crate::functor::{AdvanceFunctor, FilterFunctor};
+use crate::policy::RunGuard;
 use gunrock_engine::bitmap::AtomicBitmap;
 use gunrock_engine::frontier::Frontier;
-use gunrock_engine::stats::Timing;
+use gunrock_engine::stats::{RunOutcome, Timing};
 
 /// One bulk-synchronous iteration's record, for the instrumentation the
 /// evaluation harness and ablations read.
@@ -87,6 +88,19 @@ impl<'g> Enactor<'g> {
         compute::for_each(input, op)
     }
 
+    /// Arms the context's execution guard for this enactment. Check the
+    /// returned guard at the top of every bulk-synchronous step (see
+    /// [`Enactor::check_guard`] for the loop-shaped convenience).
+    pub fn guard(&self) -> RunGuard<'_> {
+        self.ctx.guard()
+    }
+
+    /// Checks an armed guard against the iterations recorded so far,
+    /// returning the outcome that should end the loop, if any.
+    pub fn check_guard(&self, guard: &RunGuard<'_>) -> Option<RunOutcome> {
+        guard.check(self.iteration)
+    }
+
     /// Records one completed iteration for the log and counters.
     pub fn record_iteration(
         &mut self,
@@ -94,9 +108,7 @@ impl<'g> Enactor<'g> {
         output_len: usize,
         direction: TraversalDirection,
     ) {
-        self.ctx
-            .counters
-            .add_iteration(direction == TraversalDirection::Pull);
+        self.ctx.counters.add_iteration(direction == TraversalDirection::Pull);
         self.log.push(IterationRecord {
             iteration: self.iteration,
             input_len,
@@ -132,8 +144,8 @@ mod tests {
     #[test]
     fn enactor_runs_a_simple_bfs_like_loop() {
         // path 0-1-2-3-4
-        let g = GraphBuilder::new()
-            .build(Coo::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]));
+        let g =
+            GraphBuilder::new().build(Coo::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]));
         let ctx = Context::new(&g);
         let mut enactor = Enactor::new(ctx);
         let visited = AtomicBitmap::new(5);

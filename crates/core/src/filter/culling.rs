@@ -66,11 +66,8 @@ pub fn filter_with_culling<F: FilterFunctor>(
         .par_chunks(grain)
         .map(|chunk| {
             let mut local = Vec::new();
-            let mut history = if cfg.history {
-                vec![EMPTY_SLOT; 1 << cfg.history_bits]
-            } else {
-                Vec::new()
-            };
+            let mut history =
+                if cfg.history { vec![EMPTY_SLOT; 1 << cfg.history_bits] } else { Vec::new() };
             let mask = history.len().wrapping_sub(1);
             for &id in chunk {
                 if cfg.history {

@@ -47,6 +47,7 @@ pub mod filter;
 pub mod functor;
 pub mod neighbor_reduce;
 pub mod partition;
+pub mod policy;
 pub mod priority_queue;
 pub mod problem;
 pub mod sample;
@@ -68,15 +69,18 @@ pub mod prelude {
     pub use crate::functor::{AcceptAll, AdvanceFunctor, EdgeCond, FilterFunctor, VertexCond};
     pub use crate::neighbor_reduce::neighbor_reduce;
     pub use crate::partition::{partitioned_advance, ExchangeStats, VertexPartition};
+    pub use crate::policy::{RunGuard, RunPolicy};
     pub use crate::priority_queue::NearFarQueue;
     pub use crate::problem::{enact, EnactStats, Primitive};
     pub use crate::sample::{sample, sample_k};
     pub use gunrock_engine::bitmap::AtomicBitmap;
     pub use gunrock_engine::frontier::{Frontier, FrontierPair};
-    pub use gunrock_engine::stats::{Timing, WorkCounters};
+    pub use gunrock_engine::stats::{RunOutcome, Timing, WorkCounters};
     pub use gunrock_engine::EngineConfig;
 }
 
 pub use context::Context;
 pub use enactor::Enactor;
 pub use functor::{AdvanceFunctor, FilterFunctor};
+pub use gunrock_engine::stats::RunOutcome;
+pub use policy::{RunGuard, RunPolicy};

@@ -47,11 +47,7 @@ where
             .par_iter()
             .map(|&v| reduce_one(g, v, init, &map, &reduce))
             .collect();
-        edges = frontier
-            .as_slice()
-            .par_iter()
-            .map(|&v| g.out_degree(v) as u64)
-            .sum();
+        edges = frontier.as_slice().par_iter().map(|&v| g.out_degree(v) as u64).sum();
         out
     };
     ctx.counters.add_edges(edges);
@@ -59,13 +55,7 @@ where
 }
 
 #[inline]
-fn reduce_one<T, M, R>(
-    g: &gunrock_graph::Csr,
-    v: VertexId,
-    init: T,
-    map: &M,
-    reduce: &R,
-) -> T
+fn reduce_one<T, M, R>(g: &gunrock_graph::Csr, v: VertexId, init: T, map: &M, reduce: &R) -> T
 where
     T: Copy,
     M: Fn(VertexId, VertexId, EdgeId) -> T,
@@ -85,10 +75,9 @@ mod tests {
     use gunrock_graph::{Coo, GraphBuilder};
 
     fn weighted_star() -> gunrock_graph::Csr {
-        GraphBuilder::new().directed().build(Coo::from_weighted_edges(
-            5,
-            &[(0, 1, 10), (0, 2, 20), (0, 3, 5), (4, 0, 7)],
-        ))
+        GraphBuilder::new()
+            .directed()
+            .build(Coo::from_weighted_edges(5, &[(0, 1, 10), (0, 2, 20), (0, 3, 5), (4, 0, 7)]))
     }
 
     #[test]

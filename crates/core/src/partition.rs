@@ -239,10 +239,7 @@ mod tests {
             let (_, stats) = partitioned_advance(&ctx, &partition, &frontiers, &AcceptAll);
             fractions.push(stats.remote_fraction());
         }
-        assert!(
-            fractions[1] > fractions[0],
-            "more shards, more cut edges: {fractions:?}"
-        );
+        assert!(fractions[1] > fractions[0], "more shards, more cut edges: {fractions:?}");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::context::Context;
 use gunrock_engine::frontier::Frontier;
-use gunrock_engine::stats::Timing;
+use gunrock_engine::stats::{RunOutcome, Timing};
 
 /// A graph primitive expressed as an iterative convergent process over a
 /// frontier.
@@ -44,18 +44,29 @@ pub trait Primitive {
 /// Statistics from one enactment.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnactStats {
-    /// Bulk-synchronous iterations until convergence.
+    /// Bulk-synchronous iterations executed.
     pub iterations: u32,
     /// Wall time plus edges examined.
     pub timing: Timing,
+    /// How the loop ended: converged, or which guard tripped. Partial
+    /// outcomes still carry the primitive's best-so-far output.
+    pub outcome: RunOutcome,
 }
 
-/// Runs a primitive to convergence: the generic enactor entry point.
+/// Runs a primitive to convergence — or until the context's
+/// [`RunPolicy`](crate::policy::RunPolicy) trips — returning the
+/// (possibly partial) output and how the loop ended.
 pub fn enact<P: Primitive>(ctx: &Context<'_>, mut primitive: P) -> (P::Output, EnactStats) {
     let start = std::time::Instant::now();
+    let guard = ctx.guard();
     let mut frontier = primitive.init(ctx);
     let mut iter = 0u32;
+    let mut outcome = RunOutcome::Converged;
     while !primitive.converged(&frontier, iter) {
+        if let Some(tripped) = guard.check(iter) {
+            outcome = tripped;
+            break;
+        }
         frontier = primitive.iteration(ctx, frontier, iter);
         iter += 1;
         ctx.counters.add_iteration(false);
@@ -63,6 +74,7 @@ pub fn enact<P: Primitive>(ctx: &Context<'_>, mut primitive: P) -> (P::Output, E
     let stats = EnactStats {
         iterations: iter,
         timing: Timing { elapsed: start.elapsed(), edges_examined: ctx.counters.edges() },
+        outcome,
     };
     (primitive.extract(), stats)
 }
@@ -159,11 +171,47 @@ mod tests {
 
     #[test]
     fn single_compute_step_primitive() {
-        let g = GraphBuilder::new()
-            .build(Coo::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2)]));
+        let g =
+            GraphBuilder::new().build(Coo::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2)]));
         let ctx = Context::new(&g);
         let (max, stats) = enact(&ctx, MaxDegree { max: 0.into(), done: false });
         assert_eq!(max, g.max_degree());
         assert_eq!(stats.iterations, 1);
+        assert_eq!(stats.outcome, gunrock_engine::stats::RunOutcome::Converged);
+    }
+
+    #[test]
+    fn iteration_cap_yields_partial_labels() {
+        use crate::policy::RunPolicy;
+        use gunrock_engine::stats::RunOutcome;
+        // path graph: full BFS needs 5 levels; cap at 1
+        let g = GraphBuilder::new()
+            .build(Coo::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(1));
+        let (labels, stats) =
+            enact(&ctx, BfsPrimitive { src: 0, labels: Vec::new(), level: 0 });
+        assert_eq!(stats.outcome, RunOutcome::IterationCapped);
+        assert_eq!(stats.iterations, 1);
+        // partial but consistent: the one completed level is labeled,
+        // everything further is untouched
+        assert_eq!(&labels[..2], &[0, 1]);
+        assert!(labels[2..].iter().all(|&l| l == INFINITY));
+    }
+
+    #[test]
+    fn pre_tripped_cancel_returns_init_state() {
+        use crate::policy::RunPolicy;
+        use gunrock_engine::stats::RunOutcome;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let g = GraphBuilder::new().build(Coo::from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
+        let flag = Arc::new(AtomicBool::new(true));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().cancel_flag(flag));
+        let (labels, stats) =
+            enact(&ctx, BfsPrimitive { src: 0, labels: Vec::new(), level: 0 });
+        assert_eq!(stats.outcome, RunOutcome::Cancelled);
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(labels[0], 0);
+        assert!(labels[1..].iter().all(|&l| l == INFINITY));
     }
 }

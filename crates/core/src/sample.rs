@@ -38,11 +38,8 @@ pub fn sample_k(frontier: &Frontier, k: usize, seed: u64) -> Frontier {
     if k >= frontier.len() {
         return frontier.clone();
     }
-    let mut keyed: Vec<(u64, u32)> = frontier
-        .as_slice()
-        .iter()
-        .map(|&v| (mix(seed, v), v))
-        .collect();
+    let mut keyed: Vec<(u64, u32)> =
+        frontier.as_slice().iter().map(|&v| (mix(seed, v), v)).collect();
     keyed.select_nth_unstable(k);
     let mut out: Vec<u32> = keyed[..k].iter().map(|&(_, v)| v).collect();
     out.sort_unstable();

@@ -13,15 +13,12 @@ pub fn concat_chunks(chunks: Vec<Vec<u32>>) -> Vec<u32> {
     let mut out = vec![0u32; total];
     {
         let out_ref = UnsafeSlice::new(&mut out);
-        chunks
-            .par_iter()
-            .zip(offsets.par_iter())
-            .for_each(|(chunk, &base)| {
-                for (i, &v) in chunk.iter().enumerate() {
-                    // SAFETY: chunks write disjoint ranges [base, base+len).
-                    unsafe { out_ref.write(base + i, v) };
-                }
-            });
+        chunks.par_iter().zip(offsets.par_iter()).for_each(|(chunk, &base)| {
+            for (i, &v) in chunk.iter().enumerate() {
+                // SAFETY: chunks write disjoint ranges [base, base+len).
+                unsafe { out_ref.write(base + i, v) };
+            }
+        });
     }
     out
 }

@@ -8,9 +8,7 @@ use gunrock_graph::{Coo, Csr, GraphBuilder};
 
 fn line_graph() -> Csr {
     // 0 -> 1 -> 2 -> 3 -> 4 (directed path)
-    GraphBuilder::new()
-        .directed()
-        .build(Coo::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]))
+    GraphBuilder::new().directed().build(Coo::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]))
 }
 
 fn sorted(f: Frontier) -> Vec<u32> {
@@ -36,7 +34,11 @@ fn e2e_chains_edge_frontiers() {
     let g = line_graph();
     let ctx = Context::new(&g);
     let e0 = advance::advance(&ctx, &Frontier::single(0), AdvanceSpec::v2e(), &AcceptAll);
-    let spec = AdvanceSpec { input: InputKind::Edges, output: OutputKind::Edges, ..Default::default() };
+    let spec = AdvanceSpec {
+        input: InputKind::Edges,
+        output: OutputKind::Edges,
+        ..Default::default()
+    };
     let e1 = advance::advance(&ctx, &e0, spec, &AcceptAll);
     // edge (0->1) expands to edge (1->2)
     assert_eq!(e1.len(), 1);
@@ -73,10 +75,8 @@ fn functor_sees_consistent_src_dst_eid_in_all_kinds() {
             true
         }
     }
-    let g = GraphBuilder::new().build(Coo::from_edges(
-        6,
-        &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (1, 4)],
-    ));
+    let g = GraphBuilder::new()
+        .build(Coo::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (1, 4)]));
     let ctx = Context::new(&g);
     let ok = AtomicBool::new(true);
     let check = Check { g: &g, ok: &ok };

@@ -73,10 +73,7 @@ impl AtomicBitmap {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words
-            .iter()
-            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
-            .sum()
+        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
     }
 
     /// Iterates over the indices of set bits (ascending).
@@ -131,10 +128,8 @@ mod tests {
     #[test]
     fn concurrent_test_and_set_has_exactly_one_winner_per_bit() {
         let bm = AtomicBitmap::new(1000);
-        let winners: usize = (0..8000usize)
-            .into_par_iter()
-            .map(|i| !bm.test_and_set(i % 1000) as usize)
-            .sum();
+        let winners: usize =
+            (0..8000usize).into_par_iter().map(|i| !bm.test_and_set(i % 1000) as usize).sum();
         assert_eq!(winners, 1000);
         assert_eq!(bm.count_ones(), 1000);
     }

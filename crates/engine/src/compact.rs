@@ -50,15 +50,12 @@ where
     };
     {
         let out_ref = UnsafeSlice::new(&mut out);
-        mapped
-            .par_iter()
-            .zip(positions.par_iter())
-            .for_each(|(m, &pos)| {
-                if let Some(v) = m {
-                    // SAFETY: distinct kept elements get distinct positions.
-                    unsafe { out_ref.write(pos, *v) };
-                }
-            });
+        mapped.par_iter().zip(positions.par_iter()).for_each(|(m, &pos)| {
+            if let Some(v) = m {
+                // SAFETY: distinct kept elements get distinct positions.
+                unsafe { out_ref.write(pos, *v) };
+            }
+        });
     }
     out
 }
@@ -83,15 +80,12 @@ where
     let mut out = vec![0u32; total];
     {
         let out_ref = UnsafeSlice::new(&mut out);
-        flags
-            .par_iter()
-            .enumerate()
-            .for_each(|(i, &keep)| {
-                if keep == 1 {
-                    // SAFETY: scan assigns each kept index a unique slot.
-                    unsafe { out_ref.write(positions[i], i as u32) };
-                }
-            });
+        flags.par_iter().enumerate().for_each(|(i, &keep)| {
+            if keep == 1 {
+                // SAFETY: scan assigns each kept index a unique slot.
+                unsafe { out_ref.write(positions[i], i as u32) };
+            }
+        });
     }
     out
 }

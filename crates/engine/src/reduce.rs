@@ -15,10 +15,7 @@ where
     if input.len() < SEQUENTIAL_CUTOFF {
         return input.iter().fold(identity, |a, &b| op(a, b));
     }
-    input
-        .par_iter()
-        .copied()
-        .reduce(|| identity, &op)
+    input.par_iter().copied().reduce(|| identity, &op)
 }
 
 /// Sum of `u32` values widened to `u64` (degree sums overflow u32 on

@@ -36,10 +36,8 @@ where
     }
     let chunk = n.div_ceil(rayon::current_num_threads() * 4).max(1);
     // Phase 1: per-chunk reductions.
-    let mut sums: Vec<T> = input
-        .par_chunks(chunk)
-        .map(|c| c.iter().fold(identity, |a, &b| op(a, b)))
-        .collect();
+    let mut sums: Vec<T> =
+        input.par_chunks(chunk).map(|c| c.iter().fold(identity, |a, &b| op(a, b))).collect();
     // Phase 2: sequential scan of the (small) chunk sums.
     let mut acc = identity;
     for s in sums.iter_mut() {
@@ -52,11 +50,8 @@ where
     let mut out = vec![identity; n];
     {
         let out_ref = UnsafeSlice::new(&mut out);
-        input
-            .par_chunks(chunk)
-            .zip(sums.par_iter())
-            .enumerate()
-            .for_each(|(ci, (c, &base))| {
+        input.par_chunks(chunk).zip(sums.par_iter()).enumerate().for_each(
+            |(ci, (c, &base))| {
                 let start = ci * chunk;
                 let mut acc = base;
                 for (i, &x) in c.iter().enumerate() {
@@ -64,7 +59,8 @@ where
                     unsafe { out_ref.write(start + i, acc) };
                     acc = op(acc, x);
                 }
-            });
+            },
+        );
     }
     (out, total)
 }

@@ -65,6 +65,46 @@ impl WorkCounters {
     }
 }
 
+/// How an enact loop ended. Primitives report this alongside their
+/// results so callers can tell a converged answer from a best-so-far
+/// partial one (graceful degradation under execution guards).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// The frontier drained naturally; results are complete.
+    #[default]
+    Converged,
+    /// The iteration cap tripped; results reflect the completed
+    /// iterations only.
+    IterationCapped,
+    /// The wall-clock budget tripped; results are best-so-far.
+    TimedOut,
+    /// The cancel flag tripped; results are best-so-far.
+    Cancelled,
+}
+
+impl RunOutcome {
+    /// True when the run converged (the only complete outcome).
+    pub fn is_converged(self) -> bool {
+        self == RunOutcome::Converged
+    }
+
+    /// True when a guard tripped and the results are partial.
+    pub fn is_partial(self) -> bool {
+        !self.is_converged()
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RunOutcome::Converged => "converged",
+            RunOutcome::IterationCapped => "iteration-capped",
+            RunOutcome::TimedOut => "timed-out",
+            RunOutcome::Cancelled => "cancelled",
+        })
+    }
+}
+
 /// Result of timing a primitive: wall time plus derived throughput.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Timing {

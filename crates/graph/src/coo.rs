@@ -5,6 +5,7 @@
 //! are carried in a parallel array (structure-of-arrays, per the paper's
 //! SOA design for coalesced access).
 
+use crate::error::{GraphError, GraphResult};
 use crate::types::{VertexId, Weight};
 
 /// An edge list with optional per-edge weights.
@@ -53,6 +54,46 @@ impl Coo {
     /// Number of edges currently stored.
     pub fn num_edges(&self) -> usize {
         self.src.len()
+    }
+
+    /// Checks the edge-list invariants, returning the first violation:
+    /// parallel `src`/`dst` (and weight, when present) array lengths, a
+    /// vertex count within the `VertexId` range, and every endpoint in
+    /// `[0, num_vertices)`. Parsers run this on anything read from an
+    /// untrusted source before CSR construction, whose counting sort
+    /// indexes by source id unchecked.
+    pub fn validate(&self) -> GraphResult<()> {
+        if self.src.len() != self.dst.len() {
+            return Err(GraphError::invalid(format!(
+                "{} sources for {} destinations",
+                self.src.len(),
+                self.dst.len()
+            )));
+        }
+        if let Some(ws) = &self.weights {
+            if ws.len() != self.src.len() {
+                return Err(GraphError::invalid(format!(
+                    "{} weights for {} edges",
+                    ws.len(),
+                    self.src.len()
+                )));
+            }
+        }
+        if self.num_vertices > VertexId::MAX as usize {
+            return Err(GraphError::invalid(format!(
+                "{} vertices exceed the VertexId range",
+                self.num_vertices
+            )));
+        }
+        for (i, (&s, &d)) in self.src.iter().zip(&self.dst).enumerate() {
+            if s as usize >= self.num_vertices || d as usize >= self.num_vertices {
+                return Err(GraphError::invalid(format!(
+                    "edge {i} ({s} -> {d}) outside the {}-vertex graph",
+                    self.num_vertices
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Appends an unweighted edge, growing the vertex count if needed.
@@ -137,9 +178,7 @@ impl Coo {
     pub fn sort_and_dedup(&mut self) {
         let m = self.num_edges();
         let mut order: Vec<u32> = (0..m as u32).collect();
-        order.sort_unstable_by_key(|&i| {
-            (self.src[i as usize], self.dst[i as usize])
-        });
+        order.sort_unstable_by_key(|&i| (self.src[i as usize], self.dst[i as usize]));
         let mut src = Vec::with_capacity(m);
         let mut dst = Vec::with_capacity(m);
         let mut wts = self.weights.as_ref().map(|_| Vec::with_capacity(m));

@@ -7,6 +7,7 @@
 //! dense uniform ones.
 
 use crate::coo::Coo;
+use crate::error::{GraphError, GraphResult};
 use crate::types::{EdgeId, VertexId, Weight};
 
 /// An immutable CSR graph.
@@ -70,6 +71,75 @@ impl Csr {
             col_indices: col_indices.into_boxed_slice(),
             edge_values: edge_values.map(Vec::into_boxed_slice),
         }
+    }
+
+    /// Builds a CSR from raw arrays loaded from an *untrusted* source,
+    /// validating every invariant instead of asserting. See
+    /// [`Csr::validate`] for the checks performed.
+    pub fn try_from_raw(
+        row_offsets: Vec<EdgeId>,
+        col_indices: Vec<VertexId>,
+        edge_values: Option<Vec<Weight>>,
+    ) -> GraphResult<Self> {
+        let csr = Csr {
+            row_offsets: row_offsets.into_boxed_slice(),
+            col_indices: col_indices.into_boxed_slice(),
+            edge_values: edge_values.map(Vec::into_boxed_slice),
+        };
+        csr.validate()?;
+        Ok(csr)
+    }
+
+    /// Checks every structural invariant, returning the first violation:
+    /// a non-empty offsets array starting at 0, monotone non-decreasing
+    /// offsets ending at `col_indices.len()`, every column index in
+    /// `[0, num_vertices)`, and a weight array (when present) exactly as
+    /// long as the column array. Run this on anything loaded from an
+    /// untrusted source before handing it to the operators, which index
+    /// with these arrays unchecked on hot paths.
+    pub fn validate(&self) -> GraphResult<()> {
+        if self.row_offsets.is_empty() {
+            return Err(GraphError::invalid("row_offsets is empty"));
+        }
+        if self.row_offsets[0] != 0 {
+            return Err(GraphError::invalid(format!(
+                "row_offsets[0] = {}, expected 0",
+                self.row_offsets[0]
+            )));
+        }
+        let n = self.row_offsets.len() - 1;
+        if n > VertexId::MAX as usize {
+            return Err(GraphError::invalid(format!("{n} vertices exceed the VertexId range")));
+        }
+        if let Some(w) = self.row_offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(GraphError::invalid(format!(
+                "row_offsets not monotone at vertex {w}: {} > {}",
+                self.row_offsets[w],
+                self.row_offsets[w + 1]
+            )));
+        }
+        let m = self.col_indices.len();
+        if *self.row_offsets.last().unwrap() as usize != m {
+            return Err(GraphError::invalid(format!(
+                "row_offsets end at {} but there are {m} edges",
+                self.row_offsets.last().unwrap()
+            )));
+        }
+        if let Some(e) = self.col_indices.iter().position(|&c| c as usize >= n) {
+            return Err(GraphError::invalid(format!(
+                "edge {e} points at vertex {} of {n}",
+                self.col_indices[e]
+            )));
+        }
+        if let Some(vals) = &self.edge_values {
+            if vals.len() != m {
+                return Err(GraphError::invalid(format!(
+                    "{} edge weights for {m} edges",
+                    vals.len()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Number of vertices.
@@ -216,10 +286,7 @@ impl Csr {
 
     /// Maximum out-degree over all vertices (0 for an empty graph).
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_vertices() as VertexId)
-            .map(|v| self.out_degree(v))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_vertices() as VertexId).map(|v| self.out_degree(v)).max().unwrap_or(0)
     }
 }
 
@@ -316,5 +383,32 @@ mod tests {
     #[should_panic]
     fn from_raw_rejects_mismatched_lengths() {
         Csr::from_raw(vec![0, 2], vec![1], None);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(sample().validate().is_ok());
+        assert!(Csr::from_coo(&Coo::new(0)).validate().is_ok());
+    }
+
+    #[test]
+    fn try_from_raw_rejects_each_invariant_violation() {
+        // non-monotone offsets
+        let e = Csr::try_from_raw(vec![0, 2, 1, 3], vec![0, 1, 2], None).unwrap_err();
+        assert!(e.to_string().contains("monotone"), "{e}");
+        // offsets end short of the edge array
+        let e = Csr::try_from_raw(vec![0, 1], vec![0, 0], None).unwrap_err();
+        assert!(e.to_string().contains("edges"), "{e}");
+        // column index out of range
+        let e = Csr::try_from_raw(vec![0, 1], vec![7], None).unwrap_err();
+        assert!(e.to_string().contains("points at vertex 7"), "{e}");
+        // weight array length mismatch
+        let e = Csr::try_from_raw(vec![0, 1], vec![0], Some(vec![1, 2])).unwrap_err();
+        assert!(e.to_string().contains("weights"), "{e}");
+        // nonzero first offset
+        let e = Csr::try_from_raw(vec![1, 1], vec![0], None).unwrap_err();
+        assert!(e.to_string().contains("expected 0"), "{e}");
+        // empty offsets
+        assert!(Csr::try_from_raw(vec![], vec![], None).is_err());
     }
 }

@@ -1,0 +1,134 @@
+//! Structured errors for graph loading and validation.
+//!
+//! Every parser and loader in this crate returns [`GraphResult`] so
+//! callers (the CLI, a serving layer) can distinguish an I/O failure from
+//! malformed input, report the offending line, and exit cleanly instead
+//! of panicking on untrusted data.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for graph loading and validation.
+pub type GraphResult<T> = Result<T, GraphError>;
+
+/// A structured graph-loading or validation error.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure (file missing, read error, ...).
+    Io(io::Error),
+    /// A text-format line failed to parse; `line` is 1-based.
+    Parse {
+        /// 1-based line number within the input.
+        line: usize,
+        /// What was wrong with the line.
+        msg: String,
+    },
+    /// A file-level header (magic, size line, problem line) is invalid.
+    InvalidHeader {
+        /// What was wrong with the header.
+        msg: String,
+    },
+    /// Binary payload failed an integrity check (truncation, checksum,
+    /// counts inconsistent with the file size).
+    Corrupt {
+        /// What integrity check failed.
+        msg: String,
+    },
+    /// A loaded structure violates a CSR/COO invariant.
+    InvalidGraph {
+        /// Which invariant is violated.
+        msg: String,
+    },
+    /// A vertex id does not fit the `VertexId` representation or exceeds
+    /// the declared vertex count. `line` is 1-based, 0 for binary input.
+    VertexOutOfRange {
+        /// 1-based line number (0 when the input has no line structure).
+        line: usize,
+        /// The offending id as parsed.
+        id: u64,
+        /// The largest admissible id.
+        max: u64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            GraphError::InvalidHeader { msg } => write!(f, "invalid header: {msg}"),
+            GraphError::Corrupt { msg } => write!(f, "corrupt input: {msg}"),
+            GraphError::InvalidGraph { msg } => write!(f, "invalid graph: {msg}"),
+            GraphError::VertexOutOfRange { line, id, max } => {
+                if *line == 0 {
+                    write!(f, "vertex id {id} out of range (max {max})")
+                } else {
+                    write!(f, "line {line}: vertex id {id} out of range (max {max})")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+impl GraphError {
+    /// Shorthand for a line-scoped parse error.
+    pub fn parse(line: usize, msg: impl Into<String>) -> Self {
+        GraphError::Parse { line, msg: msg.into() }
+    }
+
+    /// Shorthand for a header error.
+    pub fn header(msg: impl Into<String>) -> Self {
+        GraphError::InvalidHeader { msg: msg.into() }
+    }
+
+    /// Shorthand for a corrupt-payload error.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        GraphError::Corrupt { msg: msg.into() }
+    }
+
+    /// Shorthand for an invariant violation.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        GraphError::InvalidGraph { msg: msg.into() }
+    }
+
+    /// True when the error is any kind of malformed-input rejection
+    /// (as opposed to an underlying I/O failure).
+    pub fn is_malformed_input(&self) -> bool {
+        !matches!(self, GraphError::Io(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_numbers() {
+        let e = GraphError::parse(17, "invalid weight");
+        assert_eq!(e.to_string(), "line 17: invalid weight");
+        let e = GraphError::VertexOutOfRange { line: 3, id: 1 << 40, max: u32::MAX as u64 - 1 };
+        assert!(e.to_string().starts_with("line 3: vertex id"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(!e.is_malformed_input());
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

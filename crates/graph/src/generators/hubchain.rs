@@ -58,9 +58,7 @@ mod tests {
         assert!(hub_deg >= 700, "hub degree {hub_deg}");
         assert_eq!(g.max_degree(), hub_deg);
         // the vast majority of vertices have tiny degree, as in bitcoin
-        let small = (1..g.num_vertices() as VertexId)
-            .filter(|&v| g.out_degree(v) < 4)
-            .count();
+        let small = (1..g.num_vertices() as VertexId).filter(|&v| g.out_degree(v) < 4).count();
         assert!(small as f64 > 0.85 * g.num_vertices() as f64);
     }
 

@@ -1,21 +1,43 @@
 //! Graph I/O: whitespace edge lists (SNAP style), MatrixMarket coordinate
-//! files, and a compact little-endian binary format for fast reloading of
-//! generated benchmark graphs.
+//! files, DIMACS `.gr` files, and a compact little-endian binary format
+//! for fast reloading of generated benchmark graphs.
+//!
+//! All readers treat their input as **untrusted**: they return
+//! [`GraphResult`] with line-numbered [`GraphError`]s instead of
+//! panicking or silently truncating, bound every allocation against the
+//! input size where it is known, and validate the resulting structure
+//! ([`Csr::validate`] / [`Coo::validate`]) before returning it. Writers
+//! keep plain [`io::Result`] — their input is an in-memory graph the
+//! process already owns.
 
 use crate::coo::Coo;
 use crate::csr::Csr;
+use crate::error::{GraphError, GraphResult};
 use crate::types::{EdgeId, VertexId, Weight};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+/// Largest admissible vertex id: `VertexId::MAX` itself is reserved for
+/// the `INVALID_VERTEX` / `INFINITY` sentinels used by the operators.
+const MAX_VERTEX_ID: u64 = VertexId::MAX as u64 - 1;
+
+/// Converts a parsed id to `VertexId`, rejecting (rather than wrapping)
+/// anything outside the representable range.
+fn checked_id(v: u64, lineno: usize) -> GraphResult<VertexId> {
+    if v > MAX_VERTEX_ID {
+        return Err(GraphError::VertexOutOfRange { line: lineno, id: v, max: MAX_VERTEX_ID });
+    }
+    Ok(v as VertexId)
+}
+
 /// Parses a SNAP-style edge list: one `src dst [weight]` triple per line,
 /// `#`- or `%`-prefixed comment lines ignored. Vertex ids must be
-/// non-negative integers.
-pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Coo> {
+/// non-negative integers within the `VertexId` range; weighted and
+/// unweighted lines must not be mixed.
+pub fn read_edge_list<R: Read>(reader: R) -> GraphResult<Coo> {
     let mut coo = Coo::new(0);
-    let reader = BufReader::new(reader);
+    let mut reader = BufReader::new(reader);
     let mut line = String::new();
-    let mut reader = reader;
     let mut lineno = 0usize;
     loop {
         line.clear();
@@ -29,40 +51,51 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Coo> {
             // isolated vertices survive a round trip
             let mut words = t.trim_start_matches(['#', '%']).split_whitespace();
             if words.next() == Some("vertices") {
-                if let Some(Ok(n)) = words.next().map(str::parse::<usize>) {
-                    coo.num_vertices = coo.num_vertices.max(n);
+                if let Some(Ok(n)) = words.next().map(str::parse::<u64>) {
+                    if n > MAX_VERTEX_ID + 1 {
+                        return Err(GraphError::parse(
+                            lineno,
+                            format!("declared vertex count {n} exceeds the VertexId range"),
+                        ));
+                    }
+                    coo.num_vertices = coo.num_vertices.max(n as usize);
                 }
             }
             continue;
         }
         let mut it = t.split_whitespace();
-        let parse = |s: Option<&str>, what: &str| -> io::Result<u64> {
-            s.ok_or_else(|| bad_line(lineno, &format!("missing {what}")))?
+        let parse = |s: Option<&str>, what: &str| -> GraphResult<u64> {
+            s.ok_or_else(|| GraphError::parse(lineno, format!("missing {what}")))?
                 .parse::<u64>()
-                .map_err(|_| bad_line(lineno, &format!("invalid {what}")))
+                .map_err(|_| GraphError::parse(lineno, format!("invalid {what}")))
         };
-        let s = parse(it.next(), "source")? as VertexId;
-        let d = parse(it.next(), "destination")? as VertexId;
+        let s = checked_id(parse(it.next(), "source")?, lineno)?;
+        let d = checked_id(parse(it.next(), "destination")?, lineno)?;
         match it.next() {
             Some(w) => {
-                let w: Weight = w
-                    .parse()
-                    .map_err(|_| bad_line(lineno, "invalid weight"))?;
+                if coo.weights.is_none() && coo.num_edges() > 0 {
+                    return Err(GraphError::parse(
+                        lineno,
+                        "unexpected weight on unweighted edge list",
+                    ));
+                }
+                let w: Weight =
+                    w.parse().map_err(|_| GraphError::parse(lineno, "invalid weight"))?;
                 coo.push_weighted(s, d, w);
             }
             None => {
                 if coo.weights.is_some() {
-                    return Err(bad_line(lineno, "missing weight on weighted edge list"));
+                    return Err(GraphError::parse(
+                        lineno,
+                        "missing weight on weighted edge list",
+                    ));
                 }
                 coo.push(s, d);
             }
         }
     }
+    coo.validate()?;
     Ok(coo)
-}
-
-fn bad_line(lineno: usize, msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("line {lineno}: {msg}"))
 }
 
 /// Writes a SNAP-style edge list (with weights if present).
@@ -81,16 +114,30 @@ pub fn write_edge_list<W: Write>(coo: &Coo, writer: W) -> io::Result<()> {
 /// Parses a MatrixMarket coordinate file (`%%MatrixMarket matrix
 /// coordinate ...`). 1-based indices are converted to 0-based. If the
 /// header declares `symmetric`, the mirrored edges are materialized.
-pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Coo> {
+///
+/// When the total input size is unknown, truncated bodies still fail
+/// with a typed error at end of input; use [`read_matrix_market_sized`]
+/// to additionally reject size lines whose `nnz` cannot possibly fit in
+/// the input before reading the body.
+pub fn read_matrix_market<R: Read>(reader: R) -> GraphResult<Coo> {
+    read_matrix_market_sized(reader, None)
+}
+
+/// [`read_matrix_market`] with a known total input size in bytes, which
+/// bounds the declared `nnz` (each entry takes at least 4 bytes: two
+/// 1-digit ids, a separator, a newline) before anything is read or
+/// reserved — a lying size line fails fast instead of spinning through a
+/// huge claimed entry count.
+pub fn read_matrix_market_sized<R: Read>(
+    reader: R,
+    input_len: Option<u64>,
+) -> GraphResult<Coo> {
     let mut reader = BufReader::new(reader);
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let header = line.to_ascii_lowercase();
     if !header.starts_with("%%matrixmarket matrix coordinate") {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a MatrixMarket coordinate file",
-        ));
+        return Err(GraphError::header("not a MatrixMarket coordinate file"));
     }
     let symmetric = header.contains("symmetric");
     let pattern = header.contains("pattern");
@@ -98,32 +145,53 @@ pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Coo> {
     let (rows, cols, nnz) = loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "missing size line"));
+            return Err(GraphError::header("missing size line"));
         }
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
         let mut it = t.split_whitespace();
-        let mut next = |what: &str| -> io::Result<usize> {
+        let mut next = |what: &str| -> GraphResult<u64> {
             it.next()
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("size line missing {what}")))?
+                .ok_or_else(|| GraphError::header(format!("size line missing {what}")))?
                 .parse()
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what}")))
+                .map_err(|_| GraphError::header(format!("bad {what}")))
         };
         break (next("rows")?, next("cols")?, next("nnz")?);
     };
-    let n = rows.max(cols);
+    if rows > MAX_VERTEX_ID + 1 || cols > MAX_VERTEX_ID + 1 {
+        return Err(GraphError::header(format!(
+            "matrix dimensions {rows}x{cols} exceed the VertexId range"
+        )));
+    }
+    if let Some(len) = input_len {
+        // every entry line needs >= 4 bytes; a claimed nnz beyond that is
+        // a lie regardless of body content
+        if nnz > len / 4 + 1 {
+            return Err(GraphError::header(format!(
+                "size line claims {nnz} entries but the {len}-byte input \
+                 can hold at most {}",
+                len / 4 + 1
+            )));
+        }
+    }
+    let nnz = usize::try_from(nnz)
+        .map_err(|_| GraphError::header(format!("entry count {nnz} exceeds memory")))?;
+    let n = rows.max(cols) as usize;
     let mut coo = Coo::new(n);
+    // reserve only when the claim is backed by the input size; otherwise
+    // let the vectors grow as entries actually parse
+    if input_len.is_some() {
+        coo.src.reserve(nnz);
+        coo.dst.reserve(nnz);
+    }
     let mut read = 0usize;
     let mut lineno = 0usize;
     while read < nnz {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("expected {nnz} entries, found {read}"),
-            ));
+            return Err(GraphError::corrupt(format!("expected {nnz} entries, found {read}")));
         }
         lineno += 1;
         let t = line.trim();
@@ -131,16 +199,24 @@ pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Coo> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let mut next_id = |what: &str| -> io::Result<VertexId> {
+        let mut next_id = |what: &str| -> GraphResult<VertexId> {
             let v: u64 = it
                 .next()
-                .ok_or_else(|| bad_line(lineno, &format!("missing {what}")))?
+                .ok_or_else(|| GraphError::parse(lineno, format!("missing {what}")))?
                 .parse()
-                .map_err(|_| bad_line(lineno, &format!("invalid {what}")))?;
+                .map_err(|_| GraphError::parse(lineno, format!("invalid {what}")))?;
             if v == 0 {
-                return Err(bad_line(lineno, "MatrixMarket indices are 1-based"));
+                return Err(GraphError::parse(lineno, "MatrixMarket indices are 1-based"));
             }
-            Ok((v - 1) as VertexId)
+            let id = checked_id(v - 1, lineno)?;
+            if id as usize >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    line: lineno,
+                    id: v,
+                    max: n as u64,
+                });
+            }
+            Ok(id)
         };
         let r = next_id("row")?;
         let c = next_id("col")?;
@@ -153,9 +229,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Coo> {
             // real/integer value: round to the nearest non-negative weight
             let v: f64 = it
                 .next()
-                .ok_or_else(|| bad_line(lineno, "missing value"))?
+                .ok_or_else(|| GraphError::parse(lineno, "missing value"))?
                 .parse()
-                .map_err(|_| bad_line(lineno, "invalid value"))?;
+                .map_err(|_| GraphError::parse(lineno, "invalid value"))?;
             let w = v.abs().round() as Weight;
             coo.push_weighted(r, c, w);
             if symmetric && r != c {
@@ -164,14 +240,15 @@ pub fn read_matrix_market<R: Read>(reader: R) -> io::Result<Coo> {
         }
         read += 1;
     }
+    coo.validate()?;
     Ok(coo)
 }
 
 /// Parses a DIMACS shortest-path challenge file (`.gr`): `c` comment
 /// lines, one `p sp <n> <m>` problem line, and `a <src> <dst> <weight>`
-/// arc lines with 1-based vertex ids (the format the real roadNet
-/// benchmark graphs ship in).
-pub fn read_dimacs<R: Read>(reader: R) -> io::Result<Coo> {
+/// arc lines with 1-based vertex ids in `[1, n]` (the format the real
+/// roadNet benchmark graphs ship in).
+pub fn read_dimacs<R: Read>(reader: R) -> GraphResult<Coo> {
     let mut reader = BufReader::new(reader);
     let mut line = String::new();
     let mut coo: Option<Coo> = None;
@@ -188,39 +265,55 @@ pub fn read_dimacs<R: Read>(reader: R) -> io::Result<Coo> {
             None | Some("c") => continue,
             Some("p") => {
                 if it.next() != Some("sp") {
-                    return Err(bad_line(lineno, "expected 'p sp <n> <m>'"));
+                    return Err(GraphError::parse(lineno, "expected 'p sp <n> <m>'"));
                 }
-                let n: usize = it
+                let n: u64 = it
                     .next()
-                    .ok_or_else(|| bad_line(lineno, "missing vertex count"))?
+                    .ok_or_else(|| GraphError::parse(lineno, "missing vertex count"))?
                     .parse()
-                    .map_err(|_| bad_line(lineno, "bad vertex count"))?;
-                coo = Some(Coo::new(n));
+                    .map_err(|_| GraphError::parse(lineno, "bad vertex count"))?;
+                if n > MAX_VERTEX_ID + 1 {
+                    return Err(GraphError::parse(
+                        lineno,
+                        format!("vertex count {n} exceeds the VertexId range"),
+                    ));
+                }
+                coo = Some(Coo::new(n as usize));
             }
             Some("a") => {
                 let coo = coo
                     .as_mut()
-                    .ok_or_else(|| bad_line(lineno, "arc before problem line"))?;
-                let mut next_num = |what: &str| -> io::Result<u64> {
+                    .ok_or_else(|| GraphError::parse(lineno, "arc before problem line"))?;
+                let mut next_num = |what: &str| -> GraphResult<u64> {
                     it.next()
-                        .ok_or_else(|| bad_line(lineno, &format!("missing {what}")))?
+                        .ok_or_else(|| GraphError::parse(lineno, format!("missing {what}")))?
                         .parse()
-                        .map_err(|_| bad_line(lineno, &format!("bad {what}")))
+                        .map_err(|_| GraphError::parse(lineno, format!("bad {what}")))
                 };
                 let s = next_num("source")?;
                 let d = next_num("destination")?;
                 let w = next_num("weight")? as Weight;
                 if s == 0 || d == 0 {
-                    return Err(bad_line(lineno, "DIMACS ids are 1-based"));
+                    return Err(GraphError::parse(lineno, "DIMACS ids are 1-based"));
                 }
-                coo.push_weighted((s - 1) as VertexId, (d - 1) as VertexId, w);
+                let n = coo.num_vertices as u64;
+                if s > n || d > n {
+                    return Err(GraphError::VertexOutOfRange {
+                        line: lineno,
+                        id: s.max(d),
+                        max: n,
+                    });
+                }
+                coo.push_weighted(checked_id(s - 1, lineno)?, checked_id(d - 1, lineno)?, w);
             }
             Some(other) => {
-                return Err(bad_line(lineno, &format!("unknown record type {other:?}")))
+                return Err(GraphError::parse(lineno, format!("unknown record type {other:?}")))
             }
         }
     }
-    coo.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing problem line"))
+    let coo = coo.ok_or_else(|| GraphError::header("missing problem line"))?;
+    coo.validate()?;
+    Ok(coo)
 }
 
 /// Writes a DIMACS `.gr` file (weight 1 for unweighted edge lists).
@@ -251,80 +344,200 @@ pub fn write_matrix_market<W: Write>(coo: &Coo, writer: W) -> io::Result<()> {
     w.flush()
 }
 
-const BINARY_MAGIC: &[u8; 8] = b"GNRKCSR1";
+/// Legacy binary magic: no trailing checksum.
+const BINARY_MAGIC_V1: &[u8; 8] = b"GNRKCSR1";
+/// Current binary magic: payload followed by a 64-bit FNV-1a checksum.
+const BINARY_MAGIC_V2: &[u8; 8] = b"GNRKCSR2";
+/// Chunk size for reading header-declared arrays: a lying header fails
+/// on EOF after at most one chunk of over-allocation.
+const BINARY_READ_CHUNK: usize = 16 << 20;
 
-/// Serializes a CSR to the compact binary format (little-endian u32/u64
-/// arrays; magic `GNRKCSR1`).
+/// Incremental 64-bit FNV-1a, used as the binary format's integrity
+/// checksum (detects truncation and bit rot, not adversarial tampering).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Serializes a CSR to the compact binary format: magic `GNRKCSR2`,
+/// little-endian `u64` vertex/edge counts, a weights flag byte, the
+/// `u32` offset/column/weight arrays, and a trailing 64-bit FNV-1a
+/// checksum over everything after the magic.
 pub fn write_csr_binary<W: Write>(csr: &Csr, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    w.write_all(BINARY_MAGIC)?;
-    w.write_all(&(csr.num_vertices() as u64).to_le_bytes())?;
-    w.write_all(&(csr.num_edges() as u64).to_le_bytes())?;
-    w.write_all(&[csr.edge_values().is_some() as u8])?;
+    let mut hash = Fnv1a::new();
+    let mut emit = |w: &mut BufWriter<W>, bytes: &[u8]| -> io::Result<()> {
+        hash.update(bytes);
+        w.write_all(bytes)
+    };
+    w.write_all(BINARY_MAGIC_V2)?;
+    emit(&mut w, &(csr.num_vertices() as u64).to_le_bytes())?;
+    emit(&mut w, &(csr.num_edges() as u64).to_le_bytes())?;
+    emit(&mut w, &[csr.edge_values().is_some() as u8])?;
     for &x in csr.row_offsets() {
-        w.write_all(&x.to_le_bytes())?;
+        emit(&mut w, &x.to_le_bytes())?;
     }
     for &x in csr.col_indices() {
-        w.write_all(&x.to_le_bytes())?;
+        emit(&mut w, &x.to_le_bytes())?;
     }
     if let Some(vals) = csr.edge_values() {
         for &x in vals {
-            w.write_all(&x.to_le_bytes())?;
+            emit(&mut w, &x.to_le_bytes())?;
         }
     }
+    w.write_all(&hash.finish().to_le_bytes())?;
     w.flush()
 }
 
-/// Deserializes a CSR written by [`write_csr_binary`].
-pub fn read_csr_binary<R: Read>(reader: R) -> io::Result<Csr> {
+/// Deserializes a CSR written by [`write_csr_binary`]. Accepts both the
+/// current `GNRKCSR2` format (whose trailing checksum is verified) and
+/// the legacy `GNRKCSR1` format (no checksum). Either way the decoded
+/// structure must pass [`Csr::validate`].
+///
+/// When the total input size is unknown, header-declared array lengths
+/// are still read in bounded chunks so a lying header fails on EOF
+/// instead of allocating its claim up front; use
+/// [`read_csr_binary_sized`] to reject impossible headers outright.
+pub fn read_csr_binary<R: Read>(reader: R) -> GraphResult<Csr> {
+    read_csr_binary_sized(reader, None)
+}
+
+/// [`read_csr_binary`] with a known total input size in bytes, which is
+/// checked against the header's vertex/edge counts **before** any array
+/// is allocated.
+pub fn read_csr_binary_sized<R: Read>(reader: R, input_len: Option<u64>) -> GraphResult<Csr> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != BINARY_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
-    }
-    let mut u64buf = [0u8; 8];
-    r.read_exact(&mut u64buf)?;
-    let n = u64::from_le_bytes(u64buf) as usize;
-    r.read_exact(&mut u64buf)?;
-    let m = u64::from_le_bytes(u64buf) as usize;
-    let mut flag = [0u8; 1];
-    r.read_exact(&mut flag)?;
-    let read_u32s = |r: &mut BufReader<R>, len: usize| -> io::Result<Vec<u32>> {
-        let mut bytes = vec![0u8; len * 4];
-        r.read_exact(&mut bytes)?;
-        Ok(bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect())
+    r.read_exact(&mut magic).map_err(map_truncation)?;
+    let checksummed = match &magic {
+        m if m == BINARY_MAGIC_V2 => true,
+        m if m == BINARY_MAGIC_V1 => false,
+        _ => return Err(GraphError::header("bad magic (not a gunrock binary CSR)")),
     };
-    let offsets: Vec<EdgeId> = read_u32s(&mut r, n + 1)?;
-    let cols: Vec<VertexId> = read_u32s(&mut r, m)?;
-    let vals = if flag[0] != 0 { Some(read_u32s(&mut r, m)?) } else { None };
-    Ok(Csr::from_raw(offsets, cols, vals))
+    let mut hash = Fnv1a::new();
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf).map_err(map_truncation)?;
+    hash.update(&u64buf);
+    let n = u64::from_le_bytes(u64buf);
+    r.read_exact(&mut u64buf).map_err(map_truncation)?;
+    hash.update(&u64buf);
+    let m = u64::from_le_bytes(u64buf);
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag).map_err(map_truncation)?;
+    hash.update(&flag);
+    if flag[0] > 1 {
+        return Err(GraphError::header(format!("bad weights flag {}", flag[0])));
+    }
+    let weighted = flag[0] == 1;
+    if n > MAX_VERTEX_ID + 1 {
+        return Err(GraphError::header(format!("vertex count {n} exceeds the VertexId range")));
+    }
+    if m > EdgeId::MAX as u64 {
+        return Err(GraphError::header(format!("edge count {m} exceeds the EdgeId range")));
+    }
+    // full payload size implied by the header, checked against the real
+    // input size before any allocation happens
+    let arrays = (n + 1)
+        .checked_add(m.checked_mul(1 + weighted as u64).ok_or_else(|| {
+            GraphError::header(format!("edge count {m} overflows the payload size"))
+        })?)
+        .and_then(|words| words.checked_mul(4))
+        .ok_or_else(|| {
+            GraphError::header(format!("counts {n}/{m} overflow the payload size"))
+        })?;
+    if let Some(len) = input_len {
+        let expected = 25 + arrays + if checksummed { 8 } else { 0 };
+        if expected != len {
+            return Err(GraphError::corrupt(format!(
+                "header claims a {expected}-byte file but the input is {len} bytes"
+            )));
+        }
+    }
+    let mut read_u32s = |r: &mut BufReader<R>, len: usize| -> GraphResult<Vec<u32>> {
+        // chunked so an unbacked header claim fails before its full
+        // allocation, even when the input size is unknown
+        let mut out = Vec::new();
+        let mut remaining = len * 4;
+        let mut chunk = vec![0u8; BINARY_READ_CHUNK.min(remaining)];
+        while remaining > 0 {
+            let take = BINARY_READ_CHUNK.min(remaining);
+            r.read_exact(&mut chunk[..take]).map_err(map_truncation)?;
+            hash.update(&chunk[..take]);
+            out.extend(
+                chunk[..take]
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+            );
+            remaining -= take;
+        }
+        Ok(out)
+    };
+    let offsets: Vec<EdgeId> = read_u32s(&mut r, n as usize + 1)?;
+    let cols: Vec<VertexId> = read_u32s(&mut r, m as usize)?;
+    let vals = if weighted { Some(read_u32s(&mut r, m as usize)?) } else { None };
+    if checksummed {
+        r.read_exact(&mut u64buf).map_err(map_truncation)?;
+        let stored = u64::from_le_bytes(u64buf);
+        let computed = hash.finish();
+        if stored != computed {
+            return Err(GraphError::corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+    }
+    Csr::try_from_raw(offsets, cols, vals)
+}
+
+/// Maps an unexpected-EOF while decoding the binary format to a
+/// truncation diagnosis; other I/O errors pass through.
+fn map_truncation(e: io::Error) -> GraphError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        GraphError::corrupt("input ends before the header-declared payload")
+    } else {
+        GraphError::Io(e)
+    }
 }
 
 /// Convenience: load a graph from a path, dispatching on extension
-/// (`.mtx` -> MatrixMarket, `.bin` -> binary CSR, anything else -> edge
-/// list). Returns a CSR built with default (undirected) options for text
-/// formats.
-pub fn load_graph(path: &Path) -> io::Result<Csr> {
+/// (`.mtx` -> MatrixMarket, `.gr` -> DIMACS, `.bin` -> binary CSR,
+/// anything else -> edge list). The file size bounds header claims
+/// before allocation, and the returned CSR has passed
+/// [`Csr::validate`]. Text formats build with default (undirected)
+/// options.
+pub fn load_graph(path: &Path) -> GraphResult<Csr> {
     let file = std::fs::File::open(path)?;
-    match path.extension().and_then(|e| e.to_str()) {
-        Some("bin") => read_csr_binary(file),
+    let len = file.metadata().ok().map(|m| m.len());
+    let csr = match path.extension().and_then(|e| e.to_str()) {
+        Some("bin") => read_csr_binary_sized(file, len)?,
         Some("gr") => {
             let coo = read_dimacs(file)?;
-            Ok(crate::builder::GraphBuilder::new().build(coo))
+            crate::builder::GraphBuilder::new().build(coo)
         }
         Some("mtx") => {
-            let coo = read_matrix_market(file)?;
-            Ok(crate::builder::GraphBuilder::new().build(coo))
+            let coo = read_matrix_market_sized(file, len)?;
+            crate::builder::GraphBuilder::new().build(coo)
         }
         _ => {
             let coo = read_edge_list(file)?;
-            Ok(crate::builder::GraphBuilder::new().build(coo))
+            crate::builder::GraphBuilder::new().build(coo)
         }
-    }
+    };
+    csr.validate()?;
+    Ok(csr)
 }
 
 #[cfg(test)]
@@ -363,6 +576,38 @@ mod tests {
     }
 
     #[test]
+    fn edge_list_rejects_oversized_ids_with_line_number() {
+        let text = format!("0 1\n1 {}\n", u64::MAX);
+        match read_edge_list(text.as_bytes()) {
+            Err(GraphError::VertexOutOfRange { line, id, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(id, u64::MAX);
+            }
+            other => panic!("expected VertexOutOfRange, got {other:?}"),
+        }
+        // u32::MAX itself is the INVALID_VERTEX sentinel, also rejected
+        let text = format!("0 {}\n", u32::MAX);
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(GraphError::VertexOutOfRange { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn edge_list_rejects_mixed_weightedness() {
+        // weighted then unweighted
+        assert!(matches!(
+            read_edge_list("0 1 5\n1 2\n".as_bytes()),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+        // unweighted then weighted
+        assert!(matches!(
+            read_edge_list("0 1\n1 2 5\n".as_bytes()),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
     fn matrix_market_general_pattern() {
         let text = "%%MatrixMarket matrix coordinate pattern general\n% c\n3 3 2\n1 2\n3 1\n";
         let coo = read_matrix_market(text.as_bytes()).unwrap();
@@ -385,6 +630,35 @@ mod tests {
     }
 
     #[test]
+    fn matrix_market_rejects_truncated_body() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n";
+        match read_matrix_market(text.as_bytes()) {
+            Err(GraphError::Corrupt { msg }) => assert!(msg.contains("expected 5"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matrix_market_sized_rejects_impossible_nnz() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 999999999\n1 2\n";
+        let err =
+            read_matrix_market_sized(text.as_bytes(), Some(text.len() as u64)).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidHeader { .. }), "{err:?}");
+        // without the size hint the same input errors at EOF instead of
+        // looping forever
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_rejects_index_beyond_declared_size() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 9\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(GraphError::VertexOutOfRange { line: 1, id: 9, .. })
+        ));
+    }
+
+    #[test]
     fn dimacs_round_trip() {
         let coo = Coo::from_weighted_edges(4, &[(0, 1, 5), (2, 3, 9), (1, 2, 1)]);
         let mut buf = Vec::new();
@@ -402,6 +676,25 @@ mod tests {
         assert!(read_dimacs("p tw 3 1\n".as_bytes()).is_err()); // wrong kind
         assert!(read_dimacs("p sp 3 1\na 0 2 1\n".as_bytes()).is_err()); // 0-based
         assert!(read_dimacs("x\n".as_bytes()).is_err()); // unknown record
+    }
+
+    #[test]
+    fn dimacs_rejects_arc_beyond_declared_vertex_count() {
+        match read_dimacs("p sp 3 1\na 1 9 5\n".as_bytes()) {
+            Err(GraphError::VertexOutOfRange { line, id, max }) => {
+                assert_eq!((line, id, max), (2, 9, 3));
+            }
+            other => panic!("expected VertexOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimacs_rejects_u64_ids_without_wrapping() {
+        let text = format!("p sp 3 1\na 1 {} 5\n", (u32::MAX as u64) + 2);
+        assert!(matches!(
+            read_dimacs(text.as_bytes()),
+            Err(GraphError::VertexOutOfRange { line: 2, .. })
+        ));
     }
 
     #[test]
@@ -435,11 +728,63 @@ mod tests {
             assert_eq!(back.row_offsets(), g.row_offsets());
             assert_eq!(back.col_indices(), g.col_indices());
             assert_eq!(back.edge_values(), g.edge_values());
+            // the sized reader accepts its own output too
+            let back = read_csr_binary_sized(&buf[..], Some(buf.len() as u64)).unwrap();
+            assert_eq!(back.col_indices(), g.col_indices());
         }
     }
 
     #[test]
     fn binary_rejects_bad_magic() {
         assert!(read_csr_binary(&b"NOTMAGIC........"[..]).is_err());
+    }
+
+    #[test]
+    fn binary_reads_legacy_v1_payloads() {
+        // hand-built GNRKCSR1 blob: 2 vertices, 1 unweighted edge 0 -> 1
+        let mut blob = Vec::new();
+        blob.extend_from_slice(b"GNRKCSR1");
+        blob.extend_from_slice(&2u64.to_le_bytes());
+        blob.extend_from_slice(&1u64.to_le_bytes());
+        blob.push(0);
+        for x in [0u32, 1, 1] {
+            blob.extend_from_slice(&x.to_le_bytes());
+        }
+        blob.extend_from_slice(&1u32.to_le_bytes());
+        let g = read_csr_binary(&blob[..]).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn binary_rejects_truncation_and_flipped_bits() {
+        let g = GraphBuilder::new().build(rmat(5, 8, Default::default(), 3));
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        // truncation at every prefix length is a typed error, never a panic
+        for cut in [0, 4, 8, 12, 20, 24, 25, buf.len() / 2, buf.len() - 1] {
+            let err = read_csr_binary(&buf[..cut]).unwrap_err();
+            assert!(err.is_malformed_input(), "cut={cut}: {err:?}");
+        }
+        // flip one payload bit: the checksum catches it (or validation,
+        // if the flip lands in a structural array)
+        let mut bad = buf.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(read_csr_binary(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn binary_sized_rejects_lying_header() {
+        let g = GraphBuilder::new().build(rmat(4, 8, Default::default(), 3));
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        // inflate the claimed edge count without growing the file
+        let mut bad = buf.clone();
+        bad[16..24].copy_from_slice(&(u32::MAX as u64).to_le_bytes());
+        let err = read_csr_binary_sized(&bad[..], Some(bad.len() as u64)).unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt { .. }), "{err:?}");
+        // unknown size: still fails (on EOF) rather than allocating 16 GiB
+        assert!(read_csr_binary(&bad[..]).is_err());
     }
 }

@@ -23,6 +23,7 @@
 pub mod builder;
 pub mod coo;
 pub mod csr;
+pub mod error;
 pub mod generators;
 pub mod io;
 pub mod stats;
@@ -33,6 +34,7 @@ pub mod prelude {
     pub use crate::builder::GraphBuilder;
     pub use crate::coo::Coo;
     pub use crate::csr::Csr;
+    pub use crate::error::{GraphError, GraphResult};
     pub use crate::generators;
     pub use crate::stats::{degree_histogram, graph_stats, GraphStats};
     pub use crate::types::{
@@ -43,4 +45,5 @@ pub mod prelude {
 pub use builder::GraphBuilder;
 pub use coo::Coo;
 pub use csr::Csr;
+pub use error::{GraphError, GraphResult};
 pub use types::{EdgeId, VertexId, Weight, INFINITY, INVALID_EDGE, INVALID_VERTEX};

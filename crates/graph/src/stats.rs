@@ -72,9 +72,7 @@ pub fn pseudo_diameter(g: &Csr) -> u32 {
         return 0;
     }
     // start from the max-degree vertex: cheap and lands in the big component
-    let start = (0..g.num_vertices() as VertexId)
-        .max_by_key(|&v| g.out_degree(v))
-        .unwrap();
+    let start = (0..g.num_vertices() as VertexId).max_by_key(|&v| g.out_degree(v)).unwrap();
     let (far, _) = bfs_ecc(g, start);
     let (_, ecc) = bfs_ecc(g, far);
     ecc

@@ -44,6 +44,24 @@ proptest! {
     }
 
     #[test]
+    fn builder_output_always_passes_validation((n, edges) in arb_edges()) {
+        // every loader runs Csr::validate() on untrusted input; the
+        // builder pipeline must always produce graphs that pass the
+        // same invariant checks (undirected, directed, weighted)
+        let und = GraphBuilder::new().build(Coo::from_edges(n, &edges));
+        prop_assert!(und.validate().is_ok(), "{:?}", und.validate());
+        let dir = GraphBuilder::new().directed().build(Coo::from_edges(n, &edges));
+        prop_assert!(dir.validate().is_ok(), "{:?}", dir.validate());
+        prop_assert!(dir.transpose().validate().is_ok());
+        let w = GraphBuilder::new()
+            .random_weights(1, 64, 7)
+            .build(Coo::from_edges(n, &edges));
+        prop_assert!(w.validate().is_ok(), "{:?}", w.validate());
+        // and the COO view passes its own validation
+        prop_assert!(w.to_coo().validate().is_ok());
+    }
+
+    #[test]
     fn transpose_is_involutive((n, edges) in arb_edges()) {
         let g = GraphBuilder::new().directed().build(Coo::from_edges(n, &edges));
         let tt = g.transpose().transpose();

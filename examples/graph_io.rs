@@ -7,10 +7,10 @@
 
 use gunrock::prelude::*;
 use gunrock_algos::cc::cc;
-use gunrock_graph::prelude::*;
 use gunrock_graph::io;
+use gunrock_graph::prelude::*;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("gunrock_io_example");
     std::fs::create_dir_all(&dir)?;
 

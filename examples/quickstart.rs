@@ -25,19 +25,10 @@ fn main() {
 
     // 3. Inspect.
     let reached = result.labels.iter().filter(|&&l| l != INFINITY).count();
-    let max_depth = result
-        .labels
-        .iter()
-        .filter(|&&l| l != INFINITY)
-        .max()
-        .unwrap();
+    let max_depth = result.labels.iter().filter(|&&l| l != INFINITY).max().unwrap();
     println!(
         "BFS reached {} / {} vertices, max depth {}, {} iterations ({} pull)",
-        reached,
-        stats.vertices,
-        max_depth,
-        result.iterations,
-        result.pull_iterations
+        reached, stats.vertices, max_depth, result.iterations, result.pull_iterations
     );
     println!(
         "traversed {} edges in {:.2} ms -> {:.1} MTEPS",

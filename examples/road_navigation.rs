@@ -34,11 +34,8 @@ fn main() {
     );
 
     let ctx = Context::new(&graph);
-    let bellman = sssp(
-        &ctx,
-        src,
-        SsspOptions { use_priority_queue: false, ..Default::default() },
-    );
+    let bellman =
+        sssp(&ctx, src, SsspOptions { use_priority_queue: false, ..Default::default() });
     println!(
         "plain Bellman-Ford: {:.1} ms, {} iterations, {} edge relax attempts",
         bellman.elapsed.as_secs_f64() * 1e3,

@@ -10,11 +10,8 @@ use gunrock_algos::{bc, cc, pagerank};
 use gunrock_graph::prelude::*;
 
 fn top_k(scores: &[f64], k: usize) -> Vec<(u32, f64)> {
-    let mut idx: Vec<(u32, f64)> = scores
-        .iter()
-        .enumerate()
-        .map(|(v, &s)| (v as u32, s))
-        .collect();
+    let mut idx: Vec<(u32, f64)> =
+        scores.iter().enumerate().map(|(v, &s)| (v as u32, s)).collect();
     idx.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     idx.truncate(k);
     idx
@@ -33,10 +30,8 @@ fn main() {
 
     // Influence: PageRank over the whole graph.
     let ctx = Context::new(&graph);
-    let pr = pagerank::pagerank(
-        &ctx,
-        pagerank::PrOptions { epsilon: 1e-12, ..Default::default() },
-    );
+    let pr =
+        pagerank::pagerank(&ctx, pagerank::PrOptions { epsilon: 1e-12, ..Default::default() });
     println!(
         "\nPageRank converged in {} iterations ({:.1} ms)",
         pr.iterations,

@@ -44,10 +44,7 @@ fn main() {
     let undirected = GraphBuilder::new().build(directed.to_coo());
     let ctx = Context::new(&undirected).with_reverse(&reverse);
     let recs = who_to_follow(&ctx, user, shape.n_left, 40, 8);
-    println!(
-        "\nuser #{user} follows {} accounts; recommending:",
-        directed.out_degree(user)
-    );
+    println!("\nuser #{user} follows {} accounts; recommending:", directed.out_degree(user));
     for (rank, r) in recs.iter().enumerate() {
         println!(
             "  {}. account #{:<5} score {:.5} ({} followers)",

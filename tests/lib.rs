@@ -6,9 +6,8 @@ use gunrock_graph::{Coo, Csr, GraphBuilder};
 /// A varied suite of small graphs covering every topology class the
 /// paper evaluates plus degenerate shapes.
 pub fn graph_suite() -> Vec<(String, Csr)> {
-    let weighted = |coo: Coo, seed: u64| {
-        GraphBuilder::new().random_weights(1, 64, seed).build(coo)
-    };
+    let weighted =
+        |coo: Coo, seed: u64| GraphBuilder::new().random_weights(1, 64, seed).build(coo);
     vec![
         ("erdos".into(), weighted(erdos_renyi(300, 900, 1), 1)),
         ("kron".into(), weighted(rmat(8, 8, Default::default(), 2), 2)),

@@ -87,7 +87,8 @@ fn pagerank_all_engines_agree() {
     for (name, g) in graph_suite() {
         let want = serial::pagerank(&g, 0.85, 1e-14, 2000);
         let ctx = Context::new(&g);
-        let gr = algos::pagerank(&ctx, algos::PrOptions { epsilon: 1e-13, ..Default::default() });
+        let gr =
+            algos::pagerank(&ctx, algos::PrOptions { epsilon: 1e-13, ..Default::default() });
         for (v, (a, b)) in gr.scores.iter().zip(&want).enumerate() {
             assert!((a - b).abs() < 1e-6, "gunrock on {name} vertex {v}: {a} vs {b}");
         }
@@ -111,9 +112,11 @@ fn bfs_variants_and_modes_cross_product() {
     use algos::bfs::{bfs, BfsOptions, BfsVariant};
     for (name, g) in graph_suite() {
         let want = serial::bfs(&g, 0);
-        for variant in [BfsVariant::Atomic, BfsVariant::Idempotent, BfsVariant::DirectionOptimized]
+        for variant in
+            [BfsVariant::Atomic, BfsVariant::Idempotent, BfsVariant::DirectionOptimized]
         {
-            for mode in [AdvanceMode::ThreadMapped, AdvanceMode::Twc, AdvanceMode::LoadBalanced] {
+            for mode in [AdvanceMode::ThreadMapped, AdvanceMode::Twc, AdvanceMode::LoadBalanced]
+            {
                 let ctx = Context::new(&g).with_reverse(&g);
                 let r = bfs(&ctx, 0, BfsOptions { variant, mode, ..Default::default() });
                 assert_eq!(r.labels, want, "{name} {variant:?} {mode:?}");

@@ -128,9 +128,9 @@ fn mis_and_coloring_run_on_suite() {
     for (name, g) in graph_suite() {
         let ctx = Context::new(&g);
         let mis = algos::extras::maximal_independent_set(&ctx, 5);
-        assert!(algos::extras::verify_mis(&g, &mis), "{name}");
+        assert!(algos::extras::verify_mis(&g, &mis.in_set), "{name}");
         let ctx = Context::new(&g);
-        let colors = algos::extras::greedy_coloring(&ctx, 5);
-        assert!(algos::extras::verify_coloring(&g, &colors), "{name}");
+        let coloring = algos::extras::greedy_coloring(&ctx, 5);
+        assert!(algos::extras::verify_coloring(&g, &coloring.colors), "{name}");
     }
 }

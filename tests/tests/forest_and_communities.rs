@@ -11,11 +11,7 @@ fn mst_weight_matches_kruskal_on_suite() {
     for (name, g) in graph_suite() {
         let ctx = Context::new(&g);
         let r = algos::mst(&ctx);
-        assert_eq!(
-            r.total_weight,
-            algos::mst::mst_weight_kruskal(&g),
-            "{name}"
-        );
+        assert_eq!(r.total_weight, algos::mst::mst_weight_kruskal(&g), "{name}");
         // tree count equals component count
         let cc = serial::connected_components(&g);
         assert_eq!(r.num_trees, serial::num_components(&cc), "{name}");

@@ -9,9 +9,8 @@ use gunrock_graph::{io, GraphBuilder};
 
 #[test]
 fn binary_round_trip_preserves_analytics() {
-    let g = GraphBuilder::new()
-        .random_weights(1, 64, 5)
-        .build(rmat(9, 8, Default::default(), 5));
+    let g =
+        GraphBuilder::new().random_weights(1, 64, 5).build(rmat(9, 8, Default::default(), 5));
     let mut buf = Vec::new();
     io::write_csr_binary(&g, &mut buf).unwrap();
     let g2 = io::read_csr_binary(&buf[..]).unwrap();
@@ -63,9 +62,6 @@ fn file_based_load_dispatches_on_extension() {
     // the text round trip re-runs the undirected builder; analytics agree
     let ctx1 = Context::new(&g);
     let ctx2 = Context::new(&gt);
-    assert_eq!(
-        algos::cc(&ctx1).num_components,
-        algos::cc(&ctx2).num_components
-    );
+    assert_eq!(algos::cc(&ctx1).num_components, algos::cc(&ctx2).num_components);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -30,9 +30,8 @@ struct Relax<'a> {
 
 impl AdvanceFunctor for Relax<'_> {
     fn cond_edge(&self, s: u32, d: u32, e: u32) -> bool {
-        let nd = self.dist[s as usize]
-            .load(Ordering::Relaxed)
-            .saturating_add(self.graph.weight(e));
+        let nd =
+            self.dist[s as usize].load(Ordering::Relaxed).saturating_add(self.graph.weight(e));
         self.dist[d as usize].fetch_min(nd, Ordering::Relaxed) > nd
     }
 }
@@ -67,12 +66,9 @@ impl Primitive for SsspPrimitive<'_> {
             &Relax { graph: self.graph, dist: &self.dist },
         );
         let dedup = filter::filter(ctx, &raw, &Claim { tags: &self.tags, round: self.round });
-        let near = self
-            .queue
-            .split(dedup, |v| self.dist[v as usize].load(Ordering::Relaxed));
+        let near = self.queue.split(dedup, |v| self.dist[v as usize].load(Ordering::Relaxed));
         if near.is_empty() {
-            self.queue
-                .refill(|v| self.dist[v as usize].load(Ordering::Relaxed))
+            self.queue.refill(|v| self.dist[v as usize].load(Ordering::Relaxed))
         } else {
             near
         }

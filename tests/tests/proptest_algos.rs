@@ -11,10 +11,8 @@ use proptest::prelude::*;
 /// and 0..=150 edges.
 fn arb_graph() -> impl Strategy<Value = (Csr, u32)> {
     (2usize..=60).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            ((0..n as u32), (0..n as u32), (1u32..=64)),
-            0..=150,
-        );
+        let edges =
+            proptest::collection::vec(((0..n as u32), (0..n as u32), (1u32..=64)), 0..=150);
         (edges, 0..n as u32).prop_map(move |(edges, src)| {
             let coo = Coo::from_weighted_edges(n, &edges);
             (GraphBuilder::new().build(coo), src)
@@ -87,9 +85,9 @@ proptest! {
     fn mis_and_coloring_invariants((g, _src) in arb_graph()) {
         let ctx = Context::new(&g);
         let mis = algos::extras::maximal_independent_set(&ctx, 99);
-        prop_assert!(algos::extras::verify_mis(&g, &mis));
+        prop_assert!(algos::extras::verify_mis(&g, &mis.in_set));
         let ctx = Context::new(&g);
-        let colors = algos::extras::greedy_coloring(&ctx, 99);
-        prop_assert!(algos::extras::verify_coloring(&g, &colors));
+        let coloring = algos::extras::greedy_coloring(&ctx, 99);
+        prop_assert!(algos::extras::verify_coloring(&g, &coloring.colors));
     }
 }

@@ -1,0 +1,245 @@
+//! Execution-guard integration tests: every primitive must honor the
+//! context's [`RunPolicy`] on a non-trivial graph — a 1-iteration cap
+//! or a pre-tripped cancel flag comes back promptly with the matching
+//! [`RunOutcome`] and a usable partial result, never a hang or a panic.
+
+use gunrock::prelude::*;
+use gunrock_algos as algos;
+use gunrock_baselines::serial;
+use gunrock_graph::generators::rmat;
+use gunrock_graph::{Csr, GraphBuilder, INFINITY, INVALID_VERTEX};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Scale-12 Kronecker graph (the CLI's default input): big enough that
+/// one iteration is nowhere near convergence for any traversal.
+fn kron12() -> Csr {
+    GraphBuilder::new().random_weights(1, 64, 42).build(rmat(
+        12,
+        16,
+        gunrock_graph::generators::RmatParams::graph500(),
+        42,
+    ))
+}
+
+fn capped(g: &Csr) -> Context<'_> {
+    Context::new(g).with_policy(RunPolicy::unbounded().max_iterations(1))
+}
+
+fn cancelled(g: &Csr) -> Context<'_> {
+    let flag = Arc::new(AtomicBool::new(true));
+    Context::new(g).with_policy(RunPolicy::unbounded().cancel_flag(flag))
+}
+
+#[test]
+fn bfs_cap_yields_one_consistent_level() {
+    let g = kron12();
+    let r = algos::bfs(&capped(&g), 0, algos::BfsOptions::default());
+    assert_eq!(r.outcome, RunOutcome::IterationCapped);
+    assert_eq!(r.iterations, 1);
+    // exactly the source's neighborhood is labeled, at the right depths
+    let full = serial::bfs(&g, 0);
+    for (v, &depth) in full.iter().enumerate() {
+        if depth <= 1 {
+            assert_eq!(r.labels[v], depth, "vertex {v}");
+        } else {
+            assert_eq!(r.labels[v], INFINITY, "vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn bfs_cancel_returns_source_only() {
+    let g = kron12();
+    let r = algos::bfs(&cancelled(&g), 0, algos::BfsOptions::default());
+    assert_eq!(r.outcome, RunOutcome::Cancelled);
+    assert_eq!(r.iterations, 0);
+    assert_eq!(r.labels[0], 0);
+    assert!(r.labels[1..].iter().all(|&l| l == INFINITY));
+    assert!(r.preds.iter().all(|&p| p == INVALID_VERTEX));
+}
+
+#[test]
+fn bfs_cancel_mid_run_stops_between_levels() {
+    // a flag flipped from another thread while the enactment runs: the
+    // loop stops at the next iteration boundary with consistent labels
+    let g = kron12();
+    let flag = Arc::new(AtomicBool::new(false));
+    let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().cancel_flag(flag.clone()));
+    flag.store(true, std::sync::atomic::Ordering::Release);
+    let r = algos::bfs(&ctx, 0, algos::BfsOptions::default());
+    assert_eq!(r.outcome, RunOutcome::Cancelled);
+    // whatever was labeled is a prefix of the true BFS levels
+    let full = serial::bfs(&g, 0);
+    for (v, &label) in r.labels.iter().enumerate() {
+        if label != INFINITY {
+            assert_eq!(label, full[v], "vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn sssp_cap_keeps_distances_as_upper_bounds() {
+    let g = kron12();
+    let r = algos::sssp(&capped(&g), 0, algos::SsspOptions::default());
+    assert_eq!(r.outcome, RunOutcome::IterationCapped);
+    assert_eq!(r.iterations, 1);
+    let want = serial::dijkstra(&g, 0);
+    for (v, &lower) in want.iter().enumerate() {
+        assert!(r.dist[v] >= lower, "vertex {v}: partial undershoots");
+    }
+    assert_eq!(r.dist[0], 0);
+}
+
+#[test]
+fn sssp_cancel_settles_only_the_source() {
+    let g = kron12();
+    let r = algos::sssp(&cancelled(&g), 0, algos::SsspOptions::default());
+    assert_eq!(r.outcome, RunOutcome::Cancelled);
+    assert_eq!(r.iterations, 0);
+    assert_eq!(r.dist[0], 0);
+    assert!(r.dist[1..].iter().all(|&d| d == INFINITY));
+}
+
+#[test]
+fn bc_cap_trips_during_the_forward_phase() {
+    let g = kron12();
+    let r = algos::bc(&capped(&g), 0, algos::BcOptions::default());
+    assert_eq!(r.outcome, RunOutcome::IterationCapped);
+    assert_eq!(r.iterations, 1);
+    // dependency scores never accumulate when the forward phase dies
+    assert!(r.bc_values.iter().all(|&d| d == 0.0));
+}
+
+#[test]
+fn cc_cap_yields_a_refinement() {
+    let g = kron12();
+    let r = algos::cc(&capped(&g));
+    assert_eq!(r.outcome, RunOutcome::IterationCapped);
+    let want = serial::connected_components(&g);
+    // partial labels never merge vertices across true components
+    for v in 0..g.num_vertices() {
+        assert_eq!(want[r.labels[v] as usize], want[v], "vertex {v}");
+    }
+    assert!(r.num_components >= serial::num_components(&want));
+}
+
+#[test]
+fn pagerank_cap_conserves_mass() {
+    let g = kron12();
+    let r =
+        algos::pagerank(&capped(&g), algos::PrOptions { epsilon: 1e-12, ..Default::default() });
+    assert_eq!(r.outcome, RunOutcome::IterationCapped);
+    assert_eq!(r.iterations, 1);
+    let sum: f64 = r.scores.iter().sum();
+    let want = 1.0 - 0.85f64.powi(2); // (1-d)(1+d) after one round
+    assert!((sum - want).abs() < 1e-9, "sum {sum}, want {want}");
+}
+
+#[test]
+fn mst_cap_commits_only_safe_edges() {
+    let g = kron12();
+    let r = algos::mst(&capped(&g));
+    assert_eq!(r.outcome, RunOutcome::IterationCapped);
+    assert_eq!(r.rounds, 1);
+    // committed edges are acyclic and part of some minimum forest
+    assert!(r.total_weight <= algos::mst::mst_weight_kruskal(&g));
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(p: &mut [u32], mut x: u32) -> u32 {
+        while p[x as usize] != x {
+            p[x as usize] = p[p[x as usize] as usize];
+            x = p[x as usize];
+        }
+        x
+    }
+    for &e in &r.edges {
+        let (u, v) = (g.edge_source(e), g.edge_dest(e));
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        assert_ne!(ru, rv, "edge {e} closes a cycle");
+        parent[ru.max(rv) as usize] = ru.min(rv);
+    }
+}
+
+#[test]
+fn kcore_cap_bounds_core_numbers_from_below() {
+    let g = kron12();
+    let full = {
+        let ctx = Context::new(&g);
+        algos::k_core(&ctx)
+    };
+    let r = algos::k_core(&capped(&g));
+    assert_eq!(r.outcome, RunOutcome::IterationCapped);
+    for v in 0..g.num_vertices() {
+        assert!(r.core_numbers[v] <= full.core_numbers[v], "vertex {v}");
+    }
+}
+
+#[test]
+fn labelprop_cap_stops_after_one_round() {
+    let g = kron12();
+    let r = algos::label_prop::label_propagation(&capped(&g), 50);
+    assert_eq!(r.outcome, RunOutcome::IterationCapped);
+    assert_eq!(r.rounds, 1);
+    assert!(r.labels.iter().all(|&l| (l as usize) < g.num_vertices()));
+}
+
+#[test]
+fn every_primitive_cancels_without_touching_the_graph() {
+    // a pre-tripped cancel must return in O(init) time on the scale-12
+    // graph with iteration counts of zero across the board
+    let g = kron12();
+    let t = std::time::Instant::now();
+    assert_eq!(algos::bfs(&cancelled(&g), 0, Default::default()).iterations, 0);
+    assert_eq!(algos::sssp(&cancelled(&g), 0, Default::default()).iterations, 0);
+    assert_eq!(algos::bc(&cancelled(&g), 0, Default::default()).iterations, 0);
+    assert_eq!(algos::cc(&cancelled(&g)).iterations, 0);
+    assert_eq!(algos::pagerank(&cancelled(&g), Default::default()).iterations, 0);
+    assert_eq!(algos::mst(&cancelled(&g)).rounds, 0);
+    assert_eq!(algos::k_core(&cancelled(&g)).iterations, 0);
+    assert_eq!(algos::label_prop::label_propagation(&cancelled(&g), 50).rounds, 0);
+    assert_eq!(algos::triangle_count(&cancelled(&g)).total, 0);
+    // generous bound: init allocations only, no traversal work
+    assert!(t.elapsed() < std::time::Duration::from_secs(10));
+}
+
+#[test]
+fn timeout_policy_trips_on_a_zero_budget() {
+    let g = kron12();
+    let ctx = Context::new(&g)
+        .with_policy(RunPolicy::unbounded().wall_clock_budget(std::time::Duration::ZERO));
+    let r = algos::bfs(&ctx, 0, algos::BfsOptions::default());
+    assert_eq!(r.outcome, RunOutcome::TimedOut);
+    assert_eq!(r.iterations, 0);
+}
+
+#[test]
+fn generic_enact_loop_honors_the_same_policy() {
+    // the Primitive-trait path (problem::enact) shares the guard
+    use gunrock::prelude::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    struct Trivial {
+        steps: Arc<AtomicU32>,
+    }
+    impl Primitive for Trivial {
+        type Output = u32;
+        fn init(&mut self, ctx: &Context<'_>) -> Frontier {
+            Frontier::full(ctx.num_vertices())
+        }
+        fn iteration(&mut self, _ctx: &Context<'_>, f: Frontier, _iter: u32) -> Frontier {
+            self.steps.fetch_add(1, Ordering::Relaxed);
+            f // never converges on its own
+        }
+        fn extract(self) -> u32 {
+            self.steps.load(Ordering::Relaxed)
+        }
+    }
+
+    let g = kron12();
+    let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(3));
+    let steps = Arc::new(AtomicU32::new(0));
+    let (ran, stats) = enact(&ctx, Trivial { steps: steps.clone() });
+    assert_eq!(stats.outcome, RunOutcome::IterationCapped);
+    assert_eq!(ran, 3, "a non-converging primitive is still bounded");
+}

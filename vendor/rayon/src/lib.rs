@@ -1,0 +1,384 @@
+//! Offline API-compatible shim for [rayon](https://crates.io/crates/rayon).
+//!
+//! This build environment has no access to a crates registry, so the
+//! workspace vendors a minimal, std-only implementation of the rayon API
+//! surface it uses (see `vendor/README.md`). Combinator chains execute
+//! **sequentially** with identical semantics; the `ParIter` wrapper keeps
+//! the rayon method names (`par_iter`, `reduce(identity, op)`,
+//! `flat_map_iter`, ...) so source code is unchanged and swapping the real
+//! rayon back in is a one-line Cargo.toml edit per crate.
+//!
+//! Because execution is sequential, code that uses atomics for
+//! cross-thread accumulation still works (the operations are simply
+//! uncontended), and every algebraic law the engine's tests check holds
+//! trivially.
+
+// vendored shim: exempt from the workspace lint bar
+#![allow(clippy::all)]
+
+/// Number of worker threads the pool would use. The shim reports the
+/// machine's available parallelism so chunk-size heuristics in callers
+/// exercise their "parallel" code paths, even though execution here is
+/// sequential.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs two closures (sequentially in the shim) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The wrapper type returned by `par_iter`/`into_par_iter`/`par_chunks`.
+///
+/// Deliberately does **not** implement [`Iterator`]: all combinators are
+/// inherent methods mirroring rayon's names and signatures (notably
+/// `reduce(identity, op)`), so there is no method-resolution ambiguity
+/// with the std iterator trait.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Wraps an ordinary iterator.
+    pub fn from_iter(inner: I) -> Self {
+        ParIter(inner)
+    }
+
+    /// Unwraps into the underlying sequential iterator.
+    pub fn into_inner(self) -> I {
+        self.0
+    }
+
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<P>(self, p: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(p))
+    }
+
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<R>,
+    {
+        ParIter(self.0.filter_map(f))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn zip<B: IntoParallelIterator>(
+        self,
+        other: B,
+    ) -> ParIter<std::iter::Zip<I, B::IntoIter>> {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    pub fn chain<B: IntoParallelIterator<Item = I::Item>>(
+        self,
+        other: B,
+    ) -> ParIter<std::iter::Chain<I, B::IntoIter>> {
+        ParIter(self.0.chain(other.into_par_iter().0))
+    }
+
+    /// rayon's `flat_map_iter`: the closure returns a *serial* iterator.
+    pub fn flat_map_iter<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        F: FnMut(I::Item) -> U,
+        U: IntoIterator,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// rayon's `flat_map`: the closure returns something convertible into
+    /// a parallel iterator. Sequentially these coincide with `flat_map_iter`.
+    pub fn flat_map<F, U>(self, mut f: F) -> ParIter<impl Iterator<Item = U::Item>>
+    where
+        F: FnMut(I::Item) -> U,
+        U: IntoParallelIterator,
+    {
+        ParIter(self.0.flat_map(move |x| f(x).into_par_iter()))
+    }
+
+    pub fn copied<'a, T>(self) -> ParIter<std::iter::Copied<I>>
+    where
+        I: Iterator<Item = &'a T>,
+        T: 'a + Copy,
+    {
+        ParIter(self.0.copied())
+    }
+
+    pub fn cloned<'a, T>(self) -> ParIter<std::iter::Cloned<I>>
+    where
+        I: Iterator<Item = &'a T>,
+        T: 'a + Clone,
+    {
+        ParIter(self.0.cloned())
+    }
+
+    /// Hint method on rayon's indexed iterators; a no-op here.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Hint method on rayon's indexed iterators; a no-op here.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    pub fn any<P>(mut self, p: P) -> bool
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        self.0.any(p)
+    }
+
+    pub fn all<P>(mut self, p: P) -> bool
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        self.0.all(p)
+    }
+
+    /// rayon's reduce: identity-producing closure plus an associative
+    /// combining operator.
+    pub fn reduce<T, ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        I: Iterator<Item = T>,
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// rayon's fold: produces one accumulator per "job"; sequentially a
+    /// single accumulator, wrapped back into a parallel iterator so a
+    /// following `reduce` works as in rayon.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::option::IntoIter<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(Some(self.0.fold(identity(), fold_op)).into_iter())
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+
+    pub fn find_any<P>(mut self, mut p: P) -> Option<I::Item>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        self.0.find(|x| p(x))
+    }
+
+    pub fn position_any<P>(mut self, p: P) -> Option<usize>
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        self.0.position(p)
+    }
+}
+
+/// Conversion into a (shim) parallel iterator; blanket-implemented for
+/// everything that is `IntoIterator`, which covers `Vec<T>`, ranges, and
+/// `ParIter` itself (for `zip`).
+pub trait IntoParallelIterator {
+    type Item;
+    type IntoIter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::IntoIter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type IntoIter = T::IntoIter;
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<I: Iterator> IntoIterator for ParIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// `par_iter()` by shared reference.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+{
+    type Item = <&'data T as IntoIterator>::Item;
+    type Iter = <&'data T as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` by exclusive reference.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoIterator,
+{
+    type Item = <&'data mut T as IntoIterator>::Item;
+    type Iter = <&'data mut T as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Slice chunking, mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>> {
+        ParIter(self.windows(window_size))
+    }
+}
+
+/// Mutable slice chunking and parallel sorts.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_unstable_by_key(f);
+    }
+}
+
+/// The rayon prelude: the traits that put `par_iter` & friends in scope.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn reduce_uses_identity() {
+        let v = vec![1u32, 2, 3, 4];
+        let total = v.par_iter().copied().reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn zip_and_mutate() {
+        let mut a = vec![0u32; 3];
+        let b = vec![5u32, 6, 7];
+        a.par_iter_mut().zip(b.par_iter()).for_each(|(x, &y)| *x = y);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunks_cover_slice() {
+        let v: Vec<u32> = (0..10).collect();
+        let n: usize = v.par_chunks(3).map(|c| c.len()).sum();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<u64> = (0u64..5).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+}
