@@ -145,7 +145,7 @@ pub fn bc(ctx: &Context<'_>, src: VertexId, opts: BcOptions) -> BcResult {
         }
         level += 1;
         iterations += 1;
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
         let f = ForwardSigma { depth: &depth, sigma: &sigma, level };
         let spec = AdvanceSpec::v2v().with_mode(opts.mode);
         let raw = advance::advance(ctx, levels.last().unwrap(), spec, &f);
@@ -169,7 +169,7 @@ pub fn bc(ctx: &Context<'_>, src: VertexId, opts: BcOptions) -> BcResult {
             break;
         }
         iterations += 1;
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
         let f =
             BackwardDelta { depth: &depth, sigma: &sigma, delta: &delta, level: lvl as u32 };
         let spec = AdvanceSpec::for_effect().with_mode(opts.mode);

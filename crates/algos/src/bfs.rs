@@ -250,7 +250,7 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
                 let spec = AdvanceSpec::v2v().with_mode(opts.mode);
                 frontier = advance::advance(ctx, &frontier, spec, &f);
                 enactor_iters += 1;
-                ctx.counters.add_iteration(false);
+                ctx.end_iteration(false);
             }
         }
         BfsVariant::Idempotent => {
@@ -277,7 +277,7 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
                     opts.culling,
                 );
                 enactor_iters += 1;
-                ctx.counters.add_iteration(false);
+                ctx.end_iteration(false);
             }
         }
         BfsVariant::Fused => {
@@ -306,7 +306,7 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
                     &visited,
                 );
                 enactor_iters += 1;
-                ctx.counters.add_iteration(false);
+                ctx.end_iteration(false);
             }
         }
         BfsVariant::DirectionOptimized => {
@@ -327,8 +327,41 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
                 level += 1;
                 let m_f =
                     advance::push::frontier_neighbor_count(ctx, &frontier, InputKind::Vertices);
+                let prev_direction = direction;
                 direction =
                     opts.policy.decide(direction, m_f, unvisited_edges, frontier.len(), n);
+                if direction != prev_direction {
+                    if let Some(sink) = ctx.sink() {
+                        // only built when instrumented: the reason string
+                        // names the hysteresis inequality that fired
+                        let (from, to, reason) = match direction {
+                            TraversalDirection::Pull => (
+                                StepDirection::Push,
+                                StepDirection::Pull,
+                                format!(
+                                    "m_f={} > m_u={}/alpha={} and n_f={} >= n={}/beta={}",
+                                    m_f,
+                                    unvisited_edges,
+                                    opts.policy.alpha,
+                                    frontier.len(),
+                                    n,
+                                    opts.policy.beta
+                                ),
+                            ),
+                            TraversalDirection::Push => (
+                                StepDirection::Pull,
+                                StepDirection::Push,
+                                format!(
+                                    "n_f={} < n={}/beta={}",
+                                    frontier.len(),
+                                    n,
+                                    opts.policy.beta
+                                ),
+                            ),
+                        };
+                        sink.record_switch(from, to, reason);
+                    }
+                }
                 let next = match direction {
                     TraversalDirection::Push => {
                         let f = IdempotentExpand {
@@ -367,7 +400,7 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
                 unvisited_edges = unvisited_edges.saturating_sub(
                     advance::push::frontier_neighbor_count(ctx, &next, InputKind::Vertices),
                 );
-                ctx.counters.add_iteration(direction == TraversalDirection::Pull);
+                ctx.end_iteration(direction == TraversalDirection::Pull);
                 enactor_iters += 1;
                 frontier = next;
             }

@@ -125,7 +125,7 @@ fn run_hub_auth(
         if !degree_norm {
             l2_normalize(&mut hubs);
         }
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
     }
     HubAuthScores { hubs, auths, iterations: completed, outcome }
 }
@@ -197,7 +197,7 @@ pub fn personalized_pagerank(
             Frontier::from_vec(gunrock_engine::compact::compact_indices(&residual, |&r| {
                 r > epsilon
             }));
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
     }
     scores.par_iter_mut().zip(residual.par_iter()).for_each(|(s, r)| *s += r);
     scores

@@ -114,7 +114,7 @@ pub fn cc(ctx: &Context<'_>) -> CcResult {
             break 'enact;
         }
         iterations += 1;
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
         // Hooking pass: filter on the edge frontier.
         let changed = AtomicBool::new(false);
         let hook = Hook { edge_src: &edge_src, edge_dst, labels: &labels, changed: &changed };
@@ -132,7 +132,7 @@ pub fn cc(ctx: &Context<'_>) -> CcResult {
                 break 'enact;
             }
             iterations += 1;
-            ctx.counters.add_iteration(false);
+            ctx.end_iteration(false);
             vertex_frontier = filter::filter(ctx, &vertex_frontier, &Jump { labels: &labels });
         }
     }

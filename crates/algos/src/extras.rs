@@ -87,7 +87,7 @@ pub fn maximal_independent_set(ctx: &Context<'_>, seed: u64) -> MisResult {
             &frontier,
             &VertexCond(|v: u32| state[v as usize].load(Ordering::Relaxed) == UNDECIDED),
         );
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
     }
     MisResult {
         in_set: state.into_iter().map(|s| s.into_inner() == IN_SET).collect(),
@@ -185,7 +185,7 @@ pub fn greedy_coloring(ctx: &Context<'_>, seed: u64) -> ColoringResult {
             &frontier,
             &VertexCond(|v: u32| colors[v as usize].load(Ordering::Relaxed) == UNCOLORED),
         );
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
     }
     ColoringResult {
         colors: gunrock_engine::atomics::unwrap_atomic_u32(&colors),

@@ -46,7 +46,7 @@ pub fn k_core(ctx: &Context<'_>) -> KcoreResult {
                 break 'enact;
             }
             iterations += 1;
-            ctx.counters.add_iteration(false);
+            ctx.end_iteration(false);
             // vertices that fall out of the k-core this sub-round
             let peeled = filter::filter(
                 ctx,

@@ -50,7 +50,7 @@ pub fn label_propagation(ctx: &Context<'_>, max_rounds: u32) -> LabelPropResult 
             break;
         }
         rounds += 1;
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
         // compute step: each active vertex picks its neighbors' majority
         // label from the *previous* round's labels (synchronous LPA),
         // so snapshot first

@@ -68,7 +68,7 @@ pub fn mst(ctx: &Context<'_>) -> MstResult {
             break;
         }
         rounds += 1;
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
         // Step 1: per-component minimum outgoing edge (atomic min over
         // the packed (weight, edge) key).
         let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE)).collect();

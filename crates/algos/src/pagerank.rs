@@ -112,7 +112,7 @@ pub fn pagerank(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
             break;
         }
         iterations += 1;
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
         // absorb frontier residuals into the scores (compute step); a
         // dangling (out-degree 0) vertex cannot push, so its damped mass
         // teleports uniformly, matching the power-iteration fixed point
@@ -193,7 +193,7 @@ pub fn pagerank_pull(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
             break;
         }
         iterations += 1;
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
         let dangling: f64 =
             (0..n as u32).filter(|&v| g.out_degree(v) == 0).map(|v| pr[v as usize]).sum();
         let teleport = base + opts.damping * dangling / n as f64;

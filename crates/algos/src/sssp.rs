@@ -140,7 +140,7 @@ pub fn sssp(ctx: &Context<'_>, src: VertexId, opts: SsspOptions) -> SsspResult {
                 break 'enact;
             }
             iterations += 1;
-            ctx.counters.add_iteration(false);
+            ctx.end_iteration(false);
             let spec = AdvanceSpec::v2v().with_mode(opts.mode);
             let raw = advance::advance(ctx, &frontier, spec, &relax);
             let dedup = filter::filter(ctx, &raw, &RemoveRedundant { tags: &tags, queue_id });

@@ -1,0 +1,68 @@
+//! Machine-readable benchmark export: the Gunrock column of Table 2 for
+//! all five primitives across the four standard datasets, one JSON
+//! object per (primitive, dataset) pair, each row carrying the
+//! per-operator trace aggregate (iterations, pull iterations, edges
+//! examined, advance/filter/compute time split).
+//!
+//! This is the file EXPERIMENTS.md regeneration and the CI stats check
+//! consume; `BENCH_pr2.json` in the repo root is a committed snapshot.
+//!
+//! Usage: `cargo run --release -p gunrock-bench --bin bench_json
+//!         [--scale N] [--runs N] [--out PATH]`
+
+use gunrock_bench::datasets::DATASET_NAMES;
+use gunrock_bench::{arg_value, load_dataset, run_system, Algorithm, BenchArgs, System};
+use gunrock_engine::json::JsonBuilder;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_pr2.json".to_string());
+
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.field_str("schema", "gunrock-bench/v1");
+    j.field_u64("scale", args.scale as u64);
+    j.field_u64("runs", args.runs as u64);
+    j.key("measurements");
+    j.begin_array();
+    for name in DATASET_NAMES {
+        let d = load_dataset(name, args.scale);
+        for alg in Algorithm::ALL {
+            let m = run_system(System::Gunrock, alg, &d, args.runs)
+                .expect("every Gunrock primitive is implemented");
+            let s = m.stats.expect("Gunrock measurements carry a trace aggregate");
+            j.begin_object();
+            j.field_str("primitive", alg.name());
+            j.field_str("dataset", name);
+            j.field_u64("num_vertices", d.graph.num_vertices() as u64);
+            j.field_u64("num_edges", d.graph.num_edges() as u64);
+            j.field_f64("millis", m.millis);
+            j.field_f64("mteps", m.mteps);
+            j.field_u64("iterations", s.iterations as u64);
+            j.field_u64("pull_iterations", s.pull_iterations as u64);
+            j.field_u64("edges_examined", s.edges_examined);
+            j.field_f64("advance_millis", s.advance_millis);
+            j.field_f64("filter_millis", s.filter_millis);
+            j.field_f64("compute_millis", s.compute_millis);
+            j.end_object();
+            eprintln!(
+                "{:>8} on {:>8}: {:>10.3} ms  {:>8.1} MTEPS  ({} iters, {} steps)",
+                alg.name(),
+                name,
+                m.millis,
+                m.mteps,
+                s.iterations,
+                s.steps
+            );
+        }
+    }
+    j.end_array();
+    j.end_object();
+
+    let json = j.finish();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out} ({} measurements)", DATASET_NAMES.len() * Algorithm::ALL.len());
+}

@@ -91,6 +91,10 @@ pub struct Measurement {
     /// Millions of traversed edges per second, normalized as `|E| /
     /// time` so systems are comparable (the paper's convention).
     pub mteps: f64,
+    /// Per-operator trace aggregate from one instrumented run. Only
+    /// Gunrock runs carry one; the timed runs themselves stay
+    /// uninstrumented so the numbers are not polluted by trace capture.
+    pub stats: Option<RunStatsSummary>,
 }
 
 /// PageRank parameters shared by every system so the work is identical.
@@ -252,7 +256,55 @@ pub fn run_system(
     };
     let run = run;
     let millis = crate::time_avg_ms(runs, run);
-    Some(Measurement { millis, mteps: m / (millis / 1e3) / 1e6 })
+    let stats = (sys == System::Gunrock).then(|| gunrock_stats(alg, d));
+    Some(Measurement { millis, mteps: m / (millis / 1e3) / 1e6, stats })
+}
+
+/// One extra instrumented Gunrock run to collect the per-operator trace.
+/// Kept separate from the timed loop so sink bookkeeping never shows up
+/// in the reported wall times.
+fn gunrock_stats(alg: Algorithm, d: &Dataset) -> RunStatsSummary {
+    let g = &d.graph;
+    let src = 0u32;
+    match alg {
+        Algorithm::Bfs => {
+            let ctx = Context::with_stats(Context::new(g).with_reverse(d.reverse()));
+            std::hint::black_box(algos::bfs(
+                &ctx,
+                src,
+                algos::BfsOptions::direction_optimized(),
+            ));
+            ctx.run_stats().summary()
+        }
+        Algorithm::Sssp => {
+            let ctx = Context::with_stats(Context::new(g));
+            std::hint::black_box(algos::sssp(&ctx, src, algos::SsspOptions::default()));
+            ctx.run_stats().summary()
+        }
+        Algorithm::Bc => {
+            let ctx = Context::with_stats(Context::new(g));
+            std::hint::black_box(algos::bc(&ctx, src, algos::BcOptions::default()));
+            ctx.run_stats().summary()
+        }
+        Algorithm::PageRank => {
+            let ctx = Context::with_stats(Context::new(g));
+            std::hint::black_box(algos::pagerank(
+                &ctx,
+                algos::PrOptions {
+                    damping: PR_DAMPING,
+                    epsilon: PR_TOL,
+                    max_iters: PR_MAX_ITERS,
+                    ..Default::default()
+                },
+            ));
+            ctx.run_stats().summary()
+        }
+        Algorithm::Cc => {
+            let ctx = Context::with_stats(Context::new(g));
+            std::hint::black_box(algos::cc(&ctx));
+            ctx.run_stats().summary()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +328,12 @@ mod tests {
                 assert_eq!(got.is_none(), skip, "{sys:?} {alg:?}");
                 if let Some(m) = got {
                     assert!(m.millis >= 0.0 && m.mteps >= 0.0);
+                    // only Gunrock runs carry a trace aggregate, and it
+                    // must have seen at least one operator step
+                    assert_eq!(m.stats.is_some(), sys == System::Gunrock, "{sys:?} {alg:?}");
+                    if let Some(s) = m.stats {
+                        assert!(s.steps > 0, "{sys:?} {alg:?} trace is empty");
+                    }
                 }
             }
         }

@@ -17,6 +17,8 @@
 //!   --top K            print the top-K vertices by score (default: 5)
 //!   --max-iters N      stop after N bulk-synchronous iterations
 //!   --timeout-ms N     stop after N milliseconds of wall clock
+//!   --stats-json PATH  write the per-operator instrumentation trace
+//!                      (StepRecords + direction switches) as JSON
 //! ```
 //!
 //! Exit codes: `0` converged, `1` error (bad arguments, unreadable or
@@ -52,7 +54,8 @@ options:
   --verify           cross-check against the serial oracle
   --top K            print the top-K vertices by score (default: 5)
   --max-iters N      stop after N bulk-synchronous iterations (exit 2)
-  --timeout-ms N     stop after N milliseconds of wall clock (exit 2)";
+  --timeout-ms N     stop after N milliseconds of wall clock (exit 2)
+  --stats-json PATH  write the per-operator trace (see DESIGN.md) as JSON";
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -208,6 +211,14 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         }
         args.verify && o.is_converged()
     };
+    let stats_path = args.flags.get("stats-json");
+    // install the instrumentation sink only when the trace is wanted
+    let instrument = |ctx| if stats_path.is_some() { Context::with_stats(ctx) } else { ctx };
+    let dump = |ctx: &Context<'_>, elapsed: std::time::Duration, o: RunOutcome| match stats_path
+    {
+        Some(path) => dump_stats(path, &args.primitive, &g, elapsed, ctx, o),
+        None => Ok(()),
+    };
     match args.primitive.as_str() {
         "stats" => {
             let s = stats::graph_stats(&g);
@@ -225,7 +236,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             }
         }
         "bfs" => {
-            let ctx = Context::new(&g).with_reverse(&g).with_policy(policy);
+            let ctx = instrument(Context::new(&g).with_reverse(&g).with_policy(policy));
             let r = algos::bfs(&ctx, src, algos::BfsOptions::direction_optimized());
             let reached = r.labels.iter().filter(|&&l| l != INFINITY).count();
             println!(
@@ -236,12 +247,13 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
                 r.mteps()
             );
             outcome = r.outcome;
+            dump(&ctx, r.elapsed, r.outcome)?;
             if verify(r.outcome) {
                 verify_eq(&r.labels, &serial::bfs(&g, src), "bfs depths")?;
             }
         }
         "sssp" => {
-            let ctx = Context::new(&g).with_policy(policy);
+            let ctx = instrument(Context::new(&g).with_policy(policy));
             let r = algos::sssp(&ctx, src, algos::SsspOptions::default());
             let reached = r.dist.iter().filter(|&&d| d != INFINITY).count();
             println!(
@@ -251,12 +263,13 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
                 r.mteps()
             );
             outcome = r.outcome;
+            dump(&ctx, r.elapsed, r.outcome)?;
             if verify(r.outcome) {
                 verify_eq(&r.dist, &serial::dijkstra(&g, src), "sssp distances")?;
             }
         }
         "bc" => {
-            let ctx = Context::new(&g).with_policy(policy);
+            let ctx = instrument(Context::new(&g).with_policy(policy));
             let r = algos::bc(&ctx, src, algos::BcOptions::default());
             println!(
                 "bc from {src}: {} iterations, {:.2} ms; top dependency scores:",
@@ -267,6 +280,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
                 println!("  #{v:<8} {s:.2}");
             }
             outcome = r.outcome;
+            dump(&ctx, r.elapsed, r.outcome)?;
             if verify(r.outcome) {
                 let want = serial::brandes_single_source(&g, src);
                 for (i, (a, b)) in r.bc_values.iter().zip(&want).enumerate() {
@@ -278,7 +292,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             }
         }
         "cc" => {
-            let ctx = Context::new(&g).with_policy(policy);
+            let ctx = instrument(Context::new(&g).with_policy(policy));
             let r = algos::cc(&ctx);
             println!(
                 "cc: {} components in {} iterations, {:.2} ms",
@@ -287,12 +301,13 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
                 r.elapsed.as_secs_f64() * 1e3
             );
             outcome = r.outcome;
+            dump(&ctx, r.elapsed, r.outcome)?;
             if verify(r.outcome) {
                 verify_eq(&r.labels, &serial::connected_components(&g), "component labels")?;
             }
         }
         "pagerank" => {
-            let ctx = Context::new(&g).with_policy(policy);
+            let ctx = instrument(Context::new(&g).with_policy(policy));
             let r = algos::pagerank(
                 &ctx,
                 algos::PrOptions { epsilon: 1e-10, ..Default::default() },
@@ -306,6 +321,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
                 println!("  #{v:<8} {s:.6}");
             }
             outcome = r.outcome;
+            dump(&ctx, r.elapsed, r.outcome)?;
             if verify(r.outcome) {
                 let want = serial::pagerank(&g, 0.85, 1e-12, 2000);
                 for (i, (a, b)) in r.scores.iter().zip(&want).enumerate() {
@@ -317,8 +333,10 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             }
         }
         "mst" => {
-            let ctx = Context::new(&g).with_policy(policy);
+            let ctx = instrument(Context::new(&g).with_policy(policy));
+            let t = std::time::Instant::now();
             let r = algos::mst(&ctx);
+            let elapsed = t.elapsed();
             println!(
                 "mst: {} edges, total weight {}, {} trees, {} rounds",
                 r.edges.len(),
@@ -327,6 +345,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
                 r.rounds
             );
             outcome = r.outcome;
+            dump(&ctx, elapsed, r.outcome)?;
             if verify(r.outcome) {
                 let want = algos::mst::mst_weight_kruskal(&g);
                 if r.total_weight != want {
@@ -339,19 +358,23 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             }
         }
         "kcore" => {
-            let ctx = Context::new(&g).with_policy(policy);
+            let ctx = instrument(Context::new(&g).with_policy(policy));
+            let t = std::time::Instant::now();
             let r = algos::k_core(&ctx);
             println!("kcore: degeneracy {}, {} iterations", r.degeneracy, r.iterations);
             outcome = r.outcome;
+            dump(&ctx, t.elapsed(), r.outcome)?;
             if verify(r.outcome) {
                 verify_eq(&r.core_numbers, &algos::kcore::k_core_serial(&g), "core numbers")?;
             }
         }
         "triangles" => {
-            let ctx = Context::new(&g).with_policy(policy);
+            let ctx = instrument(Context::new(&g).with_policy(policy));
+            let t = std::time::Instant::now();
             let r = algos::triangle_count(&ctx);
             println!("triangles: {} total", r.total);
             outcome = r.outcome;
+            dump(&ctx, t.elapsed(), r.outcome)?;
             if verify(r.outcome) {
                 let want = serial::triangle_count(&g);
                 if r.total != want {
@@ -361,13 +384,15 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             }
         }
         "labelprop" => {
-            let ctx = Context::new(&g).with_policy(policy);
+            let ctx = instrument(Context::new(&g).with_policy(policy));
+            let t = std::time::Instant::now();
             let r = algos::label_prop::label_propagation(&ctx, 50);
             println!(
                 "label propagation: {} communities after {} rounds",
                 r.num_communities, r.rounds
             );
             outcome = r.outcome;
+            dump(&ctx, t.elapsed(), r.outcome)?;
         }
         other => unreachable!("primitive {other:?} validated against PRIMITIVES"),
     }
@@ -375,6 +400,48 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         println!("partial result: {outcome}");
     }
     Ok(outcome)
+}
+
+/// Writes the instrumentation trace collected by `ctx`'s sink as a JSON
+/// document (schema `gunrock-stats/v1`, documented in DESIGN.md): run
+/// metadata, aggregate totals with derived MTEPS, the per-operator
+/// summary breakdown, and the full per-iteration step/switch trace.
+fn dump_stats(
+    path: &str,
+    primitive: &str,
+    g: &Csr,
+    elapsed: std::time::Duration,
+    ctx: &Context<'_>,
+    outcome: RunOutcome,
+) -> Result<(), String> {
+    use gunrock_engine::json::JsonBuilder;
+    let stats = ctx.run_stats();
+    let timing = Timing { elapsed, edges_examined: ctx.counters.edges() };
+    let mut j = JsonBuilder::new();
+    j.begin_object();
+    j.field_str("schema", "gunrock-stats/v1");
+    j.field_str("primitive", primitive);
+    j.field_u64("num_vertices", g.num_vertices() as u64);
+    j.field_u64("num_edges", g.num_edges() as u64);
+    j.field_str("outcome", &outcome.to_string());
+    j.field_f64("total_millis", timing.millis());
+    j.field_f64("mteps", timing.mteps());
+    j.key("counters");
+    j.begin_object();
+    j.field_u64("iterations", ctx.counters.iters());
+    j.field_u64("pull_iterations", ctx.counters.pull_iters());
+    j.field_u64("edges_examined", ctx.counters.edges());
+    j.end_object();
+    j.key("summary");
+    j.begin_object();
+    stats.summary().write_json_fields(&mut j);
+    j.end_object();
+    j.key("trace");
+    stats.write_json(&mut j);
+    j.end_object();
+    std::fs::write(path, j.finish()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("stats trace ({} steps) written to {path}", stats.steps.len());
+    Ok(())
 }
 
 fn verify_eq<T: PartialEq + std::fmt::Debug>(
@@ -508,6 +575,29 @@ mod tests {
             let a = parse_args(args(&[prim, "--scale", "8", "--max-iters", "1"])).unwrap();
             let outcome = execute(&a).unwrap_or_else(|e| panic!("{prim}: {e}"));
             assert_eq!(outcome, RunOutcome::IterationCapped, "{prim}");
+        }
+    }
+
+    #[test]
+    fn stats_json_emits_step_records_for_all_five_primitives() {
+        let dir = std::env::temp_dir();
+        for prim in ["bfs", "sssp", "bc", "cc", "pagerank"] {
+            let path =
+                dir.join(format!("gunrock_cli_stats_{prim}_{}.json", std::process::id()));
+            let path_s = path.to_str().unwrap().to_string();
+            let a = parse_args(args(&[prim, "--scale", "8", "--stats-json", &path_s])).unwrap();
+            execute(&a).unwrap_or_else(|e| panic!("{prim}: {e}"));
+            let json = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{prim}: {e}"));
+            assert!(json.contains(r#""schema":"gunrock-stats/v1""#), "{prim}");
+            assert!(json.contains(&format!(r#""primitive":"{prim}""#)));
+            // at least one recorded operator step with a strategy and a
+            // frontier size; cc is filter-only (Hook/Jump), the rest advance
+            let expected_op = if prim == "cc" { "filter" } else { "advance" };
+            assert!(json.contains(&format!(r#""operator":"{expected_op}""#)), "{prim}: {json}");
+            assert!(json.contains(r#""strategy":"#), "{prim}");
+            assert!(json.contains(r#""input_len":"#), "{prim}");
+            assert!(json.contains(r#""duration_ms":"#), "{prim}");
+            std::fs::remove_file(&path).ok();
         }
     }
 

@@ -24,10 +24,15 @@ use gunrock_engine::compact::compact;
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::scan::scan_exclusive_u32;
 use gunrock_engine::search::merge_path_partitions;
+use gunrock_engine::stats::{OperatorKind, StepDirection};
 use gunrock_engine::unsafe_slice::UnsafeSlice;
 use gunrock_graph::EdgeId;
 use rayon::prelude::*;
+use std::time::Instant;
 
+/// Marks an edge rank that produced no output (cond failed or the vertex
+/// was already visited). Cannot collide with a real vertex id: graph
+/// construction rejects `num_vertices >= u32::MAX` (see `Csr::validate`).
 const INVALID_SLOT: u32 = u32::MAX;
 
 /// Push advance with the visited-bitmap filter fused into the edge loop:
@@ -51,12 +56,28 @@ pub fn advance_filter_fused<F: AdvanceFunctor>(
     if input.is_empty() {
         return Frontier::new();
     }
+    let timer = ctx.sink().map(|_| (Instant::now(), ctx.counters.edges()));
     let work = super::push::frontier_neighbor_count(ctx, input, spec.input);
-    if work as usize > ctx.config.lb_threshold {
-        fused_load_balanced(ctx, input, spec, functor, visited)
+    // The load-balanced path ranks edges in u32 (like `load_balanced`);
+    // route ranking totals at or above u32::MAX to the thread-mapped
+    // path, which has no such limit.
+    let (out, strategy) = if work as usize > ctx.config.lb_threshold && work < u32::MAX as u64 {
+        (fused_load_balanced(ctx, input, spec, functor, visited), "fused:load_balanced")
     } else {
-        fused_thread_mapped(ctx, input, spec, functor, visited)
+        (fused_thread_mapped(ctx, input, spec, functor, visited), "fused:thread_mapped")
+    };
+    if let (Some((start, edges0)), Some(sink)) = (timer, ctx.sink()) {
+        sink.record_step(
+            OperatorKind::Advance,
+            strategy,
+            Some(StepDirection::Push),
+            input.len() as u64,
+            out.len() as u64,
+            ctx.counters.edges() - edges0,
+            start.elapsed(),
+        );
     }
+    out
 }
 
 fn fused_thread_mapped<F: AdvanceFunctor>(

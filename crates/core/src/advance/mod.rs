@@ -27,7 +27,9 @@ pub mod push;
 use crate::context::Context;
 use crate::functor::AdvanceFunctor;
 use gunrock_engine::frontier::Frontier;
+use gunrock_engine::stats::{OperatorKind, StepDirection};
 use gunrock_graph::VertexId;
+use std::time::Instant;
 
 /// Workload-mapping strategy for push advance.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -139,19 +141,38 @@ pub fn advance<F: AdvanceFunctor>(
     if input.is_empty() {
         return Frontier::new();
     }
-    match spec.mode {
-        AdvanceMode::ThreadMapped => push::thread_mapped(ctx, input, spec, functor),
-        AdvanceMode::Twc => push::twc(ctx, input, spec, functor),
-        AdvanceMode::LoadBalanced => push::load_balanced(ctx, input, spec, functor),
+    // Near-zero-cost instrumentation: one Option check on the fast path;
+    // the timer only exists when a sink is installed.
+    let timer = ctx.sink().map(|_| (Instant::now(), ctx.counters.edges()));
+    let (out, strategy) = match spec.mode {
+        AdvanceMode::ThreadMapped => {
+            (push::thread_mapped(ctx, input, spec, functor), "thread_mapped")
+        }
+        AdvanceMode::Twc => (push::twc(ctx, input, spec, functor), "twc"),
+        AdvanceMode::LoadBalanced => {
+            (push::load_balanced(ctx, input, spec, functor), "load_balanced")
+        }
         AdvanceMode::Auto => {
             let work = push::frontier_neighbor_count(ctx, input, spec.input);
             if work as usize > ctx.config.lb_threshold {
-                push::load_balanced(ctx, input, spec, functor)
+                (push::load_balanced(ctx, input, spec, functor), "auto:load_balanced")
             } else {
-                push::thread_mapped(ctx, input, spec, functor)
+                (push::thread_mapped(ctx, input, spec, functor), "auto:thread_mapped")
             }
         }
+    };
+    if let (Some((start, edges0)), Some(sink)) = (timer, ctx.sink()) {
+        sink.record_step(
+            OperatorKind::Advance,
+            strategy,
+            Some(StepDirection::Push),
+            input.len() as u64,
+            out.len() as u64,
+            ctx.counters.edges() - edges0,
+            start.elapsed(),
+        );
     }
+    out
 }
 
 #[cfg(test)]

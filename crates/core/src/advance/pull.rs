@@ -16,14 +16,17 @@ use crate::context::Context;
 use crate::functor::AdvanceFunctor;
 use crate::util::{concat_chunks, grain_size};
 use gunrock_engine::bitmap::AtomicBitmap;
+use gunrock_engine::config::SEQUENTIAL_CUTOFF;
 use gunrock_engine::frontier::Frontier;
+use gunrock_engine::stats::{OperatorKind, StepDirection};
 use gunrock_graph::EdgeId;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Builds the frontier-membership bitmap for a pull step.
 pub fn frontier_bitmap(num_vertices: usize, frontier: &Frontier) -> AtomicBitmap {
     let bm = AtomicBitmap::new(num_vertices);
-    if frontier.len() < 4096 {
+    if frontier.len() < SEQUENTIAL_CUTOFF {
         for v in frontier {
             bm.set(v as usize);
         }
@@ -43,6 +46,7 @@ pub fn advance_pull<F: AdvanceFunctor>(
     in_frontier: &AtomicBitmap,
     functor: &F,
 ) -> Frontier {
+    let timer = ctx.sink().map(|_| (Instant::now(), ctx.counters.edges()));
     let rev = ctx.reverse_graph();
     let grain = grain_size(candidates.len());
     let per_chunk: Vec<(Vec<u32>, u64)> = candidates
@@ -66,8 +70,20 @@ pub fn advance_pull<F: AdvanceFunctor>(
         })
         .collect();
     ctx.counters.add_edges(per_chunk.iter().map(|(_, e)| e).sum());
-    let out = concat_chunks(per_chunk.into_iter().map(|(v, _)| v).collect());
-    Frontier::from_vec(out)
+    let out =
+        Frontier::from_vec(concat_chunks(per_chunk.into_iter().map(|(v, _)| v).collect()));
+    if let (Some((start, edges0)), Some(sink)) = (timer, ctx.sink()) {
+        sink.record_step(
+            OperatorKind::Advance,
+            "pull",
+            Some(StepDirection::Pull),
+            candidates.len() as u64,
+            out.len() as u64,
+            ctx.counters.edges() - edges0,
+            start.elapsed(),
+        );
+    }
+    out
 }
 
 #[cfg(test)]

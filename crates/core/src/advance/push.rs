@@ -10,6 +10,7 @@ use crate::context::Context;
 use crate::functor::AdvanceFunctor;
 use crate::util::{concat_chunks, grain_size};
 use gunrock_engine::compact::compact;
+use gunrock_engine::config::FRONTIER_SEQ_CUTOFF;
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::scan::scan_exclusive_u32;
 use gunrock_engine::search::merge_path_partitions;
@@ -17,6 +18,10 @@ use gunrock_engine::unsafe_slice::UnsafeSlice;
 use gunrock_graph::{EdgeId, VertexId};
 use rayon::prelude::*;
 
+/// Marks an edge rank whose `cond` failed in the load-balanced output
+/// slot array. Collision with a real vertex/edge id is impossible because
+/// `Csr::validate`/`GraphBuilder` reject graphs with `num_vertices` or
+/// `num_edges` at `u32::MAX` — every legal id is strictly smaller.
 const INVALID_SLOT: u32 = u32::MAX;
 
 /// Total neighbor count of the frontier — the workload size an advance
@@ -24,7 +29,7 @@ const INVALID_SLOT: u32 = u32::MAX;
 /// direction-optimizing policy.
 pub fn frontier_neighbor_count(ctx: &Context<'_>, input: &Frontier, kind: InputKind) -> u64 {
     let g = ctx.graph;
-    if input.len() < 2048 {
+    if input.len() < FRONTIER_SEQ_CUTOFF {
         input
             .as_slice()
             .iter()
@@ -97,12 +102,62 @@ pub fn thread_mapped<F: AdvanceFunctor>(
     Frontier::from_vec(concat_chunks(chunks))
 }
 
+/// Splits the frontier into the three TWC degree classes — `(small,
+/// medium, large)` = (≤ warp, warp..=cta, > cta) — in ONE pass over the
+/// frontier, reading each item's degree exactly once. Relative order
+/// within each bucket matches frontier order.
+fn classify_degrees(
+    ctx: &Context<'_>,
+    items: &[u32],
+    input: InputKind,
+    warp: u32,
+    cta: u32,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let g = ctx.graph;
+    let place = |item: u32, buckets: &mut (Vec<u32>, Vec<u32>, Vec<u32>)| {
+        let d = g.out_degree(expansion_vertex(ctx, input, item));
+        if d <= warp {
+            buckets.0.push(item);
+        } else if d <= cta {
+            buckets.1.push(item);
+        } else {
+            buckets.2.push(item);
+        }
+    };
+    if items.len() < FRONTIER_SEQ_CUTOFF {
+        let mut buckets = (Vec::new(), Vec::new(), Vec::new());
+        for &item in items {
+            place(item, &mut buckets);
+        }
+        return buckets;
+    }
+    let per_chunk: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> = items
+        .par_chunks(grain_size(items.len()))
+        .map(|chunk| {
+            let mut buckets = (Vec::new(), Vec::new(), Vec::new());
+            for &item in chunk {
+                place(item, &mut buckets);
+            }
+            buckets
+        })
+        .collect();
+    let mut smalls = Vec::with_capacity(per_chunk.len());
+    let mut mediums = Vec::with_capacity(per_chunk.len());
+    let mut larges = Vec::with_capacity(per_chunk.len());
+    for (s, m, l) in per_chunk {
+        smalls.push(s);
+        mediums.push(m);
+        larges.push(l);
+    }
+    (concat_chunks(smalls), concat_chunks(mediums), concat_chunks(larges))
+}
+
 /// Per-warp / per-CTA coarse-grained strategy (Merrill et al.): the
 /// frontier is split into three degree classes, each processed with a
 /// cooperation width matched to its size — whole "CTA" chunks for huge
 /// lists, per-"warp" tasks for medium lists, per-thread grains for small
 /// lists. Higher throughput on high-variance frontiers, at the cost of
-/// the classification passes.
+/// one classification pass.
 pub fn twc<F: AdvanceFunctor>(
     ctx: &Context<'_>,
     input: &Frontier,
@@ -112,13 +167,7 @@ pub fn twc<F: AdvanceFunctor>(
     let g = ctx.graph;
     let warp = ctx.config.warp_size as u32;
     let cta = ctx.config.cta_size as u32;
-    let deg = |&it: &u32| g.out_degree(expansion_vertex(ctx, spec.input, it));
-    let small = compact(input.as_slice(), |it| deg(it) <= warp);
-    let medium = compact(input.as_slice(), |it| {
-        let d = deg(it);
-        d > warp && d <= cta
-    });
-    let large = compact(input.as_slice(), |it| deg(it) > cta);
+    let (small, medium, large) = classify_degrees(ctx, input.as_slice(), spec.input, warp, cta);
 
     // Small lists: fine-grained grains of items.
     let small_out = thread_mapped(ctx, &Frontier::from_vec(small), spec, functor);
@@ -185,10 +234,33 @@ pub fn load_balanced<F: AdvanceFunctor>(
     spec: AdvanceSpec,
     functor: &F,
 ) -> Frontier {
+    load_balanced_with_limit(ctx, input, spec, functor, u32::MAX as u64)
+}
+
+/// Load-balanced advance with an explicit cap on how many edge ranks one
+/// merge-path batch may hold. The ranking is scanned in `u32`, so a
+/// frontier whose total neighbor count reaches `u32::MAX` would silently
+/// wrap and corrupt the partition; when the total reaches `limit` the
+/// frontier is split into consecutive batches each below it, preserving
+/// the strategy's edge-rank output order across batches. A single item
+/// whose own degree reaches the limit is expanded via [`thread_mapped`]
+/// (its output for one item is also in edge order).
+///
+/// `limit` is `u32::MAX` in production ([`load_balanced`]); tests inject
+/// small limits to exercise the guard without building 4-billion-edge
+/// frontiers.
+pub(crate) fn load_balanced_with_limit<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    input: &Frontier,
+    spec: AdvanceSpec,
+    functor: &F,
+    limit: u64,
+) -> Frontier {
     let g = ctx.graph;
     let items = input.as_slice();
-    // Phase 1: per-item degrees and their exclusive scan.
-    let degrees: Vec<u32> = if items.len() < 2048 {
+    // Phase 1: per-item degrees (u64 total so overflow is detected, not
+    // wrapped).
+    let degrees: Vec<u32> = if items.len() < FRONTIER_SEQ_CUTOFF {
         items.iter().map(|&it| g.out_degree(expansion_vertex(ctx, spec.input, it))).collect()
     } else {
         items
@@ -196,11 +268,76 @@ pub fn load_balanced<F: AdvanceFunctor>(
             .map(|&it| g.out_degree(expansion_vertex(ctx, spec.input, it)))
             .collect()
     };
-    let (scanned, total) = scan_exclusive_u32(&degrees);
-    ctx.counters.add_edges(total as u64);
+    let total: u64 = if degrees.len() < FRONTIER_SEQ_CUTOFF {
+        degrees.iter().map(|&d| d as u64).sum()
+    } else {
+        degrees.par_iter().map(|&d| d as u64).sum()
+    };
     if total == 0 {
         return Frontier::new();
     }
+    if total < limit {
+        ctx.counters.add_edges(total);
+        return Frontier::from_vec(lb_batch(ctx, items, &degrees, total as u32, spec, functor));
+    }
+    // Guard path: the ranking would overflow u32. Split the frontier into
+    // consecutive batches, each with a sub-limit rank total; batch outputs
+    // concatenate in frontier order, so the overall output stays in
+    // global edge-rank order.
+    let mut out: Vec<u32> = Vec::new();
+    let mut start = 0usize;
+    while start < items.len() {
+        let mut end = start;
+        let mut batch_total = 0u64;
+        while end < items.len() {
+            let d = degrees[end] as u64;
+            if d >= limit || batch_total + d >= limit {
+                break;
+            }
+            batch_total += d;
+            end += 1;
+        }
+        if end == start {
+            // One item's own degree reaches the limit; merge-path can't
+            // rank it, so expand just that item thread-mapped (which
+            // counts its own edges).
+            let part = thread_mapped(ctx, &Frontier::single(items[start]), spec, functor);
+            out.extend_from_slice(part.as_slice());
+            start += 1;
+        } else {
+            if batch_total > 0 {
+                ctx.counters.add_edges(batch_total);
+                out.extend(lb_batch(
+                    ctx,
+                    &items[start..end],
+                    &degrees[start..end],
+                    batch_total as u32,
+                    spec,
+                    functor,
+                ));
+            }
+            start = end;
+        }
+    }
+    Frontier::from_vec(out)
+}
+
+/// One merge-path batch: scan `degrees` into a `u32` edge ranking
+/// (caller guarantees `total < u32::MAX`), partition it into equal-width
+/// chunks, walk each chunk. Output slot w belongs to edge rank w, making
+/// output order deterministic. Returns the compacted output (empty for
+/// for-effect specs). Does NOT touch `ctx.counters` — the caller
+/// attributes edges.
+fn lb_batch<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    items: &[u32],
+    degrees: &[u32],
+    total: u32,
+    spec: AdvanceSpec,
+    functor: &F,
+) -> Vec<u32> {
+    let g = ctx.graph;
+    let (scanned, _) = scan_exclusive_u32(degrees);
     let chunk = ctx.config.cta_size;
     // Phase 2: merge-path partition of the edge ranking.
     let starts = merge_path_partitions(&scanned, total, chunk);
@@ -246,9 +383,9 @@ pub fn load_balanced<F: AdvanceFunctor>(
         });
     }
     if !collect_output {
-        return Frontier::new();
+        return Vec::new();
     }
-    Frontier::from_vec(compact(&slots, |&v| v != INVALID_SLOT))
+    compact(&slots, |&v| v != INVALID_SLOT)
 }
 
 #[cfg(test)]
@@ -348,6 +485,104 @@ mod tests {
             );
             assert_eq!(ctx.counters.edges(), expect, "mode {mode:?}");
         }
+    }
+
+    /// Three-compact reference for [`classify_degrees`] — the
+    /// implementation this replaced (regression oracle for the
+    /// single-pass rewrite).
+    fn classify_reference(
+        g: &gunrock_graph::Csr,
+        items: &[u32],
+        warp: u32,
+        cta: u32,
+    ) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        let deg = |&it: &u32| g.out_degree(it);
+        (
+            compact(items, |it| deg(it) <= warp),
+            compact(items, |it| {
+                let d = deg(it);
+                d > warp && d <= cta
+            }),
+            compact(items, |it| deg(it) > cta),
+        )
+    }
+
+    #[test]
+    fn single_pass_classification_matches_three_compacts() {
+        let g = skewed_graph();
+        let ctx = Context::new(&g);
+        let (warp, cta) = (ctx.config.warp_size as u32, ctx.config.cta_size as u32);
+        // small frontier: sequential path
+        let small_input: Vec<u32> = (0..g.num_vertices() as u32).step_by(5).collect();
+        assert!(small_input.len() < FRONTIER_SEQ_CUTOFF);
+        // large frontier (with repeats): parallel path
+        let large_input: Vec<u32> = (0..(FRONTIER_SEQ_CUTOFF as u32 * 2))
+            .map(|i| i % g.num_vertices() as u32)
+            .collect();
+        for items in [small_input, large_input] {
+            let got = classify_degrees(&ctx, &items, InputKind::Vertices, warp, cta);
+            let want = classify_reference(&g, &items, warp, cta);
+            assert_eq!(got, want);
+            assert_eq!(got.0.len() + got.1.len() + got.2.len(), items.len());
+        }
+    }
+
+    #[test]
+    fn load_balanced_splits_when_rank_total_hits_limit() {
+        // hub vertex with degree ~100; frontier repeats it so the rank
+        // total crosses a small injected limit and forces the split path
+        let deg = 100u32;
+        let edges: Vec<(u32, u32)> = (1..=deg).map(|d| (0, d)).collect();
+        let g = GraphBuilder::new().directed().build(Coo::from_edges(deg as usize + 1, &edges));
+        let input: Vec<u32> = vec![0; 50]; // 50 * 100 = 5000 ranks
+        let f = Frontier::from_vec(input);
+        let spec = AdvanceSpec::v2v();
+
+        let ctx_ref = Context::new(&g);
+        let reference = load_balanced(&ctx_ref, &f, spec, &AcceptAll);
+
+        let ctx = Context::new(&g);
+        let guarded = load_balanced_with_limit(&ctx, &f, spec, &AcceptAll, 256);
+        assert_eq!(guarded.as_slice(), reference.as_slice(), "split path must preserve order");
+        assert_eq!(ctx.counters.edges(), ctx_ref.counters.edges());
+        assert_eq!(ctx.counters.edges(), 5000);
+    }
+
+    #[test]
+    fn load_balanced_falls_back_for_single_oversized_item() {
+        // one item whose own degree exceeds the limit: merge-path cannot
+        // rank it, so the guard expands it thread-mapped
+        let deg = 100u32;
+        let edges: Vec<(u32, u32)> = (1..=deg).map(|d| (0, d)).collect();
+        let g = GraphBuilder::new().directed().build(Coo::from_edges(deg as usize + 1, &edges));
+        let f = Frontier::from_vec(vec![0, 0, 0]);
+        let spec = AdvanceSpec::v2v();
+
+        let ctx = Context::new(&g);
+        let out = load_balanced_with_limit(&ctx, &f, spec, &AcceptAll, 10);
+        let mut got = out.into_vec();
+        got.sort_unstable();
+        let mut want: Vec<u32> = (1..=deg).flat_map(|d| [d, d, d]).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(ctx.counters.edges(), 300);
+    }
+
+    #[test]
+    fn production_limit_never_triggers_split_on_normal_graphs() {
+        let g = skewed_graph();
+        let f = Frontier::from_vec((0..g.num_vertices() as u32).collect());
+        let ctx_a = Context::new(&g);
+        let ctx_b = Context::new(&g);
+        let a = load_balanced(&ctx_a, &f, AdvanceSpec::v2v(), &AcceptAll);
+        let b = load_balanced_with_limit(
+            &ctx_b,
+            &f,
+            AdvanceSpec::v2v(),
+            &AcceptAll,
+            u32::MAX as u64,
+        );
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 
     #[test]

@@ -7,15 +7,19 @@
 //! *unfused* ablation path — in normal primitives the computation is
 //! fused into advance/filter via the functor API (§4.3).
 
+use crate::context::Context;
+use gunrock_engine::config::SEQUENTIAL_CUTOFF;
 use gunrock_engine::frontier::Frontier;
+use gunrock_engine::stats::OperatorKind;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Applies `op` to every element of the frontier in parallel.
 pub fn for_each<F>(input: &Frontier, op: F)
 where
     F: Fn(u32) + Send + Sync,
 {
-    if input.len() < 4096 {
+    if input.len() < SEQUENTIAL_CUTOFF {
         for v in input {
             op(v);
         }
@@ -30,12 +34,35 @@ pub fn for_each_id<F>(n: usize, op: F)
 where
     F: Fn(u32) + Send + Sync,
 {
-    if n < 4096 {
+    if n < SEQUENTIAL_CUTOFF {
         for v in 0..n as u32 {
             op(v);
         }
     } else {
         (0..n as u32).into_par_iter().for_each(op);
+    }
+}
+
+/// [`for_each`] with instrumentation: records a compute `StepRecord` on
+/// the context's stats sink when one is installed. Primitives running
+/// standalone compute steps should prefer this entry point so the trace
+/// covers all three operator families.
+pub fn for_each_ctx<F>(ctx: &Context<'_>, input: &Frontier, op: F)
+where
+    F: Fn(u32) + Send + Sync,
+{
+    let timer = ctx.sink().map(|_| Instant::now());
+    for_each(input, op);
+    if let (Some(start), Some(sink)) = (timer, ctx.sink()) {
+        sink.record_step(
+            OperatorKind::Compute,
+            "for_each",
+            None,
+            input.len() as u64,
+            input.len() as u64,
+            0,
+            start.elapsed(),
+        );
     }
 }
 
@@ -47,7 +74,7 @@ where
     T: Send,
     F: Fn(u32) -> T + Send + Sync,
 {
-    if input.len() < 4096 {
+    if input.len() < SEQUENTIAL_CUTOFF {
         input.as_slice().iter().map(|&v| op(v)).collect()
     } else {
         input.as_slice().par_iter().map(|&v| op(v)).collect()

@@ -4,7 +4,7 @@
 
 use crate::policy::{RunGuard, RunPolicy};
 use gunrock_engine::config::EngineConfig;
-use gunrock_engine::stats::WorkCounters;
+use gunrock_engine::stats::{RunStats, StatsSink, WorkCounters};
 use gunrock_graph::Csr;
 
 /// Everything an operator needs to run: the forward CSR, an optional
@@ -22,6 +22,9 @@ pub struct Context<'g> {
     pub counters: WorkCounters,
     /// Execution bounds every enact loop honors (default: unbounded).
     pub policy: RunPolicy,
+    /// Optional per-operator instrumentation sink. `None` (the default)
+    /// keeps operators on the fast path: one `Option` check, no timers.
+    sink: Option<StatsSink>,
 }
 
 impl<'g> Context<'g> {
@@ -33,6 +36,7 @@ impl<'g> Context<'g> {
             config: EngineConfig::default(),
             counters: WorkCounters::new(),
             policy: RunPolicy::default(),
+            sink: None,
         }
     }
 
@@ -54,6 +58,36 @@ impl<'g> Context<'g> {
     pub fn with_policy(mut self, policy: RunPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Installs a [`StatsSink`]: every subsequent operator call records a
+    /// timed `StepRecord`, retrievable with [`Context::run_stats`].
+    pub fn with_stats(mut self) -> Self {
+        self.sink = Some(StatsSink::new());
+        self
+    }
+
+    /// The instrumentation sink, if one is installed.
+    #[inline]
+    pub fn sink(&self) -> Option<&StatsSink> {
+        self.sink.as_ref()
+    }
+
+    /// Marks the end of one bulk-synchronous iteration: bumps the global
+    /// iteration counters and (when instrumented) the sink's iteration
+    /// stamp. Operators call this instead of touching the counters
+    /// directly so the trace and the counters can't drift apart.
+    #[inline]
+    pub fn end_iteration(&self, pull: bool) {
+        self.counters.add_iteration(pull);
+        if let Some(sink) = &self.sink {
+            sink.next_iteration();
+        }
+    }
+
+    /// Snapshot of the recorded trace; empty when no sink is installed.
+    pub fn run_stats(&self) -> RunStats {
+        self.sink.as_ref().map(StatsSink::snapshot).unwrap_or_default()
     }
 
     /// Arms a [`RunGuard`] for one enactment, starting its wall clock.

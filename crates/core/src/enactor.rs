@@ -83,9 +83,10 @@ impl<'g> Enactor<'g> {
         filter::culling::filter_with_culling(&self.ctx, input, visited, functor, cfg)
     }
 
-    /// Parallel per-element computation.
+    /// Parallel per-element computation (instrumented when the context
+    /// carries a stats sink).
     pub fn compute<F: Fn(u32) + Send + Sync>(&self, input: &Frontier, op: F) {
-        compute::for_each(input, op)
+        compute::for_each_ctx(&self.ctx, input, op)
     }
 
     /// Arms the context's execution guard for this enactment. Check the
@@ -108,7 +109,7 @@ impl<'g> Enactor<'g> {
         output_len: usize,
         direction: TraversalDirection,
     ) {
-        self.ctx.counters.add_iteration(direction == TraversalDirection::Pull);
+        self.ctx.end_iteration(direction == TraversalDirection::Pull);
         self.log.push(IterationRecord {
             iteration: self.iteration,
             input_len,

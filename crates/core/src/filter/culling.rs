@@ -19,7 +19,9 @@ use crate::functor::FilterFunctor;
 use crate::util::{concat_chunks, grain_size};
 use gunrock_engine::bitmap::AtomicBitmap;
 use gunrock_engine::frontier::Frontier;
+use gunrock_engine::stats::OperatorKind;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Which culling heuristics to run (both on by default, as in Gunrock's
 /// fastest BFS).
@@ -47,6 +49,9 @@ impl CullingConfig {
     }
 }
 
+/// Marks an unoccupied history-table slot. Cannot collide with a real
+/// vertex id: graph construction rejects `num_vertices >= u32::MAX`
+/// (see `Csr::validate`), so every legal id is strictly smaller.
 const EMPTY_SLOT: u32 = u32::MAX;
 
 /// Heuristic filter: culls redundant ids per `cfg`, then applies the
@@ -59,6 +64,7 @@ pub fn filter_with_culling<F: FilterFunctor>(
     functor: &F,
     cfg: CullingConfig,
 ) -> Frontier {
+    let timer = ctx.sink().map(|_| Instant::now());
     ctx.counters.add_filtered(input.len() as u64);
     let grain = grain_size(input.len());
     let chunks: Vec<Vec<u32>> = input
@@ -89,7 +95,19 @@ pub fn filter_with_culling<F: FilterFunctor>(
             local
         })
         .collect();
-    Frontier::from_vec(concat_chunks(chunks))
+    let out = Frontier::from_vec(concat_chunks(chunks));
+    if let (Some(start), Some(sink)) = (timer, ctx.sink()) {
+        sink.record_step(
+            OperatorKind::Filter,
+            "culling",
+            None,
+            input.len() as u64,
+            out.len() as u64,
+            0,
+            start.elapsed(),
+        );
+    }
+    out
 }
 
 #[cfg(test)]

@@ -17,10 +17,13 @@ use crate::context::Context;
 use crate::functor::FilterFunctor;
 use gunrock_engine::compact::compact_map;
 use gunrock_engine::frontier::Frontier;
+use gunrock_engine::stats::OperatorKind;
+use std::time::Instant;
 
 /// Exact filter: keeps frontier elements whose `cond` holds, running
 /// `apply` on survivors (fused), preserving order via scan-compact.
 pub fn filter<F: FilterFunctor>(ctx: &Context<'_>, input: &Frontier, functor: &F) -> Frontier {
+    let timer = ctx.sink().map(|_| Instant::now());
     ctx.counters.add_filtered(input.len() as u64);
     let kept = compact_map(input.as_slice(), |&id| {
         if functor.cond(id) {
@@ -30,7 +33,19 @@ pub fn filter<F: FilterFunctor>(ctx: &Context<'_>, input: &Frontier, functor: &F
             None
         }
     });
-    Frontier::from_vec(kept)
+    let out = Frontier::from_vec(kept);
+    if let (Some(start), Some(sink)) = (timer, ctx.sink()) {
+        sink.record_step(
+            OperatorKind::Filter,
+            "scan_compact",
+            None,
+            input.len() as u64,
+            out.len() as u64,
+            0,
+            start.elapsed(),
+        );
+    }
+    out
 }
 
 #[cfg(test)]

@@ -75,7 +75,10 @@ pub mod prelude {
     pub use crate::sample::{sample, sample_k};
     pub use gunrock_engine::bitmap::AtomicBitmap;
     pub use gunrock_engine::frontier::{Frontier, FrontierPair};
-    pub use gunrock_engine::stats::{RunOutcome, Timing, WorkCounters};
+    pub use gunrock_engine::stats::{
+        OperatorKind, RunOutcome, RunStats, RunStatsSummary, StatsSink, StepDirection,
+        StepRecord, Timing, WorkCounters,
+    };
     pub use gunrock_engine::EngineConfig;
 }
 

@@ -69,7 +69,7 @@ pub fn enact<P: Primitive>(ctx: &Context<'_>, mut primitive: P) -> (P::Output, E
         }
         frontier = primitive.iteration(ctx, frontier, iter);
         iter += 1;
-        ctx.counters.add_iteration(false);
+        ctx.end_iteration(false);
     }
     let stats = EnactStats {
         iterations: iter,

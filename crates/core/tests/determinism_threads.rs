@@ -1,0 +1,93 @@
+//! Thread-count determinism: every push strategy and the pull kernel
+//! must produce the same frontier (as a multiset) and examine the same
+//! number of edges regardless of how many rayon workers execute them.
+//! Chunked expansion plus order-preserving concatenation makes the push
+//! outputs literally identical; pull admits each candidate at most once,
+//! so its output is a set either way.
+
+use gunrock::prelude::*;
+use gunrock_graph::generators::rmat::{rmat, RmatParams};
+use gunrock_graph::{Csr, GraphBuilder};
+
+fn test_graph() -> Csr {
+    GraphBuilder::new().build(rmat(9, 8, RmatParams::social(), 42))
+}
+
+/// Runs `f` inside a dedicated rayon pool of `threads` workers.
+fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool").install(f)
+}
+
+fn sorted(f: Frontier) -> Vec<u32> {
+    let mut v = f.into_vec();
+    v.sort_unstable();
+    v
+}
+
+/// A frontier with hubs and leaves mixed, so every TWC bucket and every
+/// load-balance partition boundary is exercised.
+fn mixed_frontier(g: &Csr) -> Frontier {
+    let mut items: Vec<u32> = (0..g.num_vertices() as u32).step_by(3).collect();
+    // repeat the highest-degree vertex so skew lands in one chunk
+    let hub = (0..g.num_vertices() as u32).max_by_key(|&v| g.out_degree(v)).unwrap();
+    items.extend([hub; 4]);
+    Frontier::from_vec(items)
+}
+
+#[test]
+fn push_strategies_are_thread_count_invariant() {
+    let g = test_graph();
+    let input = mixed_frontier(&g);
+    type Strat = fn(&Context<'_>, &Frontier, AdvanceSpec, &AcceptAll) -> Frontier;
+    let strategies: [(&str, Strat); 3] = [
+        ("thread_mapped", advance::push::thread_mapped),
+        ("twc", advance::push::twc),
+        ("load_balanced", advance::push::load_balanced),
+    ];
+    for (name, strat) in strategies {
+        let mut baseline: Option<(Vec<u32>, u64)> = None;
+        for threads in [1usize, 2, 8] {
+            let (out, edges) = in_pool(threads, || {
+                let ctx = Context::new(&g);
+                let out = strat(&ctx, &input, AdvanceSpec::v2v(), &AcceptAll);
+                (sorted(out), ctx.counters.edges())
+            });
+            match &baseline {
+                None => baseline = Some((out, edges)),
+                Some((b_out, b_edges)) => {
+                    assert_eq!(&out, b_out, "{name}: output differs at {threads} threads");
+                    assert_eq!(
+                        edges, *b_edges,
+                        "{name}: edges_examined differs at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pull_advance_is_thread_count_invariant() {
+    let g = test_graph();
+    let input = mixed_frontier(&g);
+    let candidates: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    let mut baseline: Option<(Vec<u32>, u64)> = None;
+    for threads in [1usize, 2, 8] {
+        let (out, edges) = in_pool(threads, || {
+            let ctx = Context::new(&g).with_reverse(&g);
+            let bm = advance::pull::frontier_bitmap(g.num_vertices(), &input);
+            let out = advance::pull::advance_pull(&ctx, &candidates, &bm, &AcceptAll);
+            (sorted(out), ctx.counters.edges())
+        });
+        match &baseline {
+            None => baseline = Some((out, edges)),
+            Some((b_out, b_edges)) => {
+                assert_eq!(&out, b_out, "pull: output differs at {threads} threads");
+                assert_eq!(
+                    edges, *b_edges,
+                    "pull: edges_examined differs at {threads} threads"
+                );
+            }
+        }
+    }
+}

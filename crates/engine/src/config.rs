@@ -21,6 +21,12 @@ pub const LB_THRESHOLD: usize = 4096;
 /// launching a kernel for tiny inputs).
 pub const SEQUENTIAL_CUTOFF: usize = 4096;
 
+/// Sequential cutoff for frontier-sized work in the advance path
+/// (neighbor-count reduction, degree gathering). Lower than
+/// [`SEQUENTIAL_CUTOFF`] because each frontier item fans out to a full
+/// neighbor list, so even small frontiers carry enough work to parallelize.
+pub const FRONTIER_SEQ_CUTOFF: usize = 2048;
+
 /// Runtime configuration for the engine.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineConfig {

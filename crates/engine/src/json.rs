@@ -1,0 +1,239 @@
+//! Minimal JSON emission for the stats export paths.
+//!
+//! The workspace builds offline with no serde available (see
+//! `vendor/README.md`), so the observability layer hand-writes its JSON
+//! through this small builder. It covers exactly what the exporters
+//! need: objects, arrays, and scalar values with correct string escaping
+//! and non-finite-float handling. It is an *emitter only* — parsing is
+//! left to the consumers (python in CI, humans elsewhere).
+
+/// Incremental JSON document builder.
+///
+/// ```
+/// use gunrock_engine::json::JsonBuilder;
+/// let mut j = JsonBuilder::new();
+/// j.begin_object();
+/// j.field_str("name", "bfs");
+/// j.field_u64("edges", 42);
+/// j.key("steps");
+/// j.begin_array();
+/// j.value_f64(1.5);
+/// j.end_array();
+/// j.end_object();
+/// assert_eq!(j.finish(), r#"{"name":"bfs","edges":42,"steps":[1.5]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonBuilder {
+    out: String,
+    /// Per-nesting-level flag: does the next element need a leading comma?
+    needs_comma: Vec<bool>,
+}
+
+impl JsonBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next `value_*`/`begin_*` call supplies
+    /// its value.
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.out.push('"');
+        escape_into(&mut self.out, k);
+        self.out.push_str("\":");
+        // the value following a key must not get its own comma
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = false;
+        }
+        self.needs_comma.push(false);
+        self.needs_comma.pop();
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = false;
+        }
+    }
+
+    /// String value.
+    pub fn value_str(&mut self, v: &str) {
+        self.pre_value();
+        self.out.push('"');
+        escape_into(&mut self.out, v);
+        self.out.push('"');
+    }
+
+    /// Unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Float value; NaN and infinities are emitted as `null` (JSON has no
+    /// representation for them).
+    pub fn value_f64(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            self.out.push_str(&format!("{v}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// `null`.
+    pub fn value_null(&mut self) {
+        self.pre_value();
+        self.out.push_str("null");
+    }
+
+    /// Key + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.value_str(v);
+        self.mark_comma();
+    }
+
+    /// Key + unsigned integer value.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.value_u64(v);
+        self.mark_comma();
+    }
+
+    /// Key + float value.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.value_f64(v);
+        self.mark_comma();
+    }
+
+    /// Key + boolean value.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.value_bool(v);
+        self.mark_comma();
+    }
+
+    /// Key + `null`.
+    pub fn field_null(&mut self, k: &str) {
+        self.key(k);
+        self.value_null();
+        self.mark_comma();
+    }
+
+    fn mark_comma(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = true;
+        }
+    }
+
+    /// Returns the finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document() {
+        let mut j = JsonBuilder::new();
+        j.begin_object();
+        j.field_str("a", "x\"y");
+        j.key("b");
+        j.begin_array();
+        j.value_u64(1);
+        j.value_u64(2);
+        j.begin_object();
+        j.field_bool("ok", true);
+        j.end_object();
+        j.end_array();
+        j.field_null("c");
+        j.end_object();
+        assert_eq!(j.finish(), r#"{"a":"x\"y","b":[1,2,{"ok":true}],"c":null}"#);
+    }
+
+    #[test]
+    fn floats_and_specials() {
+        let mut j = JsonBuilder::new();
+        j.begin_array();
+        j.value_f64(1.25);
+        j.value_f64(f64::NAN);
+        j.value_f64(f64::INFINITY);
+        j.end_array();
+        assert_eq!(j.finish(), "[1.25,null,null]");
+    }
+
+    #[test]
+    fn escaping_control_characters() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\nb\u{1}c\\");
+        assert_eq!(out, "a\\nb\\u0001c\\\\");
+    }
+
+    #[test]
+    fn top_level_scalar_array_has_no_leading_comma() {
+        let mut j = JsonBuilder::new();
+        j.begin_array();
+        j.value_str("only");
+        j.end_array();
+        assert_eq!(j.finish(), r#"["only"]"#);
+    }
+}

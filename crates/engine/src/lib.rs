@@ -27,6 +27,7 @@ pub mod bitmap;
 pub mod compact;
 pub mod config;
 pub mod frontier;
+pub mod json;
 pub mod reduce;
 pub mod scan;
 pub mod search;

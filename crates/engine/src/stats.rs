@@ -4,7 +4,9 @@
 //! of traversed edges per second); operators increment these counters so
 //! primitives can report both without re-deriving traversal counts.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::json::JsonBuilder;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Cumulative work counters for one primitive execution. Cheap enough to
@@ -141,6 +143,310 @@ pub fn time_with_edges<T>(f: impl FnOnce() -> (T, u64)) -> (T, Timing) {
     (value, Timing { elapsed, edges_examined: edges })
 }
 
+// ---------------------------------------------------------------------------
+// Per-operator instrumentation (the observability layer).
+//
+// The paper's evaluation (§6) is built on per-kernel runtimes and traversed
+// edge counts; the global `WorkCounters` above cannot attribute work to a
+// specific operator call or explain why the direction optimizer flipped.
+// A `StatsSink` — when installed on a `Context` — collects one `StepRecord`
+// per operator invocation. When no sink is installed the operators skip all
+// timing (one `Option` check per bulk step), so the hot path stays at
+// relaxed-atomic-counter cost.
+// ---------------------------------------------------------------------------
+
+/// Which of the three Gunrock operator families a step belongs to (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OperatorKind {
+    /// Frontier expansion over neighbor lists.
+    Advance,
+    /// Frontier compaction / validity culling.
+    Filter,
+    /// Per-element computation over a frontier.
+    Compute,
+}
+
+impl OperatorKind {
+    /// Stable lowercase name used in the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorKind::Advance => "advance",
+            OperatorKind::Filter => "filter",
+            OperatorKind::Compute => "compute",
+        }
+    }
+}
+
+/// Traversal direction of an advance step, for the direction-optimized
+/// primitives (push scatters from the frontier; pull gathers into
+/// unvisited vertices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StepDirection {
+    /// Forward/scatter traversal from the frontier.
+    Push,
+    /// Reverse/gather traversal into candidate vertices.
+    Pull,
+}
+
+impl StepDirection {
+    /// Stable lowercase name used in the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            StepDirection::Push => "push",
+            StepDirection::Pull => "pull",
+        }
+    }
+}
+
+/// One instrumented operator invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepRecord {
+    /// Bulk-synchronous iteration this step ran in (0-based; advanced by
+    /// the enactor via [`StatsSink::next_iteration`]).
+    pub iteration: u32,
+    /// Operator family.
+    pub operator: OperatorKind,
+    /// The workload-mapping strategy the dispatcher chose
+    /// (e.g. `"thread_mapped"`, `"twc"`, `"auto:load_balanced"`,
+    /// `"pull"`, `"culling"`).
+    pub strategy: &'static str,
+    /// Traversal direction; `None` for filter/compute steps.
+    pub direction: Option<StepDirection>,
+    /// Input frontier length.
+    pub input_len: u64,
+    /// Output frontier length (0 for for-effect steps).
+    pub output_len: u64,
+    /// Edges examined by this step alone.
+    pub edges_examined: u64,
+    /// Wall-clock duration of the bulk step.
+    pub duration: Duration,
+}
+
+/// A recorded direction-optimizer decision change, with the reason the
+/// hysteresis tripped (Beamer-style alpha/beta comparison, §4.4 /
+/// PAPERS.md).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DirectionSwitch {
+    /// Iteration at which the new direction took effect.
+    pub iteration: u32,
+    /// Direction before the switch.
+    pub from: StepDirection,
+    /// Direction after the switch.
+    pub to: StepDirection,
+    /// Human-readable trigger, e.g. the alpha/beta inequality that fired.
+    pub reason: String,
+}
+
+/// Collecting sink for [`StepRecord`]s. Installed on a `Context` via
+/// `with_stats()`; operators check for it with a single `Option`
+/// dereference, so uninstrumented runs pay nothing beyond the existing
+/// relaxed counters.
+#[derive(Debug, Default)]
+pub struct StatsSink {
+    steps: Mutex<Vec<StepRecord>>,
+    switches: Mutex<Vec<DirectionSwitch>>,
+    iteration: AtomicU32,
+}
+
+impl StatsSink {
+    /// Fresh, empty sink at iteration 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current bulk-synchronous iteration number.
+    pub fn current_iteration(&self) -> u32 {
+        self.iteration.load(Ordering::Relaxed)
+    }
+
+    /// Advances the iteration counter (called once per bulk-synchronous
+    /// iteration by the enact loop).
+    pub fn next_iteration(&self) {
+        self.iteration.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one operator step, stamped with the current iteration.
+    // one scalar per StepRecord field; a builder would cost more at
+    // every operator call site than it saves here
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_step(
+        &self,
+        operator: OperatorKind,
+        strategy: &'static str,
+        direction: Option<StepDirection>,
+        input_len: u64,
+        output_len: u64,
+        edges_examined: u64,
+        duration: Duration,
+    ) {
+        self.steps.lock().push(StepRecord {
+            iteration: self.current_iteration(),
+            operator,
+            strategy,
+            direction,
+            input_len,
+            output_len,
+            edges_examined,
+            duration,
+        });
+    }
+
+    /// Records a direction-optimizer switch, stamped with the current
+    /// iteration.
+    pub fn record_switch(&self, from: StepDirection, to: StepDirection, reason: String) {
+        self.switches.lock().push(DirectionSwitch {
+            iteration: self.current_iteration(),
+            from,
+            to,
+            reason,
+        });
+    }
+
+    /// Copies out everything recorded so far.
+    pub fn snapshot(&self) -> RunStats {
+        RunStats { steps: self.steps.lock().clone(), switches: self.switches.lock().clone() }
+    }
+}
+
+/// The full per-run trace: every operator step plus every
+/// direction-optimizer switch, in execution order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunStats {
+    /// One record per instrumented operator invocation.
+    pub steps: Vec<StepRecord>,
+    /// Direction-optimizer decision changes.
+    pub switches: Vec<DirectionSwitch>,
+}
+
+impl RunStats {
+    /// Total edges examined across all recorded steps.
+    pub fn edges_examined(&self) -> u64 {
+        self.steps.iter().map(|s| s.edges_examined).sum()
+    }
+
+    /// Milliseconds spent in steps of the given operator kind.
+    pub fn operator_millis(&self, kind: OperatorKind) -> f64 {
+        self.steps
+            .iter()
+            .filter(|s| s.operator == kind)
+            .map(|s| s.duration.as_secs_f64() * 1e3)
+            .sum()
+    }
+
+    /// Number of distinct iterations observed (highest stamp + 1).
+    pub fn iterations(&self) -> u32 {
+        self.steps.iter().map(|s| s.iteration + 1).max().unwrap_or(0)
+    }
+
+    /// Iterations containing at least one pull-direction advance.
+    pub fn pull_iterations(&self) -> u32 {
+        let mut iters: Vec<u32> = self
+            .steps
+            .iter()
+            .filter(|s| s.direction == Some(StepDirection::Pull))
+            .map(|s| s.iteration)
+            .collect();
+        iters.sort_unstable();
+        iters.dedup();
+        iters.len() as u32
+    }
+
+    /// Collapses the trace into the flat summary carried by bench
+    /// `Measurement`s.
+    pub fn summary(&self) -> RunStatsSummary {
+        RunStatsSummary {
+            iterations: self.iterations(),
+            pull_iterations: self.pull_iterations(),
+            edges_examined: self.edges_examined(),
+            advance_millis: self.operator_millis(OperatorKind::Advance),
+            filter_millis: self.operator_millis(OperatorKind::Filter),
+            compute_millis: self.operator_millis(OperatorKind::Compute),
+            steps: self.steps.len() as u64,
+            direction_switches: self.switches.len() as u64,
+        }
+    }
+
+    /// Serializes the full trace as a JSON object with `steps` and
+    /// `switches` arrays (schema documented in DESIGN.md).
+    pub fn write_json(&self, j: &mut JsonBuilder) {
+        j.begin_object();
+        j.key("steps");
+        j.begin_array();
+        for s in &self.steps {
+            j.begin_object();
+            j.field_u64("iteration", s.iteration as u64);
+            j.field_str("operator", s.operator.name());
+            j.field_str("strategy", s.strategy);
+            match s.direction {
+                Some(d) => j.field_str("direction", d.name()),
+                None => j.field_null("direction"),
+            }
+            j.field_u64("input_len", s.input_len);
+            j.field_u64("output_len", s.output_len);
+            j.field_u64("edges_examined", s.edges_examined);
+            j.field_f64("duration_ms", s.duration.as_secs_f64() * 1e3);
+            j.end_object();
+        }
+        j.end_array();
+        j.key("switches");
+        j.begin_array();
+        for sw in &self.switches {
+            j.begin_object();
+            j.field_u64("iteration", sw.iteration as u64);
+            j.field_str("from", sw.from.name());
+            j.field_str("to", sw.to.name());
+            j.field_str("reason", &sw.reason);
+            j.end_object();
+        }
+        j.end_array();
+        j.end_object();
+    }
+
+    /// The trace as a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut j = JsonBuilder::new();
+        self.write_json(&mut j);
+        j.finish()
+    }
+}
+
+/// Flat aggregate of one run's trace: what bench measurements carry and
+/// what `BENCH_pr2.json` rows are made of.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunStatsSummary {
+    /// Bulk-synchronous iterations observed.
+    pub iterations: u32,
+    /// Iterations that ran a pull-direction advance.
+    pub pull_iterations: u32,
+    /// Total edges examined.
+    pub edges_examined: u64,
+    /// Milliseconds spent in advance steps.
+    pub advance_millis: f64,
+    /// Milliseconds spent in filter steps.
+    pub filter_millis: f64,
+    /// Milliseconds spent in compute steps.
+    pub compute_millis: f64,
+    /// Total instrumented operator invocations.
+    pub steps: u64,
+    /// Direction-optimizer switches recorded.
+    pub direction_switches: u64,
+}
+
+impl RunStatsSummary {
+    /// Serializes the summary's fields into the currently-open JSON
+    /// object (caller owns `begin_object`/`end_object`).
+    pub fn write_json_fields(&self, j: &mut JsonBuilder) {
+        j.field_u64("iterations", self.iterations as u64);
+        j.field_u64("pull_iterations", self.pull_iterations as u64);
+        j.field_u64("edges_examined", self.edges_examined);
+        j.field_f64("advance_millis", self.advance_millis);
+        j.field_f64("filter_millis", self.filter_millis);
+        j.field_f64("compute_millis", self.compute_millis);
+        j.field_u64("steps", self.steps);
+        j.field_u64("direction_switches", self.direction_switches);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +483,85 @@ mod tests {
         let (v, t) = time_with_edges(|| (42u32, 7u64));
         assert_eq!(v, 42);
         assert_eq!(t.edges_examined, 7);
+    }
+
+    #[test]
+    fn sink_stamps_iterations_and_aggregates() {
+        let sink = StatsSink::new();
+        sink.record_step(
+            OperatorKind::Advance,
+            "thread_mapped",
+            Some(StepDirection::Push),
+            4,
+            9,
+            20,
+            Duration::from_millis(2),
+        );
+        sink.record_step(
+            OperatorKind::Filter,
+            "scan_compact",
+            None,
+            9,
+            5,
+            0,
+            Duration::from_millis(1),
+        );
+        sink.next_iteration();
+        sink.record_step(
+            OperatorKind::Advance,
+            "pull",
+            Some(StepDirection::Pull),
+            5,
+            3,
+            30,
+            Duration::from_millis(4),
+        );
+        sink.record_switch(StepDirection::Push, StepDirection::Pull, "m_f > m_u/alpha".into());
+
+        let stats = sink.snapshot();
+        assert_eq!(stats.steps.len(), 3);
+        assert_eq!(stats.steps[0].iteration, 0);
+        assert_eq!(stats.steps[2].iteration, 1);
+        assert_eq!(stats.edges_examined(), 50);
+        assert_eq!(stats.iterations(), 2);
+        assert_eq!(stats.pull_iterations(), 1);
+        assert_eq!(stats.switches.len(), 1);
+        assert_eq!(stats.switches[0].iteration, 1);
+
+        let sum = stats.summary();
+        assert_eq!(sum.steps, 3);
+        assert_eq!(sum.direction_switches, 1);
+        assert!((sum.advance_millis - 6.0).abs() < 1e-9);
+        assert!((sum.filter_millis - 1.0).abs() < 1e-9);
+        assert_eq!(sum.compute_millis, 0.0);
+    }
+
+    #[test]
+    fn run_stats_json_shape() {
+        let sink = StatsSink::new();
+        sink.record_step(
+            OperatorKind::Advance,
+            "auto:load_balanced",
+            Some(StepDirection::Push),
+            1,
+            2,
+            3,
+            Duration::from_micros(1500),
+        );
+        let json = sink.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""operator":"advance""#));
+        assert!(json.contains(r#""strategy":"auto:load_balanced""#));
+        assert!(json.contains(r#""direction":"push""#));
+        assert!(json.contains(r#""duration_ms":1.5"#));
+        assert!(json.contains(r#""switches":[]"#));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let stats = StatsSink::new().snapshot();
+        assert_eq!(stats.iterations(), 0);
+        assert_eq!(stats.summary(), RunStatsSummary::default());
+        assert_eq!(stats.to_json(), r#"{"steps":[],"switches":[]}"#);
     }
 }

@@ -5,7 +5,7 @@
 
 use crate::coo::Coo;
 use crate::csr::Csr;
-use crate::types::Weight;
+use crate::types::{VertexId, Weight};
 
 /// Options controlling how an edge list is turned into a [`Csr`].
 #[derive(Clone, Debug)]
@@ -60,7 +60,16 @@ impl GraphBuilder {
     }
 
     /// Runs the pipeline. The input COO is consumed.
+    ///
+    /// Panics if the graph has `u32::MAX` or more vertices: the operators
+    /// reserve `u32::MAX` as a sentinel (INVALID_SLOT / EMPTY_SLOT), so
+    /// every legal id must be strictly smaller. Checked here, before any
+    /// per-vertex allocation.
     pub fn build(&self, mut coo: Coo) -> Csr {
+        assert!(
+            coo.num_vertices < VertexId::MAX as usize,
+            "vertex count exceeds VertexId range (u32::MAX is reserved as a sentinel)"
+        );
         if self.remove_self_loops {
             coo.remove_self_loops();
         }
@@ -119,5 +128,21 @@ mod tests {
         let coo = Coo::from_edges(2, &[(0, 1), (0, 1)]);
         let g = GraphBuilder::new().directed().keep_duplicates().build(coo);
         assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved as a sentinel")]
+    fn vertex_count_at_sentinel_is_rejected() {
+        // u32::MAX vertices would make the top id collide with the
+        // operators' INVALID_SLOT/EMPTY_SLOT sentinel; Coo::new allocates
+        // nothing, so the guard must trip before any allocation
+        let coo = Coo::new(u32::MAX as usize);
+        let _ = GraphBuilder::new().build(coo);
+    }
+
+    #[test]
+    fn vertex_count_below_sentinel_passes_the_guard() {
+        let g = GraphBuilder::new().build(Coo::from_edges(3, &[(0, 1)]));
+        assert_eq!(g.num_vertices(), 3);
     }
 }

@@ -24,6 +24,10 @@ impl Csr {
     pub fn from_coo(coo: &Coo) -> Self {
         let n = coo.num_vertices;
         let m = coo.num_edges();
+        // Strict inequalities: u32::MAX itself is reserved as a sentinel
+        // (INVALID_SLOT / EMPTY_SLOT in the operators), so the maximum
+        // legal id is u32::MAX - 1. Checked before allocating offsets.
+        assert!(n < VertexId::MAX as usize, "vertex count exceeds VertexId range");
         assert!(m < EdgeId::MAX as usize, "edge count exceeds EdgeId range");
         let mut offsets = vec![0 as EdgeId; n + 1];
         for &s in &coo.src {
@@ -60,6 +64,11 @@ impl Csr {
         edge_values: Option<Vec<Weight>>,
     ) -> Self {
         assert!(!row_offsets.is_empty());
+        assert!(
+            row_offsets.len() - 1 < VertexId::MAX as usize,
+            "vertex count exceeds VertexId range"
+        );
+        assert!(col_indices.len() < EdgeId::MAX as usize, "edge count exceeds EdgeId range");
         assert_eq!(row_offsets[0], 0);
         assert_eq!(*row_offsets.last().unwrap() as usize, col_indices.len());
         debug_assert!(row_offsets.windows(2).all(|w| w[0] <= w[1]));
@@ -108,8 +117,16 @@ impl Csr {
             )));
         }
         let n = self.row_offsets.len() - 1;
-        if n > VertexId::MAX as usize {
+        // `>=`, not `>`: u32::MAX is reserved as an operator sentinel
+        // (INVALID_SLOT / EMPTY_SLOT), so ids must stay strictly below it.
+        if n >= VertexId::MAX as usize {
             return Err(GraphError::invalid(format!("{n} vertices exceed the VertexId range")));
+        }
+        if self.col_indices.len() >= EdgeId::MAX as usize {
+            return Err(GraphError::invalid(format!(
+                "{} edges exceed the EdgeId range",
+                self.col_indices.len()
+            )));
         }
         if let Some(w) = self.row_offsets.windows(2).position(|w| w[0] > w[1]) {
             return Err(GraphError::invalid(format!(

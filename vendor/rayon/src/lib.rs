@@ -16,13 +16,97 @@
 // vendored shim: exempt from the workspace lint bar
 #![allow(clippy::all)]
 
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread count of the innermost `ThreadPool::install` scope, if any.
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
 /// Number of worker threads the pool would use. The shim reports the
 /// machine's available parallelism so chunk-size heuristics in callers
 /// exercise their "parallel" code paths, even though execution here is
-/// sequential.
+/// sequential. Inside a [`ThreadPool::install`] scope it reports that
+/// pool's configured size instead, so grain-size heuristics respond to
+/// pool configuration exactly as they would under real rayon.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    POOL_THREADS
+        .with(|p| p.get())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
+
+/// Shim of `rayon::ThreadPool`: carries a configured thread count that
+/// [`current_num_threads`] reports inside `install`, so callers'
+/// chunk-size heuristics see the pool size; execution stays sequential.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` "inside" the pool: sequentially, but with
+    /// [`current_num_threads`] reporting this pool's size for the
+    /// duration (restored on exit, even on panic).
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|p| p.set(self.0));
+            }
+        }
+        let _guard = Restore(POOL_THREADS.with(|p| p.replace(Some(self.num_threads))));
+        f()
+    }
+
+    /// The configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Shim of `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with rayon's defaults (0 = automatic thread count).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; as in rayon, `0` means automatic.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. The shim cannot fail.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Error type mirroring rayon's; never produced by the shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
 
 /// Runs two closures (sequentially in the shim) and returns both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
@@ -380,5 +464,20 @@ mod tests {
     fn range_into_par_iter() {
         let squares: Vec<u64> = (0u64..5).into_par_iter().map(|x| x * x).collect();
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let outside = crate::current_num_threads();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(|| crate::current_num_threads());
+        assert_eq!(inside, 3);
+        assert_eq!(crate::current_num_threads(), outside);
+    }
+
+    #[test]
+    fn pool_zero_threads_means_automatic() {
+        let pool = crate::ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
     }
 }
