@@ -8,6 +8,10 @@
 //! the computation fused into the functor (edge-parallel, like the
 //! gpu_BC comparison kernel).
 
+use crate::recover::{
+    check_failed, expect_len, expect_vertex_ids, malformed, scalar, to_atomic_f64,
+    to_atomic_u32,
+};
 use gunrock::prelude::*;
 use gunrock_engine::atomics::{atomic_u32_vec, unwrap_atomic_u32, AtomicF64};
 use gunrock_graph::{Csr, EdgeId, VertexId, INFINITY};
@@ -119,63 +123,239 @@ impl FilterFunctor for ClaimLevel<'_> {
     }
 }
 
+/// Which Brandes phase the run was in at snapshot time.
+const PHASE_FORWARD: u32 = 0;
+const PHASE_BACKWARD: u32 = 1;
+
+/// In-flight BC loop state at an iteration boundary (what a checkpoint
+/// captures; see [`bc_resume`]). `back_lvl` is the number of backward
+/// sweep levels still to process (`lvl + 1` for the next level `lvl`).
+struct BcLoop {
+    depth: Vec<AtomicU32>,
+    sigma: Vec<AtomicF64>,
+    tags: Vec<AtomicU32>,
+    delta: Vec<AtomicF64>,
+    levels: Vec<Frontier>,
+    level: u32,
+    iterations: u32,
+    phase: u32,
+    back_lvl: u32,
+}
+
+/// Writes an iteration-boundary snapshot when a checkpoint policy is
+/// installed. The per-level frontier stack is flattened into
+/// `levels_flat` + `level_offsets` (offsets table one longer than the
+/// level count); scalars are `[src, level, phase, back_lvl]`.
+#[allow(clippy::too_many_arguments)]
+fn bc_checkpoint(
+    ctx: &Context<'_>,
+    src: VertexId,
+    depth: &[AtomicU32],
+    sigma: &[AtomicF64],
+    tags: &[AtomicU32],
+    delta: &[AtomicF64],
+    levels: &[Frontier],
+    level: u32,
+    iterations: u32,
+    phase: u32,
+    back_lvl: u32,
+) {
+    if ctx.checkpoint_policy().is_none() {
+        return;
+    }
+    let mut ckpt = Checkpoint::new("bc", iterations);
+    ckpt.push_u32("depth", unwrap_atomic_u32(depth));
+    ckpt.push_f64("sigma", sigma.iter().map(|a| a.load()).collect());
+    ckpt.push_u32("tags", unwrap_atomic_u32(tags));
+    ckpt.push_f64("delta", delta.iter().map(|a| a.load()).collect());
+    let mut flat = Vec::new();
+    let mut offsets = Vec::with_capacity(levels.len() + 1);
+    offsets.push(0u32);
+    for f in levels {
+        flat.extend_from_slice(f.as_slice());
+        offsets.push(flat.len() as u32);
+    }
+    ckpt.push_u32("levels_flat", flat);
+    ckpt.push_u32("level_offsets", offsets);
+    ckpt.push_u32("scalars", vec![src, level, phase, back_lvl]);
+    ctx.save_checkpoint(&ckpt);
+}
+
 /// Runs a single-source BC pass from `src`. Summing `bc_values` over all
 /// sources yields full betweenness centrality.
 pub fn bc(ctx: &Context<'_>, src: VertexId, opts: BcOptions) -> BcResult {
     let n = ctx.num_vertices();
     assert!((src as usize) < n, "source out of range");
-    let start = std::time::Instant::now();
     let depth = atomic_u32_vec(n, INFINITY);
     depth[src as usize].store(0, Ordering::Relaxed);
     let sigma: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
     sigma[src as usize].store(1.0);
-    let tags = atomic_u32_vec(n, u32::MAX);
-    let mut levels: Vec<Frontier> = vec![Frontier::single(src)];
-    let mut level = 0u32;
-    let mut iterations = 0u32;
+    let st = BcLoop {
+        depth,
+        sigma,
+        tags: atomic_u32_vec(n, u32::MAX),
+        delta: (0..n).map(|_| AtomicF64::new(0.0)).collect(),
+        levels: vec![Frontier::single(src)],
+        level: 0,
+        iterations: 0,
+        phase: PHASE_FORWARD,
+        back_lvl: 0,
+    };
+    bc_run(ctx, src, opts, st)
+}
 
+/// Resumes BC from a `gunrock-ckpt/v1` snapshot. The checkpoint's source
+/// and phase position override everything but the advance mode.
+pub fn bc_resume(
+    ctx: &Context<'_>,
+    opts: BcOptions,
+    ckpt: &Checkpoint,
+) -> Result<BcResult, GunrockError> {
+    ckpt.expect_primitive("bc")?;
+    let n = ctx.num_vertices();
+    let depth = ckpt.u32s("depth")?;
+    expect_len(depth.len(), n, "depth")?;
+    let sigma = ckpt.f64s("sigma")?;
+    expect_len(sigma.len(), n, "sigma")?;
+    let tags = ckpt.u32s("tags")?;
+    expect_len(tags.len(), n, "tags")?;
+    let delta = ckpt.f64s("delta")?;
+    expect_len(delta.len(), n, "delta")?;
+    let flat = ckpt.u32s("levels_flat")?;
+    expect_vertex_ids(flat, n, "levels_flat")?;
+    let offsets = ckpt.u32s("level_offsets")?;
+    if offsets.first() != Some(&0)
+        || offsets.last().copied() != Some(flat.len() as u32)
+        || offsets.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(malformed("level_offsets is not a monotone cover of levels_flat"));
+    }
+    let levels: Vec<Frontier> = offsets
+        .windows(2)
+        .map(|w| Frontier::from_vec(flat[w[0] as usize..w[1] as usize].to_vec()))
+        .collect();
+    if levels.is_empty() {
+        return Err(malformed("BC checkpoint has no levels"));
+    }
+    let scalars = ckpt.u32s("scalars")?;
+    let src = scalar(scalars, 0, "src")?;
+    if src as usize >= n {
+        return Err(malformed(format!("source {src} out of range for {n} vertices")));
+    }
+    let level = scalar(scalars, 1, "level")?;
+    let phase = scalar(scalars, 2, "phase")?;
+    if phase != PHASE_FORWARD && phase != PHASE_BACKWARD {
+        return Err(malformed(format!("unknown BC phase tag {phase}")));
+    }
+    let back_lvl = scalar(scalars, 3, "back_lvl")?;
+    if back_lvl as usize > levels.len() {
+        return Err(malformed(format!(
+            "back_lvl {back_lvl} exceeds the {} recorded levels",
+            levels.len()
+        )));
+    }
+    let st = BcLoop {
+        depth: to_atomic_u32(depth),
+        sigma: to_atomic_f64(sigma),
+        tags: to_atomic_u32(tags),
+        delta: to_atomic_f64(delta),
+        levels,
+        level,
+        iterations: ckpt.iteration(),
+        phase,
+        back_lvl,
+    };
+    let r = bc_run(ctx, src, opts, st);
+    check_failed(ctx, r.outcome, r)
+}
+
+/// The enact loop proper, starting from an arbitrary iteration-boundary
+/// state (fresh from [`bc`] or restored by [`bc_resume`]).
+fn bc_run(ctx: &Context<'_>, src: VertexId, opts: BcOptions, st: BcLoop) -> BcResult {
+    let start = std::time::Instant::now();
+    let BcLoop {
+        depth,
+        sigma,
+        tags,
+        delta,
+        mut levels,
+        mut level,
+        mut iterations,
+        mut phase,
+        mut back_lvl,
+    } = st;
     let guard = ctx.guard();
     let mut outcome = RunOutcome::Converged;
 
+    macro_rules! boundary {
+        () => {
+            if ctx.checkpoint_due(iterations) {
+                bc_checkpoint(
+                    ctx, src, &depth, &sigma, &tags, &delta, &levels, level, iterations, phase,
+                    back_lvl,
+                );
+            }
+            if let Some(tripped) = guard.check(iterations) {
+                outcome = tripped;
+                if tripped != RunOutcome::Failed {
+                    bc_checkpoint(
+                        ctx, src, &depth, &sigma, &tags, &delta, &levels, level, iterations,
+                        phase, back_lvl,
+                    );
+                }
+                break;
+            }
+        };
+    }
+
     // Phase 1: forward BFS with fused sigma accumulation.
-    loop {
-        if let Some(tripped) = guard.check(iterations) {
-            outcome = tripped;
-            break;
+    if phase == PHASE_FORWARD {
+        loop {
+            boundary!();
+            level += 1;
+            iterations += 1;
+            ctx.end_iteration(false);
+            let f = ForwardSigma { depth: &depth, sigma: &sigma, level };
+            let spec = AdvanceSpec::v2v().with_mode(opts.mode);
+            let raw = advance::advance(ctx, levels.last().unwrap(), spec, &f);
+            let next = filter::filter(ctx, &raw, &ClaimLevel { tags: &tags, level });
+            if next.is_empty() {
+                break;
+            }
+            levels.push(next);
         }
-        level += 1;
-        iterations += 1;
-        ctx.end_iteration(false);
-        let f = ForwardSigma { depth: &depth, sigma: &sigma, level };
-        let spec = AdvanceSpec::v2v().with_mode(opts.mode);
-        let raw = advance::advance(ctx, levels.last().unwrap(), spec, &f);
-        let next = filter::filter(ctx, &raw, &ClaimLevel { tags: &tags, level });
-        if next.is_empty() {
-            break;
+        // Hand over to the backward sweep only on convergence — a trip
+        // leaves half-built sigmas that would make dependency sums
+        // meaningless, and a resume re-enters the forward phase instead.
+        if outcome == RunOutcome::Converged {
+            phase = PHASE_BACKWARD;
+            back_lvl = levels.len() as u32 - 1;
         }
-        levels.push(next);
     }
 
-    // Phase 2: backward sweep over the frontier stack (skipped when the
-    // forward phase already tripped — half-built sigmas would make the
-    // dependency sums meaningless).
-    let delta: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
-    for lvl in (0..levels.len() - 1).rev() {
-        if outcome != RunOutcome::Converged {
-            break;
+    // Phase 2: backward sweep over the frontier stack.
+    if phase == PHASE_BACKWARD && outcome == RunOutcome::Converged {
+        while back_lvl > 0 {
+            boundary!();
+            iterations += 1;
+            ctx.end_iteration(false);
+            let lvl = (back_lvl - 1) as usize;
+            let f = BackwardDelta {
+                depth: &depth,
+                sigma: &sigma,
+                delta: &delta,
+                level: lvl as u32,
+            };
+            let spec = AdvanceSpec::for_effect().with_mode(opts.mode);
+            let _ = advance::advance(ctx, &levels[lvl], spec, &f);
+            back_lvl -= 1;
         }
-        if let Some(tripped) = guard.check(iterations) {
-            outcome = tripped;
-            break;
-        }
-        iterations += 1;
-        ctx.end_iteration(false);
-        let f =
-            BackwardDelta { depth: &depth, sigma: &sigma, delta: &delta, level: lvl as u32 };
-        let spec = AdvanceSpec::for_effect().with_mode(opts.mode);
-        let _ = advance::advance(ctx, &levels[lvl], spec, &f);
     }
 
+    // a panic that emptied the frontier must not read as convergence
+    if ctx.is_poisoned() {
+        outcome = RunOutcome::Failed;
+    }
     let mut bc_values: Vec<f64> = delta.iter().map(|a| a.load()).collect();
     bc_values[src as usize] = 0.0;
     BcResult {

@@ -13,6 +13,9 @@
 //!   the history/bitmask filter.
 //! * **direction-optimized** — push/pull switching per Beamer (§4.1.1).
 
+use crate::recover::{
+    check_failed, expect_len, expect_vertex_ids, malformed, scalar, to_atomic_u32,
+};
 use gunrock::prelude::*;
 use gunrock_engine::atomics::{atomic_u32_vec, unwrap_atomic_u32};
 use gunrock_engine::compact::compact;
@@ -34,6 +37,28 @@ pub enum BfsVariant {
     /// visited-bitmap filter runs inside the advance loop, like the
     /// hardwired b40c expansion.
     Fused,
+}
+
+impl BfsVariant {
+    /// Numeric tag stored in checkpoints.
+    fn tag(self) -> u32 {
+        match self {
+            BfsVariant::Atomic => 0,
+            BfsVariant::Idempotent => 1,
+            BfsVariant::DirectionOptimized => 2,
+            BfsVariant::Fused => 3,
+        }
+    }
+
+    fn from_tag(tag: u32) -> Option<BfsVariant> {
+        match tag {
+            0 => Some(BfsVariant::Atomic),
+            1 => Some(BfsVariant::Idempotent),
+            2 => Some(BfsVariant::DirectionOptimized),
+            3 => Some(BfsVariant::Fused),
+            _ => None,
+        }
+    }
 }
 
 /// BFS configuration.
@@ -219,29 +244,230 @@ impl AdvanceFunctor for PullDiscover<'_> {
     }
 }
 
+/// In-flight BFS loop state at an iteration boundary. This is exactly
+/// what a checkpoint captures: resuming from a snapshot rebuilds this
+/// struct and re-enters [`bfs_run`] as if the guard had never tripped.
+struct BfsLoop {
+    labels: Vec<AtomicU32>,
+    preds: Option<Vec<AtomicU32>>,
+    frontier: Frontier,
+    level: u32,
+    iters: u32,
+    pull_iters: u32,
+    direction: TraversalDirection,
+    unvisited: Vec<u32>,
+    unvisited_edges: u64,
+}
+
+fn direction_tag(d: TraversalDirection) -> u32 {
+    match d {
+        TraversalDirection::Push => 0,
+        TraversalDirection::Pull => 1,
+    }
+}
+
+/// Rebuilds the visited bitmap from labels. At every iteration boundary
+/// `visited == {v | labels[v] != INFINITY}` holds for all variants (the
+/// contract filter sets both together), so the bitmap itself never needs
+/// to be checkpointed.
+fn rebuild_visited(labels: &[AtomicU32]) -> AtomicBitmap {
+    let bm = AtomicBitmap::new(labels.len());
+    for (v, l) in labels.iter().enumerate() {
+        if l.load(Ordering::Relaxed) != INFINITY {
+            bm.set(v);
+        }
+    }
+    bm
+}
+
+/// Writes an iteration-boundary snapshot when a checkpoint policy is
+/// installed. Sections: per-vertex `labels`/`preds`, the live `frontier`
+/// and (direction-optimized only) `unvisited` candidates, plus packed
+/// scalars `[src, level, pull_iters, direction, variant, record_preds]`
+/// and the 64-bit `unvisited_edges` counter.
+#[allow(clippy::too_many_arguments)]
+fn bfs_checkpoint(
+    ctx: &Context<'_>,
+    src: VertexId,
+    opts: &BfsOptions,
+    labels: &[AtomicU32],
+    preds: Option<&[AtomicU32]>,
+    frontier: &Frontier,
+    iters: u32,
+    level: u32,
+    pull_iters: u32,
+    direction: TraversalDirection,
+    unvisited: &[u32],
+    unvisited_edges: u64,
+) {
+    if ctx.checkpoint_policy().is_none() {
+        return;
+    }
+    let mut ckpt = Checkpoint::new("bfs", iters);
+    ckpt.push_u32("labels", unwrap_atomic_u32(labels));
+    ckpt.push_u32("preds", preds.map(unwrap_atomic_u32).unwrap_or_default());
+    ckpt.push_u32("frontier", frontier.as_slice().to_vec());
+    ckpt.push_u32("unvisited", unvisited.to_vec());
+    ckpt.push_u32(
+        "scalars",
+        vec![
+            src,
+            level,
+            pull_iters,
+            direction_tag(direction),
+            opts.variant.tag(),
+            opts.record_predecessors as u32,
+        ],
+    );
+    ckpt.push_u64("counters", vec![unvisited_edges]);
+    ctx.save_checkpoint(&ckpt);
+}
+
 /// Runs BFS from `src`. Direction-optimized traversal requires
 /// `ctx.reverse` (the forward graph itself for undirected graphs).
 pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
     let n = ctx.num_vertices();
     assert!((src as usize) < n, "source out of range");
-    let start = std::time::Instant::now();
     let labels = atomic_u32_vec(n, INFINITY);
     labels[src as usize].store(0, Ordering::Relaxed);
-    let preds = opts.record_predecessors.then(|| atomic_u32_vec(n, INVALID_VERTEX));
-    let mut enactor_iters = 0u32;
-    let mut pull_iters = 0u32;
+    let unvisited = match opts.variant {
+        BfsVariant::DirectionOptimized => (0..n as u32).filter(|&v| v != src).collect(),
+        _ => Vec::new(),
+    };
+    let st = BfsLoop {
+        labels,
+        preds: opts.record_predecessors.then(|| atomic_u32_vec(n, INVALID_VERTEX)),
+        frontier: Frontier::single(src),
+        level: 0,
+        iters: 0,
+        pull_iters: 0,
+        direction: TraversalDirection::Push,
+        unvisited,
+        unvisited_edges: ctx.graph.num_edges() as u64 - ctx.graph.out_degree(src) as u64,
+    };
+    bfs_run(ctx, src, opts, st)
+}
+
+/// Resumes BFS from a `gunrock-ckpt/v1` snapshot. The checkpoint's
+/// variant, source, and recorded-predecessor setting override `opts`;
+/// workload mapping and heuristics still come from `opts`.
+pub fn bfs_resume(
+    ctx: &Context<'_>,
+    opts: BfsOptions,
+    ckpt: &Checkpoint,
+) -> Result<BfsResult, GunrockError> {
+    ckpt.expect_primitive("bfs")?;
+    let n = ctx.num_vertices();
+    let labels = ckpt.u32s("labels")?;
+    expect_len(labels.len(), n, "labels")?;
+    let preds = ckpt.u32s("preds")?;
+    let frontier = ckpt.u32s("frontier")?;
+    expect_vertex_ids(frontier, n, "frontier")?;
+    let unvisited = ckpt.u32s("unvisited")?;
+    expect_vertex_ids(unvisited, n, "unvisited")?;
+    let scalars = ckpt.u32s("scalars")?;
+    let counters = ckpt.u64s("counters")?;
+    let src = scalar(scalars, 0, "src")?;
+    if src as usize >= n {
+        return Err(malformed(format!("source {src} out of range for {n} vertices")));
+    }
+    let level = scalar(scalars, 1, "level")?;
+    let pull_iters = scalar(scalars, 2, "pull_iterations")?;
+    let direction = match scalar(scalars, 3, "direction")? {
+        0 => TraversalDirection::Push,
+        1 => TraversalDirection::Pull,
+        other => return Err(malformed(format!("unknown direction tag {other}"))),
+    };
+    let variant = scalar(scalars, 4, "variant")?;
+    let variant = BfsVariant::from_tag(variant)
+        .ok_or_else(|| malformed(format!("unknown BFS variant tag {variant}")))?;
+    let record_predecessors = scalar(scalars, 5, "record_predecessors")? == 1;
+    if record_predecessors {
+        expect_len(preds.len(), n, "preds")?;
+    }
+    let opts = BfsOptions { variant, record_predecessors, ..opts };
+    let st = BfsLoop {
+        labels: to_atomic_u32(labels),
+        preds: record_predecessors.then(|| to_atomic_u32(preds)),
+        frontier: Frontier::from_vec(frontier.to_vec()),
+        level,
+        iters: ckpt.iteration(),
+        pull_iters,
+        direction,
+        unvisited: unvisited.to_vec(),
+        unvisited_edges: counters.first().copied().unwrap_or(0),
+    };
+    let r = bfs_run(ctx, src, opts, st);
+    check_failed(ctx, r.outcome, r)
+}
+
+/// The enact loop proper, starting from an arbitrary iteration-boundary
+/// state (fresh from [`bfs`] or restored by [`bfs_resume`]).
+fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> BfsResult {
+    let n = ctx.num_vertices();
+    let start = std::time::Instant::now();
+    let BfsLoop {
+        labels,
+        preds,
+        mut frontier,
+        mut level,
+        iters: mut enactor_iters,
+        mut pull_iters,
+        mut direction,
+        mut unvisited,
+        mut unvisited_edges,
+    } = st;
     let guard = ctx.guard();
     let mut outcome = RunOutcome::Converged;
 
+    // Periodic snapshot at the iteration boundary, plus an exit snapshot
+    // when a guard trips — but never from a poisoned (Failed) run, whose
+    // state may be inconsistent mid-operator.
+    macro_rules! boundary {
+        () => {
+            if ctx.checkpoint_due(enactor_iters) {
+                bfs_checkpoint(
+                    ctx,
+                    src,
+                    &opts,
+                    &labels,
+                    preds.as_deref(),
+                    &frontier,
+                    enactor_iters,
+                    level,
+                    pull_iters,
+                    direction,
+                    &unvisited,
+                    unvisited_edges,
+                );
+            }
+            if let Some(tripped) = guard.check(enactor_iters) {
+                outcome = tripped;
+                if tripped != RunOutcome::Failed {
+                    bfs_checkpoint(
+                        ctx,
+                        src,
+                        &opts,
+                        &labels,
+                        preds.as_deref(),
+                        &frontier,
+                        enactor_iters,
+                        level,
+                        pull_iters,
+                        direction,
+                        &unvisited,
+                        unvisited_edges,
+                    );
+                }
+                break;
+            }
+        };
+    }
+
     match opts.variant {
         BfsVariant::Atomic => {
-            let mut frontier = Frontier::single(src);
-            let mut level = 0u32;
             while !frontier.is_empty() {
-                if let Some(tripped) = guard.check(enactor_iters) {
-                    outcome = tripped;
-                    break;
-                }
+                boundary!();
                 level += 1;
                 let f = AtomicDiscover {
                     st: BfsState { labels: &labels, preds: preds.as_deref() },
@@ -254,15 +480,9 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
             }
         }
         BfsVariant::Idempotent => {
-            let visited = AtomicBitmap::new(n);
-            visited.set(src as usize);
-            let mut frontier = Frontier::single(src);
-            let mut level = 0u32;
+            let visited = rebuild_visited(&labels);
             while !frontier.is_empty() {
-                if let Some(tripped) = guard.check(enactor_iters) {
-                    outcome = tripped;
-                    break;
-                }
+                boundary!();
                 level += 1;
                 let f = IdempotentExpand {
                     st: BfsState { labels: &labels, preds: preds.as_deref() },
@@ -281,15 +501,9 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
             }
         }
         BfsVariant::Fused => {
-            let visited = AtomicBitmap::new(n);
-            visited.set(src as usize);
-            let mut frontier = Frontier::single(src);
-            let mut level = 0u32;
+            let visited = rebuild_visited(&labels);
             while !frontier.is_empty() {
-                if let Some(tripped) = guard.check(enactor_iters) {
-                    outcome = tripped;
-                    break;
-                }
+                boundary!();
                 level += 1;
                 // fused: cond tests unvisited, apply labels + sets pred —
                 // all inside the single advance kernel; the bitmap
@@ -310,20 +524,9 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
             }
         }
         BfsVariant::DirectionOptimized => {
-            let visited = AtomicBitmap::new(n);
-            visited.set(src as usize);
-            let mut frontier = Frontier::single(src);
-            let mut level = 0u32;
-            let mut direction = TraversalDirection::Push;
-            // lazily maintained unvisited candidate list and edge budget
-            let mut unvisited: Vec<u32> = (0..n as u32).filter(|&v| v != src).collect();
-            let mut unvisited_edges: u64 =
-                ctx.graph.num_edges() as u64 - ctx.graph.out_degree(src) as u64;
+            let visited = rebuild_visited(&labels);
             while !frontier.is_empty() {
-                if let Some(tripped) = guard.check(enactor_iters) {
-                    outcome = tripped;
-                    break;
-                }
+                boundary!();
                 level += 1;
                 let m_f =
                     advance::push::frontier_neighbor_count(ctx, &frontier, InputKind::Vertices);
@@ -407,6 +610,10 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
         }
     }
 
+    // a panic that emptied the frontier must not read as convergence
+    if ctx.is_poisoned() {
+        outcome = RunOutcome::Failed;
+    }
     BfsResult {
         labels: unwrap_atomic_u32(&labels),
         preds: preds.map(|p| unwrap_atomic_u32(&p)).unwrap_or_default(),

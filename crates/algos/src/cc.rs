@@ -12,6 +12,9 @@
 //! This is the one primitive whose frontier is *edges* throughout —
 //! exercising the edge-frontier side of the data-centric abstraction.
 
+use crate::recover::{
+    check_failed, expect_len, expect_vertex_ids, malformed, scalar, to_atomic_u32,
+};
 use gunrock::prelude::*;
 use gunrock_engine::atomics::{atomic_u32_vec, unwrap_atomic_u32};
 use gunrock_graph::{Csr, VertexId};
@@ -87,16 +90,97 @@ impl FilterFunctor for Jump<'_> {
     }
 }
 
+/// Which half of the Soman round the run was in at snapshot time.
+const PHASE_HOOKING: u32 = 0;
+const PHASE_JUMPING: u32 = 1;
+
+/// In-flight CC loop state at an iteration boundary (what a checkpoint
+/// captures; see [`cc_resume`]). The edge endpoint arrays are derived
+/// from the graph and rebuilt on resume, never stored.
+struct CcLoop {
+    labels: Vec<AtomicU32>,
+    edge_frontier: Frontier,
+    vertex_frontier: Frontier,
+    iterations: u32,
+    phase: u32,
+}
+
+/// Writes an iteration-boundary snapshot when a checkpoint policy is
+/// installed. Sections: per-vertex `labels`, the live `edge_frontier`
+/// (edge ids) and `vertex_frontier`, plus the scalar `[phase]`.
+fn cc_checkpoint(
+    ctx: &Context<'_>,
+    labels: &[AtomicU32],
+    edge_frontier: &Frontier,
+    vertex_frontier: &Frontier,
+    iterations: u32,
+    phase: u32,
+) {
+    if ctx.checkpoint_policy().is_none() {
+        return;
+    }
+    let mut ckpt = Checkpoint::new("cc", iterations);
+    ckpt.push_u32("labels", unwrap_atomic_u32(labels));
+    ckpt.push_u32("edge_frontier", edge_frontier.as_slice().to_vec());
+    ckpt.push_u32("vertex_frontier", vertex_frontier.as_slice().to_vec());
+    ckpt.push_u32("scalars", vec![phase]);
+    ctx.save_checkpoint(&ckpt);
+}
+
 /// Labels connected components. Works on the undirected interpretation
 /// of the graph (each undirected edge may appear in either or both
 /// directions; both work).
 pub fn cc(ctx: &Context<'_>) -> CcResult {
-    let g = ctx.graph;
-    let n = g.num_vertices();
-    let m = g.num_edges();
-    let start = std::time::Instant::now();
+    let n = ctx.num_vertices();
     let labels = atomic_u32_vec(n, 0);
     labels.par_iter().enumerate().for_each(|(v, l)| l.store(v as u32, Ordering::Relaxed));
+    let st = CcLoop {
+        labels,
+        edge_frontier: Frontier::full(ctx.graph.num_edges()),
+        vertex_frontier: Frontier::new(),
+        iterations: 0,
+        phase: PHASE_HOOKING,
+    };
+    cc_run(ctx, st)
+}
+
+/// Resumes CC from a `gunrock-ckpt/v1` snapshot.
+pub fn cc_resume(ctx: &Context<'_>, ckpt: &Checkpoint) -> Result<CcResult, GunrockError> {
+    ckpt.expect_primitive("cc")?;
+    let n = ctx.num_vertices();
+    let m = ctx.graph.num_edges();
+    let labels = ckpt.u32s("labels")?;
+    expect_len(labels.len(), n, "labels")?;
+    expect_vertex_ids(labels, n, "labels")?;
+    let edge_frontier = ckpt.u32s("edge_frontier")?;
+    expect_vertex_ids(edge_frontier, m, "edge_frontier")?;
+    let vertex_frontier = ckpt.u32s("vertex_frontier")?;
+    expect_vertex_ids(vertex_frontier, n, "vertex_frontier")?;
+    let scalars = ckpt.u32s("scalars")?;
+    let phase = scalar(scalars, 0, "phase")?;
+    if phase != PHASE_HOOKING && phase != PHASE_JUMPING {
+        return Err(malformed(format!("unknown CC phase tag {phase}")));
+    }
+    let st = CcLoop {
+        labels: to_atomic_u32(labels),
+        edge_frontier: Frontier::from_vec(edge_frontier.to_vec()),
+        vertex_frontier: Frontier::from_vec(vertex_frontier.to_vec()),
+        iterations: ckpt.iteration(),
+        phase,
+    };
+    let r = cc_run(ctx, st);
+    check_failed(ctx, r.outcome, r)
+}
+
+/// The enact loop proper, an explicit two-phase state machine so a
+/// checkpoint taken mid pointer-jumping re-enters the right half of the
+/// Soman round.
+fn cc_run(ctx: &Context<'_>, st: CcLoop) -> CcResult {
+    let g = ctx.graph;
+    let n = g.num_vertices();
+    let start = std::time::Instant::now();
+    let CcLoop { labels, mut edge_frontier, mut vertex_frontier, mut iterations, mut phase } =
+        st;
     // edge endpoint arrays for the edge frontier (edge id -> endpoints)
     let edge_dst: &[u32] = g.col_indices();
     let edge_src: Vec<u32> = (0..n as u32)
@@ -104,39 +188,55 @@ pub fn cc(ctx: &Context<'_>) -> CcResult {
         .flat_map_iter(|v| std::iter::repeat_n(v, g.out_degree(v) as usize))
         .collect();
 
-    let mut edge_frontier = Frontier::full(m);
-    let mut iterations = 0u32;
     let guard = ctx.guard();
     let mut outcome = RunOutcome::Converged;
-    'enact: while !edge_frontier.is_empty() {
+    'enact: loop {
+        if phase == PHASE_HOOKING && edge_frontier.is_empty() {
+            break;
+        }
+        if ctx.checkpoint_due(iterations) {
+            cc_checkpoint(ctx, &labels, &edge_frontier, &vertex_frontier, iterations, phase);
+        }
         if let Some(tripped) = guard.check(iterations) {
             outcome = tripped;
+            if tripped != RunOutcome::Failed {
+                cc_checkpoint(
+                    ctx,
+                    &labels,
+                    &edge_frontier,
+                    &vertex_frontier,
+                    iterations,
+                    phase,
+                );
+            }
             break 'enact;
         }
         iterations += 1;
         ctx.end_iteration(false);
-        // Hooking pass: filter on the edge frontier.
-        let changed = AtomicBool::new(false);
-        let hook = Hook { edge_src: &edge_src, edge_dst, labels: &labels, changed: &changed };
-        edge_frontier = filter::filter(ctx, &edge_frontier, &hook);
-        if !changed.load(Ordering::Relaxed) && !edge_frontier.is_empty() {
-            // labels differ only through stale pointers: jumping will
-            // reconcile them below
-        }
-        // Pointer jumping: filter on the vertex frontier until all labels
-        // point at roots.
-        let mut vertex_frontier = Frontier::full(n);
-        while !vertex_frontier.is_empty() {
-            if let Some(tripped) = guard.check(iterations) {
-                outcome = tripped;
-                break 'enact;
-            }
-            iterations += 1;
-            ctx.end_iteration(false);
+        if phase == PHASE_HOOKING {
+            // Hooking pass: filter on the edge frontier; edges whose
+            // endpoints already share a component are filtered out.
+            let changed = AtomicBool::new(false);
+            let hook =
+                Hook { edge_src: &edge_src, edge_dst, labels: &labels, changed: &changed };
+            edge_frontier = filter::filter(ctx, &edge_frontier, &hook);
+            // Pointer jumping runs next, until all labels point at roots
+            // (labels may differ only through stale pointers: jumping
+            // reconciles them).
+            vertex_frontier = Frontier::full(n);
+            phase = PHASE_JUMPING;
+        } else {
             vertex_frontier = filter::filter(ctx, &vertex_frontier, &Jump { labels: &labels });
+            if vertex_frontier.is_empty() {
+                phase = PHASE_HOOKING;
+            }
         }
     }
 
+    // a panic that emptied the frontier must not read as convergence
+    if ctx.is_poisoned() {
+        outcome = RunOutcome::Failed;
+    }
     let labels = unwrap_atomic_u32(&labels);
     let num_components = labels.par_iter().enumerate().filter(|&(v, &l)| v as u32 == l).count();
     CcResult { labels, num_components, iterations, elapsed: start.elapsed(), outcome }

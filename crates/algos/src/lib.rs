@@ -44,14 +44,16 @@ pub mod kcore;
 pub mod label_prop;
 pub mod mst;
 pub mod pagerank;
+pub mod recover;
 pub mod sssp;
 pub mod triangles;
 
-pub use bc::{bc, BcOptions, BcResult};
-pub use bfs::{bfs, BfsOptions, BfsResult, BfsVariant};
-pub use cc::{cc, CcResult};
+pub use bc::{bc, bc_resume, BcOptions, BcResult};
+pub use bfs::{bfs, bfs_resume, BfsOptions, BfsResult, BfsVariant};
+pub use cc::{cc, cc_resume, CcResult};
 pub use kcore::{k_core, KcoreResult};
 pub use mst::{mst, MstResult};
-pub use pagerank::{pagerank, pagerank_pull, PrOptions, PrResult};
-pub use sssp::{sssp, SsspOptions, SsspResult};
+pub use pagerank::{pagerank, pagerank_pull, pagerank_resume, PrOptions, PrResult};
+pub use recover::{resume, try_bc, try_bfs, try_cc, try_pagerank, try_sssp, ResumedRun};
+pub use sssp::{sssp, sssp_resume, SsspOptions, SsspResult};
 pub use triangles::{triangle_count, TriangleResult};

@@ -13,6 +13,7 @@
 //! tolerance. The fixed point is the standard PageRank vector (teleport
 //! `(1-d)/n`), so results are directly comparable to power iteration.
 
+use crate::recover::{check_failed, expect_len, expect_vertex_ids, malformed};
 use gunrock::prelude::*;
 use gunrock_engine::atomics::AtomicF64;
 use gunrock_engine::compact::compact_indices;
@@ -81,34 +82,116 @@ impl AdvanceFunctor for PushResidual<'_> {
     }
 }
 
+/// In-flight PageRank loop state at an iteration boundary. The snapshot
+/// is taken *before* the final sub-threshold residual fold, so a resumed
+/// run absorbs exactly the residual an uninterrupted one would have —
+/// `f64` sections round-trip bit-exactly, making resume bit-identical.
+struct PrLoop {
+    scores: Vec<f64>,
+    residual: Vec<f64>,
+    frontier: Frontier,
+    iterations: u32,
+}
+
+/// Writes an iteration-boundary snapshot when a checkpoint policy is
+/// installed. Sections: `scores`/`residual` (f64, bit-exact), the live
+/// `frontier`, and `params` `[damping, epsilon]`.
+fn pagerank_checkpoint(
+    ctx: &Context<'_>,
+    opts: &PrOptions,
+    scores: &[f64],
+    residual: &[f64],
+    frontier: &Frontier,
+    iterations: u32,
+) {
+    if ctx.checkpoint_policy().is_none() {
+        return;
+    }
+    let mut ckpt = Checkpoint::new("pagerank", iterations);
+    ckpt.push_f64("scores", scores.to_vec());
+    ckpt.push_f64("residual", residual.to_vec());
+    ckpt.push_u32("frontier", frontier.as_slice().to_vec());
+    ckpt.push_f64("params", vec![opts.damping, opts.epsilon]);
+    ctx.save_checkpoint(&ckpt);
+}
+
 /// Runs PageRank over the whole graph.
 pub fn pagerank(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
     let g = ctx.graph;
     let n = g.num_vertices();
-    let start = std::time::Instant::now();
     if n == 0 {
         return PrResult {
             scores: Vec::new(),
             iterations: 0,
             edges_examined: 0,
-            elapsed: start.elapsed(),
+            elapsed: std::time::Duration::ZERO,
             outcome: RunOutcome::Converged,
         };
     }
     let base = (1.0 - opts.damping) / n as f64;
-    let mut scores = vec![0.0f64; n];
-    // every vertex starts with the teleport mass as pending residual
-    let mut residual: Vec<f64> = vec![base; n];
-    let mut frontier = Frontier::full(n);
-    let mut iterations = 0u32;
+    let st = PrLoop {
+        scores: vec![0.0f64; n],
+        // every vertex starts with the teleport mass as pending residual
+        residual: vec![base; n],
+        frontier: Frontier::full(n),
+        iterations: 0,
+    };
+    pagerank_run(ctx, opts, st)
+}
+
+/// Resumes PageRank from a `gunrock-ckpt/v1` snapshot. The checkpoint's
+/// damping and epsilon override `opts` (changing them mid-run would
+/// converge to a different fixed point); `max_iters` and the advance
+/// mode still come from `opts`.
+pub fn pagerank_resume(
+    ctx: &Context<'_>,
+    opts: PrOptions,
+    ckpt: &Checkpoint,
+) -> Result<PrResult, GunrockError> {
+    ckpt.expect_primitive("pagerank")?;
+    let n = ctx.num_vertices();
+    let scores = ckpt.f64s("scores")?;
+    expect_len(scores.len(), n, "scores")?;
+    let residual = ckpt.f64s("residual")?;
+    expect_len(residual.len(), n, "residual")?;
+    let frontier = ckpt.u32s("frontier")?;
+    expect_vertex_ids(frontier, n, "frontier")?;
+    let params = ckpt.f64s("params")?;
+    let [damping, epsilon] = params else {
+        return Err(malformed(format!("params must be [damping, epsilon], got {params:?}")));
+    };
+    let opts = PrOptions { damping: *damping, epsilon: *epsilon, ..opts };
+    let st = PrLoop {
+        scores: scores.to_vec(),
+        residual: residual.to_vec(),
+        frontier: Frontier::from_vec(frontier.to_vec()),
+        iterations: ckpt.iteration(),
+    };
+    let r = pagerank_run(ctx, opts, st);
+    check_failed(ctx, r.outcome, r)
+}
+
+/// The enact loop proper, starting from an arbitrary iteration-boundary
+/// state (fresh from [`pagerank`] or restored by [`pagerank_resume`]).
+fn pagerank_run(ctx: &Context<'_>, opts: PrOptions, st: PrLoop) -> PrResult {
+    let g = ctx.graph;
+    let n = g.num_vertices();
+    let start = std::time::Instant::now();
+    let PrLoop { mut scores, mut residual, mut frontier, mut iterations } = st;
     // reused accumulator (zeroed as it is drained each iteration)
     let acc: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
     let guard = ctx.guard();
     let mut outcome = RunOutcome::Converged;
 
     while !frontier.is_empty() && (iterations as usize) < opts.max_iters {
+        if ctx.checkpoint_due(iterations) {
+            pagerank_checkpoint(ctx, &opts, &scores, &residual, &frontier, iterations);
+        }
         if let Some(tripped) = guard.check(iterations) {
             outcome = tripped;
+            if tripped != RunOutcome::Failed {
+                pagerank_checkpoint(ctx, &opts, &scores, &residual, &frontier, iterations);
+            }
             break;
         }
         iterations += 1;
@@ -145,6 +228,10 @@ pub fn pagerank(ctx: &Context<'_>, opts: PrOptions) -> PrResult {
     // fold any remaining sub-threshold residual into the scores
     scores.par_iter_mut().zip(residual.par_iter()).for_each(|(s, r)| *s += r);
 
+    // a panic that emptied the frontier must not read as convergence
+    if ctx.is_poisoned() {
+        outcome = RunOutcome::Failed;
+    }
     PrResult {
         scores,
         iterations,

@@ -8,6 +8,9 @@
 //! *priority queue* splits the output into near/far piles (delta
 //! stepping, generalizing Davidson et al.).
 
+use crate::recover::{
+    check_failed, expect_len, expect_vertex_ids, malformed, scalar, to_atomic_u32,
+};
 use gunrock::prelude::*;
 use gunrock_engine::atomics::{atomic_u32_vec, unwrap_atomic_u32};
 use gunrock_graph::{Csr, EdgeId, VertexId, INFINITY, INVALID_VERTEX};
@@ -114,28 +117,183 @@ pub fn default_delta(g: &Csr) -> u32 {
     ((max_w as f64 / avg_deg).ceil() as u32).max(1)
 }
 
+/// In-flight SSSP loop state at an iteration boundary (what a
+/// checkpoint captures; see [`sssp_resume`]).
+struct SsspLoop {
+    dist: Vec<AtomicU32>,
+    preds: Option<Vec<AtomicU32>>,
+    tags: Vec<AtomicU32>,
+    frontier: Frontier,
+    queue: NearFarQueue,
+    iterations: u32,
+    queue_id: u32,
+}
+
+/// Writes an iteration-boundary snapshot when a checkpoint policy is
+/// installed. Sections: per-vertex `dist`/`preds`/`tags`, the live
+/// `frontier` and parked `far` pile, plus packed scalars
+/// `[src, queue_id, delta, pivot, use_priority_queue, record_preds]`.
+#[allow(clippy::too_many_arguments)]
+fn sssp_checkpoint(
+    ctx: &Context<'_>,
+    src: VertexId,
+    opts: &SsspOptions,
+    dist: &[AtomicU32],
+    preds: Option<&[AtomicU32]>,
+    tags: &[AtomicU32],
+    frontier: &Frontier,
+    queue: &NearFarQueue,
+    iterations: u32,
+    queue_id: u32,
+) {
+    if ctx.checkpoint_policy().is_none() {
+        return;
+    }
+    let mut ckpt = Checkpoint::new("sssp", iterations);
+    ckpt.push_u32("dist", unwrap_atomic_u32(dist));
+    ckpt.push_u32("preds", preds.map(unwrap_atomic_u32).unwrap_or_default());
+    ckpt.push_u32("tags", unwrap_atomic_u32(tags));
+    ckpt.push_u32("frontier", frontier.as_slice().to_vec());
+    ckpt.push_u32("far", queue.far_slice().to_vec());
+    ckpt.push_u32(
+        "scalars",
+        vec![
+            src,
+            queue_id,
+            queue.delta(),
+            queue.pivot(),
+            opts.use_priority_queue as u32,
+            opts.record_predecessors as u32,
+        ],
+    );
+    ctx.save_checkpoint(&ckpt);
+}
+
 /// Runs SSSP from `src` (Dijkstra-class: needs non-negative weights;
 /// unweighted graphs degenerate to BFS distances).
 pub fn sssp(ctx: &Context<'_>, src: VertexId, opts: SsspOptions) -> SsspResult {
     let n = ctx.num_vertices();
     assert!((src as usize) < n, "source out of range");
-    let start = std::time::Instant::now();
     let dist = atomic_u32_vec(n, INFINITY);
     dist[src as usize].store(0, Ordering::Relaxed);
-    let preds = opts.record_predecessors.then(|| atomic_u32_vec(n, INVALID_VERTEX));
-    let tags = atomic_u32_vec(n, u32::MAX);
     let delta = opts.delta.unwrap_or_else(|| default_delta(ctx.graph));
-    let mut queue = NearFarQueue::new(delta);
-    let mut frontier = Frontier::single(src);
-    let mut iterations = 0u32;
-    let mut queue_id = 0u32;
+    let st = SsspLoop {
+        dist,
+        preds: opts.record_predecessors.then(|| atomic_u32_vec(n, INVALID_VERTEX)),
+        tags: atomic_u32_vec(n, u32::MAX),
+        frontier: Frontier::single(src),
+        queue: NearFarQueue::new(delta),
+        iterations: 0,
+        queue_id: 0,
+    };
+    sssp_run(ctx, src, opts, st)
+}
+
+/// Resumes SSSP from a `gunrock-ckpt/v1` snapshot. The checkpoint's
+/// source, bucket geometry, queue discipline, and recorded-predecessor
+/// setting override `opts`; the advance mode still comes from `opts`.
+pub fn sssp_resume(
+    ctx: &Context<'_>,
+    opts: SsspOptions,
+    ckpt: &Checkpoint,
+) -> Result<SsspResult, GunrockError> {
+    ckpt.expect_primitive("sssp")?;
+    let n = ctx.num_vertices();
+    let dist = ckpt.u32s("dist")?;
+    expect_len(dist.len(), n, "dist")?;
+    let preds = ckpt.u32s("preds")?;
+    let tags = ckpt.u32s("tags")?;
+    expect_len(tags.len(), n, "tags")?;
+    let frontier = ckpt.u32s("frontier")?;
+    expect_vertex_ids(frontier, n, "frontier")?;
+    let far = ckpt.u32s("far")?;
+    expect_vertex_ids(far, n, "far")?;
+    let scalars = ckpt.u32s("scalars")?;
+    let src = scalar(scalars, 0, "src")?;
+    if src as usize >= n {
+        return Err(malformed(format!("source {src} out of range for {n} vertices")));
+    }
+    let queue_id = scalar(scalars, 1, "queue_id")?;
+    let delta = scalar(scalars, 2, "delta")?;
+    if delta == 0 {
+        return Err(malformed("bucket width delta must be positive"));
+    }
+    let pivot = scalar(scalars, 3, "pivot")?;
+    let use_priority_queue = scalar(scalars, 4, "use_priority_queue")? == 1;
+    let record_predecessors = scalar(scalars, 5, "record_predecessors")? == 1;
+    if record_predecessors {
+        expect_len(preds.len(), n, "preds")?;
+    }
+    let opts =
+        SsspOptions { delta: Some(delta), use_priority_queue, record_predecessors, ..opts };
+    let st = SsspLoop {
+        dist: to_atomic_u32(dist),
+        preds: record_predecessors.then(|| to_atomic_u32(preds)),
+        tags: to_atomic_u32(tags),
+        frontier: Frontier::from_vec(frontier.to_vec()),
+        queue: NearFarQueue::restore(delta, pivot, far.to_vec()),
+        iterations: ckpt.iteration(),
+        queue_id,
+    };
+    let r = sssp_run(ctx, src, opts, st);
+    check_failed(ctx, r.outcome, r)
+}
+
+/// The enact loop proper, starting from an arbitrary iteration-boundary
+/// state (fresh from [`sssp`] or restored by [`sssp_resume`]).
+fn sssp_run(ctx: &Context<'_>, src: VertexId, opts: SsspOptions, st: SsspLoop) -> SsspResult {
+    let start = std::time::Instant::now();
+    let SsspLoop { dist, preds, tags, mut frontier, mut queue, mut iterations, mut queue_id } =
+        st;
 
     let relax = Relax { graph: ctx.graph, dist: &dist, preds: preds.as_deref() };
     let guard = ctx.guard();
     let mut outcome = RunOutcome::Converged;
+
+    // Periodic snapshot at the iteration boundary, plus an exit snapshot
+    // on a guard trip — except from a poisoned (Failed) run, whose state
+    // may be inconsistent mid-operator. Yields the tripped outcome so
+    // the call site can break out of the labeled enact loop.
+    macro_rules! boundary {
+        () => {{
+            if ctx.checkpoint_due(iterations) {
+                sssp_checkpoint(
+                    ctx,
+                    src,
+                    &opts,
+                    &dist,
+                    preds.as_deref(),
+                    &tags,
+                    &frontier,
+                    &queue,
+                    iterations,
+                    queue_id,
+                );
+            }
+            let tripped = guard.check(iterations);
+            if let Some(t) = tripped {
+                if t != RunOutcome::Failed {
+                    sssp_checkpoint(
+                        ctx,
+                        src,
+                        &opts,
+                        &dist,
+                        preds.as_deref(),
+                        &tags,
+                        &frontier,
+                        &queue,
+                        iterations,
+                        queue_id,
+                    );
+                }
+            }
+            tripped
+        }};
+    }
+
     'enact: loop {
         while !frontier.is_empty() {
-            if let Some(tripped) = guard.check(iterations) {
+            if let Some(tripped) = boundary!() {
                 outcome = tripped;
                 break 'enact;
             }
@@ -160,6 +318,10 @@ pub fn sssp(ctx: &Context<'_>, src: VertexId, opts: SsspOptions) -> SsspResult {
         }
     }
 
+    // a panic that emptied the frontier must not read as convergence
+    if ctx.is_poisoned() {
+        outcome = RunOutcome::Failed;
+    }
     SsspResult {
         dist: unwrap_atomic_u32(&dist),
         preds: preds.map(|p| unwrap_atomic_u32(&p)).unwrap_or_default(),

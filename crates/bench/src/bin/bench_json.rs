@@ -5,7 +5,9 @@
 //! examined, advance/filter/compute time split).
 //!
 //! This is the file EXPERIMENTS.md regeneration and the CI stats check
-//! consume; `BENCH_pr2.json` in the repo root is a committed snapshot.
+//! consume; `BENCH_pr3.json` in the repo root is a committed snapshot.
+//! Each row also reports `recovery_events` so a fault-free benchmark
+//! run provably took zero retry/fallback paths.
 //!
 //! Usage: `cargo run --release -p gunrock-bench --bin bench_json
 //!         [--scale N] [--runs N] [--out PATH]`
@@ -16,7 +18,7 @@ use gunrock_engine::json::JsonBuilder;
 
 fn main() {
     let args = BenchArgs::parse();
-    let out = arg_value("--out").unwrap_or_else(|| "BENCH_pr2.json".to_string());
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_pr3.json".to_string());
 
     let mut j = JsonBuilder::new();
     j.begin_object();
@@ -44,6 +46,7 @@ fn main() {
             j.field_f64("advance_millis", s.advance_millis);
             j.field_f64("filter_millis", s.filter_millis);
             j.field_f64("compute_millis", s.compute_millis);
+            j.field_u64("recovery_events", s.recovery_events);
             j.end_object();
             eprintln!(
                 "{:>8} on {:>8}: {:>10.3} ms  {:>8.1} MTEPS  ({} iters, {} steps)",

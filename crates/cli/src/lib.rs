@@ -19,11 +19,22 @@
 //!   --timeout-ms N     stop after N milliseconds of wall clock
 //!   --stats-json PATH  write the per-operator instrumentation trace
 //!                      (StepRecords + direction switches) as JSON
+//!   --retries N        retry recoverable advance failures N times before
+//!                      falling back to thread_mapped (default: 0)
+//!   --inject-faults SPEC  seeded fault injection; SPEC is a comma list of
+//!                      panic=RATE, alloc=RATE, io=RATE
+//!   --fault-seed N     seed for the fault schedule (default: 42)
+//!   --checkpoint-every N  snapshot state every N iterations (0: only on
+//!                      a guard trip) into --checkpoint-dir
+//!   --checkpoint-dir D directory for checkpoint files (default: .)
+//!   --resume PATH      resume bfs/sssp/bc/cc/pagerank from a
+//!                      gunrock-ckpt/v1 snapshot (same graph flags!)
 //! ```
 //!
 //! Exit codes: `0` converged, `1` error (bad arguments, unreadable or
-//! malformed graph, failed verification), `2` a guard tripped and the
-//! printed result is partial.
+//! malformed graph, failed verification, a faulted run), `2` a guard
+//! tripped and the printed result is partial — if checkpointing was on,
+//! the partial run leaves a resumable snapshot behind.
 //!
 //! The dispatch logic lives in this library crate so it can be unit
 //! tested; `main` is a one-liner.
@@ -36,6 +47,7 @@ use gunrock_baselines::serial;
 use gunrock_graph::prelude::*;
 use gunrock_graph::{io, stats};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Usage text printed for `--help` and argument errors.
 pub const USAGE: &str = "\
@@ -55,7 +67,13 @@ options:
   --top K            print the top-K vertices by score (default: 5)
   --max-iters N      stop after N bulk-synchronous iterations (exit 2)
   --timeout-ms N     stop after N milliseconds of wall clock (exit 2)
-  --stats-json PATH  write the per-operator trace (see DESIGN.md) as JSON";
+  --stats-json PATH  write the per-operator trace (see DESIGN.md) as JSON
+  --retries N        retry recoverable advance failures N times (default: 0)
+  --inject-faults SPEC  seeded faults: panic=RATE,alloc=RATE,io=RATE
+  --fault-seed N     seed for the fault schedule (default: 42)
+  --checkpoint-every N  snapshot every N iterations (0: only on guard trip)
+  --checkpoint-dir D directory for checkpoint files (default: .)
+  --resume PATH      resume from a gunrock-ckpt/v1 snapshot (same graph flags)";
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -114,6 +132,41 @@ impl Args {
             policy = policy.wall_clock_budget(std::time::Duration::from_millis(ms));
         }
         Ok(policy)
+    }
+
+    /// Builds the fault schedule from `--inject-faults` / `--fault-seed`.
+    pub fn fault_plan(&self) -> Result<Option<FaultPlan>, String> {
+        let seed = self.get_usize("fault-seed", 42)? as u64;
+        match self.flags.get("inject-faults") {
+            None => Ok(None),
+            Some(spec) => FaultPlan::parse(spec, seed)
+                .map(Some)
+                .map_err(|e| format!("--inject-faults: {e}")),
+        }
+    }
+
+    /// Builds the retry budget from `--retries`.
+    pub fn retry_policy(&self) -> Result<RetryPolicy, String> {
+        Ok(RetryPolicy::retries(self.get_usize("retries", 0)? as u32))
+    }
+
+    /// Builds the snapshot policy from `--checkpoint-every` /
+    /// `--checkpoint-dir`. `--checkpoint-every 0` still snapshots when a
+    /// guard trips, so a timed-out run can be resumed.
+    pub fn checkpoint_policy(&self) -> Result<Option<CheckpointPolicy>, String> {
+        let dir = self.flags.get("checkpoint-dir").map(String::as_str);
+        match self.flags.get("checkpoint-every") {
+            None if dir.is_some() => {
+                Err("--checkpoint-dir requires --checkpoint-every".to_string())
+            }
+            None => Ok(None),
+            Some(v) => {
+                let every: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--checkpoint-every expects a number, got {v:?}"))?;
+                Ok(Some(CheckpointPolicy::new(every, dir.unwrap_or("."))))
+            }
+        }
     }
 
     fn weights(&self) -> Result<Option<(u32, u32)>, String> {
@@ -188,9 +241,46 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         return Err(format!("unknown primitive {:?}\n\n{USAGE}", args.primitive));
     }
     let policy = args.policy()?;
+    let retry = args.retry_policy()?;
+    let ckpt_policy = args.checkpoint_policy()?;
+    let injector = args.fault_plan()?.map(|plan| Arc::new(FaultInjector::new(plan)));
+    // io faults are injected at the loader, before a Context exists, so
+    // they go through a process-wide hook; the RAII guard uninstalls it
+    // on every exit path (tests share the process)
+    let _read_hook = injector
+        .as_ref()
+        .filter(|inj| inj.plan().rate(FaultKind::Io) > 0.0)
+        .map(|inj| install_read_faults(Arc::clone(inj)));
+    let resume_ckpt = match args.flags.get("resume") {
+        None => None,
+        Some(path) => {
+            if !matches!(args.primitive.as_str(), "bfs" | "sssp" | "bc" | "cc" | "pagerank") {
+                return Err(format!("--resume does not support {:?}", args.primitive));
+            }
+            let ckpt = Checkpoint::load(std::path::Path::new(path))
+                .map_err(|e| format!("cannot resume from {path}: {e}"))?;
+            if ckpt.primitive() != args.primitive {
+                return Err(format!(
+                    "checkpoint {path} holds a {} run, not {}",
+                    ckpt.primitive(),
+                    args.primitive
+                ));
+            }
+            Some(ckpt)
+        }
+    };
     let g = load_or_generate(args)?;
     let n = g.num_vertices();
-    let src = args.get_usize("src", 0)? as u32;
+    let mut src = args.get_usize("src", 0)? as u32;
+    // a checkpoint pins the source vertex; honor it so --verify compares
+    // the resumed run against the right oracle
+    if let Some(ckpt) = &resume_ckpt {
+        if matches!(args.primitive.as_str(), "bfs" | "sssp" | "bc") {
+            if let Some(&s) = ckpt.u32s("scalars").ok().and_then(<[u32]>::first) {
+                src = s;
+            }
+        }
+    }
     if matches!(args.primitive.as_str(), "bfs" | "sssp" | "bc") && src as usize >= n {
         return Err(format!("--src {src} out of range (graph has {n} vertices)"));
     }
@@ -212,12 +302,32 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         args.verify && o.is_converged()
     };
     let stats_path = args.flags.get("stats-json");
-    // install the instrumentation sink only when the trace is wanted
-    let instrument = |ctx| if stats_path.is_some() { Context::with_stats(ctx) } else { ctx };
-    let dump = |ctx: &Context<'_>, elapsed: std::time::Duration, o: RunOutcome| match stats_path
-    {
-        Some(path) => dump_stats(path, &args.primitive, &g, elapsed, ctx, o),
-        None => Ok(()),
+    // install the instrumentation sink only when the trace is wanted,
+    // then thread the robustness knobs into every context
+    let instrument = |ctx| {
+        let mut ctx = if stats_path.is_some() { Context::with_stats(ctx) } else { ctx };
+        ctx = ctx.with_retry(retry);
+        if let Some(cp) = &ckpt_policy {
+            ctx = ctx.with_checkpoints(cp.clone());
+        }
+        if let Some(inj) = &injector {
+            ctx = ctx.with_faults(Arc::clone(inj));
+        }
+        ctx
+    };
+    // dump the trace (faulted runs included), then surface a poisoned
+    // run as the structured error that caused it (exit code 1)
+    let dump = |ctx: &Context<'_>, elapsed: std::time::Duration, o: RunOutcome| {
+        if let Some(path) = stats_path {
+            dump_stats(path, &args.primitive, &g, elapsed, ctx, o)?;
+        }
+        if o == RunOutcome::Failed {
+            return Err(match ctx.take_failure() {
+                Some(e) => format!("run failed: {e}"),
+                None => "run failed: operator fault (no recorded cause)".to_string(),
+            });
+        }
+        Ok(())
     };
     match args.primitive.as_str() {
         "stats" => {
@@ -237,7 +347,12 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         }
         "bfs" => {
             let ctx = instrument(Context::new(&g).with_reverse(&g).with_policy(policy));
-            let r = algos::bfs(&ctx, src, algos::BfsOptions::direction_optimized());
+            let opts = algos::BfsOptions::direction_optimized();
+            let r = match &resume_ckpt {
+                Some(ckpt) => algos::bfs_resume(&ctx, opts, ckpt)
+                    .map_err(|e| format!("resume failed: {e}"))?,
+                None => algos::bfs(&ctx, src, opts),
+            };
             let reached = r.labels.iter().filter(|&&l| l != INFINITY).count();
             println!(
                 "bfs from {src}: reached {reached} vertices in {} levels ({} pull), {:.2} ms, {:.1} MTEPS",
@@ -254,7 +369,11 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         }
         "sssp" => {
             let ctx = instrument(Context::new(&g).with_policy(policy));
-            let r = algos::sssp(&ctx, src, algos::SsspOptions::default());
+            let r = match &resume_ckpt {
+                Some(ckpt) => algos::sssp_resume(&ctx, algos::SsspOptions::default(), ckpt)
+                    .map_err(|e| format!("resume failed: {e}"))?,
+                None => algos::sssp(&ctx, src, algos::SsspOptions::default()),
+            };
             let reached = r.dist.iter().filter(|&&d| d != INFINITY).count();
             println!(
                 "sssp from {src}: reached {reached} vertices, {} iterations, {:.2} ms, {:.1} MTEPS",
@@ -270,7 +389,11 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         }
         "bc" => {
             let ctx = instrument(Context::new(&g).with_policy(policy));
-            let r = algos::bc(&ctx, src, algos::BcOptions::default());
+            let r = match &resume_ckpt {
+                Some(ckpt) => algos::bc_resume(&ctx, algos::BcOptions::default(), ckpt)
+                    .map_err(|e| format!("resume failed: {e}"))?,
+                None => algos::bc(&ctx, src, algos::BcOptions::default()),
+            };
             println!(
                 "bc from {src}: {} iterations, {:.2} ms; top dependency scores:",
                 r.iterations,
@@ -293,7 +416,12 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         }
         "cc" => {
             let ctx = instrument(Context::new(&g).with_policy(policy));
-            let r = algos::cc(&ctx);
+            let r = match &resume_ckpt {
+                Some(ckpt) => {
+                    algos::cc_resume(&ctx, ckpt).map_err(|e| format!("resume failed: {e}"))?
+                }
+                None => algos::cc(&ctx),
+            };
             println!(
                 "cc: {} components in {} iterations, {:.2} ms",
                 r.num_components,
@@ -308,10 +436,12 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         }
         "pagerank" => {
             let ctx = instrument(Context::new(&g).with_policy(policy));
-            let r = algos::pagerank(
-                &ctx,
-                algos::PrOptions { epsilon: 1e-10, ..Default::default() },
-            );
+            let opts = algos::PrOptions { epsilon: 1e-10, ..Default::default() };
+            let r = match &resume_ckpt {
+                Some(ckpt) => algos::pagerank_resume(&ctx, opts, ckpt)
+                    .map_err(|e| format!("resume failed: {e}"))?,
+                None => algos::pagerank(&ctx, opts),
+            };
             println!(
                 "pagerank: {} iterations, {:.2} ms; top scores:",
                 r.iterations,
@@ -398,8 +528,41 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
     }
     if !outcome.is_converged() {
         println!("partial result: {outcome}");
+        if let Some(cp) = &ckpt_policy {
+            let p = cp.path(&args.primitive);
+            if p.exists() {
+                println!("resumable checkpoint: {}", p.display());
+            }
+        }
     }
     Ok(outcome)
+}
+
+/// Uninstalls the loader fault hook when dropped, so `--inject-faults`
+/// in one `execute` call cannot leak into the next (tests share the
+/// process).
+struct ReadFaultGuard;
+
+impl Drop for ReadFaultGuard {
+    fn drop(&mut self) {
+        io::set_read_fault_hook(None);
+    }
+}
+
+/// Installs the process-wide loader hook that turns `io=RATE` faults
+/// into deterministic truncations and bit-flips of the file under read.
+fn install_read_faults(inj: Arc<FaultInjector>) -> ReadFaultGuard {
+    io::set_read_fault_hook(Some(Arc::new(move |path: &str, len: u64| {
+        if !inj.should_fail(FaultKind::Io, path) {
+            return None;
+        }
+        Some(if inj.uniform(path, 2) == 0 {
+            io::IoFault::Truncate { at: inj.uniform(path, len) }
+        } else {
+            io::IoFault::Corrupt { at: inj.uniform(path, len), mask: 0x40 }
+        })
+    })));
+    ReadFaultGuard
 }
 
 /// Writes the instrumentation trace collected by `ctx`'s sink as a JSON
@@ -599,6 +762,105 @@ mod tests {
             assert!(json.contains(r#""duration_ms":"#), "{prim}");
             std::fs::remove_file(&path).ok();
         }
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        let a = parse_args(args(&[
+            "bfs",
+            "--retries",
+            "2",
+            "--inject-faults",
+            "panic=0.5,io=0.1",
+            "--fault-seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(a.retry_policy().unwrap(), RetryPolicy::retries(2));
+        let plan = a.fault_plan().unwrap().unwrap();
+        assert_eq!(plan.seed, 7);
+        assert!(plan.is_active());
+        let bad = parse_args(args(&["bfs", "--inject-faults", "bogus=1"])).unwrap();
+        assert!(bad.fault_plan().unwrap_err().contains("--inject-faults"));
+        let a =
+            parse_args(args(&["bfs", "--checkpoint-every", "2", "--checkpoint-dir", "/tmp"]))
+                .unwrap();
+        let cp = a.checkpoint_policy().unwrap().unwrap();
+        assert_eq!(cp.every, 2);
+        assert_eq!(cp.path("bfs"), std::path::Path::new("/tmp/bfs.ckpt"));
+        let orphan = parse_args(args(&["bfs", "--checkpoint-dir", "/tmp"])).unwrap();
+        assert!(orphan.checkpoint_policy().unwrap_err().contains("--checkpoint-every"));
+    }
+
+    #[test]
+    fn interrupted_run_resumes_from_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("gunrock_cli_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.to_str().unwrap().to_string();
+        for prim in ["bfs", "pagerank"] {
+            // a capped run exits 2 and leaves a resumable snapshot behind
+            let partial = args(&[
+                prim,
+                "--scale",
+                "8",
+                "--max-iters",
+                "2",
+                "--checkpoint-every",
+                "1",
+                "--checkpoint-dir",
+                &d,
+            ]);
+            assert_eq!(run(partial), 2, "{prim}");
+            let ckpt = dir.join(format!("{prim}.ckpt"));
+            assert!(ckpt.exists(), "{prim}: no checkpoint at {}", ckpt.display());
+            // resuming it converges and matches the serial oracle
+            let resumed =
+                args(&[prim, "--scale", "8", "--resume", ckpt.to_str().unwrap(), "--verify"]);
+            assert_eq!(run(resumed), 0, "{prim}");
+            std::fs::remove_file(&ckpt).ok();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_bad_inputs() {
+        // a checkpoint for one primitive cannot seed another
+        let dir =
+            std::env::temp_dir().join(format!("gunrock_cli_xckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.to_str().unwrap().to_string();
+        let partial = args(&[
+            "bfs",
+            "--scale",
+            "7",
+            "--max-iters",
+            "1",
+            "--checkpoint-every",
+            "1",
+            "--checkpoint-dir",
+            &d,
+        ]);
+        assert_eq!(run(partial), 2);
+        let ckpt = dir.join("bfs.ckpt");
+        let a = parse_args(args(&["sssp", "--scale", "7", "--resume", ckpt.to_str().unwrap()]))
+            .unwrap();
+        assert!(execute(&a).unwrap_err().contains("holds a bfs run"));
+        // unsupported primitive and missing file are structured errors too
+        let a = parse_args(args(&["mst", "--resume", "nope.ckpt"])).unwrap();
+        assert!(execute(&a).unwrap_err().contains("--resume does not support"));
+        let a = parse_args(args(&["bfs", "--resume", "nope.ckpt"])).unwrap();
+        assert!(execute(&a).unwrap_err().contains("cannot resume"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_panics_surface_as_structured_errors() {
+        // rate 1.0 poisons the very first operator: exit 1, never an abort
+        let cmd = ["bfs", "--scale", "7", "--inject-faults", "panic=1.0"];
+        let a = parse_args(args(&cmd)).unwrap();
+        let err = execute(&a).unwrap_err();
+        assert!(err.contains("run failed"), "{err}");
+        assert_eq!(run(args(&cmd)), 1);
     }
 
     #[test]

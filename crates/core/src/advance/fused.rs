@@ -18,6 +18,7 @@
 use super::{expansion_vertex, AdvanceSpec, OutputKind};
 use crate::context::Context;
 use crate::functor::AdvanceFunctor;
+use crate::isolate::isolated;
 use crate::util::{concat_chunks, grain_size};
 use gunrock_engine::bitmap::AtomicBitmap;
 use gunrock_engine::compact::compact;
@@ -57,15 +58,21 @@ pub fn advance_filter_fused<F: AdvanceFunctor>(
         return Frontier::new();
     }
     let timer = ctx.sink().map(|_| (Instant::now(), ctx.counters.edges()));
-    let work = super::push::frontier_neighbor_count(ctx, input, spec.input);
-    // The load-balanced path ranks edges in u32 (like `load_balanced`);
-    // route ranking totals at or above u32::MAX to the thread-mapped
-    // path, which has no such limit.
-    let (out, strategy) = if work as usize > ctx.config.lb_threshold && work < u32::MAX as u64 {
-        (fused_load_balanced(ctx, input, spec, functor, visited), "fused:load_balanced")
-    } else {
-        (fused_thread_mapped(ctx, input, spec, functor, visited), "fused:thread_mapped")
-    };
+    let result = isolated(ctx, "advance", || {
+        if let Some(inj) = ctx.injector() {
+            inj.maybe_panic("advance:fused");
+        }
+        let work = super::push::frontier_neighbor_count(ctx, input, spec.input);
+        // The load-balanced path ranks edges in u32 (like `load_balanced`);
+        // route ranking totals at or above u32::MAX to the thread-mapped
+        // path, which has no such limit.
+        if work as usize > ctx.config.lb_threshold && work < u32::MAX as u64 {
+            (fused_load_balanced(ctx, input, spec, functor, visited), "fused:load_balanced")
+        } else {
+            (fused_thread_mapped(ctx, input, spec, functor, visited), "fused:thread_mapped")
+        }
+    });
+    let Some((out, strategy)) = result else { return Frontier::new() };
     if let (Some((start, edges0)), Some(sink)) = (timer, ctx.sink()) {
         sink.record_step(
             OperatorKind::Advance,

@@ -26,8 +26,10 @@ pub mod push;
 
 use crate::context::Context;
 use crate::functor::AdvanceFunctor;
+use crate::isolate::isolated;
+use gunrock_engine::faults::FaultKind;
 use gunrock_engine::frontier::Frontier;
-use gunrock_engine::stats::{OperatorKind, StepDirection};
+use gunrock_engine::stats::{OperatorKind, RecoveryKind, StepDirection};
 use gunrock_graph::VertexId;
 use std::time::Instant;
 
@@ -132,6 +134,10 @@ pub(crate) fn expansion_vertex(ctx: &Context<'_>, input: InputKind, item: u32) -
 /// Runs one push-direction advance step: visits every out-edge of the
 /// input frontier, calls the functor's `cond`/`apply` on each (fused),
 /// and returns the output frontier per `spec.output`.
+///
+/// The step runs panic-isolated: a functor panic (or injected fault)
+/// poisons the context and returns an empty frontier instead of
+/// aborting; the enact loop's next guard check reports `Failed`.
 pub fn advance<F: AdvanceFunctor>(
     ctx: &Context<'_>,
     input: &Frontier,
@@ -144,23 +150,13 @@ pub fn advance<F: AdvanceFunctor>(
     // Near-zero-cost instrumentation: one Option check on the fast path;
     // the timer only exists when a sink is installed.
     let timer = ctx.sink().map(|_| (Instant::now(), ctx.counters.edges()));
-    let (out, strategy) = match spec.mode {
-        AdvanceMode::ThreadMapped => {
-            (push::thread_mapped(ctx, input, spec, functor), "thread_mapped")
+    let result = isolated(ctx, "advance", || {
+        if let Some(inj) = ctx.injector() {
+            inj.maybe_panic("advance");
         }
-        AdvanceMode::Twc => (push::twc(ctx, input, spec, functor), "twc"),
-        AdvanceMode::LoadBalanced => {
-            (push::load_balanced(ctx, input, spec, functor), "load_balanced")
-        }
-        AdvanceMode::Auto => {
-            let work = push::frontier_neighbor_count(ctx, input, spec.input);
-            if work as usize > ctx.config.lb_threshold {
-                (push::load_balanced(ctx, input, spec, functor), "auto:load_balanced")
-            } else {
-                (push::thread_mapped(ctx, input, spec, functor), "auto:thread_mapped")
-            }
-        }
-    };
+        dispatch(ctx, input, spec, functor)
+    });
+    let Some((out, strategy)) = result else { return Frontier::new() };
     if let (Some((start, edges0)), Some(sink)) = (timer, ctx.sink()) {
         sink.record_step(
             OperatorKind::Advance,
@@ -173,6 +169,88 @@ pub fn advance<F: AdvanceFunctor>(
         );
     }
     out
+}
+
+/// Strategy dispatch. Load-balanced selections route through the
+/// retry-with-fallback guard; the other strategies run directly.
+fn dispatch<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    input: &Frontier,
+    spec: AdvanceSpec,
+    functor: &F,
+) -> (Frontier, &'static str) {
+    match spec.mode {
+        AdvanceMode::ThreadMapped => {
+            (push::thread_mapped(ctx, input, spec, functor), "thread_mapped")
+        }
+        AdvanceMode::Twc => (push::twc(ctx, input, spec, functor), "twc"),
+        AdvanceMode::LoadBalanced => {
+            run_load_balanced(ctx, input, spec, functor, "load_balanced")
+        }
+        AdvanceMode::Auto => {
+            let work = push::frontier_neighbor_count(ctx, input, spec.input);
+            if work as usize > ctx.config.lb_threshold {
+                run_load_balanced(ctx, input, spec, functor, "auto:load_balanced")
+            } else {
+                (push::thread_mapped(ctx, input, spec, functor), "auto:thread_mapped")
+            }
+        }
+    }
+}
+
+/// Load-balanced advance behind the retry-with-fallback guard.
+///
+/// The only *recoverable* failure is the (simulated) workspace
+/// allocation failure, consulted here — **before** the functor has run
+/// on any edge, so no side effects can be duplicated by a retry. The
+/// strategy is retried up to `ctx.retry.max_retries` times (with the
+/// policy's backoff), then abandoned for the always-safe
+/// `thread_mapped` strategy, which needs no scan workspace. Every retry
+/// and fallback is recorded as a [`RecoveryKind`] event when a stats
+/// sink is installed. Failures *inside* the functor loop are not
+/// retryable (side effects have escaped) and go through panic isolation
+/// instead.
+fn run_load_balanced<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    input: &Frontier,
+    spec: AdvanceSpec,
+    functor: &F,
+    label: &'static str,
+) -> (Frontier, &'static str) {
+    if let Some(inj) = ctx.injector() {
+        let mut attempt = 0u32;
+        while inj.should_fail(FaultKind::Alloc, "advance:load_balanced") {
+            if attempt >= ctx.retry.max_retries {
+                if let Some(sink) = ctx.sink() {
+                    sink.record_recovery(
+                        "advance",
+                        RecoveryKind::Fallback,
+                        "load_balanced",
+                        "thread_mapped",
+                        format!("workspace allocation failed after {attempt} retries"),
+                    );
+                }
+                return (
+                    push::thread_mapped(ctx, input, spec, functor),
+                    "fallback:thread_mapped",
+                );
+            }
+            attempt += 1;
+            if let Some(sink) = ctx.sink() {
+                sink.record_recovery(
+                    "advance",
+                    RecoveryKind::Retry,
+                    "load_balanced",
+                    "load_balanced",
+                    format!("workspace allocation failed, retry {attempt}"),
+                );
+            }
+            if !ctx.retry.backoff.is_zero() {
+                std::thread::sleep(ctx.retry.backoff);
+            }
+        }
+    }
+    (push::load_balanced(ctx, input, spec, functor), label)
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 
 use crate::context::Context;
 use crate::functor::AdvanceFunctor;
+use crate::isolate::isolated;
 use crate::util::{concat_chunks, grain_size};
 use gunrock_engine::bitmap::AtomicBitmap;
 use gunrock_engine::config::SEQUENTIAL_CUTOFF;
@@ -47,31 +48,36 @@ pub fn advance_pull<F: AdvanceFunctor>(
     functor: &F,
 ) -> Frontier {
     let timer = ctx.sink().map(|_| (Instant::now(), ctx.counters.edges()));
-    let rev = ctx.reverse_graph();
-    let grain = grain_size(candidates.len());
-    let per_chunk: Vec<(Vec<u32>, u64)> = candidates
-        .par_chunks(grain)
-        .map(|chunk| {
-            let mut local = Vec::new();
-            let mut edges = 0u64;
-            let cols = rev.col_indices();
-            for &v in chunk {
-                for e in rev.edge_range(v) {
-                    edges += 1;
-                    let u = cols[e];
-                    if in_frontier.get(u as usize) && functor.cond_edge(u, v, e as EdgeId) {
-                        functor.apply_edge(u, v, e as EdgeId);
-                        local.push(v);
-                        break; // one valid predecessor suffices
+    let result = isolated(ctx, "advance", || {
+        if let Some(inj) = ctx.injector() {
+            inj.maybe_panic("advance:pull");
+        }
+        let rev = ctx.reverse_graph();
+        let grain = grain_size(candidates.len());
+        let per_chunk: Vec<(Vec<u32>, u64)> = candidates
+            .par_chunks(grain)
+            .map(|chunk| {
+                let mut local = Vec::new();
+                let mut edges = 0u64;
+                let cols = rev.col_indices();
+                for &v in chunk {
+                    for e in rev.edge_range(v) {
+                        edges += 1;
+                        let u = cols[e];
+                        if in_frontier.get(u as usize) && functor.cond_edge(u, v, e as EdgeId) {
+                            functor.apply_edge(u, v, e as EdgeId);
+                            local.push(v);
+                            break; // one valid predecessor suffices
+                        }
                     }
                 }
-            }
-            (local, edges)
-        })
-        .collect();
-    ctx.counters.add_edges(per_chunk.iter().map(|(_, e)| e).sum());
-    let out =
-        Frontier::from_vec(concat_chunks(per_chunk.into_iter().map(|(v, _)| v).collect()));
+                (local, edges)
+            })
+            .collect();
+        ctx.counters.add_edges(per_chunk.iter().map(|(_, e)| e).sum());
+        Frontier::from_vec(concat_chunks(per_chunk.into_iter().map(|(v, _)| v).collect()))
+    });
+    let Some(out) = result else { return Frontier::new() };
     if let (Some((start, edges0)), Some(sink)) = (timer, ctx.sink()) {
         sink.record_step(
             OperatorKind::Advance,

@@ -287,6 +287,13 @@ pub(crate) fn load_balanced_with_limit<F: AdvanceFunctor>(
     let mut out: Vec<u32> = Vec::new();
     let mut start = 0usize;
     while start < items.len() {
+        // One huge split advance must still honor the enactment's
+        // wall-clock budget: check between batches (never mid-batch, so
+        // each batch's functor effects stay complete). The enact loop's
+        // next guard check reports TimedOut.
+        if ctx.deadline_exceeded() {
+            break;
+        }
         let mut end = start;
         let mut batch_total = 0u64;
         while end < items.len() {
@@ -566,6 +573,28 @@ mod tests {
         want.sort_unstable();
         assert_eq!(got, want);
         assert_eq!(ctx.counters.edges(), 300);
+    }
+
+    #[test]
+    fn split_batches_stop_at_the_wall_clock_deadline() {
+        use crate::policy::RunPolicy;
+        // same hub shape as the split test: 50 * 100 = 5000 ranks in
+        // ~20 batches under limit 256
+        let deg = 100u32;
+        let edges: Vec<(u32, u32)> = (1..=deg).map(|d| (0, d)).collect();
+        let g = GraphBuilder::new().directed().build(Coo::from_edges(deg as usize + 1, &edges));
+        let f = Frontier::from_vec(vec![0; 50]);
+        let ctx = Context::new(&g)
+            .with_policy(RunPolicy::unbounded().wall_clock_budget(std::time::Duration::ZERO));
+        let guard = ctx.guard(); // arms the (already-expired) deadline
+        let out = load_balanced_with_limit(&ctx, &f, AdvanceSpec::v2v(), &AcceptAll, 256);
+        assert!(out.is_empty(), "expired deadline must stop before the first batch");
+        assert_eq!(guard.check(0), Some(gunrock_engine::stats::RunOutcome::TimedOut));
+
+        // without arming the guard, the same call runs to completion
+        let ctx2 = Context::new(&g);
+        let full = load_balanced_with_limit(&ctx2, &f, AdvanceSpec::v2v(), &AcceptAll, 256);
+        assert_eq!(full.len(), 5000);
     }
 
     #[test]

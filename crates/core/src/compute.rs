@@ -8,6 +8,7 @@
 //! fused into advance/filter via the functor API (§4.3).
 
 use crate::context::Context;
+use crate::isolate::isolated;
 use gunrock_engine::config::SEQUENTIAL_CUTOFF;
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::stats::OperatorKind;
@@ -52,7 +53,15 @@ where
     F: Fn(u32) + Send + Sync,
 {
     let timer = ctx.sink().map(|_| Instant::now());
-    for_each(input, op);
+    let result = isolated(ctx, "compute", || {
+        if let Some(inj) = ctx.injector() {
+            inj.maybe_panic("compute");
+        }
+        for_each(input, op);
+    });
+    if result.is_none() {
+        return;
+    }
     if let (Some(start), Some(sink)) = (timer, ctx.sink()) {
         sink.record_step(
             OperatorKind::Compute,

@@ -2,10 +2,16 @@
 //! configuration, and work counters. The analog of Gunrock's per-problem
 //! `GraphSlice` + kernel launch settings.
 
-use crate::policy::{RunGuard, RunPolicy};
+use crate::error::GunrockError;
+use crate::policy::{CheckpointPolicy, RetryPolicy, RunGuard, RunPolicy};
+use gunrock_engine::checkpoint::Checkpoint;
 use gunrock_engine::config::EngineConfig;
-use gunrock_engine::stats::{RunStats, StatsSink, WorkCounters};
+use gunrock_engine::faults::FaultInjector;
+use gunrock_engine::stats::{RecoveryKind, RunOutcome, RunStats, StatsSink, WorkCounters};
 use gunrock_graph::Csr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Everything an operator needs to run: the forward CSR, an optional
 /// reverse CSR (CSC) for pull-based traversal, engine knobs, and
@@ -22,9 +28,28 @@ pub struct Context<'g> {
     pub counters: WorkCounters,
     /// Execution bounds every enact loop honors (default: unbounded).
     pub policy: RunPolicy,
+    /// Retry bounds for recoverable operator failures (default: fall
+    /// back immediately, no retries).
+    pub retry: RetryPolicy,
     /// Optional per-operator instrumentation sink. `None` (the default)
     /// keeps operators on the fast path: one `Option` check, no timers.
     sink: Option<StatsSink>,
+    /// Optional iteration-boundary checkpointing.
+    checkpoints: Option<CheckpointPolicy>,
+    /// Optional deterministic fault injector (chaos testing).
+    injector: Option<Arc<FaultInjector>>,
+    /// Set when an operator failed; once poisoned, every guard check
+    /// returns [`RunOutcome::Failed`] so the enact loop stops at the
+    /// next operator boundary and the partial state is never read as a
+    /// complete result.
+    poisoned: AtomicBool,
+    /// The first failure that poisoned the run.
+    failure: Mutex<Option<GunrockError>>,
+    /// Wall-clock deadline armed by [`Context::guard`], checked by
+    /// long-running operators *between batches* (satellite S1). Cancel
+    /// is deliberately not part of this: cancel only takes effect at
+    /// operator boundaries so frontier state stays consistent (S2).
+    deadline: Mutex<Option<Instant>>,
 }
 
 impl<'g> Context<'g> {
@@ -36,7 +61,13 @@ impl<'g> Context<'g> {
             config: EngineConfig::default(),
             counters: WorkCounters::new(),
             policy: RunPolicy::default(),
+            retry: RetryPolicy::default(),
             sink: None,
+            checkpoints: None,
+            injector: None,
+            poisoned: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            deadline: Mutex::new(None),
         }
     }
 
@@ -67,6 +98,25 @@ impl<'g> Context<'g> {
         self
     }
 
+    /// Sets the retry bounds for recoverable operator failures.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables iteration-boundary checkpointing per `policy`.
+    pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoints = Some(policy);
+        self
+    }
+
+    /// Installs a deterministic fault injector: operators will consult
+    /// it for injected panics and simulated allocation failures.
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
     /// The instrumentation sink, if one is installed.
     #[inline]
     pub fn sink(&self) -> Option<&StatsSink> {
@@ -90,11 +140,103 @@ impl<'g> Context<'g> {
         self.sink.as_ref().map(StatsSink::snapshot).unwrap_or_default()
     }
 
-    /// Arms a [`RunGuard`] for one enactment, starting its wall clock.
+    /// Arms a guard for one enactment, starting its wall clock.
     /// Primitives call this once before their loop and check the guard
-    /// at the top of every bulk-synchronous step.
-    pub fn guard(&self) -> RunGuard<'_> {
-        self.policy.guard()
+    /// at the top of every bulk-synchronous step. The returned
+    /// [`ContextGuard`] layers poison detection over the plain
+    /// [`RunGuard`]: once an operator has failed, every check returns
+    /// [`RunOutcome::Failed`].
+    ///
+    /// Arming also publishes the wall-clock deadline so long-running
+    /// operators can honor the budget *between batches* via
+    /// [`Context::deadline_exceeded`], not just at iteration tops.
+    pub fn guard(&self) -> ContextGuard<'_> {
+        let inner = self.policy.guard();
+        if let Ok(mut slot) = self.deadline.lock() {
+            *slot = self.policy.wall_clock_budget.map(|budget| Instant::now() + budget);
+        }
+        ContextGuard { inner, poisoned: &self.poisoned }
+    }
+
+    /// True when the wall-clock budget armed by the current enactment
+    /// has been exceeded. Checked by the load-balanced advance between
+    /// batches (satellite S1) so one huge advance cannot blow far past
+    /// `--timeout-ms`. Deliberately ignores the cancel flag: cancel
+    /// takes effect only at operator boundaries (satellite S2), so a
+    /// mid-operator cancel can never leave a half-updated frontier.
+    pub fn deadline_exceeded(&self) -> bool {
+        match self.deadline.lock() {
+            Ok(slot) => slot.map(|d| Instant::now() >= d).unwrap_or(false),
+            Err(_) => false,
+        }
+    }
+
+    /// The fault injector, if one is installed.
+    #[inline]
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_deref()
+    }
+
+    /// The checkpoint policy, if checkpointing is enabled.
+    pub fn checkpoint_policy(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoints.as_ref()
+    }
+
+    /// True when a periodic checkpoint is due after `completed`
+    /// iterations. One branch when checkpointing is disabled.
+    #[inline]
+    pub fn checkpoint_due(&self, completed: u32) -> bool {
+        self.checkpoints.as_ref().map(|p| p.due(completed)).unwrap_or(false)
+    }
+
+    /// Writes `ckpt` into the checkpoint directory (created on demand)
+    /// as `<primitive>.ckpt`, atomically. A write failure never kills
+    /// the run: it is recorded as a `checkpoint-failed` RecoveryEvent
+    /// (when instrumented) and the enactment continues.
+    pub fn save_checkpoint(&self, ckpt: &Checkpoint) {
+        let Some(policy) = &self.checkpoints else { return };
+        let path = policy.path(ckpt.primitive());
+        let result = std::fs::create_dir_all(&policy.dir)
+            .map_err(gunrock_engine::checkpoint::CheckpointError::Io)
+            .and_then(|()| ckpt.save(&path));
+        if let Err(e) = result {
+            if let Some(sink) = self.sink() {
+                sink.record_recovery(
+                    "checkpoint",
+                    RecoveryKind::CheckpointFailed,
+                    "checkpoint",
+                    "none",
+                    format!("checkpoint write to {} failed: {e}", path.display()),
+                );
+            }
+        }
+    }
+
+    /// Poisons the run with `err`: the first failure wins, subsequent
+    /// ones are dropped. Every later guard check returns
+    /// [`RunOutcome::Failed`].
+    pub fn poison(&self, err: GunrockError) {
+        if let Ok(mut slot) = self.failure.lock() {
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// True once an operator failure has poisoned this context.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Removes and returns the failure that poisoned the run, if any.
+    /// The poisoned flag stays set: the partial state is still invalid.
+    pub fn take_failure(&self) -> Option<GunrockError> {
+        match self.failure.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        }
     }
 
     /// The reverse graph, panicking with a clear message if missing.
@@ -110,6 +252,31 @@ impl<'g> Context<'g> {
     /// Number of directed edges in the forward graph.
     pub fn num_edges(&self) -> usize {
         self.graph.num_edges()
+    }
+}
+
+/// One enactment's armed guard: the plain [`RunGuard`] bounds plus the
+/// context's poison flag. Once an operator has failed, every check
+/// returns [`RunOutcome::Failed`] — ahead of cancel/timeout/cap — so the
+/// enact loop stops at the next operator boundary.
+pub struct ContextGuard<'c> {
+    inner: RunGuard<'c>,
+    poisoned: &'c AtomicBool,
+}
+
+impl ContextGuard<'_> {
+    /// Returns the outcome that should end the loop, if any. Priority:
+    /// `Failed` > `Cancelled` > `TimedOut` > `IterationCapped`.
+    pub fn check(&self, completed_iterations: u32) -> Option<RunOutcome> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Some(RunOutcome::Failed);
+        }
+        self.inner.check(completed_iterations)
+    }
+
+    /// Wall time since the guard was armed.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.inner.elapsed()
     }
 }
 
@@ -133,5 +300,87 @@ mod tests {
         let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
         let ctx = Context::new(&g);
         ctx.reverse_graph();
+    }
+
+    #[test]
+    fn poison_trumps_other_guards_and_is_first_error_wins() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().max_iterations(0));
+        let guard = ctx.guard();
+        assert_eq!(guard.check(5), Some(RunOutcome::IterationCapped));
+        ctx.poison(GunrockError::OperatorPanic {
+            operator: "advance",
+            iteration: 2,
+            payload: "first".into(),
+        });
+        ctx.poison(GunrockError::AllocFailed { operator: "filter", iteration: 3 });
+        assert!(ctx.is_poisoned());
+        assert_eq!(guard.check(5), Some(RunOutcome::Failed));
+        match ctx.take_failure() {
+            Some(GunrockError::OperatorPanic { payload, .. }) => assert_eq!(payload, "first"),
+            other => panic!("expected the first error to win, got {other:?}"),
+        }
+        // taking the failure does not clear the poison
+        assert!(ctx.is_poisoned());
+        assert!(ctx.take_failure().is_none());
+    }
+
+    #[test]
+    fn deadline_tracks_wall_clock_budget_only() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let ctx = Context::new(&g);
+        let _guard = ctx.guard();
+        assert!(!ctx.deadline_exceeded(), "no budget: never exceeded");
+
+        let flag = Arc::new(AtomicBool::new(true));
+        let ctx = Context::new(&g).with_policy(
+            RunPolicy::unbounded()
+                .wall_clock_budget(std::time::Duration::ZERO)
+                .cancel_flag(flag),
+        );
+        assert!(!ctx.deadline_exceeded(), "deadline is armed only by guard()");
+        let _guard = ctx.guard();
+        assert!(ctx.deadline_exceeded(), "zero budget exceeded immediately");
+    }
+
+    #[test]
+    fn checkpoint_due_and_save_without_policy_are_noops() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let ctx = Context::new(&g);
+        assert!(!ctx.checkpoint_due(4));
+        assert!(ctx.checkpoint_policy().is_none());
+        // no policy: save is a no-op, nothing written anywhere
+        ctx.save_checkpoint(&Checkpoint::new("bfs", 1));
+
+        let dir = std::env::temp_dir().join(format!("gunrock-ctx-ckpt-{}", std::process::id()));
+        let ctx =
+            Context::new(&g).with_checkpoints(crate::policy::CheckpointPolicy::new(2, &dir));
+        assert!(!ctx.checkpoint_due(1));
+        assert!(ctx.checkpoint_due(2));
+        let mut ckpt = Checkpoint::new("bfs", 2);
+        ckpt.push_u32("labels", vec![0, 1]);
+        ctx.save_checkpoint(&ckpt);
+        let loaded = Checkpoint::load(&dir.join("bfs.ckpt")).expect("saved checkpoint loads");
+        assert_eq!(loaded.iteration(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_checkpoint_write_records_recovery_and_keeps_running() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        // A file (not a directory) as the checkpoint dir forces the write
+        // to fail while create_dir_all/save stay on normal code paths.
+        let bogus =
+            std::env::temp_dir().join(format!("gunrock-ctx-ckpt-file-{}", std::process::id()));
+        std::fs::write(&bogus, b"not a directory").expect("temp file");
+        let ctx = Context::new(&g)
+            .with_stats()
+            .with_checkpoints(crate::policy::CheckpointPolicy::new(1, &bogus));
+        ctx.save_checkpoint(&Checkpoint::new("bfs", 1));
+        assert!(!ctx.is_poisoned(), "checkpoint failure must not poison the run");
+        let stats = ctx.run_stats();
+        assert_eq!(stats.recoveries.len(), 1);
+        assert_eq!(stats.recoveries[0].kind, RecoveryKind::CheckpointFailed);
+        let _ = std::fs::remove_file(&bogus);
     }
 }

@@ -9,10 +9,9 @@
 
 use crate::advance::{self, policy::TraversalDirection, AdvanceSpec};
 use crate::compute;
-use crate::context::Context;
+use crate::context::{Context, ContextGuard};
 use crate::filter::{self, culling::CullingConfig};
 use crate::functor::{AdvanceFunctor, FilterFunctor};
-use crate::policy::RunGuard;
 use gunrock_engine::bitmap::AtomicBitmap;
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::stats::{RunOutcome, Timing};
@@ -92,13 +91,13 @@ impl<'g> Enactor<'g> {
     /// Arms the context's execution guard for this enactment. Check the
     /// returned guard at the top of every bulk-synchronous step (see
     /// [`Enactor::check_guard`] for the loop-shaped convenience).
-    pub fn guard(&self) -> RunGuard<'_> {
+    pub fn guard(&self) -> ContextGuard<'_> {
         self.ctx.guard()
     }
 
     /// Checks an armed guard against the iterations recorded so far,
     /// returning the outcome that should end the loop, if any.
-    pub fn check_guard(&self, guard: &RunGuard<'_>) -> Option<RunOutcome> {
+    pub fn check_guard(&self, guard: &ContextGuard<'_>) -> Option<RunOutcome> {
         guard.check(self.iteration)
     }
 

@@ -1,0 +1,132 @@
+//! Structured failures for the execution layer.
+//!
+//! PR 1 gave the *input* side typed errors ([`GraphError`]); this module
+//! does the same for the *execution* side. A panic inside an operator's
+//! functor loop, a (simulated) allocation failure that outlived its
+//! retries, or a broken checkpoint file all surface as a
+//! [`GunrockError`] instead of aborting the process, and the poisoned
+//! `Context` guarantees partial state is never read as a complete
+//! result.
+
+use gunrock_engine::checkpoint::CheckpointError;
+use gunrock_graph::GraphError;
+use std::fmt;
+
+/// Why a primitive execution failed.
+#[derive(Debug)]
+pub enum GunrockError {
+    /// An operator step panicked (a bug in a functor, or an injected
+    /// fault). The enclosing run is poisoned: its results are
+    /// meaningless and its outcome is `RunOutcome::Failed`.
+    OperatorPanic {
+        /// Operator family that panicked (`"advance"`, `"filter"`,
+        /// `"compute"`).
+        operator: &'static str,
+        /// Bulk-synchronous iteration the panic happened in.
+        iteration: u32,
+        /// The panic payload, stringified.
+        payload: String,
+    },
+    /// An operator's workspace allocation failed and the configured
+    /// retries (and the thread-mapped fallback, when applicable) were
+    /// exhausted.
+    AllocFailed {
+        /// Operator family that could not allocate.
+        operator: &'static str,
+        /// Bulk-synchronous iteration of the failure.
+        iteration: u32,
+    },
+    /// A checkpoint could not be written, read, or decoded.
+    Checkpoint(CheckpointError),
+    /// A graph input error (loading a dataset for resume, etc.).
+    Graph(GraphError),
+}
+
+impl fmt::Display for GunrockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GunrockError::OperatorPanic { operator, iteration, payload } => {
+                write!(f, "operator {operator} panicked in iteration {iteration}: {payload}")
+            }
+            GunrockError::AllocFailed { operator, iteration } => write!(
+                f,
+                "operator {operator} allocation failed in iteration {iteration} \
+                 (retries exhausted)"
+            ),
+            GunrockError::Checkpoint(e) => write!(f, "{e}"),
+            GunrockError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GunrockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GunrockError::Checkpoint(e) => Some(e),
+            GunrockError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for GunrockError {
+    fn from(e: CheckpointError) -> Self {
+        GunrockError::Checkpoint(e)
+    }
+}
+
+impl From<GraphError> for GunrockError {
+    fn from(e: GraphError) -> Self {
+        GunrockError::Graph(e)
+    }
+}
+
+/// Stringifies a `catch_unwind` payload: `&str` and `String` payloads
+/// (what `panic!` produces) pass through, anything else is labeled
+/// opaquely.
+pub fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_operator_and_iteration() {
+        let e = GunrockError::OperatorPanic {
+            operator: "advance",
+            iteration: 3,
+            payload: "boom".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("advance") && msg.contains("3") && msg.contains("boom"), "{msg}");
+        let e = GunrockError::AllocFailed { operator: "advance", iteration: 1 };
+        assert!(e.to_string().contains("allocation failed"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let g: GunrockError = GraphError::header("x").into();
+        assert!(matches!(g, GunrockError::Graph(_)));
+        assert!(std::error::Error::source(&g).is_some());
+        let c: GunrockError = CheckpointError::BadMagic.into();
+        assert!(matches!(c, GunrockError::Checkpoint(_)));
+    }
+
+    #[test]
+    fn payloads_stringify() {
+        let caught = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_payload_string(caught.as_ref()), "static str");
+        let caught = std::panic::catch_unwind(|| panic!("fmt {}", 7)).unwrap_err();
+        assert_eq!(panic_payload_string(caught.as_ref()), "fmt 7");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_payload_string(caught.as_ref()), "non-string panic payload");
+    }
+}

@@ -16,6 +16,7 @@
 
 use crate::context::Context;
 use crate::functor::FilterFunctor;
+use crate::isolate::isolated;
 use crate::util::{concat_chunks, grain_size};
 use gunrock_engine::bitmap::AtomicBitmap;
 use gunrock_engine::frontier::Frontier;
@@ -65,37 +66,47 @@ pub fn filter_with_culling<F: FilterFunctor>(
     cfg: CullingConfig,
 ) -> Frontier {
     let timer = ctx.sink().map(|_| Instant::now());
-    ctx.counters.add_filtered(input.len() as u64);
-    let grain = grain_size(input.len());
-    let chunks: Vec<Vec<u32>> = input
-        .as_slice()
-        .par_chunks(grain)
-        .map(|chunk| {
-            let mut local = Vec::new();
-            let mut history =
-                if cfg.history { vec![EMPTY_SLOT; 1 << cfg.history_bits] } else { Vec::new() };
-            let mask = history.len().wrapping_sub(1);
-            for &id in chunk {
-                if cfg.history {
-                    // cheap multiplicative hash into the small table
-                    let slot = (id as usize).wrapping_mul(0x9E37_79B9) & mask;
-                    if history[slot] == id {
-                        continue; // recently seen: cull
+    let result = isolated(ctx, "filter", || {
+        if let Some(inj) = ctx.injector() {
+            inj.maybe_panic("filter:culling");
+        }
+        ctx.counters.add_filtered(input.len() as u64);
+        let grain = grain_size(input.len());
+        let chunks: Vec<Vec<u32>> = input
+            .as_slice()
+            .par_chunks(grain)
+            .map(|chunk| {
+                let mut local = Vec::new();
+                let mut history = if cfg.history {
+                    vec![EMPTY_SLOT; 1 << cfg.history_bits]
+                } else {
+                    Vec::new()
+                };
+                let mask = history.len().wrapping_sub(1);
+                for &id in chunk {
+                    if cfg.history {
+                        // cheap multiplicative hash into the small table
+                        let slot = (id as usize).wrapping_mul(0x9E37_79B9) & mask;
+                        if history[slot] == id {
+                            continue; // recently seen: cull
+                        }
+                        history[slot] = id;
                     }
-                    history[slot] = id;
+                    if cfg.bitmask && visited.test_and_set(id as usize) {
+                        continue; // already discovered: cull
+                    }
+                    if functor.cond(id) {
+                        functor.apply(id);
+                        local.push(id);
+                    }
                 }
-                if cfg.bitmask && visited.test_and_set(id as usize) {
-                    continue; // already discovered: cull
-                }
-                if functor.cond(id) {
-                    functor.apply(id);
-                    local.push(id);
-                }
-            }
-            local
-        })
-        .collect();
-    let out = Frontier::from_vec(concat_chunks(chunks));
+                local
+            })
+            .collect();
+        concat_chunks(chunks)
+    });
+    let Some(merged) = result else { return Frontier::new() };
+    let out = Frontier::from_vec(merged);
     if let (Some(start), Some(sink)) = (timer, ctx.sink()) {
         sink.record_step(
             OperatorKind::Filter,

@@ -15,6 +15,7 @@ pub mod culling;
 
 use crate::context::Context;
 use crate::functor::FilterFunctor;
+use crate::isolate::isolated;
 use gunrock_engine::compact::compact_map;
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::stats::OperatorKind;
@@ -22,17 +23,25 @@ use std::time::Instant;
 
 /// Exact filter: keeps frontier elements whose `cond` holds, running
 /// `apply` on survivors (fused), preserving order via scan-compact.
+/// Panic-isolated like advance: a functor panic poisons the context and
+/// returns an empty frontier.
 pub fn filter<F: FilterFunctor>(ctx: &Context<'_>, input: &Frontier, functor: &F) -> Frontier {
     let timer = ctx.sink().map(|_| Instant::now());
-    ctx.counters.add_filtered(input.len() as u64);
-    let kept = compact_map(input.as_slice(), |&id| {
-        if functor.cond(id) {
-            functor.apply(id);
-            Some(id)
-        } else {
-            None
+    let result = isolated(ctx, "filter", || {
+        if let Some(inj) = ctx.injector() {
+            inj.maybe_panic("filter");
         }
+        ctx.counters.add_filtered(input.len() as u64);
+        compact_map(input.as_slice(), |&id| {
+            if functor.cond(id) {
+                functor.apply(id);
+                Some(id)
+            } else {
+                None
+            }
+        })
     });
+    let Some(kept) = result else { return Frontier::new() };
     let out = Frontier::from_vec(kept);
     if let (Some(start), Some(sink)) = (timer, ctx.sink()) {
         sink.record_step(

@@ -1,0 +1,99 @@
+//! Panic isolation for operator entry points.
+//!
+//! A panic inside a user functor (or an injected fault) must not abort
+//! the process: each operator family's entry point runs its body under
+//! `catch_unwind`, converts a panic into
+//! [`GunrockError::OperatorPanic`], poisons the context, and returns an
+//! empty result. The enact loop observes the poison at its next guard
+//! check and ends the run with `RunOutcome::Failed`.
+
+use crate::context::Context;
+use crate::error::{panic_payload_string, GunrockError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs one operator step under `catch_unwind`.
+///
+/// Returns `None` — without running `body` — when the context is
+/// already poisoned (a failed run must not keep executing functors on
+/// inconsistent state), and `None` after poisoning the context when
+/// `body` panics. The `AssertUnwindSafe` is sound here because a
+/// poisoned context is never read as a result: the enact loop discards
+/// all state the moment the guard reports `Failed`.
+pub(crate) fn isolated<T>(
+    ctx: &Context<'_>,
+    operator: &'static str,
+    body: impl FnOnce() -> T,
+) -> Option<T> {
+    if ctx.is_poisoned() {
+        return None;
+    }
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(out) => Some(out),
+        Err(payload) => {
+            ctx.poison(GunrockError::OperatorPanic {
+                operator,
+                iteration: current_iteration(ctx),
+                payload: panic_payload_string(payload.as_ref()),
+            });
+            None
+        }
+    }
+}
+
+/// The iteration an error should be stamped with: the sink's stamp when
+/// instrumented, the global iteration counter otherwise.
+pub(crate) fn current_iteration(ctx: &Context<'_>) -> u32 {
+    match ctx.sink() {
+        Some(sink) => sink.current_iteration(),
+        None => ctx.counters.iters() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gunrock_graph::{Coo, GraphBuilder};
+
+    fn quiet<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn panics_poison_and_preserve_payload() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let ctx = Context::new(&g);
+        let out: Option<u32> = quiet(|| isolated(&ctx, "advance", || panic!("functor bug")));
+        assert_eq!(out, None);
+        assert!(ctx.is_poisoned());
+        match ctx.take_failure() {
+            Some(GunrockError::OperatorPanic { operator, payload, .. }) => {
+                assert_eq!(operator, "advance");
+                assert_eq!(payload, "functor bug");
+            }
+            other => panic!("unexpected failure {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_context_skips_the_body() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let ctx = Context::new(&g);
+        quiet(|| isolated(&ctx, "filter", || panic!("first")));
+        let ran = std::cell::Cell::new(false);
+        let out = isolated(&ctx, "compute", || ran.set(true));
+        assert_eq!(out, None);
+        assert!(!ran.get(), "poisoned context must not run further operators");
+    }
+
+    #[test]
+    fn success_passes_through() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let ctx = Context::new(&g);
+        assert_eq!(isolated(&ctx, "compute", || 42), Some(42));
+        assert!(!ctx.is_poisoned());
+    }
+}

@@ -43,8 +43,10 @@ pub mod advance;
 pub mod compute;
 pub mod context;
 pub mod enactor;
+pub mod error;
 pub mod filter;
 pub mod functor;
+pub(crate) mod isolate;
 pub mod neighbor_reduce;
 pub mod partition;
 pub mod policy;
@@ -63,27 +65,33 @@ pub mod prelude {
         AdvanceMode, AdvanceSpec, InputKind, OutputKind,
     };
     pub use crate::compute;
-    pub use crate::context::Context;
+    pub use crate::context::{Context, ContextGuard};
     pub use crate::enactor::{Enactor, IterationRecord};
+    pub use crate::error::GunrockError;
     pub use crate::filter::{self, culling::CullingConfig};
     pub use crate::functor::{AcceptAll, AdvanceFunctor, EdgeCond, FilterFunctor, VertexCond};
     pub use crate::neighbor_reduce::neighbor_reduce;
     pub use crate::partition::{partitioned_advance, ExchangeStats, VertexPartition};
-    pub use crate::policy::{RunGuard, RunPolicy};
+    pub use crate::policy::{CheckpointPolicy, RetryPolicy, RunGuard, RunPolicy};
     pub use crate::priority_queue::NearFarQueue;
     pub use crate::problem::{enact, EnactStats, Primitive};
     pub use crate::sample::{sample, sample_k};
     pub use gunrock_engine::bitmap::AtomicBitmap;
+    pub use gunrock_engine::checkpoint::{Checkpoint, CheckpointError};
+    pub use gunrock_engine::faults::{FaultInjector, FaultKind, FaultPlan};
     pub use gunrock_engine::frontier::{Frontier, FrontierPair};
     pub use gunrock_engine::stats::{
-        OperatorKind, RunOutcome, RunStats, RunStatsSummary, StatsSink, StepDirection,
-        StepRecord, Timing, WorkCounters,
+        OperatorKind, RecoveryEvent, RecoveryKind, RunOutcome, RunStats, RunStatsSummary,
+        StatsSink, StepDirection, StepRecord, Timing, WorkCounters,
     };
     pub use gunrock_engine::EngineConfig;
 }
 
-pub use context::Context;
+pub use context::{Context, ContextGuard};
 pub use enactor::Enactor;
+pub use error::GunrockError;
 pub use functor::{AdvanceFunctor, FilterFunctor};
+pub use gunrock_engine::checkpoint::{Checkpoint, CheckpointError};
+pub use gunrock_engine::faults::{FaultInjector, FaultKind, FaultPlan};
 pub use gunrock_engine::stats::RunOutcome;
-pub use policy::{RunGuard, RunPolicy};
+pub use policy::{CheckpointPolicy, RetryPolicy, RunGuard, RunPolicy};

@@ -10,9 +10,68 @@
 //! its run as a [`RunOutcome`] alongside best-so-far results.
 
 use gunrock_engine::stats::RunOutcome;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Bounds on operator-level retries when a recoverable failure (a
+/// pre-side-effect allocation/scan failure in a `load_balanced` advance)
+/// is hit: retry the same strategy up to `max_retries` times with
+/// `backoff` between attempts, then fall back to the always-safe
+/// `thread_mapped` strategy. The default retries zero times (fall back
+/// immediately).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Same-strategy retry attempts before falling back.
+    pub max_retries: u32,
+    /// Sleep between attempts (simulating allocator pressure relief).
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// Retry `max_retries` times with no backoff.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy { max_retries, backoff: Duration::ZERO }
+    }
+
+    /// Sets the inter-attempt backoff.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
+/// Iteration-boundary checkpointing: every `every` completed iterations
+/// the enact loop snapshots frontier + problem state into
+/// `dir/<primitive>.ckpt` (atomically, `gunrock-ckpt/v1`). A guard trip
+/// (timeout, cancel, iteration cap) also snapshots on the way out, so an
+/// interrupted run always leaves a resumable checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint period in completed iterations (0 disables periodic
+    /// snapshots; the exit snapshot still happens).
+    pub every: u32,
+    /// Directory checkpoints are written into (created on demand).
+    pub dir: PathBuf,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint every `every` iterations into `dir`.
+    pub fn new(every: u32, dir: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy { every, dir: dir.into() }
+    }
+
+    /// True when a periodic snapshot is due after `completed` iterations.
+    pub fn due(&self, completed: u32) -> bool {
+        self.every > 0 && completed > 0 && completed.is_multiple_of(self.every)
+    }
+
+    /// The checkpoint file path for one primitive.
+    pub fn path(&self, primitive: &str) -> PathBuf {
+        self.dir.join(format!("{primitive}.ckpt"))
+    }
+}
 
 /// Bounds on a primitive's enact loop. The default is unbounded (the
 /// paper's run-to-convergence semantics); each bound is independent and
@@ -129,6 +188,26 @@ mod tests {
         let policy = RunPolicy::unbounded().wall_clock_budget(Duration::ZERO);
         let guard = policy.guard();
         assert_eq!(guard.check(0), Some(RunOutcome::TimedOut));
+    }
+
+    #[test]
+    fn retry_policy_builders() {
+        let p = RetryPolicy::retries(3).with_backoff(Duration::from_millis(2));
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.backoff, Duration::from_millis(2));
+        assert_eq!(RetryPolicy::default().max_retries, 0);
+    }
+
+    #[test]
+    fn checkpoint_policy_period_and_paths() {
+        let p = CheckpointPolicy::new(3, "/tmp/ckpts");
+        assert!(!p.due(0), "iteration 0 is the initial state, not progress");
+        assert!(!p.due(2));
+        assert!(p.due(3));
+        assert!(p.due(6));
+        assert_eq!(p.path("bfs"), PathBuf::from("/tmp/ckpts/bfs.ckpt"));
+        let off = CheckpointPolicy::new(0, "/tmp/ckpts");
+        assert!(!off.due(5), "every=0 disables periodic snapshots");
     }
 
     #[test]

@@ -37,6 +37,23 @@ impl NearFarQueue {
         self.pivot
     }
 
+    /// The window width the queue was created with.
+    pub fn delta(&self) -> u32 {
+        self.delta
+    }
+
+    /// The parked far-pile elements in insertion order (checkpointing).
+    pub fn far_slice(&self) -> &[u32] {
+        &self.far
+    }
+
+    /// Rebuilds a queue from checkpointed state: the window width, the
+    /// pivot at snapshot time, and the parked far pile.
+    pub fn restore(delta: u32, pivot: u32, far: Vec<u32>) -> Self {
+        assert!(delta > 0, "delta must be positive");
+        NearFarQueue { far, delta, pivot }
+    }
+
     /// Number of elements parked in the far pile.
     pub fn far_len(&self) -> usize {
         self.far.len()

@@ -24,8 +24,10 @@
 
 pub mod atomics;
 pub mod bitmap;
+pub mod checkpoint;
 pub mod compact;
 pub mod config;
+pub mod faults;
 pub mod frontier;
 pub mod json;
 pub mod reduce;

@@ -82,6 +82,9 @@ pub enum RunOutcome {
     TimedOut,
     /// The cancel flag tripped; results are best-so-far.
     Cancelled,
+    /// An operator failed (e.g. a functor panic) and the problem state
+    /// is poisoned; results must not be read as meaningful.
+    Failed,
 }
 
 impl RunOutcome {
@@ -103,6 +106,7 @@ impl std::fmt::Display for RunOutcome {
             RunOutcome::IterationCapped => "iteration-capped",
             RunOutcome::TimedOut => "timed-out",
             RunOutcome::Cancelled => "cancelled",
+            RunOutcome::Failed => "failed",
         })
     }
 }
@@ -237,6 +241,49 @@ pub struct DirectionSwitch {
     pub reason: String,
 }
 
+/// What kind of recovery action the fault-tolerance layer took.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecoveryKind {
+    /// A failed operator attempt was retried with the same strategy.
+    Retry,
+    /// A failing strategy was abandoned for the always-safe fallback
+    /// (`load_balanced` -> `thread_mapped`).
+    Fallback,
+    /// A checkpoint write failed; the run continued without it.
+    CheckpointFailed,
+}
+
+impl RecoveryKind {
+    /// Stable lowercase name used in the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryKind::Retry => "retry",
+            RecoveryKind::Fallback => "fallback",
+            RecoveryKind::CheckpointFailed => "checkpoint-failed",
+        }
+    }
+}
+
+/// One recovery action taken by the fault-tolerance layer: a retry, a
+/// strategy fallback, or a tolerated checkpoint-write failure. Fault-free
+/// runs record none (and the bench gate asserts exactly that).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryEvent {
+    /// Iteration the recovery happened in.
+    pub iteration: u32,
+    /// Operator family that failed (or `"checkpoint"`).
+    pub operator: &'static str,
+    /// What the recovery layer did.
+    pub kind: RecoveryKind,
+    /// Strategy that failed.
+    pub from_strategy: &'static str,
+    /// Strategy used after recovery (same as `from_strategy` for a
+    /// retry).
+    pub to_strategy: &'static str,
+    /// Human-readable trigger, e.g. the injected fault site.
+    pub reason: String,
+}
+
 /// Collecting sink for [`StepRecord`]s. Installed on a `Context` via
 /// `with_stats()`; operators check for it with a single `Option`
 /// dereference, so uninstrumented runs pay nothing beyond the existing
@@ -245,6 +292,7 @@ pub struct DirectionSwitch {
 pub struct StatsSink {
     steps: Mutex<Vec<StepRecord>>,
     switches: Mutex<Vec<DirectionSwitch>>,
+    recoveries: Mutex<Vec<RecoveryEvent>>,
     iteration: AtomicU32,
 }
 
@@ -302,9 +350,33 @@ impl StatsSink {
         });
     }
 
+    /// Records one recovery action (retry, fallback, tolerated
+    /// checkpoint failure), stamped with the current iteration.
+    pub fn record_recovery(
+        &self,
+        operator: &'static str,
+        kind: RecoveryKind,
+        from_strategy: &'static str,
+        to_strategy: &'static str,
+        reason: String,
+    ) {
+        self.recoveries.lock().push(RecoveryEvent {
+            iteration: self.current_iteration(),
+            operator,
+            kind,
+            from_strategy,
+            to_strategy,
+            reason,
+        });
+    }
+
     /// Copies out everything recorded so far.
     pub fn snapshot(&self) -> RunStats {
-        RunStats { steps: self.steps.lock().clone(), switches: self.switches.lock().clone() }
+        RunStats {
+            steps: self.steps.lock().clone(),
+            switches: self.switches.lock().clone(),
+            recoveries: self.recoveries.lock().clone(),
+        }
     }
 }
 
@@ -316,6 +388,9 @@ pub struct RunStats {
     pub steps: Vec<StepRecord>,
     /// Direction-optimizer decision changes.
     pub switches: Vec<DirectionSwitch>,
+    /// Recovery actions taken by the fault-tolerance layer (empty on
+    /// fault-free runs).
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl RunStats {
@@ -363,6 +438,7 @@ impl RunStats {
             compute_millis: self.operator_millis(OperatorKind::Compute),
             steps: self.steps.len() as u64,
             direction_switches: self.switches.len() as u64,
+            recovery_events: self.recoveries.len() as u64,
         }
     }
 
@@ -399,6 +475,19 @@ impl RunStats {
             j.end_object();
         }
         j.end_array();
+        j.key("recoveries");
+        j.begin_array();
+        for r in &self.recoveries {
+            j.begin_object();
+            j.field_u64("iteration", r.iteration as u64);
+            j.field_str("operator", r.operator);
+            j.field_str("kind", r.kind.name());
+            j.field_str("from_strategy", r.from_strategy);
+            j.field_str("to_strategy", r.to_strategy);
+            j.field_str("reason", &r.reason);
+            j.end_object();
+        }
+        j.end_array();
         j.end_object();
     }
 
@@ -430,6 +519,9 @@ pub struct RunStatsSummary {
     pub steps: u64,
     /// Direction-optimizer switches recorded.
     pub direction_switches: u64,
+    /// Recovery actions (retries, fallbacks, tolerated checkpoint
+    /// failures); provably zero on fault-free runs.
+    pub recovery_events: u64,
 }
 
 impl RunStatsSummary {
@@ -444,6 +536,7 @@ impl RunStatsSummary {
         j.field_f64("compute_millis", self.compute_millis);
         j.field_u64("steps", self.steps);
         j.field_u64("direction_switches", self.direction_switches);
+        j.field_u64("recovery_events", self.recovery_events);
     }
 }
 
@@ -562,6 +655,41 @@ mod tests {
         let stats = StatsSink::new().snapshot();
         assert_eq!(stats.iterations(), 0);
         assert_eq!(stats.summary(), RunStatsSummary::default());
-        assert_eq!(stats.to_json(), r#"{"steps":[],"switches":[]}"#);
+        assert_eq!(stats.to_json(), r#"{"steps":[],"switches":[],"recoveries":[]}"#);
+    }
+
+    #[test]
+    fn recoveries_are_stamped_counted_and_exported() {
+        let sink = StatsSink::new();
+        sink.next_iteration();
+        sink.record_recovery(
+            "advance",
+            RecoveryKind::Retry,
+            "load_balanced",
+            "load_balanced",
+            "injected alloc failure".into(),
+        );
+        sink.record_recovery(
+            "advance",
+            RecoveryKind::Fallback,
+            "load_balanced",
+            "thread_mapped",
+            "retries exhausted".into(),
+        );
+        let stats = sink.snapshot();
+        assert_eq!(stats.recoveries.len(), 2);
+        assert_eq!(stats.recoveries[0].iteration, 1);
+        assert_eq!(stats.recoveries[0].kind, RecoveryKind::Retry);
+        assert_eq!(stats.summary().recovery_events, 2);
+        let json = stats.to_json();
+        assert!(json.contains(r#""kind":"retry""#), "{json}");
+        assert!(json.contains(r#""to_strategy":"thread_mapped""#), "{json}");
+    }
+
+    #[test]
+    fn failed_outcome_is_partial_and_displays() {
+        assert!(RunOutcome::Failed.is_partial());
+        assert!(!RunOutcome::Failed.is_converged());
+        assert_eq!(RunOutcome::Failed.to_string(), "failed");
     }
 }

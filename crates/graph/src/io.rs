@@ -16,6 +16,94 @@ use crate::error::{GraphError, GraphResult};
 use crate::types::{EdgeId, VertexId, Weight};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A simulated read failure the loader fault hook can request: the
+/// stream is truncated after `at` bytes, or one byte is flipped. Both
+/// surface as typed [`GraphError`]s through the loaders' existing
+/// validation (truncation diagnosis, checksum mismatch, parse errors) —
+/// the injection proves those paths fire, it does not add new ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFault {
+    /// End the stream after `at` bytes, as if the file were cut short.
+    Truncate {
+        /// Byte count after which reads report EOF.
+        at: u64,
+    },
+    /// XOR the byte at offset `at` with `mask` (pass a non-zero mask).
+    Corrupt {
+        /// Byte offset to corrupt.
+        at: u64,
+        /// XOR mask applied to that byte.
+        mask: u8,
+    },
+}
+
+/// Decides whether (and how) to fault one load. Receives the path being
+/// loaded and the input length in bytes; returns `None` to read cleanly.
+pub type ReadFaultHook = dyn Fn(&str, u64) -> Option<IoFault> + Send + Sync;
+
+/// Fast-path flag for [`read_fault`]: one relaxed load when no hook is
+/// installed.
+static READ_FAULT_INSTALLED: AtomicBool = AtomicBool::new(false);
+static READ_FAULT_HOOK: Mutex<Option<Arc<ReadFaultHook>>> = Mutex::new(None);
+
+/// Installs (with `Some`) or removes (with `None`) a process-wide fault
+/// hook consulted by [`load_graph`] before reading a file. Used by the
+/// fault-injection harness (`--inject-faults io=R`) to simulate
+/// truncated and corrupted datasets deterministically.
+pub fn set_read_fault_hook(hook: Option<Arc<ReadFaultHook>>) {
+    READ_FAULT_INSTALLED.store(hook.is_some(), Ordering::Release);
+    match READ_FAULT_HOOK.lock() {
+        Ok(mut slot) => *slot = hook,
+        Err(poisoned) => *poisoned.into_inner() = hook,
+    }
+}
+
+/// Consults the installed fault hook, if any.
+fn read_fault(path: &str, len: u64) -> Option<IoFault> {
+    if !READ_FAULT_INSTALLED.load(Ordering::Acquire) {
+        return None;
+    }
+    let hook = match READ_FAULT_HOOK.lock() {
+        Ok(slot) => slot.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    };
+    hook.and_then(|h| h(path, len))
+}
+
+/// A reader that applies one [`IoFault`] to the wrapped stream.
+struct FaultyReader<R: Read> {
+    inner: R,
+    fault: IoFault,
+    pos: u64,
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.fault {
+            IoFault::Truncate { at } => {
+                let remaining = at.saturating_sub(self.pos);
+                if remaining == 0 {
+                    return Ok(0);
+                }
+                let take = buf.len().min(remaining.min(usize::MAX as u64) as usize);
+                let n = self.inner.read(&mut buf[..take])?;
+                self.pos += n as u64;
+                Ok(n)
+            }
+            IoFault::Corrupt { at, mask } => {
+                let n = self.inner.read(buf)?;
+                if at >= self.pos && at < self.pos + n as u64 {
+                    buf[(at - self.pos) as usize] ^= mask;
+                }
+                self.pos += n as u64;
+                Ok(n)
+            }
+        }
+    }
+}
 
 /// Largest admissible vertex id: `VertexId::MAX` itself is reserved for
 /// the `INVALID_VERTEX` / `INFINITY` sentinels used by the operators.
@@ -521,18 +609,33 @@ fn map_truncation(e: io::Error) -> GraphError {
 pub fn load_graph(path: &Path) -> GraphResult<Csr> {
     let file = std::fs::File::open(path)?;
     let len = file.metadata().ok().map(|m| m.len());
+    match read_fault(&path.display().to_string(), len.unwrap_or(0)) {
+        Some(fault) => {
+            // a truncated file's metadata length is the truncated length
+            let len = match fault {
+                IoFault::Truncate { at } => len.map(|l| l.min(at)),
+                IoFault::Corrupt { .. } => len,
+            };
+            load_graph_from(FaultyReader { inner: file, fault, pos: 0 }, path, len)
+        }
+        None => load_graph_from(file, path, len),
+    }
+}
+
+/// Format dispatch shared by the clean and fault-injected load paths.
+fn load_graph_from<R: Read>(reader: R, path: &Path, len: Option<u64>) -> GraphResult<Csr> {
     let csr = match path.extension().and_then(|e| e.to_str()) {
-        Some("bin") => read_csr_binary_sized(file, len)?,
+        Some("bin") => read_csr_binary_sized(reader, len)?,
         Some("gr") => {
-            let coo = read_dimacs(file)?;
+            let coo = read_dimacs(reader)?;
             crate::builder::GraphBuilder::new().build(coo)
         }
         Some("mtx") => {
-            let coo = read_matrix_market_sized(file, len)?;
+            let coo = read_matrix_market_sized(reader, len)?;
             crate::builder::GraphBuilder::new().build(coo)
         }
         _ => {
-            let coo = read_edge_list(file)?;
+            let coo = read_edge_list(reader)?;
             crate::builder::GraphBuilder::new().build(coo)
         }
     };
@@ -772,6 +875,42 @@ mod tests {
         let mid = bad.len() / 2;
         bad[mid] ^= 0x40;
         assert!(read_csr_binary(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn read_fault_hook_injects_truncation_and_corruption() {
+        let g = GraphBuilder::new().build(rmat(5, 8, Default::default(), 3));
+        let dir = std::env::temp_dir().join(format!("gunrock-iofault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("iofault-target.bin");
+        write_csr_binary(&g, std::fs::File::create(&path).unwrap()).unwrap();
+
+        // the hook keys on this test's unique file name so concurrently
+        // running tests that load other files are unaffected
+        let fault = std::sync::Arc::new(std::sync::Mutex::new(None::<IoFault>));
+        let fault_in_hook = fault.clone();
+        set_read_fault_hook(Some(Arc::new(move |p: &str, _len: u64| {
+            if p.contains("iofault-target") {
+                *fault_in_hook.lock().unwrap()
+            } else {
+                None
+            }
+        })));
+
+        // truncation surfaces as the malformed-input diagnosis
+        *fault.lock().unwrap() = Some(IoFault::Truncate { at: 30 });
+        let err = load_graph(&path).unwrap_err();
+        assert!(err.is_malformed_input(), "{err:?}");
+        // a flipped payload bit trips the checksum (or validation)
+        *fault.lock().unwrap() = Some(IoFault::Corrupt { at: 40, mask: 0x20 });
+        assert!(load_graph(&path).is_err());
+        // a hook that declines leaves the load clean
+        *fault.lock().unwrap() = None;
+        assert_eq!(load_graph(&path).unwrap().num_edges(), g.num_edges());
+
+        set_read_fault_hook(None);
+        assert_eq!(load_graph(&path).unwrap().num_vertices(), g.num_vertices());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

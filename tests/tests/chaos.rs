@@ -1,0 +1,248 @@
+//! Chaos suite: seeded fault schedules against all five paper
+//! primitives.
+//!
+//! The robustness contract under test: with a [`FaultInjector`] armed,
+//! every run either
+//!
+//! 1. fails with a *structured* error (`GunrockError::OperatorPanic`
+//!    surfaced through the `try_*` wrappers — never a process abort), or
+//! 2. completes with results **identical** to the fault-free run (alloc
+//!    faults are absorbed by retry-with-fallback; a panic schedule that
+//!    happens never to fire changes nothing).
+//!
+//! Every schedule derives from a `u64` seed, so a failing seed printed
+//! by an assertion reproduces the exact same fault sequence.
+
+use gunrock::prelude::*;
+use gunrock_algos as algos;
+use gunrock_graph::generators::{self, rmat};
+use gunrock_graph::{Csr, GraphBuilder};
+use std::sync::Arc;
+
+/// Silences the default panic printer for injected faults only, so the
+/// suite's output is not hundreds of intentional backtraces. Installed
+/// once per process; genuine panics still print through the previous
+/// hook.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected fault") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The chaos input: a scale-8 Kronecker graph, the paper's topology
+/// class, big enough for multi-level traversals and skewed degrees.
+fn kron8() -> Csr {
+    GraphBuilder::new().random_weights(1, 64, 42).build(rmat(
+        8,
+        8,
+        generators::RmatParams::graph500(),
+        42,
+    ))
+}
+
+fn faulted<'g>(g: &'g Csr, plan: FaultPlan, retries: u32) -> Context<'g> {
+    Context::new(g)
+        .with_reverse(g)
+        .with_stats()
+        .with_retry(RetryPolicy::retries(retries))
+        .with_faults(Arc::new(FaultInjector::new(plan)))
+}
+
+/// Asserts that `err` is the structured operator-panic error carrying
+/// the injection site, not some stringly or default failure.
+fn assert_structured(seed: u64, prim: &str, err: &GunrockError) {
+    match err {
+        GunrockError::OperatorPanic { operator, payload, .. } => {
+            assert!(
+                ["advance", "filter", "compute"].contains(operator),
+                "seed {seed} {prim}: unexpected operator {operator:?}"
+            );
+            assert!(
+                payload.contains("injected fault"),
+                "seed {seed} {prim}: unexpected payload {payload:?}"
+            );
+        }
+        other => panic!("seed {seed} {prim}: expected OperatorPanic, got {other:?}"),
+    }
+}
+
+/// 60 seeded runs (12 seeds x 5 primitives) under a mixed
+/// panic-plus-alloc schedule: every run is either a structured error or
+/// bit-identical to the fault-free baseline. Zero process aborts, by
+/// virtue of this test completing at all.
+#[test]
+fn every_faulted_run_fails_structured_or_matches_fault_free() {
+    quiet_injected_panics();
+    let g = kron8();
+    let base_ctx = Context::new(&g).with_reverse(&g);
+    let bfs0 = algos::bfs(&base_ctx, 0, algos::BfsOptions::direction_optimized());
+    let sssp0 = algos::sssp(&base_ctx, 0, algos::SsspOptions::default());
+    let bc0 = algos::bc(&base_ctx, 0, algos::BcOptions::default());
+    let cc0 = algos::cc(&base_ctx);
+    let pr0 = algos::pagerank(&base_ctx, algos::PrOptions::default());
+
+    let mut failed = 0u32;
+    let mut clean = 0u32;
+    for seed in 0..12u64 {
+        let plan = FaultPlan::parse("panic=0.02,alloc=0.3", seed).expect("valid spec");
+        for prim in ["bfs", "sssp", "bc", "cc", "pagerank"] {
+            let ctx = faulted(&g, plan, 1);
+            let outcome = match prim {
+                "bfs" => algos::try_bfs(&ctx, 0, algos::BfsOptions::direction_optimized())
+                    .map(|r| {
+                        assert_eq!(r.labels, bfs0.labels, "seed {seed}: bfs labels diverged");
+                        assert_eq!(r.preds, bfs0.preds, "seed {seed}: bfs preds diverged");
+                    })
+                    .map_err(|e| (e, "bfs")),
+                "sssp" => algos::try_sssp(&ctx, 0, algos::SsspOptions::default())
+                    .map(|r| {
+                        assert_eq!(r.dist, sssp0.dist, "seed {seed}: sssp dist diverged");
+                    })
+                    .map_err(|e| (e, "sssp")),
+                "bc" => algos::try_bc(&ctx, 0, algos::BcOptions::default())
+                    .map(|r| {
+                        let got: Vec<u64> = r.bc_values.iter().map(|v| v.to_bits()).collect();
+                        let want: Vec<u64> =
+                            bc0.bc_values.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(got, want, "seed {seed}: bc values diverged");
+                    })
+                    .map_err(|e| (e, "bc")),
+                "cc" => algos::try_cc(&ctx)
+                    .map(|r| {
+                        assert_eq!(r.labels, cc0.labels, "seed {seed}: cc labels diverged");
+                    })
+                    .map_err(|e| (e, "cc")),
+                _ => algos::try_pagerank(&ctx, algos::PrOptions::default())
+                    .map(|r| {
+                        let got: Vec<u64> = r.scores.iter().map(|v| v.to_bits()).collect();
+                        let want: Vec<u64> = pr0.scores.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(got, want, "seed {seed}: pagerank scores diverged");
+                    })
+                    .map_err(|e| (e, "pagerank")),
+            };
+            match outcome {
+                Ok(()) => clean += 1,
+                Err((e, p)) => {
+                    assert_structured(seed, p, &e);
+                    failed += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(failed + clean, 60);
+    // the 2% panic rate must actually exercise both branches across
+    // 60 runs; an all-clean or all-failed sweep means the injector is
+    // not wired into the operator path
+    assert!(failed > 0, "no run hit an injected panic");
+    assert!(clean > 0, "every run hit an injected panic");
+}
+
+/// Pure alloc-fault schedules are always absorbed: load-balanced
+/// advances retry and fall back to thread_mapped, the run converges
+/// with identical results, and each absorbed fault is visible as a
+/// RecoveryEvent in the stats sink.
+#[test]
+fn alloc_faults_are_absorbed_by_retry_with_fallback() {
+    quiet_injected_panics();
+    let g = kron8();
+    let base_ctx = Context::new(&g).with_reverse(&g);
+    let bfs0 = algos::bfs(&base_ctx, 0, algos::BfsOptions::direction_optimized());
+    let mut recovered = 0u64;
+    for seed in 100..110u64 {
+        let plan = FaultPlan::parse("alloc=0.8", seed).expect("valid spec");
+        // force the load-balanced strategy (the one with an allocation
+        // site) even on this small graph
+        let ctx = faulted(&g, plan, 2).with_config(EngineConfig::new().with_lb_threshold(0));
+        let r = algos::try_bfs(&ctx, 0, algos::BfsOptions::direction_optimized())
+            .unwrap_or_else(|e| panic!("seed {seed}: alloc faults must be recoverable: {e}"));
+        assert_eq!(r.labels, bfs0.labels, "seed {seed}");
+        recovered += ctx.run_stats().summary().recovery_events;
+    }
+    assert!(recovered > 0, "an 80% alloc rate must trigger retries or fallbacks");
+}
+
+/// A fault-free context reports zero recovery events — the absence
+/// check backing the bench export's `recovery_events` column.
+#[test]
+fn fault_free_runs_report_zero_recovery_events() {
+    let g = kron8();
+    let ctx = Context::new(&g).with_reverse(&g).with_stats();
+    algos::bfs(&ctx, 0, algos::BfsOptions::direction_optimized());
+    algos::sssp(&ctx, 0, algos::SsspOptions::default());
+    algos::pagerank(&ctx, algos::PrOptions::default());
+    let summary = ctx.run_stats().summary();
+    assert_eq!(summary.recovery_events, 0);
+}
+
+/// Injected loader faults (truncation and corruption) surface as typed
+/// [`gunrock_graph::error::GraphError`]s through the file loaders,
+/// never as panics or silently wrong graphs.
+#[test]
+fn loader_faults_surface_as_graph_errors() {
+    use gunrock_graph::io;
+    let g = kron8();
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("gunrock_chaos_io_{}.bin", std::process::id()));
+    let mut bytes = Vec::new();
+    io::write_csr_binary(&g, &mut bytes).expect("in-memory write");
+    std::fs::write(&path, &bytes).expect("write fixture");
+
+    // sanity: the fixture round-trips when no hook is installed
+    let clean = io::load_graph(&path).expect("clean load");
+    assert_eq!(clean.num_vertices(), g.num_vertices());
+
+    let inj = Arc::new(FaultInjector::new(FaultPlan::parse("io=1.0", 7).expect("valid spec")));
+    for mode in 0..2u64 {
+        let h = Arc::clone(&inj);
+        io::set_read_fault_hook(Some(Arc::new(move |site: &str, len: u64| {
+            if !h.should_fail(FaultKind::Io, site) {
+                return None;
+            }
+            Some(if mode == 0 {
+                // keep a prefix so the loader sees a plausible header
+                io::IoFault::Truncate { at: len / 2 }
+            } else {
+                io::IoFault::Corrupt { at: h.uniform(site, len), mask: 0xff }
+            })
+        })));
+        let result = io::load_graph(&path);
+        io::set_read_fault_hook(None);
+        assert!(result.is_err(), "mode {mode}: a damaged read must not produce a graph");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The whole suite once more on varied topologies: one seed per graph
+/// shape, BFS + CC (the frontier-heavy and filter-only extremes).
+#[test]
+fn fault_schedules_hold_across_topologies() {
+    quiet_injected_panics();
+    for (i, (name, g)) in gunrock_integration::graph_suite().into_iter().enumerate() {
+        let base = Context::new(&g).with_reverse(&g);
+        let bfs0 = algos::bfs(&base, 0, algos::BfsOptions::default());
+        let cc0 = algos::cc(&base);
+        let plan = FaultPlan::parse("panic=0.05,alloc=0.5", 1000 + i as u64).expect("spec");
+        let ctx = faulted(&g, plan, 1);
+        match algos::try_bfs(&ctx, 0, algos::BfsOptions::default()) {
+            Ok(r) => assert_eq!(r.labels, bfs0.labels, "{name}"),
+            Err(e) => assert_structured(1000 + i as u64, "bfs", &e),
+        }
+        let ctx = faulted(&g, FaultPlan::parse("panic=0.05", 2000 + i as u64).unwrap(), 0);
+        match algos::try_cc(&ctx) {
+            Ok(r) => assert_eq!(r.labels, cc0.labels, "{name}"),
+            Err(e) => assert_structured(2000 + i as u64, "cc", &e),
+        }
+    }
+}

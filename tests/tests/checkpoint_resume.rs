@@ -1,0 +1,232 @@
+//! Kill-and-resume round trips for all five paper primitives.
+//!
+//! Each test interrupts a run at an iteration boundary (via the
+//! iteration-cap guard, standing in for a timeout or kill), which
+//! leaves a `gunrock-ckpt/v1` snapshot behind, then resumes from that
+//! file in a fresh context and demands results **bit-identical** to an
+//! uninterrupted run — including `f64` payloads, which the sequential
+//! engine makes exactly reproducible.
+
+use gunrock::prelude::*;
+use gunrock_algos as algos;
+use gunrock_graph::generators::{self, rmat};
+use gunrock_graph::{Csr, GraphBuilder};
+
+/// Scale-10 Kronecker graph: enough levels that a 2-iteration cap
+/// interrupts every primitive mid-flight.
+fn kron10() -> Csr {
+    GraphBuilder::new().random_weights(1, 64, 42).build(rmat(
+        10,
+        8,
+        generators::RmatParams::graph500(),
+        42,
+    ))
+}
+
+fn ckpt_dir(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gunrock_resume_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+/// Interrupts `primitive` after `cap` iterations with `every`-periodic
+/// checkpointing on, and returns the loaded exit snapshot.
+fn interrupt<'g, R>(
+    g: &'g Csr,
+    dir: &std::path::Path,
+    primitive: &str,
+    cap: u32,
+    run: impl FnOnce(&Context<'g>) -> (R, RunOutcome),
+) -> Checkpoint {
+    let ctx = Context::new(g)
+        .with_reverse(g)
+        .with_policy(RunPolicy::unbounded().max_iterations(cap))
+        .with_checkpoints(CheckpointPolicy::new(1, dir));
+    let (_, outcome) = run(&ctx);
+    assert_eq!(outcome, RunOutcome::IterationCapped, "{primitive}");
+    let path = CheckpointPolicy::new(1, dir).path(primitive);
+    let ckpt = Checkpoint::load(&path).expect("interrupted run leaves a checkpoint");
+    assert_eq!(ckpt.primitive(), primitive);
+    assert!(ckpt.iteration() > 0);
+    ckpt
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn bfs_resume_is_bit_identical() {
+    let g = kron10();
+    let dir = ckpt_dir("bfs");
+    let opts = algos::BfsOptions::direction_optimized();
+    let full = algos::bfs(&Context::new(&g).with_reverse(&g), 0, opts);
+    let ckpt = interrupt(&g, &dir, "bfs", 2, |ctx| {
+        let r = algos::bfs(ctx, 0, opts);
+        (r.labels, r.outcome)
+    });
+    let ctx = Context::new(&g).with_reverse(&g);
+    let r = algos::bfs_resume(&ctx, opts, &ckpt).expect("resume");
+    assert_eq!(r.outcome, RunOutcome::Converged);
+    assert_eq!(r.labels, full.labels);
+    assert_eq!(r.preds, full.preds);
+    // total level count is preserved across the interruption
+    assert_eq!(r.iterations, full.iterations);
+    assert_eq!(r.pull_iterations, full.pull_iterations);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sssp_resume_is_bit_identical() {
+    let g = kron10();
+    let dir = ckpt_dir("sssp");
+    let opts = algos::SsspOptions::default();
+    let full = algos::sssp(&Context::new(&g), 0, opts);
+    let ckpt = interrupt(&g, &dir, "sssp", 2, |ctx| {
+        let r = algos::sssp(ctx, 0, opts);
+        (r.dist, r.outcome)
+    });
+    let r = algos::sssp_resume(&Context::new(&g), opts, &ckpt).expect("resume");
+    assert_eq!(r.outcome, RunOutcome::Converged);
+    assert_eq!(r.dist, full.dist);
+    assert_eq!(r.iterations, full.iterations);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sssp_priority_queue_resume_is_bit_identical() {
+    let g = kron10();
+    let dir = ckpt_dir("sssp_pq");
+    let opts = algos::SsspOptions { use_priority_queue: true, ..Default::default() };
+    let full = algos::sssp(&Context::new(&g), 0, opts);
+    let ckpt = interrupt(&g, &dir, "sssp", 3, |ctx| {
+        let r = algos::sssp(ctx, 0, opts);
+        (r.dist, r.outcome)
+    });
+    // the checkpoint restores the near-far queue (delta, pivot, far
+    // pile); options are taken from the snapshot, not the caller
+    let r = algos::sssp_resume(&Context::new(&g), algos::SsspOptions::default(), &ckpt)
+        .expect("resume");
+    assert_eq!(r.outcome, RunOutcome::Converged);
+    assert_eq!(r.dist, full.dist);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bc_resume_is_bit_identical() {
+    let g = kron10();
+    let dir = ckpt_dir("bc");
+    let opts = algos::BcOptions::default();
+    let full = algos::bc(&Context::new(&g), 0, opts);
+    // cap 2 lands inside the forward sweep; a cap two short of the full
+    // iteration count lands in the backward sweep — both phases restore
+    assert!(full.iterations > 4, "graph too shallow to interrupt both phases");
+    for cap in [2u32, full.iterations - 2] {
+        let ckpt = interrupt(&g, &dir, "bc", cap, |ctx| {
+            let r = algos::bc(ctx, 0, opts);
+            (r.iterations, r.outcome)
+        });
+        let r = algos::bc_resume(&Context::new(&g), opts, &ckpt).expect("resume");
+        assert_eq!(r.outcome, RunOutcome::Converged, "cap {cap}");
+        assert_eq!(bits(&r.bc_values), bits(&full.bc_values), "cap {cap}");
+        assert_eq!(bits(&r.sigmas), bits(&full.sigmas), "cap {cap}");
+        assert_eq!(r.labels, full.labels, "cap {cap}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cc_resume_is_bit_identical() {
+    let g = kron10();
+    let dir = ckpt_dir("cc");
+    let full = algos::cc(&Context::new(&g));
+    let ckpt = interrupt(&g, &dir, "cc", 1, |ctx| {
+        let r = algos::cc(ctx);
+        (r.labels, r.outcome)
+    });
+    let r = algos::cc_resume(&Context::new(&g), &ckpt).expect("resume");
+    assert_eq!(r.outcome, RunOutcome::Converged);
+    assert_eq!(r.labels, full.labels);
+    assert_eq!(r.num_components, full.num_components);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pagerank_resume_is_bit_identical() {
+    let g = kron10();
+    let dir = ckpt_dir("pagerank");
+    let opts = algos::PrOptions::default();
+    let full = algos::pagerank(&Context::new(&g), opts);
+    let ckpt = interrupt(&g, &dir, "pagerank", 3, |ctx| {
+        let r = algos::pagerank(ctx, opts);
+        (r.iterations, r.outcome)
+    });
+    // damping/epsilon come from the snapshot; a caller passing
+    // different knobs cannot skew the resumed run
+    let wrong = algos::PrOptions { damping: 0.5, epsilon: 1e-2, ..Default::default() };
+    let r = algos::pagerank_resume(&Context::new(&g), wrong, &ckpt).expect("resume");
+    assert_eq!(r.outcome, RunOutcome::Converged);
+    assert_eq!(bits(&r.scores), bits(&full.scores));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The typed dispatcher routes a snapshot to the right primitive, and
+/// rejects snapshots that name an unknown one.
+#[test]
+fn resume_dispatcher_routes_by_primitive() {
+    let g = kron10();
+    let dir = ckpt_dir("dispatch");
+    let full = algos::cc(&Context::new(&g));
+    let ckpt = interrupt(&g, &dir, "cc", 1, |ctx| {
+        let r = algos::cc(ctx);
+        (r.labels, r.outcome)
+    });
+    match algos::resume(&Context::new(&g), &ckpt).expect("dispatch") {
+        algos::ResumedRun::Cc(r) => assert_eq!(r.labels, full.labels),
+        other => panic!("dispatched to the wrong primitive: {:?}", other.outcome()),
+    }
+    let bogus = Checkpoint::new("frobnicate", 3);
+    assert!(algos::resume(&Context::new(&g), &bogus).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Periodic snapshots are also resumable on their own — not just the
+/// exit snapshot: resuming the *mid-run* file converges to the same
+/// fixpoint even though later iterations overwrote it in the
+/// interrupted run.
+#[test]
+fn periodic_snapshot_resumes_too() {
+    let g = kron10();
+    let dir = ckpt_dir("periodic");
+    let opts = algos::BfsOptions::default();
+    let full = algos::bfs(&Context::new(&g).with_reverse(&g), 0, opts);
+    // checkpoint every iteration, stop at 3: the surviving file is the
+    // exit snapshot at iteration 3; delete nothing and resume it
+    let ckpt = interrupt(&g, &dir, "bfs", 3, |ctx| {
+        let r = algos::bfs(ctx, 0, opts);
+        (r.labels, r.outcome)
+    });
+    let bytes = ckpt.encode();
+    let reread = Checkpoint::decode(&bytes).expect("encode/decode round trip");
+    let r =
+        algos::bfs_resume(&Context::new(&g).with_reverse(&g), opts, &reread).expect("resume");
+    assert_eq!(r.labels, full.labels);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A snapshot from one graph must not silently resume on another: the
+/// defensive decoder rejects out-of-range state instead of panicking.
+#[test]
+fn resume_on_the_wrong_graph_is_a_structured_error() {
+    let g = kron10();
+    let small = GraphBuilder::new().build(gunrock_graph::Coo::from_edges(2, &[(0, 1)]));
+    let dir = ckpt_dir("wronggraph");
+    let ckpt = interrupt(&g, &dir, "bfs", 2, |ctx| {
+        let r = algos::bfs(ctx, 0, algos::BfsOptions::default());
+        (r.labels, r.outcome)
+    });
+    let err = algos::bfs_resume(&Context::new(&small), algos::BfsOptions::default(), &ckpt);
+    assert!(err.is_err(), "a 1024-vertex snapshot cannot drive a 2-vertex graph");
+    std::fs::remove_dir_all(&dir).ok();
+}

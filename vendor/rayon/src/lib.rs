@@ -17,10 +17,51 @@
 #![allow(clippy::all)]
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 thread_local! {
     /// Thread count of the innermost `ThreadPool::install` scope, if any.
     static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Fast-path flag: is a job-start hook installed? Checked with one
+/// relaxed load before touching the mutex, so the hook costs nothing
+/// when absent.
+static JOB_HOOK_INSTALLED: AtomicBool = AtomicBool::new(false);
+/// The process-wide job-start hook (fault injection uses this to panic
+/// "inside a worker" deterministically).
+static JOB_HOOK: Mutex<Option<Arc<dyn Fn() + Send + Sync>>> = Mutex::new(None);
+
+/// Installs (with `Some`) or removes (with `None`) a process-wide hook
+/// invoked at the start of every terminal parallel operation
+/// (`for_each`, `reduce`, `collect`, ...). Real rayon has no such API;
+/// the shim grows it so a fault-injection harness can simulate worker
+/// panics at job granularity. The hook may panic — the panic propagates
+/// out of the parallel call exactly like a worker panic would.
+pub fn set_job_start_hook(hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+    JOB_HOOK_INSTALLED.store(hook.is_some(), Ordering::Release);
+    match JOB_HOOK.lock() {
+        Ok(mut slot) => *slot = hook,
+        Err(poisoned) => *poisoned.into_inner() = hook,
+    }
+}
+
+/// Runs the installed job-start hook, if any. Called by every terminal
+/// operation; one relaxed atomic load when no hook is installed.
+#[inline]
+fn job_start() {
+    if JOB_HOOK_INSTALLED.load(Ordering::Acquire) {
+        let hook = match JOB_HOOK.lock() {
+            Ok(slot) => slot.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        // the lock is released before the hook runs, so a panicking hook
+        // cannot poison the slot for subsequent jobs
+        if let Some(h) = hook {
+            h();
+        }
+    }
 }
 
 /// Number of worker threads the pool would use. The shim reports the
@@ -114,6 +155,7 @@ where
     A: FnOnce() -> RA,
     B: FnOnce() -> RB,
 {
+    job_start();
     (a(), b())
 }
 
@@ -224,10 +266,12 @@ impl<I: Iterator> ParIter<I> {
     where
         F: FnMut(I::Item),
     {
+        job_start();
         self.0.for_each(f)
     }
 
     pub fn count(self) -> usize {
+        job_start();
         self.0.count()
     }
 
@@ -235,6 +279,7 @@ impl<I: Iterator> ParIter<I> {
     where
         S: std::iter::Sum<I::Item>,
     {
+        job_start();
         self.0.sum()
     }
 
@@ -274,6 +319,7 @@ impl<I: Iterator> ParIter<I> {
         ID: Fn() -> T,
         OP: Fn(T, T) -> T,
     {
+        job_start();
         self.0.fold(identity(), op)
     }
 
@@ -292,6 +338,7 @@ impl<I: Iterator> ParIter<I> {
     where
         C: FromIterator<I::Item>,
     {
+        job_start();
         self.0.collect()
     }
 
@@ -479,5 +526,25 @@ mod tests {
     fn pool_zero_threads_means_automatic() {
         let pool = crate::ThreadPoolBuilder::new().build().unwrap();
         assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn job_start_hook_fires_per_terminal_op_and_uninstalls() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = fired.clone();
+        crate::set_job_start_hook(Some(Arc::new(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })));
+        let v = vec![1u32, 2, 3];
+        let _: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        v.par_iter().for_each(|_| {});
+        let _: u32 = v.par_iter().copied().sum();
+        let n = fired.load(Ordering::Relaxed);
+        assert!(n >= 3, "hook fired {n} times for 3 terminal ops");
+        crate::set_job_start_hook(None);
+        v.par_iter().for_each(|_| {});
+        assert_eq!(fired.load(Ordering::Relaxed), n, "hook fired after uninstall");
     }
 }
