@@ -70,6 +70,8 @@ struct ForwardSigma<'a> {
 impl AdvanceFunctor for ForwardSigma<'_> {
     #[inline]
     fn cond_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
+        // ORDERING: Relaxed — racing writers store identical values (idempotent
+        // level discovery); the join barrier between iterations publishes them.
         if self.depth[dst as usize].load(Ordering::Relaxed) == INFINITY {
             let _ = self.depth[dst as usize].compare_exchange(
                 INFINITY,
@@ -80,7 +82,7 @@ impl AdvanceFunctor for ForwardSigma<'_> {
         }
         if self.depth[dst as usize].load(Ordering::Relaxed) == self.level {
             // every shortest-path edge contributes its source's count
-            self.sigma[dst as usize].fetch_add(self.sigma[src as usize].load());
+            let _ = self.sigma[dst as usize].fetch_add(self.sigma[src as usize].load());
             true
         } else {
             false
@@ -101,10 +103,12 @@ struct BackwardDelta<'a> {
 impl AdvanceFunctor for BackwardDelta<'_> {
     #[inline]
     fn cond_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
+        // ORDERING: Relaxed — racing writers store identical values (idempotent
+        // level discovery); the join barrier between iterations publishes them.
         if self.depth[dst as usize].load(Ordering::Relaxed) == self.level + 1 {
             let s = self.sigma[src as usize].load() / self.sigma[dst as usize].load()
                 * (1.0 + self.delta[dst as usize].load());
-            self.delta[src as usize].fetch_add(s);
+            let _ = self.delta[src as usize].fetch_add(s);
         }
         false // effect-only: no output frontier
     }
@@ -119,6 +123,8 @@ struct ClaimLevel<'a> {
 impl FilterFunctor for ClaimLevel<'_> {
     #[inline]
     fn cond(&self, v: u32) -> bool {
+        // ORDERING: Relaxed — racing writers store identical values (idempotent
+        // level discovery); the join barrier between iterations publishes them.
         self.tags[v as usize].swap(self.level, Ordering::Relaxed) != self.level
     }
 }
@@ -187,6 +193,8 @@ pub fn bc(ctx: &Context<'_>, src: VertexId, opts: BcOptions) -> BcResult {
     let n = ctx.num_vertices();
     assert!((src as usize) < n, "source out of range");
     let depth = atomic_u32_vec(n, INFINITY);
+    // ORDERING: Relaxed — racing writers store identical values (idempotent
+    // level discovery); the join barrier between iterations publishes them.
     depth[src as usize].store(0, Ordering::Relaxed);
     let sigma: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
     sigma[src as usize].store(1.0);
@@ -317,6 +325,8 @@ fn bc_run(ctx: &Context<'_>, src: VertexId, opts: BcOptions, st: BcLoop) -> BcRe
             ctx.end_iteration(false);
             let f = ForwardSigma { depth: &depth, sigma: &sigma, level };
             let spec = AdvanceSpec::v2v().with_mode(opts.mode);
+            // LINT-ALLOW(panic): `levels` starts with the source level and only
+            // ever grows, so `last()` cannot fail.
             let raw = advance::advance(ctx, levels.last().unwrap(), spec, &f);
             let next = filter::filter(ctx, &raw, &ClaimLevel { tags: &tags, level });
             if next.is_empty() {

@@ -161,6 +161,8 @@ impl BfsState<'_> {
     #[inline]
     fn set_pred(&self, dst: VertexId, src: VertexId) {
         if let Some(p) = self.preds {
+            // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
+            // (idempotent discovery); the rayon join barrier publishes each level.
             p[dst as usize].store(src, Ordering::Relaxed);
         }
     }
@@ -176,6 +178,8 @@ impl AdvanceFunctor for AtomicDiscover<'_> {
     #[inline]
     fn cond_edge(&self, _src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
         self.st.labels[dst as usize]
+            // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
+            // (idempotent discovery); the rayon join barrier publishes each level.
             .compare_exchange(INFINITY, self.level, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
     }
@@ -198,6 +202,8 @@ struct IdempotentExpand<'a> {
 impl AdvanceFunctor for IdempotentExpand<'_> {
     #[inline]
     fn cond_edge(&self, _src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
+        // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
+        // (idempotent discovery); the rayon join barrier publishes each level.
         self.st.labels[dst as usize].load(Ordering::Relaxed) == INFINITY
     }
     #[inline]
@@ -220,6 +226,8 @@ impl FilterFunctor for ContractLabel<'_> {
     }
     #[inline]
     fn apply(&self, v: u32) {
+        // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
+        // (idempotent discovery); the rayon join barrier publishes each level.
         self.labels[v as usize].store(self.level, Ordering::Relaxed);
     }
 }
@@ -235,10 +243,14 @@ struct PullDiscover<'a> {
 impl AdvanceFunctor for PullDiscover<'_> {
     #[inline]
     fn cond_edge(&self, _src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
+        // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
+        // (idempotent discovery); the rayon join barrier publishes each level.
         self.st.labels[dst as usize].load(Ordering::Relaxed) == INFINITY
     }
     #[inline]
     fn apply_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) {
+        // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
+        // (idempotent discovery); the rayon join barrier publishes each level.
         self.st.labels[dst as usize].store(self.level, Ordering::Relaxed);
         self.st.set_pred(dst, src);
     }
@@ -273,6 +285,8 @@ fn direction_tag(d: TraversalDirection) -> u32 {
 fn rebuild_visited(labels: &[AtomicU32]) -> AtomicBitmap {
     let bm = AtomicBitmap::new(labels.len());
     for (v, l) in labels.iter().enumerate() {
+        // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
+        // (idempotent discovery); the rayon join barrier publishes each level.
         if l.load(Ordering::Relaxed) != INFINITY {
             bm.set(v);
         }
@@ -329,6 +343,8 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
     let n = ctx.num_vertices();
     assert!((src as usize) < n, "source out of range");
     let labels = atomic_u32_vec(n, INFINITY);
+    // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
+    // (idempotent discovery); the rayon join barrier publishes each level.
     labels[src as usize].store(0, Ordering::Relaxed);
     let unvisited = match opts.variant {
         BfsVariant::DirectionOptimized => (0..n as u32).filter(|&v| v != src).collect(),
@@ -588,6 +604,8 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                         };
                         // prune candidates already labeled, then pull
                         unvisited = compact(&unvisited, |&v| {
+                            // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
+                            // (idempotent discovery); the rayon join barrier publishes each level.
                             labels[v as usize].load(Ordering::Relaxed) == INFINITY
                         });
                         let bm = frontier_bitmap(n, &frontier);

@@ -41,7 +41,7 @@ impl AdvanceFunctor for Accumulate<'_> {
     fn cond_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
         let n = self.norm[src as usize];
         if n > 0.0 {
-            self.sink[dst as usize].fetch_add(self.source_score[src as usize] / n);
+            let _ = self.sink[dst as usize].fetch_add(self.source_score[src as usize] / n);
         }
         false
     }
@@ -176,7 +176,7 @@ pub fn personalized_pagerank(
             #[inline]
             fn cond_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
                 let deg = self.g.out_degree(src) as f64;
-                self.acc[dst as usize]
+                let _ = self.acc[dst as usize]
                     .fetch_add(self.damping * self.residual[src as usize] / deg);
                 false
             }

@@ -56,6 +56,8 @@ impl FilterFunctor for Hook<'_> {
     fn cond(&self, e: u32) -> bool {
         let u = self.edge_src[e as usize] as usize;
         let v = self.edge_dst[e as usize] as usize;
+        // ORDERING: Relaxed — hook/pointer-jump updates are monotonic fetch_min
+        // races; only the eventual minimum matters and join barriers order rounds.
         let lu = self.labels[u].load(Ordering::Relaxed);
         let lv = self.labels[v].load(Ordering::Relaxed);
         if lu == lv {
@@ -78,6 +80,8 @@ struct Jump<'a> {
 impl FilterFunctor for Jump<'_> {
     #[inline]
     fn cond(&self, v: u32) -> bool {
+        // ORDERING: Relaxed — hook/pointer-jump updates are monotonic fetch_min
+        // races; only the eventual minimum matters and join barriers order rounds.
         let l = self.labels[v as usize].load(Ordering::Relaxed);
         let ll = self.labels[l as usize].load(Ordering::Relaxed);
         if ll < l {
@@ -133,6 +137,8 @@ fn cc_checkpoint(
 pub fn cc(ctx: &Context<'_>) -> CcResult {
     let n = ctx.num_vertices();
     let labels = atomic_u32_vec(n, 0);
+    // ORDERING: Relaxed — hook/pointer-jump updates are monotonic fetch_min
+    // races; only the eventual minimum matters and join barriers order rounds.
     labels.par_iter().enumerate().for_each(|(v, l)| l.store(v as u32, Ordering::Relaxed));
     let st = CcLoop {
         labels,

@@ -62,6 +62,8 @@ pub fn maximal_independent_set(ctx: &Context<'_>, seed: u64) -> MisResult {
                 let pv = priority(v, rseed);
                 g.neighbors(v).iter().all(|&u| {
                     u == v
+                        // ORDERING: Relaxed — per-cell status flips are idempotent race winners;
+                        // round-to-round visibility comes from the join barrier.
                         || state[u as usize].load(Ordering::Relaxed) != UNDECIDED
                         || (priority(u, rseed), u) < (pv, v)
                 })
@@ -153,6 +155,8 @@ pub fn greedy_coloring(ctx: &Context<'_>, seed: u64) -> ColoringResult {
                 let pv = priority(v, seed);
                 g.neighbors(v).iter().all(|&u| {
                     u == v
+                        // ORDERING: Relaxed — per-cell status flips are idempotent race winners;
+                        // round-to-round visibility comes from the join barrier.
                         || colors[u as usize].load(Ordering::Relaxed) != UNCOLORED
                         || (priority(u, seed), u) < (pv, v)
                 })

@@ -48,6 +48,8 @@ pub fn k_core(ctx: &Context<'_>) -> KcoreResult {
             iterations += 1;
             ctx.end_iteration(false);
             // vertices that fall out of the k-core this sub-round
+            // ORDERING: Relaxed — degree/core cells take monotonic per-cell updates;
+            // peeling rounds are separated by join barriers.
             let peeled = filter::filter(
                 ctx,
                 &alive,

@@ -39,6 +39,8 @@ pub fn label_propagation(ctx: &Context<'_>, max_rounds: u32) -> LabelPropResult 
     let g = ctx.graph;
     let n = g.num_vertices();
     let labels = atomic_u32_vec(n, 0);
+    // ORDERING: Relaxed — label cells tolerate stale reads by design (async
+    // propagation); join barriers bound the staleness per sweep.
     labels.par_iter().enumerate().for_each(|(v, l)| l.store(v as u32, Ordering::Relaxed));
     let mut frontier = Frontier::full(n);
     let mut rounds = 0u32;
@@ -74,11 +76,11 @@ pub fn label_propagation(ctx: &Context<'_>, max_rounds: u32) -> LabelPropResult 
                         Err(i) => counts.insert(i, (l, 1)),
                     }
                 }
-                let (best, _) = counts
+                let best = counts
                     .iter()
                     .copied()
                     .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-                    .unwrap();
+                    .map_or(snapshot[v as usize], |(l, _)| l);
                 if best != snapshot[v as usize] {
                     labels[v as usize].store(best, Ordering::Relaxed);
                     true

@@ -54,6 +54,8 @@ pub fn mst(ctx: &Context<'_>) -> MstResult {
     let n = g.num_vertices();
     // component labels, maintained like CC (hook + jump)
     let labels = atomic_u32_vec(n, 0);
+    // ORDERING: Relaxed — packed best-edge and label cells are monotonic
+    // fetch_min targets; each Boruvka round ends in a join barrier.
     labels.par_iter().enumerate().for_each(|(v, l)| l.store(v as u32, Ordering::Relaxed));
     let mut chosen: Vec<EdgeId> = Vec::new();
     let mut total_weight = 0u64;

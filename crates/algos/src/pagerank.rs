@@ -77,7 +77,8 @@ impl AdvanceFunctor for PushResidual<'_> {
     #[inline]
     fn cond_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) -> bool {
         let deg = self.graph.out_degree(src) as f64;
-        self.acc[dst as usize].fetch_add(self.damping * self.residual_in[src as usize] / deg);
+        let _ = self.acc[dst as usize]
+            .fetch_add(self.damping * self.residual_in[src as usize] / deg);
         false // effect-only
     }
 }

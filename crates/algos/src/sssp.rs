@@ -82,6 +82,8 @@ impl AdvanceFunctor for Relax<'_> {
     #[inline]
     fn cond_edge(&self, src: VertexId, dst: VertexId, e: EdgeId) -> bool {
         let new_label = self.dist[src as usize]
+            // ORDERING: Relaxed — dist cells are monotonic fetch_min targets and tag
+            // swaps need only per-cell atomicity; relaxation rounds end at join barriers.
             .load(Ordering::Relaxed)
             .saturating_add(self.graph.weight(e));
         // new_label < atomicMin(labels[dst], new_label)
@@ -90,6 +92,8 @@ impl AdvanceFunctor for Relax<'_> {
     #[inline]
     fn apply_edge(&self, src: VertexId, dst: VertexId, _e: EdgeId) {
         if let Some(p) = self.preds {
+            // ORDERING: Relaxed — dist cells are monotonic fetch_min targets and tag
+            // swaps need only per-cell atomicity; relaxation rounds end at join barriers.
             p[dst as usize].store(src, Ordering::Relaxed);
         }
     }
@@ -105,6 +109,8 @@ struct RemoveRedundant<'a> {
 impl FilterFunctor for RemoveRedundant<'_> {
     #[inline]
     fn cond(&self, v: u32) -> bool {
+        // ORDERING: Relaxed — dist cells are monotonic fetch_min targets and tag
+        // swaps need only per-cell atomicity; relaxation rounds end at join barriers.
         self.tags[v as usize].swap(self.queue_id, Ordering::Relaxed) != self.queue_id
     }
 }
@@ -175,6 +181,8 @@ pub fn sssp(ctx: &Context<'_>, src: VertexId, opts: SsspOptions) -> SsspResult {
     let n = ctx.num_vertices();
     assert!((src as usize) < n, "source out of range");
     let dist = atomic_u32_vec(n, INFINITY);
+    // ORDERING: Relaxed — dist cells are monotonic fetch_min targets and tag
+    // swaps need only per-cell atomicity; relaxation rounds end at join barriers.
     dist[src as usize].store(0, Ordering::Relaxed);
     let delta = opts.delta.unwrap_or_else(|| default_delta(ctx.graph));
     let st = SsspLoop {
@@ -304,6 +312,8 @@ fn sssp_run(ctx: &Context<'_>, src: VertexId, opts: SsspOptions, st: SsspLoop) -
             let dedup = filter::filter(ctx, &raw, &RemoveRedundant { tags: &tags, queue_id });
             queue_id = queue_id.wrapping_add(1);
             frontier = if opts.use_priority_queue {
+                // ORDERING: Relaxed — dist cells are monotonic fetch_min targets and tag
+                // swaps need only per-cell atomicity; relaxation rounds end at join barriers.
                 queue.split(dedup, |v| dist[v as usize].load(Ordering::Relaxed))
             } else {
                 dedup

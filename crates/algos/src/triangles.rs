@@ -69,6 +69,7 @@ pub fn triangle_count(ctx: &Context<'_>) -> TriangleResult {
         let nv = g.neighbors(v);
         let c = intersect_count(&nu[above(nu)..], &nv[above(nv)..]);
         if c > 0 {
+            // ORDERING: Relaxed — a commutative sum, read only after the join barrier.
             total.fetch_add(c, Ordering::Relaxed);
         }
     });

@@ -143,17 +143,23 @@ impl VertexProgram for BfsProgram<'_> {
         INFINITY
     }
     fn gather(&self, u: VertexId, _v: VertexId, _w: u32) -> u32 {
+        // ORDERING: Relaxed — gather/apply cells take monotonic fetch_min updates;
+        // the GAS super-step barrier publishes them.
         self.depth[u as usize].load(Ordering::Relaxed).saturating_add(1)
     }
     fn sum(&self, a: u32, b: u32) -> u32 {
         a.min(b)
     }
     fn apply(&self, v: VertexId, acc: u32) -> bool {
+        // ORDERING: Relaxed — gather/apply cells take monotonic fetch_min updates;
+        // the GAS super-step barrier publishes them.
         acc < self.depth[v as usize].load(Ordering::Relaxed) && {
             self.depth[v as usize].fetch_min(acc, Ordering::Relaxed) > acc
         }
     }
     fn scatter(&self, _u: VertexId, v: VertexId, _w: u32) -> bool {
+        // ORDERING: Relaxed — gather/apply cells take monotonic fetch_min updates;
+        // the GAS super-step barrier publishes them.
         self.depth[v as usize].load(Ordering::Relaxed) == INFINITY
     }
 }
@@ -161,6 +167,8 @@ impl VertexProgram for BfsProgram<'_> {
 /// BFS depths via the GAS engine.
 pub fn bfs(g: &Csr, rev: &Csr, src: VertexId, mode: GasMode) -> Vec<u32> {
     let depth = atomic_u32_vec(g.num_vertices(), INFINITY);
+    // ORDERING: Relaxed — gather/apply cells take monotonic fetch_min updates;
+    // the GAS super-step barrier publishes them.
     depth[src as usize].store(0, Ordering::Relaxed);
     // seed: activate the source's neighbors (source itself has no gather)
     let initial: Vec<u32> = g.neighbors(src).to_vec();
@@ -179,12 +187,16 @@ impl VertexProgram for SsspProgram<'_> {
         INFINITY
     }
     fn gather(&self, u: VertexId, _v: VertexId, w: u32) -> u32 {
+        // ORDERING: Relaxed — gather/apply cells take monotonic fetch_min updates;
+        // the GAS super-step barrier publishes them.
         self.dist[u as usize].load(Ordering::Relaxed).saturating_add(w)
     }
     fn sum(&self, a: u32, b: u32) -> u32 {
         a.min(b)
     }
     fn apply(&self, v: VertexId, acc: u32) -> bool {
+        // ORDERING: Relaxed — gather/apply cells take monotonic fetch_min updates;
+        // the GAS super-step barrier publishes them.
         self.dist[v as usize].fetch_min(acc, Ordering::Relaxed) > acc
     }
     fn scatter(&self, _u: VertexId, _v: VertexId, _w: u32) -> bool {
@@ -195,6 +207,8 @@ impl VertexProgram for SsspProgram<'_> {
 /// SSSP distances via the GAS engine.
 pub fn sssp(g: &Csr, rev: &Csr, src: VertexId, mode: GasMode) -> Vec<u32> {
     let dist = atomic_u32_vec(g.num_vertices(), INFINITY);
+    // ORDERING: Relaxed — gather/apply cells take monotonic fetch_min updates;
+    // the GAS super-step barrier publishes them.
     dist[src as usize].store(0, Ordering::Relaxed);
     let initial: Vec<u32> = g.neighbors(src).to_vec();
     run(g, rev, &SsspProgram { dist: &dist }, initial, mode, usize::MAX);
@@ -213,12 +227,16 @@ impl VertexProgram for CcProgram<'_> {
         u32::MAX
     }
     fn gather(&self, u: VertexId, _v: VertexId, _w: u32) -> u32 {
+        // ORDERING: Relaxed — gather/apply cells take monotonic fetch_min updates;
+        // the GAS super-step barrier publishes them.
         self.label[u as usize].load(Ordering::Relaxed)
     }
     fn sum(&self, a: u32, b: u32) -> u32 {
         a.min(b)
     }
     fn apply(&self, v: VertexId, acc: u32) -> bool {
+        // ORDERING: Relaxed — gather/apply cells take monotonic fetch_min updates;
+        // the GAS super-step barrier publishes them.
         self.label[v as usize].fetch_min(acc, Ordering::Relaxed) > acc
     }
     fn scatter(&self, _u: VertexId, _v: VertexId, _w: u32) -> bool {
@@ -231,6 +249,8 @@ pub fn connected_components(g: &Csr, rev: &Csr, mode: GasMode) -> Vec<VertexId> 
     let n = g.num_vertices();
     let label = atomic_u32_vec(n, 0);
     for (v, l) in label.iter().enumerate() {
+        // ORDERING: Relaxed — gather/apply cells take monotonic fetch_min updates;
+        // the GAS super-step barrier publishes them.
         l.store(v as u32, Ordering::Relaxed);
     }
     let initial: Vec<u32> = (0..n as u32).collect();

@@ -18,6 +18,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 pub fn bfs(g: &Csr, rev: &Csr, src: VertexId) -> Vec<u32> {
     let n = g.num_vertices();
     let depth = atomic_u32_vec(n, INFINITY);
+    // ORDERING: Relaxed — same benign-race discipline as the modeled hardwired
+    // kernels: idempotent or monotonic per-cell updates, published by the level barrier.
     depth[src as usize].store(0, Ordering::Relaxed);
     let visited = AtomicBitmap::new(n);
     visited.set(src as usize);
@@ -82,6 +84,8 @@ pub fn sssp_delta_stepping(g: &Csr, src: VertexId, delta: u32) -> Vec<u32> {
     assert!(delta > 0);
     let n = g.num_vertices();
     let dist = atomic_u32_vec(n, INFINITY);
+    // ORDERING: Relaxed — same benign-race discipline as the modeled hardwired
+    // kernels: idempotent or monotonic per-cell updates, published by the level barrier.
     dist[src as usize].store(0, Ordering::Relaxed);
     let mut buckets: Vec<Vec<u32>> = vec![vec![src]];
     let mut bi = 0usize;
@@ -132,6 +136,8 @@ pub fn sssp_delta_stepping(g: &Csr, src: VertexId, delta: u32) -> Vec<u32> {
 pub fn bc(g: &Csr, src: VertexId) -> Vec<f64> {
     let n = g.num_vertices();
     let depth = atomic_u32_vec(n, INFINITY);
+    // ORDERING: Relaxed — same benign-race discipline as the modeled hardwired
+    // kernels: idempotent or monotonic per-cell updates, published by the level barrier.
     depth[src as usize].store(0, Ordering::Relaxed);
     let sigma: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
     sigma[src as usize].store(1.0);
@@ -139,6 +145,8 @@ pub fn bc(g: &Csr, src: VertexId) -> Vec<f64> {
     let mut level = 0u32;
     loop {
         level += 1;
+        // LINT-ALLOW(panic): `levels` starts with the source level and only
+        // ever grows, so `last()` cannot fail.
         let frontier = levels.last().unwrap();
         let claimed = AtomicBitmap::new(n);
         let next: Vec<Vec<u32>> = frontier
@@ -155,7 +163,7 @@ pub fn bc(g: &Csr, src: VertexId) -> Vec<f64> {
                         );
                     }
                     if depth[v as usize].load(Ordering::Relaxed) == level {
-                        sigma[v as usize].fetch_add(sigma[u as usize].load());
+                        let _ = sigma[v as usize].fetch_add(sigma[u as usize].load());
                         if !claimed.test_and_set(v as usize) {
                             local.push(v);
                         }
@@ -182,7 +190,7 @@ pub fn bc(g: &Csr, src: VertexId) -> Vec<f64> {
                 }
             }
             if acc != 0.0 {
-                delta[u as usize].fetch_add(acc);
+                let _ = delta[u as usize].fetch_add(acc);
             }
         });
     }
@@ -198,6 +206,8 @@ pub fn cc_soman(g: &Csr) -> Vec<VertexId> {
     let n = g.num_vertices();
     let label = atomic_u32_vec(n, 0);
     for (v, l) in label.iter().enumerate() {
+        // ORDERING: Relaxed — same benign-race discipline as the modeled hardwired
+        // kernels: idempotent or monotonic per-cell updates, published by the level barrier.
         l.store(v as u32, Ordering::Relaxed);
     }
     let mut iter = 0u32;

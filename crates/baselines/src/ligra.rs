@@ -167,6 +167,8 @@ where
 pub fn bfs(g: &Csr, rev: &Csr, src: VertexId) -> (Vec<u32>, Vec<VertexId>) {
     let n = g.num_vertices();
     let parents = atomic_u32_vec(n, INVALID_VERTEX);
+    // ORDERING: Relaxed — per-cell CAS/fetch_min updates in edgeMap race
+    // benignly; Ligra's frontier barrier publishes them.
     parents[src as usize].store(src, Ordering::Relaxed);
     let mut depth = vec![INFINITY; n];
     depth[src as usize] = 0;
@@ -200,6 +202,8 @@ pub fn bfs(g: &Csr, rev: &Csr, src: VertexId) -> (Vec<u32>, Vec<VertexId>) {
 pub fn sssp_bellman_ford(g: &Csr, rev: &Csr, src: VertexId) -> Vec<u32> {
     let n = g.num_vertices();
     let dist = atomic_u32_vec(n, INFINITY);
+    // ORDERING: Relaxed — per-cell CAS/fetch_min updates in edgeMap race
+    // benignly; Ligra's frontier barrier publishes them.
     dist[src as usize].store(0, Ordering::Relaxed);
     let visited = atomic_u32_vec(n, 0); // per-round re-add guard
     let mut frontier = VertexSubset::single(src);
@@ -231,6 +235,8 @@ pub fn sssp_bellman_ford(g: &Csr, rev: &Csr, src: VertexId) -> Vec<u32> {
 }
 
 fn dist_round_claim(cell: &AtomicU32, round: u32) -> bool {
+    // ORDERING: Relaxed — per-cell CAS/fetch_min updates in edgeMap race
+    // benignly; Ligra's frontier barrier publishes them.
     cell.swap(round, Ordering::Relaxed) != round
 }
 
@@ -240,6 +246,8 @@ pub fn connected_components(g: &Csr, rev: &Csr) -> Vec<VertexId> {
     let n = g.num_vertices();
     let labels = atomic_u32_vec(n, 0);
     for (v, l) in labels.iter().enumerate() {
+        // ORDERING: Relaxed — per-cell CAS/fetch_min updates in edgeMap race
+        // benignly; Ligra's frontier barrier publishes them.
         l.store(v as u32, Ordering::Relaxed);
     }
     let round = atomic_u32_vec(n, 0);
@@ -291,7 +299,7 @@ pub fn pagerank(g: &Csr, rev: &Csr, d: f64, tol: f64, max_iters: usize) -> Vec<f
             &frontier,
             |u, v, _| {
                 let deg = g.out_degree(u) as f64;
-                next_ref[v as usize].fetch_add(d * pr_ref[u as usize] / deg);
+                let _ = next_ref[v as usize].fetch_add(d * pr_ref[u as usize] / deg);
                 false // no output frontier needed
             },
             |_| true,
@@ -311,6 +319,8 @@ pub fn pagerank(g: &Csr, rev: &Csr, d: f64, tol: f64, max_iters: usize) -> Vec<f
 pub fn bc(g: &Csr, rev: &Csr, src: VertexId) -> Vec<f64> {
     let n = g.num_vertices();
     let depth = atomic_u32_vec(n, INFINITY);
+    // ORDERING: Relaxed — per-cell CAS/fetch_min updates in edgeMap race
+    // benignly; Ligra's frontier barrier publishes them.
     depth[src as usize].store(0, Ordering::Relaxed);
     let sigma: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
     sigma[src as usize].store(1.0);
@@ -336,7 +346,7 @@ pub fn bc(g: &Csr, rev: &Csr, src: VertexId) -> Vec<f64> {
                     );
                 }
                 if depth[v as usize].load(Ordering::Relaxed) == lv {
-                    sigma[v as usize].fetch_add(sigma[u as usize].load());
+                    let _ = sigma[v as usize].fetch_add(sigma[u as usize].load());
                     !claimed.test_and_set(v as usize)
                 } else {
                     false
@@ -363,7 +373,8 @@ pub fn bc(g: &Csr, rev: &Csr, src: VertexId) -> Vec<f64> {
                 if depth[v as usize].load(Ordering::Relaxed) == lv + 1 {
                     let su = sigma[u as usize].load();
                     let sv = sigma[v as usize].load();
-                    delta[u as usize].fetch_add(su / sv * (1.0 + delta[v as usize].load()));
+                    let _ =
+                        delta[u as usize].fetch_add(su / sv * (1.0 + delta[v as usize].load()));
                 }
                 false
             },

@@ -94,6 +94,8 @@ where
 /// BFS depths via the message-passing engine.
 pub fn bfs(g: &Csr, src: VertexId) -> Vec<u32> {
     let depth = atomic_u32_vec(g.num_vertices(), INFINITY);
+    // ORDERING: Relaxed — message-combine cells take monotonic fetch_min
+    // updates; the BSP super-step barrier publishes them.
     depth[src as usize].store(0, Ordering::Relaxed);
     let mut active = vec![src];
     while !active.is_empty() {
@@ -118,6 +120,8 @@ pub fn bfs(g: &Csr, src: VertexId) -> Vec<u32> {
 /// SSSP distances via the message-passing engine (label-correcting).
 pub fn sssp(g: &Csr, src: VertexId) -> Vec<u32> {
     let dist = atomic_u32_vec(g.num_vertices(), INFINITY);
+    // ORDERING: Relaxed — message-combine cells take monotonic fetch_min
+    // updates; the BSP super-step barrier publishes them.
     dist[src as usize].store(0, Ordering::Relaxed);
     let mut active = vec![src];
     while !active.is_empty() {

@@ -57,6 +57,8 @@ pub fn advance_filter_fused<F: AdvanceFunctor>(
     if input.is_empty() {
         return Frontier::new();
     }
+    // Kernel-launch boundary for the racecheck phase ledger.
+    gunrock_engine::racecheck::begin_phase();
     let timer = ctx.sink().map(|_| (Instant::now(), ctx.counters.edges()));
     let result = isolated(ctx, "advance", || {
         if let Some(inj) = ctx.injector() {
@@ -66,6 +68,8 @@ pub fn advance_filter_fused<F: AdvanceFunctor>(
         // The load-balanced path ranks edges in u32 (like `load_balanced`);
         // route ranking totals at or above u32::MAX to the thread-mapped
         // path, which has no such limit.
+        // CAST: u64 -> usize is lossless on the 64-bit targets this engine supports;
+        // the u32::MAX widening is exact.
         if work as usize > ctx.config.lb_threshold && work < u32::MAX as u64 {
             (fused_load_balanced(ctx, input, spec, functor, visited), "fused:load_balanced")
         } else {
@@ -110,6 +114,7 @@ fn fused_thread_mapped<F: AdvanceFunctor>(
                 for e in range {
                     let dst = cols[e];
                     if functor.cond_edge(src, dst, e as EdgeId)
+                        // CAST: vertex ids are u32 widened to usize for indexing — lossless.
                         && !visited.test_and_set(dst as usize)
                     {
                         functor.apply_edge(src, dst, e as EdgeId);
@@ -144,8 +149,12 @@ fn fused_load_balanced<F: AdvanceFunctor>(
     }
     let chunk = ctx.config.cta_size;
     let starts = merge_path_partitions(&scanned, total, chunk);
+    // CAST: the caller routes here only when total < u32::MAX, so every edge
+    // rank (w, seg_base, row_start) and chunk bound fits u32; vertex/edge ids
+    // widen to usize losslessly.
     let mut slots: Vec<u32> = vec![INVALID_SLOT; total as usize];
     {
+        gunrock_engine::racecheck::begin_phase();
         let out_ref = UnsafeSlice::new(&mut slots);
         starts.par_iter().enumerate().for_each(|(ci, &seg_start)| {
             let w0 = (ci * chunk) as u32;

@@ -147,6 +147,9 @@ pub fn advance<F: AdvanceFunctor>(
     if input.is_empty() {
         return Frontier::new();
     }
+    // Kernel-launch boundary for the racecheck phase ledger (no-op
+    // without the feature).
+    gunrock_engine::racecheck::begin_phase();
     // Near-zero-cost instrumentation: one Option check on the fast path;
     // the timer only exists when a sink is installed.
     let timer = ctx.sink().map(|_| (Instant::now(), ctx.counters.edges()));
@@ -189,6 +192,7 @@ fn dispatch<F: AdvanceFunctor>(
         }
         AdvanceMode::Auto => {
             let work = push::frontier_neighbor_count(ctx, input, spec.input);
+            // CAST: u64 -> usize is lossless on 64-bit targets; threshold compare only.
             if work as usize > ctx.config.lb_threshold {
                 run_load_balanced(ctx, input, spec, functor, "auto:load_balanced")
             } else {

@@ -28,6 +28,7 @@ use std::time::Instant;
 pub fn frontier_bitmap(num_vertices: usize, frontier: &Frontier) -> AtomicBitmap {
     let bm = AtomicBitmap::new(num_vertices);
     if frontier.len() < SEQUENTIAL_CUTOFF {
+        // CAST: vertex ids are u32 widened to usize for bitmap indexing — lossless.
         for v in frontier {
             bm.set(v as usize);
         }
@@ -47,6 +48,8 @@ pub fn advance_pull<F: AdvanceFunctor>(
     in_frontier: &AtomicBitmap,
     functor: &F,
 ) -> Frontier {
+    // Kernel-launch boundary for the racecheck phase ledger.
+    gunrock_engine::racecheck::begin_phase();
     let timer = ctx.sink().map(|_| (Instant::now(), ctx.counters.edges()));
     let result = isolated(ctx, "advance", || {
         if let Some(inj) = ctx.injector() {
@@ -64,6 +67,7 @@ pub fn advance_pull<F: AdvanceFunctor>(
                     for e in rev.edge_range(v) {
                         edges += 1;
                         let u = cols[e];
+                        // CAST: u widens u32 -> usize; e < num_edges < EdgeId::MAX by Csr::validate.
                         if in_frontier.get(u as usize) && functor.cond_edge(u, v, e as EdgeId) {
                             functor.apply_edge(u, v, e as EdgeId);
                             local.push(v);

@@ -165,6 +165,8 @@ pub fn twc<F: AdvanceFunctor>(
     functor: &F,
 ) -> Frontier {
     let g = ctx.graph;
+    // CAST: warp/cta sizes are small powers of two (EngineConfig validates
+    // them), far below u32::MAX.
     let warp = ctx.config.warp_size as u32;
     let cta = ctx.config.cta_size as u32;
     let (small, medium, large) = classify_degrees(ctx, input.as_slice(), spec.input, warp, cta);
@@ -278,6 +280,7 @@ pub(crate) fn load_balanced_with_limit<F: AdvanceFunctor>(
     }
     if total < limit {
         ctx.counters.add_edges(total);
+        // CAST: guarded — this branch requires total < limit <= u32::MAX.
         return Frontier::from_vec(lb_batch(ctx, items, &degrees, total as u32, spec, functor));
     }
     // Guard path: the ranking would overflow u32. Split the frontier into
@@ -318,6 +321,7 @@ pub(crate) fn load_balanced_with_limit<F: AdvanceFunctor>(
                     ctx,
                     &items[start..end],
                     &degrees[start..end],
+                    // CAST: the batching loop caps batch_total below the u32 limit.
                     batch_total as u32,
                     spec,
                     functor,
@@ -352,8 +356,11 @@ fn lb_batch<F: AdvanceFunctor>(
     // w, making output order deterministic.
     let collect_output = spec.output != OutputKind::None;
     let mut slots: Vec<u32> =
+        // CAST: lb_batch's contract is total < u32::MAX (callers guard), so edge
+        // ranks, chunk bounds, and row starts all fit u32; id widenings are lossless.
         if collect_output { vec![INVALID_SLOT; total as usize] } else { Vec::new() };
     {
+        gunrock_engine::racecheck::begin_phase();
         let out_ref = UnsafeSlice::new(&mut slots);
         starts.par_iter().enumerate().for_each(|(ci, &seg_start)| {
             let w0 = (ci * chunk) as u32;

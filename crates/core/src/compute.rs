@@ -52,6 +52,8 @@ pub fn for_each_ctx<F>(ctx: &Context<'_>, input: &Frontier, op: F)
 where
     F: Fn(u32) + Send + Sync,
 {
+    // Kernel-launch boundary for the racecheck phase ledger.
+    gunrock_engine::racecheck::begin_phase();
     let timer = ctx.sink().map(|_| Instant::now());
     let result = isolated(ctx, "compute", || {
         if let Some(inj) = ctx.injector() {

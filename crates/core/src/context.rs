@@ -221,12 +221,16 @@ impl<'g> Context<'g> {
                 *slot = Some(err);
             }
         }
+        // ORDERING: Release — publishes the failure slot written above to any
+        // thread that Acquire-loads the flag (is_poisoned / guard checks).
         self.poisoned.store(true, Ordering::Release);
     }
 
     /// True once an operator failure has poisoned this context.
     #[inline]
     pub fn is_poisoned(&self) -> bool {
+        // ORDERING: Acquire — pairs with the Release store in poison(); observing
+        // the flag guarantees the failure slot write is visible too.
         self.poisoned.load(Ordering::Acquire)
     }
 
@@ -241,6 +245,9 @@ impl<'g> Context<'g> {
 
     /// The reverse graph, panicking with a clear message if missing.
     pub fn reverse_graph(&self) -> &'g Csr {
+        // LINT-ALLOW(panic): documented API contract — calling a pull-direction
+        // operator without with_reverse() is a programming error, not a
+        // recoverable condition.
         self.reverse.expect("pull advance requires a reverse graph: call Context::with_reverse")
     }
 
@@ -268,6 +275,8 @@ impl ContextGuard<'_> {
     /// Returns the outcome that should end the loop, if any. Priority:
     /// `Failed` > `Cancelled` > `TimedOut` > `IterationCapped`.
     pub fn check(&self, completed_iterations: u32) -> Option<RunOutcome> {
+        // ORDERING: Acquire — pairs with poison()'s Release store so a guard that
+        // sees the flag also sees the failure slot it protects.
         if self.poisoned.load(Ordering::Acquire) {
             return Some(RunOutcome::Failed);
         }

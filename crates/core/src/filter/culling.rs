@@ -65,6 +65,8 @@ pub fn filter_with_culling<F: FilterFunctor>(
     functor: &F,
     cfg: CullingConfig,
 ) -> Frontier {
+    // Kernel-launch boundary for the racecheck phase ledger.
+    gunrock_engine::racecheck::begin_phase();
     let timer = ctx.sink().map(|_| Instant::now());
     let result = isolated(ctx, "filter", || {
         if let Some(inj) = ctx.injector() {
@@ -86,6 +88,7 @@ pub fn filter_with_culling<F: FilterFunctor>(
                 for &id in chunk {
                     if cfg.history {
                         // cheap multiplicative hash into the small table
+                        // CAST: vertex ids are u32 widened to usize — lossless.
                         let slot = (id as usize).wrapping_mul(0x9E37_79B9) & mask;
                         if history[slot] == id {
                             continue; // recently seen: cull

@@ -26,6 +26,8 @@ use std::time::Instant;
 /// Panic-isolated like advance: a functor panic poisons the context and
 /// returns an empty frontier.
 pub fn filter<F: FilterFunctor>(ctx: &Context<'_>, input: &Frontier, functor: &F) -> Frontier {
+    // Kernel-launch boundary for the racecheck phase ledger.
+    gunrock_engine::racecheck::begin_phase();
     let timer = ctx.sink().map(|_| Instant::now());
     let result = isolated(ctx, "filter", || {
         if let Some(inj) = ctx.injector() {

@@ -30,6 +30,8 @@ where
     M: Fn(VertexId, VertexId, EdgeId) -> T + Send + Sync,
     R: Fn(T, T) -> T + Send + Sync,
 {
+    // Kernel-launch boundary for the racecheck phase ledger.
+    gunrock_engine::racecheck::begin_phase();
     let g = ctx.graph;
     let mut edges = 0u64;
     let out: Vec<T> = if frontier.len() < 1024 {

@@ -47,7 +47,7 @@ impl VertexPartition {
     /// The shard owning vertex `v`.
     #[inline]
     pub fn shard_of(&self, v: VertexId) -> usize {
-        debug_assert!(v < *self.boundaries.last().unwrap());
+        debug_assert!(self.boundaries.last().is_some_and(|&b| v < b));
         self.boundaries.partition_point(|&b| b <= v) - 1
     }
 

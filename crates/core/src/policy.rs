@@ -138,6 +138,8 @@ impl RunGuard<'_> {
     /// most externally-driven signal wins).
     pub fn check(&self, completed_iterations: u32) -> Option<RunOutcome> {
         if let Some(flag) = &self.policy.cancel {
+            // ORDERING: Acquire — the canceller may publish state before raising the
+            // flag; Acquire makes that state visible to the cancelled loop.
             if flag.load(Ordering::Acquire) {
                 return Some(RunOutcome::Cancelled);
             }

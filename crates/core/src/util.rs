@@ -12,6 +12,7 @@ pub fn concat_chunks(chunks: Vec<Vec<u32>>) -> Vec<u32> {
     let (offsets, total) = scan_exclusive_usize(&sizes);
     let mut out = vec![0u32; total];
     {
+        gunrock_engine::racecheck::begin_phase();
         let out_ref = UnsafeSlice::new(&mut out);
         chunks.par_iter().zip(offsets.par_iter()).for_each(|(chunk, &base)| {
             for (i, &v) in chunk.iter().enumerate() {

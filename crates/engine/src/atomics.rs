@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 /// Atomically lowers `cell` to `min(cell, value)`, returning true if this
 /// call strictly lowered the stored value — the paper's
 /// `new_label < atomicMin(...)` idiom in `UpdateLabel` (Algorithm 1).
+#[must_use = "the return value says whether this call won the relaxation; \
+              ignoring it usually means a lost frontier insertion"]
 #[inline]
 pub fn fetch_min_u32(cell: &AtomicU32, value: u32) -> bool {
     cell.fetch_min(value, Ordering::Relaxed) > value
@@ -37,10 +39,19 @@ impl AtomicF32 {
     /// Stores `v` (non-atomic callers should prefer `&mut` phases).
     #[inline]
     pub fn store(&self, v: f32) {
+        // ORDERING: Relaxed is only sound here because callers store
+        // outside the parallel accumulation phase (initialization or
+        // post-barrier normalization). A store that raced a same-phase
+        // fetch_add could silently drop that add's contribution — the
+        // store is NOT a read-modify-write, so it does not compose with
+        // concurrent CAS loops. The bulk-synchronous barrier between
+        // phases provides the required happens-before.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Atomically adds `delta`, returning the previous value.
+    #[must_use = "fetch_add returns the pre-add value; discard it explicitly \
+                  with `let _ =` if only the side effect is wanted"]
     #[inline]
     pub fn fetch_add(&self, delta: f32) -> f32 {
         let mut cur = self.0.load(Ordering::Relaxed);
@@ -73,10 +84,16 @@ impl AtomicF64 {
     /// Stores `v`.
     #[inline]
     pub fn store(&self, v: f64) {
+        // ORDERING: Relaxed — same non-atomic-phase caveat as
+        // AtomicF32::store: only sound outside the parallel accumulation
+        // phase, with the bulk-synchronous barrier supplying the
+        // happens-before edge.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Atomically adds `delta`, returning the previous value.
+    #[must_use = "fetch_add returns the pre-add value; discard it explicitly \
+                  with `let _ =` if only the side effect is wanted"]
     #[inline]
     pub fn fetch_add(&self, delta: f64) -> f64 {
         let mut cur = self.0.load(Ordering::Relaxed);
@@ -138,7 +155,7 @@ mod tests {
     fn concurrent_fetch_min_converges_to_global_min() {
         let cell = AtomicU32::new(u32::MAX);
         (0..10_000u32).into_par_iter().for_each(|i| {
-            fetch_min_u32(&cell, 10_000 - i);
+            let _ = fetch_min_u32(&cell, 10_000 - i);
         });
         assert_eq!(cell.load(Ordering::Relaxed), 1);
     }
@@ -148,7 +165,7 @@ mod tests {
         // powers of two add exactly in f32
         let acc = AtomicF32::new(0.0);
         (0..4096).into_par_iter().for_each(|_| {
-            acc.fetch_add(0.25);
+            let _ = acc.fetch_add(0.25);
         });
         assert_eq!(acc.load(), 1024.0);
     }

@@ -36,6 +36,8 @@ impl AtomicBitmap {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
+        // ORDERING: Relaxed — bit RMWs need only atomicity (unique test_and_set
+        // winners); cross-phase visibility comes from the caller's join barrier.
         self.words[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) != 0
     }
 
@@ -43,6 +45,8 @@ impl AtomicBitmap {
     #[inline]
     pub fn set(&self, i: usize) {
         debug_assert!(i < self.len);
+        // ORDERING: Relaxed — bit RMWs need only atomicity (unique test_and_set
+        // winners); cross-phase visibility comes from the caller's join barrier.
         self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
     }
 
@@ -53,6 +57,8 @@ impl AtomicBitmap {
     pub fn test_and_set(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         let mask = 1u64 << (i % 64);
+        // ORDERING: Relaxed — bit RMWs need only atomicity (unique test_and_set
+        // winners); cross-phase visibility comes from the caller's join barrier.
         self.words[i / 64].fetch_or(mask, Ordering::Relaxed) & mask != 0
     }
 
@@ -60,6 +66,8 @@ impl AtomicBitmap {
     #[inline]
     pub fn clear(&self, i: usize) {
         debug_assert!(i < self.len);
+        // ORDERING: Relaxed — bit RMWs need only atomicity (unique test_and_set
+        // winners); cross-phase visibility comes from the caller's join barrier.
         self.words[i / 64].fetch_and(!(1 << (i % 64)), Ordering::Relaxed);
     }
 
@@ -67,23 +75,31 @@ impl AtomicBitmap {
     /// (requires `&mut`).
     pub fn clear_all(&mut self) {
         for w in self.words.iter() {
+            // ORDERING: Relaxed — bit RMWs need only atomicity (unique test_and_set
+            // winners); cross-phase visibility comes from the caller's join barrier.
             w.store(0, Ordering::Relaxed);
         }
     }
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
+        // ORDERING: Relaxed — bit RMWs need only atomicity (unique test_and_set
+        // winners); cross-phase visibility comes from the caller's join barrier.
+        // CAST: count_ones() <= 64 widens to usize losslessly.
         self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
     }
 
     /// Iterates over the indices of set bits (ascending).
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, w)| {
+            // ORDERING: Relaxed — bit RMWs need only atomicity (unique test_and_set
+            // winners); cross-phase visibility comes from the caller's join barrier.
             let mut bits = w.load(Ordering::Relaxed);
             std::iter::from_fn(move || {
                 if bits == 0 {
                     None
                 } else {
+                    // CAST: trailing_zeros() <= 64 widens to usize losslessly.
                     let b = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
                     Some(wi * 64 + b)

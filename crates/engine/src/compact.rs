@@ -36,6 +36,7 @@ where
     // Phase 1: flags (recomputing f in phase 3 would double user work, so
     // materialize the mapped values once).
     let mapped: Vec<Option<U>> = input.par_iter().map(&f).collect();
+    // CAST: bool -> usize is 0 or 1 by definition.
     let flags: Vec<usize> = mapped.par_iter().map(|m| m.is_some() as usize).collect();
     // Phase 2: positions.
     let (positions, total) = scan_exclusive_usize(&flags);
@@ -49,6 +50,7 @@ where
         out.set_len(total)
     };
     {
+        crate::racecheck::begin_phase();
         let out_ref = UnsafeSlice::new(&mut out);
         mapped.par_iter().zip(positions.par_iter()).for_each(|(m, &pos)| {
             if let Some(v) = m {
@@ -67,6 +69,7 @@ where
     T: Sync,
     F: Fn(&T) -> bool + Send + Sync,
 {
+    // CAST: indices fit u32 — asserted at entry; bool -> usize is 0 or 1.
     assert!(input.len() <= u32::MAX as usize);
     if input.len() < SEQUENTIAL_CUTOFF || rayon::current_num_threads() == 1 {
         return input
@@ -79,10 +82,12 @@ where
     let (positions, total) = scan_exclusive_usize(&flags);
     let mut out = vec![0u32; total];
     {
+        crate::racecheck::begin_phase();
         let out_ref = UnsafeSlice::new(&mut out);
         flags.par_iter().enumerate().for_each(|(i, &keep)| {
             if keep == 1 {
                 // SAFETY: scan assigns each kept index a unique slot.
+                // CAST: i < input.len() <= u32::MAX, asserted at entry.
                 unsafe { out_ref.write(positions[i], i as u32) };
             }
         });

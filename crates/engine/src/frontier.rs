@@ -31,6 +31,7 @@ impl Frontier {
     /// A frontier over all ids `0..n` (e.g. PageRank and CC start with
     /// every vertex / edge in the frontier).
     pub fn full(n: usize) -> Self {
+        // CAST: n is a vertex count, capped below u32::MAX by Csr::validate.
         Frontier { items: (0..n as u32).collect() }
     }
 

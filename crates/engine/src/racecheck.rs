@@ -1,0 +1,206 @@
+//! Shadow-state race detection for [`crate::unsafe_slice::UnsafeSlice`].
+//!
+//! The engine's scatter kernels (scan downsweep, compact, radix sort,
+//! load-balanced advance output) are racy *by construction*: they write
+//! through a shared `UnsafeSlice` whose soundness rests on a disjointness
+//! contract — **each index is written by at most one task per parallel
+//! phase** — argued in `// SAFETY:` comments at every call site. This
+//! module turns those comments into a mechanically checked property.
+//!
+//! Compiled with `--features racecheck`, every `UnsafeSlice` carries a
+//! per-index shadow table recording, for the slice's current phase, who
+//! last wrote and who last read each index (thread id + `#[track_caller]`
+//! call site). Two writes to the same index within one phase, or a
+//! write/read overlap, abort the process with *both* call sites in the
+//! panic message. Without the feature, everything in this module
+//! compiles to nothing.
+//!
+//! Phase accounting is per-slice: a fresh `UnsafeSlice` starts a fresh
+//! phase (the overwhelmingly common pattern — every engine kernel builds
+//! its slice immediately before its parallel loop), and a slice that is
+//! legitimately reused across *sequential* parallel loops calls
+//! [`crate::unsafe_slice::UnsafeSlice::begin_phase`] at the barrier
+//! between them. The free function [`begin_phase`] advances a global
+//! phase *label* stamped onto newly created slices so reports can tie a
+//! violation back to an operator invocation; core's operator entry
+//! points (advance, filter, compute, neighbor-reduce) bump it at each
+//! kernel launch. Detection itself never depends on the global counter,
+//! so concurrently running tests cannot mask or fabricate a race.
+
+#[cfg(feature = "racecheck")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global phase label. Only used to stamp newly created `UnsafeSlice`
+/// instances so panic messages can identify which operator launch a
+/// conflicting pair of accesses belongs to.
+#[cfg(feature = "racecheck")]
+// ORDERING: Relaxed suffices — the label is monotonic bookkeeping with no
+// data published under it; detection uses per-slice state only.
+static GLOBAL_PHASE: AtomicU64 = AtomicU64::new(0);
+
+/// Marks a bulk-synchronous phase boundary (a "kernel launch").
+///
+/// Wired into the operator entry points in `gunrock` (core) and into the
+/// engine primitives' internal phase transitions. Under `racecheck` this
+/// advances the global phase label; otherwise it is a no-op the
+/// optimizer erases.
+#[inline]
+pub fn begin_phase() {
+    #[cfg(feature = "racecheck")]
+    // ORDERING: Relaxed — see GLOBAL_PHASE; the label is diagnostic only.
+    GLOBAL_PHASE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Current global phase label (diagnostic).
+#[cfg(feature = "racecheck")]
+#[inline]
+pub(crate) fn global_phase() -> u64 {
+    // ORDERING: Relaxed — diagnostic label, no synchronization implied.
+    GLOBAL_PHASE.load(Ordering::Relaxed)
+}
+
+/// Small dense thread ids for racecheck reports (`ThreadId` has no stable
+/// numeric form).
+#[cfg(feature = "racecheck")]
+pub(crate) fn thread_ordinal() -> u64 {
+    use std::sync::atomic::{AtomicU64 as A64, Ordering as Ord};
+    // ORDERING: Relaxed — ids only need uniqueness, not ordering.
+    static NEXT: A64 = A64::new(1);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ord::Relaxed);
+    }
+    ORDINAL.with(|t| *t)
+}
+
+/// The shadow table proper: one lock-protected cell per slice index.
+#[cfg(feature = "racecheck")]
+pub(crate) mod shadow {
+    use super::{global_phase, thread_ordinal};
+    use parking_lot::Mutex;
+    use std::panic::Location;
+
+    /// One recorded access (who, where, in which slice phase).
+    #[derive(Clone, Copy)]
+    struct Access {
+        phase: u64,
+        thread: u64,
+        site: &'static Location<'static>,
+    }
+
+    #[derive(Default)]
+    struct Cell {
+        writer: Option<Access>,
+        reader: Option<Access>,
+    }
+
+    /// Per-slice shadow state: the slice's current phase plus a
+    /// last-writer/last-reader record per index. Locking is per-index,
+    /// so the checker serializes only genuinely colliding accesses.
+    pub(crate) struct Shadow {
+        label: u64,
+        cells: Vec<Mutex<Cell>>,
+    }
+
+    impl Shadow {
+        pub(crate) fn new(len: usize) -> Shadow {
+            Shadow {
+                label: global_phase(),
+                cells: (0..len).map(|_| Mutex::new(Cell::default())).collect(),
+            }
+        }
+
+        /// Records a write in `phase`; panics on a same-phase conflict.
+        pub(crate) fn record_write(
+            &self,
+            index: usize,
+            phase: u64,
+            site: &'static Location<'static>,
+        ) {
+            let me = Access { phase, thread: thread_ordinal(), site };
+            let mut cell = self.cells[index].lock();
+            if let Some(w) = cell.writer {
+                if w.phase == phase {
+                    // LINT-ALLOW(panic): a detected race is UB in uninstrumented
+                    // builds — aborting loudly is this module's entire purpose.
+                    panic!(
+                        "racecheck: two writes to index {index} in one parallel phase \
+                         (slice phase {phase}, global phase {label}): first write at \
+                         {first} (thread {ft}), second write at {second} (thread {st})",
+                        label = self.label,
+                        first = w.site,
+                        ft = w.thread,
+                        second = me.site,
+                        st = me.thread,
+                    );
+                }
+            }
+            if let Some(r) = cell.reader {
+                if r.phase == phase {
+                    // LINT-ALLOW(panic): see above — racecheck aborts by design.
+                    panic!(
+                        "racecheck: write/read overlap on index {index} in one parallel \
+                         phase (slice phase {phase}, global phase {label}): read at \
+                         {read} (thread {rt}), write at {write} (thread {wt})",
+                        label = self.label,
+                        read = r.site,
+                        rt = r.thread,
+                        write = me.site,
+                        wt = me.thread,
+                    );
+                }
+            }
+            cell.writer = Some(me);
+        }
+
+        /// Records a read in `phase`; panics if the index was written in
+        /// the same phase.
+        pub(crate) fn record_read(
+            &self,
+            index: usize,
+            phase: u64,
+            site: &'static Location<'static>,
+        ) {
+            let me = Access { phase, thread: thread_ordinal(), site };
+            let mut cell = self.cells[index].lock();
+            if let Some(w) = cell.writer {
+                if w.phase == phase {
+                    // LINT-ALLOW(panic): see above — racecheck aborts by design.
+                    panic!(
+                        "racecheck: write/read overlap on index {index} in one parallel \
+                         phase (slice phase {phase}, global phase {label}): write at \
+                         {write} (thread {wt}), read at {read} (thread {rt})",
+                        label = self.label,
+                        write = w.site,
+                        wt = w.thread,
+                        read = me.site,
+                        rt = me.thread,
+                    );
+                }
+            }
+            cell.reader = Some(me);
+        }
+    }
+}
+
+#[cfg(all(test, feature = "racecheck"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_phase_advances_label() {
+        let before = global_phase();
+        begin_phase();
+        assert!(global_phase() > before);
+    }
+
+    #[test]
+    fn thread_ordinals_are_stable_per_thread() {
+        let a = thread_ordinal();
+        let b = thread_ordinal();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(thread_ordinal)
+            .join()
+            .unwrap_or_else(|_| panic!("thread ordinal probe panicked"));
+        assert_ne!(a, other);
+    }
+}

@@ -49,6 +49,7 @@ where
     // Phase 3: downsweep each chunk with its base offset.
     let mut out = vec![identity; n];
     {
+        crate::racecheck::begin_phase();
         let out_ref = UnsafeSlice::new(&mut out);
         input.par_chunks(chunk).zip(sums.par_iter()).enumerate().for_each(
             |(ci, (c, &base))| {

@@ -47,6 +47,8 @@ pub fn sorted_search_owners(scanned_offsets: &[u32], needles: &[u32]) -> Vec<u32
         while seg + 1 < scanned_offsets.len() && scanned_offsets[seg + 1] <= w {
             seg += 1;
         }
+        // CAST: seg indexes scanned_offsets, whose length is a vertex count
+        // below u32::MAX.
         out.push(seg as u32);
     }
     out
@@ -63,6 +65,8 @@ pub fn merge_path_partitions(
     chunk_size: usize,
 ) -> Vec<u32> {
     assert!(chunk_size > 0);
+    // CAST: total_work widens u32 -> usize; c * chunk_size < total_work + chunk
+    // fits u32 because total_work does; segment indices are vertex counts.
     let num_chunks = (total_work as usize).div_ceil(chunk_size);
     (0..num_chunks)
         .into_par_iter()

@@ -37,6 +37,7 @@ where
     let chunk = n.div_ceil(rayon::current_num_threads() * 4).max(1);
     for pass in 0..(32 / RADIX_BITS) {
         let shift = pass * RADIX_BITS;
+        // CAST: deliberate truncation — the digit is masked to BUCKETS-1 bits.
         let digit = |it: &T| ((key(it) >> shift) as usize) & (BUCKETS - 1);
         // Phase 1: per-chunk digit histograms.
         let histograms: Vec<[usize; BUCKETS]> = src
@@ -61,6 +62,7 @@ where
         let (offsets, _) = scan_exclusive_usize(&flat);
         // Phase 3: stable scatter.
         {
+            crate::racecheck::begin_phase();
             let out = UnsafeSlice::new(&mut dst);
             src.par_chunks(chunk).enumerate().for_each(|(c, items)| {
                 let mut cursors = [0usize; BUCKETS];

@@ -33,18 +33,24 @@ impl WorkCounters {
     /// Adds to the edge-examination count.
     #[inline]
     pub fn add_edges(&self, n: u64) {
+        // ORDERING: Relaxed — monotonic telemetry counters; readers tolerate
+        // momentary staleness.
         self.edges_examined.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds to the filtered-element count.
     #[inline]
     pub fn add_filtered(&self, n: u64) {
+        // ORDERING: Relaxed — monotonic telemetry counters; readers tolerate
+        // momentary staleness.
         self.elements_filtered.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one completed iteration; `pull` marks reverse-direction.
     #[inline]
     pub fn add_iteration(&self, pull: bool) {
+        // ORDERING: Relaxed — monotonic telemetry counters; readers tolerate
+        // momentary staleness.
         self.iterations.fetch_add(1, Ordering::Relaxed);
         if pull {
             self.pull_iterations.fetch_add(1, Ordering::Relaxed);
@@ -53,16 +59,22 @@ impl WorkCounters {
 
     /// Snapshot of the edge count.
     pub fn edges(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic telemetry counters; readers tolerate
+        // momentary staleness.
         self.edges_examined.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the iteration count.
     pub fn iters(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic telemetry counters; readers tolerate
+        // momentary staleness.
         self.iterations.load(Ordering::Relaxed)
     }
 
     /// Snapshot of pull-direction iterations.
     pub fn pull_iters(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic telemetry counters; readers tolerate
+        // momentary staleness.
         self.pull_iterations.load(Ordering::Relaxed)
     }
 }
@@ -304,12 +316,16 @@ impl StatsSink {
 
     /// Current bulk-synchronous iteration number.
     pub fn current_iteration(&self) -> u32 {
+        // ORDERING: Relaxed — monotonic telemetry counters; readers tolerate
+        // momentary staleness.
         self.iteration.load(Ordering::Relaxed)
     }
 
     /// Advances the iteration counter (called once per bulk-synchronous
     /// iteration by the enact loop).
     pub fn next_iteration(&self) {
+        // ORDERING: Relaxed — monotonic telemetry counters; readers tolerate
+        // momentary staleness.
         self.iteration.fetch_add(1, Ordering::Relaxed);
     }
 

@@ -110,7 +110,7 @@ impl Coo {
         self.src.push(src);
         self.dst.push(dst);
         self.weights.get_or_insert_with(Vec::new).push(w);
-        debug_assert_eq!(self.weights.as_ref().unwrap().len(), self.src.len());
+        debug_assert_eq!(self.weights.as_ref().map(Vec::len), Some(self.src.len()));
     }
 
     fn grow_to_fit(&mut self, src: VertexId, dst: VertexId) {

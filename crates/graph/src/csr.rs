@@ -70,7 +70,7 @@ impl Csr {
         );
         assert!(col_indices.len() < EdgeId::MAX as usize, "edge count exceeds EdgeId range");
         assert_eq!(row_offsets[0], 0);
-        assert_eq!(*row_offsets.last().unwrap() as usize, col_indices.len());
+        assert_eq!(row_offsets.last().copied().unwrap_or(0) as usize, col_indices.len());
         debug_assert!(row_offsets.windows(2).all(|w| w[0] <= w[1]));
         if let Some(v) = &edge_values {
             assert_eq!(v.len(), col_indices.len());
@@ -136,10 +136,10 @@ impl Csr {
             )));
         }
         let m = self.col_indices.len();
-        if *self.row_offsets.last().unwrap() as usize != m {
+        let end = self.row_offsets.last().copied().unwrap_or(0);
+        if end as usize != m {
             return Err(GraphError::invalid(format!(
-                "row_offsets end at {} but there are {m} edges",
-                self.row_offsets.last().unwrap()
+                "row_offsets end at {end} but there are {m} edges"
             )));
         }
         if let Some(e) = self.col_indices.iter().position(|&c| c as usize >= n) {

@@ -54,6 +54,8 @@ static READ_FAULT_HOOK: Mutex<Option<Arc<ReadFaultHook>>> = Mutex::new(None);
 /// fault-injection harness (`--inject-faults io=R`) to simulate
 /// truncated and corrupted datasets deterministically.
 pub fn set_read_fault_hook(hook: Option<Arc<ReadFaultHook>>) {
+    // ORDERING: Release — publishes the hook slot (filled under the mutex
+    // below) before readers can observe the installed flag.
     READ_FAULT_INSTALLED.store(hook.is_some(), Ordering::Release);
     match READ_FAULT_HOOK.lock() {
         Ok(mut slot) => *slot = hook,
@@ -63,6 +65,8 @@ pub fn set_read_fault_hook(hook: Option<Arc<ReadFaultHook>>) {
 
 /// Consults the installed fault hook, if any.
 fn read_fault(path: &str, len: u64) -> Option<IoFault> {
+    // ORDERING: Acquire — pairs with the Release store in set_read_fault_hook
+    // so the fast-path flag never races ahead of the hook slot.
     if !READ_FAULT_INSTALLED.load(Ordering::Acquire) {
         return None;
     }

@@ -72,7 +72,7 @@ pub fn pseudo_diameter(g: &Csr) -> u32 {
         return 0;
     }
     // start from the max-degree vertex: cheap and lands in the big component
-    let start = (0..g.num_vertices() as VertexId).max_by_key(|&v| g.out_degree(v)).unwrap();
+    let start = (0..g.num_vertices() as VertexId).max_by_key(|&v| g.out_degree(v)).unwrap_or(0);
     let (far, _) = bfs_ecc(g, start);
     let (_, ecc) = bfs_ecc(g, far);
     ecc
@@ -87,7 +87,7 @@ pub fn degree_histogram(g: &Csr) -> Vec<usize> {
         let bucket = if d == 0 { 0 } else { 32 - d.leading_zeros() as usize };
         hist[bucket] += 1;
     }
-    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+    while hist.len() > 1 && hist.last() == Some(&0) {
         hist.pop();
     }
     hist

@@ -1,0 +1,45 @@
+// Clean lint fixture: the same shapes as scan.rs, each carrying the
+// justification its pass demands. The self-tests assert zero findings.
+
+pub fn justified_unsafe(p: *mut u8) {
+    // SAFETY: fixture — the caller hands us a valid, exclusive pointer.
+    unsafe { *p = 0 };
+}
+
+/// Fixture for the `# Safety` doc-section form.
+///
+/// # Safety
+/// `p` must be valid for writes.
+pub unsafe fn justified_unsafe_fn(p: *mut u8) {
+    // SAFETY: contract forwarded from this fn's own `# Safety` section.
+    unsafe { *p = 1 };
+}
+
+pub fn justified_fallible(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+pub fn allowed_panic() {
+    // LINT-ALLOW(panic): fixture — aborting is this function's contract.
+    panic!("by design");
+}
+
+// ORDERING: Relaxed is sufficient; the counter is advisory telemetry.
+pub fn justified_ordering(a: &std::sync::atomic::AtomicU32) -> u32 {
+    a.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+pub fn justified_cast(x: u64) -> u32 {
+    assert!(x < u32::MAX as u64);
+    // CAST: asserted just above.
+    x as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

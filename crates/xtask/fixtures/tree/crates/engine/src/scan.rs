@@ -1,0 +1,20 @@
+// Deliberately-bad lint fixture: one violation per pass. Never compiled;
+// the walker in the real workspace skips `fixtures/` directories, and the
+// self-tests point the linter here with --root to assert every pass fires
+// with a file:line.
+
+pub fn unjustified_unsafe(p: *mut u8) {
+    unsafe { *p = 0 };
+}
+
+pub fn unjustified_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn unjustified_ordering(a: &std::sync::atomic::AtomicU32) -> u32 {
+    a.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+pub fn unjustified_cast(x: u64) -> u32 {
+    x as u32
+}

@@ -1,0 +1,57 @@
+//! `gunrock-lint`: the workspace safety-audit linter.
+//!
+//! Four passes over every `.rs` file under `crates/`:
+//!
+//! 1. **safety** — every `unsafe` block/fn/impl needs an immediately
+//!    preceding `// SAFETY:` comment (`unsafe fn` may use a `# Safety`
+//!    doc section instead). Exit bit 1.
+//! 2. **panic** — `.unwrap()`, `.expect(`, and `panic!` are denied in
+//!    production modules; `// LINT-ALLOW(panic): reason` is the audited
+//!    escape hatch. Exit bit 2.
+//! 3. **ordering** — every `Ordering::` use outside
+//!    `crates/engine/src/atomics.rs` needs an `// ORDERING:`
+//!    justification in its function scope. Exit bit 4.
+//! 4. **cast** — `as u32` / `as usize` in hot-path modules need a
+//!    checked conversion or a `// CAST:` note. Exit bit 8.
+//!
+//! The binary front-end lives in `main.rs`; everything here is a library
+//! so the fixture self-tests can drive the passes directly.
+
+pub mod passes;
+pub mod report;
+pub mod scanner;
+pub mod walk;
+
+use passes::{Config, Finding};
+use std::path::Path;
+
+/// Outcome of a full lint run.
+pub struct LintRun {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl LintRun {
+    pub fn exit_code(&self) -> i32 {
+        report::exit_code(&self.findings)
+    }
+}
+
+/// Lints every workspace source file under `root` with `cfg`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintRun> {
+    let files = walk::workspace_sources(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        findings.extend(passes::lint_file(rel, &scanner::scan(&source), cfg));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+    Ok(LintRun { findings, files_scanned: files.len() })
+}
+
+/// Lints one file (used by the fixture self-tests, which point the
+/// linter at deliberately bad inputs outside the normal walk).
+pub fn lint_path(root: &Path, rel: &str, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let source = std::fs::read_to_string(root.join(rel))?;
+    Ok(passes::lint_file(rel, &scanner::scan(&source), cfg))
+}

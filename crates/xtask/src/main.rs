@@ -1,0 +1,74 @@
+//! `cargo run -p xtask -- lint [--json PATH] [--quiet] [--root DIR]`
+//!
+//! Exit code is a bitmask of failing passes (safety=1, panic=2,
+//! ordering=4, cast=8); 0 means the tree is clean, 32 means usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::passes::Config;
+use xtask::report;
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--json PATH] [--quiet] [--root DIR]
+
+passes and exit-code bits:
+  safety   (1)  unsafe without // SAFETY:
+  panic    (2)  unwrap/expect/panic! in production modules
+  ordering (4)  Ordering:: without // ORDERING: (outside atomics.rs)
+  cast     (8)  as u32/usize in hot paths without // CAST:
+exit 0 = clean, 32 = usage or I/O error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => ExitCode::from(code as u8),
+        Err(err) => {
+            eprintln!("gunrock-lint: {err}");
+            ExitCode::from(32)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<i32, String> {
+    if args.first().map(String::as_str) != Some("lint") {
+        return Err(format!("expected the `lint` subcommand\n{USAGE}"));
+    }
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(
+                    it.next().ok_or_else(|| format!("--json needs a path\n{USAGE}"))?.into(),
+                );
+            }
+            "--root" => {
+                root = Some(
+                    it.next().ok_or_else(|| format!("--root needs a dir\n{USAGE}"))?.into(),
+                );
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    // default root: the workspace this binary was built from
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let run = xtask::lint_workspace(&root, &Config::default())
+        .map_err(|e| format!("lint walk failed under {}: {e}", root.display()))?;
+    let code = run.exit_code();
+    if let Some(path) = json_path {
+        let json = report::render_json(&run.findings, run.files_scanned, code);
+        std::fs::write(&path, json)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if !quiet || code != 0 {
+        print!("{}", report::render_human(&run.findings, run.files_scanned));
+    }
+    Ok(code)
+}

@@ -1,0 +1,451 @@
+//! The four audit passes of `gunrock-lint`.
+//!
+//! Each pass walks the scanned lines of one file and emits findings.
+//! Justification rules are deliberately positional — a marker comment
+//! must be on the offending line, in the contiguous comment/attribute
+//! block directly above it, or (for ORDERING/CAST) anywhere between the
+//! use and its enclosing `fn` header, including the fn's doc block.
+//! That keeps the audit trail next to the code it justifies instead of
+//! in a far-away allowlist.
+
+use crate::scanner::{find_token, has_token, Line};
+
+/// Which audit pass produced a finding. The discriminants double as the
+/// process exit-code bits, so CI can tell at a glance which gate failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// `unsafe` without a `// SAFETY:` justification (exit bit 1).
+    Safety,
+    /// `.unwrap()` / `.expect(` / `panic!` in production modules (bit 2).
+    Panic,
+    /// `Ordering::` without `// ORDERING:` outside atomics.rs (bit 4).
+    Ordering,
+    /// Truncating `as u32` / `as usize` in hot paths without `// CAST:`
+    /// (bit 8).
+    Cast,
+}
+
+impl Pass {
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Safety => "safety",
+            Pass::Panic => "panic",
+            Pass::Ordering => "ordering",
+            Pass::Cast => "cast",
+        }
+    }
+
+    pub fn exit_bit(self) -> i32 {
+        match self {
+            Pass::Safety => 1,
+            Pass::Panic => 2,
+            Pass::Ordering => 4,
+            Pass::Cast => 8,
+        }
+    }
+}
+
+/// One lint violation, pointing at a file:line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub pass: Pass,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+    pub snippet: String,
+}
+
+/// Per-pass scoping. Paths are `/`-separated and relative to the repo
+/// root; a file is in scope if its path starts with any scope prefix
+/// and matches no exempt prefix.
+pub struct Config {
+    /// Modules where `.unwrap()`/`.expect()`/`panic!` are denied.
+    pub panic_scope: Vec<String>,
+    pub panic_exempt: Vec<String>,
+    /// Modules where every `Ordering::` use needs an `// ORDERING:` note.
+    pub ordering_scope: Vec<String>,
+    pub ordering_exempt: Vec<String>,
+    /// Hot-path modules where `as u32`/`as usize` needs a `// CAST:` note.
+    pub cast_scope: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            // all production crates; bench is dev tooling and tests/ is
+            // the integration harness — panics there are the point
+            panic_scope: vec![
+                "crates/graph/src".into(),
+                "crates/engine/src".into(),
+                "crates/core/src".into(),
+                "crates/algos/src".into(),
+                "crates/baselines/src".into(),
+                "crates/cli/src".into(),
+            ],
+            panic_exempt: vec![],
+            ordering_scope: vec![
+                "crates/graph/src".into(),
+                "crates/engine/src".into(),
+                "crates/core/src".into(),
+                "crates/algos/src".into(),
+                "crates/baselines/src".into(),
+                "crates/cli/src".into(),
+            ],
+            // atomics.rs IS the memory-model module: its doc comments
+            // carry the ordering arguments for the whole wrapper API
+            ordering_exempt: vec!["crates/engine/src/atomics.rs".into()],
+            cast_scope: vec![
+                "crates/engine/src/scan.rs".into(),
+                "crates/engine/src/compact.rs".into(),
+                "crates/engine/src/sort.rs".into(),
+                "crates/engine/src/search.rs".into(),
+                "crates/engine/src/bitmap.rs".into(),
+                "crates/engine/src/frontier.rs".into(),
+                "crates/engine/src/reduce.rs".into(),
+                "crates/engine/src/unsafe_slice.rs".into(),
+                "crates/core/src/advance".into(),
+                "crates/core/src/filter".into(),
+                "crates/core/src/util.rs".into(),
+            ],
+        }
+    }
+}
+
+fn in_scope(path: &str, scope: &[String], exempt: &[String]) -> bool {
+    scope.iter().any(|p| path.starts_with(p.as_str()))
+        && !exempt.iter().any(|p| path.starts_with(p.as_str()))
+}
+
+/// Runs every pass over one scanned file.
+pub fn lint_file(path: &str, lines: &[Line], cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    safety_pass(path, lines, &mut out);
+    if in_scope(path, &cfg.panic_scope, &cfg.panic_exempt) {
+        panic_pass(path, lines, &mut out);
+    }
+    if in_scope(path, &cfg.ordering_scope, &cfg.ordering_exempt) {
+        marker_pass(path, lines, Pass::Ordering, "Ordering::", "ORDERING:", &mut out);
+    }
+    if in_scope(path, &cfg.cast_scope, &[]) {
+        cast_pass(path, lines, &mut out);
+    }
+    out
+}
+
+/// True if the contiguous comment/attribute block directly above
+/// `lines[idx]` (or the line itself) contains `marker`.
+fn block_above_has(lines: &[Line], idx: usize, marker: &str) -> bool {
+    if lines[idx].comment.contains(marker) {
+        return true;
+    }
+    for j in (0..idx).rev() {
+        let l = &lines[j];
+        if l.comment.contains(marker) {
+            return true;
+        }
+        let code = l.code.trim();
+        let comment_only = code.is_empty() && !l.comment.is_empty();
+        let attr_only = code.starts_with("#[") || code.starts_with("#!");
+        if !(comment_only || attr_only) {
+            return false;
+        }
+    }
+    false
+}
+
+/// True if `marker` appears between `lines[idx]` and its enclosing `fn`
+/// header (inclusive of the fn's contiguous doc/attribute block).
+fn fn_scope_has(lines: &[Line], idx: usize, marker: &str) -> bool {
+    if lines[idx].comment.contains(marker) {
+        return true;
+    }
+    let mut above_fn = false;
+    for j in (0..idx).rev() {
+        let l = &lines[j];
+        if l.comment.contains(marker) {
+            return true;
+        }
+        if above_fn {
+            let code = l.code.trim();
+            let passthrough =
+                code.is_empty() || code.starts_with("#[") || code.starts_with("#!");
+            if !passthrough {
+                return false;
+            }
+        } else if has_token(&l.code, "fn") {
+            above_fn = true;
+        }
+    }
+    false
+}
+
+/// Every `unsafe` block, fn, or impl needs a `// SAFETY:` comment on the
+/// line or directly above it; `unsafe fn` also accepts a `# Safety` doc
+/// section. Applies to test code too — tests argue safety like anyone
+/// else.
+fn safety_pass(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(pos) = find_token(&line.code, "unsafe", 0) else { continue };
+        // only the first `unsafe` on a line anchors a finding; nested
+        // same-line occurrences share its justification
+        let rest = line.code[pos + "unsafe".len()..].trim_start();
+        let is_fn_decl = rest.starts_with("fn");
+        let kind = if is_fn_decl {
+            "unsafe fn"
+        } else if rest.starts_with("impl") {
+            "unsafe impl"
+        } else if rest.starts_with("trait") {
+            "unsafe trait"
+        } else {
+            "unsafe block"
+        };
+        let justified = block_above_has(lines, idx, "SAFETY:")
+            || (is_fn_decl && block_above_has(lines, idx, "# Safety"));
+        if !justified {
+            out.push(Finding {
+                pass: Pass::Safety,
+                file: path.to_string(),
+                line: line.number,
+                message: format!(
+                    "{kind} without a `// SAFETY:` comment on the preceding lines{}",
+                    if is_fn_decl { " (or a `# Safety` doc section)" } else { "" }
+                ),
+                snippet: line.code.trim().to_string(),
+            });
+        }
+    }
+}
+
+/// `.unwrap()` / `.expect(` / `panic!` are denied in production code.
+/// The escape hatch is a `LINT-ALLOW(panic): reason` comment on the line
+/// or directly above — it must carry a reason, which is the point.
+fn panic_pass(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let mut hits: Vec<&str> = Vec::new();
+        if line.code.contains(".unwrap()") {
+            hits.push(".unwrap()");
+        }
+        if line.code.contains(".expect(") {
+            hits.push(".expect(");
+        }
+        if has_token(&line.code, "panic") && line.code.contains("panic!") {
+            hits.push("panic!");
+        }
+        if hits.is_empty() || block_above_has(lines, idx, "LINT-ALLOW(panic)") {
+            continue;
+        }
+        for hit in hits {
+            out.push(Finding {
+                pass: Pass::Panic,
+                file: path.to_string(),
+                line: line.number,
+                message: format!(
+                    "`{hit}` in a production module — return a GunrockError (or add \
+                     `// LINT-ALLOW(panic): reason` if aborting is the contract)"
+                ),
+                snippet: line.code.trim().to_string(),
+            });
+        }
+    }
+}
+
+/// Shared shape of the ORDERING pass: each `needle` use outside test
+/// code needs `marker` within its function scope. `std::cmp::Ordering`
+/// shares the atomics type's name but has nothing to justify, so
+/// `cmp::`-qualified uses are skipped.
+fn marker_pass(
+    path: &str,
+    lines: &[Line],
+    pass: Pass,
+    needle: &str,
+    marker: &str,
+    out: &mut Vec<Finding>,
+) {
+    let is_atomic_use = |code: &str| {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(needle).map(|p| from + p) {
+            if !code[..pos].ends_with("cmp::") {
+                return true;
+            }
+            from = pos + needle.len();
+        }
+        false
+    };
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || !is_atomic_use(&line.code) {
+            continue;
+        }
+        if !fn_scope_has(lines, idx, marker) {
+            out.push(Finding {
+                pass,
+                file: path.to_string(),
+                line: line.number,
+                message: format!(
+                    "`{needle}` use without a `// {marker}` justification in the \
+                     enclosing function"
+                ),
+                snippet: line.code.trim().to_string(),
+            });
+        }
+    }
+}
+
+/// Truncating `as u32` / `as usize` casts in hot-path modules need a
+/// checked conversion instead, or a `// CAST:` note arguing why the
+/// value fits.
+fn cast_pass(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let mut found: Vec<&str> = Vec::new();
+        for target in ["u32", "usize"] {
+            let mut from = 0;
+            while let Some(pos) = find_token(&line.code, "as", from) {
+                from = pos + 2;
+                let rest = line.code[pos + 2..].trim_start();
+                if rest.starts_with(target)
+                    && !rest[target.len()..]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    found.push(target);
+                    break;
+                }
+            }
+        }
+        if found.is_empty() || fn_scope_has(lines, idx, "CAST:") {
+            continue;
+        }
+        for target in found {
+            out.push(Finding {
+                pass: Pass::Cast,
+                file: path.to_string(),
+                line: line.number,
+                message: format!(
+                    "`as {target}` in a hot-path module can truncate — use a checked \
+                     conversion or add `// CAST:` explaining why the value fits"
+                ),
+                snippet: line.code.trim().to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        lint_file(path, &scan(src), &Config::default())
+    }
+
+    #[test]
+    fn unsafe_block_without_safety_comment_is_flagged() {
+        let f =
+            run("crates/engine/src/x.rs", "fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].pass, Pass::Safety);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_above_or_inline_passes() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p = 0 };\n    unsafe { *p = 1 }; // SAFETY: still valid\n}\n";
+        assert!(run("crates/engine/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_reaches_over_attributes() {
+        let src = "// SAFETY: vec is fully initialized below\n#[allow(clippy::uninit_vec)]\nunsafe {\n    v.set_len(n);\n}\n";
+        assert!(run("crates/engine/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_safety_doc_section() {
+        let src = "/// Writes through the pointer.\n///\n/// # Safety\n/// `p` must be valid for writes.\npub unsafe fn poke(p: *mut u8) { }\n";
+        assert!(run("crates/engine/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_production_flagged_but_test_code_exempt() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let f = run("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].pass, Pass::Panic);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn lint_allow_escape_hatch() {
+        let src = "fn f() {\n    // LINT-ALLOW(panic): fault injector aborts by design\n    panic!(\"injected\");\n}\n";
+        assert!(run("crates/engine/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_outside_scope_is_ignored() {
+        assert!(run("crates/bench/src/x.rs", "fn f() { x.unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn ordering_needs_justification_in_fn_scope() {
+        let bad = "fn f(a: &AtomicU32) {\n    a.load(Ordering::Relaxed);\n}\n";
+        let f = run("crates/engine/src/x.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].pass, Pass::Ordering);
+
+        let good = "// ORDERING: Relaxed is fine, counter is advisory.\nfn f(a: &AtomicU32) {\n    a.load(Ordering::Relaxed);\n    a.store(1, Ordering::Relaxed);\n}\n";
+        assert!(run("crates/engine/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn ordering_marker_does_not_leak_across_fns() {
+        let src = "// ORDERING: justified here.\nfn f(a: &AtomicU32) { a.load(Ordering::Relaxed); }\n\nfn g(a: &AtomicU32) {\n    a.load(Ordering::Acquire);\n}\n";
+        let f = run("crates/engine/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_an_atomic_ordering() {
+        let src = "fn f(a: u32, b: u32) {\n    match a.cmp(&b) { std::cmp::Ordering::Less => {}, _ => {} }\n}\n";
+        assert!(run("crates/algos/src/x.rs", src).is_empty());
+        let mixed = "fn f(x: &A) { x.load(Ordering::Relaxed); match std::cmp::Ordering::Less { _ => {} } }\n";
+        assert_eq!(run("crates/engine/src/x.rs", mixed).len(), 1);
+    }
+
+    #[test]
+    fn atomics_module_is_ordering_exempt() {
+        let src = "fn f(a: &AtomicU32) { a.load(Ordering::Relaxed); }\n";
+        assert!(run("crates/engine/src/atomics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cast_pass_flags_hot_path_truncation() {
+        let f = run("crates/engine/src/scan.rs", "fn f(x: u64) -> u32 { x as u32 }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].pass, Pass::Cast);
+
+        let good = "fn f(x: u64) -> u32 {\n    // CAST: x < u32::MAX asserted by the caller.\n    x as u32\n}\n";
+        assert!(run("crates/engine/src/scan.rs", good).is_empty());
+    }
+
+    #[test]
+    fn cast_pass_ignores_cold_modules_and_other_widths() {
+        assert!(run("crates/algos/src/bfs.rs", "fn f(x: u64) -> u32 { x as u32 }\n").is_empty());
+        assert!(
+            run("crates/engine/src/scan.rs", "fn f(x: u32) -> u64 { x as u64 }\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn strings_do_not_trip_passes() {
+        let src = "fn f() { log(\"panic! unsafe Ordering::Relaxed as u32\"); }\n";
+        assert!(run("crates/engine/src/scan.rs", src).is_empty());
+    }
+}

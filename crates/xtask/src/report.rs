@@ -1,0 +1,143 @@
+//! Human-readable and JSON (`gunrock-lint/v1`) output for lint runs.
+
+use crate::passes::{Finding, Pass};
+
+/// Renders findings the way compilers do — `file:line: pass: message` —
+/// plus a per-pass summary line.
+pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            f.file,
+            f.line,
+            f.pass.name(),
+            f.message,
+            f.snippet
+        ));
+    }
+    let count = |p: Pass| findings.iter().filter(|f| f.pass == p).count();
+    out.push_str(&format!(
+        "gunrock-lint: {} file(s) scanned, {} finding(s) \
+         (safety {}, panic {}, ordering {}, cast {})\n",
+        files_scanned,
+        findings.len(),
+        count(Pass::Safety),
+        count(Pass::Panic),
+        count(Pass::Ordering),
+        count(Pass::Cast),
+    ));
+    out
+}
+
+/// Serializes findings as a `gunrock-lint/v1` JSON document. Hand-rolled
+/// like the rest of the crate — the schema is flat enough that an
+/// escaper and format strings cover it.
+pub fn render_json(findings: &[Finding], files_scanned: usize, exit_code: i32) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"gunrock-lint/v1\",\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"exit_code\": {exit_code},\n"));
+    let count = |p: Pass| findings.iter().filter(|f| f.pass == p).count();
+    out.push_str(&format!(
+        "  \"counts\": {{\"safety\": {}, \"panic\": {}, \"ordering\": {}, \"cast\": {}}},\n",
+        count(Pass::Safety),
+        count(Pass::Panic),
+        count(Pass::Ordering),
+        count(Pass::Cast),
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            f.pass.name(),
+            escape(&f.file),
+            f.line,
+            escape(&f.message),
+            escape(&f.snippet),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Computes the process exit code: the OR of the exit bits of every pass
+/// with at least one finding (safety=1, panic=2, ordering=4, cast=8).
+pub fn exit_code(findings: &[Finding]) -> i32 {
+    findings.iter().fold(0, |acc, f| acc | f.pass.exit_bit())
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                pass: Pass::Safety,
+                file: "crates/engine/src/x.rs".into(),
+                line: 12,
+                message: "unsafe block without a `// SAFETY:` comment".into(),
+                snippet: "unsafe { \"quoted\" }".into(),
+            },
+            Finding {
+                pass: Pass::Cast,
+                file: "crates/engine/src/scan.rs".into(),
+                line: 3,
+                message: "truncating cast".into(),
+                snippet: "x as u32".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn exit_code_is_a_bitmask_of_failing_passes() {
+        assert_eq!(exit_code(&[]), 0);
+        assert_eq!(exit_code(&sample()), 1 | 8);
+    }
+
+    #[test]
+    fn human_output_has_file_line_and_summary() {
+        let text = render_human(&sample(), 7);
+        assert!(text.contains("crates/engine/src/x.rs:12: [safety]"));
+        assert!(text.contains("7 file(s) scanned, 2 finding(s)"));
+        assert!(text.contains("safety 1, panic 0, ordering 0, cast 1"));
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_escaped() {
+        let json = render_json(&sample(), 7, 9);
+        assert!(json.contains("\"schema\": \"gunrock-lint/v1\""));
+        assert!(json.contains("\"exit_code\": 9"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"line\": 12"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = render_json(&[], 0, 0);
+        assert!(json.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Comment- and string-aware line scanner.
+//!
+//! The linter never parses Rust properly — it only needs to know, per
+//! line, (a) the code text with comments stripped and string/char
+//! literal *contents* blanked, (b) the comment text, and (c) whether the
+//! line sits inside `#[cfg(test)]`-gated code. A hand-rolled state
+//! machine over the raw source delivers exactly that with no
+//! dependencies, handling nested block comments, raw strings
+//! (`r#"..."#`), byte strings, char literals, and the char-vs-lifetime
+//! ambiguity (`'a'` vs `&'a T`).
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code on the line, with comments removed and literal contents
+    /// blanked (quotes are kept, so a string literal appears as `""`).
+    pub code: String,
+    /// Concatenated comment text on the line (line, doc, and block
+    /// comment content).
+    pub comment: String,
+    /// True if the line is inside `#[cfg(test)]`-gated code.
+    pub in_test: bool,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Scans `source` into per-line code/comment views and marks
+/// `#[cfg(test)]` regions.
+pub fn scan(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line { number: 1, ..Line::default() };
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    let flush = |lines: &mut Vec<Line>, cur: &mut Line| {
+        let number = cur.number;
+        lines.push(std::mem::take(cur));
+        cur.number = number + 1;
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush(&mut lines, &mut cur);
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let prev_ident = i
+                    .checked_sub(1)
+                    .and_then(|p| chars.get(p))
+                    .is_some_and(|&p| p.is_alphanumeric() || p == '_');
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur.comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if !prev_ident && (c == 'r' || c == 'b') {
+                    // possible raw/byte literal prefix
+                    let mut j = i + 1;
+                    let mut saw_r = c == 'r';
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        saw_r = true;
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while saw_r && chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if saw_r && chars.get(j) == Some(&'"') {
+                        cur.code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                        // byte char literal b'x'
+                        cur.code.push_str("b''");
+                        state = State::CharLit;
+                        i += 2;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        cur.code.push('"');
+                        state = State::Str;
+                        i += 2;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // char literal or lifetime
+                    if next == Some('\\') {
+                        cur.code.push_str("''");
+                        state = State::CharLit;
+                        i += 2;
+                    } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        // 'x' (any single char, not an empty pair)
+                        cur.code.push_str("''");
+                        i += 3;
+                    } else {
+                        // lifetime like 'a — keep the tick in code
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state =
+                        if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut n = 0u32;
+                    while n < hashes && chars.get(j) == Some(&'#') {
+                        n += 1;
+                        j += 1;
+                    }
+                    if n == hashes {
+                        cur.code.push('"');
+                        state = State::Code;
+                        i = j;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// True if `code` contains `tok` as a standalone token (not part of a
+/// longer identifier).
+pub fn has_token(code: &str, tok: &str) -> bool {
+    find_token(code, tok, 0).is_some()
+}
+
+/// Finds the byte offset of the next standalone occurrence of `tok` in
+/// `code` at or after `from`.
+pub fn find_token(code: &str, tok: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = from;
+    while let Some(pos) = code.get(start..).and_then(|s| s.find(tok)) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let end = at + tok.len();
+        let after_ok = end >= bytes.len() || {
+            let b = bytes[end];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+/// Marks lines covered by `#[cfg(test)]` (or `#[cfg(all(test, ...))]`)
+/// items: the attribute arms a brace counter that claims every line up
+/// to the item's closing brace.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut idx = 0;
+    while idx < lines.len() {
+        let code = lines[idx].code.trim().to_string();
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            // claim lines until the gated item ends: either a `;` before
+            // any `{` (e.g. a gated `use`), or the matching close brace
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            let mut j = idx;
+            while j < lines.len() {
+                lines[j].in_test = true;
+                for ch in lines[j].code.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        ';' if !opened => {
+                            // attribute on a braceless item
+                            depth = 0;
+                            opened = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            idx = j + 1;
+        } else {
+            idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_blanks_strings() {
+        let src = "let x = \"unsafe\"; // SAFETY: not really\nlet y = 1;\n";
+        let lines = scan(src);
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("SAFETY:"));
+        assert_eq!(lines[1].code.trim(), "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_do_not_leak_into_code() {
+        let src = "let s = r#\"panic! Ordering::Relaxed\"#;\nlet c = 'u'; let l: &'static str = \"\";\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(!lines[0].code.contains("Ordering"));
+        assert!(lines[1].code.contains("&'static"));
+    }
+
+    #[test]
+    fn multiline_strings_span_lines() {
+        let src = "let s = \"line one\n  unsafe { }\n\";\nlet t = 3;\n";
+        let lines = scan(src);
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[3].code.contains("let t"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n";
+        let lines = scan(src);
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn prod2() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("pub mod unsafe_slice;", "unsafe"));
+        assert!(!has_token("maybe_panic(x)", "panic"));
+        assert!(find_token("a fn b fn", "fn", 4).is_some());
+    }
+}

@@ -1,0 +1,61 @@
+//! Source-tree walker: every `.rs` file under `crates/`, excluding
+//! build output, vendored shims, and the linter's own test fixtures.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects workspace `.rs` files under `root/crates`, returned as
+/// `/`-separated paths relative to `root`, sorted for deterministic
+/// reports.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    collect(&root.join("crates"), root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            // target: build output; fixtures: deliberately-bad lint inputs
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(relative_unix(&path, root));
+        }
+    }
+    Ok(())
+}
+
+fn relative_unix(path: &Path, root: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_workspace_and_skips_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_sources(&root).expect("workspace walk");
+        assert!(files.iter().any(|f| f == "crates/xtask/src/walk.rs"));
+        assert!(files.iter().any(|f| f == "crates/engine/src/unsafe_slice.rs"));
+        assert!(!files.iter().any(|f| f.contains("/fixtures/")));
+        assert!(!files.iter().any(|f| f.contains("/target/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

@@ -1,0 +1,89 @@
+//! End-to-end self-tests for `gunrock-lint`: run the real binary against
+//! the fixture tree (one violation per pass, plus justified twins) and
+//! against the live workspace, asserting exit codes, file:line output,
+//! and the JSON report schema.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn xtask_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_lint(root: &Path, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn gunrock-lint")
+}
+
+#[test]
+fn bad_fixture_trips_every_pass_with_file_and_line() {
+    let out = run_lint(&xtask_dir().join("fixtures/tree"), &[]);
+    // all four passes fire: safety|panic|ordering|cast = 1|2|4|8
+    assert_eq!(out.status.code(), Some(15), "exit code should OR all pass bits");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("crates/engine/src/scan.rs:7: [safety]"),
+        "missing safety finding with file:line in:\n{text}"
+    );
+    assert!(text.contains("crates/engine/src/scan.rs:11: [panic]"), "{text}");
+    assert!(text.contains("crates/engine/src/scan.rs:15: [ordering]"), "{text}");
+    assert!(text.contains("crates/engine/src/scan.rs:19: [cast]"), "{text}");
+    // the justified twins in clean.rs must not appear
+    assert!(!text.contains("clean.rs"), "clean fixture was flagged:\n{text}");
+}
+
+#[test]
+fn json_report_is_schema_tagged_and_counts_match() {
+    let json_path =
+        std::env::temp_dir().join(format!("gunrock-lint-selftest-{}.json", std::process::id()));
+    let out = run_lint(
+        &xtask_dir().join("fixtures/tree"),
+        &["--quiet", "--json", json_path.to_str().expect("utf8 temp path")],
+    );
+    assert_eq!(out.status.code(), Some(15));
+    let json = std::fs::read_to_string(&json_path).expect("json report written");
+    let _ = std::fs::remove_file(&json_path);
+    assert!(json.contains("\"schema\": \"gunrock-lint/v1\""));
+    assert!(json.contains("\"exit_code\": 15"));
+    assert!(json.contains("\"safety\": 1"));
+    assert!(json.contains("\"panic\": 1"));
+    assert!(json.contains("\"ordering\": 1"));
+    assert!(json.contains("\"cast\": 1"));
+    assert!(json.contains("\"file\": \"crates/engine/src/scan.rs\""));
+}
+
+#[test]
+fn usage_errors_exit_32() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("frobnicate")
+        .output()
+        .expect("spawn gunrock-lint");
+    assert_eq!(out.status.code(), Some(32));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    // the acceptance gate CI enforces: the real tree lints clean
+    let root = xtask_dir().join("../..");
+    let out = run_lint(&root, &[]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "workspace has lint findings:\n{text}");
+}
+
+#[test]
+fn library_api_agrees_with_binary_on_fixtures() {
+    use xtask::passes::{Config, Pass};
+    let run = xtask::lint_workspace(&xtask_dir().join("fixtures/tree"), &Config::default())
+        .expect("fixture walk");
+    assert_eq!(run.files_scanned, 2);
+    assert_eq!(run.exit_code(), 15);
+    let passes: Vec<Pass> = run.findings.iter().map(|f| f.pass).collect();
+    assert_eq!(passes, vec![Pass::Safety, Pass::Panic, Pass::Ordering, Pass::Cast]);
+}
