@@ -329,7 +329,11 @@ fn bc_run(ctx: &Context<'_>, src: VertexId, opts: BcOptions, st: BcLoop) -> BcRe
             // ever grows, so `last()` cannot fail.
             let raw = advance::advance(ctx, levels.last().unwrap(), spec, &f);
             let next = filter::filter(ctx, &raw, &ClaimLevel { tags: &tags, level });
+            // the level stack keeps `next`; only the raw intermediate is
+            // dead and recyclable
+            ctx.recycle(raw);
             if next.is_empty() {
+                ctx.recycle(next);
                 break;
             }
             levels.push(next);
@@ -362,6 +366,11 @@ fn bc_run(ctx: &Context<'_>, src: VertexId, opts: BcOptions, st: BcLoop) -> BcRe
         }
     }
 
+    // the level stack's frontiers still own pooled storage; return them
+    // so a re-run on this context starts with a warm pool
+    for lvl in levels {
+        ctx.recycle(lvl);
+    }
     // a panic that emptied the frontier must not read as convergence
     if ctx.is_poisoned() {
         outcome = RunOutcome::Failed;

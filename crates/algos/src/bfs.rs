@@ -490,7 +490,10 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                     level,
                 };
                 let spec = AdvanceSpec::v2v().with_mode(opts.mode);
-                frontier = advance::advance(ctx, &frontier, spec, &f);
+                // ping-pong: the retired frontier's storage goes back to
+                // the pool and returns as the next advance's output buffer
+                let next = advance::advance(ctx, &frontier, spec, &f);
+                ctx.recycle(std::mem::replace(&mut frontier, next));
                 enactor_iters += 1;
                 ctx.end_iteration(false);
             }
@@ -505,13 +508,17 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                 };
                 let spec = AdvanceSpec::v2v().with_mode(opts.mode);
                 let raw = advance::advance(ctx, &frontier, spec, &f);
-                frontier = filter::culling::filter_with_culling(
+                let next = filter::culling::filter_with_culling(
                     ctx,
                     &raw,
                     &visited,
                     &ContractLabel { labels: &labels, level },
                     opts.culling,
                 );
+                // both the raw intermediate and the retired frontier go
+                // back to the pool for the next iteration
+                ctx.recycle(raw);
+                ctx.recycle(std::mem::replace(&mut frontier, next));
                 enactor_iters += 1;
                 ctx.end_iteration(false);
             }
@@ -528,13 +535,14 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                     st: BfsState { labels: &labels, preds: preds.as_deref() },
                     level,
                 };
-                frontier = advance::fused::advance_filter_fused(
+                let next = advance::fused::advance_filter_fused(
                     ctx,
                     &frontier,
                     AdvanceSpec::v2v(),
                     &f,
                     &visited,
                 );
+                ctx.recycle(std::mem::replace(&mut frontier, next));
                 enactor_iters += 1;
                 ctx.end_iteration(false);
             }
@@ -588,13 +596,15 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                         };
                         let spec = AdvanceSpec::v2v().with_mode(opts.mode);
                         let raw = advance::advance(ctx, &frontier, spec, &f);
-                        filter::culling::filter_with_culling(
+                        let contracted = filter::culling::filter_with_culling(
                             ctx,
                             &raw,
                             &visited,
                             &ContractLabel { labels: &labels, level },
                             opts.culling,
-                        )
+                        );
+                        ctx.recycle(raw);
+                        contracted
                     }
                     TraversalDirection::Pull => {
                         pull_iters += 1;
@@ -623,11 +633,14 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                 );
                 ctx.end_iteration(direction == TraversalDirection::Pull);
                 enactor_iters += 1;
-                frontier = next;
+                ctx.recycle(std::mem::replace(&mut frontier, next));
             }
         }
     }
 
+    // the loop's last frontier still owns pooled storage; return it so
+    // a re-run on this context starts with a warm pool
+    ctx.recycle(frontier);
     // a panic that emptied the frontier must not read as convergence
     if ctx.is_poisoned() {
         outcome = RunOutcome::Failed;

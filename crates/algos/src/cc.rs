@@ -225,20 +225,26 @@ fn cc_run(ctx: &Context<'_>, st: CcLoop) -> CcResult {
             let changed = AtomicBool::new(false);
             let hook =
                 Hook { edge_src: &edge_src, edge_dst, labels: &labels, changed: &changed };
-            edge_frontier = filter::filter(ctx, &edge_frontier, &hook);
+            let kept = filter::filter(ctx, &edge_frontier, &hook);
+            ctx.recycle(std::mem::replace(&mut edge_frontier, kept));
             // Pointer jumping runs next, until all labels point at roots
             // (labels may differ only through stale pointers: jumping
             // reconciles them).
-            vertex_frontier = Frontier::full(n);
+            ctx.recycle(std::mem::replace(&mut vertex_frontier, Frontier::full(n)));
             phase = PHASE_JUMPING;
         } else {
-            vertex_frontier = filter::filter(ctx, &vertex_frontier, &Jump { labels: &labels });
+            let kept = filter::filter(ctx, &vertex_frontier, &Jump { labels: &labels });
+            ctx.recycle(std::mem::replace(&mut vertex_frontier, kept));
             if vertex_frontier.is_empty() {
                 phase = PHASE_HOOKING;
             }
         }
     }
 
+    // both loop frontiers still own pooled storage; return them so a
+    // re-run on this context starts with a warm pool
+    ctx.recycle(edge_frontier);
+    ctx.recycle(vertex_frontier);
     // a panic that emptied the frontier must not read as convergence
     if ctx.is_poisoned() {
         outcome = RunOutcome::Failed;

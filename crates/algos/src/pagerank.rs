@@ -224,11 +224,14 @@ fn pagerank_run(ctx: &Context<'_>, opts: PrOptions, st: PrLoop) -> PrResult {
         // filter: vertices with enough pending residual re-enter
         let eps = opts.epsilon;
         let next = compact_indices(&residual, |&r| r > eps);
-        frontier = Frontier::from_vec(next);
+        ctx.recycle(std::mem::replace(&mut frontier, Frontier::from_vec(next)));
     }
     // fold any remaining sub-threshold residual into the scores
     scores.par_iter_mut().zip(residual.par_iter()).for_each(|(s, r)| *s += r);
 
+    // the loop's last frontier still owns pooled storage; return it so
+    // a re-run on this context starts with a warm pool
+    ctx.recycle(frontier);
     // a panic that emptied the frontier must not read as convergence
     if ctx.is_poisoned() {
         outcome = RunOutcome::Failed;

@@ -310,14 +310,18 @@ fn sssp_run(ctx: &Context<'_>, src: VertexId, opts: SsspOptions, st: SsspLoop) -
             let spec = AdvanceSpec::v2v().with_mode(opts.mode);
             let raw = advance::advance(ctx, &frontier, spec, &relax);
             let dedup = filter::filter(ctx, &raw, &RemoveRedundant { tags: &tags, queue_id });
+            // the raw advance output is dead once deduplicated: back to
+            // the pool so the next relaxation reuses its storage
+            ctx.recycle(raw);
             queue_id = queue_id.wrapping_add(1);
-            frontier = if opts.use_priority_queue {
+            let next = if opts.use_priority_queue {
                 // ORDERING: Relaxed — dist cells are monotonic fetch_min targets and tag
                 // swaps need only per-cell atomicity; relaxation rounds end at join barriers.
                 queue.split(dedup, |v| dist[v as usize].load(Ordering::Relaxed))
             } else {
                 dedup
             };
+            ctx.recycle(std::mem::replace(&mut frontier, next));
         }
         if !opts.use_priority_queue {
             break;
@@ -328,6 +332,9 @@ fn sssp_run(ctx: &Context<'_>, src: VertexId, opts: SsspOptions, st: SsspLoop) -
         }
     }
 
+    // the loop's last frontier still owns pooled storage; return it so
+    // a re-run on this context starts with a warm pool
+    ctx.recycle(frontier);
     // a panic that emptied the frontier must not read as convergence
     if ctx.is_poisoned() {
         outcome = RunOutcome::Failed;

@@ -5,9 +5,13 @@
 //! examined, advance/filter/compute time split).
 //!
 //! This is the file EXPERIMENTS.md regeneration and the CI stats check
-//! consume; `BENCH_pr3.json` in the repo root is a committed snapshot.
-//! Each row also reports `recovery_events` so a fault-free benchmark
-//! run provably took zero retry/fallback paths.
+//! consume; `BENCH_pr5.json` in the repo root is the current committed
+//! snapshot (`BENCH_pr3.json` is the pre-pool baseline the regression
+//! gate diffs against — see `scripts/bench_compare`). Each row also
+//! reports `recovery_events` so a fault-free benchmark run provably took
+//! zero retry/fallback paths, plus the buffer-pool counters
+//! (`pool_allocations` flat-lining across iterations is the
+//! zero-allocation property).
 //!
 //! Usage: `cargo run --release -p gunrock-bench --bin bench_json
 //!         [--scale N] [--runs N] [--out PATH]`
@@ -18,7 +22,7 @@ use gunrock_engine::json::JsonBuilder;
 
 fn main() {
     let args = BenchArgs::parse();
-    let out = arg_value("--out").unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_pr5.json".to_string());
 
     let mut j = JsonBuilder::new();
     j.begin_object();
@@ -47,6 +51,10 @@ fn main() {
             j.field_f64("filter_millis", s.filter_millis);
             j.field_f64("compute_millis", s.compute_millis);
             j.field_u64("recovery_events", s.recovery_events);
+            j.field_f64("stats_wall_millis", s.wall_millis);
+            j.field_u64("pool_allocations", s.pool.allocations);
+            j.field_u64("pool_checkouts", s.pool.checkouts);
+            j.field_u64("pool_bytes_high_water", s.pool.bytes_high_water);
             j.end_object();
             eprintln!(
                 "{:>8} on {:>8}: {:>10.3} ms  {:>8.1} MTEPS  ({} iters, {} steps)",

@@ -262,32 +262,32 @@ pub fn run_system(
 
 /// One extra instrumented Gunrock run to collect the per-operator trace.
 /// Kept separate from the timed loop so sink bookkeeping never shows up
-/// in the reported wall times.
+/// in the reported wall times. The summary is stamped with this run's own
+/// wall clock (so per-operator sums can be sanity-capped against it) and
+/// the context's buffer-pool counters.
 fn gunrock_stats(alg: Algorithm, d: &Dataset) -> RunStatsSummary {
     let g = &d.graph;
     let src = 0u32;
+    let ctx = match alg {
+        Algorithm::Bfs => Context::with_stats(Context::new(g).with_reverse(d.reverse())),
+        _ => Context::with_stats(Context::new(g)),
+    };
+    let start = std::time::Instant::now();
     match alg {
         Algorithm::Bfs => {
-            let ctx = Context::with_stats(Context::new(g).with_reverse(d.reverse()));
             std::hint::black_box(algos::bfs(
                 &ctx,
                 src,
                 algos::BfsOptions::direction_optimized(),
             ));
-            ctx.run_stats().summary()
         }
         Algorithm::Sssp => {
-            let ctx = Context::with_stats(Context::new(g));
             std::hint::black_box(algos::sssp(&ctx, src, algos::SsspOptions::default()));
-            ctx.run_stats().summary()
         }
         Algorithm::Bc => {
-            let ctx = Context::with_stats(Context::new(g));
             std::hint::black_box(algos::bc(&ctx, src, algos::BcOptions::default()));
-            ctx.run_stats().summary()
         }
         Algorithm::PageRank => {
-            let ctx = Context::with_stats(Context::new(g));
             std::hint::black_box(algos::pagerank(
                 &ctx,
                 algos::PrOptions {
@@ -297,14 +297,13 @@ fn gunrock_stats(alg: Algorithm, d: &Dataset) -> RunStatsSummary {
                     ..Default::default()
                 },
             ));
-            ctx.run_stats().summary()
         }
         Algorithm::Cc => {
-            let ctx = Context::with_stats(Context::new(g));
             std::hint::black_box(algos::cc(&ctx));
-            ctx.run_stats().summary()
         }
     }
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    ctx.run_stats().summary().with_wall_clock(wall).with_pool(ctx.pool().stats())
 }
 
 #[cfg(test)]
@@ -333,6 +332,12 @@ mod tests {
                     assert_eq!(m.stats.is_some(), sys == System::Gunrock, "{sys:?} {alg:?}");
                     if let Some(s) = m.stats {
                         assert!(s.steps > 0, "{sys:?} {alg:?} trace is empty");
+                        assert!(s.wall_millis > 0.0, "{sys:?} {alg:?} missing wall clock");
+                        assert!(
+                            s.operator_sum_millis() <= s.wall_millis + 1e-9,
+                            "{sys:?} {alg:?} operator sum exceeds wall time"
+                        );
+                        assert!(s.pool.checkouts > 0, "{sys:?} {alg:?} never used the pool");
                     }
                 }
             }

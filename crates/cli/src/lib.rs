@@ -18,7 +18,11 @@
 //!   --max-iters N      stop after N bulk-synchronous iterations
 //!   --timeout-ms N     stop after N milliseconds of wall clock
 //!   --stats-json PATH  write the per-operator instrumentation trace
-//!                      (StepRecords + direction switches) as JSON
+//!                      (StepRecords + direction switches + buffer-pool
+//!                      counters) as JSON
+//!   --serial-threshold N  frontiers whose size and neighbor work are both
+//!                      at most N run the single-threaded advance fast
+//!                      path (0 disables; default: 4096)
 //!   --retries N        retry recoverable advance failures N times before
 //!                      falling back to thread_mapped (default: 0)
 //!   --inject-faults SPEC  seeded fault injection; SPEC is a comma list of
@@ -68,6 +72,7 @@ options:
   --max-iters N      stop after N bulk-synchronous iterations (exit 2)
   --timeout-ms N     stop after N milliseconds of wall clock (exit 2)
   --stats-json PATH  write the per-operator trace (see DESIGN.md) as JSON
+  --serial-threshold N  small-frontier serial fast-path cutoff (0 disables)
   --retries N        retry recoverable advance failures N times (default: 0)
   --inject-faults SPEC  seeded faults: panic=RATE,alloc=RATE,io=RATE
   --fault-seed N     seed for the fault schedule (default: 42)
@@ -302,10 +307,20 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         args.verify && o.is_converged()
     };
     let stats_path = args.flags.get("stats-json");
+    let serial_threshold = match args.flags.get("serial-threshold") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--serial-threshold expects a number, got {v:?}"))?,
+        ),
+        None => None,
+    };
     // install the instrumentation sink only when the trace is wanted,
     // then thread the robustness knobs into every context
     let instrument = |ctx| {
         let mut ctx = if stats_path.is_some() { Context::with_stats(ctx) } else { ctx };
+        if let Some(t) = serial_threshold {
+            ctx = ctx.with_config(gunrock_engine::EngineConfig::new().with_serial_threshold(t));
+        }
         ctx = ctx.with_retry(retry);
         if let Some(cp) = &ckpt_policy {
             ctx = ctx.with_checkpoints(cp.clone());
@@ -597,7 +612,7 @@ fn dump_stats(
     j.end_object();
     j.key("summary");
     j.begin_object();
-    stats.summary().write_json_fields(&mut j);
+    stats.summary().with_pool(ctx.pool().stats()).write_json_fields(&mut j);
     j.end_object();
     j.key("trace");
     stats.write_json(&mut j);
@@ -669,6 +684,38 @@ mod tests {
         assert!(bad.weights().is_err());
         let malformed = parse_args(args(&["sssp", "--weights", "7"])).unwrap();
         assert!(malformed.weights().is_err());
+    }
+
+    #[test]
+    fn serial_threshold_flag_runs_and_rejects_garbage() {
+        let a = parse_args(args(&[
+            "bfs",
+            "--gen",
+            "kron",
+            "--scale",
+            "7",
+            "--serial-threshold",
+            "128",
+            "--verify",
+        ]))
+        .unwrap();
+        assert_eq!(execute(&a).unwrap(), RunOutcome::Converged);
+        // disabled fast path must produce the same verified result
+        let off = parse_args(args(&[
+            "bfs",
+            "--gen",
+            "kron",
+            "--scale",
+            "7",
+            "--serial-threshold",
+            "0",
+            "--verify",
+        ]))
+        .unwrap();
+        assert_eq!(execute(&off).unwrap(), RunOutcome::Converged);
+        let bad =
+            parse_args(args(&["bfs", "--scale", "7", "--serial-threshold", "lots"])).unwrap();
+        assert!(execute(&bad).unwrap_err().contains("--serial-threshold"));
     }
 
     #[test]

@@ -104,7 +104,7 @@ fn fused_thread_mapped<F: AdvanceFunctor>(
         .as_slice()
         .par_chunks(grain)
         .map(|chunk| {
-            let mut local = Vec::new();
+            let mut local = Vec::new(); // ALLOC-OK(per-task local; fused kernel materializes no intermediate frontier)
             let mut edges = 0u64;
             let cols = g.col_indices();
             for &item in chunk {
@@ -124,8 +124,9 @@ fn fused_thread_mapped<F: AdvanceFunctor>(
             }
             (local, edges)
         })
-        .collect();
+        .collect(); // ALLOC-OK(one merge per fused launch)
     ctx.counters.add_edges(per_chunk.iter().map(|(_, e)| e).sum());
+    // ALLOC-OK(one merge per fused launch)
     Frontier::from_vec(concat_chunks(per_chunk.into_iter().map(|(v, _)| v).collect()))
 }
 
@@ -141,7 +142,7 @@ fn fused_load_balanced<F: AdvanceFunctor>(
     let degrees: Vec<u32> = items
         .par_iter()
         .map(|&it| g.out_degree(expansion_vertex(ctx, spec.input, it)))
-        .collect();
+        .collect(); // ALLOC-OK(fused LB runs only above lb_threshold, never in the steady-state small loop)
     let (scanned, total) = scan_exclusive_u32(&degrees);
     ctx.counters.add_edges(total as u64);
     if total == 0 {
@@ -152,7 +153,7 @@ fn fused_load_balanced<F: AdvanceFunctor>(
     // CAST: the caller routes here only when total < u32::MAX, so every edge
     // rank (w, seg_base, row_start) and chunk bound fits u32; vertex/edge ids
     // widen to usize losslessly.
-    let mut slots: Vec<u32> = vec![INVALID_SLOT; total as usize];
+    let mut slots: Vec<u32> = vec![INVALID_SLOT; total as usize]; // ALLOC-OK(sized by this launch's total edge work)
     {
         gunrock_engine::racecheck::begin_phase();
         let out_ref = UnsafeSlice::new(&mut slots);

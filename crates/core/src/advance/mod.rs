@@ -174,8 +174,27 @@ pub fn advance<F: AdvanceFunctor>(
     out
 }
 
+/// The frontier's total neighbor count when it qualifies for the
+/// single-threaded fast path: both the frontier length and the work
+/// estimate at or below `EngineConfig::serial_threshold` (0 disables).
+/// The length gate is checked first so large frontiers never pay the
+/// degree-sum pass just to be told no.
+fn serial_eligible(ctx: &Context<'_>, input: &Frontier, spec: AdvanceSpec) -> Option<u64> {
+    let t = ctx.config.serial_threshold;
+    if t == 0 || input.len() > t {
+        return None;
+    }
+    let work = push::frontier_neighbor_count(ctx, input, spec.input);
+    // CAST: u64 -> usize is lossless on 64-bit targets; threshold compare only.
+    (work as usize <= t).then_some(work)
+}
+
 /// Strategy dispatch. Load-balanced selections route through the
-/// retry-with-fallback guard; the other strategies run directly.
+/// retry-with-fallback guard; the other strategies run directly. The
+/// ThreadMapped and Auto branches divert tiny frontiers to the serial
+/// fast path — deliberately NOT ahead of the match, so an explicit
+/// LoadBalanced selection still consults the fault injector and keeps
+/// seeded chaos schedules stable, and Twc keeps its bucket order.
 fn dispatch<F: AdvanceFunctor>(
     ctx: &Context<'_>,
     input: &Frontier,
@@ -184,7 +203,11 @@ fn dispatch<F: AdvanceFunctor>(
 ) -> (Frontier, &'static str) {
     match spec.mode {
         AdvanceMode::ThreadMapped => {
-            (push::thread_mapped(ctx, input, spec, functor), "thread_mapped")
+            if let Some(work) = serial_eligible(ctx, input, spec) {
+                (push::serial(ctx, input, spec, functor, work), "serial")
+            } else {
+                (push::thread_mapped(ctx, input, spec, functor), "thread_mapped")
+            }
         }
         AdvanceMode::Twc => (push::twc(ctx, input, spec, functor), "twc"),
         AdvanceMode::LoadBalanced => {
@@ -196,7 +219,12 @@ fn dispatch<F: AdvanceFunctor>(
             if work as usize > ctx.config.lb_threshold {
                 run_load_balanced(ctx, input, spec, functor, "auto:load_balanced")
             } else {
-                (push::thread_mapped(ctx, input, spec, functor), "auto:thread_mapped")
+                let t = ctx.config.serial_threshold;
+                if t > 0 && input.len() <= t && work as usize <= t {
+                    (push::serial(ctx, input, spec, functor, work), "auto:serial")
+                } else {
+                    (push::thread_mapped(ctx, input, spec, functor), "auto:thread_mapped")
+                }
             }
         }
     }

@@ -60,7 +60,7 @@ pub fn advance_pull<F: AdvanceFunctor>(
         let per_chunk: Vec<(Vec<u32>, u64)> = candidates
             .par_chunks(grain)
             .map(|chunk| {
-                let mut local = Vec::new();
+                let mut local = Vec::new(); // ALLOC-OK(per-task local; pull runs once per direction switch, not per iteration)
                 let mut edges = 0u64;
                 let cols = rev.col_indices();
                 for &v in chunk {
@@ -77,8 +77,9 @@ pub fn advance_pull<F: AdvanceFunctor>(
                 }
                 (local, edges)
             })
-            .collect();
+            .collect(); // ALLOC-OK(one merge per pull launch)
         ctx.counters.add_edges(per_chunk.iter().map(|(_, e)| e).sum());
+        // ALLOC-OK(one merge per pull launch)
         Frontier::from_vec(concat_chunks(per_chunk.into_iter().map(|(v, _)| v).collect()))
     });
     let Some(out) = result else { return Frontier::new() };

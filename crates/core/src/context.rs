@@ -7,6 +7,8 @@ use crate::policy::{CheckpointPolicy, RetryPolicy, RunGuard, RunPolicy};
 use gunrock_engine::checkpoint::Checkpoint;
 use gunrock_engine::config::EngineConfig;
 use gunrock_engine::faults::FaultInjector;
+use gunrock_engine::frontier::Frontier;
+use gunrock_engine::pool::BufferPool;
 use gunrock_engine::stats::{RecoveryKind, RunOutcome, RunStats, StatsSink, WorkCounters};
 use gunrock_graph::Csr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,6 +36,11 @@ pub struct Context<'g> {
     /// Optional per-operator instrumentation sink. `None` (the default)
     /// keeps operators on the fast path: one `Option` check, no timers.
     sink: Option<StatsSink>,
+    /// Size-classed scratch/frontier buffer pool (the zero-allocation
+    /// advance path): operators check out degree/offset/output buffers
+    /// here instead of allocating per iteration, and enact loops recycle
+    /// retired frontiers through [`Context::recycle`].
+    pool: BufferPool,
     /// Optional iteration-boundary checkpointing.
     checkpoints: Option<CheckpointPolicy>,
     /// Optional deterministic fault injector (chaos testing).
@@ -63,6 +70,7 @@ impl<'g> Context<'g> {
             policy: RunPolicy::default(),
             retry: RetryPolicy::default(),
             sink: None,
+            pool: BufferPool::new(),
             checkpoints: None,
             injector: None,
             poisoned: AtomicBool::new(false),
@@ -121,6 +129,21 @@ impl<'g> Context<'g> {
     #[inline]
     pub fn sink(&self) -> Option<&StatsSink> {
         self.sink.as_ref()
+    }
+
+    /// The context's buffer pool. Operators use it for scratch and
+    /// output buffers; benchmarks read its stats.
+    #[inline]
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Returns a retired frontier's storage to the pool so the next
+    /// advance reuses it (ping-pong double buffering in enact loops):
+    /// `ctx.recycle(std::mem::replace(&mut frontier, next))`.
+    #[inline]
+    pub fn recycle(&self, f: Frontier) {
+        self.pool.put_u32(f.into_vec());
     }
 
     /// Marks the end of one bulk-synchronous iteration: bumps the global
@@ -309,6 +332,20 @@ mod tests {
         let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
         let ctx = Context::new(&g);
         ctx.reverse_graph();
+    }
+
+    #[test]
+    fn recycled_frontier_storage_comes_back_from_the_pool() {
+        let g = GraphBuilder::new().build(Coo::from_edges(3, &[(0, 1), (1, 2)]));
+        let ctx = Context::new(&g);
+        let mut f = Frontier::from_vec(ctx.pool.take_u32(100));
+        f.push(7);
+        let cap = f.as_slice().as_ptr() as usize;
+        ctx.recycle(f);
+        let back = ctx.pool.take_u32(100);
+        assert_eq!(back.as_ptr() as usize, cap, "same storage reused");
+        assert!(back.is_empty(), "recycled frontiers come back cleared");
+        assert_eq!(ctx.pool.stats().allocations, 1);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::functor::FilterFunctor;
 use crate::isolate::isolated;
 use crate::util::{concat_chunks, grain_size};
 use gunrock_engine::bitmap::AtomicBitmap;
+use gunrock_engine::config::FRONTIER_SEQ_CUTOFF;
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::stats::OperatorKind;
 use rayon::prelude::*;
@@ -55,6 +56,39 @@ impl CullingConfig {
 /// (see `Csr::validate`), so every legal id is strictly smaller.
 const EMPTY_SLOT: u32 = u32::MAX;
 
+/// Runs the culling cascade (history hash, then bitmask test-and-set,
+/// then the fused user functor) over `chunk`, appending survivors to
+/// `out`. `history` must be `1 << cfg.history_bits` slots of
+/// `EMPTY_SLOT` when `cfg.history` holds, and may be empty otherwise.
+fn cull_chunk<F: FilterFunctor>(
+    chunk: &[u32],
+    cfg: CullingConfig,
+    history: &mut [u32],
+    visited: &AtomicBitmap,
+    functor: &F,
+    out: &mut Vec<u32>,
+) {
+    let mask = history.len().wrapping_sub(1);
+    for &id in chunk {
+        if cfg.history {
+            // cheap multiplicative hash into the small table
+            // CAST: vertex ids are u32 widened to usize — lossless.
+            let slot = (id as usize).wrapping_mul(0x9E37_79B9) & mask;
+            if history[slot] == id {
+                continue; // recently seen: cull
+            }
+            history[slot] = id;
+        }
+        if cfg.bitmask && visited.test_and_set(id as usize) {
+            continue; // already discovered: cull
+        }
+        if functor.cond(id) {
+            functor.apply(id);
+            out.push(id);
+        }
+    }
+}
+
 /// Heuristic filter: culls redundant ids per `cfg`, then applies the
 /// user functor to survivors. `visited` is the algorithm's discovery
 /// bitmap (shared with the advance step in idempotent mode).
@@ -73,40 +107,38 @@ pub fn filter_with_culling<F: FilterFunctor>(
             inj.maybe_panic("filter:culling");
         }
         ctx.counters.add_filtered(input.len() as u64);
-        let grain = grain_size(input.len());
-        let chunks: Vec<Vec<u32>> = input
-            .as_slice()
-            .par_chunks(grain)
-            .map(|chunk| {
-                let mut local = Vec::new();
-                let mut history = if cfg.history {
-                    vec![EMPTY_SLOT; 1 << cfg.history_bits]
-                } else {
-                    Vec::new()
-                };
-                let mask = history.len().wrapping_sub(1);
-                for &id in chunk {
-                    if cfg.history {
-                        // cheap multiplicative hash into the small table
-                        // CAST: vertex ids are u32 widened to usize — lossless.
-                        let slot = (id as usize).wrapping_mul(0x9E37_79B9) & mask;
-                        if history[slot] == id {
-                            continue; // recently seen: cull
-                        }
-                        history[slot] = id;
-                    }
-                    if cfg.bitmask && visited.test_and_set(id as usize) {
-                        continue; // already discovered: cull
-                    }
-                    if functor.cond(id) {
-                        functor.apply(id);
-                        local.push(id);
-                    }
-                }
-                local
-            })
-            .collect();
-        concat_chunks(chunks)
+        let items = input.as_slice();
+        if items.len() < FRONTIER_SEQ_CUTOFF {
+            // small-frontier path: serial cull into pooled buffers
+            // (output and history table both come back from the pool),
+            // so steady-state iterations allocate nothing
+            let mut out = ctx.pool().take_u32(items.len());
+            let mut history =
+                ctx.pool().take_u32(if cfg.history { 1 << cfg.history_bits } else { 0 });
+            history.resize(if cfg.history { 1 << cfg.history_bits } else { 0 }, EMPTY_SLOT);
+            cull_chunk(items, cfg, &mut history, visited, functor, &mut out);
+            ctx.pool().put_u32(history);
+            out
+        } else {
+            // Large-frontier path: per-task locals sized by the split,
+            // merged once. The steady-state loop of a high-diameter
+            // traversal takes the pooled serial branch above instead.
+            let grain = grain_size(items.len());
+            let chunks: Vec<Vec<u32>> = items
+                .par_chunks(grain)
+                .map(|chunk| {
+                    let mut local = Vec::new(); // ALLOC-OK(per-task local on the large-frontier path)
+                    let mut history = if cfg.history {
+                        vec![EMPTY_SLOT; 1 << cfg.history_bits] // ALLOC-OK(per-task history table, large path only)
+                    } else {
+                        Vec::new() // ALLOC-OK(empty sentinel, no heap)
+                    };
+                    cull_chunk(chunk, cfg, &mut history, visited, functor, &mut local);
+                    local
+                })
+                .collect(); // ALLOC-OK(one merge per large-frontier launch)
+            concat_chunks(chunks)
+        }
     });
     let Some(merged) = result else { return Frontier::new() };
     let out = Frontier::from_vec(merged);

@@ -17,6 +17,7 @@ use crate::context::Context;
 use crate::functor::FilterFunctor;
 use crate::isolate::isolated;
 use gunrock_engine::compact::compact_map;
+use gunrock_engine::config::FRONTIER_SEQ_CUTOFF;
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::stats::OperatorKind;
 use std::time::Instant;
@@ -34,14 +35,33 @@ pub fn filter<F: FilterFunctor>(ctx: &Context<'_>, input: &Frontier, functor: &F
             inj.maybe_panic("filter");
         }
         ctx.counters.add_filtered(input.len() as u64);
-        compact_map(input.as_slice(), |&id| {
-            if functor.cond(id) {
-                functor.apply(id);
-                Some(id)
-            } else {
-                None
+        let items = input.as_slice();
+        if items.len() < FRONTIER_SEQ_CUTOFF || rayon::current_num_threads() == 1 {
+            // small-frontier path (also taken whenever the pool has a
+            // single worker thread): one serial pass into a pooled
+            // buffer, zero allocations in the steady state of
+            // high-diameter enact loops (the filter half of the serial
+            // fast path). On one thread this also keeps iterative
+            // filters (CC hooking/jumping) ping-ponging between warm
+            // pooled buffers instead of walking fresh cold allocations.
+            let mut out = ctx.pool().take_u32(items.len());
+            for &id in items {
+                if functor.cond(id) {
+                    functor.apply(id);
+                    out.push(id);
+                }
             }
-        })
+            out
+        } else {
+            compact_map(items, |&id| {
+                if functor.cond(id) {
+                    functor.apply(id);
+                    Some(id)
+                } else {
+                    None
+                }
+            })
+        }
     });
     let Some(kept) = result else { return Frontier::new() };
     let out = Frontier::from_vec(kept);

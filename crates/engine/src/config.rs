@@ -27,6 +27,13 @@ pub const SEQUENTIAL_CUTOFF: usize = 4096;
 /// neighbor list, so even small frontiers carry enough work to parallelize.
 pub const FRONTIER_SEQ_CUTOFF: usize = 2048;
 
+/// Default work-estimate threshold (frontier items and total neighbors)
+/// below which an advance runs the single-threaded fast path: no rayon
+/// dispatch, no scan, one pooled output buffer. Targets the
+/// high-diameter regime (road networks, long-tail BFS levels) where
+/// fork/join overhead dwarfs the few hundred edges of actual work.
+pub const SERIAL_THRESHOLD: usize = 4096;
+
 /// Runtime configuration for the engine.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineConfig {
@@ -37,11 +44,21 @@ pub struct EngineConfig {
     /// Advance strategy switch threshold on frontier neighbor count
     /// (users "can change this value easily in the Enactor module", §4.4).
     pub lb_threshold: usize,
+    /// Small-frontier serial fast-path threshold: an advance whose
+    /// frontier length and neighbor count are both at or below this
+    /// expands single-threaded (`--serial-threshold` on the CLI; 0
+    /// disables the fast path entirely).
+    pub serial_threshold: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { warp_size: WARP_SIZE, cta_size: CTA_SIZE, lb_threshold: LB_THRESHOLD }
+        EngineConfig {
+            warp_size: WARP_SIZE,
+            cta_size: CTA_SIZE,
+            lb_threshold: LB_THRESHOLD,
+            serial_threshold: SERIAL_THRESHOLD,
+        }
     }
 }
 
@@ -54,6 +71,12 @@ impl EngineConfig {
     /// Overrides the load-balance threshold.
     pub fn with_lb_threshold(mut self, t: usize) -> Self {
         self.lb_threshold = t;
+        self
+    }
+
+    /// Overrides the serial fast-path threshold (0 disables it).
+    pub fn with_serial_threshold(mut self, t: usize) -> Self {
+        self.serial_threshold = t;
         self
     }
 
@@ -73,12 +96,14 @@ mod tests {
         assert_eq!(c.warp_size, 32);
         assert_eq!(c.cta_size, 256);
         assert_eq!(c.lb_threshold, 4096);
+        assert_eq!(c.serial_threshold, 4096);
     }
 
     #[test]
     fn builder_overrides() {
-        let c = EngineConfig::new().with_lb_threshold(128);
+        let c = EngineConfig::new().with_lb_threshold(128).with_serial_threshold(0);
         assert_eq!(c.lb_threshold, 128);
+        assert_eq!(c.serial_threshold, 0);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod config;
 pub mod faults;
 pub mod frontier;
 pub mod json;
+pub mod pool;
 pub mod racecheck;
 pub mod reduce;
 pub mod scan;

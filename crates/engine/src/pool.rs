@@ -1,0 +1,406 @@
+//! Size-classed reusable buffer pool — the multicore stand-in for
+//! Gunrock's pre-allocated frontier and scratch storage (§4.2).
+//!
+//! The paper's performance model assumes every advance writes into
+//! buffers that already exist: "Gunrock's frontier data structures are
+//! reused across iterations" rather than reallocated per kernel launch.
+//! This pool gives the operators the same property on the CPU: a
+//! checkout (`take_u32`/`take_u64`) returns a cleared buffer whose
+//! capacity is at least the requested size, drawn from a power-of-two
+//! size class; a release (`put_u32`/`put_u64`) returns it for reuse.
+//! In the steady state of an enact loop every checkout is served from a
+//! free list and the `allocations` counter stops moving — the property
+//! the zero-allocation integration test asserts.
+//!
+//! The pool is shared by reference across rayon workers (checkout and
+//! release are `&self`), so the free lists are mutex-guarded and the
+//! statistics are relaxed atomics. Operators check buffers out at bulk
+//! "kernel" granularity — a handful of lock acquisitions per advance,
+//! never per element — so the mutexes are uncontended in practice.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two size classes. Class `c` holds buffers whose
+/// capacity is at least `1 << c`; class 47 covers any allocation a
+/// `u32`-indexed graph can produce.
+const NUM_CLASSES: usize = 48;
+
+/// Smallest class handed out (capacity 64), so tiny checkouts still
+/// produce reusable buffers instead of a fresh micro-allocation each.
+const MIN_CLASS: usize = 6;
+
+/// Free buffers retained per class; beyond this a released buffer is
+/// dropped so a single huge iteration cannot pin memory forever.
+const MAX_PER_CLASS: usize = 16;
+
+/// The size class serving a request for `min_cap` elements: the
+/// smallest `c >= MIN_CLASS` with `(1 << c) >= min_cap`.
+fn class_for(min_cap: usize) -> usize {
+    let wanted = min_cap.max(1).next_power_of_two().trailing_zeros() as usize;
+    wanted.clamp(MIN_CLASS, NUM_CLASSES - 1)
+}
+
+/// The class a buffer with `capacity` belongs on when released: the
+/// largest `c` with `(1 << c) <= capacity`, so a checkout from class
+/// `c` always yields capacity `>= 1 << c`.
+fn class_of_capacity(capacity: usize) -> usize {
+    debug_assert!(capacity > 0);
+    let floor = (usize::BITS - 1 - capacity.leading_zeros()) as usize;
+    floor.min(NUM_CLASSES - 1)
+}
+
+/// Free lists for one element type.
+struct TypedPool<T> {
+    classes: [Mutex<Vec<Vec<T>>>; NUM_CLASSES],
+}
+
+impl<T> TypedPool<T> {
+    fn new() -> Self {
+        TypedPool { classes: std::array::from_fn(|_| Mutex::new(Vec::new())) }
+    }
+
+    /// Pops a pooled buffer of class `class`, if one is free.
+    fn pop(&self, class: usize) -> Option<Vec<T>> {
+        self.classes[class].lock().pop()
+    }
+
+    /// Retains `buf` on its class free list (or drops it when the class
+    /// is full). Returns true when the buffer was retained.
+    fn push(&self, buf: Vec<T>) -> bool {
+        let class = class_of_capacity(buf.capacity());
+        let mut list = self.classes[class].lock();
+        if list.len() < MAX_PER_CLASS {
+            list.push(buf);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Point-in-time view of the pool counters, exported into
+/// `gunrock-stats/v1` / `gunrock-bench/v1` rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStatsSnapshot {
+    /// Fresh heap allocations performed by checkouts that missed the
+    /// free lists. Stops growing once the enact loop reaches its steady
+    /// state — the pool's reason to exist.
+    pub allocations: u64,
+    /// Total buffer checkouts (`take_*` calls).
+    pub checkouts: u64,
+    /// Total buffer releases (`put_*` calls).
+    pub releases: u64,
+    /// Buffers currently checked out (checkouts minus releases). A
+    /// caller that keeps a buffer — e.g. a returned frontier the
+    /// algorithm never recycles — holds it live forever.
+    pub live: u64,
+    /// High-water mark of `live`; monotone non-decreasing.
+    pub live_high_water: u64,
+    /// High-water mark of bytes checked out at once; monotone
+    /// non-decreasing.
+    pub bytes_high_water: u64,
+}
+
+/// Thread-safe, size-classed pool of reusable `u32` and `u64` buffers.
+/// One per execution context (`gunrock::Context` owns one), living for
+/// the life of the problem.
+pub struct BufferPool {
+    u32s: TypedPool<u32>,
+    u64s: TypedPool<u64>,
+    allocations: AtomicU64,
+    checkouts: AtomicU64,
+    releases: AtomicU64,
+    live: AtomicU64,
+    live_high_water: AtomicU64,
+    bytes_live: AtomicU64,
+    bytes_high_water: AtomicU64,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferPool {
+    /// An empty pool; buffers are created lazily on first checkout.
+    pub fn new() -> Self {
+        BufferPool {
+            u32s: TypedPool::new(),
+            u64s: TypedPool::new(),
+            allocations: AtomicU64::new(0),
+            checkouts: AtomicU64::new(0),
+            releases: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            live_high_water: AtomicU64::new(0),
+            bytes_live: AtomicU64::new(0),
+            bytes_high_water: AtomicU64::new(0),
+        }
+    }
+
+    fn note_checkout(&self, bytes: u64) {
+        // ORDERING: Relaxed — monotonic telemetry counters; readers tolerate
+        // momentary staleness, and the high-water updates use fetch_max so
+        // they are monotone under any interleaving.
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.live_high_water.fetch_max(live, Ordering::Relaxed);
+        let b = self.bytes_live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.bytes_high_water.fetch_max(b, Ordering::Relaxed);
+    }
+
+    fn note_release(&self, bytes: u64) {
+        // ORDERING: Relaxed — monotonic telemetry counters; readers tolerate
+        // momentary staleness. The subtractions saturate at zero: a buffer
+        // born outside the pool (an algorithm-built frontier entering via
+        // `Context::recycle`) is released without a matching checkout, and
+        // wrapping would poison `live` forever.
+        self.releases.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .live
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+        let _ = self.bytes_live.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(bytes))
+        });
+    }
+
+    /// Checks out a cleared `u32` buffer with capacity at least
+    /// `min_cap`, reusing a pooled one when available.
+    pub fn take_u32(&self, min_cap: usize) -> Vec<u32> {
+        let class = class_for(min_cap);
+        let buf = match self.u32s.pop(class) {
+            Some(b) => b,
+            None => {
+                // ORDERING: Relaxed — monotonic telemetry counter.
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(1 << class)
+            }
+        };
+        self.note_checkout((buf.capacity() * std::mem::size_of::<u32>()) as u64);
+        buf
+    }
+
+    /// Returns a `u32` buffer to the pool. The buffer is cleared; its
+    /// capacity determines the free list it lands on, so a follow-up
+    /// `take_u32` of the same request size gets the same capacity back.
+    pub fn put_u32(&self, mut buf: Vec<u32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.note_release((buf.capacity() * std::mem::size_of::<u32>()) as u64);
+        buf.clear();
+        self.u32s.push(buf);
+    }
+
+    /// Checks out a cleared `u64` buffer with capacity at least
+    /// `min_cap`, reusing a pooled one when available.
+    pub fn take_u64(&self, min_cap: usize) -> Vec<u64> {
+        let class = class_for(min_cap);
+        let buf = match self.u64s.pop(class) {
+            Some(b) => b,
+            None => {
+                // ORDERING: Relaxed — monotonic telemetry counter.
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(1 << class)
+            }
+        };
+        self.note_checkout((buf.capacity() * std::mem::size_of::<u64>()) as u64);
+        buf
+    }
+
+    /// Returns a `u64` buffer to the pool (cleared, size-classed by
+    /// capacity like [`BufferPool::put_u32`]).
+    pub fn put_u64(&self, mut buf: Vec<u64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.note_release((buf.capacity() * std::mem::size_of::<u64>()) as u64);
+        buf.clear();
+        self.u64s.push(buf);
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStatsSnapshot {
+        // ORDERING: Relaxed — monotonic telemetry counters; a snapshot is
+        // advisory and tolerates momentary staleness between fields.
+        PoolStatsSnapshot {
+            allocations: self.allocations.load(Ordering::Relaxed),
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+            live: self.live.load(Ordering::Relaxed),
+            live_high_water: self.live_high_water.load(Ordering::Relaxed),
+            bytes_high_water: self.bytes_high_water.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_class_math() {
+        assert_eq!(class_for(0), MIN_CLASS);
+        assert_eq!(class_for(1), MIN_CLASS);
+        assert_eq!(class_for(64), MIN_CLASS);
+        assert_eq!(class_for(65), 7);
+        assert_eq!(class_for(100), 7);
+        assert_eq!(class_for(128), 7);
+        assert_eq!(class_for(129), 8);
+        assert_eq!(class_of_capacity(128), 7);
+        assert_eq!(class_of_capacity(192), 7);
+        assert_eq!(class_of_capacity(256), 8);
+    }
+
+    #[test]
+    fn take_returns_cleared_buffer_with_requested_capacity() {
+        let pool = BufferPool::new();
+        let buf = pool.take_u32(100);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 100);
+        let big = pool.take_u64(5000);
+        assert!(big.capacity() >= 5000);
+    }
+
+    #[test]
+    fn reuse_after_release_returns_same_capacity() {
+        let pool = BufferPool::new();
+        let mut buf = pool.take_u32(100);
+        buf.extend_from_slice(&[1, 2, 3]);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        pool.put_u32(buf);
+        let again = pool.take_u32(100);
+        assert!(again.is_empty(), "pooled buffers come back cleared");
+        assert_eq!(again.capacity(), cap);
+        assert_eq!(again.as_ptr(), ptr, "same allocation reused, not a new one");
+        assert_eq!(pool.stats().allocations, 1);
+        assert_eq!(pool.stats().checkouts, 2);
+    }
+
+    #[test]
+    fn distinct_classes_do_not_mix() {
+        let pool = BufferPool::new();
+        let small = pool.take_u32(10);
+        let small_cap = small.capacity();
+        pool.put_u32(small);
+        // a much larger request must not be served by the small buffer
+        let large = pool.take_u32(10_000);
+        assert!(large.capacity() >= 10_000);
+        assert_ne!(large.capacity(), small_cap);
+        assert_eq!(pool.stats().allocations, 2);
+    }
+
+    #[test]
+    fn foreign_buffer_release_saturates_instead_of_wrapping() {
+        let pool = BufferPool::new();
+        // a buffer the pool never handed out — recycled in from outside
+        pool.put_u32(vec![1, 2, 3]);
+        let s = pool.stats();
+        assert_eq!(s.releases, 1);
+        assert_eq!(s.live, 0, "live clamps at zero, never wraps");
+        // the donated buffer is now poolable and checkouts still work
+        let buf = pool.take_u32(3);
+        assert!(buf.is_empty());
+        assert_eq!(pool.stats().live, 1);
+    }
+
+    #[test]
+    fn zero_capacity_release_is_a_noop() {
+        let pool = BufferPool::new();
+        pool.put_u32(Vec::new());
+        pool.put_u64(Vec::new());
+        assert_eq!(pool.stats().releases, 0);
+    }
+
+    #[test]
+    fn retention_is_bounded_per_class() {
+        let pool = BufferPool::new();
+        let bufs: Vec<Vec<u32>> = (0..(MAX_PER_CLASS + 4)).map(|_| pool.take_u32(64)).collect();
+        for b in bufs {
+            pool.put_u32(b);
+        }
+        // all were released (counted), but only MAX_PER_CLASS retained
+        assert_eq!(pool.stats().releases, (MAX_PER_CLASS + 4) as u64);
+        let mut reused = 0;
+        for _ in 0..(MAX_PER_CLASS + 4) {
+            let _ = pool.take_u32(64);
+            reused += 1;
+        }
+        assert_eq!(reused, MAX_PER_CLASS + 4);
+        assert_eq!(pool.stats().allocations, (MAX_PER_CLASS + 4 + 4) as u64);
+    }
+
+    #[test]
+    fn high_water_marks_are_monotone() {
+        let pool = BufferPool::new();
+        let mut prev = pool.stats();
+        let mut held = Vec::new();
+        for round in 0..6 {
+            for _ in 0..=round {
+                held.push(pool.take_u32(256));
+            }
+            let s = pool.stats();
+            assert!(s.live_high_water >= prev.live_high_water);
+            assert!(s.bytes_high_water >= prev.bytes_high_water);
+            prev = s;
+            for b in held.drain(..) {
+                pool.put_u32(b);
+            }
+            let after = pool.stats();
+            assert_eq!(after.live, 0);
+            assert!(after.live_high_water >= prev.live_high_water, "release never lowers hwm");
+        }
+        assert_eq!(prev.live_high_water, 6);
+    }
+
+    #[test]
+    fn steady_state_stops_allocating() {
+        let pool = BufferPool::new();
+        // warm-up: the working set of a simulated iteration
+        for _ in 0..10 {
+            let a = pool.take_u32(1000);
+            let b = pool.take_u32(1000);
+            let c = pool.take_u64(500);
+            pool.put_u32(a);
+            pool.put_u32(b);
+            pool.put_u64(c);
+        }
+        let warm = pool.stats().allocations;
+        for _ in 0..100 {
+            let a = pool.take_u32(1000);
+            let b = pool.take_u32(1000);
+            let c = pool.take_u64(500);
+            pool.put_u32(a);
+            pool.put_u32(b);
+            pool.put_u64(c);
+        }
+        assert_eq!(pool.stats().allocations, warm, "steady state must not allocate");
+    }
+
+    #[test]
+    fn concurrent_checkout_under_rayon_is_race_free() {
+        use rayon::prelude::*;
+        let pool = BufferPool::new();
+        // every worker repeatedly checks out, fills, verifies, releases;
+        // under the racecheck feature the UnsafeSlice-free design still
+        // exercises the mutex paths from many threads at once
+        (0..64u32).into_par_iter().for_each(|i| {
+            for round in 0..50 {
+                let mut buf = pool.take_u32(64 + (i as usize * 7) % 512);
+                buf.push(i);
+                buf.push(round);
+                assert_eq!(buf[0], i);
+                assert_eq!(buf[1], round);
+                pool.put_u32(buf);
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(s.checkouts, 64 * 50);
+        assert_eq!(s.releases, 64 * 50);
+        assert_eq!(s.live, 0);
+        assert!(s.allocations <= s.checkouts);
+        assert!(s.live_high_water >= 1);
+    }
+}

@@ -83,6 +83,58 @@ pub fn scan_exclusive_u32(input: &[u32]) -> (Vec<u32>, u32) {
     scan_exclusive(input, 0u32, |a, b| a + b)
 }
 
+/// Exclusive prefix sum of `u32` values into a caller-supplied buffer
+/// (a pooled scratch in the zero-allocation advance path). The buffer
+/// is cleared, then filled with the scanned offsets; returns the total.
+/// Allocation-free when `out` already has capacity for the input
+/// (except for the O(threads) chunk-sums vector on the parallel path,
+/// amortized over at least [`SEQUENTIAL_CUTOFF`] elements).
+pub fn scan_exclusive_u32_into(input: &[u32], out: &mut Vec<u32>) -> u32 {
+    out.clear();
+    let n = input.len();
+    if n == 0 {
+        return 0;
+    }
+    if n < SEQUENTIAL_CUTOFF || rayon::current_num_threads() == 1 {
+        out.reserve(n);
+        let mut acc = 0u32;
+        for &x in input {
+            out.push(acc);
+            acc += x;
+        }
+        return acc;
+    }
+    let chunk = n.div_ceil(rayon::current_num_threads() * 4).max(1);
+    // Phase 1: per-chunk reductions.
+    let mut sums: Vec<u32> = input.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+    // Phase 2: sequential scan of the (small) chunk sums.
+    let mut acc = 0u32;
+    for s in sums.iter_mut() {
+        let prev = acc;
+        acc += *s;
+        *s = prev;
+    }
+    let total = acc;
+    // Phase 3: downsweep each chunk with its base offset.
+    out.resize(n, 0);
+    {
+        crate::racecheck::begin_phase();
+        let out_ref = UnsafeSlice::new(out);
+        input.par_chunks(chunk).zip(sums.par_iter()).enumerate().for_each(
+            |(ci, (c, &base))| {
+                let start = ci * chunk;
+                let mut acc = base;
+                for (i, &x) in c.iter().enumerate() {
+                    // SAFETY: chunks cover disjoint ranges of `out`.
+                    unsafe { out_ref.write(start + i, acc) };
+                    acc += x;
+                }
+            },
+        );
+    }
+    total
+}
+
 /// Exclusive prefix sum of `usize` values.
 pub fn scan_exclusive_usize(input: &[usize]) -> (Vec<usize>, usize) {
     scan_exclusive(input, 0usize, |a, b| a + b)
@@ -123,6 +175,24 @@ mod tests {
         let (want, want_total) = reference_exclusive(&input);
         assert_eq!(got, want);
         assert_eq!(total, want_total);
+    }
+
+    #[test]
+    fn scan_into_matches_allocating_scan_and_reuses_capacity() {
+        let mut out = Vec::new();
+        for n in [0usize, 4, 100, 100_000] {
+            let input: Vec<u32> = (0..n as u32).map(|i| (i * 13 + 1) % 7).collect();
+            let total = scan_exclusive_u32_into(&input, &mut out);
+            let (want, want_total) = scan_exclusive_u32(&input);
+            assert_eq!(out, want, "n={n}");
+            assert_eq!(total, want_total, "n={n}");
+        }
+        // a second pass over the biggest input must not grow the buffer
+        let input: Vec<u32> = (0..100_000).map(|i| i % 3).collect();
+        let _ = scan_exclusive_u32_into(&input, &mut out);
+        let cap = out.capacity();
+        let _ = scan_exclusive_u32_into(&input, &mut out);
+        assert_eq!(out.capacity(), cap);
     }
 
     #[test]

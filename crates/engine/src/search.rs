@@ -64,6 +64,20 @@ pub fn merge_path_partitions(
     total_work: u32,
     chunk_size: usize,
 ) -> Vec<u32> {
+    let mut out = Vec::new();
+    merge_path_partitions_into(scanned_offsets, total_work, chunk_size, &mut out);
+    out
+}
+
+/// [`merge_path_partitions`] into a caller-supplied buffer (pooled in
+/// the zero-allocation advance path): `out` is overwritten with the
+/// per-chunk starting segments, reusing its capacity.
+pub fn merge_path_partitions_into(
+    scanned_offsets: &[u32],
+    total_work: u32,
+    chunk_size: usize,
+    out: &mut Vec<u32>,
+) {
     assert!(chunk_size > 0);
     // CAST: total_work widens u32 -> usize; c * chunk_size < total_work + chunk
     // fits u32 because total_work does; segment indices are vertex counts.
@@ -71,7 +85,7 @@ pub fn merge_path_partitions(
     (0..num_chunks)
         .into_par_iter()
         .map(|c| owning_segment(scanned_offsets, (c * chunk_size) as u32) as u32)
-        .collect()
+        .collect_into_vec(out);
 }
 
 #[cfg(test)]
@@ -142,6 +156,18 @@ mod tests {
                 assert_eq!(seg, owning_segment(offsets, w));
             }
         }
+    }
+
+    #[test]
+    fn partitions_into_matches_allocating_version_and_reuses_capacity() {
+        let offsets = [0u32, 1, 101, 103, 103, 160];
+        let total = 163u32;
+        let mut out = Vec::new();
+        merge_path_partitions_into(&offsets, total, 16, &mut out);
+        assert_eq!(out, merge_path_partitions(&offsets, total, 16));
+        let cap = out.capacity();
+        merge_path_partitions_into(&offsets, total, 16, &mut out);
+        assert_eq!(out.capacity(), cap, "second fill must reuse the buffer");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! primitives can report both without re-deriving traversal counts.
 
 use crate::json::JsonBuilder;
+use crate::pool::PoolStatsSnapshot;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -409,19 +410,37 @@ pub struct RunStats {
     pub recoveries: Vec<RecoveryEvent>,
 }
 
+/// Clamps a serialized duration to a finite, non-negative value.
+///
+/// Rust's `Sum for f64` starts its fold at `-0.0`, so summing an empty
+/// set of step durations yields `-0.0`, which the JSON writer renders
+/// as the ugly (and schema-surprising) `-0`. Non-finite values cannot
+/// arise from `Duration` but are clamped too so serialized durations
+/// are *always* finite and `>= +0.0`.
+pub fn sanitize_millis(v: f64) -> f64 {
+    if v.is_finite() && v > 0.0 {
+        v
+    } else {
+        0.0
+    }
+}
+
 impl RunStats {
     /// Total edges examined across all recorded steps.
     pub fn edges_examined(&self) -> u64 {
         self.steps.iter().map(|s| s.edges_examined).sum()
     }
 
-    /// Milliseconds spent in steps of the given operator kind.
+    /// Milliseconds spent in steps of the given operator kind. Always
+    /// finite and non-negative (see [`sanitize_millis`]).
     pub fn operator_millis(&self, kind: OperatorKind) -> f64 {
-        self.steps
-            .iter()
-            .filter(|s| s.operator == kind)
-            .map(|s| s.duration.as_secs_f64() * 1e3)
-            .sum()
+        sanitize_millis(
+            self.steps
+                .iter()
+                .filter(|s| s.operator == kind)
+                .map(|s| s.duration.as_secs_f64() * 1e3)
+                .sum(),
+        )
     }
 
     /// Number of distinct iterations observed (highest stamp + 1).
@@ -452,9 +471,11 @@ impl RunStats {
             advance_millis: self.operator_millis(OperatorKind::Advance),
             filter_millis: self.operator_millis(OperatorKind::Filter),
             compute_millis: self.operator_millis(OperatorKind::Compute),
+            wall_millis: 0.0,
             steps: self.steps.len() as u64,
             direction_switches: self.switches.len() as u64,
             recovery_events: self.recoveries.len() as u64,
+            pool: PoolStatsSnapshot::default(),
         }
     }
 
@@ -531,6 +552,13 @@ pub struct RunStatsSummary {
     pub filter_millis: f64,
     /// Milliseconds spent in compute steps.
     pub compute_millis: f64,
+    /// Wall time of the instrumented run itself, when captured via
+    /// [`RunStatsSummary::with_wall_clock`] (0 when unknown). The
+    /// per-operator millis above are guaranteed to sum to at most this
+    /// once it is set — the instrumented run's own clock is the only
+    /// wall time the trace can legitimately be compared against (the
+    /// separately-averaged uninstrumented timings may be faster).
+    pub wall_millis: f64,
     /// Total instrumented operator invocations.
     pub steps: u64,
     /// Direction-optimizer switches recorded.
@@ -538,21 +566,61 @@ pub struct RunStatsSummary {
     /// Recovery actions (retries, fallbacks, tolerated checkpoint
     /// failures); provably zero on fault-free runs.
     pub recovery_events: u64,
+    /// Buffer-pool counters of the run's context (zero-allocation
+    /// advance telemetry).
+    pub pool: PoolStatsSnapshot,
 }
 
 impl RunStatsSummary {
+    /// Sum of the per-operator durations.
+    pub fn operator_sum_millis(&self) -> f64 {
+        self.advance_millis + self.filter_millis + self.compute_millis
+    }
+
+    /// Stamps the instrumented run's own wall time onto the summary and
+    /// clamps the per-operator durations so their sum never exceeds it.
+    /// Per-step timers and the outer wall clock are read independently,
+    /// so accumulated clock granularity can push the operator sum
+    /// slightly past the measured wall time; scaling back proportionally
+    /// keeps the attribution while restoring the invariant
+    /// `advance + filter + compute <= wall`.
+    pub fn with_wall_clock(mut self, wall_millis: f64) -> Self {
+        let wall = sanitize_millis(wall_millis);
+        self.wall_millis = wall;
+        let sum = self.operator_sum_millis();
+        if wall > 0.0 && sum > wall {
+            let k = wall / sum;
+            self.advance_millis *= k;
+            self.filter_millis *= k;
+            self.compute_millis *= k;
+        }
+        self
+    }
+
+    /// Attaches the context's buffer-pool counters.
+    pub fn with_pool(mut self, pool: PoolStatsSnapshot) -> Self {
+        self.pool = pool;
+        self
+    }
+
     /// Serializes the summary's fields into the currently-open JSON
     /// object (caller owns `begin_object`/`end_object`).
     pub fn write_json_fields(&self, j: &mut JsonBuilder) {
         j.field_u64("iterations", self.iterations as u64);
         j.field_u64("pull_iterations", self.pull_iterations as u64);
         j.field_u64("edges_examined", self.edges_examined);
-        j.field_f64("advance_millis", self.advance_millis);
-        j.field_f64("filter_millis", self.filter_millis);
-        j.field_f64("compute_millis", self.compute_millis);
+        j.field_f64("advance_millis", sanitize_millis(self.advance_millis));
+        j.field_f64("filter_millis", sanitize_millis(self.filter_millis));
+        j.field_f64("compute_millis", sanitize_millis(self.compute_millis));
+        j.field_f64("wall_millis", sanitize_millis(self.wall_millis));
         j.field_u64("steps", self.steps);
         j.field_u64("direction_switches", self.direction_switches);
         j.field_u64("recovery_events", self.recovery_events);
+        j.field_u64("pool_allocations", self.pool.allocations);
+        j.field_u64("pool_checkouts", self.pool.checkouts);
+        j.field_u64("pool_releases", self.pool.releases);
+        j.field_u64("pool_live_high_water", self.pool.live_high_water);
+        j.field_u64("pool_bytes_high_water", self.pool.bytes_high_water);
     }
 }
 
@@ -700,6 +768,96 @@ mod tests {
         let json = stats.to_json();
         assert!(json.contains(r#""kind":"retry""#), "{json}");
         assert!(json.contains(r#""to_strategy":"thread_mapped""#), "{json}");
+    }
+
+    #[test]
+    fn empty_operator_sums_serialize_as_positive_zero() {
+        // Sum over an empty f64 iterator is -0.0; the summary and the
+        // JSON export must never leak a "-0" (satellite S1 regression).
+        let sink = StatsSink::new();
+        sink.record_step(
+            OperatorKind::Advance,
+            "serial",
+            Some(StepDirection::Push),
+            1,
+            1,
+            1,
+            Duration::from_millis(1),
+        );
+        let stats = sink.snapshot();
+        // no compute steps recorded: the raw fold would be -0.0
+        let compute = stats.operator_millis(OperatorKind::Compute);
+        assert!(compute.is_finite() && compute.is_sign_positive());
+        let sum = stats.summary();
+        for v in [sum.advance_millis, sum.filter_millis, sum.compute_millis, sum.wall_millis] {
+            assert!(v.is_finite() && v >= 0.0 && v.is_sign_positive(), "got {v:?}");
+        }
+        let mut j = JsonBuilder::new();
+        j.begin_object();
+        sum.write_json_fields(&mut j);
+        j.end_object();
+        let json = j.finish();
+        assert!(!json.contains("-0"), "negative zero leaked into JSON: {json}");
+        assert!(json.contains(r#""compute_millis":0"#), "{json}");
+    }
+
+    #[test]
+    fn sanitize_millis_clamps_everything_unrepresentable() {
+        assert_eq!(sanitize_millis(-0.0).to_string(), "0");
+        assert_eq!(sanitize_millis(-3.5), 0.0);
+        assert_eq!(sanitize_millis(f64::NAN), 0.0);
+        assert_eq!(sanitize_millis(f64::INFINITY), 0.0);
+        assert_eq!(sanitize_millis(2.25), 2.25);
+    }
+
+    #[test]
+    fn operator_sum_never_exceeds_wall_time() {
+        // the SSSP/roadnet anomaly: per-step timers summed past the
+        // run's wall clock; with_wall_clock must scale them back
+        let sum = RunStatsSummary {
+            advance_millis: 9.11,
+            filter_millis: 1.0,
+            compute_millis: 0.5,
+            ..Default::default()
+        }
+        .with_wall_clock(8.68);
+        assert_eq!(sum.wall_millis, 8.68);
+        assert!(sum.operator_sum_millis() <= sum.wall_millis + 1e-9);
+        // proportions preserved
+        assert!((sum.advance_millis / sum.filter_millis - 9.11).abs() < 1e-9);
+
+        // a sum already under the wall is left untouched
+        let ok =
+            RunStatsSummary { advance_millis: 2.0, ..Default::default() }.with_wall_clock(10.0);
+        assert_eq!(ok.advance_millis, 2.0);
+        assert_eq!(ok.wall_millis, 10.0);
+
+        // a negative/invalid wall clock is clamped, not propagated
+        let bad =
+            RunStatsSummary { advance_millis: 2.0, ..Default::default() }.with_wall_clock(-1.0);
+        assert_eq!(bad.wall_millis, 0.0);
+        assert_eq!(bad.advance_millis, 2.0);
+    }
+
+    #[test]
+    fn pool_counters_ride_along_in_the_summary() {
+        let pool = PoolStatsSnapshot {
+            allocations: 3,
+            checkouts: 10,
+            releases: 9,
+            live: 1,
+            live_high_water: 4,
+            bytes_high_water: 4096,
+        };
+        let sum = RunStatsSummary::default().with_pool(pool);
+        assert_eq!(sum.pool, pool);
+        let mut j = JsonBuilder::new();
+        j.begin_object();
+        sum.write_json_fields(&mut j);
+        j.end_object();
+        let json = j.finish();
+        assert!(json.contains(r#""pool_allocations":3"#), "{json}");
+        assert!(json.contains(r#""pool_bytes_high_water":4096"#), "{json}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! `gunrock-lint`: the workspace safety-audit linter.
 //!
-//! Four passes over every `.rs` file under `crates/`:
+//! Five passes over every `.rs` file under `crates/`:
 //!
 //! 1. **safety** — every `unsafe` block/fn/impl needs an immediately
 //!    preceding `// SAFETY:` comment (`unsafe fn` may use a `# Safety`
@@ -13,6 +13,10 @@
 //!    justification in its function scope. Exit bit 4.
 //! 4. **cast** — `as u32` / `as usize` in hot-path modules need a
 //!    checked conversion or a `// CAST:` note. Exit bit 8.
+//! 5. **alloc** — heap allocation (`Vec::new()` / `vec![` /
+//!    `with_capacity(` / `.collect(`) is denied in the pooled operator
+//!    hot paths (`advance/`, `filter/`); `// ALLOC-OK(reason)` is the
+//!    audited escape hatch for off-steady-state launches. Exit bit 16.
 //!
 //! The binary front-end lives in `main.rs`; everything here is a library
 //! so the fixture self-tests can drive the passes directly.

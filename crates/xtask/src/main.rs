@@ -1,8 +1,8 @@
 //! `cargo run -p xtask -- lint [--json PATH] [--quiet] [--root DIR]`
 //!
 //! Exit code is a bitmask of failing passes (safety=1, panic=2,
-//! ordering=4, cast=8); 0 means the tree is clean, 32 means usage or
-//! I/O error.
+//! ordering=4, cast=8, alloc=16); 0 means the tree is clean, 32 means
+//! usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,6 +16,7 @@ passes and exit-code bits:
   panic    (2)  unwrap/expect/panic! in production modules
   ordering (4)  Ordering:: without // ORDERING: (outside atomics.rs)
   cast     (8)  as u32/usize in hot paths without // CAST:
+  alloc   (16)  heap allocation in pooled operator hot paths without // ALLOC-OK(reason)
 exit 0 = clean, 32 = usage or I/O error";
 
 fn main() -> ExitCode {

@@ -1,4 +1,4 @@
-//! The four audit passes of `gunrock-lint`.
+//! The five audit passes of `gunrock-lint`.
 //!
 //! Each pass walks the scanned lines of one file and emits findings.
 //! Justification rules are deliberately positional — a marker comment
@@ -23,6 +23,10 @@ pub enum Pass {
     /// Truncating `as u32` / `as usize` in hot paths without `// CAST:`
     /// (bit 8).
     Cast,
+    /// Heap allocation (`Vec::new()` / `vec![` / `with_capacity(` /
+    /// `.collect(`) in zero-allocation operator hot paths without an
+    /// `// ALLOC-OK(reason)` justification (bit 16).
+    Alloc,
 }
 
 impl Pass {
@@ -32,6 +36,7 @@ impl Pass {
             Pass::Panic => "panic",
             Pass::Ordering => "ordering",
             Pass::Cast => "cast",
+            Pass::Alloc => "alloc",
         }
     }
 
@@ -41,6 +46,7 @@ impl Pass {
             Pass::Panic => 2,
             Pass::Ordering => 4,
             Pass::Cast => 8,
+            Pass::Alloc => 16,
         }
     }
 }
@@ -67,6 +73,10 @@ pub struct Config {
     pub ordering_exempt: Vec<String>,
     /// Hot-path modules where `as u32`/`as usize` needs a `// CAST:` note.
     pub cast_scope: Vec<String>,
+    /// Zero-allocation operator modules where heap allocation needs an
+    /// `// ALLOC-OK(reason)` note (steady-state iterations must come
+    /// from the buffer pool instead).
+    pub alloc_scope: Vec<String>,
 }
 
 impl Default for Config {
@@ -107,6 +117,13 @@ impl Default for Config {
                 "crates/core/src/filter".into(),
                 "crates/core/src/util.rs".into(),
             ],
+            // the operators the zero-allocation advance work (§4.2/§4.4)
+            // pooled: new allocations there must argue why they are not
+            // on the steady-state path
+            alloc_scope: vec![
+                "crates/core/src/advance".into(),
+                "crates/core/src/filter".into(),
+            ],
         }
     }
 }
@@ -128,6 +145,9 @@ pub fn lint_file(path: &str, lines: &[Line], cfg: &Config) -> Vec<Finding> {
     }
     if in_scope(path, &cfg.cast_scope, &[]) {
         cast_pass(path, lines, &mut out);
+    }
+    if in_scope(path, &cfg.alloc_scope, &[]) {
+        alloc_pass(path, lines, &mut out);
     }
     out
 }
@@ -336,6 +356,39 @@ fn cast_pass(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
     }
 }
 
+/// Heap allocations are denied in the pooled operator hot paths: scratch
+/// and output buffers must come from the context's `BufferPool` so
+/// steady-state iterations allocate nothing. The escape hatch is an
+/// `// ALLOC-OK(reason)` comment on the line or directly above — used
+/// for per-launch allocations off the steady-state path (large-frontier
+/// merges, overflow fallbacks, effect-only sinks).
+fn alloc_pass(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    const PATTERNS: [&str; 4] = ["Vec::new()", "vec![", "with_capacity(", ".collect("];
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let hits: Vec<&str> =
+            PATTERNS.iter().copied().filter(|p| line.code.contains(p)).collect();
+        if hits.is_empty() || block_above_has(lines, idx, "ALLOC-OK(") {
+            continue;
+        }
+        for hit in hits {
+            out.push(Finding {
+                pass: Pass::Alloc,
+                file: path.to_string(),
+                line: line.number,
+                message: format!(
+                    "`{hit}` in a zero-allocation operator hot path — take the buffer \
+                     from `ctx.pool()` (or add `// ALLOC-OK(reason)` if this launch is \
+                     off the steady-state path)"
+                ),
+                snippet: line.code.trim().to_string(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,5 +500,38 @@ mod tests {
     fn strings_do_not_trip_passes() {
         let src = "fn f() { log(\"panic! unsafe Ordering::Relaxed as u32\"); }\n";
         assert!(run("crates/engine/src/scan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_pass_flags_hot_path_allocation() {
+        let f = run(
+            "crates/core/src/advance/x.rs",
+            "fn f() {\n    let v: Vec<u32> = Vec::new();\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].pass, Pass::Alloc);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn alloc_pass_flags_every_allocation_form() {
+        let src = "fn f() {\n    let a = vec![0u32; 4];\n    let b = Vec::<u32>::with_capacity(4);\n    let c: Vec<u32> = (0..4).collect();\n}\n";
+        let f = run("crates/core/src/filter/x.rs", src);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|x| x.pass == Pass::Alloc));
+    }
+
+    #[test]
+    fn alloc_ok_escape_hatch_inline_or_above() {
+        let src = "fn f() {\n    let a = Vec::new(); // ALLOC-OK(effect-only sink, never grows)\n    // ALLOC-OK(u32-overflow fallback path)\n    let b = vec![0u32; 4];\n}\n";
+        assert!(run("crates/core/src/advance/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_pass_ignores_cold_modules_and_test_code() {
+        let src = "fn f() { let v: Vec<u32> = Vec::new(); }\n";
+        assert!(run("crates/algos/src/bfs.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { let v = vec![1]; }\n}\n";
+        assert!(run("crates/core/src/advance/x.rs", test_src).is_empty());
     }
 }

@@ -19,13 +19,14 @@ pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
     let count = |p: Pass| findings.iter().filter(|f| f.pass == p).count();
     out.push_str(&format!(
         "gunrock-lint: {} file(s) scanned, {} finding(s) \
-         (safety {}, panic {}, ordering {}, cast {})\n",
+         (safety {}, panic {}, ordering {}, cast {}, alloc {})\n",
         files_scanned,
         findings.len(),
         count(Pass::Safety),
         count(Pass::Panic),
         count(Pass::Ordering),
         count(Pass::Cast),
+        count(Pass::Alloc),
     ));
     out
 }
@@ -40,11 +41,13 @@ pub fn render_json(findings: &[Finding], files_scanned: usize, exit_code: i32) -
     out.push_str(&format!("  \"exit_code\": {exit_code},\n"));
     let count = |p: Pass| findings.iter().filter(|f| f.pass == p).count();
     out.push_str(&format!(
-        "  \"counts\": {{\"safety\": {}, \"panic\": {}, \"ordering\": {}, \"cast\": {}}},\n",
+        "  \"counts\": {{\"safety\": {}, \"panic\": {}, \"ordering\": {}, \"cast\": {}, \
+         \"alloc\": {}}},\n",
         count(Pass::Safety),
         count(Pass::Panic),
         count(Pass::Ordering),
         count(Pass::Cast),
+        count(Pass::Alloc),
     ));
     out.push_str("  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
@@ -69,7 +72,8 @@ pub fn render_json(findings: &[Finding], files_scanned: usize, exit_code: i32) -
 }
 
 /// Computes the process exit code: the OR of the exit bits of every pass
-/// with at least one finding (safety=1, panic=2, ordering=4, cast=8).
+/// with at least one finding (safety=1, panic=2, ordering=4, cast=8,
+/// alloc=16).
 pub fn exit_code(findings: &[Finding]) -> i32 {
     findings.iter().fold(0, |acc, f| acc | f.pass.exit_bit())
 }
@@ -123,7 +127,7 @@ mod tests {
         let text = render_human(&sample(), 7);
         assert!(text.contains("crates/engine/src/x.rs:12: [safety]"));
         assert!(text.contains("7 file(s) scanned, 2 finding(s)"));
-        assert!(text.contains("safety 1, panic 0, ordering 0, cast 1"));
+        assert!(text.contains("safety 1, panic 0, ordering 0, cast 1, alloc 0"));
     }
 
     #[test]

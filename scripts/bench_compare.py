@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Regression gate between two gunrock-bench/v1 snapshots.
+
+Compares the Gunrock MTEPS of every (primitive, dataset) pair in the new
+snapshot against the baseline, prints a markdown delta table, and exits
+non-zero if any pair regressed by more than the threshold (default 10%).
+
+    python3 scripts/bench_compare.py                       # pr3 -> pr5
+    python3 scripts/bench_compare.py --base A.json --new B.json \
+        --threshold 0.10 --markdown-out delta.md
+
+The default pairing (BENCH_pr3.json -> BENCH_pr5.json) gates the
+zero-allocation advance work: the pooled scan-offset paths must not cost
+throughput anywhere, and the CI job fails the build if they do.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load(path: pathlib.Path) -> dict:
+    if not path.exists():
+        sys.exit(f"missing {path}: run "
+                 "`cargo run --release -p gunrock-bench --bin bench_json` first")
+    data = json.loads(path.read_text())
+    if data.get("schema") != "gunrock-bench/v1":
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return data
+
+
+def by_pair(data: dict) -> dict:
+    return {(m["primitive"], m["dataset"]): m for m in data["measurements"]}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--base", default=str(ROOT / "BENCH_pr3.json"),
+                    help="baseline snapshot (default: BENCH_pr3.json)")
+    ap.add_argument("--new", dest="new", default=str(ROOT / "BENCH_pr5.json"),
+                    help="candidate snapshot (default: BENCH_pr5.json)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max tolerated MTEPS regression fraction (default 0.10)")
+    ap.add_argument("--markdown-out", default=None,
+                    help="also write the delta table to this file")
+    args = ap.parse_args()
+
+    base = load(pathlib.Path(args.base))
+    new = load(pathlib.Path(args.new))
+    if base.get("scale") != new.get("scale"):
+        sys.exit(f"scale mismatch: base {base.get('scale')} vs new {new.get('scale')} "
+                 "- snapshots are not comparable")
+
+    base_pairs, new_pairs = by_pair(base), by_pair(new)
+    missing = sorted(set(base_pairs) - set(new_pairs))
+    if missing:
+        sys.exit(f"candidate snapshot lost pairs: {missing}")
+
+    lines = [
+        "| Primitive | Dataset | base MTEPS | new MTEPS | speedup | base ms | new ms |",
+        "|---|---|---:|---:|---:|---:|---:|",
+    ]
+    failures = []
+    for key in sorted(base_pairs):
+        b, n = base_pairs[key], new_pairs[key]
+        speedup = n["mteps"] / b["mteps"] if b["mteps"] > 0 else float("inf")
+        lines.append(
+            f"| {key[0]} | {key[1]} | {b['mteps']:.1f} | {n['mteps']:.1f} "
+            f"| {speedup:.2f}x | {b['millis']:.3f} | {n['millis']:.3f} |"
+        )
+        if speedup < 1.0 - args.threshold:
+            failures.append(
+                f"{key[0]}/{key[1]}: {b['mteps']:.1f} -> {n['mteps']:.1f} MTEPS "
+                f"({(1.0 - speedup) * 100:.1f}% regression, "
+                f"threshold {args.threshold * 100:.0f}%)"
+            )
+
+    table = "\n".join(lines)
+    print(table)
+    if args.markdown_out:
+        pathlib.Path(args.markdown_out).write_text(table + "\n")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} pair(s) regressed beyond "
+              f"{args.threshold * 100:.0f}%:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nok: no (primitive, dataset) pair regressed beyond "
+          f"{args.threshold * 100:.0f}% ({len(base_pairs)} pairs compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+//! Buffer-pool integration: the zero-allocation advance property end to
+//! end (§4.2's "frontier data structures are reused across iterations").
+//!
+//! The unit tests in `gunrock-engine` cover the pool in isolation; these
+//! tests drive whole primitives through a shared `Context` and assert
+//! the properties the bench numbers rest on: steady-state runs stop
+//! allocating, the high-water marks are monotone, and pooling (plus the
+//! small-frontier serial fast path it enables) never changes a result —
+//! at any thread count.
+
+use gunrock::prelude::*;
+use gunrock_algos as algos;
+use gunrock_graph::generators::rmat::{rmat, RmatParams};
+use gunrock_graph::{Csr, GraphBuilder};
+
+fn test_graph() -> Csr {
+    GraphBuilder::new().build(rmat(10, 8, RmatParams::social(), 7))
+}
+
+/// Runs `f` inside a dedicated rayon pool of `threads` workers.
+fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool").install(f)
+}
+
+#[test]
+fn repeated_runs_on_one_context_reach_a_zero_allocation_steady_state() {
+    let g = test_graph();
+    let ctx = Context::new(&g).with_reverse(&g);
+    // warm-up: first runs populate every size class the traversal needs
+    for _ in 0..3 {
+        algos::bfs(&ctx, 0, algos::BfsOptions::default());
+    }
+    let warm = ctx.pool().stats();
+    for _ in 0..10 {
+        let r = algos::bfs(&ctx, 0, algos::BfsOptions::default());
+        assert_eq!(r.outcome, RunOutcome::Converged);
+    }
+    let after = ctx.pool().stats();
+    assert_eq!(
+        after.allocations, warm.allocations,
+        "steady-state BFS iterations must be served entirely from the pool"
+    );
+    assert!(after.checkouts > warm.checkouts, "the runs did go through the pool");
+}
+
+#[test]
+fn high_water_marks_are_monotone_across_primitives() {
+    let g = test_graph();
+    let ctx = Context::new(&g);
+    let mut prev = ctx.pool().stats();
+    for _ in 0..4 {
+        algos::sssp(&ctx, 0, algos::SsspOptions::default());
+        let s = ctx.pool().stats();
+        assert!(s.live_high_water >= prev.live_high_water);
+        assert!(s.bytes_high_water >= prev.bytes_high_water);
+        assert!(s.checkouts >= prev.checkouts);
+        assert!(s.releases >= prev.releases);
+        prev = s;
+    }
+    assert!(prev.bytes_high_water > 0);
+}
+
+#[test]
+fn pooled_results_match_fresh_context_results() {
+    let g = test_graph();
+    // one context reused across runs (pooled, warm) vs a fresh context
+    // per run (every buffer newly allocated): identical labels
+    let warm_ctx = Context::new(&g);
+    let mut warm_labels = Vec::new();
+    for _ in 0..3 {
+        warm_labels = algos::bfs(&warm_ctx, 0, algos::BfsOptions::default()).labels;
+    }
+    let fresh = algos::bfs(&Context::new(&g), 0, algos::BfsOptions::default()).labels;
+    assert_eq!(warm_labels, fresh, "pooling must not change BFS labels");
+
+    let warm_dist = algos::sssp(&warm_ctx, 0, algos::SsspOptions::default()).dist;
+    let fresh_dist = algos::sssp(&Context::new(&g), 0, algos::SsspOptions::default()).dist;
+    assert_eq!(warm_dist, fresh_dist, "pooling must not change SSSP distances");
+}
+
+#[test]
+fn pooled_runs_are_deterministic_across_thread_pools() {
+    let g = test_graph();
+    let reference = in_pool(1, || {
+        let ctx = Context::new(&g);
+        algos::bfs(&ctx, 0, algos::BfsOptions::default());
+        algos::bfs(&ctx, 0, algos::BfsOptions::default()).labels
+    });
+    for threads in [2, 8] {
+        let labels = in_pool(threads, || {
+            let ctx = Context::new(&g);
+            algos::bfs(&ctx, 0, algos::BfsOptions::default());
+            algos::bfs(&ctx, 0, algos::BfsOptions::default()).labels
+        });
+        assert_eq!(labels, reference, "pooled BFS differs at {threads} threads");
+    }
+}
+
+#[test]
+fn serial_fast_path_and_parallel_path_agree_end_to_end() {
+    let g = test_graph();
+    // serial fast path disabled entirely vs forced on for everything
+    // below a generous cutoff: bit-identical labels either way
+    let off = {
+        let ctx = Context::new(&g).with_config(EngineConfig::new().with_serial_threshold(0));
+        algos::bfs(&ctx, 0, algos::BfsOptions::default()).labels
+    };
+    let aggressive = {
+        let ctx =
+            Context::new(&g).with_config(EngineConfig::new().with_serial_threshold(1 << 20));
+        algos::bfs(&ctx, 0, algos::BfsOptions::default()).labels
+    };
+    assert_eq!(off, aggressive);
+}

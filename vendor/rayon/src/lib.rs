@@ -342,6 +342,15 @@ impl<I: Iterator> ParIter<I> {
         self.0.collect()
     }
 
+    /// Collects into `target`, reusing its existing allocation (rayon's
+    /// buffer-reuse collect for indexed iterators; the shim accepts any
+    /// iterator since execution is sequential anyway).
+    pub fn collect_into_vec(self, target: &mut Vec<I::Item>) {
+        job_start();
+        target.clear();
+        target.extend(self.0);
+    }
+
     pub fn find_any<P>(mut self, mut p: P) -> Option<I::Item>
     where
         P: FnMut(&I::Item) -> bool,
