@@ -638,6 +638,32 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
         }
     }
 
+    // A cooperative abort can truncate an operator's output to an empty
+    // frontier, making the loop exit look like natural convergence; the
+    // guard has the final say. (A run that genuinely converged in the
+    // same instant the flag rose is conservatively reported as cancelled
+    // — its exit snapshot holds complete state, so a resume is trivial.)
+    if outcome == RunOutcome::Converged && ctx.abort_requested() {
+        if let Some(tripped) = guard.check(enactor_iters) {
+            outcome = tripped;
+            if tripped != RunOutcome::Failed {
+                bfs_checkpoint(
+                    ctx,
+                    src,
+                    &opts,
+                    &labels,
+                    preds.as_deref(),
+                    &frontier,
+                    enactor_iters,
+                    level,
+                    pull_iters,
+                    direction,
+                    &unvisited,
+                    unvisited_edges,
+                );
+            }
+        }
+    }
     // the loop's last frontier still owns pooled storage; return it so
     // a re-run on this context starts with a warm pool
     ctx.recycle(frontier);

@@ -59,6 +59,7 @@ usage: gunrock <primitive> [--graph FILE | --gen KIND --scale N] [options]
 
 primitives: bfs sssp bc cc pagerank mst kcore triangles labelprop stats
 generators: kron soc roadnet bitcoin random smallworld
+service:    gunrock serve --help  |  gunrock query --help
 
 options:
   --graph FILE       load a graph (.bin, .mtx, or edge list)
@@ -208,21 +209,8 @@ pub fn load_or_generate(args: &Args) -> Result<Csr, String> {
     if let Some((lo, hi)) = weights {
         builder = builder.random_weights(lo, hi, seed);
     }
-    let coo = match kind {
-        "kron" => generators::rmat(scale, 16, generators::RmatParams::graph500(), seed),
-        "soc" => generators::rmat(scale, 8, generators::RmatParams::social(), seed),
-        "roadnet" => {
-            let side = ((1u64 << scale) as f64).sqrt().round() as usize;
-            generators::grid2d(2 * side, side, 0.05, 0.02, seed)
-        }
-        "bitcoin" => {
-            let n = 3usize << scale;
-            generators::hub_chain(n, 0.15, n / 4, seed)
-        }
-        "random" => generators::erdos_renyi(1 << scale, 8 << scale, seed),
-        "smallworld" => generators::watts_strogatz(1 << scale, 4, 0.1, seed),
-        other => return Err(format!("unknown generator {other:?}\n\n{USAGE}")),
-    };
+    let coo =
+        generators::from_spec(kind, scale, seed).map_err(|e| format!("{e}\n\n{USAGE}"))?;
     Ok(builder.build(coo))
 }
 
@@ -638,7 +626,16 @@ fn verify_eq<T: PartialEq + std::fmt::Debug>(
 
 /// Entry point used by `main`: returns the process exit code.
 /// `0` converged, `1` error, `2` partial result (a guard tripped).
+///
+/// `serve` and `query` are delegated to the service crate: `gunrock
+/// serve` is the in-process twin of the `gunrock-serve` binary and
+/// `gunrock query` is its line-protocol client.
 pub fn run(raw: Vec<String>) -> i32 {
+    match raw.first().map(String::as_str) {
+        Some("serve") => return gunrock_server::cli::run_serve(raw[1..].to_vec()),
+        Some("query") => return gunrock_server::cli::run_query(raw[1..].to_vec()),
+        _ => {}
+    }
     match parse_args(raw).and_then(|args| execute(&args)) {
         Ok(outcome) if outcome.is_converged() => 0,
         Ok(_) => 2,

@@ -24,6 +24,14 @@ use gunrock_graph::EdgeId;
 use rayon::prelude::*;
 use std::time::Instant;
 
+/// Edge-scan interval between cooperative abort polls inside one pull
+/// chunk: frequent enough that a deadline or cancel lands within
+/// microseconds, rare enough to stay invisible in the scan loop. The
+/// poll uses [`Context::abort_mid_operator`], so a run with an active
+/// checkpoint policy completes the operator instead of truncating —
+/// snapshots must only be cut at consistent operator boundaries.
+const ABORT_POLL_EDGES: u64 = 4096;
+
 /// Builds the frontier-membership bitmap for a pull step.
 pub fn frontier_bitmap(num_vertices: usize, frontier: &Frontier) -> AtomicBitmap {
     let bm = AtomicBitmap::new(num_vertices);
@@ -62,8 +70,17 @@ pub fn advance_pull<F: AdvanceFunctor>(
             .map(|chunk| {
                 let mut local = Vec::new(); // ALLOC-OK(per-task local; pull runs once per direction switch, not per iteration)
                 let mut edges = 0u64;
+                // cancel/deadline abort: a raised flag truncates this chunk
+                // (and skips it entirely when raised before the chunk
+                // starts); the enact loop's next guard check reports the
+                // trip and discards the partial frontier. Suppressed when
+                // checkpointing, so exit snapshots see complete operators.
+                if ctx.abort_mid_operator() {
+                    return (local, edges);
+                }
+                let mut next_poll = ABORT_POLL_EDGES;
                 let cols = rev.col_indices();
-                for &v in chunk {
+                'scan: for &v in chunk {
                     for e in rev.edge_range(v) {
                         edges += 1;
                         let u = cols[e];
@@ -72,6 +89,12 @@ pub fn advance_pull<F: AdvanceFunctor>(
                             functor.apply_edge(u, v, e as EdgeId);
                             local.push(v);
                             break; // one valid predecessor suffices
+                        }
+                    }
+                    if edges >= next_poll {
+                        next_poll = edges + ABORT_POLL_EDGES;
+                        if ctx.abort_mid_operator() {
+                            break 'scan;
                         }
                     }
                 }
@@ -127,6 +150,38 @@ mod tests {
         assert_eq!(out.len(), 99);
         // each candidate's in-list starts with the hub: one edge each
         assert_eq!(ctx.counters.edges(), 99);
+    }
+
+    #[test]
+    fn raised_cancel_flag_truncates_the_pull_scan() {
+        use crate::policy::RunPolicy;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        // large synthetic instance: star hub 0 -> {1..N}, frontier = {0},
+        // every other vertex is an unvisited candidate
+        let n: u32 = 50_000;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        let g = GraphBuilder::new().build(Coo::from_edges(n as usize, &edges));
+        let flag = Arc::new(AtomicBool::new(false));
+        let ctx = Context::new(&g)
+            .with_reverse(&g)
+            .with_policy(RunPolicy::unbounded().cancel_flag(flag.clone()));
+        let bm = frontier_bitmap(n as usize, &Frontier::single(0));
+        let candidates: Vec<u32> = (1..n).collect();
+        // flag down: the full next level comes back
+        let full = advance_pull(&ctx, &candidates, &bm, &AcceptAll);
+        assert_eq!(full.len(), (n - 1) as usize);
+        // flag up before launch: every chunk bails out at its first poll,
+        // long before the frontier is fully scanned
+        flag.store(true, Ordering::Release);
+        let truncated = advance_pull(&ctx, &candidates, &bm, &AcceptAll);
+        assert!(
+            truncated.len() < full.len(),
+            "cancel mid-operator must truncate: got {} of {}",
+            truncated.len(),
+            full.len()
+        );
+        assert!(!ctx.is_poisoned(), "cooperative abort is not a failure");
     }
 
     #[test]

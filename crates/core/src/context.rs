@@ -6,7 +6,7 @@ use crate::error::GunrockError;
 use crate::policy::{CheckpointPolicy, RetryPolicy, RunGuard, RunPolicy};
 use gunrock_engine::checkpoint::Checkpoint;
 use gunrock_engine::config::EngineConfig;
-use gunrock_engine::faults::FaultInjector;
+use gunrock_engine::faults::{FaultInjector, FaultKind};
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::pool::BufferPool;
 use gunrock_engine::stats::{RecoveryKind, RunOutcome, RunStats, StatsSink, WorkCounters};
@@ -39,8 +39,11 @@ pub struct Context<'g> {
     /// Size-classed scratch/frontier buffer pool (the zero-allocation
     /// advance path): operators check out degree/offset/output buffers
     /// here instead of allocating per iteration, and enact loops recycle
-    /// retired frontiers through [`Context::recycle`].
-    pool: BufferPool,
+    /// retired frontiers through [`Context::recycle`]. Behind an `Arc`
+    /// so a serving layer can share one pool across many per-request
+    /// contexts ([`Context::with_shared_pool`]); single-run contexts own
+    /// a private pool.
+    pool: Arc<BufferPool>,
     /// Optional iteration-boundary checkpointing.
     checkpoints: Option<CheckpointPolicy>,
     /// Optional deterministic fault injector (chaos testing).
@@ -53,9 +56,11 @@ pub struct Context<'g> {
     /// The first failure that poisoned the run.
     failure: Mutex<Option<GunrockError>>,
     /// Wall-clock deadline armed by [`Context::guard`], checked by
-    /// long-running operators *between batches* (satellite S1). Cancel
-    /// is deliberately not part of this: cancel only takes effect at
-    /// operator boundaries so frontier state stays consistent (S2).
+    /// long-running operators *between batches* together with the cancel
+    /// flag via [`Context::abort_requested`]. An aborted operator
+    /// returns a truncated (partial) output; the enact loop's next guard
+    /// check reports the trip and discards it, so frontier state handed
+    /// to the caller is never half-updated.
     deadline: Mutex<Option<Instant>>,
 }
 
@@ -70,7 +75,7 @@ impl<'g> Context<'g> {
             policy: RunPolicy::default(),
             retry: RetryPolicy::default(),
             sink: None,
-            pool: BufferPool::new(),
+            pool: Arc::new(BufferPool::new()),
             checkpoints: None,
             injector: None,
             poisoned: AtomicBool::new(false),
@@ -122,6 +127,15 @@ impl<'g> Context<'g> {
     /// it for injected panics and simulated allocation failures.
     pub fn with_faults(mut self, injector: Arc<FaultInjector>) -> Self {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Shares an existing buffer pool instead of owning a private one.
+    /// A long-lived service builds one pool at startup and hands it to
+    /// every per-request context, so steady-state requests recycle each
+    /// other's buffers instead of growing fresh pools.
+    pub fn with_shared_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -183,15 +197,48 @@ impl<'g> Context<'g> {
 
     /// True when the wall-clock budget armed by the current enactment
     /// has been exceeded. Checked by the load-balanced advance between
-    /// batches (satellite S1) so one huge advance cannot blow far past
-    /// `--timeout-ms`. Deliberately ignores the cancel flag: cancel
-    /// takes effect only at operator boundaries (satellite S2), so a
-    /// mid-operator cancel can never leave a half-updated frontier.
+    /// batches so one huge advance cannot blow far past `--timeout-ms`.
     pub fn deadline_exceeded(&self) -> bool {
         match self.deadline.lock() {
             Ok(slot) => slot.map(|d| Instant::now() >= d).unwrap_or(false),
             Err(_) => false,
         }
+    }
+
+    /// True when the policy's cooperative cancel flag has been raised.
+    pub fn cancel_requested(&self) -> bool {
+        // ORDERING: Acquire — pairs with the canceller's Release store; any
+        // state it published before raising the flag is visible here.
+        self.policy.cancel.as_ref().map(|f| f.load(Ordering::Acquire)).unwrap_or(false)
+    }
+
+    /// True when the current enactment should stop as soon as possible:
+    /// the cancel flag is raised or the armed deadline has passed.
+    /// Long-running operators poll this inside their chunk loops (pull
+    /// advance, culling filter, load-balanced push batches) and bail out
+    /// with a truncated output; the operator's partial result is then
+    /// discarded when the enact loop's guard reports `Cancelled` /
+    /// `TimedOut` at the next boundary. Without these mid-operator
+    /// checks, an abort on a bulk graph could overshoot by a whole
+    /// operator launch.
+    #[inline]
+    pub fn abort_requested(&self) -> bool {
+        self.cancel_requested() || self.deadline_exceeded()
+    }
+
+    /// True when an operator may *truncate* its output in response to
+    /// [`Self::abort_requested`]. Truncation drops frontier items on the
+    /// floor, which is fine for a run that is about to throw its state
+    /// away — but a run with a checkpoint policy has promised resumable
+    /// iteration-boundary snapshots, and a truncated operator would make
+    /// every later boundary inconsistent (the dropped items exist in no
+    /// frontier, so a resumed run would silently never visit them).
+    /// With checkpointing active, operators run to completion and the
+    /// abort lands at the next boundary instead: drain latency is traded
+    /// for snapshot soundness.
+    #[inline]
+    pub fn abort_mid_operator(&self) -> bool {
+        self.checkpoints.is_none() && self.abort_requested()
     }
 
     /// The fault injector, if one is installed.
@@ -216,12 +263,27 @@ impl<'g> Context<'g> {
     /// as `<primitive>.ckpt`, atomically. A write failure never kills
     /// the run: it is recorded as a `checkpoint-failed` RecoveryEvent
     /// (when instrumented) and the enactment continues.
+    ///
+    /// With an io fault plan installed, the injector site
+    /// `checkpoint:rename` simulates a process crash *between* the
+    /// tmp-file fsync and the atomic rename — the window the tmp+rename
+    /// protocol exists for. The previous snapshot survives untouched,
+    /// so resumability is never lost to a crashed save.
     pub fn save_checkpoint(&self, ckpt: &Checkpoint) {
         let Some(policy) = &self.checkpoints else { return };
         let path = policy.path(ckpt.primitive());
+        let crash_at_rename = self
+            .injector()
+            .is_some_and(|inj| inj.should_fail(FaultKind::Io, "checkpoint:rename"));
         let result = std::fs::create_dir_all(&policy.dir)
             .map_err(gunrock_engine::checkpoint::CheckpointError::Io)
-            .and_then(|()| ckpt.save(&path));
+            .and_then(|()| {
+                if crash_at_rename {
+                    ckpt.save_crash_before_rename(&path)
+                } else {
+                    ckpt.save(&path)
+                }
+            });
         if let Err(e) = result {
             if let Some(sink) = self.sink() {
                 sink.record_recovery(
@@ -387,6 +449,41 @@ mod tests {
         assert!(!ctx.deadline_exceeded(), "deadline is armed only by guard()");
         let _guard = ctx.guard();
         assert!(ctx.deadline_exceeded(), "zero budget exceeded immediately");
+    }
+
+    #[test]
+    fn abort_reflects_cancel_flag_and_deadline() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let flag = Arc::new(AtomicBool::new(false));
+        let ctx =
+            Context::new(&g).with_policy(RunPolicy::unbounded().cancel_flag(flag.clone()));
+        assert!(!ctx.abort_requested());
+        flag.store(true, Ordering::Release);
+        assert!(ctx.cancel_requested());
+        assert!(ctx.abort_requested(), "cancel raises abort even with no deadline armed");
+        assert!(!ctx.deadline_exceeded(), "deadline side stays independent of cancel");
+
+        let ctx = Context::new(&g)
+            .with_policy(RunPolicy::unbounded().wall_clock_budget(std::time::Duration::ZERO));
+        assert!(!ctx.abort_requested(), "deadline arms only once guard() runs");
+        let _guard = ctx.guard();
+        assert!(ctx.abort_requested(), "expired deadline raises abort");
+        assert!(!ctx.cancel_requested());
+    }
+
+    #[test]
+    fn shared_pool_is_visible_across_contexts() {
+        let g = GraphBuilder::new().build(Coo::from_edges(3, &[(0, 1), (1, 2)]));
+        let pool = Arc::new(gunrock_engine::pool::BufferPool::new());
+        let a = Context::new(&g).with_shared_pool(Arc::clone(&pool));
+        let b = Context::new(&g).with_shared_pool(Arc::clone(&pool));
+        let buf = a.pool().take_u32(64);
+        let ptr = buf.as_ptr() as usize;
+        a.pool().put_u32(buf);
+        // the second context draws the very storage the first released
+        let again = b.pool().take_u32(64);
+        assert_eq!(again.as_ptr() as usize, ptr);
+        assert_eq!(pool.stats().allocations, 1, "one allocation served both contexts");
     }
 
     #[test]

@@ -56,11 +56,22 @@ impl CullingConfig {
 /// (see `Csr::validate`), so every legal id is strictly smaller.
 const EMPTY_SLOT: u32 = u32::MAX;
 
+/// Item interval between cooperative abort polls inside one cull chunk:
+/// a raised cancel flag or expired deadline truncates the chunk instead
+/// of overshooting by a whole filter launch.
+const ABORT_POLL_ITEMS: u32 = 1024;
+
 /// Runs the culling cascade (history hash, then bitmask test-and-set,
 /// then the fused user functor) over `chunk`, appending survivors to
 /// `out`. `history` must be `1 << cfg.history_bits` slots of
 /// `EMPTY_SLOT` when `cfg.history` holds, and may be empty otherwise.
+/// Polls `ctx` for a cancel/deadline abort and returns early (survivors
+/// so far stay in `out`); the enact loop's guard discards the partial
+/// frontier at the next boundary. Truncation is suppressed when a
+/// checkpoint policy is active ([`Context::abort_mid_operator`]), so
+/// snapshot boundaries always see a complete cull.
 fn cull_chunk<F: FilterFunctor>(
+    ctx: &Context<'_>,
     chunk: &[u32],
     cfg: CullingConfig,
     history: &mut [u32],
@@ -68,8 +79,19 @@ fn cull_chunk<F: FilterFunctor>(
     functor: &F,
     out: &mut Vec<u32>,
 ) {
+    if ctx.abort_mid_operator() {
+        return;
+    }
     let mask = history.len().wrapping_sub(1);
+    let mut since_poll = 0u32;
     for &id in chunk {
+        since_poll += 1;
+        if since_poll >= ABORT_POLL_ITEMS {
+            since_poll = 0;
+            if ctx.abort_mid_operator() {
+                return;
+            }
+        }
         if cfg.history {
             // cheap multiplicative hash into the small table
             // CAST: vertex ids are u32 widened to usize — lossless.
@@ -116,7 +138,7 @@ pub fn filter_with_culling<F: FilterFunctor>(
             let mut history =
                 ctx.pool().take_u32(if cfg.history { 1 << cfg.history_bits } else { 0 });
             history.resize(if cfg.history { 1 << cfg.history_bits } else { 0 }, EMPTY_SLOT);
-            cull_chunk(items, cfg, &mut history, visited, functor, &mut out);
+            cull_chunk(ctx, items, cfg, &mut history, visited, functor, &mut out);
             ctx.pool().put_u32(history);
             out
         } else {
@@ -133,7 +155,7 @@ pub fn filter_with_culling<F: FilterFunctor>(
                     } else {
                         Vec::new() // ALLOC-OK(empty sentinel, no heap)
                     };
-                    cull_chunk(chunk, cfg, &mut history, visited, functor, &mut local);
+                    cull_chunk(ctx, chunk, cfg, &mut history, visited, functor, &mut local);
                     local
                 })
                 .collect(); // ALLOC-OK(one merge per large-frontier launch)
@@ -205,6 +227,47 @@ mod tests {
         assert_eq!(out.len(), 2);
         // visited bitmap untouched in history-only mode
         assert_eq!(visited.count_ones(), 0);
+    }
+
+    #[test]
+    fn raised_cancel_flag_truncates_the_cull() {
+        use crate::policy::RunPolicy;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        // large synthetic frontier (well past FRONTIER_SEQ_CUTOFF) of
+        // distinct ids, so an uncancelled run keeps every one of them
+        let n: u32 = 200_000;
+        let g = GraphBuilder::new().build(Coo::from_edges(n as usize, &[(0, 1)]));
+        let flag = Arc::new(AtomicBool::new(false));
+        let ctx =
+            Context::new(&g).with_policy(RunPolicy::unbounded().cancel_flag(flag.clone()));
+        let input = Frontier::from_vec((0..n).collect());
+        let visited = AtomicBitmap::new(n as usize);
+        let full = filter_with_culling(
+            &ctx,
+            &input,
+            &visited,
+            &VertexCond(|_| true),
+            CullingConfig::default(),
+        );
+        assert_eq!(full.len(), n as usize);
+        // flag up before launch: every chunk returns at its entry poll
+        flag.store(true, Ordering::Release);
+        let fresh_visited = AtomicBitmap::new(n as usize);
+        let truncated = filter_with_culling(
+            &ctx,
+            &input,
+            &fresh_visited,
+            &VertexCond(|_| true),
+            CullingConfig::default(),
+        );
+        assert!(
+            truncated.len() < full.len(),
+            "cancel mid-operator must truncate: got {} of {}",
+            truncated.len(),
+            full.len()
+        );
+        assert!(!ctx.is_poisoned(), "cooperative abort is not a failure");
     }
 
     #[test]

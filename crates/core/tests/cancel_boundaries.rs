@@ -1,8 +1,17 @@
-//! Regression tests for the cancellation contract (satellite S2):
-//! cooperative cancel takes effect only at *operator boundaries* — an
-//! in-flight operator always runs to completion, so frontier and
-//! problem state stay consistent — while the wall-clock budget is also
-//! honored *between batches* inside a split load-balanced advance (S1).
+//! Regression tests for the cancellation contract.
+//!
+//! Push-direction advance completes its in-flight launch under cancel —
+//! its per-edge functor effects are applied as it goes, so a full launch
+//! keeps label state consistent — and the cancel lands at the next
+//! operator boundary. The wall-clock budget is additionally honored
+//! *between batches* inside a split load-balanced advance. The
+//! pull advance and culling filter go further: their chunk loops poll
+//! [`Context::abort_mid_operator`] and truncate on cancel or deadline
+//! (their partial frontiers are discarded by the guard at the next
+//! boundary) — see the regression tests in `advance::pull` and
+//! `filter::culling`. When a checkpoint policy is active the truncation
+//! is suppressed and every operator runs to completion, so snapshot
+//! boundaries stay consistent and a drained run resumes losslessly.
 
 use gunrock::prelude::*;
 use gunrock_graph::{Coo, GraphBuilder};
@@ -47,9 +56,11 @@ fn cancel_set_before_the_loop_stops_at_the_first_boundary() {
 
 #[test]
 fn cancel_does_not_trip_the_inter_batch_deadline() {
-    // The inter-batch check inside a split load-balanced advance honors
-    // the wall-clock budget only; a set cancel flag must NOT stop the
-    // operator mid-way (that is the whole point of boundary-only cancel).
+    // The inter-batch check inside a split load-balanced *push* advance
+    // honors the wall-clock budget only; a set cancel flag must NOT stop
+    // this operator mid-way (push functor effects land per edge, so a
+    // completed launch keeps label state consistent; cancel is picked up
+    // at the next operator boundary instead).
     let g = hub_graph(100);
     let flag = Arc::new(AtomicBool::new(true));
     let ctx = Context::new(&g).with_policy(RunPolicy::unbounded().cancel_flag(flag));

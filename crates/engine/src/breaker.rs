@@ -1,0 +1,261 @@
+//! Per-key circuit breaker for shedding traffic to a failing primitive.
+//!
+//! The serving layer isolates operator panics per request, but a
+//! primitive that panics on *every* request (a poisoned code path, a
+//! fault-injection campaign) would still burn a worker slot per attempt.
+//! The breaker watches consecutive failures per key (one key per
+//! primitive): after `threshold` consecutive failures it **opens** and
+//! sheds that key's traffic with a structured error carrying a
+//! retry-after hint; once the cool-down passes, a single **half-open**
+//! probe is admitted — success closes the circuit, failure re-opens it
+//! for another cool-down.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Breaker state for one key, as reported by [`CircuitBreaker::snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are shed until the cool-down passes.
+    Open,
+    /// Cool-down elapsed: one probe request is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lower-case name for JSON metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Admission decision for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the request.
+    Allow,
+    /// Shed it: the circuit is open; retry after the hint.
+    Shed {
+        /// Time remaining until the next half-open probe is admitted.
+        retry_after: Duration,
+    },
+}
+
+#[derive(Clone, Copy)]
+enum Cell {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+struct Snapshot {
+    key: String,
+    state: BreakerState,
+    consecutive_failures: u32,
+}
+
+/// One breaker entry in a [`CircuitBreaker::snapshot`].
+pub struct BreakerEntry {
+    /// The key (primitive name).
+    pub key: String,
+    /// Current state.
+    pub state: BreakerState,
+    /// Consecutive failures observed while closed (0 once open).
+    pub consecutive_failures: u32,
+}
+
+/// Keyed circuit breaker: trips a key after `threshold` consecutive
+/// failures, sheds its traffic for `cooldown`, then admits a single
+/// half-open probe. All methods take `&self`; keys are created lazily.
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    cells: Mutex<HashMap<String, Cell>>,
+}
+
+impl CircuitBreaker {
+    /// Creates a breaker tripping after `threshold` consecutive failures
+    /// (clamped to at least 1) and cooling down for `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            cells: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The cells map holds plain state with no cross-entry invariant, so
+    /// a poisoned lock (panic while held) safely yields the inner value.
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Cell>> {
+        self.cells.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Decides whether a request for `key` may run right now. An open
+    /// circuit whose cool-down has elapsed transitions to half-open and
+    /// admits this request as the probe; further requests are shed until
+    /// the probe reports back.
+    pub fn admit(&self, key: &str) -> Admission {
+        let mut cells = self.lock();
+        let cell =
+            cells.entry(key.to_string()).or_insert(Cell::Closed { consecutive_failures: 0 });
+        match *cell {
+            Cell::Closed { .. } => Admission::Allow,
+            Cell::HalfOpen => Admission::Shed { retry_after: self.cooldown },
+            Cell::Open { until } => {
+                let now = Instant::now();
+                if now >= until {
+                    *cell = Cell::HalfOpen;
+                    Admission::Allow
+                } else {
+                    Admission::Shed { retry_after: until - now }
+                }
+            }
+        }
+    }
+
+    /// Reports a successful run for `key`: closes the circuit and resets
+    /// the failure streak.
+    pub fn record_success(&self, key: &str) {
+        self.lock().insert(key.to_string(), Cell::Closed { consecutive_failures: 0 });
+    }
+
+    /// Reports a failed (panicked) run for `key`: extends the failure
+    /// streak and opens the circuit when it reaches the threshold. A
+    /// failed half-open probe re-opens immediately.
+    pub fn record_failure(&self, key: &str) {
+        let mut cells = self.lock();
+        let cell =
+            cells.entry(key.to_string()).or_insert(Cell::Closed { consecutive_failures: 0 });
+        *cell = match *cell {
+            Cell::Closed { consecutive_failures } => {
+                let streak = consecutive_failures.saturating_add(1);
+                if streak >= self.threshold {
+                    Cell::Open { until: Instant::now() + self.cooldown }
+                } else {
+                    Cell::Closed { consecutive_failures: streak }
+                }
+            }
+            // a failed probe (or a late failure from a request admitted
+            // before the trip) restarts the cool-down
+            Cell::HalfOpen | Cell::Open { .. } => {
+                Cell::Open { until: Instant::now() + self.cooldown }
+            }
+        };
+    }
+
+    /// Current state of `key` (Closed if never seen).
+    pub fn state(&self, key: &str) -> BreakerState {
+        match self.lock().get(key) {
+            None | Some(Cell::Closed { .. }) => BreakerState::Closed,
+            Some(Cell::Open { .. }) => BreakerState::Open,
+            Some(Cell::HalfOpen) => BreakerState::HalfOpen,
+        }
+    }
+
+    /// All keys with their states, sorted by key for deterministic
+    /// metrics output.
+    pub fn snapshot(&self) -> Vec<BreakerEntry> {
+        let mut rows: Vec<Snapshot> = self
+            .lock()
+            .iter()
+            .map(|(key, cell)| Snapshot {
+                key: key.clone(),
+                state: match cell {
+                    Cell::Closed { .. } => BreakerState::Closed,
+                    Cell::Open { .. } => BreakerState::Open,
+                    Cell::HalfOpen => BreakerState::HalfOpen,
+                },
+                consecutive_failures: match cell {
+                    Cell::Closed { consecutive_failures } => *consecutive_failures,
+                    _ => 0,
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| a.key.cmp(&b.key));
+        rows.into_iter()
+            .map(|s| BreakerEntry {
+                key: s.key,
+                state: s.state,
+                consecutive_failures: s.consecutive_failures,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(60));
+        assert_eq!(b.admit("bfs"), Admission::Allow);
+        b.record_failure("bfs");
+        b.record_failure("bfs");
+        assert_eq!(b.admit("bfs"), Admission::Allow, "below threshold");
+        b.record_failure("bfs");
+        assert_eq!(b.state("bfs"), BreakerState::Open);
+        assert!(matches!(b.admit("bfs"), Admission::Shed { .. }));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = CircuitBreaker::new(2, Duration::from_secs(60));
+        b.record_failure("cc");
+        b.record_success("cc");
+        b.record_failure("cc");
+        assert_eq!(b.state("cc"), BreakerState::Closed, "streak was reset");
+        b.record_failure("cc");
+        assert_eq!(b.state("cc"), BreakerState::Open);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let b = CircuitBreaker::new(1, Duration::from_secs(60));
+        b.record_failure("bfs");
+        assert!(matches!(b.admit("bfs"), Admission::Shed { .. }));
+        assert_eq!(b.admit("pagerank"), Admission::Allow);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_failure() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(10));
+        b.record_failure("bfs");
+        assert!(matches!(b.admit("bfs"), Admission::Shed { .. }));
+        std::thread::sleep(Duration::from_millis(20));
+        // cool-down elapsed: one probe admitted, followers still shed
+        assert_eq!(b.admit("bfs"), Admission::Allow);
+        assert_eq!(b.state("bfs"), BreakerState::HalfOpen);
+        assert!(matches!(b.admit("bfs"), Admission::Shed { .. }));
+        b.record_failure("bfs");
+        assert_eq!(b.state("bfs"), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.admit("bfs"), Admission::Allow);
+        b.record_success("bfs");
+        assert_eq!(b.state("bfs"), BreakerState::Closed);
+        assert_eq!(b.admit("bfs"), Admission::Allow);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_reports_streaks() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(60));
+        b.record_failure("sssp");
+        b.record_failure("bfs");
+        b.record_failure("bfs");
+        b.record_failure("bfs");
+        let snap = b.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].key, "bfs");
+        assert_eq!(snap[0].state, BreakerState::Open);
+        assert_eq!(snap[1].key, "sssp");
+        assert_eq!(snap[1].state, BreakerState::Closed);
+        assert_eq!(snap[1].consecutive_failures, 1);
+    }
+}

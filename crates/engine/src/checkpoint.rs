@@ -442,8 +442,29 @@ impl Checkpoint {
     }
 
     /// Writes the checkpoint atomically: encode to `path` with a `.tmp`
-    /// suffix, fsync, then rename over the destination.
+    /// suffix, fsync, then rename over the destination. If the rename
+    /// itself fails, the orphaned tmp file is removed before the error
+    /// surfaces, so a failed save leaves the directory exactly as it was.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        self.save_inner(path, false)
+    }
+
+    /// Fault-injection hook proving the atomicity claim of
+    /// [`save`](Self::save): writes and fsyncs the tmp file exactly like
+    /// a real save, then *stops before the rename* — the state a process
+    /// crash at that instant leaves behind. The tmp file remains on disk
+    /// as the crash artifact, the previous checkpoint at `path` (if any)
+    /// is untouched and still loads, and the returned `Interrupted` io
+    /// error reports the simulated crash to the caller.
+    pub fn save_crash_before_rename(&self, path: &Path) -> Result<(), CheckpointError> {
+        self.save_inner(path, true)
+    }
+
+    fn save_inner(
+        &self,
+        path: &Path,
+        crash_before_rename: bool,
+    ) -> Result<(), CheckpointError> {
         let bytes = self.encode();
         let tmp = path.with_extension("ckpt.tmp");
         {
@@ -451,7 +472,16 @@ impl Checkpoint {
             f.write_all(&bytes)?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp, path)?;
+        if crash_before_rename {
+            return Err(CheckpointError::Io(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected crash before checkpoint rename",
+            )));
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(CheckpointError::Io(e));
+        }
         Ok(())
     }
 
@@ -565,6 +595,30 @@ mod tests {
         assert_eq!(Checkpoint::load(&path).expect("load"), c);
         // the tmp file must not linger after a successful save
         assert!(!path.with_extension("ckpt.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_before_rename_preserves_the_previous_snapshot() {
+        let dir =
+            std::env::temp_dir().join(format!("gunrock-ckpt-crash-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("bfs.ckpt");
+        let first = sample();
+        first.save(&path).expect("save");
+        let golden = std::fs::read(&path).expect("read");
+
+        let mut second = sample();
+        second.push_u32("extra", vec![9, 9, 9]);
+        let err = second.save_crash_before_rename(&path).expect_err("must report the crash");
+        assert!(matches!(err, CheckpointError::Io(_)));
+        // the crash artifact exists, fully written...
+        let tmp = path.with_extension("ckpt.tmp");
+        assert!(tmp.exists(), "crash leaves the tmp file behind");
+        // ...and the resumable file still holds the previous snapshot,
+        // byte for byte
+        assert_eq!(std::fs::read(&path).expect("read"), golden);
+        assert_eq!(Checkpoint::load(&path).expect("load"), first);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -24,6 +24,7 @@
 
 pub mod atomics;
 pub mod bitmap;
+pub mod breaker;
 pub mod checkpoint;
 pub mod compact;
 pub mod config;
@@ -31,6 +32,7 @@ pub mod faults;
 pub mod frontier;
 pub mod json;
 pub mod pool;
+pub mod queue;
 pub mod racecheck;
 pub mod reduce;
 pub mod scan;

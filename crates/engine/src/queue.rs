@@ -1,0 +1,211 @@
+//! Bounded job queue with explicit backpressure.
+//!
+//! The serving layer (DESIGN.md §9) admits work through a fixed-capacity
+//! queue: producers get an immediate structured rejection when the queue
+//! is full instead of growing an unbounded backlog, and consumers block
+//! until an item arrives or the queue is closed and drained. The queue is
+//! multi-producer/multi-consumer and deliberately simple — a mutexed
+//! `VecDeque` plus a condvar — because capacities are small (tens of
+//! jobs) and the work items themselves run for milliseconds to seconds.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a [`BoundedQueue::try_push`] was refused. The rejected item rides
+/// along so the caller can respond to it without cloning.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; retry after backoff.
+    Full(T),
+    /// The queue has been closed; no further work is admitted.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+
+    /// True if the rejection was a capacity overflow (retryable).
+    pub fn is_full(&self) -> bool {
+        matches!(self, PushError::Full(_))
+    }
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Fixed-capacity MPMC queue: `try_push` never blocks (it rejects when
+/// full), `pop` blocks until an item arrives or the queue is closed and
+/// empty.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` pending items
+    /// (capacity 0 is clamped to 1 so the queue stays usable).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A panic while holding the lock poisons it; the queue state is a
+    /// plain VecDeque that cannot be left mid-invariant, so recover the
+    /// guard instead of propagating the poison (matches the vendored
+    /// parking_lot semantics used elsewhere).
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attempts to enqueue without blocking. Returns the item wrapped in
+    /// [`PushError::Full`] when at capacity (backpressure: the caller
+    /// responds with retry-after) or [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns it, or returns
+    /// `None` once the queue is closed **and** drained — the worker exit
+    /// signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: future pushes are rejected, blocked consumers
+    /// wake, and `pop` returns the remaining backlog before yielding
+    /// `None`. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current number of queued (not yet popped) items.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_is_rejected_not_queued() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let err = q.try_push(3).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 3);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(7).unwrap();
+        assert!(q.try_push(8).is_err());
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_drains_backlog() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        let err = q.try_push(2).unwrap_err();
+        assert!(!err.is_full());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None); // idempotent after drain
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push_and_on_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let qc = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = qc.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for v in 0..8 {
+            // retry when the slow consumer lets the queue fill up
+            let mut item = v;
+            loop {
+                match q.try_push(item) {
+                    Ok(()) => break,
+                    Err(PushError::Full(back)) => {
+                        item = back;
+                        std::thread::yield_now();
+                    }
+                    Err(PushError::Closed(_)) => panic!("queue closed early"),
+                }
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+}

@@ -26,3 +26,31 @@ pub use hubchain::hub_chain;
 pub use random::erdos_renyi;
 pub use rmat::{rmat, RmatParams};
 pub use smallworld::watts_strogatz;
+
+/// The generator spec names understood by [`from_spec`], in the order
+/// the CLI documents them.
+pub const SPEC_KINDS: [&str; 6] = ["kron", "soc", "roadnet", "bitcoin", "random", "smallworld"];
+
+/// Builds the edge list for a named topology class at `scale` — the
+/// shared dispatch behind the CLI's and the serve daemon's `--gen`
+/// flag, so every front end maps dataset names to generators the same
+/// way. Unknown `kind`s are reported, not defaulted.
+pub fn from_spec(kind: &str, scale: u32, seed: u64) -> Result<crate::coo::Coo, String> {
+    Ok(match kind {
+        "kron" => rmat(scale, 16, RmatParams::graph500(), seed),
+        "soc" => rmat(scale, 8, RmatParams::social(), seed),
+        "roadnet" => {
+            // CAST: scale <= 63 here; the rounded square side of 2^scale
+            // always fits usize.
+            let side = ((1u64 << scale) as f64).sqrt().round() as usize;
+            grid2d(2 * side, side, 0.05, 0.02, seed)
+        }
+        "bitcoin" => {
+            let n = 3usize << scale;
+            hub_chain(n, 0.15, n / 4, seed)
+        }
+        "random" => erdos_renyi(1 << scale, 8 << scale, seed),
+        "smallworld" => watts_strogatz(1 << scale, 4, 0.1, seed),
+        other => return Err(format!("unknown generator {other:?}")),
+    })
+}

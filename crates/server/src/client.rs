@@ -1,0 +1,58 @@
+//! A minimal blocking client for the line-delimited protocol, shared by
+//! `gunrock query` and the resilience tests.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One connection to a `gunrock-serve` instance; requests and responses
+/// alternate line by line.
+pub struct Client {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`) with a read timeout: a client
+    /// never hangs forever, even against a wedged server.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| format!("cannot set read timeout: {e}"))?;
+        Ok(Client { stream, pending: Vec::new() })
+    }
+
+    /// Sends one request line and waits for its response line.
+    pub fn request(&mut self, line: &str) -> Result<String, String> {
+        self.stream
+            .write_all(line.as_bytes())
+            .and_then(|_| self.stream.write_all(b"\n"))
+            .and_then(|_| self.stream.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.pending.drain(..=pos).collect();
+                return String::from_utf8(line)
+                    .map(|s| s.trim().to_string())
+                    .map_err(|e| format!("non-UTF8 response: {e}"));
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err("server closed the connection".to_string()),
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("receive failed: {e}")),
+            }
+        }
+    }
+}
+
+/// Convenience: one request over a fresh connection.
+pub fn query_once(addr: &str, line: &str, timeout: Duration) -> Result<String, String> {
+    Client::connect(addr, timeout)?.request(line)
+}

@@ -1,0 +1,553 @@
+//! Per-request execution: primitive dispatch, result summaries, and the
+//! FNV result hash clients use to assert bit-identical resumes.
+//!
+//! A job runs on a worker thread inside its own [`Context`]: per-request
+//! `RunPolicy` (deadline budget, iteration cap, the server-wide drain
+//! flag as the cancel flag), per-request checkpoint directory, and a
+//! per-request or server-wide fault injector. Operator panics poison
+//! only that context — the worker maps them to an `operator-panic`
+//! response and keeps serving.
+
+use crate::protocol::{error_response, ErrorCode, Request, SCHEMA};
+use gunrock::prelude::*;
+use gunrock_algos as algos;
+use gunrock_engine::json::JsonBuilder;
+use gunrock_engine::pool::BufferPool;
+use gunrock_graph::{Csr, INFINITY};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a dispatched job ended, for metrics and the circuit breaker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Converged result.
+    Ok,
+    /// Guard-tripped partial result (deadline, cap, or drain cancel).
+    Partial,
+    /// Ran but failed (operator panic / resume failure).
+    Failed,
+    /// Never ran (deadline spent before dispatch).
+    Rejected,
+}
+
+/// A finished job: the response line plus bookkeeping flags.
+#[derive(Clone, Debug)]
+pub struct JobVerdict {
+    /// The response line to send back.
+    pub response: String,
+    /// Completion class for metrics.
+    pub status: JobStatus,
+    /// Counts toward the primitive's circuit breaker (operator panics
+    /// only — overload and client errors do not open the breaker).
+    pub breaker_failure: bool,
+    /// The wall-clock budget tripped mid-run.
+    pub deadline_missed: bool,
+    /// A resumable snapshot was written for this request.
+    pub checkpointed: bool,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_bytes(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over the little-endian bytes of a `u32` result array.
+pub fn hash_u32s(xs: &[u32]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for x in xs {
+        h = fnv1a_bytes(h, &x.to_le_bytes());
+    }
+    h
+}
+
+/// FNV-1a over the IEEE-754 bit patterns of an `f64` result array —
+/// equal hashes mean bit-identical score vectors.
+pub fn hash_f64s(xs: &[f64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for x in xs {
+        h = fnv1a_bytes(h, &x.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// Everything a worker needs to run one admitted request.
+pub struct JobEnv<'a> {
+    /// The shared immutable graph (also used as its own reverse: served
+    /// graphs are built symmetric).
+    pub graph: &'a Csr,
+    /// Server-wide drain flag, threaded into every job's `RunPolicy` as
+    /// the cancel flag so in-flight work stops at the next boundary.
+    pub drain: &'a Arc<AtomicBool>,
+    /// Shared buffer pool behind every request context.
+    pub pool: &'a Arc<BufferPool>,
+    /// Server-wide fault injector (per-request `inject` overrides it).
+    pub injector: Option<&'a Arc<FaultInjector>>,
+    /// Serial fast-path cutoff override for request contexts.
+    pub serial_threshold: Option<usize>,
+    /// Root directory for per-request checkpoint subdirectories.
+    pub checkpoint_root: &'a Path,
+}
+
+/// Per-request checkpoint directory: isolates each request's
+/// `<primitive>.ckpt` so concurrent requests never clobber each other.
+fn request_dir(root: &Path, id: &str, seq: u64) -> PathBuf {
+    let safe: String = id
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+        .take(48)
+        .collect();
+    if safe.is_empty() {
+        root.join(format!("req-{seq}"))
+    } else {
+        root.join(safe)
+    }
+}
+
+struct RunSummary {
+    outcome: RunOutcome,
+    iterations: u32,
+    elapsed: Duration,
+    result_hash: u64,
+    reached: Option<u64>,
+    num_components: Option<u64>,
+}
+
+fn respond_result(
+    req: &Request,
+    summary: &RunSummary,
+    checkpoint: Option<&Path>,
+    resumed: bool,
+) -> String {
+    let mut b = JsonBuilder::new();
+    b.begin_object();
+    b.field_str("schema", SCHEMA);
+    b.field_str("id", &req.id);
+    b.field_str("status", if summary.outcome.is_converged() { "ok" } else { "partial" });
+    b.field_str("primitive", &req.primitive);
+    b.field_str("outcome", &summary.outcome.to_string());
+    b.field_u64("iterations", u64::from(summary.iterations));
+    b.field_f64("elapsed_ms", summary.elapsed.as_secs_f64() * 1e3);
+    b.field_str("result_hash", &format!("{:016x}", summary.result_hash));
+    if let Some(reached) = summary.reached {
+        b.field_u64("reached", reached);
+    }
+    if let Some(n) = summary.num_components {
+        b.field_u64("num_components", n);
+    }
+    if let Some(path) = checkpoint {
+        b.field_str("checkpoint", &path.display().to_string());
+    }
+    b.field_bool("resumed", resumed);
+    b.end_object();
+    b.finish()
+}
+
+fn count_reached(labels: &[u32]) -> u64 {
+    labels.iter().filter(|&&l| l != INFINITY).count() as u64
+}
+
+fn summarize_resumed(run: &algos::recover::ResumedRun) -> RunSummary {
+    use algos::recover::ResumedRun;
+    match run {
+        ResumedRun::Bfs(r) => RunSummary {
+            outcome: r.outcome,
+            iterations: r.iterations,
+            elapsed: r.elapsed,
+            result_hash: hash_u32s(&r.labels),
+            reached: Some(count_reached(&r.labels)),
+            num_components: None,
+        },
+        ResumedRun::Sssp(r) => RunSummary {
+            outcome: r.outcome,
+            iterations: r.iterations,
+            elapsed: r.elapsed,
+            result_hash: hash_u32s(&r.dist),
+            reached: Some(count_reached(&r.dist)),
+            num_components: None,
+        },
+        ResumedRun::Bc(r) => RunSummary {
+            outcome: r.outcome,
+            iterations: r.iterations,
+            elapsed: r.elapsed,
+            result_hash: hash_f64s(&r.bc_values),
+            reached: None,
+            num_components: None,
+        },
+        ResumedRun::Cc(r) => RunSummary {
+            outcome: r.outcome,
+            iterations: r.iterations,
+            elapsed: r.elapsed,
+            result_hash: hash_u32s(&r.labels),
+            reached: None,
+            num_components: Some(r.num_components as u64),
+        },
+        ResumedRun::PageRank(r) => RunSummary {
+            outcome: r.outcome,
+            iterations: r.iterations,
+            elapsed: r.elapsed,
+            result_hash: hash_f64s(&r.scores),
+            reached: None,
+            num_components: None,
+        },
+    }
+}
+
+/// The `sleep` diagnostic primitive: occupies a worker for
+/// `duration_ms`, polling the drain flag and deadline every few
+/// milliseconds, so tests can fill the pool and the queue
+/// deterministically without depending on graph runtimes.
+fn run_sleep(req: &Request, deadline: Option<Instant>, drain: &Arc<AtomicBool>) -> JobVerdict {
+    let start = Instant::now();
+    let budget = Duration::from_millis(req.duration_ms);
+    let mut outcome = RunOutcome::Converged;
+    while start.elapsed() < budget {
+        // ORDERING: Acquire — pairs with the drain sequence's Release
+        // store; sleep jobs stop promptly once the server drains.
+        if drain.load(std::sync::atomic::Ordering::Acquire) {
+            outcome = RunOutcome::Cancelled;
+            break;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            outcome = RunOutcome::TimedOut;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let summary = RunSummary {
+        outcome,
+        iterations: 0,
+        elapsed: start.elapsed(),
+        result_hash: 0,
+        reached: None,
+        num_components: None,
+    };
+    JobVerdict {
+        response: respond_result(req, &summary, None, false),
+        status: if outcome.is_converged() { JobStatus::Ok } else { JobStatus::Partial },
+        breaker_failure: false,
+        deadline_missed: outcome == RunOutcome::TimedOut,
+        checkpointed: false,
+    }
+}
+
+fn failed_verdict(req: &Request, code: ErrorCode, message: &str, breaker: bool) -> JobVerdict {
+    JobVerdict {
+        response: error_response(&req.id, code, message, None),
+        status: JobStatus::Failed,
+        breaker_failure: breaker,
+        deadline_missed: false,
+        checkpointed: false,
+    }
+}
+
+/// Runs one admitted request to a verdict. `deadline` is the absolute
+/// instant derived from `deadline_ms` at arrival; `seq` disambiguates
+/// checkpoint directories for requests without an id.
+pub fn run_job(
+    env: &JobEnv<'_>,
+    req: &Request,
+    deadline: Option<Instant>,
+    seq: u64,
+) -> JobVerdict {
+    // Admission control, part two: a queue wait may have consumed the
+    // whole budget — reject instead of burning a worker on a result the
+    // client has already given up on.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return JobVerdict {
+            response: error_response(
+                &req.id,
+                ErrorCode::DeadlineExpired,
+                "deadline expired while queued",
+                None,
+            ),
+            status: JobStatus::Rejected,
+            breaker_failure: false,
+            deadline_missed: false,
+            checkpointed: false,
+        };
+    }
+    if req.primitive == "sleep" {
+        return run_sleep(req, deadline, env.drain);
+    }
+
+    let mut policy = RunPolicy::unbounded().cancel_flag(env.drain.clone());
+    if let Some(cap) = req.max_iters {
+        policy = policy.max_iterations(cap);
+    }
+    if let Some(d) = deadline {
+        policy = policy.wall_clock_budget(d.saturating_duration_since(Instant::now()));
+    }
+
+    let injector = match &req.inject {
+        Some(spec) => match FaultPlan::parse(spec, req.fault_seed) {
+            Ok(plan) => Some(Arc::new(FaultInjector::new(plan))),
+            Err(e) => {
+                return JobVerdict {
+                    response: error_response(
+                        &req.id,
+                        ErrorCode::BadRequest,
+                        &format!("inject: {e}"),
+                        None,
+                    ),
+                    status: JobStatus::Rejected,
+                    breaker_failure: false,
+                    deadline_missed: false,
+                    checkpointed: false,
+                }
+            }
+        },
+        None => env.injector.cloned(),
+    };
+
+    let ckpt_policy = req.checkpoint.then(|| {
+        CheckpointPolicy::new(
+            req.checkpoint_every,
+            request_dir(env.checkpoint_root, &req.id, seq),
+        )
+    });
+
+    let mut ctx = Context::new(env.graph)
+        .with_reverse(env.graph)
+        .with_shared_pool(env.pool.clone())
+        .with_policy(policy);
+    if let Some(t) = env.serial_threshold {
+        ctx = ctx.with_config(EngineConfig::new().with_serial_threshold(t));
+    }
+    if let Some(inj) = injector {
+        ctx = ctx.with_faults(inj);
+    }
+    if let Some(p) = &ckpt_policy {
+        ctx = ctx.with_checkpoints(p.clone());
+    }
+
+    let (summary, resumed) = if let Some(path) = &req.resume {
+        let ckpt = match Checkpoint::load(Path::new(path)) {
+            Ok(c) => c,
+            Err(e) => {
+                return failed_verdict(
+                    req,
+                    ErrorCode::ResumeFailed,
+                    &format!("{path}: {e}"),
+                    false,
+                )
+            }
+        };
+        if ckpt.primitive() != req.primitive {
+            return failed_verdict(
+                req,
+                ErrorCode::ResumeFailed,
+                &format!(
+                    "snapshot is for {:?}, request names {:?}",
+                    ckpt.primitive(),
+                    req.primitive
+                ),
+                false,
+            );
+        }
+        match algos::recover::resume(&ctx, &ckpt) {
+            Ok(run) => (summarize_resumed(&run), true),
+            Err(e) => {
+                return failed_verdict(req, ErrorCode::ResumeFailed, &e.to_string(), false)
+            }
+        }
+    } else {
+        let summary = match req.primitive.as_str() {
+            "bfs" => {
+                let r = algos::bfs(&ctx, req.src, algos::BfsOptions::default());
+                RunSummary {
+                    outcome: r.outcome,
+                    iterations: r.iterations,
+                    elapsed: r.elapsed,
+                    result_hash: hash_u32s(&r.labels),
+                    reached: Some(count_reached(&r.labels)),
+                    num_components: None,
+                }
+            }
+            "sssp" => {
+                let r = algos::sssp(&ctx, req.src, algos::SsspOptions::default());
+                RunSummary {
+                    outcome: r.outcome,
+                    iterations: r.iterations,
+                    elapsed: r.elapsed,
+                    result_hash: hash_u32s(&r.dist),
+                    reached: Some(count_reached(&r.dist)),
+                    num_components: None,
+                }
+            }
+            "bc" => {
+                let r = algos::bc(&ctx, req.src, algos::BcOptions::default());
+                RunSummary {
+                    outcome: r.outcome,
+                    iterations: r.iterations,
+                    elapsed: r.elapsed,
+                    result_hash: hash_f64s(&r.bc_values),
+                    reached: None,
+                    num_components: None,
+                }
+            }
+            "cc" => {
+                let r = algos::cc(&ctx);
+                RunSummary {
+                    outcome: r.outcome,
+                    iterations: r.iterations,
+                    elapsed: r.elapsed,
+                    result_hash: hash_u32s(&r.labels),
+                    reached: None,
+                    num_components: Some(r.num_components as u64),
+                }
+            }
+            "pagerank" => {
+                let opts = match req.epsilon {
+                    Some(eps) => algos::PrOptions { epsilon: eps, ..Default::default() },
+                    None => algos::PrOptions::default(),
+                };
+                let r = algos::pagerank(&ctx, opts);
+                RunSummary {
+                    outcome: r.outcome,
+                    iterations: r.iterations,
+                    elapsed: r.elapsed,
+                    result_hash: hash_f64s(&r.scores),
+                    reached: None,
+                    num_components: None,
+                }
+            }
+            other => {
+                return JobVerdict {
+                    response: error_response(
+                        &req.id,
+                        ErrorCode::UnknownPrimitive,
+                        &format!("cannot serve {other:?}"),
+                        None,
+                    ),
+                    status: JobStatus::Rejected,
+                    breaker_failure: false,
+                    deadline_missed: false,
+                    checkpointed: false,
+                }
+            }
+        };
+        (summary, false)
+    };
+
+    if summary.outcome == RunOutcome::Failed {
+        let message = ctx
+            .take_failure()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "operator failed".to_string());
+        return failed_verdict(req, ErrorCode::OperatorPanic, &message, true);
+    }
+
+    // A guard-tripped run leaves an exit snapshot behind when the client
+    // asked for one; report its path so the client can resume.
+    let checkpoint = ckpt_policy
+        .as_ref()
+        .map(|p| p.path(&req.primitive))
+        .filter(|path| !summary.outcome.is_converged() && path.exists());
+    JobVerdict {
+        response: respond_result(req, &summary, checkpoint.as_deref(), resumed),
+        status: if summary.outcome.is_converged() { JobStatus::Ok } else { JobStatus::Partial },
+        breaker_failure: false,
+        deadline_missed: summary.outcome == RunOutcome::TimedOut,
+        checkpointed: checkpoint.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gunrock_graph::{Coo, GraphBuilder};
+
+    fn env_fixture<'a>(
+        g: &'a Csr,
+        drain: &'a Arc<AtomicBool>,
+        pool: &'a Arc<BufferPool>,
+    ) -> JobEnv<'a> {
+        JobEnv {
+            graph: g,
+            drain,
+            pool,
+            injector: None,
+            serial_threshold: None,
+            checkpoint_root: Path::new("."),
+        }
+    }
+
+    fn req(primitive: &str) -> Request {
+        crate::protocol::parse_request(&format!("{{\"primitive\":{primitive:?}}}")).unwrap()
+    }
+
+    #[test]
+    fn bfs_job_converges_and_hashes_deterministically() {
+        let g = GraphBuilder::new().build(Coo::from_edges(8, &[(0, 1), (1, 2), (2, 3)]));
+        let drain = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(BufferPool::new());
+        let env = env_fixture(&g, &drain, &pool);
+        let v1 = run_job(&env, &req("bfs"), None, 0);
+        let v2 = run_job(&env, &req("bfs"), None, 1);
+        assert_eq!(v1.status, JobStatus::Ok);
+        assert!(!v1.breaker_failure);
+        let hash = |resp: &str| {
+            gunrock_engine::json::JsonValue::parse(resp)
+                .unwrap()
+                .get("result_hash")
+                .and_then(|h| h.as_str().map(str::to_string))
+                .unwrap()
+        };
+        assert_eq!(
+            hash(&v1.response),
+            hash(&v2.response),
+            "same request: identical result hash"
+        );
+        assert!(v1.response.contains("\"reached\":4"));
+    }
+
+    #[test]
+    fn injected_panic_is_a_breaker_failure() {
+        let g = GraphBuilder::new().build(Coo::from_edges(8, &[(0, 1), (1, 2)]));
+        let drain = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(BufferPool::new());
+        let env = env_fixture(&g, &drain, &pool);
+        let mut r = req("bfs");
+        r.inject = Some("panic=1.0".to_string());
+        let v = run_job(&env, &r, None, 0);
+        assert_eq!(v.status, JobStatus::Failed);
+        assert!(v.breaker_failure);
+        assert!(v.response.contains("operator-panic"));
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_before_running() {
+        let g = GraphBuilder::new().build(Coo::from_edges(4, &[(0, 1)]));
+        let drain = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(BufferPool::new());
+        let env = env_fixture(&g, &drain, &pool);
+        let v = run_job(&env, &req("bfs"), Some(Instant::now() - Duration::from_millis(1)), 0);
+        assert_eq!(v.status, JobStatus::Rejected);
+        assert!(v.response.contains("deadline-expired"));
+    }
+
+    #[test]
+    fn request_dirs_are_isolated_and_sanitized() {
+        let root = Path::new("/tmp/ckpts");
+        assert_eq!(request_dir(root, "job-7", 0), root.join("job-7"));
+        assert_eq!(request_dir(root, "../evil", 3), root.join("evil"));
+        assert_eq!(request_dir(root, "", 3), root.join("req-3"));
+        assert_ne!(request_dir(root, "a", 0), request_dir(root, "b", 0));
+    }
+
+    #[test]
+    fn fnv_hashes_distinguish_bitwise_changes() {
+        assert_eq!(hash_u32s(&[1, 2, 3]), hash_u32s(&[1, 2, 3]));
+        assert_ne!(hash_u32s(&[1, 2, 3]), hash_u32s(&[1, 2, 4]));
+        assert_ne!(hash_f64s(&[0.0]), hash_f64s(&[-0.0]), "bit pattern, not numeric equality");
+    }
+}

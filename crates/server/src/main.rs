@@ -1,0 +1,7 @@
+//! `gunrock-serve`: the standalone service binary. All logic lives in
+//! the library crate so it can be driven in-process by tests.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(gunrock_server::cli::run_serve(args));
+}

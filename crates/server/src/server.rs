@@ -1,0 +1,558 @@
+//! The serving core: bounded admission in front of a fixed worker pool
+//! over one shared immutable graph.
+//!
+//! ```text
+//! conn threads ──parse──► admission ──try_push──► BoundedQueue ──pop──► workers
+//!                  │          │                                           │
+//!                  │          ├─ shutting-down / deadline-expired /       │
+//!                  │          │  circuit-open / queue-full (structured    │
+//!                  │          │  rejection, never a hang)                 │
+//!                  └─ metrics (answered inline)            response ◄─────┘
+//! ```
+//!
+//! Admission control happens on the connection thread — a request that
+//! cannot be served is answered immediately with a taxonomy code and,
+//! when retrying makes sense, a `retry_after_ms` hint. Admitted jobs
+//! block their connection thread on a reply channel; workers execute at
+//! most `workers` jobs concurrently and at most `queue_capacity` more
+//! wait. Everything else is back-pressured to the client.
+//!
+//! **Drain** (SIGTERM/SIGINT or the programmatic handle): stop
+//! accepting connections, reject new requests with `shutting-down`,
+//! raise the server-wide cancel flag (in-flight and queued jobs stop at
+//! their next operator boundary and leave exit snapshots when the
+//! request asked for checkpoints), close the queue, join the workers,
+//! and emit one final `gunrock-serve/v1` summary.
+
+use crate::jobs::{self, JobEnv, JobStatus, JobVerdict};
+use crate::metrics::{bump, ServeMetrics};
+use crate::protocol::{error_response, parse_request, ErrorCode, Request, SERVE_PRIMITIVES};
+use crate::signal;
+use gunrock_engine::breaker::{Admission, CircuitBreaker};
+use gunrock_engine::faults::{FaultInjector, FaultPlan};
+use gunrock_engine::pool::BufferPool;
+use gunrock_engine::queue::{BoundedQueue, PushError};
+use gunrock_graph::Csr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Fixed worker-pool size (at least 1).
+    pub workers: usize,
+    /// Bounded job-queue capacity (at least 1); overflow is rejected
+    /// with `queue-full`, never buffered.
+    pub queue_capacity: usize,
+    /// Consecutive operator panics that open a primitive's breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker sheds before admitting a probe.
+    pub breaker_cooldown: Duration,
+    /// Retry hint attached to `queue-full` rejections.
+    pub retry_after: Duration,
+    /// Root directory for per-request checkpoint subdirectories.
+    pub checkpoint_dir: PathBuf,
+    /// Server-wide fault plan (`--inject-faults`); per-request `inject`
+    /// fields override it.
+    pub fault_plan: Option<FaultPlan>,
+    /// Serial fast-path cutoff for request contexts (None: engine default).
+    pub serial_threshold: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 16,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            retry_after: Duration::from_millis(100),
+            checkpoint_dir: PathBuf::from("."),
+            fault_plan: None,
+            serial_threshold: None,
+        }
+    }
+}
+
+/// One queued job: the parsed request plus its reply channel.
+struct Job {
+    req: Request,
+    deadline: Option<Instant>,
+    seq: u64,
+    reply: mpsc::Sender<String>,
+}
+
+/// Shared server state: everything connection handlers and workers touch.
+pub struct ServerState {
+    graph: Arc<Csr>,
+    cfg: ServerConfig,
+    queue: BoundedQueue<Job>,
+    breaker: CircuitBreaker,
+    metrics: ServeMetrics,
+    /// Stops admission; set by drain before the cancel flag.
+    shutdown: AtomicBool,
+    /// Cancel flag threaded into every request policy; raised on drain.
+    drain_cancel: Arc<AtomicBool>,
+    pool: Arc<BufferPool>,
+    injector: Option<Arc<FaultInjector>>,
+    seq: AtomicU64,
+}
+
+impl ServerState {
+    fn new(graph: Arc<Csr>, cfg: ServerConfig) -> Self {
+        let injector = cfg.fault_plan.map(|plan| Arc::new(FaultInjector::new(plan)));
+        ServerState {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown),
+            metrics: ServeMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            drain_cancel: Arc::new(AtomicBool::new(false)),
+            pool: Arc::new(BufferPool::new()),
+            injector,
+            seq: AtomicU64::new(0),
+            graph,
+            cfg,
+        }
+    }
+
+    /// The serving metrics (exposed for tests and the drain summary).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    fn draining(&self) -> bool {
+        // ORDERING: Acquire — pairs with the Release store in
+        // `begin_drain`; admission decisions made after the flag flips
+        // see a fully-initialized drain state.
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn render_metrics(&self, drained: bool) -> String {
+        self.metrics.render(
+            self.cfg.workers,
+            self.queue.len(),
+            self.queue.capacity(),
+            &self.breaker.snapshot(),
+            drained,
+        )
+    }
+}
+
+/// Parses and answers one request line. This is the whole admission
+/// pipeline; both the TCP and stdin front ends call it.
+pub fn handle_request(state: &ServerState, line: &str) -> String {
+    bump(&state.metrics.received);
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            bump(&state.metrics.rejected_bad_request);
+            return error_response("", ErrorCode::BadRequest, &e, None);
+        }
+    };
+    if req.primitive == "metrics" {
+        return state.render_metrics(false);
+    }
+    if !SERVE_PRIMITIVES.contains(&req.primitive.as_str()) {
+        bump(&state.metrics.rejected_bad_request);
+        return error_response(
+            &req.id,
+            ErrorCode::UnknownPrimitive,
+            &format!(
+                "cannot serve {:?} (serves: {})",
+                req.primitive,
+                SERVE_PRIMITIVES.join(" ")
+            ),
+            None,
+        );
+    }
+    if matches!(req.primitive.as_str(), "bfs" | "sssp" | "bc")
+        && (req.src as usize) >= state.graph.num_vertices()
+    {
+        bump(&state.metrics.rejected_bad_request);
+        return error_response(
+            &req.id,
+            ErrorCode::SrcOutOfRange,
+            &format!("src {} >= {} vertices", req.src, state.graph.num_vertices()),
+            None,
+        );
+    }
+    if state.draining() {
+        bump(&state.metrics.rejected_shutdown);
+        return error_response(&req.id, ErrorCode::ShuttingDown, "server is draining", None);
+    }
+    // Admission control, part one: a zero budget can never be met —
+    // reject before the job costs anyone anything.
+    let arrival = Instant::now();
+    let deadline = match req.deadline_ms {
+        Some(0) => {
+            bump(&state.metrics.rejected_deadline);
+            return error_response(
+                &req.id,
+                ErrorCode::DeadlineExpired,
+                "deadline_ms of 0 is already expired",
+                None,
+            );
+        }
+        Some(ms) => Some(arrival + Duration::from_millis(ms)),
+        None => None,
+    };
+    match state.breaker.admit(&req.primitive) {
+        Admission::Allow => {}
+        Admission::Shed { retry_after } => {
+            bump(&state.metrics.rejected_breaker);
+            return error_response(
+                &req.id,
+                ErrorCode::CircuitOpen,
+                &format!("{} breaker is open after repeated failures", req.primitive),
+                Some(retry_after.as_millis() as u64),
+            );
+        }
+    }
+    let (tx, rx) = mpsc::channel();
+    // ORDERING: Relaxed — the sequence number only disambiguates
+    // checkpoint directory names; no memory is published through it.
+    let seq = state.seq.fetch_add(1, Ordering::Relaxed);
+    let id = req.id.clone();
+    match state.queue.try_push(Job { req, deadline, seq, reply: tx }) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            bump(&state.metrics.rejected_queue_full);
+            return error_response(
+                &id,
+                ErrorCode::QueueFull,
+                &format!("job queue is full (capacity {})", state.queue.capacity()),
+                Some(state.cfg.retry_after.as_millis() as u64),
+            );
+        }
+        Err(PushError::Closed(_)) => {
+            bump(&state.metrics.rejected_shutdown);
+            return error_response(&id, ErrorCode::ShuttingDown, "server is draining", None);
+        }
+    }
+    bump(&state.metrics.admitted);
+    // The worker owns the sending half; a drop without a send means the
+    // worker died mid-job (a server bug, not a client error).
+    rx.recv().unwrap_or_else(|_| {
+        error_response(&id, ErrorCode::Internal, "worker dropped the request", None)
+    })
+}
+
+fn record_verdict(state: &ServerState, primitive: &str, verdict: &JobVerdict) {
+    match verdict.status {
+        JobStatus::Ok => bump(&state.metrics.completed_ok),
+        JobStatus::Partial => bump(&state.metrics.completed_partial),
+        JobStatus::Failed => bump(&state.metrics.failed),
+        JobStatus::Rejected => bump(&state.metrics.rejected_deadline),
+    }
+    if verdict.deadline_missed {
+        bump(&state.metrics.deadline_misses);
+    }
+    if verdict.checkpointed {
+        bump(&state.metrics.checkpoints_written);
+    }
+    if verdict.breaker_failure {
+        state.breaker.record_failure(primitive);
+    } else if matches!(verdict.status, JobStatus::Ok | JobStatus::Partial) {
+        state.breaker.record_success(primitive);
+    }
+}
+
+fn worker_loop(state: &ServerState) {
+    while let Some(job) = state.queue.pop() {
+        let env = JobEnv {
+            graph: &state.graph,
+            drain: &state.drain_cancel,
+            pool: &state.pool,
+            injector: state.injector.as_ref(),
+            serial_threshold: state.cfg.serial_threshold,
+            checkpoint_root: &state.cfg.checkpoint_dir,
+        };
+        // Last line of defense: `jobs::run_job` already isolates operator
+        // panics inside the request context; this catches bugs in the
+        // dispatch layer itself so one bad request can never take the
+        // worker (and with it the whole pool) down.
+        let verdict = catch_unwind(AssertUnwindSafe(|| {
+            jobs::run_job(&env, &job.req, job.deadline, job.seq)
+        }))
+        .unwrap_or_else(|_| JobVerdict {
+            response: error_response(
+                &job.req.id,
+                ErrorCode::Internal,
+                "request dispatch panicked",
+                None,
+            ),
+            status: JobStatus::Failed,
+            breaker_failure: true,
+            deadline_missed: false,
+            checkpointed: false,
+        });
+        record_verdict(state, &job.req.primitive, &verdict);
+        // A send error means the connection thread gave up (client went
+        // away); the work is done either way.
+        let _ = job.reply.send(verdict.response);
+    }
+}
+
+/// A running server plus its drain handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    supervisor: thread::JoinHandle<String>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for inspecting metrics in tests.
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+
+    /// Programmatic SIGTERM: starts the drain sequence.
+    pub fn shutdown(&self) {
+        // ORDERING: Release — pairs with the Acquire load in
+        // `ServerState::draining`; everything written before the drain
+        // request is visible to admission checks that observe it.
+        self.state.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Waits for the drain to finish and returns the final
+    /// `gunrock-serve/v1` summary document.
+    pub fn join(self) -> String {
+        self.supervisor.join().unwrap_or_else(|_| {
+            // The supervisor never panics by construction; if it somehow
+            // did, synthesize a summary so callers still get valid JSON.
+            self.state.render_metrics(true)
+        })
+    }
+}
+
+fn spawn_workers(state: &Arc<ServerState>) -> Vec<thread::JoinHandle<()>> {
+    (0..state.cfg.workers.max(1))
+        .map(|i| {
+            let state = Arc::clone(state);
+            thread::Builder::new()
+                .name(format!("gunrock-worker-{i}"))
+                .spawn(move || worker_loop(&state))
+                .unwrap_or_else(|e| {
+                    // LINT-ALLOW(panic): failing to spawn the worker pool at
+                    // startup is unrecoverable misconfiguration; surface it
+                    // before the server accepts any work.
+                    panic!("cannot spawn worker thread: {e}")
+                })
+        })
+        .collect()
+}
+
+/// Runs the drain sequence: stop admitting, cancel in-flight work, close
+/// the queue, join the workers, render the summary.
+fn drain(state: &Arc<ServerState>, workers: Vec<thread::JoinHandle<()>>) -> String {
+    // ORDERING: Release — pairs with `ServerState::draining`'s Acquire
+    // load on connection threads; admission stops before jobs observe
+    // the cancel flag below.
+    state.shutdown.store(true, Ordering::Release);
+    // ORDERING: Release — pairs with the Acquire polls inside operator
+    // chunk loops (`Context::cancel_requested`); raising it cancels
+    // in-flight and still-queued jobs at their next boundary so drain is
+    // prompt even mid-traversal.
+    state.drain_cancel.store(true, Ordering::Release);
+    state.queue.close();
+    for w in workers {
+        let _ = w.join();
+    }
+    state.render_metrics(true)
+}
+
+/// Handles one TCP connection: line in, line out, until the peer closes
+/// or the server drains. Read timeouts keep the loop responsive to
+/// drain without dropping bytes of a partial line.
+fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = stream;
+    let mut writer = match reader.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line);
+            let trimmed = text.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let response = handle_request(state, trimmed);
+            if writer.write_all(response.as_bytes()).is_err()
+                || writer.write_all(b"\n").is_err()
+                || writer.flush().is_err()
+            {
+                return;
+            }
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if state.draining() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Starts a TCP server on `127.0.0.1:port` (0 picks a free port) and
+/// returns its handle. The accept loop runs on a supervisor thread and
+/// drains on SIGTERM/SIGINT (when [`signal::install`]ed) or on
+/// [`ServerHandle::shutdown`].
+pub fn start(graph: Arc<Csr>, cfg: ServerConfig, port: u16) -> Result<ServerHandle, String> {
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set the listener non-blocking: {e}"))?;
+    let state = Arc::new(ServerState::new(graph, cfg));
+    let supervisor_state = Arc::clone(&state);
+    let supervisor = thread::Builder::new()
+        .name("gunrock-serve".to_string())
+        .spawn(move || {
+            let workers = spawn_workers(&supervisor_state);
+            loop {
+                if supervisor_state.draining() || signal::shutdown_requested() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let conn_state = Arc::clone(&supervisor_state);
+                        let _ = thread::Builder::new()
+                            .name("gunrock-conn".to_string())
+                            .spawn(move || serve_connection(stream, &conn_state));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            drain(&supervisor_state, workers)
+        })
+        .map_err(|e| format!("cannot spawn the supervisor thread: {e}"))?;
+    Ok(ServerHandle { addr, state, supervisor })
+}
+
+/// Serves line-delimited requests from stdin to stdout — the scripting
+/// front end (`gunrock-serve --stdin`). Returns the drain summary after
+/// EOF.
+pub fn serve_stdin(graph: Arc<Csr>, cfg: ServerConfig) -> String {
+    let state = Arc::new(ServerState::new(graph, cfg));
+    let workers = spawn_workers(&state);
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        if signal::shutdown_requested() {
+            break;
+        }
+        line.clear();
+        match stdin.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                println!("{}", handle_request(&state, trimmed));
+            }
+            Err(_) => break,
+        }
+    }
+    drain(&state, workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gunrock_graph::{Coo, GraphBuilder};
+
+    fn small_graph() -> Arc<Csr> {
+        Arc::new(GraphBuilder::new().build(Coo::from_edges(16, &[(0, 1), (1, 2), (2, 3)])))
+    }
+
+    fn state_fixture(cfg: ServerConfig) -> Arc<ServerState> {
+        Arc::new(ServerState::new(small_graph(), cfg))
+    }
+
+    /// Runs `handle_request` with a worker pool behind it.
+    fn with_workers<T>(state: &Arc<ServerState>, body: impl FnOnce() -> T) -> T {
+        let workers = spawn_workers(state);
+        let out = body();
+        state.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        out
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let state = state_fixture(ServerConfig::default());
+        let resp = with_workers(&state, || {
+            handle_request(&state, r#"{"id":"q1","primitive":"bfs","src":0}"#)
+        });
+        assert!(resp.contains("\"status\":\"ok\""), "got: {resp}");
+        assert!(resp.contains("\"id\":\"q1\""));
+        assert_eq!(crate::metrics::read(&state.metrics.admitted), 1);
+        assert_eq!(crate::metrics::read(&state.metrics.completed_ok), 1);
+    }
+
+    #[test]
+    fn admission_rejections_are_structured() {
+        let state = state_fixture(ServerConfig::default());
+        // no workers needed: all of these are rejected before the queue
+        let bad = handle_request(&state, "{");
+        assert!(bad.contains("bad-request"));
+        let unknown = handle_request(&state, r#"{"primitive":"mst"}"#);
+        assert!(unknown.contains("unknown-primitive"));
+        let oob = handle_request(&state, r#"{"primitive":"bfs","src":99}"#);
+        assert!(oob.contains("src-out-of-range"));
+        let expired = handle_request(&state, r#"{"primitive":"bfs","deadline_ms":0}"#);
+        assert!(expired.contains("deadline-expired"));
+        let m = state.metrics();
+        assert_eq!(crate::metrics::read(&m.rejected_bad_request), 3);
+        assert_eq!(crate::metrics::read(&m.rejected_deadline), 1);
+        assert_eq!(crate::metrics::read(&m.admitted), 0);
+    }
+
+    #[test]
+    fn draining_state_rejects_new_requests() {
+        let state = state_fixture(ServerConfig::default());
+        // ORDERING: Release — test stand-in for the drain sequence.
+        state.shutdown.store(true, Ordering::Release);
+        let resp = handle_request(&state, r#"{"primitive":"bfs"}"#);
+        assert!(resp.contains("shutting-down"));
+    }
+
+    #[test]
+    fn metrics_meta_request_bypasses_the_queue() {
+        let state = state_fixture(ServerConfig::default());
+        let resp = handle_request(&state, r#"{"primitive":"metrics"}"#);
+        assert!(resp.contains("gunrock-serve/v1"));
+        assert!(resp.contains("\"capacity\":16"));
+        assert_eq!(crate::metrics::read(&state.metrics.admitted), 0);
+    }
+}

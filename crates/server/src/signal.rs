@@ -1,0 +1,72 @@
+//! Minimal SIGTERM/SIGINT latch for graceful drain.
+//!
+//! The handler does the only async-signal-safe thing it can: store one
+//! atomic flag. The accept loop polls [`shutdown_requested`] and runs
+//! the drain sequence on its own thread — no work happens in signal
+//! context. The flag is process-global (POSIX signals are), so
+//! in-process tests use the per-server programmatic shutdown instead and
+//! never call [`install`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM/SIGINT was delivered (or [`request_shutdown`] ran).
+pub fn shutdown_requested() -> bool {
+    // ORDERING: SeqCst — a single flag on the slow shutdown path; the
+    // strongest ordering keeps the signal-handler store trivially
+    // correct and costs nothing here.
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Programmatic equivalent of a delivered signal.
+pub fn request_shutdown() {
+    // ORDERING: SeqCst — pairs with the load in `shutdown_requested`.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe by construction: a lock-free atomic store is the
+    // entire handler body.
+    // ORDERING: SeqCst — pairs with the load in `shutdown_requested`.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+// SAFETY: `signal` is the C standard library's signal(2) registration
+// entry point; declaring it with the handler as a plain function-pointer
+//-sized integer matches the Linux ABI (sighandler_t is a pointer).
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Installs the SIGTERM (15) and SIGINT (2) handlers. Call once from the
+/// `gunrock-serve` binary before accepting connections; library users
+/// (tests) should prefer the programmatic shutdown handle.
+pub fn install() {
+    #[cfg(unix)]
+    // SAFETY: `on_signal` is async-signal-safe (one atomic store, no
+    // allocation, no locks) and has the `extern "C" fn(i32)` ABI that
+    // sighandler_t expects; casting through usize is the stable way to
+    // pass it without a libc dependency. Replacing the default
+    // disposition for SIGTERM/SIGINT cannot invalidate other state.
+    unsafe {
+        let _ = signal(15, on_signal as *const () as usize);
+        let _ = signal(2, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_shutdown_sets_the_latch() {
+        // NOTE: the latch is process-global and sticky, so this is the
+        // only test that may touch it.
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -91,6 +91,7 @@ impl Default for Config {
                 "crates/algos/src".into(),
                 "crates/baselines/src".into(),
                 "crates/cli/src".into(),
+                "crates/server/src".into(),
             ],
             panic_exempt: vec![],
             ordering_scope: vec![
@@ -100,6 +101,7 @@ impl Default for Config {
                 "crates/algos/src".into(),
                 "crates/baselines/src".into(),
                 "crates/cli/src".into(),
+                "crates/server/src".into(),
             ],
             // atomics.rs IS the memory-model module: its doc comments
             // carry the ordering arguments for the whole wrapper API

@@ -230,3 +230,53 @@ fn resume_on_the_wrong_graph_is_a_structured_error() {
     assert!(err.is_err(), "a 1024-vertex snapshot cannot drive a 2-vertex graph");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Satellite: a crash between the snapshot's tmp-file fsync and its
+/// atomic rename (injected at the `checkpoint:rename` fault site) must
+/// never corrupt the resumable file — the crash artifact is the orphan
+/// tmp, the previous snapshot survives byte-for-byte, and it still
+/// resumes bit-identically.
+#[test]
+fn crashed_snapshot_rename_never_corrupts_the_resumable_file() {
+    use std::sync::Arc;
+    let g = kron10();
+    let dir = ckpt_dir("crash_rename");
+    let opts = algos::BfsOptions::direction_optimized();
+    let full = algos::bfs(&Context::new(&g).with_reverse(&g), 0, opts);
+    // first interruption leaves a healthy snapshot behind
+    interrupt(&g, &dir, "bfs", 2, |ctx| {
+        let r = algos::bfs(ctx, 0, opts);
+        (r.labels, r.outcome)
+    });
+    let path = CheckpointPolicy::new(1, &dir).path("bfs");
+    let golden = std::fs::read(&path).expect("healthy snapshot bytes");
+
+    // seeded io-fault plan: every subsequent save crashes mid-rename
+    let plan = FaultPlan::parse("io=1.0", 7).expect("plan");
+    let ctx = Context::new(&g)
+        .with_reverse(&g)
+        .with_policy(RunPolicy::unbounded().max_iterations(3))
+        .with_checkpoints(CheckpointPolicy::new(1, &dir))
+        .with_faults(Arc::new(FaultInjector::new(plan)))
+        .with_stats();
+    let r = algos::bfs(&ctx, 0, opts);
+    assert_eq!(r.outcome, RunOutcome::IterationCapped);
+    assert!(!ctx.is_poisoned(), "a crashed snapshot never kills the run");
+    // every attempted save (periodic + exit) crashed before its rename:
+    // the fully-written tmp artifact is on disk...
+    assert!(path.with_extension("ckpt.tmp").exists(), "crash leaves the tmp artifact");
+    // ...the failures were recorded as recovery events...
+    let recoveries = ctx.run_stats().recoveries;
+    assert!(
+        recoveries.iter().any(|e| e.kind == RecoveryKind::CheckpointFailed),
+        "crashed saves surface as checkpoint-failed recovery events: {recoveries:?}"
+    );
+    // ...and the resumable file still holds the previous snapshot
+    assert_eq!(std::fs::read(&path).expect("read"), golden, "previous snapshot survives");
+    let ckpt = Checkpoint::load(&path).expect("surviving snapshot still loads");
+    let resumed = algos::bfs_resume(&Context::new(&g).with_reverse(&g), opts, &ckpt)
+        .expect("surviving snapshot still resumes");
+    assert_eq!(resumed.outcome, RunOutcome::Converged);
+    assert_eq!(resumed.labels, full.labels, "resume from the survivor is bit-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}

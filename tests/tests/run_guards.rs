@@ -243,3 +243,44 @@ fn generic_enact_loop_honors_the_same_policy() {
     assert_eq!(stats.outcome, RunOutcome::IterationCapped);
     assert_eq!(ran, 3, "a non-converging primitive is still bounded");
 }
+
+/// Satellite: RunPolicy enforcement must survive the small-frontier
+/// serial fast path. With `serial_threshold` forced high enough that
+/// every advance bypasses the scan/load-balance machinery, the budget
+/// checks still fire: a zero wall-clock budget times out immediately, an
+/// iteration cap still caps, and a pre-raised cancel flag still cancels.
+#[test]
+fn guards_still_fire_under_the_serial_fast_path() {
+    let g = kron12();
+    // every frontier takes the single-threaded fast path
+    let all_serial = EngineConfig::new().with_serial_threshold(usize::MAX);
+
+    let ctx = Context::new(&g)
+        .with_config(all_serial)
+        .with_policy(RunPolicy::unbounded().wall_clock_budget(std::time::Duration::ZERO));
+    let r = algos::bfs(&ctx, 0, algos::BfsOptions::default());
+    assert_eq!(r.outcome, RunOutcome::TimedOut, "zero budget under the serial path");
+    assert_eq!(r.labels[0], 0, "best-so-far result is still usable");
+
+    let ctx = Context::new(&g)
+        .with_config(all_serial)
+        .with_policy(RunPolicy::unbounded().max_iterations(1));
+    let r = algos::bfs(&ctx, 0, algos::BfsOptions::default());
+    assert_eq!(r.outcome, RunOutcome::IterationCapped);
+    assert_eq!(r.iterations, 1);
+
+    let flag = Arc::new(AtomicBool::new(true));
+    let ctx = Context::new(&g)
+        .with_config(all_serial)
+        .with_policy(RunPolicy::unbounded().cancel_flag(flag));
+    let r = algos::sssp(&ctx, 0, algos::SsspOptions::default());
+    assert_eq!(r.outcome, RunOutcome::Cancelled, "cancel under the serial path");
+
+    let ctx = Context::new(&g)
+        .with_config(all_serial)
+        .with_policy(RunPolicy::unbounded().wall_clock_budget(std::time::Duration::ZERO));
+    let r = algos::sssp(&ctx, 0, algos::SsspOptions::default());
+    assert_eq!(r.outcome, RunOutcome::TimedOut);
+    // only the source can have settled before the first boundary check
+    assert!(r.dist[1..].iter().filter(|&&d| d != INFINITY).count() <= g.max_degree() as usize);
+}
