@@ -18,7 +18,6 @@ use crate::recover::{
 };
 use gunrock::prelude::*;
 use gunrock_engine::atomics::{atomic_u32_vec, unwrap_atomic_u32};
-use gunrock_engine::compact::compact;
 #[cfg(test)]
 use gunrock_graph::Csr;
 use gunrock_graph::{EdgeId, VertexId, INFINITY, INVALID_VERTEX};
@@ -267,8 +266,29 @@ struct BfsLoop {
     iters: u32,
     pull_iters: u32,
     direction: TraversalDirection,
-    unvisited: Vec<u32>,
     unvisited_edges: u64,
+}
+
+/// The dense frontier triple of a pull phase, all pool-backed and built
+/// lazily at the push→pull switch: `unvisited` is the candidate mask the
+/// word sweep maintains *incrementally* (discovered bits are cleared in
+/// place — no O(n) re-prune between iterations), `cur` is the current
+/// frontier, and `scratch` is the cleared output buffer the next sweep
+/// writes into; the two ping-pong like the list frontiers do.
+struct PullFrontiers {
+    unvisited: PooledBitmap,
+    cur: PooledBitmap,
+    scratch: PooledBitmap,
+}
+
+impl PullFrontiers {
+    /// Returns all three bitmaps' word storage to the context's pool
+    /// (at the pull→push switch or loop exit).
+    fn release(self, ctx: &Context<'_>) {
+        self.unvisited.release(ctx.pool());
+        self.cur.release(ctx.pool());
+        self.scratch.release(ctx.pool());
+    }
 }
 
 fn direction_tag(d: TraversalDirection) -> u32 {
@@ -278,12 +298,13 @@ fn direction_tag(d: TraversalDirection) -> u32 {
     }
 }
 
-/// Rebuilds the visited bitmap from labels. At every iteration boundary
-/// `visited == {v | labels[v] != INFINITY}` holds for all variants (the
-/// contract filter sets both together), so the bitmap itself never needs
-/// to be checkpointed.
-fn rebuild_visited(labels: &[AtomicU32]) -> AtomicBitmap {
-    let bm = AtomicBitmap::new(labels.len());
+/// Rebuilds the visited bitmap from labels, with word storage drawn from
+/// the context's pool (release it back when the enact loop exits). At
+/// every iteration boundary `visited == {v | labels[v] != INFINITY}`
+/// holds for all variants (the contract filter sets both together), so
+/// the bitmap itself never needs to be checkpointed.
+fn rebuild_visited(ctx: &Context<'_>, labels: &[AtomicU32]) -> PooledBitmap {
+    let bm = PooledBitmap::take(ctx.pool(), labels.len());
     for (v, l) in labels.iter().enumerate() {
         // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
         // (idempotent discovery); the rayon join barrier publishes each level.
@@ -299,6 +320,11 @@ fn rebuild_visited(labels: &[AtomicU32]) -> AtomicBitmap {
 /// and (direction-optimized only) `unvisited` candidates, plus packed
 /// scalars `[src, level, pull_iters, direction, variant, record_preds]`
 /// and the 64-bit `unvisited_edges` counter.
+///
+/// The `unvisited` section is *derived* from labels here (the loop keeps
+/// the candidate set as an incrementally-maintained bitmap, not a list):
+/// at any iteration boundary the candidates are exactly the unlabeled
+/// vertices, which is also what the snapshot format has always stored.
 #[allow(clippy::too_many_arguments)]
 fn bfs_checkpoint(
     ctx: &Context<'_>,
@@ -311,17 +337,27 @@ fn bfs_checkpoint(
     level: u32,
     pull_iters: u32,
     direction: TraversalDirection,
-    unvisited: &[u32],
     unvisited_edges: u64,
 ) {
     if ctx.checkpoint_policy().is_none() {
         return;
     }
+    let unvisited: Vec<u32> = match opts.variant {
+        BfsVariant::DirectionOptimized => labels
+            .iter()
+            .enumerate()
+            // ORDERING: Relaxed — boundary state; the rayon join barrier
+            // published every label of the completed level.
+            .filter(|(_, l)| l.load(Ordering::Relaxed) == INFINITY)
+            .map(|(v, _)| v as u32)
+            .collect(),
+        _ => Vec::new(),
+    };
     let mut ckpt = Checkpoint::new("bfs", iters);
     ckpt.push_u32("labels", unwrap_atomic_u32(labels));
     ckpt.push_u32("preds", preds.map(unwrap_atomic_u32).unwrap_or_default());
     ckpt.push_u32("frontier", frontier.as_slice().to_vec());
-    ckpt.push_u32("unvisited", unvisited.to_vec());
+    ckpt.push_u32("unvisited", unvisited);
     ckpt.push_u32(
         "scalars",
         vec![
@@ -346,10 +382,6 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
     // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
     // (idempotent discovery); the rayon join barrier publishes each level.
     labels[src as usize].store(0, Ordering::Relaxed);
-    let unvisited = match opts.variant {
-        BfsVariant::DirectionOptimized => (0..n as u32).filter(|&v| v != src).collect(),
-        _ => Vec::new(),
-    };
     let st = BfsLoop {
         labels,
         preds: opts.record_predecessors.then(|| atomic_u32_vec(n, INVALID_VERTEX)),
@@ -358,7 +390,6 @@ pub fn bfs(ctx: &Context<'_>, src: VertexId, opts: BfsOptions) -> BfsResult {
         iters: 0,
         pull_iters: 0,
         direction: TraversalDirection::Push,
-        unvisited,
         unvisited_edges: ctx.graph.num_edges() as u64 - ctx.graph.out_degree(src) as u64,
     };
     bfs_run(ctx, src, opts, st)
@@ -379,6 +410,9 @@ pub fn bfs_resume(
     let preds = ckpt.u32s("preds")?;
     let frontier = ckpt.u32s("frontier")?;
     expect_vertex_ids(frontier, n, "frontier")?;
+    // The unvisited section is validated for format integrity but not
+    // carried into the loop: the pull phase derives its candidate bitmap
+    // from the labels' complement, which is the same set.
     let unvisited = ckpt.u32s("unvisited")?;
     expect_vertex_ids(unvisited, n, "unvisited")?;
     let scalars = ckpt.u32s("scalars")?;
@@ -410,7 +444,6 @@ pub fn bfs_resume(
         iters: ckpt.iteration(),
         pull_iters,
         direction,
-        unvisited: unvisited.to_vec(),
         unvisited_edges: counters.first().copied().unwrap_or(0),
     };
     let r = bfs_run(ctx, src, opts, st);
@@ -430,7 +463,6 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
         iters: mut enactor_iters,
         mut pull_iters,
         mut direction,
-        mut unvisited,
         mut unvisited_edges,
     } = st;
     let guard = ctx.guard();
@@ -453,7 +485,6 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                     level,
                     pull_iters,
                     direction,
-                    &unvisited,
                     unvisited_edges,
                 );
             }
@@ -471,7 +502,6 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                         level,
                         pull_iters,
                         direction,
-                        &unvisited,
                         unvisited_edges,
                     );
                 }
@@ -499,7 +529,7 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
             }
         }
         BfsVariant::Idempotent => {
-            let visited = rebuild_visited(&labels);
+            let visited = rebuild_visited(ctx, &labels);
             while !frontier.is_empty() {
                 boundary!();
                 level += 1;
@@ -522,9 +552,10 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                 enactor_iters += 1;
                 ctx.end_iteration(false);
             }
+            visited.release(ctx.pool());
         }
         BfsVariant::Fused => {
-            let visited = rebuild_visited(&labels);
+            let visited = rebuild_visited(ctx, &labels);
             while !frontier.is_empty() {
                 boundary!();
                 level += 1;
@@ -546,9 +577,11 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                 enactor_iters += 1;
                 ctx.end_iteration(false);
             }
+            visited.release(ctx.pool());
         }
         BfsVariant::DirectionOptimized => {
-            let visited = rebuild_visited(&labels);
+            let visited = rebuild_visited(ctx, &labels);
+            let mut pull: Option<PullFrontiers> = None;
             while !frontier.is_empty() {
                 boundary!();
                 level += 1;
@@ -591,6 +624,11 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                 }
                 let next = match direction {
                     TraversalDirection::Push => {
+                        // leaving a pull phase: the dense frontiers go
+                        // back to the pool until the next switch
+                        if let Some(p) = pull.take() {
+                            p.release(ctx);
+                        }
                         let f = IdempotentExpand {
                             st: BfsState { labels: &labels, preds: preds.as_deref() },
                         };
@@ -612,19 +650,34 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                             st: BfsState { labels: &labels, preds: preds.as_deref() },
                             level,
                         };
-                        // prune candidates already labeled, then pull
-                        unvisited = compact(&unvisited, |&v| {
-                            // ORDERING: Relaxed — any winning parent/label is a valid BFS tree edge
-                            // (idempotent discovery); the rayon join barrier publishes each level.
-                            labels[v as usize].load(Ordering::Relaxed) == INFINITY
+                        // lazy Beamer-switch conversion: only here does
+                        // the list frontier densify, and the candidate
+                        // mask is the visited complement — no O(n)
+                        // re-prune ever runs inside the phase
+                        let fr = pull.get_or_insert_with(|| {
+                            let mut unvisited = PooledBitmap::take(ctx.pool(), n);
+                            unvisited.fill_complement(&visited);
+                            PullFrontiers {
+                                unvisited,
+                                cur: frontier_bitmap(ctx, &frontier),
+                                scratch: PooledBitmap::take(ctx.pool(), n),
+                            }
                         });
-                        let bm = frontier_bitmap(n, &frontier);
-                        let out = advance_pull(ctx, &unvisited, &bm, &f);
-                        // mark discoveries in the shared visited bitmap so
-                        // a later push iteration culls correctly
-                        for &v in out.as_slice() {
-                            visited.set(v as usize);
-                        }
+                        advance_pull_sweep(ctx, &mut fr.unvisited, &fr.cur, &mut fr.scratch, &f);
+                        // ping-pong: the sweep's output becomes the next
+                        // iteration's in-frontier
+                        std::mem::swap(&mut fr.cur, &mut fr.scratch);
+                        // merge discoveries into the shared visited bitmap
+                        // (so a later push iteration culls correctly) and
+                        // extract the list frontier for policy/boundary use
+                        let out = filter::culling::filter_with_culling_bitmap(
+                            ctx,
+                            &fr.cur,
+                            &visited,
+                            &VertexCond(|_| true),
+                            CullingConfig { history: false, history_bits: 0, bitmask: true },
+                        );
+                        fr.scratch.clear_all();
                         out
                     }
                 };
@@ -635,6 +688,10 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                 enactor_iters += 1;
                 ctx.recycle(std::mem::replace(&mut frontier, next));
             }
+            if let Some(p) = pull.take() {
+                p.release(ctx);
+            }
+            visited.release(ctx.pool());
         }
     }
 
@@ -658,7 +715,6 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                     level,
                     pull_iters,
                     direction,
-                    &unvisited,
                     unvisited_edges,
                 );
             }
@@ -829,6 +885,55 @@ mod tests {
                 &r.labels[..5]
             );
         }
+    }
+
+    #[test]
+    fn pull_sweep_trace_decrements_candidates_incrementally() {
+        // Regression: the sweep must maintain the candidate set in place
+        // (clearing discovered bits) rather than re-pruning all n
+        // vertices each pull iteration, and the trace must report the
+        // true candidate count, not the input frontier length.
+        let g = GraphBuilder::new().build(rmat(11, 16, Default::default(), 5));
+        let ctx = Context::new(&g).with_reverse(&g).with_stats();
+        let r = bfs(&ctx, 0, BfsOptions::direction_optimized());
+        assert!(r.pull_iterations > 0);
+        let steps = ctx.run_stats().steps;
+        let sweeps: Vec<_> = steps.iter().filter(|s| s.strategy == "pull_sweep").collect();
+        assert!(!sweeps.is_empty(), "direction-optimized run must record sweep steps");
+        for w in sweeps.windows(2) {
+            if w[1].iteration == w[0].iteration + 1 {
+                assert_eq!(
+                    w[1].candidates_len,
+                    w[0].candidates_len - w[0].output_len,
+                    "iteration {}: candidates must shrink by exactly the discovered count",
+                    w[1].iteration
+                );
+            }
+        }
+        assert!(
+            sweeps.iter().any(|s| s.candidates_len != s.input_len),
+            "candidates_len must track the unvisited set, not echo input_len"
+        );
+    }
+
+    #[test]
+    fn warm_direction_optimized_runs_allocate_nothing() {
+        // Regression: the pull path once built a fresh bitmap per
+        // iteration behind the pool's back. In steady state every buffer
+        // must come from the pool, so a warm run adds zero heap
+        // allocations.
+        let g = GraphBuilder::new().build(rmat(11, 16, Default::default(), 5));
+        let ctx = Context::new(&g).with_reverse(&g);
+        let cold = bfs(&ctx, 0, BfsOptions::direction_optimized());
+        assert!(cold.pull_iterations > 0);
+        let after_cold = ctx.pool().stats().allocations;
+        let warm = bfs(&ctx, 0, BfsOptions::direction_optimized());
+        assert_eq!(warm.labels, cold.labels);
+        assert_eq!(
+            ctx.pool().stats().allocations,
+            after_cold,
+            "warm direction-optimized run must be satisfied entirely from the pool"
+        );
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub fn k_core(ctx: &Context<'_>) -> KcoreResult {
                 core[v as usize].store(k - 1, Ordering::Relaxed);
                 degree[v as usize].store(0, Ordering::Relaxed);
             });
-            let peeled_set = frontier_bitmap(n, &peeled);
+            // pooled: the membership bitmap recycles its word storage
+            // across peel rounds instead of reallocating each one
+            let peeled_set = frontier_bitmap(ctx, &peeled);
             compute::for_each(&peeled, |v| {
                 for &u in g.neighbors(v) {
                     // avoid double-decrement between two same-round peels:
@@ -88,6 +90,7 @@ pub fn k_core(ctx: &Context<'_>) -> KcoreResult {
             // survivors continue
             alive =
                 filter::filter(ctx, &alive, &VertexCond(|v: u32| !peeled_set.get(v as usize)));
+            peeled_set.release(ctx.pool());
         }
         // everything still alive is in the k-core
         compute::for_each(&alive, |v| core[v as usize].store(k, Ordering::Relaxed));

@@ -5,34 +5,40 @@
 //! examined, advance/filter/compute time split).
 //!
 //! This is the file EXPERIMENTS.md regeneration and the CI stats check
-//! consume; `BENCH_pr5.json` in the repo root is the current committed
-//! snapshot (`BENCH_pr3.json` is the pre-pool baseline the regression
-//! gate diffs against — see `scripts/bench_compare`). Each row also
+//! consume; `BENCH_pr7.json` in the repo root is the current committed
+//! snapshot (`BENCH_pr5.json` is the pre-bitmap-sweep baseline the
+//! regression gate diffs against — see `scripts/bench_compare`). Each row also
 //! reports `recovery_events` so a fault-free benchmark run provably took
 //! zero retry/fallback paths, plus the buffer-pool counters
 //! (`pool_allocations` flat-lining across iterations is the
 //! zero-allocation property).
 //!
 //! Usage: `cargo run --release -p gunrock-bench --bin bench_json
-//!         [--scale N] [--runs N] [--out PATH]`
+//!         [--scale N] [--runs N] [--reorder] [--out PATH]`
+//!
+//! `--reorder` benchmarks the degree-descending relabeled datasets (the
+//! graphs are isomorphic, so rows stay comparable with unreordered runs).
 
 use gunrock_bench::datasets::DATASET_NAMES;
-use gunrock_bench::{arg_value, load_dataset, run_system, Algorithm, BenchArgs, System};
+use gunrock_bench::{arg_flag, arg_value, load_dataset, run_system, Algorithm, BenchArgs, System};
 use gunrock_engine::json::JsonBuilder;
 
 fn main() {
     let args = BenchArgs::parse();
-    let out = arg_value("--out").unwrap_or_else(|| "BENCH_pr5.json".to_string());
+    let reorder = arg_flag("--reorder");
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_pr7.json".to_string());
 
     let mut j = JsonBuilder::new();
     j.begin_object();
     j.field_str("schema", "gunrock-bench/v1");
     j.field_u64("scale", args.scale as u64);
     j.field_u64("runs", args.runs as u64);
+    j.field_bool("reorder", reorder);
     j.key("measurements");
     j.begin_array();
     for name in DATASET_NAMES {
         let d = load_dataset(name, args.scale);
+        let d = if reorder { d.reordered() } else { d };
         for alg in Algorithm::ALL {
             let m = run_system(System::Gunrock, alg, &d, args.runs)
                 .expect("every Gunrock primitive is implemented");

@@ -13,6 +13,11 @@
 //!   --seed N           generator seed (default: 42)
 //!   --src N            source vertex for bfs/sssp/bc (default: 0)
 //!   --weights LO..HI   random edge weights (default: 1..64 for sssp/mst)
+//!   --reorder          relabel vertices degree-descending (hub clustering)
+//!                      before running; results are mapped back to the
+//!                      original ids, so output is unchanged — only the
+//!                      bitmap-frontier locality differs. Resume a
+//!                      reordered run with the same flag.
 //!   --verify           cross-check the result against the serial oracle
 //!   --top K            print the top-K vertices by score (default: 5)
 //!   --max-iters N      stop after N bulk-synchronous iterations
@@ -68,6 +73,7 @@ options:
   --seed N           generator seed (default: 42)
   --src N            source vertex for bfs/sssp/bc (default: 0)
   --weights LO..HI   random edge weights (default: 1..64 for sssp/mst)
+  --reorder          degree-descending relabeling (results keep original ids)
   --verify           cross-check against the serial oracle
   --top K            print the top-K vertices by score (default: 5)
   --max-iters N      stop after N bulk-synchronous iterations (exit 2)
@@ -90,6 +96,9 @@ pub struct Args {
     pub flags: HashMap<String, String>,
     /// Cross-check results against the serial oracle.
     pub verify: bool,
+    /// Run on the degree-descending relabeled graph (results are mapped
+    /// back to original ids before printing or verification).
+    pub reorder: bool,
 }
 
 /// Parses raw arguments; `Err` carries a message for the user.
@@ -103,9 +112,11 @@ pub fn parse_args(raw: Vec<String>) -> Result<Args, String> {
     };
     let mut flags = HashMap::new();
     let mut verify = false;
+    let mut reorder = false;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--verify" => verify = true,
+            "--reorder" => reorder = true,
             flag if flag.starts_with("--") => {
                 let value = it.next().ok_or_else(|| format!("flag {flag} requires a value"))?;
                 flags.insert(flag.trim_start_matches("--").to_string(), value);
@@ -113,7 +124,7 @@ pub fn parse_args(raw: Vec<String>) -> Result<Args, String> {
             other => return Err(format!("unexpected argument {other:?}\n\n{USAGE}")),
         }
     }
-    Ok(Args { primitive, flags, verify })
+    Ok(Args { primitive, flags, verify, reorder })
 }
 
 impl Args {
@@ -262,21 +273,35 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             Some(ckpt)
         }
     };
-    let g = load_or_generate(args)?;
+    let mut g = load_or_generate(args)?;
+    // --reorder: run on the degree-descending relabeled graph (hub
+    // clustering, so the bitmap pull sweep concentrates its hot words);
+    // `orig` keeps the input graph so --verify oracles run on it and
+    // compare against results restored to original ids
+    let relab = args.reorder.then(|| degree_descending(&g));
+    let orig = relab.as_ref().map(|r| {
+        let relabeled = r.apply(&g);
+        std::mem::replace(&mut g, relabeled)
+    });
+    let g = g;
+    let og = orig.as_ref().unwrap_or(&g);
     let n = g.num_vertices();
     let mut src = args.get_usize("src", 0)? as u32;
     // a checkpoint pins the source vertex; honor it so --verify compares
-    // the resumed run against the right oracle
+    // the resumed run against the right oracle (the snapshot stores the
+    // id the algorithm ran with, so map it back under --reorder)
     if let Some(ckpt) = &resume_ckpt {
         if matches!(args.primitive.as_str(), "bfs" | "sssp" | "bc") {
             if let Some(&s) = ckpt.u32s("scalars").ok().and_then(<[u32]>::first) {
-                src = s;
+                src = relab.as_ref().map_or(s, |r| r.old_of_new(s));
             }
         }
     }
     if matches!(args.primitive.as_str(), "bfs" | "sssp" | "bc") && src as usize >= n {
         return Err(format!("--src {src} out of range (graph has {n} vertices)"));
     }
+    // the source id the algorithms see; printing and oracles use `src`
+    let isrc = relab.as_ref().map_or(src, |r| r.new_of_old(src));
     let k = args.get_usize("top", 5)?;
     println!(
         "graph: {} vertices, {} directed edges, max degree {}",
@@ -354,7 +379,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             let r = match &resume_ckpt {
                 Some(ckpt) => algos::bfs_resume(&ctx, opts, ckpt)
                     .map_err(|e| format!("resume failed: {e}"))?,
-                None => algos::bfs(&ctx, src, opts),
+                None => algos::bfs(&ctx, isrc, opts),
             };
             let reached = r.labels.iter().filter(|&&l| l != INFINITY).count();
             println!(
@@ -367,7 +392,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             outcome = r.outcome;
             dump(&ctx, r.elapsed, r.outcome)?;
             if verify(r.outcome) {
-                verify_eq(&r.labels, &serial::bfs(&g, src), "bfs depths")?;
+                verify_eq(&restored(&relab, &r.labels), &serial::bfs(og, src), "bfs depths")?;
             }
         }
         "sssp" => {
@@ -375,7 +400,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             let r = match &resume_ckpt {
                 Some(ckpt) => algos::sssp_resume(&ctx, algos::SsspOptions::default(), ckpt)
                     .map_err(|e| format!("resume failed: {e}"))?,
-                None => algos::sssp(&ctx, src, algos::SsspOptions::default()),
+                None => algos::sssp(&ctx, isrc, algos::SsspOptions::default()),
             };
             let reached = r.dist.iter().filter(|&&d| d != INFINITY).count();
             println!(
@@ -387,7 +412,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             outcome = r.outcome;
             dump(&ctx, r.elapsed, r.outcome)?;
             if verify(r.outcome) {
-                verify_eq(&r.dist, &serial::dijkstra(&g, src), "sssp distances")?;
+                verify_eq(&restored(&relab, &r.dist), &serial::dijkstra(og, src), "sssp distances")?;
             }
         }
         "bc" => {
@@ -395,21 +420,22 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             let r = match &resume_ckpt {
                 Some(ckpt) => algos::bc_resume(&ctx, algos::BcOptions::default(), ckpt)
                     .map_err(|e| format!("resume failed: {e}"))?,
-                None => algos::bc(&ctx, src, algos::BcOptions::default()),
+                None => algos::bc(&ctx, isrc, algos::BcOptions::default()),
             };
+            let vals = restored(&relab, &r.bc_values);
             println!(
                 "bc from {src}: {} iterations, {:.2} ms; top dependency scores:",
                 r.iterations,
                 r.elapsed.as_secs_f64() * 1e3
             );
-            for (v, s) in top_k(&r.bc_values, k) {
+            for (v, s) in top_k(&vals, k) {
                 println!("  #{v:<8} {s:.2}");
             }
             outcome = r.outcome;
             dump(&ctx, r.elapsed, r.outcome)?;
             if verify(r.outcome) {
-                let want = serial::brandes_single_source(&g, src);
-                for (i, (a, b)) in r.bc_values.iter().zip(&want).enumerate() {
+                let want = serial::brandes_single_source(og, src);
+                for (i, (a, b)) in vals.iter().zip(&want).enumerate() {
                     if (a - b).abs() > 1e-6 {
                         return Err(format!("VERIFY FAILED: bc[{i}] {a} vs oracle {b}"));
                     }
@@ -434,7 +460,17 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             outcome = r.outcome;
             dump(&ctx, r.elapsed, r.outcome)?;
             if verify(r.outcome) {
-                verify_eq(&r.labels, &serial::connected_components(&g), "component labels")?;
+                let want = serial::connected_components(og);
+                match &relab {
+                    // component representatives depend on the id order, so
+                    // compare the partitions under a canonical labeling
+                    Some(rl) => verify_eq(
+                        &canonical_components(&rl.restore_ids(&r.labels)),
+                        &canonical_components(&want),
+                        "component labels",
+                    )?,
+                    None => verify_eq(&r.labels, &want, "component labels")?,
+                }
             }
         }
         "pagerank" => {
@@ -445,19 +481,20 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
                     .map_err(|e| format!("resume failed: {e}"))?,
                 None => algos::pagerank(&ctx, opts),
             };
+            let scores = restored(&relab, &r.scores);
             println!(
                 "pagerank: {} iterations, {:.2} ms; top scores:",
                 r.iterations,
                 r.elapsed.as_secs_f64() * 1e3
             );
-            for (v, s) in top_k(&r.scores, k) {
+            for (v, s) in top_k(&scores, k) {
                 println!("  #{v:<8} {s:.6}");
             }
             outcome = r.outcome;
             dump(&ctx, r.elapsed, r.outcome)?;
             if verify(r.outcome) {
-                let want = serial::pagerank(&g, 0.85, 1e-12, 2000);
-                for (i, (a, b)) in r.scores.iter().zip(&want).enumerate() {
+                let want = serial::pagerank(og, 0.85, 1e-12, 2000);
+                for (i, (a, b)) in scores.iter().zip(&want).enumerate() {
                     if (a - b).abs() > 1e-5 {
                         return Err(format!("VERIFY FAILED: pr[{i}] {a} vs oracle {b}"));
                     }
@@ -480,7 +517,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             outcome = r.outcome;
             dump(&ctx, elapsed, r.outcome)?;
             if verify(r.outcome) {
-                let want = algos::mst::mst_weight_kruskal(&g);
+                let want = algos::mst::mst_weight_kruskal(og);
                 if r.total_weight != want {
                     return Err(format!(
                         "VERIFY FAILED: mst weight {} vs kruskal {want}",
@@ -498,7 +535,11 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             outcome = r.outcome;
             dump(&ctx, t.elapsed(), r.outcome)?;
             if verify(r.outcome) {
-                verify_eq(&r.core_numbers, &algos::kcore::k_core_serial(&g), "core numbers")?;
+                verify_eq(
+                    &restored(&relab, &r.core_numbers),
+                    &algos::kcore::k_core_serial(og),
+                    "core numbers",
+                )?;
             }
         }
         "triangles" => {
@@ -509,7 +550,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             outcome = r.outcome;
             dump(&ctx, t.elapsed(), r.outcome)?;
             if verify(r.outcome) {
-                let want = serial::triangle_count(&g);
+                let want = serial::triangle_count(og);
                 if r.total != want {
                     return Err(format!("VERIFY FAILED: {} vs oracle {want}", r.total));
                 }
@@ -610,6 +651,27 @@ fn dump_stats(
     Ok(())
 }
 
+/// Maps a per-vertex result computed on the relabeled graph back to
+/// original-id order (a plain copy when `--reorder` is off).
+fn restored<T: Copy>(relab: &Option<Relabeling>, values: &[T]) -> Vec<T> {
+    match relab {
+        Some(r) => r.restore_values(values),
+        None => values.to_vec(),
+    }
+}
+
+/// Rewrites component labels to the canonical "minimum vertex id in the
+/// component" representative, so labelings that picked different (but
+/// internally consistent) representatives compare equal.
+fn canonical_components(labels: &[VertexId]) -> Vec<VertexId> {
+    let mut rep: HashMap<VertexId, VertexId> = HashMap::new();
+    for (v, &l) in labels.iter().enumerate() {
+        // first occurrence in id order is the minimum member
+        rep.entry(l).or_insert(v as VertexId);
+    }
+    labels.iter().map(|l| rep[l]).collect()
+}
+
 fn verify_eq<T: PartialEq + std::fmt::Debug>(
     got: &[T],
     want: &[T],
@@ -659,6 +721,8 @@ mod tests {
         let a = parse_args(args(&["bfs", "--scale", "8", "--verify", "--src", "3"])).unwrap();
         assert_eq!(a.primitive, "bfs");
         assert!(a.verify);
+        assert!(!a.reorder);
+        assert!(parse_args(args(&["bfs", "--reorder"])).unwrap().reorder);
         assert_eq!(a.flags.get("scale").unwrap(), "8");
         assert_eq!(a.flags.get("src").unwrap(), "3");
     }
@@ -744,6 +808,51 @@ mod tests {
             let outcome = execute(&a).unwrap_or_else(|e| panic!("{prim}: {e}"));
             assert!(outcome.is_converged(), "{prim}");
         }
+    }
+
+    #[test]
+    fn reorder_restores_original_ids_for_every_primitive() {
+        // soc at scale 8 has pronounced hubs, so the relabeling is a real
+        // permutation; --verify compares restored results against oracles
+        // run on the ORIGINAL graph, so any translation slip fails loudly
+        for prim in ["bfs", "sssp", "bc", "cc", "pagerank", "mst", "kcore", "triangles"] {
+            let a = parse_args(args(&[
+                prim, "--gen", "soc", "--scale", "8", "--src", "5", "--reorder", "--verify",
+            ]))
+            .unwrap();
+            let outcome = execute(&a).unwrap_or_else(|e| panic!("{prim}: {e}"));
+            assert!(outcome.is_converged(), "{prim}");
+        }
+    }
+
+    #[test]
+    fn reordered_run_resumes_from_checkpoint() {
+        // the snapshot stores internal (relabeled) ids; resuming with the
+        // same --reorder flag must round-trip the source and the labels
+        let dir =
+            std::env::temp_dir().join(format!("gunrock_cli_rckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.to_str().unwrap().to_string();
+        let partial = args(&[
+            "bfs", "--gen", "soc", "--scale", "8", "--src", "5", "--reorder", "--max-iters",
+            "2", "--checkpoint-every", "1", "--checkpoint-dir", &d,
+        ]);
+        assert_eq!(run(partial), 2);
+        let ckpt = dir.join("bfs.ckpt");
+        assert!(ckpt.exists());
+        let resumed = args(&[
+            "bfs",
+            "--gen",
+            "soc",
+            "--scale",
+            "8",
+            "--reorder",
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--verify",
+        ]);
+        assert_eq!(run(resumed), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

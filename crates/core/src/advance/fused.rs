@@ -20,7 +20,7 @@ use crate::context::Context;
 use crate::functor::AdvanceFunctor;
 use crate::isolate::isolated;
 use crate::util::{concat_chunks, grain_size};
-use gunrock_engine::bitmap::AtomicBitmap;
+use gunrock_engine::bitmap::BitSet;
 use gunrock_engine::compact::compact;
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::scan::scan_exclusive_u32;
@@ -42,12 +42,12 @@ const INVALID_SLOT: u32 = u32::MAX;
 /// at most once, with no intermediate duplicated frontier. Uses the
 /// hybrid workload mapping (thread-mapped below the LB threshold,
 /// load-balanced above).
-pub fn advance_filter_fused<F: AdvanceFunctor>(
+pub fn advance_filter_fused<F: AdvanceFunctor, B: BitSet>(
     ctx: &Context<'_>,
     input: &Frontier,
     spec: AdvanceSpec,
     functor: &F,
-    visited: &AtomicBitmap,
+    visited: &B,
 ) -> Frontier {
     assert_eq!(
         spec.output,
@@ -91,12 +91,12 @@ pub fn advance_filter_fused<F: AdvanceFunctor>(
     out
 }
 
-fn fused_thread_mapped<F: AdvanceFunctor>(
+fn fused_thread_mapped<F: AdvanceFunctor, B: BitSet>(
     ctx: &Context<'_>,
     input: &Frontier,
     spec: AdvanceSpec,
     functor: &F,
-    visited: &AtomicBitmap,
+    visited: &B,
 ) -> Frontier {
     let g = ctx.graph;
     let grain = grain_size(input.len());
@@ -130,12 +130,12 @@ fn fused_thread_mapped<F: AdvanceFunctor>(
     Frontier::from_vec(concat_chunks(per_chunk.into_iter().map(|(v, _)| v).collect()))
 }
 
-fn fused_load_balanced<F: AdvanceFunctor>(
+fn fused_load_balanced<F: AdvanceFunctor, B: BitSet>(
     ctx: &Context<'_>,
     input: &Frontier,
     spec: AdvanceSpec,
     functor: &F,
-    visited: &AtomicBitmap,
+    visited: &B,
 ) -> Frontier {
     let g = ctx.graph;
     let items = input.as_slice();
@@ -189,6 +189,7 @@ fn fused_load_balanced<F: AdvanceFunctor>(
 mod tests {
     use super::*;
     use crate::functor::AcceptAll;
+    use gunrock_engine::bitmap::AtomicBitmap;
     use gunrock_graph::{generators, Coo, GraphBuilder};
 
     #[test]

@@ -11,12 +11,25 @@
 //! unvisited set (Beamer et al.). Note the functor sees edge ids of the
 //! *reverse* graph (weights transpose along, so weight lookups stay
 //! correct).
+//!
+//! Two formulations are provided:
+//!
+//! * [`advance_pull`] — candidates as an explicit id list (the classic
+//!   form; kept for callers that already hold a list);
+//! * [`advance_pull_sweep`] — the masked word sweep (GraphBLAST's
+//!   masked-SpMV view): candidates and output are word-addressable
+//!   [`PooledBitmap`]s, empty mask words are skipped 64 bits at a time
+//!   with `trailing_zeros` iteration inside non-empty ones, and
+//!   discovered candidates are *cleared from the candidate bitmap in
+//!   place* — the unvisited set maintains itself incrementally, no O(n)
+//!   re-prune between iterations. Per-task word ranges are disjoint, so
+//!   the sweep mutates its bitmaps without a single atomic RMW.
 
 use crate::context::Context;
 use crate::functor::AdvanceFunctor;
 use crate::isolate::isolated;
 use crate::util::{concat_chunks, grain_size};
-use gunrock_engine::bitmap::AtomicBitmap;
+use gunrock_engine::bitmap::{BitSet, PooledBitmap};
 use gunrock_engine::config::SEQUENTIAL_CUTOFF;
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::stats::{OperatorKind, StepDirection};
@@ -32,15 +45,17 @@ use std::time::Instant;
 /// snapshots must only be cut at consistent operator boundaries.
 const ABORT_POLL_EDGES: u64 = 4096;
 
-/// Builds the frontier-membership bitmap for a pull step.
-pub fn frontier_bitmap(num_vertices: usize, frontier: &Frontier) -> AtomicBitmap {
-    let bm = AtomicBitmap::new(num_vertices);
+/// Builds the frontier-membership bitmap for a pull step. Word storage
+/// comes from the context's buffer pool (release it back with
+/// [`PooledBitmap::release`] when the pull phase ends), so steady-state
+/// direction switches perform no heap allocation and the pool counters
+/// cover bitmap traffic.
+pub fn frontier_bitmap(ctx: &Context<'_>, frontier: &Frontier) -> PooledBitmap {
+    let mut bm = PooledBitmap::take(ctx.pool(), ctx.num_vertices());
     if frontier.len() < SEQUENTIAL_CUTOFF {
-        // CAST: vertex ids are u32 widened to usize for bitmap indexing — lossless.
-        for v in frontier {
-            bm.set(v as usize);
-        }
+        bm.fill_from_frontier(frontier);
     } else {
+        // CAST: vertex ids are u32 widened to usize for bitmap indexing — lossless.
         frontier.as_slice().par_iter().for_each(|&v| bm.set(v as usize));
     }
     bm
@@ -50,10 +65,10 @@ pub fn frontier_bitmap(num_vertices: usize, frontier: &Frontier) -> AtomicBitmap
 /// the unvisited set), scan in-neighbors against `in_frontier`; the first
 /// edge accepted by the functor admits the candidate to the output
 /// frontier and stops its scan.
-pub fn advance_pull<F: AdvanceFunctor>(
+pub fn advance_pull<F: AdvanceFunctor, B: BitSet>(
     ctx: &Context<'_>,
     candidates: &[u32],
-    in_frontier: &AtomicBitmap,
+    in_frontier: &B,
     functor: &F,
 ) -> Frontier {
     // Kernel-launch boundary for the racecheck phase ledger.
@@ -68,7 +83,7 @@ pub fn advance_pull<F: AdvanceFunctor>(
         let per_chunk: Vec<(Vec<u32>, u64)> = candidates
             .par_chunks(grain)
             .map(|chunk| {
-                let mut local = Vec::new(); // ALLOC-OK(per-task local; pull runs once per direction switch, not per iteration)
+                let mut local = Vec::new(); // ALLOC-OK(per-task local on the list-candidates path; the steady-state pull loop uses advance_pull_sweep instead)
                 let mut edges = 0u64;
                 // cancel/deadline abort: a raised flag truncates this chunk
                 // (and skips it entirely when raised before the chunk
@@ -107,10 +122,11 @@ pub fn advance_pull<F: AdvanceFunctor>(
     });
     let Some(out) = result else { return Frontier::new() };
     if let (Some((start, edges0)), Some(sink)) = (timer, ctx.sink()) {
-        sink.record_step(
+        sink.record_step_with_candidates(
             OperatorKind::Advance,
             "pull",
             Some(StepDirection::Pull),
+            in_frontier.count_ones() as u64,
             candidates.len() as u64,
             out.len() as u64,
             ctx.counters.edges() - edges0,
@@ -118,6 +134,118 @@ pub fn advance_pull<F: AdvanceFunctor>(
         );
     }
     out
+}
+
+/// The masked word sweep: one pull-direction advance where candidates,
+/// current frontier, and output are all dense bitmaps.
+///
+/// For every non-zero word of `candidates` (zero words — fully visited
+/// neighborhoods — are skipped wholesale), each set bit `v` scans its
+/// in-neighbors against `in_frontier`; the first accepted edge sets `v`
+/// in `out` and *clears it from `candidates`*, so the caller's unvisited
+/// set shrinks incrementally with zero bookkeeping. Word ranges are
+/// partitioned disjointly across tasks and `out` shares the partition
+/// (bit `v` lives at the same word index in both bitmaps), so all bitmap
+/// writes are plain stores.
+///
+/// `out` must be cleared on entry. Returns the number of vertices
+/// discovered. All three bitmaps must span `ctx.num_vertices()` bits.
+pub fn advance_pull_sweep<F: AdvanceFunctor>(
+    ctx: &Context<'_>,
+    candidates: &mut PooledBitmap,
+    in_frontier: &PooledBitmap,
+    out: &mut PooledBitmap,
+    functor: &F,
+) -> u64 {
+    let n = ctx.num_vertices();
+    assert_eq!(candidates.len(), n, "candidate bitmap must span the graph");
+    assert_eq!(in_frontier.len(), n, "frontier bitmap must span the graph");
+    assert_eq!(out.len(), n, "output bitmap must span the graph");
+    // Kernel-launch boundary for the racecheck phase ledger.
+    gunrock_engine::racecheck::begin_phase();
+    let timer = ctx.sink().map(|_| {
+        (Instant::now(), ctx.counters.edges(), in_frontier.count_ones(), candidates.count_ones())
+    });
+    let result = isolated(ctx, "advance", || {
+        if let Some(inj) = ctx.injector() {
+            inj.maybe_panic("advance:pull_sweep");
+        }
+        let rev = ctx.reverse_graph();
+        let cols = rev.col_indices();
+        let nw = candidates.word_count();
+        let wgrain = grain_size(nw);
+        let (discovered, edges) = candidates
+            .words_mut()
+            .par_chunks_mut(wgrain)
+            .zip(out.words_mut().par_chunks_mut(wgrain))
+            .enumerate()
+            .map(|(ci, (cand_words, out_words))| {
+                let mut found = 0u64;
+                let mut edges = 0u64;
+                // cancel/deadline abort, as in the list-candidates path:
+                // truncation is suppressed while checkpointing.
+                if ctx.abort_mid_operator() {
+                    return (found, edges);
+                }
+                let mut next_poll = ABORT_POLL_EDGES;
+                'sweep: for (i, (cw, ow)) in
+                    cand_words.iter_mut().zip(out_words.iter_mut()).enumerate()
+                {
+                    // whole-word skip: a zero mask word is 64 vertices with
+                    // nothing to pull
+                    let mut bits = *cw.get_mut();
+                    if bits == 0 {
+                        continue;
+                    }
+                    let word_base = ((ci * wgrain + i) * 64) as u64;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as u64;
+                        bits &= bits - 1;
+                        // CAST: word_base + b < num_vertices < u32::MAX by Csr::validate
+                        // (candidate bitmaps mask their tail bits to zero).
+                        let v = (word_base + b) as u32;
+                        for e in rev.edge_range(v) {
+                            edges += 1;
+                            let u = cols[e];
+                            // CAST: u widens u32 -> usize; e < num_edges < EdgeId::MAX by Csr::validate.
+                            if in_frontier.get(u as usize) && functor.cond_edge(u, v, e as EdgeId)
+                            {
+                                functor.apply_edge(u, v, e as EdgeId);
+                                let mask = 1u64 << b;
+                                *ow.get_mut() |= mask;
+                                *cw.get_mut() &= !mask;
+                                found += 1;
+                                break; // one valid predecessor suffices
+                            }
+                        }
+                        if edges >= next_poll {
+                            next_poll = edges + ABORT_POLL_EDGES;
+                            if ctx.abort_mid_operator() {
+                                break 'sweep;
+                            }
+                        }
+                    }
+                }
+                (found, edges)
+            })
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        ctx.counters.add_edges(edges);
+        discovered
+    });
+    let Some(discovered) = result else { return 0 };
+    if let (Some((start, edges0, in_pop, cand_pop)), Some(sink)) = (timer, ctx.sink()) {
+        sink.record_step_with_candidates(
+            OperatorKind::Advance,
+            "pull_sweep",
+            Some(StepDirection::Pull),
+            in_pop as u64,
+            cand_pop as u64,
+            discovered,
+            ctx.counters.edges() - edges0,
+            start.elapsed(),
+        );
+    }
+    discovered
 }
 
 #[cfg(test)]
@@ -132,10 +260,11 @@ mod tests {
         let g = GraphBuilder::new().build(Coo::from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
         let ctx = Context::new(&g).with_reverse(&g);
         let frontier = Frontier::single(1);
-        let bm = frontier_bitmap(4, &frontier);
+        let bm = frontier_bitmap(&ctx, &frontier);
         // candidates: unvisited = {2, 3} (0 already visited)
         let out = advance_pull(&ctx, &[2, 3], &bm, &AcceptAll);
         assert_eq!(out.as_slice(), &[2]);
+        bm.release(ctx.pool());
     }
 
     #[test]
@@ -144,12 +273,49 @@ mod tests {
         let edges: Vec<(u32, u32)> = (1..100).map(|v| (0, v)).collect();
         let g = GraphBuilder::new().build(Coo::from_edges(100, &edges));
         let ctx = Context::new(&g).with_reverse(&g);
-        let bm = frontier_bitmap(100, &Frontier::single(0));
+        let bm = frontier_bitmap(&ctx, &Frontier::single(0));
         let candidates: Vec<u32> = (1..100).collect();
         let out = advance_pull(&ctx, &candidates, &bm, &AcceptAll);
         assert_eq!(out.len(), 99);
         // each candidate's in-list starts with the hub: one edge each
         assert_eq!(ctx.counters.edges(), 99);
+    }
+
+    #[test]
+    fn sweep_matches_list_pull_and_maintains_candidates() {
+        let edges: Vec<(u32, u32)> = (1..100).map(|v| (0, v)).collect();
+        let g = GraphBuilder::new().build(Coo::from_edges(100, &edges));
+        let ctx = Context::new(&g).with_reverse(&g);
+        let in_frontier = frontier_bitmap(&ctx, &Frontier::single(0));
+        let mut candidates = PooledBitmap::take(ctx.pool(), 100);
+        candidates.fill_from_frontier(&Frontier::from_vec((1..100).collect()));
+        let mut out = PooledBitmap::take(ctx.pool(), 100);
+        let discovered = advance_pull_sweep(&ctx, &mut candidates, &in_frontier, &mut out, &AcceptAll);
+        assert_eq!(discovered, 99);
+        assert_eq!(out.count_ones(), 99);
+        assert!(!out.get(0));
+        // discovered candidates were cleared in place — incremental
+        // maintenance, no re-prune pass
+        assert_eq!(candidates.count_ones(), 0);
+        // early exit still bounds edge work: one hub edge per candidate
+        assert_eq!(ctx.counters.edges(), 99);
+    }
+
+    #[test]
+    fn sweep_skips_vertices_with_no_frontier_predecessor() {
+        // two disconnected edges: 0-1, 2-3; frontier = {0}
+        let g = GraphBuilder::new().build(Coo::from_edges(4, &[(0, 1), (2, 3)]));
+        let ctx = Context::new(&g).with_reverse(&g);
+        let in_frontier = frontier_bitmap(&ctx, &Frontier::single(0));
+        let mut candidates = PooledBitmap::take(ctx.pool(), 4);
+        candidates.fill_from_frontier(&Frontier::from_vec(vec![1, 2, 3]));
+        let mut out = PooledBitmap::take(ctx.pool(), 4);
+        let discovered =
+            advance_pull_sweep(&ctx, &mut candidates, &in_frontier, &mut out, &AcceptAll);
+        assert_eq!(discovered, 1);
+        assert_eq!(out.iter_ones().collect::<Vec<_>>(), vec![1]);
+        // non-discovered candidates stay in the candidate set
+        assert_eq!(candidates.iter_ones().collect::<Vec<_>>(), vec![2, 3]);
     }
 
     #[test]
@@ -166,7 +332,7 @@ mod tests {
         let ctx = Context::new(&g)
             .with_reverse(&g)
             .with_policy(RunPolicy::unbounded().cancel_flag(flag.clone()));
-        let bm = frontier_bitmap(n as usize, &Frontier::single(0));
+        let bm = frontier_bitmap(&ctx, &Frontier::single(0));
         let candidates: Vec<u32> = (1..n).collect();
         // flag down: the full next level comes back
         let full = advance_pull(&ctx, &candidates, &bm, &AcceptAll);
@@ -185,10 +351,49 @@ mod tests {
     }
 
     #[test]
+    fn raised_cancel_flag_truncates_the_word_sweep() {
+        use crate::policy::RunPolicy;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let n: u32 = 50_000;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        let g = GraphBuilder::new().build(Coo::from_edges(n as usize, &edges));
+        let flag = Arc::new(AtomicBool::new(false));
+        let ctx = Context::new(&g)
+            .with_reverse(&g)
+            .with_policy(RunPolicy::unbounded().cancel_flag(flag.clone()));
+        let in_frontier = frontier_bitmap(&ctx, &Frontier::single(0));
+        let all_candidates = Frontier::from_vec((1..n).collect());
+        let mut candidates = PooledBitmap::take(ctx.pool(), n as usize);
+        candidates.fill_from_frontier(&all_candidates);
+        let mut out = PooledBitmap::take(ctx.pool(), n as usize);
+        let full = advance_pull_sweep(&ctx, &mut candidates, &in_frontier, &mut out, &AcceptAll);
+        assert_eq!(full, (n - 1) as u64);
+        // reset state, raise the flag: chunks bail at their entry poll
+        candidates.clear_all();
+        candidates.fill_from_frontier(&all_candidates);
+        out.clear_all();
+        flag.store(true, Ordering::Release);
+        let truncated =
+            advance_pull_sweep(&ctx, &mut candidates, &in_frontier, &mut out, &AcceptAll);
+        assert!(
+            truncated < full,
+            "cancel mid-operator must truncate: got {truncated} of {full}"
+        );
+        assert!(!ctx.is_poisoned(), "cooperative abort is not a failure");
+    }
+
+    #[test]
     fn bitmap_reflects_frontier_membership() {
-        let bm = frontier_bitmap(10, &Frontier::from_vec(vec![1, 7]));
+        let g = GraphBuilder::new().build(Coo::from_edges(10, &[(0, 1)]));
+        let ctx = Context::new(&g);
+        let bm = frontier_bitmap(&ctx, &Frontier::from_vec(vec![1, 7]));
         assert!(bm.get(1) && bm.get(7));
         assert!(!bm.get(0) && !bm.get(9));
+        // storage came from (and returns to) the context's pool
+        assert_eq!(ctx.pool().stats().checkouts, 1);
+        bm.release(ctx.pool());
+        assert_eq!(ctx.pool().stats().releases, 1);
     }
 
     #[test]
@@ -196,7 +401,7 @@ mod tests {
         // two disconnected edges: 0-1, 2-3
         let g = GraphBuilder::new().build(Coo::from_edges(4, &[(0, 1), (2, 3)]));
         let ctx = Context::new(&g).with_reverse(&g);
-        let bm = frontier_bitmap(4, &Frontier::single(0));
+        let bm = frontier_bitmap(&ctx, &Frontier::single(0));
         let out = advance_pull(&ctx, &[1, 2, 3], &bm, &AcceptAll);
         assert_eq!(out.as_slice(), &[1]);
     }

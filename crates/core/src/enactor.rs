@@ -12,7 +12,7 @@ use crate::compute;
 use crate::context::{Context, ContextGuard};
 use crate::filter::{self, culling::CullingConfig};
 use crate::functor::{AdvanceFunctor, FilterFunctor};
-use gunrock_engine::bitmap::AtomicBitmap;
+use gunrock_engine::bitmap::{BitSet, PooledBitmap};
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::stats::{RunOutcome, Timing};
 
@@ -57,13 +57,25 @@ impl<'g> Enactor<'g> {
 
     /// Pull-direction advance over `candidates` against the frontier
     /// bitmap (see [`advance::pull`]).
-    pub fn advance_pull<F: AdvanceFunctor>(
+    pub fn advance_pull<F: AdvanceFunctor, B: BitSet>(
         &self,
         candidates: &[u32],
-        in_frontier: &AtomicBitmap,
+        in_frontier: &B,
         functor: &F,
     ) -> Frontier {
         advance::pull::advance_pull(&self.ctx, candidates, in_frontier, functor)
+    }
+
+    /// Masked word-sweep pull advance: all-bitmap operands, discovered
+    /// candidates cleared in place (see [`advance::pull::advance_pull_sweep`]).
+    pub fn advance_pull_sweep<F: AdvanceFunctor>(
+        &self,
+        candidates: &mut PooledBitmap,
+        in_frontier: &PooledBitmap,
+        out: &mut PooledBitmap,
+        functor: &F,
+    ) -> u64 {
+        advance::pull::advance_pull_sweep(&self.ctx, candidates, in_frontier, out, functor)
     }
 
     /// Exact scan-compact filter.
@@ -72,14 +84,27 @@ impl<'g> Enactor<'g> {
     }
 
     /// Heuristic culling filter for idempotent traversal.
-    pub fn filter_with_culling<F: FilterFunctor>(
+    pub fn filter_with_culling<F: FilterFunctor, B: BitSet>(
         &self,
         input: &Frontier,
-        visited: &AtomicBitmap,
+        visited: &B,
         functor: &F,
         cfg: CullingConfig,
     ) -> Frontier {
         filter::culling::filter_with_culling(&self.ctx, input, visited, functor, cfg)
+    }
+
+    /// Bitmap-shaped culling filter: merges a pull sweep's output bitmap
+    /// into `visited` word-wise and extracts the next list frontier (see
+    /// [`filter::culling::filter_with_culling_bitmap`]).
+    pub fn filter_with_culling_bitmap<F: FilterFunctor, B: BitSet>(
+        &self,
+        input: &PooledBitmap,
+        visited: &B,
+        functor: &F,
+        cfg: CullingConfig,
+    ) -> Frontier {
+        filter::culling::filter_with_culling_bitmap(&self.ctx, input, visited, functor, cfg)
     }
 
     /// Parallel per-element computation (instrumented when the context
@@ -139,6 +164,7 @@ impl<'g> Enactor<'g> {
 mod tests {
     use super::*;
     use crate::functor::AcceptAll;
+    use gunrock_engine::bitmap::AtomicBitmap;
     use gunrock_graph::{Coo, GraphBuilder};
 
     #[test]

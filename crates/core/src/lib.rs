@@ -61,14 +61,17 @@ pub mod prelude {
         self,
         fused::advance_filter_fused,
         policy::{DirectionPolicy, TraversalDirection},
-        pull::{advance_pull, frontier_bitmap},
+        pull::{advance_pull, advance_pull_sweep, frontier_bitmap},
         AdvanceMode, AdvanceSpec, InputKind, OutputKind,
     };
     pub use crate::compute;
     pub use crate::context::{Context, ContextGuard};
     pub use crate::enactor::{Enactor, IterationRecord};
     pub use crate::error::GunrockError;
-    pub use crate::filter::{self, culling::CullingConfig};
+    pub use crate::filter::{
+        self,
+        culling::{filter_with_culling_bitmap, CullingConfig},
+    };
     pub use crate::functor::{AcceptAll, AdvanceFunctor, EdgeCond, FilterFunctor, VertexCond};
     pub use crate::neighbor_reduce::neighbor_reduce;
     pub use crate::partition::{partitioned_advance, ExchangeStats, VertexPartition};
@@ -76,7 +79,7 @@ pub mod prelude {
     pub use crate::priority_queue::NearFarQueue;
     pub use crate::problem::{enact, EnactStats, Primitive};
     pub use crate::sample::{sample, sample_k};
-    pub use gunrock_engine::bitmap::AtomicBitmap;
+    pub use gunrock_engine::bitmap::{AtomicBitmap, BitSet, PooledBitmap};
     pub use gunrock_engine::checkpoint::{Checkpoint, CheckpointError};
     pub use gunrock_engine::faults::{FaultInjector, FaultKind, FaultPlan};
     pub use gunrock_engine::frontier::{Frontier, FrontierPair};

@@ -67,6 +67,48 @@ fn push_strategies_are_thread_count_invariant() {
 }
 
 #[test]
+fn pull_sweep_is_thread_count_invariant() {
+    let g = test_graph();
+    let input = mixed_frontier(&g);
+    let n = g.num_vertices();
+    let mut baseline: Option<(Vec<u32>, Vec<u32>, u64)> = None;
+    for threads in [1usize, 2, 8] {
+        let (out, remaining, edges) = in_pool(threads, || {
+            let ctx = Context::new(&g).with_reverse(&g);
+            let in_frontier = advance::pull::frontier_bitmap(&ctx, &input);
+            let mut candidates = PooledBitmap::take(ctx.pool(), n);
+            // all vertices are candidates
+            for v in 0..n as u32 {
+                candidates.set(v as usize);
+            }
+            let mut out = PooledBitmap::take(ctx.pool(), n);
+            advance::pull::advance_pull_sweep(&ctx, &mut candidates, &in_frontier, &mut out, &AcceptAll);
+            let discovered: Vec<u32> = out.iter_ones().map(|i| i as u32).collect();
+            let remaining: Vec<u32> = candidates.iter_ones().map(|i| i as u32).collect();
+            let edges = ctx.counters.edges();
+            in_frontier.release(ctx.pool());
+            candidates.release(ctx.pool());
+            out.release(ctx.pool());
+            (discovered, remaining, edges)
+        });
+        match &baseline {
+            None => baseline = Some((out, remaining, edges)),
+            Some((b_out, b_rem, b_edges)) => {
+                assert_eq!(&out, b_out, "sweep: discovered set differs at {threads} threads");
+                assert_eq!(
+                    &remaining, b_rem,
+                    "sweep: surviving candidates differ at {threads} threads"
+                );
+                assert_eq!(
+                    edges, *b_edges,
+                    "sweep: edges_examined differs at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn pull_advance_is_thread_count_invariant() {
     let g = test_graph();
     let input = mixed_frontier(&g);
@@ -75,8 +117,9 @@ fn pull_advance_is_thread_count_invariant() {
     for threads in [1usize, 2, 8] {
         let (out, edges) = in_pool(threads, || {
             let ctx = Context::new(&g).with_reverse(&g);
-            let bm = advance::pull::frontier_bitmap(g.num_vertices(), &input);
+            let bm = advance::pull::frontier_bitmap(&ctx, &input);
             let out = advance::pull::advance_pull(&ctx, &candidates, &bm, &AcceptAll);
+            bm.release(ctx.pool());
             (sorted(out), ctx.counters.edges())
         });
         match &baseline {

@@ -229,8 +229,17 @@ pub struct StepRecord {
     pub strategy: &'static str,
     /// Traversal direction; `None` for filter/compute steps.
     pub direction: Option<StepDirection>,
-    /// Input frontier length.
+    /// Input frontier population. For push steps this is the frontier
+    /// list length; for pull steps it is the in-frontier bitmap popcount
+    /// — the same quantity, so the field is comparable across directions
+    /// (gunrock-stats/v1 consumers previously saw the candidate count
+    /// here for pull steps; that now lives in
+    /// [`StepRecord::candidates_len`]).
     pub input_len: u64,
+    /// Candidate vertices scanned by a pull-direction step (the
+    /// unvisited sweep set) — distinct from the in-frontier population.
+    /// Zero for push/filter/compute steps, which have no candidate set.
+    pub candidates_len: u64,
     /// Output frontier length (0 for for-effect steps).
     pub output_len: u64,
     /// Edges examined by this step alone.
@@ -344,12 +353,41 @@ impl StatsSink {
         edges_examined: u64,
         duration: Duration,
     ) {
+        self.record_step_with_candidates(
+            operator,
+            strategy,
+            direction,
+            input_len,
+            0,
+            output_len,
+            edges_examined,
+            duration,
+        );
+    }
+
+    /// Records one operator step that scanned a candidate set distinct
+    /// from its input frontier (the pull direction): `input_len` is the
+    /// in-frontier population (bitmap popcount), `candidates_len` the
+    /// number of candidate vertices swept.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_step_with_candidates(
+        &self,
+        operator: OperatorKind,
+        strategy: &'static str,
+        direction: Option<StepDirection>,
+        input_len: u64,
+        candidates_len: u64,
+        output_len: u64,
+        edges_examined: u64,
+        duration: Duration,
+    ) {
         self.steps.lock().push(StepRecord {
             iteration: self.current_iteration(),
             operator,
             strategy,
             direction,
             input_len,
+            candidates_len,
             output_len,
             edges_examined,
             duration,
@@ -495,6 +533,7 @@ impl RunStats {
                 None => j.field_null("direction"),
             }
             j.field_u64("input_len", s.input_len);
+            j.field_u64("candidates_len", s.candidates_len);
             j.field_u64("output_len", s.output_len);
             j.field_u64("edges_examined", s.edges_examined);
             j.field_f64("duration_ms", s.duration.as_secs_f64() * 1e3);
@@ -732,6 +771,38 @@ mod tests {
         assert!(json.contains(r#""direction":"push""#));
         assert!(json.contains(r#""duration_ms":1.5"#));
         assert!(json.contains(r#""switches":[]"#));
+    }
+
+    #[test]
+    fn pull_steps_report_candidates_and_population_distinctly() {
+        let sink = StatsSink::new();
+        // a pull sweep: 5 in-frontier vertices, 90 unvisited candidates
+        sink.record_step_with_candidates(
+            OperatorKind::Advance,
+            "pull_sweep",
+            Some(StepDirection::Pull),
+            5,
+            90,
+            12,
+            40,
+            Duration::from_millis(1),
+        );
+        // a push step has no candidate set
+        sink.record_step(
+            OperatorKind::Advance,
+            "thread_mapped",
+            Some(StepDirection::Push),
+            12,
+            30,
+            80,
+            Duration::from_millis(1),
+        );
+        let stats = sink.snapshot();
+        assert_eq!(stats.steps[0].input_len, 5, "in-frontier population, not candidates");
+        assert_eq!(stats.steps[0].candidates_len, 90);
+        assert_eq!(stats.steps[1].candidates_len, 0);
+        let json = stats.to_json();
+        assert!(json.contains(r#""candidates_len":90"#), "{json}");
     }
 
     #[test]

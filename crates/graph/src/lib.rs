@@ -26,6 +26,7 @@ pub mod csr;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod reorder;
 pub mod stats;
 pub mod types;
 
@@ -36,6 +37,7 @@ pub mod prelude {
     pub use crate::csr::Csr;
     pub use crate::error::{GraphError, GraphResult};
     pub use crate::generators;
+    pub use crate::reorder::{degree_descending, Relabeling};
     pub use crate::stats::{degree_histogram, graph_stats, GraphStats};
     pub use crate::types::{
         Edge, EdgeId, VertexId, Weight, WeightedEdge, INFINITY, INVALID_EDGE, INVALID_VERTEX,

@@ -25,6 +25,9 @@ graph flags:
   --scale N             generator size exponent (default: 12)
   --seed N              generator seed (default: 42)
   --weights LO..HI      random edge weights (default: 1..64, for sssp)
+  --reorder             serve the degree-descending relabeled graph;
+                        requests still name original vertex ids and
+                        result hashes are computed on restored results
 
 options:
   --port N              listen on 127.0.0.1:N (0: pick a free port; default 0)
@@ -66,7 +69,7 @@ Prints the response line. Exit code 0 when status is \"ok\", 2 for a
 partial result, 1 for rejections, failures, and transport errors.";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 2] = ["stdin", "checkpoint"];
+const BOOLEAN_FLAGS: [&str; 3] = ["stdin", "checkpoint", "reorder"];
 
 fn parse_flags(raw: Vec<String>) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -147,6 +150,8 @@ fn build_config(flags: &HashMap<String, String>) -> Result<ServerConfig, String>
             .get("serial-threshold")
             .map(|v| v.parse().map_err(|_| format!("--serial-threshold: bad number {v:?}")))
             .transpose()?,
+        // filled by run_serve once the graph exists
+        relabeling: None,
     })
 }
 
@@ -164,20 +169,29 @@ pub fn run_serve(raw: Vec<String>) -> i32 {
             return 1;
         }
     };
-    let graph = match build_graph(&flags) {
-        Ok(g) => Arc::new(g),
+    let mut graph = match build_graph(&flags) {
+        Ok(g) => g,
         Err(e) => {
             eprintln!("{e}");
             return 1;
         }
     };
-    let cfg = match build_config(&flags) {
+    // --reorder: serve the hub-clustered graph; jobs translate request
+    // sources in and restore per-vertex results before hashing
+    let relabeling = flags.contains_key("reorder").then(|| {
+        let r = gunrock_graph::reorder::degree_descending(&graph);
+        graph = r.apply(&graph);
+        Arc::new(r)
+    });
+    let graph = Arc::new(graph);
+    let mut cfg = match build_config(&flags) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}\n\n{SERVE_USAGE}");
             return 1;
         }
     };
+    cfg.relabeling = relabeling;
     eprintln!(
         "gunrock-serve: {} vertices, {} edges, {} workers, queue capacity {}",
         graph.num_vertices(),

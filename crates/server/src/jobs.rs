@@ -13,6 +13,7 @@ use gunrock::prelude::*;
 use gunrock_algos as algos;
 use gunrock_engine::json::JsonBuilder;
 use gunrock_engine::pool::BufferPool;
+use gunrock_graph::reorder::Relabeling;
 use gunrock_graph::{Csr, INFINITY};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicBool;
@@ -84,6 +85,10 @@ pub struct JobEnv<'a> {
     /// The shared immutable graph (also used as its own reverse: served
     /// graphs are built symmetric).
     pub graph: &'a Csr,
+    /// Set when `graph` is a `--reorder` relabeling of the input graph:
+    /// request sources are translated in, per-vertex results are mapped
+    /// back to original ids before hashing.
+    pub relab: Option<&'a Relabeling>,
     /// Server-wide drain flag, threaded into every job's `RunPolicy` as
     /// the cancel flag so in-flight work stops at the next boundary.
     pub drain: &'a Arc<AtomicBool>,
@@ -155,14 +160,41 @@ fn count_reached(labels: &[u32]) -> u64 {
     labels.iter().filter(|&&l| l != INFINITY).count() as u64
 }
 
-fn summarize_resumed(run: &algos::recover::ResumedRun) -> RunSummary {
+/// Hash of a per-vertex value array in original-id order (depths,
+/// distances): restores the permutation first on a reordered server so
+/// hashes are comparable with an unreordered one.
+fn hash_restored_u32(relab: Option<&Relabeling>, v: &[u32]) -> u64 {
+    match relab {
+        Some(r) => hash_u32s(&r.restore_values(v)),
+        None => hash_u32s(v),
+    }
+}
+
+/// Hash of a per-vertex array whose elements are vertex ids (component
+/// labels): restores positions AND translates the stored ids.
+fn hash_restored_ids(relab: Option<&Relabeling>, v: &[u32]) -> u64 {
+    match relab {
+        Some(r) => hash_u32s(&r.restore_ids(v)),
+        None => hash_u32s(v),
+    }
+}
+
+/// Hash of a per-vertex `f64` score array in original-id order.
+fn hash_restored_f64(relab: Option<&Relabeling>, v: &[f64]) -> u64 {
+    match relab {
+        Some(r) => hash_f64s(&r.restore_values(v)),
+        None => hash_f64s(v),
+    }
+}
+
+fn summarize_resumed(run: &algos::recover::ResumedRun, relab: Option<&Relabeling>) -> RunSummary {
     use algos::recover::ResumedRun;
     match run {
         ResumedRun::Bfs(r) => RunSummary {
             outcome: r.outcome,
             iterations: r.iterations,
             elapsed: r.elapsed,
-            result_hash: hash_u32s(&r.labels),
+            result_hash: hash_restored_u32(relab, &r.labels),
             reached: Some(count_reached(&r.labels)),
             num_components: None,
         },
@@ -170,7 +202,7 @@ fn summarize_resumed(run: &algos::recover::ResumedRun) -> RunSummary {
             outcome: r.outcome,
             iterations: r.iterations,
             elapsed: r.elapsed,
-            result_hash: hash_u32s(&r.dist),
+            result_hash: hash_restored_u32(relab, &r.dist),
             reached: Some(count_reached(&r.dist)),
             num_components: None,
         },
@@ -178,7 +210,7 @@ fn summarize_resumed(run: &algos::recover::ResumedRun) -> RunSummary {
             outcome: r.outcome,
             iterations: r.iterations,
             elapsed: r.elapsed,
-            result_hash: hash_f64s(&r.bc_values),
+            result_hash: hash_restored_f64(relab, &r.bc_values),
             reached: None,
             num_components: None,
         },
@@ -186,7 +218,7 @@ fn summarize_resumed(run: &algos::recover::ResumedRun) -> RunSummary {
             outcome: r.outcome,
             iterations: r.iterations,
             elapsed: r.elapsed,
-            result_hash: hash_u32s(&r.labels),
+            result_hash: hash_restored_ids(relab, &r.labels),
             reached: None,
             num_components: Some(r.num_components as u64),
         },
@@ -194,7 +226,7 @@ fn summarize_resumed(run: &algos::recover::ResumedRun) -> RunSummary {
             outcome: r.outcome,
             iterations: r.iterations,
             elapsed: r.elapsed,
-            result_hash: hash_f64s(&r.scores),
+            result_hash: hash_restored_f64(relab, &r.scores),
             reached: None,
             num_components: None,
         },
@@ -354,42 +386,45 @@ pub fn run_job(
             );
         }
         match algos::recover::resume(&ctx, &ckpt) {
-            Ok(run) => (summarize_resumed(&run), true),
+            Ok(run) => (summarize_resumed(&run, env.relab), true),
             Err(e) => {
                 return failed_verdict(req, ErrorCode::ResumeFailed, &e.to_string(), false)
             }
         }
     } else {
+        // requests name original vertex ids; a reordered server
+        // translates the source in and maps results back at the hash
+        let src = env.relab.map_or(req.src, |r| r.new_of_old(req.src));
         let summary = match req.primitive.as_str() {
             "bfs" => {
-                let r = algos::bfs(&ctx, req.src, algos::BfsOptions::default());
+                let r = algos::bfs(&ctx, src, algos::BfsOptions::default());
                 RunSummary {
                     outcome: r.outcome,
                     iterations: r.iterations,
                     elapsed: r.elapsed,
-                    result_hash: hash_u32s(&r.labels),
+                    result_hash: hash_restored_u32(env.relab, &r.labels),
                     reached: Some(count_reached(&r.labels)),
                     num_components: None,
                 }
             }
             "sssp" => {
-                let r = algos::sssp(&ctx, req.src, algos::SsspOptions::default());
+                let r = algos::sssp(&ctx, src, algos::SsspOptions::default());
                 RunSummary {
                     outcome: r.outcome,
                     iterations: r.iterations,
                     elapsed: r.elapsed,
-                    result_hash: hash_u32s(&r.dist),
+                    result_hash: hash_restored_u32(env.relab, &r.dist),
                     reached: Some(count_reached(&r.dist)),
                     num_components: None,
                 }
             }
             "bc" => {
-                let r = algos::bc(&ctx, req.src, algos::BcOptions::default());
+                let r = algos::bc(&ctx, src, algos::BcOptions::default());
                 RunSummary {
                     outcome: r.outcome,
                     iterations: r.iterations,
                     elapsed: r.elapsed,
-                    result_hash: hash_f64s(&r.bc_values),
+                    result_hash: hash_restored_f64(env.relab, &r.bc_values),
                     reached: None,
                     num_components: None,
                 }
@@ -400,7 +435,7 @@ pub fn run_job(
                     outcome: r.outcome,
                     iterations: r.iterations,
                     elapsed: r.elapsed,
-                    result_hash: hash_u32s(&r.labels),
+                    result_hash: hash_restored_ids(env.relab, &r.labels),
                     reached: None,
                     num_components: Some(r.num_components as u64),
                 }
@@ -415,7 +450,7 @@ pub fn run_job(
                     outcome: r.outcome,
                     iterations: r.iterations,
                     elapsed: r.elapsed,
-                    result_hash: hash_f64s(&r.scores),
+                    result_hash: hash_restored_f64(env.relab, &r.scores),
                     reached: None,
                     num_components: None,
                 }
@@ -473,6 +508,7 @@ mod tests {
     ) -> JobEnv<'a> {
         JobEnv {
             graph: g,
+            relab: None,
             drain,
             pool,
             injector: None,
@@ -508,6 +544,53 @@ mod tests {
             "same request: identical result hash"
         );
         assert!(v1.response.contains("\"reached\":4"));
+    }
+
+    #[test]
+    fn reordered_server_reports_identical_result_hashes() {
+        // a hub-heavy little graph so degree_descending is a real shuffle
+        let g = GraphBuilder::new().random_weights(1, 9, 7).build(Coo::from_edges(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (1, 6)],
+        ));
+        let r = gunrock_graph::reorder::degree_descending(&g);
+        let gr = r.apply(&g);
+        assert_ne!(g.col_indices(), gr.col_indices(), "relabeling must actually move ids");
+        let drain = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(BufferPool::new());
+        let plain = env_fixture(&g, &drain, &pool);
+        let mut reordered = env_fixture(&gr, &drain, &pool);
+        reordered.relab = Some(&r);
+        let field = |resp: &str, key: &str| {
+            let v = gunrock_engine::json::JsonValue::parse(resp).unwrap();
+            let f = v.get(key);
+            f.and_then(|f| f.as_str().map(str::to_string))
+                .or_else(|| f.and_then(|f| f.as_u64()).map(|n| n.to_string()))
+                .unwrap_or_default()
+        };
+        // integer results (depths, distances) are order-independent;
+        // pagerank sums floats in a different order under relabeling, so
+        // its hashes legitimately differ
+        for prim in ["bfs", "sssp"] {
+            let a = run_job(&plain, &req(prim), None, 0);
+            let b = run_job(&reordered, &req(prim), None, 1);
+            assert_eq!(a.status, JobStatus::Ok, "{prim}");
+            assert_eq!(b.status, JobStatus::Ok, "{prim}");
+            assert_eq!(
+                field(&a.response, "result_hash"),
+                field(&b.response, "result_hash"),
+                "{prim}: restored results must be bit-identical to the plain server's"
+            );
+            assert_eq!(field(&a.response, "reached"), field(&b.response, "reached"), "{prim}");
+        }
+        // cc representatives depend on id order, but the partition size
+        // must agree
+        let a = run_job(&plain, &req("cc"), None, 0);
+        let b = run_job(&reordered, &req("cc"), None, 1);
+        assert_eq!(
+            field(&a.response, "num_components"),
+            field(&b.response, "num_components")
+        );
     }
 
     #[test]

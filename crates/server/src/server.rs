@@ -32,6 +32,7 @@ use gunrock_engine::breaker::{Admission, CircuitBreaker};
 use gunrock_engine::faults::{FaultInjector, FaultPlan};
 use gunrock_engine::pool::BufferPool;
 use gunrock_engine::queue::{BoundedQueue, PushError};
+use gunrock_graph::reorder::Relabeling;
 use gunrock_graph::Csr;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -63,6 +64,10 @@ pub struct ServerConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Serial fast-path cutoff for request contexts (None: engine default).
     pub serial_threshold: Option<usize>,
+    /// Set when the served graph was relabeled (`--reorder`): requests
+    /// still name original vertex ids, and per-vertex results are mapped
+    /// back before hashing, so clients never observe internal ids.
+    pub relabeling: Option<Arc<Relabeling>>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +81,7 @@ impl Default for ServerConfig {
             checkpoint_dir: PathBuf::from("."),
             fault_plan: None,
             serial_threshold: None,
+            relabeling: None,
         }
     }
 }
@@ -267,6 +273,7 @@ fn worker_loop(state: &ServerState) {
     while let Some(job) = state.queue.pop() {
         let env = JobEnv {
             graph: &state.graph,
+            relab: state.cfg.relabeling.as_deref(),
             drain: &state.drain_cancel,
             pool: &state.pool,
             injector: state.injector.as_ref(),

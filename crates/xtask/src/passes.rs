@@ -121,10 +121,13 @@ impl Default for Config {
             ],
             // the operators the zero-allocation advance work (§4.2/§4.4)
             // pooled: new allocations there must argue why they are not
-            // on the steady-state path
+            // on the steady-state path. bitmap.rs is the word-frontier
+            // storage: steady state must draw words from the pool, so
+            // any direct allocation there needs the same argument
             alloc_scope: vec![
                 "crates/core/src/advance".into(),
                 "crates/core/src/filter".into(),
+                "crates/engine/src/bitmap.rs".into(),
             ],
         }
     }

@@ -5,13 +5,14 @@ Compares the Gunrock MTEPS of every (primitive, dataset) pair in the new
 snapshot against the baseline, prints a markdown delta table, and exits
 non-zero if any pair regressed by more than the threshold (default 10%).
 
-    python3 scripts/bench_compare.py                       # pr3 -> pr5
+    python3 scripts/bench_compare.py                       # pr5 -> pr7
     python3 scripts/bench_compare.py --base A.json --new B.json \
         --threshold 0.10 --markdown-out delta.md
 
-The default pairing (BENCH_pr3.json -> BENCH_pr5.json) gates the
-zero-allocation advance work: the pooled scan-offset paths must not cost
-throughput anywhere, and the CI job fails the build if they do.
+The default pairing (BENCH_pr5.json -> BENCH_pr7.json) gates the
+bitmap-frontier work: the masked word-sweep pull/culling paths must not
+cost throughput anywhere (and should win big on the pull-heavy bulk
+pairs), and the CI job fails the build if any pair regresses.
 """
 
 import argparse
@@ -38,10 +39,10 @@ def by_pair(data: dict) -> dict:
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--base", default=str(ROOT / "BENCH_pr3.json"),
-                    help="baseline snapshot (default: BENCH_pr3.json)")
-    ap.add_argument("--new", dest="new", default=str(ROOT / "BENCH_pr5.json"),
-                    help="candidate snapshot (default: BENCH_pr5.json)")
+    ap.add_argument("--base", default=str(ROOT / "BENCH_pr5.json"),
+                    help="baseline snapshot (default: BENCH_pr5.json)")
+    ap.add_argument("--new", dest="new", default=str(ROOT / "BENCH_pr7.json"),
+                    help="candidate snapshot (default: BENCH_pr7.json)")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="max tolerated MTEPS regression fraction (default 0.10)")
     ap.add_argument("--markdown-out", default=None,

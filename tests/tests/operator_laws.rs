@@ -82,7 +82,7 @@ proptest! {
                 .into_iter()
                 .collect();
         // pull: candidates = all vertices; kept iff some in-neighbor in frontier
-        let bm = frontier_bitmap(g.num_vertices(), &input);
+        let bm = frontier_bitmap(&ctx, &input);
         let candidates: Vec<u32> = (0..g.num_vertices() as u32).collect();
         let pull: std::collections::BTreeSet<u32> =
             advance_pull(&ctx, &candidates, &bm, &AcceptAll)
@@ -90,6 +90,37 @@ proptest! {
                 .into_iter()
                 .collect();
         prop_assert_eq!(push, pull);
+    }
+
+    /// The masked word sweep agrees with the list-based pull (and hence
+    /// with push reachability), and clears exactly the discovered bits
+    /// from the candidate set.
+    #[test]
+    fn sweep_pull_equals_list_pull((g, frontier) in arb_graph_and_frontier()) {
+        let n = g.num_vertices();
+        let ctx = Context::new(&g).with_reverse(&g);
+        let input = Frontier::from_vec(frontier);
+        // list pull over the all-vertices candidate set
+        let bm = frontier_bitmap(&ctx, &input);
+        let candidates: Vec<u32> = (0..n as u32).collect();
+        let list: std::collections::BTreeSet<u32> =
+            advance_pull(&ctx, &candidates, &bm, &AcceptAll).into_vec().into_iter().collect();
+        // word sweep over the same candidate set
+        let mut cand = PooledBitmap::take(ctx.pool(), n);
+        cand.fill_complement(&AtomicBitmap::new(n)); // complement of empty: all ones
+        let mut out = PooledBitmap::take(ctx.pool(), n);
+        advance_pull_sweep(&ctx, &mut cand, &bm, &mut out, &AcceptAll);
+        let sweep: std::collections::BTreeSet<u32> =
+            out.iter_ones().map(|i| i as u32).collect();
+        // discovered bits left the candidate set; the rest survived
+        prop_assert_eq!(cand.count_ones() as usize, n - sweep.len());
+        for &v in &sweep {
+            prop_assert!(!cand.get(v as usize), "discovered {v} still a candidate");
+        }
+        bm.release(ctx.pool());
+        cand.release(ctx.pool());
+        out.release(ctx.pool());
+        prop_assert_eq!(list, sweep);
     }
 
     /// The culling filter with bitmask is a one-shot set semantics: over
