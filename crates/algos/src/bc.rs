@@ -281,6 +281,9 @@ pub fn bc_resume(
 /// state (fresh from [`bc`] or restored by [`bc_resume`]).
 fn bc_run(ctx: &Context<'_>, src: VertexId, opts: BcOptions, st: BcLoop) -> BcResult {
     let start = std::time::Instant::now();
+    // Budget admission: demote the advance mode (or poison with a
+    // structured BudgetExceeded) before the first operator launches.
+    let opts = BcOptions { mode: crate::admission::admit(ctx, "bc", opts.mode) };
     let BcLoop {
         depth,
         sigma,

@@ -455,6 +455,9 @@ pub fn bfs_resume(
 fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> BfsResult {
     let n = ctx.num_vertices();
     let start = std::time::Instant::now();
+    // Budget admission: demote the advance mode (or poison with a
+    // structured BudgetExceeded) before the first operator launches.
+    let opts = BfsOptions { mode: crate::admission::admit(ctx, "bfs", opts.mode), ..opts };
     let BfsLoop {
         labels,
         preds,
@@ -465,6 +468,22 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
         mut direction,
         mut unvisited_edges,
     } = st;
+    // Admission may have poisoned the context (even the lean estimate
+    // exceeds the budget). Bail before the variant setup below checks
+    // any buffers out of the pool — those takes sit outside the
+    // isolation boundary and must never fire on a poisoned run.
+    if ctx.is_poisoned() {
+        ctx.recycle(frontier);
+        return BfsResult {
+            labels: unwrap_atomic_u32(&labels),
+            preds: preds.map(|p| unwrap_atomic_u32(&p)).unwrap_or_default(),
+            edges_examined: ctx.counters.edges(),
+            iterations: enactor_iters,
+            pull_iterations: pull_iters,
+            elapsed: start.elapsed(),
+            outcome: RunOutcome::Failed,
+        };
+    }
     let guard = ctx.guard();
     let mut outcome = RunOutcome::Converged;
 
@@ -529,58 +548,71 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
             }
         }
         BfsVariant::Idempotent => {
-            let visited = rebuild_visited(ctx, &labels);
-            while !frontier.is_empty() {
-                boundary!();
-                level += 1;
-                let f = IdempotentExpand {
-                    st: BfsState { labels: &labels, preds: preds.as_deref() },
-                };
-                let spec = AdvanceSpec::v2v().with_mode(opts.mode);
-                let raw = advance::advance(ctx, &frontier, spec, &f);
-                let next = filter::culling::filter_with_culling(
-                    ctx,
-                    &raw,
-                    &visited,
-                    &ContractLabel { labels: &labels, level },
-                    opts.culling,
-                );
-                // both the raw intermediate and the retired frontier go
-                // back to the pool for the next iteration
-                ctx.recycle(raw);
-                ctx.recycle(std::mem::replace(&mut frontier, next));
-                enactor_iters += 1;
-                ctx.end_iteration(false);
+            // the visited rebuild checks a bitmap out of the pool between
+            // operators; run it isolated so a denied checkout (injected
+            // `pool-alloc` or a budget race) fails the run instead of
+            // unwinding out of the enactor
+            if let Some(visited) = ctx.isolated_setup("setup", || rebuild_visited(ctx, &labels))
+            {
+                while !frontier.is_empty() {
+                    boundary!();
+                    level += 1;
+                    let f = IdempotentExpand {
+                        st: BfsState { labels: &labels, preds: preds.as_deref() },
+                    };
+                    let spec = AdvanceSpec::v2v().with_mode(opts.mode);
+                    let raw = advance::advance(ctx, &frontier, spec, &f);
+                    let next = filter::culling::filter_with_culling(
+                        ctx,
+                        &raw,
+                        &visited,
+                        &ContractLabel { labels: &labels, level },
+                        opts.culling,
+                    );
+                    // both the raw intermediate and the retired frontier go
+                    // back to the pool for the next iteration
+                    ctx.recycle(raw);
+                    ctx.recycle(std::mem::replace(&mut frontier, next));
+                    enactor_iters += 1;
+                    ctx.end_iteration(false);
+                }
+                visited.release(ctx.pool());
             }
-            visited.release(ctx.pool());
         }
         BfsVariant::Fused => {
-            let visited = rebuild_visited(ctx, &labels);
-            while !frontier.is_empty() {
-                boundary!();
-                level += 1;
-                // fused: cond tests unvisited, apply labels + sets pred —
-                // all inside the single advance kernel; the bitmap
-                // test-and-set guarantees the apply runs once per vertex
-                let f = PullDiscover {
-                    st: BfsState { labels: &labels, preds: preds.as_deref() },
-                    level,
-                };
-                let next = advance::fused::advance_filter_fused(
-                    ctx,
-                    &frontier,
-                    AdvanceSpec::v2v(),
-                    &f,
-                    &visited,
-                );
-                ctx.recycle(std::mem::replace(&mut frontier, next));
-                enactor_iters += 1;
-                ctx.end_iteration(false);
+            if let Some(visited) = ctx.isolated_setup("setup", || rebuild_visited(ctx, &labels))
+            {
+                while !frontier.is_empty() {
+                    boundary!();
+                    level += 1;
+                    // fused: cond tests unvisited, apply labels + sets pred —
+                    // all inside the single advance kernel; the bitmap
+                    // test-and-set guarantees the apply runs once per vertex
+                    let f = PullDiscover {
+                        st: BfsState { labels: &labels, preds: preds.as_deref() },
+                        level,
+                    };
+                    let next = advance::fused::advance_filter_fused(
+                        ctx,
+                        &frontier,
+                        AdvanceSpec::v2v(),
+                        &f,
+                        &visited,
+                    );
+                    ctx.recycle(std::mem::replace(&mut frontier, next));
+                    enactor_iters += 1;
+                    ctx.end_iteration(false);
+                }
+                visited.release(ctx.pool());
             }
-            visited.release(ctx.pool());
         }
-        BfsVariant::DirectionOptimized => {
-            let visited = rebuild_visited(ctx, &labels);
+        BfsVariant::DirectionOptimized => 'arm: {
+            let Some(visited) = ctx.isolated_setup("setup", || rebuild_visited(ctx, &labels))
+            else {
+                // denied checkout during setup: the context is poisoned,
+                // skip the loop and let the tail report the run `Failed`
+                break 'arm;
+            };
             let mut pull: Option<PullFrontiers> = None;
             while !frontier.is_empty() {
                 boundary!();
@@ -590,6 +622,27 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                 let prev_direction = direction;
                 direction =
                     opts.policy.decide(direction, m_f, unvisited_edges, frontier.len(), n);
+                // Degradation rung: entering a pull phase costs three
+                // dense O(n/64)-word bitmaps (candidates + ping-pong
+                // pair). Under budget pressure, stay push — the list
+                // frontiers already in hand cost nothing new. An
+                // in-flight pull phase keeps its paid-for bitmaps.
+                if direction == TraversalDirection::Pull && pull.is_none() {
+                    let need =
+                        3 * gunrock_engine::budget::pooled_bytes(n.div_ceil(64) as u64, 8);
+                    if !ctx.pool().can_reserve(need) {
+                        let headroom = ctx.budget().map(|b| b.headroom()).unwrap_or(0);
+                        ctx.record_degrade(
+                            "advance",
+                            "pull",
+                            "push",
+                            format!(
+                                "pull bitmaps need {need} bytes, budget headroom {headroom}"
+                            ),
+                        );
+                        direction = TraversalDirection::Push;
+                    }
+                }
                 if direction != prev_direction {
                     if let Some(sink) = ctx.sink() {
                         // only built when instrumented: the reason string
@@ -654,16 +707,32 @@ fn bfs_run(ctx: &Context<'_>, src: VertexId, opts: BfsOptions, st: BfsLoop) -> B
                         // the list frontier densify, and the candidate
                         // mask is the visited complement — no O(n)
                         // re-prune ever runs inside the phase
-                        let fr = pull.get_or_insert_with(|| {
-                            let mut unvisited = PooledBitmap::take(ctx.pool(), n);
-                            unvisited.fill_complement(&visited);
-                            PullFrontiers {
-                                unvisited,
-                                cur: frontier_bitmap(ctx, &frontier),
-                                scratch: PooledBitmap::take(ctx.pool(), n),
+                        if pull.is_none() {
+                            // the phase's bitmaps are pool checkouts
+                            // between operators — build them isolated so
+                            // a denied take ends the run instead of
+                            // unwinding out of the enactor
+                            match ctx.isolated_setup("setup", || {
+                                let mut unvisited = PooledBitmap::take(ctx.pool(), n);
+                                unvisited.fill_complement(&visited);
+                                PullFrontiers {
+                                    unvisited,
+                                    cur: frontier_bitmap(ctx, &frontier),
+                                    scratch: PooledBitmap::take(ctx.pool(), n),
+                                }
+                            }) {
+                                Some(built) => pull = Some(built),
+                                None => break,
                             }
-                        });
-                        advance_pull_sweep(ctx, &mut fr.unvisited, &fr.cur, &mut fr.scratch, &f);
+                        }
+                        let Some(fr) = pull.as_mut() else { break };
+                        advance_pull_sweep(
+                            ctx,
+                            &mut fr.unvisited,
+                            &fr.cur,
+                            &mut fr.scratch,
+                            &f,
+                        );
                         // ping-pong: the sweep's output becomes the next
                         // iteration's in-frontier
                         std::mem::swap(&mut fr.cur, &mut fr.scratch);
@@ -934,6 +1003,56 @@ mod tests {
             after_cold,
             "warm direction-optimized run must be satisfied entirely from the pool"
         );
+    }
+
+    #[test]
+    fn budget_pressure_degrades_pull_to_push_and_still_converges() {
+        use gunrock_engine::budget::{estimate_bytes, pooled_bytes, MemoryBudget};
+        use std::sync::Arc;
+        // A short path in a sea of isolated vertices: frontiers stay
+        // tiny (push iterations cost a few KB) while the pull bitmaps
+        // scale with n (3 x 32 KB here) — the exact shape where the
+        // pull->push rung saves a run that would otherwise hit the wall.
+        let n: usize = 1 << 18;
+        let edges: Vec<(u32, u32)> = (0..100).map(|i| (i, i + 1)).collect();
+        let g = GraphBuilder::new().build(gunrock_graph::Coo::from_edges(n, &edges));
+        let full = estimate_bytes("bfs", n as u64, g.num_edges() as u64);
+        let budget = Arc::new(MemoryBudget::new(full));
+        let ctx =
+            Context::new(&g).with_reverse(&g).with_stats().with_budget(Arc::clone(&budget));
+        let pull_need = 3 * pooled_bytes((n as u64).div_ceil(64), 8);
+        // Squeeze the budget (as concurrent jobs on a shared pool
+        // would) until the remaining headroom cannot cover the pull
+        // bitmaps but still fits the small push buffers.
+        let leave = pull_need + 4 * 1024;
+        let mut held = Vec::new();
+        while budget.headroom() > leave {
+            let excess = budget.headroom() - leave;
+            let mut elems = (excess / 4).next_power_of_two();
+            if elems * 4 > excess {
+                elems /= 2;
+            }
+            if elems < 64 {
+                break;
+            }
+            held.push(ctx.pool().take_u32(elems as usize));
+        }
+        // A policy that would pull from the first level if it could.
+        let opts = BfsOptions::direction_optimized()
+            .with_policy(DirectionPolicy { alpha: 1e18, beta: 1e18 });
+        let r = bfs(&ctx, 0, opts);
+        assert_eq!(r.outcome, RunOutcome::Converged, "degraded run still finishes");
+        assert_eq!(r.labels, serial::bfs(&g, 0));
+        assert_eq!(r.pull_iterations, 0, "every pull attempt was degraded to push");
+        let stats = ctx.run_stats();
+        assert!(
+            stats.degrades.iter().any(|d| d.from == "pull" && d.to == "push"),
+            "expected pull->push degrade events, got {:?}",
+            stats.degrades
+        );
+        for buf in held {
+            ctx.pool().put_u32(buf);
+        }
     }
 
     #[test]

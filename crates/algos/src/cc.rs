@@ -185,6 +185,10 @@ fn cc_run(ctx: &Context<'_>, st: CcLoop) -> CcResult {
     let g = ctx.graph;
     let n = g.num_vertices();
     let start = std::time::Instant::now();
+    // Budget admission: CC has no advance-mode knob, but a hopeless
+    // budget still poisons up front (structured BudgetExceeded) instead
+    // of aborting mid-run.
+    let _ = crate::admission::admit(ctx, "cc", AdvanceMode::Auto);
     let CcLoop { labels, mut edge_frontier, mut vertex_frontier, mut iterations, mut phase } =
         st;
     // edge endpoint arrays for the edge frontier (edge id -> endpoints)

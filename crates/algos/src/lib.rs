@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 pub mod bc;
 pub mod bfs;
 pub mod bipartite;

@@ -178,6 +178,9 @@ fn pagerank_run(ctx: &Context<'_>, opts: PrOptions, st: PrLoop) -> PrResult {
     let g = ctx.graph;
     let n = g.num_vertices();
     let start = std::time::Instant::now();
+    // Budget admission: demote the advance mode (or poison with a
+    // structured BudgetExceeded) before the first operator launches.
+    let opts = PrOptions { mode: crate::admission::admit(ctx, "pagerank", opts.mode), ..opts };
     let PrLoop { mut scores, mut residual, mut frontier, mut iterations } = st;
     // reused accumulator (zeroed as it is drained each iteration)
     let acc: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();

@@ -251,6 +251,9 @@ pub fn sssp_resume(
 /// state (fresh from [`sssp`] or restored by [`sssp_resume`]).
 fn sssp_run(ctx: &Context<'_>, src: VertexId, opts: SsspOptions, st: SsspLoop) -> SsspResult {
     let start = std::time::Instant::now();
+    // Budget admission: demote the advance mode (or poison with a
+    // structured BudgetExceeded) before the first operator launches.
+    let opts = SsspOptions { mode: crate::admission::admit(ctx, "sssp", opts.mode), ..opts };
     let SsspLoop { dist, preds, tags, mut frontier, mut queue, mut iterations, mut queue_id } =
         st;
 

@@ -20,7 +20,9 @@
 //! graphs are isomorphic, so rows stay comparable with unreordered runs).
 
 use gunrock_bench::datasets::DATASET_NAMES;
-use gunrock_bench::{arg_flag, arg_value, load_dataset, run_system, Algorithm, BenchArgs, System};
+use gunrock_bench::{
+    arg_flag, arg_value, load_dataset, run_system, Algorithm, BenchArgs, System,
+};
 use gunrock_engine::json::JsonBuilder;
 
 fn main() {

@@ -30,8 +30,15 @@
 //!                      path (0 disables; default: 4096)
 //!   --retries N        retry recoverable advance failures N times before
 //!                      falling back to thread_mapped (default: 0)
+//!   --memory-budget B  cap outstanding pooled bytes at B (suffixes k/m/g;
+//!                      0: unlimited). Over-budget runs degrade along the
+//!                      documented ladder or fail with a structured
+//!                      BudgetExceeded — never an allocator abort.
+//!   --watchdog-ms N    hung-run watchdog: a run silent for N ms is
+//!                      cancelled, and killed N/2 ms later (0: disabled)
 //!   --inject-faults SPEC  seeded fault injection; SPEC is a comma list of
-//!                      panic=RATE, alloc=RATE, io=RATE
+//!                      panic=RATE, alloc=RATE, pool-alloc=RATE, io=RATE,
+//!                      stall=RATE
 //!   --fault-seed N     seed for the fault schedule (default: 42)
 //!   --checkpoint-every N  snapshot state every N iterations (0: only on
 //!                      a guard trip) into --checkpoint-dir
@@ -81,7 +88,9 @@ options:
   --stats-json PATH  write the per-operator trace (see DESIGN.md) as JSON
   --serial-threshold N  small-frontier serial fast-path cutoff (0 disables)
   --retries N        retry recoverable advance failures N times (default: 0)
-  --inject-faults SPEC  seeded faults: panic=RATE,alloc=RATE,io=RATE
+  --memory-budget B  cap outstanding pooled bytes (k/m/g suffixes; 0: unlimited)
+  --watchdog-ms N    cancel a silent run after N ms, kill at 1.5N (0: off)
+  --inject-faults SPEC  seeded faults: panic=RATE,alloc=RATE,pool-alloc=RATE,io=RATE,stall=RATE
   --fault-seed N     seed for the fault schedule (default: 42)
   --checkpoint-every N  snapshot every N iterations (0: only on guard trip)
   --checkpoint-dir D directory for checkpoint files (default: .)
@@ -244,8 +253,41 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
     if !PRIMITIVES.contains(&args.primitive.as_str()) {
         return Err(format!("unknown primitive {:?}\n\n{USAGE}", args.primitive));
     }
-    let policy = args.policy()?;
+    let mut policy = args.policy()?;
     let retry = args.retry_policy()?;
+    // Resource governance: an optional budget on outstanding pooled
+    // bytes and an optional hung-run watchdog. The watchdog shares the
+    // guard's cancel flag — a stalled run is cancelled cooperatively
+    // first, and only killed (via the heartbeat's kill flag, which the
+    // guard also polls) if it stays silent through the grace period.
+    let budget = match args.flags.get("memory-budget") {
+        None => None,
+        Some(v) => {
+            let bytes = gunrock_engine::budget::parse_bytes(v)
+                .map_err(|e| format!("--memory-budget: {e}"))?;
+            (bytes > 0).then(|| Arc::new(gunrock_engine::budget::MemoryBudget::new(bytes)))
+        }
+    };
+    let watchdog_ms = args.get_usize("watchdog-ms", 0)? as u64;
+    let watchdog = (watchdog_ms > 0).then(|| {
+        gunrock_engine::watchdog::Watchdog::new(gunrock_engine::watchdog::WatchdogConfig::new(
+            std::time::Duration::from_millis(watchdog_ms),
+        ))
+    });
+    let heartbeat =
+        watchdog.as_ref().map(|_| Arc::new(gunrock_engine::watchdog::Heartbeat::new()));
+    let _watch = match (&watchdog, &heartbeat) {
+        (Some(dog), Some(hb)) => {
+            let cancel = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            policy = policy.cancel_flag(Arc::clone(&cancel));
+            Some(dog.watch(
+                Arc::clone(hb),
+                cancel,
+                Box::new(|| eprintln!("gunrock: watchdog killed a hung run")),
+            ))
+        }
+        _ => None,
+    };
     let ckpt_policy = args.checkpoint_policy()?;
     let injector = args.fault_plan()?.map(|plan| Arc::new(FaultInjector::new(plan)));
     // io faults are injected at the loader, before a Context exists, so
@@ -341,6 +383,12 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         if let Some(inj) = &injector {
             ctx = ctx.with_faults(Arc::clone(inj));
         }
+        if let Some(b) = &budget {
+            ctx = ctx.with_budget(Arc::clone(b));
+        }
+        if let Some(hb) = &heartbeat {
+            ctx = ctx.with_heartbeat(Arc::clone(hb));
+        }
         ctx
     };
     // dump the trace (faulted runs included), then surface a poisoned
@@ -412,7 +460,11 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             outcome = r.outcome;
             dump(&ctx, r.elapsed, r.outcome)?;
             if verify(r.outcome) {
-                verify_eq(&restored(&relab, &r.dist), &serial::dijkstra(og, src), "sssp distances")?;
+                verify_eq(
+                    &restored(&relab, &r.dist),
+                    &serial::dijkstra(og, src),
+                    "sssp distances",
+                )?;
             }
         }
         "bc" => {
@@ -780,6 +832,32 @@ mod tests {
     }
 
     #[test]
+    fn memory_budget_flag_fails_structured_and_rejects_garbage() {
+        // a tiny budget: every core primitive must fail with the
+        // structured BudgetExceeded error, never an allocator abort
+        for prim in ["bfs", "sssp", "bc", "cc", "pagerank"] {
+            let a = parse_args(args(&[prim, "--scale", "7", "--memory-budget", "1k"])).unwrap();
+            let err = execute(&a).unwrap_err();
+            assert!(err.contains("memory budget"), "{prim}: {err}");
+        }
+        // a generous budget leaves the run unaffected
+        let a =
+            parse_args(args(&["bfs", "--scale", "7", "--memory-budget", "64m", "--verify"]))
+                .unwrap();
+        assert_eq!(execute(&a).unwrap(), RunOutcome::Converged);
+        let bad =
+            parse_args(args(&["bfs", "--scale", "7", "--memory-budget", "lots"])).unwrap();
+        assert!(execute(&bad).unwrap_err().contains("--memory-budget"));
+    }
+
+    #[test]
+    fn watchdog_flag_leaves_healthy_runs_alone() {
+        let a = parse_args(args(&["bfs", "--scale", "7", "--watchdog-ms", "5000", "--verify"]))
+            .unwrap();
+        assert_eq!(execute(&a).unwrap(), RunOutcome::Converged);
+    }
+
+    #[test]
     fn generators_produce_graphs() {
         for kind in ["kron", "soc", "roadnet", "bitcoin", "random", "smallworld"] {
             let a = parse_args(args(&["stats", "--gen", kind, "--scale", "7"])).unwrap();
@@ -817,7 +895,15 @@ mod tests {
         // run on the ORIGINAL graph, so any translation slip fails loudly
         for prim in ["bfs", "sssp", "bc", "cc", "pagerank", "mst", "kcore", "triangles"] {
             let a = parse_args(args(&[
-                prim, "--gen", "soc", "--scale", "8", "--src", "5", "--reorder", "--verify",
+                prim,
+                "--gen",
+                "soc",
+                "--scale",
+                "8",
+                "--src",
+                "5",
+                "--reorder",
+                "--verify",
             ]))
             .unwrap();
             let outcome = execute(&a).unwrap_or_else(|e| panic!("{prim}: {e}"));
@@ -834,8 +920,20 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let d = dir.to_str().unwrap().to_string();
         let partial = args(&[
-            "bfs", "--gen", "soc", "--scale", "8", "--src", "5", "--reorder", "--max-iters",
-            "2", "--checkpoint-every", "1", "--checkpoint-dir", &d,
+            "bfs",
+            "--gen",
+            "soc",
+            "--scale",
+            "8",
+            "--src",
+            "5",
+            "--reorder",
+            "--max-iters",
+            "2",
+            "--checkpoint-every",
+            "1",
+            "--checkpoint-dir",
+            &d,
         ]);
         assert_eq!(run(partial), 2);
         let ckpt = dir.join("bfs.ckpt");

@@ -27,11 +27,16 @@ pub mod push;
 use crate::context::Context;
 use crate::functor::AdvanceFunctor;
 use crate::isolate::isolated;
-use gunrock_engine::faults::FaultKind;
+use gunrock_engine::budget::advance_workspace_bytes;
+use gunrock_engine::faults::{FaultInjector, FaultKind};
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::stats::{OperatorKind, RecoveryKind, StepDirection};
 use gunrock_graph::VertexId;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Emergency release for an injected stall running without a watchdog:
+/// keeps a misconfigured chaos test from hanging a suite forever.
+const STALL_HARD_CAP: Duration = Duration::from_secs(60);
 
 /// Workload-mapping strategy for push advance.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -156,6 +161,7 @@ pub fn advance<F: AdvanceFunctor>(
     let result = isolated(ctx, "advance", || {
         if let Some(inj) = ctx.injector() {
             inj.maybe_panic("advance");
+            stall_if_injected(ctx, inj);
         }
         dispatch(ctx, input, spec, functor)
     });
@@ -230,6 +236,28 @@ fn dispatch<F: AdvanceFunctor>(
     }
 }
 
+/// The `advance:stall` chaos site: a fault here simulates the failure
+/// mode the watchdog exists for — an operator that stops making
+/// progress AND is deaf to cooperative cancellation (so the cancel flag
+/// the watchdog raises in its first escalation is deliberately
+/// ignored). The stall releases only when the watchdog escalates to a
+/// kill, or at a hard cap that keeps watchdog-less runs from hanging a
+/// test suite forever. Either way it ends in a panic so the run poisons
+/// and reports instead of returning fabricated output.
+fn stall_if_injected(ctx: &Context<'_>, inj: &FaultInjector) {
+    if !inj.should_fail(FaultKind::Stall, "advance:stall") {
+        return;
+    }
+    let start = Instant::now();
+    while !ctx.watchdog_killed() && start.elapsed() < STALL_HARD_CAP {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // LINT-ALLOW(panic): the injected stall must not return a fabricated
+    // result; panicking here routes through panic isolation so the run
+    // ends as a structured failure.
+    panic!("injected stall released after {:?}", start.elapsed());
+}
+
 /// Load-balanced advance behind the retry-with-fallback guard.
 ///
 /// The only *recoverable* failure is the (simulated) workspace
@@ -282,6 +310,28 @@ fn run_load_balanced<F: AdvanceFunctor>(
             }
         }
     }
+    // Degradation rung (budgeted pools only): the load-balanced
+    // strategy's scan/partition workspace is its price; when the
+    // budget's headroom can't cover it, take the leaner thread-mapped
+    // path instead of running into a mid-operator denial. Checked —
+    // like the alloc-fault guard above — before the functor has touched
+    // any edge, so no side effects are duplicated.
+    if let Some(budget) = ctx.budget() {
+        let neighbors = push::frontier_neighbor_count(ctx, input, spec.input);
+        let need = advance_workspace_bytes(input.len() as u64, neighbors, "load_balanced");
+        if !budget.can_fit(need) {
+            ctx.record_degrade(
+                "advance",
+                "load_balanced",
+                "thread_mapped",
+                format!(
+                    "lb workspace needs {need} bytes, budget headroom {}",
+                    budget.headroom()
+                ),
+            );
+            return (push::thread_mapped(ctx, input, spec, functor), "degraded:thread_mapped");
+        }
+    }
     (push::load_balanced(ctx, input, spec, functor), label)
 }
 
@@ -290,6 +340,7 @@ mod tests {
     use super::*;
     use crate::functor::AcceptAll;
     use gunrock_graph::{Coo, GraphBuilder};
+    use std::sync::Arc;
 
     fn star_plus_path() -> gunrock_graph::Csr {
         // vertex 0 is a hub to 1..=5; 5 -> 6 -> 7 path
@@ -350,6 +401,63 @@ mod tests {
         let out = advance(&ctx, &Frontier::single(0), AdvanceSpec::for_effect(), &AcceptAll);
         assert!(out.is_empty());
         assert_eq!(ctx.counters.edges(), 5);
+    }
+
+    #[test]
+    fn tight_budget_degrades_lb_to_thread_mapped() {
+        let g = star_plus_path();
+        let input = Frontier::from_vec(vec![0, 5]);
+        // {0, 5} expands 6 neighbors; a budget one byte short of the lb
+        // workspace forces the rung without starving thread_mapped.
+        let need = advance_workspace_bytes(2, 6, "load_balanced");
+        let budget = Arc::new(gunrock_engine::budget::MemoryBudget::new(need - 1));
+        let ctx = Context::new(&g).with_stats().with_budget(budget);
+        let spec = AdvanceSpec::v2v().with_mode(AdvanceMode::LoadBalanced);
+        let out = advance(&ctx, &input, spec, &AcceptAll);
+        let mut v = out.into_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 2, 3, 4, 5, 6], "degraded advance is still correct");
+        assert!(!ctx.is_poisoned(), "degrading is not a failure");
+        assert_eq!(ctx.degrade_count(), 1);
+        let stats = ctx.run_stats();
+        assert_eq!(stats.degrades.len(), 1);
+        assert_eq!(stats.degrades[0].from, "load_balanced");
+        assert_eq!(stats.degrades[0].to, "thread_mapped");
+        assert_eq!(stats.steps[0].strategy, "degraded:thread_mapped");
+    }
+
+    #[test]
+    fn injected_stall_ignores_cancel_and_releases_on_watchdog_kill() {
+        use gunrock_engine::faults::{FaultInjector, FaultPlan};
+        use gunrock_engine::watchdog::Heartbeat;
+        let g = star_plus_path();
+        let plan = FaultPlan::none(11).with_rate(FaultKind::Stall, 1.0);
+        let hb = Arc::new(Heartbeat::default());
+        let ctx = Context::new(&g)
+            .with_heartbeat(Arc::clone(&hb))
+            .with_faults(Arc::new(FaultInjector::new(plan)));
+        let killer = {
+            let hb = Arc::clone(&hb);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                hb.kill();
+            })
+        };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let start = Instant::now();
+        let out = advance(&ctx, &Frontier::single(0), AdvanceSpec::v2v(), &AcceptAll);
+        std::panic::set_hook(prev);
+        killer.join().unwrap();
+        assert!(out.is_empty());
+        assert!(ctx.is_poisoned(), "a reaped stall poisons the run");
+        assert!(start.elapsed() < Duration::from_secs(10), "kill released the stall");
+        match ctx.take_failure() {
+            Some(crate::error::GunrockError::OperatorPanic { payload, .. }) => {
+                assert!(payload.contains("stall"), "{payload}");
+            }
+            other => panic!("expected a stall panic, got {other:?}"),
+        }
     }
 
     #[test]

@@ -164,7 +164,12 @@ pub fn advance_pull_sweep<F: AdvanceFunctor>(
     // Kernel-launch boundary for the racecheck phase ledger.
     gunrock_engine::racecheck::begin_phase();
     let timer = ctx.sink().map(|_| {
-        (Instant::now(), ctx.counters.edges(), in_frontier.count_ones(), candidates.count_ones())
+        (
+            Instant::now(),
+            ctx.counters.edges(),
+            in_frontier.count_ones(),
+            candidates.count_ones(),
+        )
     });
     let result = isolated(ctx, "advance", || {
         if let Some(inj) = ctx.injector() {
@@ -208,7 +213,8 @@ pub fn advance_pull_sweep<F: AdvanceFunctor>(
                             edges += 1;
                             let u = cols[e];
                             // CAST: u widens u32 -> usize; e < num_edges < EdgeId::MAX by Csr::validate.
-                            if in_frontier.get(u as usize) && functor.cond_edge(u, v, e as EdgeId)
+                            if in_frontier.get(u as usize)
+                                && functor.cond_edge(u, v, e as EdgeId)
                             {
                                 functor.apply_edge(u, v, e as EdgeId);
                                 let mask = 1u64 << b;
@@ -290,7 +296,8 @@ mod tests {
         let mut candidates = PooledBitmap::take(ctx.pool(), 100);
         candidates.fill_from_frontier(&Frontier::from_vec((1..100).collect()));
         let mut out = PooledBitmap::take(ctx.pool(), 100);
-        let discovered = advance_pull_sweep(&ctx, &mut candidates, &in_frontier, &mut out, &AcceptAll);
+        let discovered =
+            advance_pull_sweep(&ctx, &mut candidates, &in_frontier, &mut out, &AcceptAll);
         assert_eq!(discovered, 99);
         assert_eq!(out.count_ones(), 99);
         assert!(!out.get(0));
@@ -367,7 +374,8 @@ mod tests {
         let mut candidates = PooledBitmap::take(ctx.pool(), n as usize);
         candidates.fill_from_frontier(&all_candidates);
         let mut out = PooledBitmap::take(ctx.pool(), n as usize);
-        let full = advance_pull_sweep(&ctx, &mut candidates, &in_frontier, &mut out, &AcceptAll);
+        let full =
+            advance_pull_sweep(&ctx, &mut candidates, &in_frontier, &mut out, &AcceptAll);
         assert_eq!(full, (n - 1) as u64);
         // reset state, raise the flag: chunks bail at their entry poll
         candidates.clear_all();

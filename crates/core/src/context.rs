@@ -4,14 +4,16 @@
 
 use crate::error::GunrockError;
 use crate::policy::{CheckpointPolicy, RetryPolicy, RunGuard, RunPolicy};
+use gunrock_engine::budget::MemoryBudget;
 use gunrock_engine::checkpoint::Checkpoint;
 use gunrock_engine::config::EngineConfig;
 use gunrock_engine::faults::{FaultInjector, FaultKind};
 use gunrock_engine::frontier::Frontier;
 use gunrock_engine::pool::BufferPool;
 use gunrock_engine::stats::{RecoveryKind, RunOutcome, RunStats, StatsSink, WorkCounters};
+use gunrock_engine::watchdog::Heartbeat;
 use gunrock_graph::Csr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -48,6 +50,15 @@ pub struct Context<'g> {
     checkpoints: Option<CheckpointPolicy>,
     /// Optional deterministic fault injector (chaos testing).
     injector: Option<Arc<FaultInjector>>,
+    /// Optional watchdog heartbeat: ticked at every operator entry and
+    /// iteration boundary so an external reaper can tell a slow job from
+    /// a wedged one.
+    heartbeat: Option<Arc<Heartbeat>>,
+    /// Degradation-ladder rungs taken this run. Counted even without a
+    /// stats sink so a serving layer can cheaply bump its `degraded`
+    /// metric; the full per-event trace additionally lands in the sink
+    /// when one is installed.
+    degrades: AtomicU64,
     /// Set when an operator failed; once poisoned, every guard check
     /// returns [`RunOutcome::Failed`] so the enact loop stops at the
     /// next operator boundary and the partial state is never read as a
@@ -78,6 +89,8 @@ impl<'g> Context<'g> {
             pool: Arc::new(BufferPool::new()),
             checkpoints: None,
             injector: None,
+            heartbeat: None,
+            degrades: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             failure: Mutex::new(None),
             deadline: Mutex::new(None),
@@ -124,9 +137,37 @@ impl<'g> Context<'g> {
     }
 
     /// Installs a deterministic fault injector: operators will consult
-    /// it for injected panics and simulated allocation failures.
+    /// it for injected panics and simulated allocation failures. The
+    /// context's *private* pool also picks it up for the `pool:alloc`
+    /// site; a pool installed later via [`Self::with_shared_pool`]
+    /// carries (or omits) its own injector.
     pub fn with_faults(mut self, injector: Arc<FaultInjector>) -> Self {
+        if let Some(pool) = Arc::get_mut(&mut self.pool) {
+            pool.install_injector(Arc::clone(&injector));
+        }
         self.injector = Some(injector);
+        self
+    }
+
+    /// Caps outstanding pool bytes at `budget`'s limit. Installs onto
+    /// the context's *private* pool: a denied checkout surfaces as a
+    /// structured [`GunrockError::BudgetExceeded`] instead of an
+    /// allocator abort, and enact loops probe the budget's headroom to
+    /// degrade to leaner strategies before hitting the wall. A pool
+    /// installed later via [`Self::with_shared_pool`] carries its own
+    /// budget (built with `BufferPool::with_budget`).
+    pub fn with_budget(mut self, budget: Arc<MemoryBudget>) -> Self {
+        if let Some(pool) = Arc::get_mut(&mut self.pool) {
+            pool.install_budget(budget);
+        }
+        self
+    }
+
+    /// Attaches a watchdog heartbeat: the context ticks it at every
+    /// operator entry and iteration boundary, and honors its kill flag
+    /// as an abort request.
+    pub fn with_heartbeat(mut self, heartbeat: Arc<Heartbeat>) -> Self {
+        self.heartbeat = Some(heartbeat);
         self
     }
 
@@ -152,6 +193,60 @@ impl<'g> Context<'g> {
         &self.pool
     }
 
+    /// The memory budget charged by this context's pool, if any.
+    #[inline]
+    pub fn budget(&self) -> Option<&Arc<MemoryBudget>> {
+        self.pool.budget()
+    }
+
+    /// The watchdog heartbeat, if one is attached.
+    #[inline]
+    pub fn heartbeat(&self) -> Option<&Arc<Heartbeat>> {
+        self.heartbeat.as_ref()
+    }
+
+    /// Ticks the watchdog heartbeat (no-op without one). Called at
+    /// operator entry and iteration boundaries; operators with long
+    /// internal chunk loops may also tick between batches.
+    #[inline]
+    pub fn tick_heartbeat(&self) {
+        if let Some(hb) = &self.heartbeat {
+            hb.tick();
+        }
+    }
+
+    /// True once the watchdog has escalated this job from stalled to
+    /// killed. Folded into [`Self::abort_requested`].
+    #[inline]
+    pub fn watchdog_killed(&self) -> bool {
+        self.heartbeat.as_ref().is_some_and(|hb| hb.is_killed())
+    }
+
+    /// Records one degradation-ladder rung: bumps the always-on degrade
+    /// counter and, when instrumented, appends the full
+    /// [`gunrock_engine::stats::DegradeEvent`] to the trace.
+    pub fn record_degrade(
+        &self,
+        operator: &'static str,
+        from: &'static str,
+        to: &'static str,
+        reason: String,
+    ) {
+        // ORDERING: Relaxed — monotonic telemetry counter.
+        self.degrades.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = &self.sink {
+            sink.record_degrade(operator, from, to, reason);
+        }
+    }
+
+    /// Degradation-ladder rungs taken so far this run (counted with or
+    /// without a stats sink).
+    #[inline]
+    pub fn degrade_count(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic telemetry counter.
+        self.degrades.load(Ordering::Relaxed)
+    }
+
     /// Returns a retired frontier's storage to the pool so the next
     /// advance reuses it (ping-pong double buffering in enact loops):
     /// `ctx.recycle(std::mem::replace(&mut frontier, next))`.
@@ -167,6 +262,7 @@ impl<'g> Context<'g> {
     #[inline]
     pub fn end_iteration(&self, pull: bool) {
         self.counters.add_iteration(pull);
+        self.tick_heartbeat();
         if let Some(sink) = &self.sink {
             sink.next_iteration();
         }
@@ -223,7 +319,7 @@ impl<'g> Context<'g> {
     /// operator launch.
     #[inline]
     pub fn abort_requested(&self) -> bool {
-        self.cancel_requested() || self.deadline_exceeded()
+        self.cancel_requested() || self.deadline_exceeded() || self.watchdog_killed()
     }
 
     /// True when an operator may *truncate* its output in response to
@@ -309,6 +405,21 @@ impl<'g> Context<'g> {
         // ORDERING: Release — publishes the failure slot written above to any
         // thread that Acquire-loads the flag (is_poisoned / guard checks).
         self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Runs an enact-loop *setup* step — pooled checkouts that happen
+    /// between operators, like rebuilding a visited bitmap or
+    /// densifying a pull frontier — under the same panic isolation as
+    /// operator entry points. A pool denial (a real budget denial or an
+    /// injected `pool-alloc` fault) poisons the context and returns
+    /// `None`; the caller skips the dependent work and the run ends
+    /// `Failed` instead of the panic escaping the enactor.
+    pub fn isolated_setup<T>(
+        &self,
+        operator: &'static str,
+        body: impl FnOnce() -> T,
+    ) -> Option<T> {
+        crate::isolate::isolated(self, operator, body)
     }
 
     /// True once an operator failure has poisoned this context.
@@ -484,6 +595,52 @@ mod tests {
         let again = b.pool().take_u32(64);
         assert_eq!(again.as_ptr() as usize, ptr);
         assert_eq!(pool.stats().allocations, 1, "one allocation served both contexts");
+    }
+
+    #[test]
+    fn budget_installs_on_the_private_pool() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let budget = Arc::new(MemoryBudget::new(64 * 4));
+        let ctx = Context::new(&g).with_budget(Arc::clone(&budget));
+        assert!(ctx.budget().is_some());
+        assert!(ctx.pool().can_reserve(64 * 4));
+        let buf = ctx.pool().take_u32(64);
+        assert!(!ctx.pool().can_reserve(1), "budget saturated by the checkout");
+        assert_eq!(budget.reserved(), 64 * 4);
+        ctx.pool().put_u32(buf);
+        assert_eq!(budget.reserved(), 0, "release refunds the budget");
+    }
+
+    #[test]
+    fn heartbeat_ticks_at_boundaries_and_kill_raises_abort() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let hb = Arc::new(gunrock_engine::watchdog::Heartbeat::default());
+        let ctx = Context::new(&g).with_heartbeat(Arc::clone(&hb));
+        assert_eq!(hb.ticks(), 0);
+        ctx.end_iteration(false);
+        ctx.tick_heartbeat();
+        assert_eq!(hb.ticks(), 2);
+        assert!(!ctx.abort_requested());
+        hb.kill();
+        assert!(ctx.watchdog_killed());
+        assert!(ctx.abort_requested(), "a watchdog kill is an abort request");
+    }
+
+    #[test]
+    fn degrades_are_counted_without_a_sink_and_traced_with_one() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let ctx = Context::new(&g);
+        ctx.record_degrade("advance", "load_balanced", "thread_mapped", "no headroom".into());
+        assert_eq!(ctx.degrade_count(), 1);
+        assert!(ctx.run_stats().degrades.is_empty(), "no sink, no trace");
+
+        let ctx = Context::new(&g).with_stats();
+        ctx.record_degrade("advance", "pull", "push", "bitmaps over budget".into());
+        assert_eq!(ctx.degrade_count(), 1);
+        let stats = ctx.run_stats();
+        assert_eq!(stats.degrades.len(), 1);
+        assert_eq!(stats.degrades[0].from, "pull");
+        assert_eq!(stats.degrades[0].to, "push");
     }
 
     #[test]

@@ -36,6 +36,23 @@ pub enum GunrockError {
         /// Bulk-synchronous iteration of the failure.
         iteration: u32,
     },
+    /// A buffer checkout would have pushed outstanding pool bytes past
+    /// the configured memory budget and no cheaper degradation rung was
+    /// available. Unlike a real OOM this is a *structured* failure: the
+    /// process survives, the run is poisoned, and the caller learns
+    /// exactly how far over the line the request was.
+    BudgetExceeded {
+        /// Operator family (or admission point) that hit the budget.
+        operator: &'static str,
+        /// Bulk-synchronous iteration of the denial.
+        iteration: u32,
+        /// Bytes the denied checkout asked for.
+        requested: u64,
+        /// Bytes already reserved when the request arrived.
+        reserved: u64,
+        /// The configured budget limit in bytes.
+        limit: u64,
+    },
     /// A checkpoint could not be written, read, or decoded.
     Checkpoint(CheckpointError),
     /// A graph input error (loading a dataset for resume, etc.).
@@ -53,6 +70,19 @@ impl fmt::Display for GunrockError {
                 "operator {operator} allocation failed in iteration {iteration} \
                  (retries exhausted)"
             ),
+            GunrockError::BudgetExceeded {
+                operator,
+                iteration,
+                requested,
+                reserved,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "operator {operator} exceeded the memory budget in iteration {iteration}: \
+                     requested {requested} bytes with {reserved} of {limit} reserved"
+                )
+            }
             GunrockError::Checkpoint(e) => write!(f, "{e}"),
             GunrockError::Graph(e) => write!(f, "{e}"),
         }
@@ -109,6 +139,20 @@ mod tests {
         assert!(msg.contains("advance") && msg.contains("3") && msg.contains("boom"), "{msg}");
         let e = GunrockError::AllocFailed { operator: "advance", iteration: 1 };
         assert!(e.to_string().contains("allocation failed"));
+        let e = GunrockError::BudgetExceeded {
+            operator: "advance",
+            iteration: 2,
+            requested: 4096,
+            reserved: 1024,
+            limit: 2048,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("memory budget")
+                && msg.contains("4096")
+                && msg.contains("1024 of 2048"),
+            "{msg}"
+        );
     }
 
     #[test]

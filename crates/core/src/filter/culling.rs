@@ -194,6 +194,7 @@ pub fn filter_with_culling<F: FilterFunctor, B: BitSet>(
 /// (and words `visited` already saturates, which `fetch_or` reports as
 /// `newly == 0`) are skipped without per-bit work. Polls for
 /// cancel/deadline aborts like [`cull_chunk`].
+#[allow(clippy::too_many_arguments)]
 fn cull_words<F: FilterFunctor, B: BitSet>(
     ctx: &Context<'_>,
     input: &PooledBitmap,
@@ -511,8 +512,7 @@ mod tests {
             &VertexCond(|_| true),
             CullingConfig::default(),
         );
-        let expect: Vec<u32> =
-            (0..n as u32).filter(|v| v % 3 == 0 && v % 9 != 0).collect();
+        let expect: Vec<u32> = (0..n as u32).filter(|v| v % 3 == 0 && v % 9 != 0).collect();
         assert_eq!(out.as_slice(), expect.as_slice());
         // every input bit is merged into visited
         assert_eq!(visited.count_ones(), n.div_ceil(3));

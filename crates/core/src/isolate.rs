@@ -9,6 +9,7 @@
 
 use crate::context::Context;
 use crate::error::{panic_payload_string, GunrockError};
+use gunrock_engine::budget::BudgetDenied;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Runs one operator step under `catch_unwind`.
@@ -27,14 +28,33 @@ pub(crate) fn isolated<T>(
     if ctx.is_poisoned() {
         return None;
     }
+    // Operator entry doubles as a watchdog heartbeat: a job making any
+    // bulk-synchronous progress keeps ticking even between iterations.
+    ctx.tick_heartbeat();
     match catch_unwind(AssertUnwindSafe(body)) {
         Ok(out) => Some(out),
         Err(payload) => {
-            ctx.poison(GunrockError::OperatorPanic {
-                operator,
-                iteration: current_iteration(ctx),
-                payload: panic_payload_string(payload.as_ref()),
-            });
+            // A pool checkout denied by the memory budget unwinds as a
+            // typed `BudgetDenied` payload (`panic_any` in `take_*`);
+            // surfacing it here as a structured `BudgetExceeded` spares
+            // all 80-odd take/put call sites from Result plumbing while
+            // the caller still sees *budget*, not "some panic".
+            let iteration = current_iteration(ctx);
+            let err = match payload.downcast_ref::<BudgetDenied>() {
+                Some(denied) => GunrockError::BudgetExceeded {
+                    operator,
+                    iteration,
+                    requested: denied.requested,
+                    reserved: denied.reserved,
+                    limit: denied.limit,
+                },
+                None => GunrockError::OperatorPanic {
+                    operator,
+                    iteration,
+                    payload: panic_payload_string(payload.as_ref()),
+                },
+            };
+            ctx.poison(err);
             None
         }
     }
@@ -87,6 +107,25 @@ mod tests {
         let out = isolated(&ctx, "compute", || ran.set(true));
         assert_eq!(out, None);
         assert!(!ran.get(), "poisoned context must not run further operators");
+    }
+
+    #[test]
+    fn budget_denials_surface_as_budget_exceeded_not_operator_panic() {
+        let g = GraphBuilder::new().build(Coo::from_edges(2, &[(0, 1)]));
+        let ctx = Context::new(&g);
+        let denied = BudgetDenied { requested: 4096, reserved: 512, limit: 1024 };
+        let out: Option<()> =
+            quiet(|| isolated(&ctx, "advance", || std::panic::panic_any(denied)));
+        assert_eq!(out, None);
+        match ctx.take_failure() {
+            Some(GunrockError::BudgetExceeded {
+                operator, requested, reserved, limit, ..
+            }) => {
+                assert_eq!(operator, "advance");
+                assert_eq!((requested, reserved, limit), (4096, 512, 1024));
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -82,7 +82,13 @@ fn pull_sweep_is_thread_count_invariant() {
                 candidates.set(v as usize);
             }
             let mut out = PooledBitmap::take(ctx.pool(), n);
-            advance::pull::advance_pull_sweep(&ctx, &mut candidates, &in_frontier, &mut out, &AcceptAll);
+            advance::pull::advance_pull_sweep(
+                &ctx,
+                &mut candidates,
+                &in_frontier,
+                &mut out,
+                &AcceptAll,
+            );
             let discovered: Vec<u32> = out.iter_ones().map(|i| i as u32).collect();
             let remaining: Vec<u32> = candidates.iter_ones().map(|i| i as u32).collect();
             let edges = ctx.counters.edges();

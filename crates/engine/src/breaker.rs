@@ -244,6 +244,47 @@ mod tests {
     }
 
     #[test]
+    fn half_open_race_admits_exactly_one_probe() {
+        // Two workers hitting admit() the instant the cool-down lapses
+        // must resolve to exactly one probe: the mutex serializes the
+        // Open->HalfOpen transition, and the loser sees HalfOpen. Run
+        // many rounds to give a regression a real chance to interleave.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::{Arc, Barrier};
+        for round in 0..50 {
+            let b = Arc::new(CircuitBreaker::new(1, Duration::from_millis(1)));
+            b.record_failure("bfs");
+            std::thread::sleep(Duration::from_millis(3));
+            let allowed = Arc::new(AtomicU32::new(0));
+            let gate = Arc::new(Barrier::new(2));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    let allowed = Arc::clone(&allowed);
+                    let gate = Arc::clone(&gate);
+                    std::thread::spawn(move || {
+                        gate.wait();
+                        if b.admit("bfs") == Admission::Allow {
+                            // ORDERING: Relaxed — independent counter, read
+                            // only after join.
+                            allowed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(
+                allowed.load(Ordering::Relaxed),
+                1,
+                "round {round}: exactly one half-open probe may run"
+            );
+            assert_eq!(b.state("bfs"), BreakerState::HalfOpen);
+        }
+    }
+
+    #[test]
     fn snapshot_is_sorted_and_reports_streaks() {
         let b = CircuitBreaker::new(3, Duration::from_secs(60));
         b.record_failure("sssp");

@@ -34,6 +34,23 @@ pub const FRONTIER_SEQ_CUTOFF: usize = 2048;
 /// fork/join overhead dwarfs the few hundred edges of actual work.
 pub const SERIAL_THRESHOLD: usize = 4096;
 
+/// Watchdog escalation: a job silent for the configured interval is
+/// cancelled; one silent for a further `interval / this` is killed.
+/// With the default divisor the total reap latency stays under twice
+/// the interval, the bound the resilience tests assert.
+pub const WATCHDOG_GRACE_DIVISOR: u32 = 2;
+
+/// Watchdog reaper poll cadence: `interval / this` (floored at 1ms).
+/// Polling well inside the interval keeps detection latency a small
+/// additive term on top of the interval-plus-grace schedule.
+pub const WATCHDOG_POLL_DIVISOR: u32 = 8;
+
+/// Default base for load-proportional `retry_after_ms` hints on
+/// transient rejections (queue full, budget pressure). The hint scales
+/// with load and carries deterministic jitter; see
+/// [`crate::queue::retry_after_hint`].
+pub const RETRY_AFTER_BASE_MS: u64 = 100;
+
 /// Runtime configuration for the engine.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineConfig {

@@ -30,8 +30,18 @@ pub enum FaultKind {
     /// A simulated allocation / scratch-buffer failure, reported *before*
     /// the operator has any side effects (the retryable class).
     Alloc,
+    /// An injected denial at the `pool:alloc` buffer-pool checkout site.
+    /// Unlike [`FaultKind::Alloc`], this class is *not* absorbed by the
+    /// advance retry-with-fallback guard: a fired checkout surfaces as a
+    /// structured `BudgetDenied`, exactly like a real budget denial.
+    PoolAlloc,
     /// A truncated or corrupted read in the graph loaders.
     Io,
+    /// An operator that stops making progress (and stops heartbeating)
+    /// without panicking — the hung-job class the watchdog reaps. A
+    /// stalled site ignores the cooperative cancel flag by design; only
+    /// a watchdog kill (or a hard cap) releases it.
+    Stall,
 }
 
 impl FaultKind {
@@ -40,7 +50,9 @@ impl FaultKind {
         match self {
             FaultKind::Panic => "panic",
             FaultKind::Alloc => "alloc",
+            FaultKind::PoolAlloc => "pool-alloc",
             FaultKind::Io => "io",
+            FaultKind::Stall => "stall",
         }
     }
 }
@@ -56,18 +68,43 @@ pub struct FaultPlan {
     pub panic_rate: f64,
     /// Probability a simulated allocation failure fires.
     pub alloc_rate: f64,
+    /// Probability a buffer-pool checkout is denied (structured failure).
+    pub pool_alloc_rate: f64,
     /// Probability a loader read is truncated/corrupted.
     pub io_rate: f64,
+    /// Probability an operator entry stalls (stops heartbeating) until
+    /// the watchdog kills it.
+    pub stall_rate: f64,
 }
 
 impl FaultPlan {
     /// A plan that never fires (all rates zero).
     pub fn none(seed: u64) -> Self {
-        FaultPlan { seed, panic_rate: 0.0, alloc_rate: 0.0, io_rate: 0.0 }
+        FaultPlan {
+            seed,
+            panic_rate: 0.0,
+            alloc_rate: 0.0,
+            pool_alloc_rate: 0.0,
+            io_rate: 0.0,
+            stall_rate: 0.0,
+        }
     }
 
-    /// Parses a `panic=R,alloc=R,io=R` spec (any subset, comma-separated,
-    /// rates in `[0, 1]`), as accepted by the CLI's `--inject-faults`.
+    /// Sets one class's rate (builder form for tests and tools).
+    pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> Self {
+        match kind {
+            FaultKind::Panic => self.panic_rate = rate,
+            FaultKind::Alloc => self.alloc_rate = rate,
+            FaultKind::PoolAlloc => self.pool_alloc_rate = rate,
+            FaultKind::Io => self.io_rate = rate,
+            FaultKind::Stall => self.stall_rate = rate,
+        }
+        self
+    }
+
+    /// Parses a `panic=R,alloc=R,pool-alloc=R,io=R,stall=R` spec (any subset,
+    /// comma-separated, rates in `[0, 1]`), as accepted by the CLI's
+    /// `--inject-faults`.
     pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
         let mut plan = FaultPlan::none(seed);
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -84,7 +121,9 @@ impl FaultPlan {
             match key.trim() {
                 "panic" => plan.panic_rate = rate,
                 "alloc" => plan.alloc_rate = rate,
+                "pool-alloc" => plan.pool_alloc_rate = rate,
                 "io" => plan.io_rate = rate,
+                "stall" => plan.stall_rate = rate,
                 other => return Err(format!("unknown fault kind {other:?}")),
             }
         }
@@ -96,13 +135,19 @@ impl FaultPlan {
         match kind {
             FaultKind::Panic => self.panic_rate,
             FaultKind::Alloc => self.alloc_rate,
+            FaultKind::PoolAlloc => self.pool_alloc_rate,
             FaultKind::Io => self.io_rate,
+            FaultKind::Stall => self.stall_rate,
         }
     }
 
     /// True when at least one class can fire.
     pub fn is_active(&self) -> bool {
-        self.panic_rate > 0.0 || self.alloc_rate > 0.0 || self.io_rate > 0.0
+        self.panic_rate > 0.0
+            || self.alloc_rate > 0.0
+            || self.pool_alloc_rate > 0.0
+            || self.io_rate > 0.0
+            || self.stall_rate > 0.0
     }
 }
 
@@ -212,6 +257,10 @@ mod tests {
         assert_eq!(p.io_rate, 1.0);
         assert_eq!(p.seed, 7);
         assert!(p.is_active());
+        let p = FaultPlan::parse("pool-alloc=0.5", 7).expect("valid spec");
+        assert_eq!(p.pool_alloc_rate, 0.5);
+        assert_eq!(p.rate(FaultKind::PoolAlloc), 0.5);
+        assert!(p.is_active());
         assert!(FaultPlan::parse("panic", 0).is_err());
         assert!(FaultPlan::parse("panic=2.0", 0).is_err());
         assert!(FaultPlan::parse("frobnicate=0.1", 0).is_err());
@@ -225,7 +274,9 @@ mod tests {
                 seed,
                 panic_rate: 0.3,
                 alloc_rate: 0.3,
+                pool_alloc_rate: 0.0,
                 io_rate: 0.0,
+                stall_rate: 0.0,
             });
             (0..64)
                 .map(|i| {
@@ -253,9 +304,11 @@ mod tests {
             seed: 1,
             panic_rate: 1.0,
             alloc_rate: 1.0,
+            pool_alloc_rate: 1.0,
             io_rate: 1.0,
+            stall_rate: 1.0,
         });
-        for kind in [FaultKind::Panic, FaultKind::Alloc, FaultKind::Io] {
+        for kind in [FaultKind::Panic, FaultKind::Alloc, FaultKind::PoolAlloc, FaultKind::Io] {
             assert!(inj.should_fail(kind, "site"));
         }
     }
@@ -266,7 +319,9 @@ mod tests {
             seed: 5,
             panic_rate: 0.2,
             alloc_rate: 0.0,
+            pool_alloc_rate: 0.0,
             io_rate: 0.0,
+            stall_rate: 0.0,
         });
         let fired = (0..10_000).filter(|_| inj.should_fail(FaultKind::Panic, "filter")).count();
         assert!((1_500..2_500).contains(&fired), "0.2 rate fired {fired}/10000 times");
@@ -278,7 +333,9 @@ mod tests {
             seed: 2,
             panic_rate: 1.0,
             alloc_rate: 0.0,
+            pool_alloc_rate: 0.0,
             io_rate: 0.0,
+            stall_rate: 0.0,
         });
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             inj.maybe_panic("compute:for_each")

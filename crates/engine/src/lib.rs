@@ -25,6 +25,7 @@
 pub mod atomics;
 pub mod bitmap;
 pub mod breaker;
+pub mod budget;
 pub mod checkpoint;
 pub mod compact;
 pub mod config;
@@ -40,6 +41,7 @@ pub mod search;
 pub mod sort;
 pub mod stats;
 pub mod unsafe_slice;
+pub mod watchdog;
 
 pub use config::EngineConfig;
 pub use frontier::Frontier;

@@ -18,8 +18,11 @@
 //! "kernel" granularity — a handful of lock acquisitions per advance,
 //! never per element — so the mutexes are uncontended in practice.
 
+use crate::budget::{BudgetDenied, MemoryBudget};
+use crate::faults::{FaultInjector, FaultKind};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of power-of-two size classes. Class `c` holds buffers whose
 /// capacity is at least `1 << c`; class 47 covers any allocation a
@@ -97,6 +100,9 @@ pub struct PoolStatsSnapshot {
     pub live: u64,
     /// High-water mark of `live`; monotone non-decreasing.
     pub live_high_water: u64,
+    /// Bytes currently checked out (outstanding) — what the memory
+    /// budget charges for.
+    pub bytes_live: u64,
     /// High-water mark of bytes checked out at once; monotone
     /// non-decreasing.
     pub bytes_high_water: u64,
@@ -115,6 +121,10 @@ pub struct BufferPool {
     live_high_water: AtomicU64,
     bytes_live: AtomicU64,
     bytes_high_water: AtomicU64,
+    /// Cap on outstanding bytes; `None` is the unlimited legacy mode.
+    budget: Option<Arc<MemoryBudget>>,
+    /// Chaos hook for the `pool:alloc` injected-allocation-failure site.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Default for BufferPool {
@@ -136,6 +146,85 @@ impl BufferPool {
             live_high_water: AtomicU64::new(0),
             bytes_live: AtomicU64::new(0),
             bytes_high_water: AtomicU64::new(0),
+            budget: None,
+            injector: None,
+        }
+    }
+
+    /// Caps outstanding (checked-out) bytes at `budget`'s limit: any
+    /// `take_*` that would push past it fails as a structured
+    /// [`BudgetDenied`] instead of allocating.
+    pub fn with_budget(mut self, budget: Arc<MemoryBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Installs the chaos injector consulted at the `pool:alloc` site,
+    /// so seeded fault schedules can fail checkouts deterministically.
+    pub fn with_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// In-place variant of [`Self::with_budget`] for a pool already
+    /// behind an `Arc` with a single owner (the context builders).
+    pub fn install_budget(&mut self, budget: Arc<MemoryBudget>) {
+        self.budget = Some(budget);
+    }
+
+    /// In-place variant of [`Self::with_injector`].
+    pub fn install_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// The budget this pool charges, when one is installed.
+    pub fn budget(&self) -> Option<&Arc<MemoryBudget>> {
+        self.budget.as_ref()
+    }
+
+    /// Whether a checkout of `bytes` would currently fit the budget.
+    /// Always true for an unbudgeted pool. Advisory — the degradation
+    /// ladder uses it to pick a cheaper strategy before committing, but
+    /// `take_*` remains the enforcement point.
+    pub fn can_reserve(&self, bytes: u64) -> bool {
+        self.budget.as_ref().is_none_or(|b| b.can_fit(bytes))
+    }
+
+    /// The denial record for a failed `bytes` reservation (limit 0 when
+    /// the failure is injected on an unbudgeted pool).
+    fn denied(&self, bytes: u64) -> BudgetDenied {
+        match &self.budget {
+            Some(b) => {
+                BudgetDenied { requested: bytes, reserved: b.reserved(), limit: b.limit() }
+            }
+            None => {
+                // ORDERING: Relaxed — monotonic telemetry counter.
+                let reserved = self.bytes_live.load(Ordering::Relaxed);
+                BudgetDenied { requested: bytes, reserved, limit: 0 }
+            }
+        }
+    }
+
+    fn charge(&self, bytes: u64) -> Result<(), BudgetDenied> {
+        match &self.budget {
+            Some(b) => b.try_reserve(bytes),
+            None => Ok(()),
+        }
+    }
+
+    fn uncharge(&self, bytes: u64) {
+        if let Some(b) = &self.budget {
+            b.release(bytes);
+        }
+    }
+
+    /// The `pool:alloc` chaos gate, consulted before any side effect.
+    fn injected_alloc_failure(&self, bytes: u64) -> Result<(), BudgetDenied> {
+        match &self.injector {
+            Some(inj) if inj.should_fail(FaultKind::PoolAlloc, "pool:alloc") => {
+                Err(self.denied(bytes))
+            }
+            _ => Ok(()),
         }
     }
 
@@ -167,8 +256,31 @@ impl BufferPool {
 
     /// Checks out a cleared `u32` buffer with capacity at least
     /// `min_cap`, reusing a pooled one when available.
+    ///
+    /// Under a budget (or an injected `pool:alloc` fault) a denied
+    /// checkout raises a typed [`BudgetDenied`] panic payload; the
+    /// operator isolation layer downcasts it into
+    /// `GunrockError::BudgetExceeded`, so budget pressure surfaces as a
+    /// structured failure, never an allocator abort. Enact loops that
+    /// want to degrade instead of fail probe [`BufferPool::can_reserve`]
+    /// or call [`BufferPool::try_take_u32`].
     pub fn take_u32(&self, min_cap: usize) -> Vec<u32> {
+        match self.try_take_u32(min_cap) {
+            Ok(buf) => buf,
+            // the typed payload is the structured error path, not an
+            // abort: catch_unwind at the operator boundary reclaims it
+            Err(denied) => std::panic::panic_any(denied),
+        }
+    }
+
+    /// Fallible checkout: reports the budget denial instead of raising
+    /// it, for callers doing up-front footprint admission.
+    pub fn try_take_u32(&self, min_cap: usize) -> Result<Vec<u32>, BudgetDenied> {
         let class = class_for(min_cap);
+        let want = (1u64 << class) * std::mem::size_of::<u32>() as u64;
+        // both failure gates fire before any side effect
+        self.injected_alloc_failure(want)?;
+        self.charge(want)?;
         let buf = match self.u32s.pop(class) {
             Some(b) => b,
             None => {
@@ -177,8 +289,18 @@ impl BufferPool {
                 Vec::with_capacity(1 << class)
             }
         };
-        self.note_checkout((buf.capacity() * std::mem::size_of::<u32>()) as u64);
-        buf
+        let actual = (buf.capacity() * std::mem::size_of::<u32>()) as u64;
+        // a donated buffer can exceed its class's base capacity; charge
+        // the excess too (put_* credits actual capacity back)
+        if actual > want {
+            if let Err(denied) = self.charge(actual - want) {
+                self.uncharge(want);
+                self.u32s.push(buf);
+                return Err(denied);
+            }
+        }
+        self.note_checkout(actual);
+        Ok(buf)
     }
 
     /// Returns a `u32` buffer to the pool. The buffer is cleared; its
@@ -188,15 +310,30 @@ impl BufferPool {
         if buf.capacity() == 0 {
             return;
         }
-        self.note_release((buf.capacity() * std::mem::size_of::<u32>()) as u64);
+        let bytes = (buf.capacity() * std::mem::size_of::<u32>()) as u64;
+        self.uncharge(bytes);
+        self.note_release(bytes);
         buf.clear();
         self.u32s.push(buf);
     }
 
     /// Checks out a cleared `u64` buffer with capacity at least
-    /// `min_cap`, reusing a pooled one when available.
+    /// `min_cap`, reusing a pooled one when available. Budget semantics
+    /// match [`BufferPool::take_u32`].
     pub fn take_u64(&self, min_cap: usize) -> Vec<u64> {
+        match self.try_take_u64(min_cap) {
+            Ok(buf) => buf,
+            // structured failure path — see take_u32
+            Err(denied) => std::panic::panic_any(denied),
+        }
+    }
+
+    /// Fallible `u64` checkout — see [`BufferPool::try_take_u32`].
+    pub fn try_take_u64(&self, min_cap: usize) -> Result<Vec<u64>, BudgetDenied> {
         let class = class_for(min_cap);
+        let want = (1u64 << class) * std::mem::size_of::<u64>() as u64;
+        self.injected_alloc_failure(want)?;
+        self.charge(want)?;
         let buf = match self.u64s.pop(class) {
             Some(b) => b,
             None => {
@@ -205,8 +342,16 @@ impl BufferPool {
                 Vec::with_capacity(1 << class)
             }
         };
-        self.note_checkout((buf.capacity() * std::mem::size_of::<u64>()) as u64);
-        buf
+        let actual = (buf.capacity() * std::mem::size_of::<u64>()) as u64;
+        if actual > want {
+            if let Err(denied) = self.charge(actual - want) {
+                self.uncharge(want);
+                self.u64s.push(buf);
+                return Err(denied);
+            }
+        }
+        self.note_checkout(actual);
+        Ok(buf)
     }
 
     /// Returns a `u64` buffer to the pool (cleared, size-classed by
@@ -215,7 +360,9 @@ impl BufferPool {
         if buf.capacity() == 0 {
             return;
         }
-        self.note_release((buf.capacity() * std::mem::size_of::<u64>()) as u64);
+        let bytes = (buf.capacity() * std::mem::size_of::<u64>()) as u64;
+        self.uncharge(bytes);
+        self.note_release(bytes);
         buf.clear();
         self.u64s.push(buf);
     }
@@ -230,6 +377,7 @@ impl BufferPool {
             releases: self.releases.load(Ordering::Relaxed),
             live: self.live.load(Ordering::Relaxed),
             live_high_water: self.live_high_water.load(Ordering::Relaxed),
+            bytes_live: self.bytes_live.load(Ordering::Relaxed),
             bytes_high_water: self.bytes_high_water.load(Ordering::Relaxed),
         }
     }
@@ -377,6 +525,65 @@ mod tests {
             pool.put_u64(c);
         }
         assert_eq!(pool.stats().allocations, warm, "steady state must not allocate");
+    }
+
+    #[test]
+    fn snapshot_tracks_outstanding_bytes() {
+        let pool = BufferPool::new();
+        let a = pool.take_u32(64);
+        let b = pool.take_u64(64);
+        let outstanding = (a.capacity() * 4 + b.capacity() * 8) as u64;
+        assert_eq!(pool.stats().bytes_live, outstanding);
+        assert_eq!(pool.stats().bytes_high_water, outstanding);
+        pool.put_u32(a);
+        pool.put_u64(b);
+        assert_eq!(pool.stats().bytes_live, 0);
+        assert_eq!(pool.stats().bytes_high_water, outstanding, "hwm survives release");
+    }
+
+    #[test]
+    fn budget_denies_checkouts_past_the_limit() {
+        use crate::budget::MemoryBudget;
+        let budget = Arc::new(MemoryBudget::new(64 * 4));
+        let pool = BufferPool::new().with_budget(Arc::clone(&budget));
+        let a = pool.try_take_u32(64).expect("first checkout fits");
+        let denied = pool.try_take_u32(64).expect_err("second checkout exceeds the budget");
+        assert_eq!(denied.requested, 64 * 4);
+        assert_eq!(denied.limit, 64 * 4);
+        assert!(!pool.can_reserve(1));
+        // a release frees the reservation and the pool recovers
+        pool.put_u32(a);
+        assert_eq!(budget.reserved(), 0);
+        assert!(pool.can_reserve(64 * 4));
+        let b = pool.try_take_u32(64).expect("checkout fits again after release");
+        pool.put_u32(b);
+        assert!(budget.denials() >= 1);
+        assert_eq!(budget.high_water(), 64 * 4);
+    }
+
+    #[test]
+    fn budget_denial_panics_with_a_typed_payload() {
+        use crate::budget::{BudgetDenied, MemoryBudget};
+        let pool = BufferPool::new().with_budget(Arc::new(MemoryBudget::new(8)));
+        let err = std::panic::catch_unwind(|| pool.take_u32(1024))
+            .expect_err("over-budget take must raise");
+        let denied = err.downcast_ref::<BudgetDenied>().expect("typed payload");
+        assert_eq!(denied.limit, 8);
+        assert!(denied.requested > 8);
+    }
+
+    #[test]
+    fn injected_pool_alloc_fault_fails_checkouts_deterministically() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let plan = FaultPlan::none(7).with_rate(FaultKind::PoolAlloc, 1.0);
+        let pool = BufferPool::new().with_injector(Arc::new(FaultInjector::new(plan)));
+        assert!(pool.try_take_u32(64).is_err(), "rate 1.0 fails every checkout");
+        // the failure happens before any side effect: nothing was
+        // charged, allocated, or counted
+        let s = pool.stats();
+        assert_eq!(s.allocations, 0);
+        assert_eq!(s.checkouts, 0);
+        assert_eq!(s.bytes_live, 0);
     }
 
     #[test]

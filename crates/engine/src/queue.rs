@@ -131,6 +131,46 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// Backpressure hint for a rejected request: how long the client should
+/// wait before retrying, in milliseconds.
+///
+/// Two failure modes of a constant hint, both fixed here:
+///
+/// * **load-blindness** — a queue rejecting at depth 1 (a momentary
+///   blip) and a queue buried under a full backlog handed out the same
+///   number, so clients hammered an overloaded server exactly as hard
+///   as a healthy one. The hint now scales linearly with observed load:
+///   `base/2` when the queue was empty up to `2·base` when rejection
+///   happened at full depth.
+/// * **thundering herd** — every client rejected in the same instant got
+///   the same hint and retried in the same instant, re-creating the
+///   collision. A deterministic per-request jitter in `[0, base/2)`
+///   (derived from `salt`, typically the request id) spreads the herd
+///   without making responses nondeterministic for a given request.
+///
+/// Bounds: for `base > 0` the hint is always in `[base/2, 2·base +
+/// base/2)`, and never 0 — a 0 hint reads as "retry immediately".
+pub fn retry_after_hint(base_ms: u64, depth: usize, capacity: usize, salt: u64) -> u64 {
+    let load = match capacity {
+        0 => 1.0,
+        // CAST: queue depths are small (tens); f64 is exact here.
+        _ => (depth as f64 / capacity as f64).clamp(0.0, 1.0),
+    };
+    // CAST: base_ms is a config knob (tens to thousands); f64 is exact.
+    let scaled = (base_ms as f64) * (0.5 + 1.5 * load);
+    // SplitMix64 finalizer: cheap, deterministic per-salt spread.
+    let mut z = salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let jitter = match base_ms / 2 {
+        0 => 0,
+        half => z % half,
+    };
+    // CAST: scaled <= 2*base_ms, well inside u64.
+    (scaled as u64).saturating_add(jitter).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +217,41 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
         assert_eq!(q.pop(), None); // idempotent after drain
+    }
+
+    #[test]
+    fn retry_hint_is_bounded_and_load_proportional() {
+        let base = 100;
+        for depth in 0..=16usize {
+            for salt in 0..64u64 {
+                let hint = retry_after_hint(base, depth, 16, salt);
+                assert!(
+                    (base / 2..base * 2 + base / 2).contains(&hint),
+                    "depth {depth} salt {salt}: hint {hint} out of bounds"
+                );
+            }
+        }
+        // load-proportional: an empty queue's hint (pre-jitter 50) can
+        // never reach a full queue's floor (pre-jitter 200)
+        let idle_max = (0..64).map(|s| retry_after_hint(base, 0, 16, s)).max().unwrap();
+        let full_min = (0..64).map(|s| retry_after_hint(base, 16, 16, s)).min().unwrap();
+        assert!(idle_max < full_min, "idle {idle_max} must undercut full {full_min}");
+    }
+
+    #[test]
+    fn retry_hint_jitter_spreads_the_herd_deterministically() {
+        let hints: Vec<u64> = (0..32).map(|s| retry_after_hint(200, 8, 16, s)).collect();
+        let again: Vec<u64> = (0..32).map(|s| retry_after_hint(200, 8, 16, s)).collect();
+        assert_eq!(hints, again, "same salt, same hint");
+        let distinct: std::collections::HashSet<u64> = hints.iter().copied().collect();
+        assert!(distinct.len() > 16, "expected spread, got {distinct:?}");
+    }
+
+    #[test]
+    fn retry_hint_never_tells_a_client_to_retry_immediately() {
+        assert!(retry_after_hint(0, 8, 16, 3) >= 1);
+        assert!(retry_after_hint(1, 0, 16, 0) >= 1);
+        assert!(retry_after_hint(100, 8, 0, 9) >= 1, "capacity 0 treated as full load");
     }
 
     #[test]

@@ -306,6 +306,28 @@ pub struct RecoveryEvent {
     pub reason: String,
 }
 
+/// One rung taken on the degradation ladder: under memory-budget
+/// pressure an enact loop trades a faster (memory-hungrier) execution
+/// mode for a leaner one instead of failing — pull→push (dropping the
+/// pull bitmaps), lb_batch→thread_mapped (dropping the balanced edge
+/// partition), or an up-front strategy demotion. Distinct from a
+/// [`RecoveryEvent`]: recoveries react to *faults*, degrades react to
+/// *pressure*, and both ride in the stats/bench JSON so a budgeted run
+/// explains exactly which cheaper path it took.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradeEvent {
+    /// Iteration the degrade happened in.
+    pub iteration: u32,
+    /// Operator family (or loop) that degraded.
+    pub operator: &'static str,
+    /// Execution mode that was too expensive.
+    pub from: &'static str,
+    /// Leaner mode used instead.
+    pub to: &'static str,
+    /// Human-readable trigger, e.g. the bytes-needed vs headroom gap.
+    pub reason: String,
+}
+
 /// Collecting sink for [`StepRecord`]s. Installed on a `Context` via
 /// `with_stats()`; operators check for it with a single `Option`
 /// dereference, so uninstrumented runs pay nothing beyond the existing
@@ -315,6 +337,7 @@ pub struct StatsSink {
     steps: Mutex<Vec<StepRecord>>,
     switches: Mutex<Vec<DirectionSwitch>>,
     recoveries: Mutex<Vec<RecoveryEvent>>,
+    degrades: Mutex<Vec<DegradeEvent>>,
     iteration: AtomicU32,
 }
 
@@ -425,12 +448,31 @@ impl StatsSink {
         });
     }
 
+    /// Records one degradation-ladder rung taken under budget pressure,
+    /// stamped with the current iteration.
+    pub fn record_degrade(
+        &self,
+        operator: &'static str,
+        from: &'static str,
+        to: &'static str,
+        reason: String,
+    ) {
+        self.degrades.lock().push(DegradeEvent {
+            iteration: self.current_iteration(),
+            operator,
+            from,
+            to,
+            reason,
+        });
+    }
+
     /// Copies out everything recorded so far.
     pub fn snapshot(&self) -> RunStats {
         RunStats {
             steps: self.steps.lock().clone(),
             switches: self.switches.lock().clone(),
             recoveries: self.recoveries.lock().clone(),
+            degrades: self.degrades.lock().clone(),
         }
     }
 }
@@ -446,6 +488,9 @@ pub struct RunStats {
     /// Recovery actions taken by the fault-tolerance layer (empty on
     /// fault-free runs).
     pub recoveries: Vec<RecoveryEvent>,
+    /// Degradation-ladder rungs taken under memory-budget pressure
+    /// (empty on unbudgeted or comfortably-fitting runs).
+    pub degrades: Vec<DegradeEvent>,
 }
 
 /// Clamps a serialized duration to a finite, non-negative value.
@@ -513,6 +558,7 @@ impl RunStats {
             steps: self.steps.len() as u64,
             direction_switches: self.switches.len() as u64,
             recovery_events: self.recoveries.len() as u64,
+            degrade_events: self.degrades.len() as u64,
             pool: PoolStatsSnapshot::default(),
         }
     }
@@ -564,6 +610,18 @@ impl RunStats {
             j.end_object();
         }
         j.end_array();
+        j.key("degrades");
+        j.begin_array();
+        for d in &self.degrades {
+            j.begin_object();
+            j.field_u64("iteration", d.iteration as u64);
+            j.field_str("operator", d.operator);
+            j.field_str("from", d.from);
+            j.field_str("to", d.to);
+            j.field_str("reason", &d.reason);
+            j.end_object();
+        }
+        j.end_array();
         j.end_object();
     }
 
@@ -605,6 +663,9 @@ pub struct RunStatsSummary {
     /// Recovery actions (retries, fallbacks, tolerated checkpoint
     /// failures); provably zero on fault-free runs.
     pub recovery_events: u64,
+    /// Degradation-ladder rungs taken under memory-budget pressure;
+    /// zero on unbudgeted runs.
+    pub degrade_events: u64,
     /// Buffer-pool counters of the run's context (zero-allocation
     /// advance telemetry).
     pub pool: PoolStatsSnapshot,
@@ -655,10 +716,12 @@ impl RunStatsSummary {
         j.field_u64("steps", self.steps);
         j.field_u64("direction_switches", self.direction_switches);
         j.field_u64("recovery_events", self.recovery_events);
+        j.field_u64("degrade_events", self.degrade_events);
         j.field_u64("pool_allocations", self.pool.allocations);
         j.field_u64("pool_checkouts", self.pool.checkouts);
         j.field_u64("pool_releases", self.pool.releases);
         j.field_u64("pool_live_high_water", self.pool.live_high_water);
+        j.field_u64("pool_bytes_live", self.pool.bytes_live);
         j.field_u64("pool_bytes_high_water", self.pool.bytes_high_water);
     }
 }
@@ -810,7 +873,10 @@ mod tests {
         let stats = StatsSink::new().snapshot();
         assert_eq!(stats.iterations(), 0);
         assert_eq!(stats.summary(), RunStatsSummary::default());
-        assert_eq!(stats.to_json(), r#"{"steps":[],"switches":[],"recoveries":[]}"#);
+        assert_eq!(
+            stats.to_json(),
+            r#"{"steps":[],"switches":[],"recoveries":[],"degrades":[]}"#
+        );
     }
 
     #[test]
@@ -918,6 +984,7 @@ mod tests {
             releases: 9,
             live: 1,
             live_high_water: 4,
+            bytes_live: 512,
             bytes_high_water: 4096,
         };
         let sum = RunStatsSummary::default().with_pool(pool);

@@ -33,7 +33,10 @@ impl Relabeling {
         let n = new_of_old.len();
         let mut old_of_new = vec![INVALID_VERTEX; n];
         for (old, &new) in new_of_old.iter().enumerate() {
-            assert!((new as usize) < n, "relabeling target {new} out of range for {n} vertices");
+            assert!(
+                (new as usize) < n,
+                "relabeling target {new} out of range for {n} vertices"
+            );
             assert_eq!(
                 old_of_new[new as usize], INVALID_VERTEX,
                 "relabeling maps two vertices to {new}"
@@ -106,8 +109,11 @@ impl Relabeling {
             match &mut vals {
                 None => cols[range].sort_unstable(),
                 Some(v) => {
-                    let mut row: Vec<(VertexId, Weight)> =
-                        cols[range.clone()].iter().copied().zip(v[range.clone()].iter().copied()).collect();
+                    let mut row: Vec<(VertexId, Weight)> = cols[range.clone()]
+                        .iter()
+                        .copied()
+                        .zip(v[range.clone()].iter().copied())
+                        .collect();
                     row.sort_unstable_by_key(|&(c, _)| c);
                     for (i, (c, w)) in row.into_iter().enumerate() {
                         cols[range.start + i] = c;
@@ -190,7 +196,8 @@ mod tests {
         assert_eq!(r.new_of_old(2), 0, "the hub takes id 0");
         // degrees are non-increasing in new id order
         let gr = r.apply(&g);
-        let degs: Vec<u32> = (0..gr.num_vertices() as VertexId).map(|v| gr.out_degree(v)).collect();
+        let degs: Vec<u32> =
+            (0..gr.num_vertices() as VertexId).map(|v| gr.out_degree(v)).collect();
         assert!(degs.windows(2).all(|w| w[0] >= w[1]), "{degs:?}");
         // same totals
         assert_eq!(gr.num_edges(), g.num_edges());
@@ -242,7 +249,8 @@ mod tests {
         let r = degree_descending(&g);
         // a per-vertex value array in new-id order holding each vertex's
         // OLD id: restoring must give the identity
-        let tagged: Vec<u32> = (0..g.num_vertices() as VertexId).map(|v| r.old_of_new(v)).collect();
+        let tagged: Vec<u32> =
+            (0..g.num_vertices() as VertexId).map(|v| r.old_of_new(v)).collect();
         assert_eq!(r.restore_values(&tagged), (0..8).collect::<Vec<u32>>());
         // id-valued arrays translate their contents too
         let preds_new: Vec<VertexId> =
@@ -260,9 +268,10 @@ mod tests {
         let gr = r.apply(&g);
         assert_eq!(gr.row_offsets(), g.row_offsets());
         assert_eq!(gr.col_indices(), g.col_indices());
-        assert_eq!(r.restore_values(&[5u32, 6, 7, 8, 9, 10, 11, 12]), vec![
-            5, 6, 7, 8, 9, 10, 11, 12
-        ]);
+        assert_eq!(
+            r.restore_values(&[5u32, 6, 7, 8, 9, 10, 11, 12]),
+            vec![5, 6, 7, 8, 9, 10, 11, 12]
+        );
     }
 
     #[test]

@@ -39,7 +39,14 @@ options:
   --retry-after-ms N    retry hint on queue-full rejections (default: 100)
   --checkpoint-dir D    root for per-request snapshots (default: .)
   --serial-threshold N  small-frontier serial fast-path cutoff
-  --inject-faults SPEC  server-wide seeded faults: panic=RATE,alloc=RATE,io=RATE
+  --memory-budget B     cap outstanding pooled bytes across all workers
+                        (suffix k/m/g for KiB/MiB/GiB; 0: unlimited, the
+                        default); requests whose estimated footprint
+                        cannot fit are rejected with over-budget
+  --watchdog-ms N       reap jobs silent for N ms (cancel at N, kill at
+                        1.5N; 0: disabled, the default)
+  --inject-faults SPEC  server-wide seeded faults:
+                        panic=RATE,alloc=RATE,pool-alloc=RATE,io=RATE,stall=RATE
   --fault-seed N        seed for the fault schedule (default: 42)
 
 The server answers line-delimited JSON requests (see DESIGN.md §service
@@ -61,7 +68,7 @@ request flags (assembled into one request line):
   --epsilon X           pagerank convergence threshold
   --checkpoint          ask for a resumable snapshot on a guard trip
   --resume PATH         resume a gunrock-ckpt/v1 snapshot
-  --inject SPEC         per-request faults: panic=RATE,alloc=RATE,io=RATE
+  --inject SPEC         per-request faults: panic=RATE,alloc=RATE,pool-alloc=RATE,io=RATE,stall=RATE
   --fault-seed N        per-request fault seed
   --timeout-ms N        client receive timeout (default: 30000)
 
@@ -99,6 +106,9 @@ fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u
         None => Ok(default),
     }
 }
+
+/// Byte-count parsing with `k`/`m`/`g` suffixes, shared with the CLI.
+pub use gunrock_engine::budget::parse_bytes;
 
 /// Builds the served graph from `--graph` or the generator flags.
 fn build_graph(flags: &HashMap<String, String>) -> Result<Csr, String> {
@@ -152,6 +162,15 @@ fn build_config(flags: &HashMap<String, String>) -> Result<ServerConfig, String>
             .transpose()?,
         // filled by run_serve once the graph exists
         relabeling: None,
+        memory_budget: flags
+            .get("memory-budget")
+            .map(|v| parse_bytes(v).map_err(|e| format!("--memory-budget: {e}")))
+            .transpose()?
+            .unwrap_or(0),
+        watchdog_interval: match get_u64(flags, "watchdog-ms", 0)? {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
     })
 }
 
@@ -362,6 +381,10 @@ mod tests {
             "/tmp/x",
             "--serial-threshold",
             "9",
+            "--memory-budget",
+            "64m",
+            "--watchdog-ms",
+            "250",
         ]);
         let cfg = build_config(&f).unwrap();
         assert_eq!(cfg.workers, 2);
@@ -371,6 +394,22 @@ mod tests {
         assert_eq!(cfg.retry_after, Duration::from_millis(50));
         assert_eq!(cfg.checkpoint_dir, PathBuf::from("/tmp/x"));
         assert_eq!(cfg.serial_threshold, Some(9));
+        assert_eq!(cfg.memory_budget, 64 << 20);
+        assert_eq!(cfg.watchdog_interval, Some(Duration::from_millis(250)));
+        // governance defaults: unlimited, no watchdog
+        let plain = build_config(&flags(&[])).unwrap();
+        assert_eq!(plain.memory_budget, 0);
+        assert_eq!(plain.watchdog_interval, None);
+    }
+
+    #[test]
+    fn byte_counts_parse_with_binary_suffixes() {
+        assert_eq!(parse_bytes("4096").unwrap(), 4096);
+        assert_eq!(parse_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("512M").unwrap(), 512 << 20);
+        assert_eq!(parse_bytes("2g").unwrap(), 2 << 30);
+        assert!(parse_bytes("lots").is_err());
+        assert!(parse_bytes("999999999999g").is_err(), "overflow is an error, not a wrap");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use gunrock::prelude::*;
 use gunrock_algos as algos;
 use gunrock_engine::json::JsonBuilder;
 use gunrock_engine::pool::BufferPool;
+use gunrock_engine::watchdog::Heartbeat;
 use gunrock_graph::reorder::Relabeling;
 use gunrock_graph::{Csr, INFINITY};
 use std::path::{Path, PathBuf};
@@ -47,6 +48,8 @@ pub struct JobVerdict {
     pub deadline_missed: bool,
     /// A resumable snapshot was written for this request.
     pub checkpointed: bool,
+    /// Degradation-ladder rungs the job took under memory pressure.
+    pub degrades: u64,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -89,9 +92,15 @@ pub struct JobEnv<'a> {
     /// request sources are translated in, per-vertex results are mapped
     /// back to original ids before hashing.
     pub relab: Option<&'a Relabeling>,
-    /// Server-wide drain flag, threaded into every job's `RunPolicy` as
-    /// the cancel flag so in-flight work stops at the next boundary.
-    pub drain: &'a Arc<AtomicBool>,
+    /// Per-job cooperative cancel flag, threaded into the job's
+    /// `RunPolicy`. Raised by the drain sequence (all in-flight jobs)
+    /// or by the watchdog (this job stalled) — either way the job stops
+    /// at its next operator boundary.
+    pub cancel: &'a Arc<AtomicBool>,
+    /// Watchdog heartbeat for this job, ticked at operator boundaries
+    /// (and inside the `sleep` poll loop). `None` when no watchdog is
+    /// configured.
+    pub heartbeat: Option<&'a Arc<Heartbeat>>,
     /// Shared buffer pool behind every request context.
     pub pool: &'a Arc<BufferPool>,
     /// Server-wide fault injector (per-request `inject` overrides it).
@@ -187,7 +196,10 @@ fn hash_restored_f64(relab: Option<&Relabeling>, v: &[f64]) -> u64 {
     }
 }
 
-fn summarize_resumed(run: &algos::recover::ResumedRun, relab: Option<&Relabeling>) -> RunSummary {
+fn summarize_resumed(
+    run: &algos::recover::ResumedRun,
+    relab: Option<&Relabeling>,
+) -> RunSummary {
     use algos::recover::ResumedRun;
     match run {
         ResumedRun::Bfs(r) => RunSummary {
@@ -234,17 +246,26 @@ fn summarize_resumed(run: &algos::recover::ResumedRun, relab: Option<&Relabeling
 }
 
 /// The `sleep` diagnostic primitive: occupies a worker for
-/// `duration_ms`, polling the drain flag and deadline every few
+/// `duration_ms`, polling the cancel flag and deadline every few
 /// milliseconds, so tests can fill the pool and the queue
-/// deterministically without depending on graph runtimes.
-fn run_sleep(req: &Request, deadline: Option<Instant>, drain: &Arc<AtomicBool>) -> JobVerdict {
+/// deterministically without depending on graph runtimes. Each poll
+/// also ticks the watchdog heartbeat: a long sleep is slow, not hung.
+fn run_sleep(
+    req: &Request,
+    deadline: Option<Instant>,
+    cancel: &Arc<AtomicBool>,
+    heartbeat: Option<&Arc<Heartbeat>>,
+) -> JobVerdict {
     let start = Instant::now();
     let budget = Duration::from_millis(req.duration_ms);
     let mut outcome = RunOutcome::Converged;
     while start.elapsed() < budget {
-        // ORDERING: Acquire — pairs with the drain sequence's Release
-        // store; sleep jobs stop promptly once the server drains.
-        if drain.load(std::sync::atomic::Ordering::Acquire) {
+        if let Some(hb) = heartbeat {
+            hb.tick();
+        }
+        // ORDERING: Acquire — pairs with the drain sequence's (or the
+        // watchdog's) Release store; sleep jobs stop promptly.
+        if cancel.load(std::sync::atomic::Ordering::Acquire) {
             outcome = RunOutcome::Cancelled;
             break;
         }
@@ -268,6 +289,7 @@ fn run_sleep(req: &Request, deadline: Option<Instant>, drain: &Arc<AtomicBool>) 
         breaker_failure: false,
         deadline_missed: outcome == RunOutcome::TimedOut,
         checkpointed: false,
+        degrades: 0,
     }
 }
 
@@ -278,6 +300,7 @@ fn failed_verdict(req: &Request, code: ErrorCode, message: &str, breaker: bool) 
         breaker_failure: breaker,
         deadline_missed: false,
         checkpointed: false,
+        degrades: 0,
     }
 }
 
@@ -305,13 +328,14 @@ pub fn run_job(
             breaker_failure: false,
             deadline_missed: false,
             checkpointed: false,
+            degrades: 0,
         };
     }
     if req.primitive == "sleep" {
-        return run_sleep(req, deadline, env.drain);
+        return run_sleep(req, deadline, env.cancel, env.heartbeat);
     }
 
-    let mut policy = RunPolicy::unbounded().cancel_flag(env.drain.clone());
+    let mut policy = RunPolicy::unbounded().cancel_flag(env.cancel.clone());
     if let Some(cap) = req.max_iters {
         policy = policy.max_iterations(cap);
     }
@@ -334,6 +358,7 @@ pub fn run_job(
                     breaker_failure: false,
                     deadline_missed: false,
                     checkpointed: false,
+                    degrades: 0,
                 }
             }
         },
@@ -356,6 +381,9 @@ pub fn run_job(
     }
     if let Some(inj) = injector {
         ctx = ctx.with_faults(inj);
+    }
+    if let Some(hb) = env.heartbeat {
+        ctx = ctx.with_heartbeat(Arc::clone(hb));
     }
     if let Some(p) = &ckpt_policy {
         ctx = ctx.with_checkpoints(p.clone());
@@ -467,6 +495,7 @@ pub fn run_job(
                     breaker_failure: false,
                     deadline_missed: false,
                     checkpointed: false,
+                    degrades: 0,
                 }
             }
         };
@@ -474,11 +503,24 @@ pub fn run_job(
     };
 
     if summary.outcome == RunOutcome::Failed {
-        let message = ctx
-            .take_failure()
-            .map(|e| e.to_string())
-            .unwrap_or_else(|| "operator failed".to_string());
-        return failed_verdict(req, ErrorCode::OperatorPanic, &message, true);
+        let failure = ctx.take_failure();
+        // A budget denial is a resource condition, not a code bug: it
+        // answers `over-budget` (retryable once pressure clears) and
+        // does not feed the primitive's circuit breaker.
+        let (code, breaker) = match &failure {
+            Some(GunrockError::BudgetExceeded { .. }) => (ErrorCode::OverBudget, false),
+            _ => (ErrorCode::OperatorPanic, true),
+        };
+        let message =
+            failure.map(|e| e.to_string()).unwrap_or_else(|| "operator failed".to_string());
+        return JobVerdict {
+            response: error_response(&req.id, code, &message, None),
+            status: JobStatus::Failed,
+            breaker_failure: breaker,
+            deadline_missed: false,
+            checkpointed: false,
+            degrades: ctx.degrade_count(),
+        };
     }
 
     // A guard-tripped run leaves an exit snapshot behind when the client
@@ -493,6 +535,7 @@ pub fn run_job(
         breaker_failure: false,
         deadline_missed: summary.outcome == RunOutcome::TimedOut,
         checkpointed: checkpoint.is_some(),
+        degrades: ctx.degrade_count(),
     }
 }
 
@@ -503,13 +546,14 @@ mod tests {
 
     fn env_fixture<'a>(
         g: &'a Csr,
-        drain: &'a Arc<AtomicBool>,
+        cancel: &'a Arc<AtomicBool>,
         pool: &'a Arc<BufferPool>,
     ) -> JobEnv<'a> {
         JobEnv {
             graph: g,
             relab: None,
-            drain,
+            cancel,
+            heartbeat: None,
             pool,
             injector: None,
             serial_threshold: None,
@@ -549,10 +593,9 @@ mod tests {
     #[test]
     fn reordered_server_reports_identical_result_hashes() {
         // a hub-heavy little graph so degree_descending is a real shuffle
-        let g = GraphBuilder::new().random_weights(1, 9, 7).build(Coo::from_edges(
-            8,
-            &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (1, 6)],
-        ));
+        let g = GraphBuilder::new()
+            .random_weights(1, 9, 7)
+            .build(Coo::from_edges(8, &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (1, 6)]));
         let r = gunrock_graph::reorder::degree_descending(&g);
         let gr = r.apply(&g);
         assert_ne!(g.col_indices(), gr.col_indices(), "relabeling must actually move ids");
@@ -587,10 +630,7 @@ mod tests {
         // must agree
         let a = run_job(&plain, &req("cc"), None, 0);
         let b = run_job(&reordered, &req("cc"), None, 1);
-        assert_eq!(
-            field(&a.response, "num_components"),
-            field(&b.response, "num_components")
-        );
+        assert_eq!(field(&a.response, "num_components"), field(&b.response, "num_components"));
     }
 
     #[test]
@@ -605,6 +645,21 @@ mod tests {
         assert_eq!(v.status, JobStatus::Failed);
         assert!(v.breaker_failure);
         assert!(v.response.contains("operator-panic"));
+    }
+
+    #[test]
+    fn budget_denial_answers_over_budget_without_tripping_the_breaker() {
+        let g = GraphBuilder::new().build(Coo::from_edges(8, &[(0, 1), (1, 2), (2, 3)]));
+        let cancel = Arc::new(AtomicBool::new(false));
+        // a 4-byte budget cannot fit any pooled checkout or even the
+        // lean estimate, so the run fails with a structured denial
+        let budget = Arc::new(gunrock_engine::budget::MemoryBudget::new(4));
+        let pool = Arc::new(BufferPool::new().with_budget(Arc::clone(&budget)));
+        let env = env_fixture(&g, &cancel, &pool);
+        let v = run_job(&env, &req("bfs"), None, 0);
+        assert_eq!(v.status, JobStatus::Failed);
+        assert!(!v.breaker_failure, "budget pressure must not open the breaker");
+        assert!(v.response.contains("over-budget"), "{}", v.response);
     }
 
     #[test]

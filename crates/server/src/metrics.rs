@@ -30,6 +30,9 @@ pub struct ServeMetrics {
     pub rejected_shutdown: AtomicU64,
     /// Rejected: malformed line, unknown primitive, or bad field.
     pub rejected_bad_request: AtomicU64,
+    /// Rejected: the request's estimated footprint does not fit the
+    /// memory budget (permanently, or under current pressure).
+    pub rejected_over_budget: AtomicU64,
     /// Completed with a converged result.
     pub completed_ok: AtomicU64,
     /// Completed with a partial (guard-tripped) result.
@@ -40,6 +43,30 @@ pub struct ServeMetrics {
     pub deadline_misses: AtomicU64,
     /// Resumable snapshots written on behalf of requests.
     pub checkpoints_written: AtomicU64,
+    /// Jobs reaped by the watchdog (stopped heartbeating, ignored the
+    /// cooperative cancel, outlived the grace period).
+    pub watchdog_kills: AtomicU64,
+    /// Degradation-ladder rungs taken inside admitted jobs (pull→push,
+    /// lb_batch→thread_mapped) under memory pressure.
+    pub degraded: AtomicU64,
+}
+
+/// Memory-governance gauges rendered under `"memory"` when the server
+/// runs with a budget (`--memory-budget`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemorySnapshot {
+    /// The configured hard limit on outstanding pooled bytes.
+    pub budget_limit: u64,
+    /// Outstanding reserved bytes at snapshot time.
+    pub budget_reserved: u64,
+    /// Peak reserved bytes over the server's lifetime.
+    pub peak_bytes: u64,
+    /// Reservations denied by the budget.
+    pub denials: u64,
+    /// Bytes currently checked out of the shared buffer pool.
+    pub pool_bytes_live: u64,
+    /// Peak bytes checked out of the shared pool at once.
+    pub pool_bytes_high_water: u64,
 }
 
 /// Bumps one monotonic counter.
@@ -47,6 +74,12 @@ pub fn bump(counter: &AtomicU64) {
     // ORDERING: Relaxed — independent monotonic counters read only for
     // reporting; no other memory is published through them.
     counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Adds `n` to one monotonic counter (per-job degrade totals).
+pub fn bump_by(counter: &AtomicU64, n: u64) {
+    // ORDERING: Relaxed — see `bump`.
+    counter.fetch_add(n, Ordering::Relaxed);
 }
 
 /// Reads one monotonic counter.
@@ -67,6 +100,7 @@ impl ServeMetrics {
         queue_depth: usize,
         queue_capacity: usize,
         breakers: &[BreakerEntry],
+        memory: Option<&MemorySnapshot>,
         drained: bool,
     ) -> String {
         let mut b = JsonBuilder::new();
@@ -93,9 +127,23 @@ impl ServeMetrics {
         b.field_u64("circuit_open", read(&self.rejected_breaker));
         b.field_u64("shutting_down", read(&self.rejected_shutdown));
         b.field_u64("bad_request", read(&self.rejected_bad_request));
+        b.field_u64("over_budget", read(&self.rejected_over_budget));
         b.end_object();
         b.field_u64("deadline_misses", read(&self.deadline_misses));
         b.field_u64("checkpoints_written", read(&self.checkpoints_written));
+        b.field_u64("watchdog_kills", read(&self.watchdog_kills));
+        b.field_u64("degraded", read(&self.degraded));
+        if let Some(mem) = memory {
+            b.key("memory");
+            b.begin_object();
+            b.field_u64("budget_limit", mem.budget_limit);
+            b.field_u64("budget_reserved", mem.budget_reserved);
+            b.field_u64("peak_bytes", mem.peak_bytes);
+            b.field_u64("denials", mem.denials);
+            b.field_u64("pool_bytes_live", mem.pool_bytes_live);
+            b.field_u64("pool_bytes_high_water", mem.pool_bytes_high_water);
+            b.end_object();
+        }
         b.key("breakers");
         b.begin_array();
         for entry in breakers {
@@ -124,7 +172,7 @@ mod tests {
         bump(&m.received);
         bump(&m.admitted);
         bump(&m.rejected_queue_full);
-        let doc = m.render(4, 1, 8, &[], false);
+        let doc = m.render(4, 1, 8, &[], None, false);
         let v = JsonValue::parse(&doc).unwrap();
         assert_eq!(v.get("schema").and_then(JsonValue::as_str), Some("gunrock-serve/v1"));
         let reqs = v.get("requests").unwrap();
@@ -136,5 +184,32 @@ mod tests {
             v.get("queue").unwrap().get("capacity").and_then(JsonValue::as_u64),
             Some(8)
         );
+        assert!(v.get("memory").is_none(), "no budget, no memory section");
+    }
+
+    #[test]
+    fn governance_counters_and_memory_section_render() {
+        let m = ServeMetrics::default();
+        bump(&m.rejected_over_budget);
+        bump(&m.watchdog_kills);
+        bump_by(&m.degraded, 3);
+        let mem = MemorySnapshot {
+            budget_limit: 1 << 20,
+            budget_reserved: 4096,
+            peak_bytes: 8192,
+            denials: 2,
+            pool_bytes_live: 4096,
+            pool_bytes_high_water: 8192,
+        };
+        let doc = m.render(2, 0, 4, &[], Some(&mem), false);
+        let v = JsonValue::parse(&doc).unwrap();
+        let rej = v.get("rejected").unwrap();
+        assert_eq!(rej.get("over_budget").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(v.get("watchdog_kills").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(v.get("degraded").and_then(JsonValue::as_u64), Some(3));
+        let mem = v.get("memory").expect("budgeted server renders a memory section");
+        assert_eq!(mem.get("budget_limit").and_then(JsonValue::as_u64), Some(1 << 20));
+        assert_eq!(mem.get("peak_bytes").and_then(JsonValue::as_u64), Some(8192));
+        assert_eq!(mem.get("denials").and_then(JsonValue::as_u64), Some(2));
     }
 }

@@ -54,6 +54,16 @@ pub enum ErrorCode {
     CircuitOpen,
     /// The server is draining and admits no new work.
     ShuttingDown,
+    /// The request's estimated memory footprint does not fit the
+    /// server's memory budget. With `retry_after_ms` the pressure is
+    /// transient (other jobs hold the headroom — retry later); without
+    /// it the graph is simply too large for the configured budget and
+    /// retrying cannot help.
+    OverBudget,
+    /// The watchdog killed this request: its job stopped heartbeating
+    /// and ignored cooperative cancellation. The worker slot is
+    /// reclaimed; the failure feeds the primitive's circuit breaker.
+    WatchdogKilled,
     /// An operator panicked inside this request; only this request
     /// failed (the worker and server keep serving).
     OperatorPanic,
@@ -74,6 +84,8 @@ impl ErrorCode {
             ErrorCode::DeadlineExpired => "deadline-expired",
             ErrorCode::CircuitOpen => "circuit-open",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::OverBudget => "over-budget",
+            ErrorCode::WatchdogKilled => "watchdog-killed",
             ErrorCode::OperatorPanic => "operator-panic",
             ErrorCode::ResumeFailed => "resume-failed",
             ErrorCode::Internal => "internal",
@@ -105,7 +117,8 @@ pub struct Request {
     pub resume: Option<String>,
     /// PageRank convergence threshold override.
     pub epsilon: Option<f64>,
-    /// Per-request fault-injection spec (`panic=RATE,alloc=RATE,io=RATE`),
+    /// Per-request fault-injection spec
+    /// (`panic=RATE,alloc=RATE,pool-alloc=RATE,io=RATE,stall=RATE`),
     /// overriding any server-wide plan.
     pub inject: Option<String>,
     /// Seed for the per-request fault schedule.
@@ -192,7 +205,10 @@ pub fn error_response(
     b.field_str("schema", SCHEMA);
     b.field_str("id", id);
     let status = match code {
-        ErrorCode::OperatorPanic | ErrorCode::ResumeFailed | ErrorCode::Internal => "failed",
+        ErrorCode::OperatorPanic
+        | ErrorCode::ResumeFailed
+        | ErrorCode::WatchdogKilled
+        | ErrorCode::Internal => "failed",
         _ => "rejected",
     };
     b.field_str("status", status);
@@ -260,5 +276,24 @@ mod tests {
         let failed = error_response("x", ErrorCode::OperatorPanic, "boom", None);
         let v = JsonValue::parse(&failed).unwrap();
         assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("failed"));
+    }
+
+    #[test]
+    fn governance_codes_have_the_right_status() {
+        let resp = error_response("x", ErrorCode::OverBudget, "estimated 1 GiB", Some(150));
+        let v = JsonValue::parse(&resp).unwrap();
+        assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("rejected"));
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("code")).and_then(JsonValue::as_str),
+            Some("over-budget")
+        );
+        assert_eq!(v.get("retry_after_ms").and_then(JsonValue::as_u64), Some(150));
+        let killed = error_response("x", ErrorCode::WatchdogKilled, "job stalled", None);
+        let v = JsonValue::parse(&killed).unwrap();
+        assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("failed"));
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("code")).and_then(JsonValue::as_str),
+            Some("watchdog-killed")
+        );
     }
 }

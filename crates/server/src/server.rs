@@ -25,13 +25,15 @@
 //! and emit one final `gunrock-serve/v1` summary.
 
 use crate::jobs::{self, JobEnv, JobStatus, JobVerdict};
-use crate::metrics::{bump, ServeMetrics};
+use crate::metrics::{bump, bump_by, read, MemorySnapshot, ServeMetrics};
 use crate::protocol::{error_response, parse_request, ErrorCode, Request, SERVE_PRIMITIVES};
 use crate::signal;
 use gunrock_engine::breaker::{Admission, CircuitBreaker};
+use gunrock_engine::budget::{estimate_bytes, MemoryBudget};
 use gunrock_engine::faults::{FaultInjector, FaultPlan};
 use gunrock_engine::pool::BufferPool;
-use gunrock_engine::queue::{BoundedQueue, PushError};
+use gunrock_engine::queue::{retry_after_hint, BoundedQueue, PushError};
+use gunrock_engine::watchdog::{Heartbeat, Watchdog, WatchdogConfig};
 use gunrock_graph::reorder::Relabeling;
 use gunrock_graph::Csr;
 use std::io::{Read, Write};
@@ -39,7 +41,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, PoisonError, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -68,6 +70,13 @@ pub struct ServerConfig {
     /// still name original vertex ids, and per-vertex results are mapped
     /// back before hashing, so clients never observe internal ids.
     pub relabeling: Option<Arc<Relabeling>>,
+    /// Cap on outstanding pooled bytes across all workers (one shared
+    /// budget on the shared pool). 0 disables budgeting: requests are
+    /// never memory-rejected and jobs never degrade.
+    pub memory_budget: u64,
+    /// Watchdog stall interval: a job silent this long is cancelled,
+    /// and killed `interval/2` later. `None` disables the watchdog.
+    pub watchdog_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +91,8 @@ impl Default for ServerConfig {
             fault_plan: None,
             serial_threshold: None,
             relabeling: None,
+            memory_budget: 0,
+            watchdog_interval: None,
         }
     }
 }
@@ -103,9 +114,18 @@ pub struct ServerState {
     metrics: ServeMetrics,
     /// Stops admission; set by drain before the cancel flag.
     shutdown: AtomicBool,
-    /// Cancel flag threaded into every request policy; raised on drain.
+    /// Raised on drain; new per-job cancel flags start from it and the
+    /// inflight registry propagates it to jobs already running.
     drain_cancel: Arc<AtomicBool>,
+    /// Per-job cancel flags of in-flight jobs, so drain can raise them
+    /// all (each job otherwise owns its flag for watchdog cancellation).
+    inflight: Mutex<Vec<Weak<AtomicBool>>>,
     pool: Arc<BufferPool>,
+    /// Global memory budget shared by every worker through `pool`.
+    budget: Option<Arc<MemoryBudget>>,
+    /// Hung-job reaper; holds the background thread for the server's
+    /// lifetime.
+    watchdog: Option<Watchdog>,
     injector: Option<Arc<FaultInjector>>,
     seq: AtomicU64,
 }
@@ -113,13 +133,28 @@ pub struct ServerState {
 impl ServerState {
     fn new(graph: Arc<Csr>, cfg: ServerConfig) -> Self {
         let injector = cfg.fault_plan.map(|plan| Arc::new(FaultInjector::new(plan)));
+        let budget =
+            (cfg.memory_budget > 0).then(|| Arc::new(MemoryBudget::new(cfg.memory_budget)));
+        let mut pool = BufferPool::new();
+        if let Some(b) = &budget {
+            pool.install_budget(Arc::clone(b));
+        }
+        if let Some(inj) = &injector {
+            // the shared pool carries the server-wide injector so the
+            // `pool:alloc` fault site fires inside worker checkouts
+            pool.install_injector(Arc::clone(inj));
+        }
+        let watchdog = cfg.watchdog_interval.map(|i| Watchdog::new(WatchdogConfig::new(i)));
         ServerState {
             queue: BoundedQueue::new(cfg.queue_capacity),
             breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown),
             metrics: ServeMetrics::default(),
             shutdown: AtomicBool::new(false),
             drain_cancel: Arc::new(AtomicBool::new(false)),
-            pool: Arc::new(BufferPool::new()),
+            inflight: Mutex::new(Vec::new()),
+            pool: Arc::new(pool),
+            budget,
+            watchdog,
             injector,
             seq: AtomicU64::new(0),
             graph,
@@ -140,13 +175,33 @@ impl ServerState {
     }
 
     fn render_metrics(&self, drained: bool) -> String {
+        let memory = self.budget.as_ref().map(|b| {
+            let pool = self.pool.stats();
+            MemorySnapshot {
+                budget_limit: b.limit(),
+                budget_reserved: b.reserved(),
+                peak_bytes: b.high_water(),
+                denials: b.denials(),
+                pool_bytes_live: pool.bytes_live,
+                pool_bytes_high_water: pool.bytes_high_water,
+            }
+        });
         self.metrics.render(
             self.cfg.workers,
             self.queue.len(),
             self.queue.capacity(),
             &self.breaker.snapshot(),
+            memory.as_ref(),
             drained,
         )
+    }
+
+    /// Registers one job's cancel flag for the drain sweep, pruning
+    /// entries whose jobs have already finished.
+    fn register_inflight(&self, cancel: &Arc<AtomicBool>) {
+        let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        inflight.retain(|w| w.strong_count() > 0);
+        inflight.push(Arc::downgrade(cancel));
     }
 }
 
@@ -220,6 +275,51 @@ pub fn handle_request(state: &ServerState, line: &str) -> String {
             );
         }
     }
+    // Memory admission: compare the pessimistic up-front footprint
+    // against the budget before the job costs a queue slot. Over the
+    // hard limit the request can never run (no retry hint); over the
+    // current headroom the pressure is other in-flight jobs, so the
+    // rejection carries a jittered, load-proportional retry hint.
+    if let Some(budget) = &state.budget {
+        let est = estimate_bytes(
+            &req.primitive,
+            state.graph.num_vertices() as u64,
+            state.graph.num_edges() as u64,
+        );
+        if est > budget.limit() {
+            bump(&state.metrics.rejected_over_budget);
+            return error_response(
+                &req.id,
+                ErrorCode::OverBudget,
+                &format!(
+                    "{} needs an estimated {est} bytes; the budget is {} bytes",
+                    req.primitive,
+                    budget.limit()
+                ),
+                None,
+            );
+        }
+        if est > budget.headroom() {
+            bump(&state.metrics.rejected_over_budget);
+            let hint = retry_after_hint(
+                state.cfg.retry_after.as_millis() as u64,
+                state.queue.len(),
+                state.queue.capacity(),
+                read(&state.metrics.received),
+            );
+            return error_response(
+                &req.id,
+                ErrorCode::OverBudget,
+                &format!(
+                    "{} needs an estimated {est} bytes; {} of {} are reserved — retry later",
+                    req.primitive,
+                    budget.reserved(),
+                    budget.limit()
+                ),
+                Some(hint),
+            );
+        }
+    }
     let (tx, rx) = mpsc::channel();
     // ORDERING: Relaxed — the sequence number only disambiguates
     // checkpoint directory names; no memory is published through it.
@@ -262,6 +362,9 @@ fn record_verdict(state: &ServerState, primitive: &str, verdict: &JobVerdict) {
     if verdict.checkpointed {
         bump(&state.metrics.checkpoints_written);
     }
+    if verdict.degrades > 0 {
+        bump_by(&state.metrics.degraded, verdict.degrades);
+    }
     if verdict.breaker_failure {
         state.breaker.record_failure(primitive);
     } else if matches!(verdict.status, JobStatus::Ok | JobStatus::Partial) {
@@ -269,12 +372,50 @@ fn record_verdict(state: &ServerState, primitive: &str, verdict: &JobVerdict) {
     }
 }
 
-fn worker_loop(state: &ServerState) {
+fn worker_loop(state: &Arc<ServerState>) {
     while let Some(job) = state.queue.pop() {
+        // Each job owns its cancel flag (so the watchdog can cancel one
+        // job without draining the server), seeded from the drain flag
+        // for jobs popped after a drain began, and registered so drain
+        // reaches jobs already running.
+        // ORDERING: Acquire — pairs with the Release store in drain() so
+        // a job popped after drain starts observes the raised flag.
+        let job_cancel = Arc::new(AtomicBool::new(state.drain_cancel.load(Ordering::Acquire)));
+        state.register_inflight(&job_cancel);
+        let heartbeat = state.watchdog.as_ref().map(|_| Arc::new(Heartbeat::new()));
+        // While watched, a kill answers the client from the reaper
+        // thread (the worker is presumed wedged), counts the failure,
+        // and feeds the primitive's breaker so followers are shed.
+        let watch = match (&state.watchdog, &heartbeat) {
+            (Some(dog), Some(hb)) => {
+                let st = Arc::clone(state);
+                let reply = job.reply.clone();
+                let id = job.req.id.clone();
+                let primitive = job.req.primitive.clone();
+                Some(dog.watch(
+                    Arc::clone(hb),
+                    Arc::clone(&job_cancel),
+                    Box::new(move || {
+                        bump(&st.metrics.watchdog_kills);
+                        bump(&st.metrics.failed);
+                        st.breaker.record_failure(&primitive);
+                        let _ = reply.send(error_response(
+                            &id,
+                            ErrorCode::WatchdogKilled,
+                            "job stopped heartbeating and ignored cancellation; \
+                             the watchdog reaped it",
+                            None,
+                        ));
+                    }),
+                ))
+            }
+            _ => None,
+        };
         let env = JobEnv {
             graph: &state.graph,
             relab: state.cfg.relabeling.as_deref(),
-            drain: &state.drain_cancel,
+            cancel: &job_cancel,
+            heartbeat: heartbeat.as_ref(),
             pool: &state.pool,
             injector: state.injector.as_ref(),
             serial_threshold: state.cfg.serial_threshold,
@@ -298,7 +439,15 @@ fn worker_loop(state: &ServerState) {
             breaker_failure: true,
             deadline_missed: false,
             checkpointed: false,
+            degrades: 0,
         });
+        let killed = heartbeat.as_ref().is_some_and(|hb| hb.is_killed());
+        drop(watch);
+        if killed {
+            // the kill callback already answered the client and recorded
+            // the failure; a late worker result would double-count
+            continue;
+        }
         record_verdict(state, &job.req.primitive, &verdict);
         // A send error means the connection thread gave up (client went
         // away); the work is done either way.
@@ -367,11 +516,22 @@ fn drain(state: &Arc<ServerState>, workers: Vec<thread::JoinHandle<()>>) -> Stri
     // load on connection threads; admission stops before jobs observe
     // the cancel flag below.
     state.shutdown.store(true, Ordering::Release);
-    // ORDERING: Release — pairs with the Acquire polls inside operator
-    // chunk loops (`Context::cancel_requested`); raising it cancels
-    // in-flight and still-queued jobs at their next boundary so drain is
-    // prompt even mid-traversal.
+    // ORDERING: Release — pairs with the Acquire load seeding each new
+    // per-job cancel flag; jobs popped after this point start cancelled.
     state.drain_cancel.store(true, Ordering::Release);
+    // Jobs already running own per-job flags (the watchdog's cancel
+    // channel); raise them all so in-flight work stops at its next
+    // operator boundary.
+    {
+        let mut inflight = state.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        for weak in inflight.drain(..) {
+            if let Some(flag) = weak.upgrade() {
+                // ORDERING: Release — pairs with the Acquire polls inside
+                // operator chunk loops (`Context::cancel_requested`).
+                flag.store(true, Ordering::Release);
+            }
+        }
+    }
     state.queue.close();
     for w in workers {
         let _ = w.join();
@@ -552,6 +712,87 @@ mod tests {
         state.shutdown.store(true, Ordering::Release);
         let resp = handle_request(&state, r#"{"primitive":"bfs"}"#);
         assert!(resp.contains("shutting-down"));
+    }
+
+    #[test]
+    fn hopeless_footprint_is_rejected_permanently() {
+        // 1 KiB can never hold a bfs working set even on 16 vertices
+        let cfg = ServerConfig { memory_budget: 1024, ..ServerConfig::default() };
+        let state = state_fixture(cfg);
+        let resp = handle_request(&state, r#"{"id":"b1","primitive":"bfs","src":0}"#);
+        assert!(resp.contains("over-budget"), "got: {resp}");
+        assert!(
+            !resp.contains("retry_after_ms"),
+            "a permanent rejection must not suggest retrying: {resp}"
+        );
+        assert_eq!(crate::metrics::read(&state.metrics.rejected_over_budget), 1);
+        assert_eq!(crate::metrics::read(&state.metrics.admitted), 0);
+        // the sleep diagnostic has a zero footprint and always fits
+        let ok = with_workers(&state, || {
+            handle_request(&state, r#"{"id":"s1","primitive":"sleep","duration_ms":1}"#)
+        });
+        assert!(ok.contains("\"status\":\"ok\""), "got: {ok}");
+    }
+
+    #[test]
+    fn transient_pressure_is_rejected_with_a_retry_hint() {
+        let cfg = ServerConfig { memory_budget: 1 << 20, ..ServerConfig::default() };
+        let state = state_fixture(cfg);
+        let budget = state.budget.as_ref().expect("budget configured");
+        // simulate other jobs holding nearly the whole budget
+        budget.try_reserve(budget.limit() - 512).unwrap();
+        let resp = handle_request(&state, r#"{"id":"b2","primitive":"bfs","src":0}"#);
+        assert!(resp.contains("over-budget"), "got: {resp}");
+        assert!(resp.contains("retry_after_ms"), "transient pressure hints a retry: {resp}");
+        assert_eq!(crate::metrics::read(&state.metrics.rejected_over_budget), 1);
+        // pressure clears: the same request is admitted and served
+        budget.release(budget.limit() - 512);
+        let resp = with_workers(&state, || {
+            handle_request(&state, r#"{"id":"b3","primitive":"bfs","src":0}"#)
+        });
+        assert!(resp.contains("\"status\":\"ok\""), "got: {resp}");
+        let doc = state.render_metrics(false);
+        assert!(doc.contains("\"memory\""), "budgeted server renders memory gauges: {doc}");
+        assert!(doc.contains("\"peak_bytes\""), "got: {doc}");
+    }
+
+    #[test]
+    fn stalled_job_is_reaped_and_answered_watchdog_killed() {
+        let interval = Duration::from_millis(60);
+        let cfg = ServerConfig { watchdog_interval: Some(interval), ..ServerConfig::default() };
+        let state = state_fixture(cfg);
+        let start = Instant::now();
+        let resp = with_workers(&state, || {
+            handle_request(
+                &state,
+                r#"{"id":"w1","primitive":"bfs","inject":"stall=1.0","fault_seed":1}"#,
+            )
+        });
+        assert!(resp.contains("watchdog-killed"), "got: {resp}");
+        assert!(resp.contains("\"status\":\"failed\""), "got: {resp}");
+        assert!(
+            start.elapsed() < 2 * interval + Duration::from_millis(40),
+            "reap took {:?}, bound is 2 * {interval:?}",
+            start.elapsed()
+        );
+        assert_eq!(crate::metrics::read(&state.metrics.watchdog_kills), 1);
+        assert_eq!(crate::metrics::read(&state.metrics.failed), 1);
+        assert_eq!(state.watchdog.as_ref().unwrap().kills(), 1);
+    }
+
+    #[test]
+    fn heartbeating_sleep_job_is_not_reaped() {
+        // slow (3x the interval) but ticking every 2ms: must complete
+        let cfg = ServerConfig {
+            watchdog_interval: Some(Duration::from_millis(20)),
+            ..ServerConfig::default()
+        };
+        let state = state_fixture(cfg);
+        let resp = with_workers(&state, || {
+            handle_request(&state, r#"{"id":"s2","primitive":"sleep","duration_ms":60}"#)
+        });
+        assert!(resp.contains("\"status\":\"ok\""), "got: {resp}");
+        assert_eq!(crate::metrics::read(&state.metrics.watchdog_kills), 0);
     }
 
     #[test]

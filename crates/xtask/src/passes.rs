@@ -124,10 +124,15 @@ impl Default for Config {
             // on the steady-state path. bitmap.rs is the word-frontier
             // storage: steady state must draw words from the pool, so
             // any direct allocation there needs the same argument
+            // budget.rs and watchdog.rs sit on the governance path every
+            // pooled checkout crosses: allocations there would charge the
+            // very accounting they implement, so each one must be argued
             alloc_scope: vec![
                 "crates/core/src/advance".into(),
                 "crates/core/src/filter".into(),
                 "crates/engine/src/bitmap.rs".into(),
+                "crates/engine/src/budget.rs".into(),
+                "crates/engine/src/watchdog.rs".into(),
             ],
         }
     }

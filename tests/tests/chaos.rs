@@ -173,6 +173,60 @@ fn alloc_faults_are_absorbed_by_retry_with_fallback() {
     assert!(recovered > 0, "an 80% alloc rate must trigger retries or fallbacks");
 }
 
+/// The `pool-alloc` class denies buffer-pool checkouts themselves and —
+/// unlike the absorbed `alloc` class — fails runs *structurally*: a
+/// full-rate schedule must surface `GunrockError::BudgetExceeded` from
+/// every primitive and every BFS variant (whose visited/pull bitmaps
+/// are checked out *between* operators, the path that once let the
+/// denial escape as a process abort), and a partial-rate schedule must
+/// either fail the same way or converge bit-identically.
+#[test]
+fn pool_alloc_faults_fail_structured_never_escape() {
+    quiet_injected_panics();
+    let g = kron8();
+    let deny_all = || FaultPlan::parse("pool-alloc=1.0", 7).expect("valid spec");
+    let structured = |prim: &str, err: GunrockError| {
+        assert!(
+            matches!(err, GunrockError::BudgetExceeded { .. }),
+            "{prim}: expected BudgetExceeded, got {err:?}"
+        );
+    };
+    for variant in [
+        algos::BfsVariant::Atomic,
+        algos::BfsVariant::Idempotent,
+        algos::BfsVariant::DirectionOptimized,
+        algos::BfsVariant::Fused,
+    ] {
+        let ctx = faulted(&g, deny_all(), 0);
+        let opts = algos::BfsOptions { variant, ..Default::default() };
+        let err = algos::try_bfs(&ctx, 0, opts).expect_err("denied checkouts cannot converge");
+        structured(&format!("bfs {variant:?}"), err);
+    }
+    let ctx = faulted(&g, deny_all(), 0);
+    structured("sssp", algos::try_sssp(&ctx, 0, Default::default()).expect_err("sssp"));
+    let ctx = faulted(&g, deny_all(), 0);
+    structured("bc", algos::try_bc(&ctx, 0, Default::default()).expect_err("bc"));
+    let ctx = faulted(&g, deny_all(), 0);
+    structured("cc", algos::try_cc(&ctx).expect_err("cc"));
+    // pagerank runs dense over heap-allocated score vectors and never
+    // checks a frontier out of the pool: it must sail through unharmed
+    let ctx = faulted(&g, deny_all(), 0);
+    let pr = algos::try_pagerank(&ctx, Default::default())
+        .expect("pagerank touches no pooled buffers");
+    assert_eq!(pr.outcome, RunOutcome::Converged);
+
+    let base_ctx = Context::new(&g).with_reverse(&g);
+    let bfs0 = algos::bfs(&base_ctx, 0, algos::BfsOptions::direction_optimized());
+    for seed in 300..310u64 {
+        let plan = FaultPlan::parse("pool-alloc=0.05", seed).expect("valid spec");
+        let ctx = faulted(&g, plan, 0);
+        match algos::try_bfs(&ctx, 0, algos::BfsOptions::direction_optimized()) {
+            Ok(r) => assert_eq!(r.labels, bfs0.labels, "seed {seed}"),
+            Err(err) => structured(&format!("seed {seed}"), err),
+        }
+    }
+}
+
 /// A fault-free context reports zero recovery events — the absence
 /// check backing the bench export's `recovery_events` column.
 #[test]

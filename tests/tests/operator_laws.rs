@@ -113,7 +113,7 @@ proptest! {
         let sweep: std::collections::BTreeSet<u32> =
             out.iter_ones().map(|i| i as u32).collect();
         // discovered bits left the candidate set; the rest survived
-        prop_assert_eq!(cand.count_ones() as usize, n - sweep.len());
+        prop_assert_eq!(cand.count_ones(), n - sweep.len());
         for &v in &sweep {
             prop_assert!(!cand.get(v as usize), "discovered {v} still a candidate");
         }

@@ -46,11 +46,8 @@ fn bfs_depths_are_invariant_under_reorder_and_thread_count() {
             let ctx = Context::new(&g).with_reverse(&g);
             let a = algos::bfs(&ctx, 0, algos::BfsOptions::direction_optimized());
             let ctx = Context::new(&gr).with_reverse(&gr);
-            let b = algos::bfs(
-                &ctx,
-                relab.new_of_old(0),
-                algos::BfsOptions::direction_optimized(),
-            );
+            let b =
+                algos::bfs(&ctx, relab.new_of_old(0), algos::BfsOptions::direction_optimized());
             (a.labels, relab.restore_values(&b.labels), b.pull_iterations)
         });
         assert_eq!(plain, want, "plain bfs at {threads} threads");

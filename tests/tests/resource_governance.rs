@@ -1,0 +1,189 @@
+//! End-to-end resource-governance scenarios against an in-process
+//! `gunrock-serve` instance, asserted from the client side:
+//!
+//! * **over-budget storm** — 32 concurrent queries whose estimated
+//!   footprint exceeds the server's memory budget: every one is answered
+//!   with a structured `over-budget` rejection (no hangs, no aborts),
+//!   a zero-footprint job is still served afterward, and the metrics
+//!   document carries the governance counters and memory gauges;
+//! * **watchdog reap** — a query whose advance stalls (ignoring the
+//!   cooperative cancel) is reaped within twice the watchdog interval
+//!   and answered `watchdog-killed`; the worker survives and the next
+//!   query on the same server succeeds;
+//! * **taxonomy coverage** — all five core primitives under a hopeless
+//!   budget fail with the same structured rejection, and the drain
+//!   summary accounts for every one.
+
+use gunrock_engine::json::JsonValue;
+use gunrock_graph::{Coo, Csr, GraphBuilder};
+use gunrock_server::{start, Client, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn small_graph() -> Arc<Csr> {
+    let edges: Vec<(u32, u32)> = (0..255).map(|v| (v, v + 1)).collect();
+    Arc::new(GraphBuilder::new().build(Coo::from_edges(256, &edges)))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gunrock-gov-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint root");
+    dir
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> &'a JsonValue {
+    v.get(key).unwrap_or(&JsonValue::Null)
+}
+
+fn status_of(resp: &str) -> (String, String) {
+    let v = JsonValue::parse(resp).expect("response must be valid JSON");
+    let status = field(&v, "status").as_str().unwrap_or("").to_string();
+    let code = v
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .to_string();
+    (status, code)
+}
+
+#[test]
+fn over_budget_storm_is_rejected_structurally_and_server_survives() {
+    // 1 KiB cannot hold even the lean estimate for a 256-vertex BFS, so
+    // every storm query is a deterministic permanent rejection.
+    let cfg = ServerConfig {
+        workers: 4,
+        queue_capacity: 64,
+        memory_budget: 1024,
+        checkpoint_dir: temp_dir("storm"),
+        ..ServerConfig::default()
+    };
+    let handle = start(small_graph(), cfg, 0).expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let storm: Vec<_> = (0..32)
+        .map(|i| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut c = Client::connect(&addr, CLIENT_TIMEOUT).expect("connect");
+                c.request(&format!(r#"{{"id":"s{i}","primitive":"bfs","src":0}}"#))
+                    .expect("storm response")
+            })
+        })
+        .collect();
+    for t in storm {
+        let resp = t.join().expect("storm thread");
+        let (status, code) = status_of(&resp);
+        assert_eq!(status, "rejected", "expected a structured rejection, got: {resp}");
+        assert_eq!(code, "over-budget", "got: {resp}");
+        // the graph simply does not fit: retrying cannot help, so the
+        // rejection must NOT suggest it
+        assert!(
+            !resp.contains("retry_after_ms"),
+            "permanent over-budget must not hint a retry: {resp}"
+        );
+    }
+
+    // Post-storm health: a zero-footprint job is admitted and served.
+    let mut c = Client::connect(&addr, CLIENT_TIMEOUT).expect("connect");
+    let probe = c
+        .request(r#"{"id":"probe","primitive":"sleep","duration_ms":5}"#)
+        .expect("probe response");
+    assert_eq!(status_of(&probe).0, "ok", "server must keep serving after the storm: {probe}");
+
+    // The metrics document carries the governance counters and gauges.
+    let metrics = c.request(r#"{"primitive":"metrics"}"#).expect("metrics");
+    let v = JsonValue::parse(&metrics).unwrap();
+    assert_eq!(field(field(&v, "rejected"), "over_budget").as_u64(), Some(32));
+    let mem = v.get("memory").expect("budgeted server renders a memory section");
+    assert_eq!(field(mem, "budget_limit").as_u64(), Some(1024));
+    assert_eq!(field(mem, "denials").as_u64(), Some(0), "rejections happen at admission");
+
+    handle.shutdown();
+    let summary = handle.join();
+    let v = JsonValue::parse(&summary).expect("summary is JSON");
+    assert_eq!(field(field(&v, "rejected"), "over_budget").as_u64(), Some(32));
+    assert_eq!(field(field(&v, "requests"), "completed_ok").as_u64(), Some(1));
+}
+
+#[test]
+fn stalled_query_is_reaped_within_two_intervals_and_answered_watchdog_killed() {
+    const INTERVAL: Duration = Duration::from_millis(150);
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        breaker_threshold: 100, // keep the breaker out of this scenario
+        watchdog_interval: Some(INTERVAL),
+        checkpoint_dir: temp_dir("reap"),
+        ..ServerConfig::default()
+    };
+    let handle = start(small_graph(), cfg, 0).expect("server starts");
+    let mut c = Client::connect(&handle.addr().to_string(), CLIENT_TIMEOUT).expect("connect");
+
+    // The stall site ignores the cooperative cancel and only yields to
+    // the watchdog's kill flag, so the full escalation ladder runs.
+    let start_at = Instant::now();
+    let resp = c
+        .request(
+            r#"{"id":"wedge","primitive":"bfs","src":0,"inject":"stall=1.0","fault_seed":7}"#,
+        )
+        .expect("stalled response");
+    let elapsed = start_at.elapsed();
+    let (status, code) = status_of(&resp);
+    assert_eq!(status, "failed", "got: {resp}");
+    assert_eq!(code, "watchdog-killed", "got: {resp}");
+    // the acceptance bound: reaped within 2x the watchdog interval
+    // (plus dispatch and reaper-poll slack)
+    assert!(
+        elapsed < 2 * INTERVAL + Duration::from_millis(300),
+        "reap took {elapsed:?}, bound is 2 * {INTERVAL:?}"
+    );
+
+    // The worker slot is reclaimed once the stalled operator observes
+    // the kill flag; the same server keeps serving.
+    let healthy = c.request(r#"{"id":"ok","primitive":"bfs","src":0}"#).expect("healthy");
+    assert_eq!(status_of(&healthy).0, "ok", "worker must survive the reap: {healthy}");
+
+    let metrics = c.request(r#"{"primitive":"metrics"}"#).expect("metrics");
+    let v = JsonValue::parse(&metrics).unwrap();
+    assert_eq!(field(&v, "watchdog_kills").as_u64(), Some(1));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn every_primitive_under_a_hopeless_budget_fails_structured() {
+    let cfg = ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        memory_budget: 1024,
+        checkpoint_dir: temp_dir("taxonomy"),
+        ..ServerConfig::default()
+    };
+    let handle = start(small_graph(), cfg, 0).expect("server starts");
+    let mut c = Client::connect(&handle.addr().to_string(), CLIENT_TIMEOUT).expect("connect");
+
+    for prim in ["bfs", "sssp", "bc", "cc", "pagerank"] {
+        let resp = c
+            .request(&format!(r#"{{"id":"{prim}","primitive":"{prim}","src":0}}"#))
+            .expect("response");
+        let (status, code) = status_of(&resp);
+        assert_eq!(
+            (status.as_str(), code.as_str()),
+            ("rejected", "over-budget"),
+            "{prim}: {resp}"
+        );
+    }
+
+    handle.shutdown();
+    let summary = handle.join();
+    let v = JsonValue::parse(&summary).expect("summary is JSON");
+    assert_eq!(field(field(&v, "rejected"), "over_budget").as_u64(), Some(5));
+    assert_eq!(field(field(&v, "requests"), "admitted").as_u64(), Some(0));
+}
