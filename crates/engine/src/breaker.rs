@@ -265,7 +265,7 @@ mod tests {
                     std::thread::spawn(move || {
                         gate.wait();
                         if b.admit("bfs") == Admission::Allow {
-                            // ORDERING: Relaxed — independent counter, read
+                            // ORDERING: Relaxed — relaxed-counter, read
                             // only after join.
                             allowed.fetch_add(1, Ordering::Relaxed);
                         }

@@ -197,15 +197,17 @@ impl FaultInjector {
 
     /// Number of decisions drawn so far.
     pub fn draws(&self) -> u64 {
-        // ORDERING: Relaxed — fetch_add's modification order alone hands every
-        // draw a unique slot; no payload is published through it.
+        // ORDERING: Relaxed — relaxed-load; fetch_add's modification order
+        // alone hands every draw a unique slot, no payload is published
+        // through it.
         self.draws.load(Ordering::Relaxed)
     }
 
     /// One uniform draw in `[0, 1)` for `site`, consuming a counter slot.
     fn draw(&self, site: &str) -> f64 {
-        // ORDERING: Relaxed — fetch_add's modification order alone hands every
-        // draw a unique slot; no payload is published through it.
+        // ORDERING: Relaxed — relaxed-counter; fetch_add's modification
+        // order alone hands every draw a unique slot, no payload is
+        // published through it.
         let n = self.draws.fetch_add(1, Ordering::Relaxed);
         let bits = splitmix64(self.plan.seed ^ fnv1a(site.as_bytes()) ^ n.rotate_left(17));
         // 53 mantissa bits -> uniform in [0, 1)

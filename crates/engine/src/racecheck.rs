@@ -47,7 +47,8 @@ static GLOBAL_PHASE: AtomicU64 = AtomicU64::new(0);
 #[inline]
 pub fn begin_phase() {
     #[cfg(feature = "racecheck")]
-    // ORDERING: Relaxed — see GLOBAL_PHASE; the label is diagnostic only.
+    // ORDERING: Relaxed — relaxed-counter; see GLOBAL_PHASE, the label
+    // is diagnostic only.
     GLOBAL_PHASE.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -55,7 +56,8 @@ pub fn begin_phase() {
 #[cfg(feature = "racecheck")]
 #[inline]
 pub(crate) fn global_phase() -> u64 {
-    // ORDERING: Relaxed — diagnostic label, no synchronization implied.
+    // ORDERING: Relaxed — relaxed-load of a diagnostic label, no
+    // synchronization implied.
     GLOBAL_PHASE.load(Ordering::Relaxed)
 }
 
@@ -63,11 +65,11 @@ pub(crate) fn global_phase() -> u64 {
 /// numeric form).
 #[cfg(feature = "racecheck")]
 pub(crate) fn thread_ordinal() -> u64 {
-    use std::sync::atomic::{AtomicU64 as A64, Ordering as Ord};
-    // ORDERING: Relaxed — ids only need uniqueness, not ordering.
-    static NEXT: A64 = A64::new(1);
+    // ORDERING: Relaxed — relaxed-counter; ids only need uniqueness, not
+    // ordering.
+    static NEXT: AtomicU64 = AtomicU64::new(1);
     thread_local! {
-        static ORDINAL: u64 = NEXT.fetch_add(1, Ord::Relaxed);
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
     }
     ORDINAL.with(|t| *t)
 }

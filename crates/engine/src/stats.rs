@@ -467,6 +467,17 @@ impl StatsSink {
     }
 
     /// Copies out everything recorded so far.
+    ///
+    /// The four clones are struct-literal temporaries, so all four
+    /// guards overlap until the literal is built — that nests the locks
+    /// in field order. Recorders only ever take one lock at a time, so
+    /// the hierarchy below is the only multi-lock shape in this file.
+    // LOCK-ORDER: stats::StatsSink.steps -> stats::StatsSink.switches
+    // LOCK-ORDER: stats::StatsSink.steps -> stats::StatsSink.recoveries
+    // LOCK-ORDER: stats::StatsSink.steps -> stats::StatsSink.degrades
+    // LOCK-ORDER: stats::StatsSink.switches -> stats::StatsSink.recoveries
+    // LOCK-ORDER: stats::StatsSink.switches -> stats::StatsSink.degrades
+    // LOCK-ORDER: stats::StatsSink.recoveries -> stats::StatsSink.degrades
     pub fn snapshot(&self) -> RunStats {
         RunStats {
             steps: self.steps.lock().clone(),

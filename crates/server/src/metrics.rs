@@ -69,6 +69,28 @@ pub struct MemorySnapshot {
     pub pool_bytes_high_water: u64,
 }
 
+/// Which [`ServeMetrics`] counter a response carrying each wire error
+/// code bumps. The taxonomy is closed: every `ErrorCode` wire spelling
+/// appears here exactly once, and `cargo xtask audit` (taxonomy pass)
+/// fails if this table and `protocol.rs` drift apart. The four
+/// `"failed"` rows share one counter because they all describe a job
+/// that ran and died (`watchdog-killed` additionally bumps
+/// `watchdog_kills` at the kill site).
+pub const CODE_COUNTERS: [(&str, &str); 12] = [
+    ("bad-request", "rejected_bad_request"),
+    ("unknown-primitive", "rejected_bad_request"),
+    ("src-out-of-range", "rejected_bad_request"),
+    ("queue-full", "rejected_queue_full"),
+    ("deadline-expired", "rejected_deadline"),
+    ("circuit-open", "rejected_breaker"),
+    ("shutting-down", "rejected_shutdown"),
+    ("over-budget", "rejected_over_budget"),
+    ("watchdog-killed", "failed"),
+    ("operator-panic", "failed"),
+    ("resume-failed", "failed"),
+    ("internal", "failed"),
+];
+
 /// Bumps one monotonic counter.
 pub fn bump(counter: &AtomicU64) {
     // ORDERING: Relaxed — independent monotonic counters read only for
@@ -211,5 +233,30 @@ mod tests {
         assert_eq!(mem.get("budget_limit").and_then(JsonValue::as_u64), Some(1 << 20));
         assert_eq!(mem.get("peak_bytes").and_then(JsonValue::as_u64), Some(8192));
         assert_eq!(mem.get("denials").and_then(JsonValue::as_u64), Some(2));
+    }
+
+    #[test]
+    fn code_counters_cover_the_whole_taxonomy_bijectively() {
+        use crate::protocol::ErrorCode;
+        assert_eq!(CODE_COUNTERS.len(), ErrorCode::ALL.len());
+        for code in ErrorCode::ALL {
+            let rows = CODE_COUNTERS.iter().filter(|(wire, _)| *wire == code.as_str()).count();
+            assert_eq!(rows, 1, "{} must appear exactly once", code.as_str());
+        }
+        // every target is a real ServeMetrics counter
+        let m = ServeMetrics::default();
+        for (_, counter) in CODE_COUNTERS {
+            let field = match counter {
+                "rejected_bad_request" => &m.rejected_bad_request,
+                "rejected_queue_full" => &m.rejected_queue_full,
+                "rejected_deadline" => &m.rejected_deadline,
+                "rejected_breaker" => &m.rejected_breaker,
+                "rejected_shutdown" => &m.rejected_shutdown,
+                "rejected_over_budget" => &m.rejected_over_budget,
+                "failed" => &m.failed,
+                other => panic!("CODE_COUNTERS names unknown counter {other}"),
+            };
+            bump(field);
+        }
     }
 }

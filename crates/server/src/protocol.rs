@@ -74,6 +74,24 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// Every code, in taxonomy order. Exists so downstream exhaustiveness
+    /// checks (`metrics::CODE_COUNTERS`, the `cargo xtask audit` taxonomy
+    /// pass) can iterate the closed set without a match statement.
+    pub const ALL: [ErrorCode; 12] = [
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownPrimitive,
+        ErrorCode::SrcOutOfRange,
+        ErrorCode::QueueFull,
+        ErrorCode::DeadlineExpired,
+        ErrorCode::CircuitOpen,
+        ErrorCode::ShuttingDown,
+        ErrorCode::OverBudget,
+        ErrorCode::WatchdogKilled,
+        ErrorCode::OperatorPanic,
+        ErrorCode::ResumeFailed,
+        ErrorCode::Internal,
+    ];
+
     /// The wire spelling of the code.
     pub fn as_str(self) -> &'static str {
         match self {

@@ -1,0 +1,33 @@
+// Deliberately-bad lock-order fixture: one annotated edge, one
+// unannotated reverse edge (which also closes a cycle), and a
+// `Condvar::wait` that sleeps while holding a second lock. Never
+// compiled; the audit self-tests point `gunrock-audit` here with
+// --root and assert each finding fires with a file:line.
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        // LOCK-ORDER: lockcycle::Pair.a -> lockcycle::Pair.b
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *gb += *ga;
+    }
+
+    pub fn backward(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga += *gb;
+    }
+
+    pub fn waits_holding_both(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        let _woken = self.cv.wait(ga);
+        drop(gb);
+    }
+}

@@ -1,0 +1,20 @@
+// Deliberately-bad atomics fixture: a Release store whose field has no
+// Acquire-side reader anywhere, and a Relaxed load whose ORDERING note
+// claims a pairing Relaxed cannot provide. Never compiled; the audit
+// self-tests assert both findings fire with a file:line.
+
+pub struct Publisher {
+    ready: AtomicBool,
+}
+
+impl Publisher {
+    pub fn publish(&self) {
+        // ORDERING: Release — publishes the staged result buffer.
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn poll(&self) -> bool {
+        // ORDERING: Relaxed — pairs with the Release in `publish`.
+        self.ready.load(Ordering::Relaxed)
+    }
+}

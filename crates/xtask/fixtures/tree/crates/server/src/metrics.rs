@@ -1,0 +1,7 @@
+// Taxonomy fixture counter table: misses `internal` and counts a code
+// the enum does not define. Never compiled.
+
+pub const CODE_COUNTERS: [(&str, &str); 2] = [
+    ("bad-request", "rejected_bad_request"),
+    ("gone-fishing", "rejected_gone_fishing"),
+];

@@ -1,0 +1,643 @@
+//! The atomics-protocol audit pass.
+//!
+//! The ORDERING lint proves every atomic site carries a justification;
+//! this pass checks that the justified sites form coherent *protocols*.
+//! It inventories every atomic field by (struct, field) across files,
+//! groups sites by the field they touch, classifies each site's role
+//! from its op + ordering, and then checks three cross-site properties:
+//!
+//! - a Release store (or Release RMW) whose field has **no**
+//!   Acquire-or-stronger reader anywhere publishes to nobody — either
+//!   the reader is missing (a bug) or Relaxed would do (overclaimed);
+//! - a `Relaxed` site whose justification says it "pairs with" another
+//!   site claims a synchronizes-with edge that Relaxed cannot provide;
+//! - a field whose whole protocol is SeqCst loads and stores of one
+//!   flag needs no sequential consistency — pairwise Release/Acquire
+//!   gives the same guarantee cheaper, so keeping SeqCst takes an
+//!   `// AUDIT-OK(reason)` (single-variable flags have no Dekker-style
+//!   multi-variable invariant for SeqCst to protect).
+//!
+//! Role vocabulary (also the words ORDERING notes should use):
+//! `relaxed-counter` (Relaxed RMW), `cas-loop` (compare_exchange /
+//! fetch_update), `release-store` / `acquire-load` (the publication
+//! pair), `relaxed-load` / `relaxed-store` (flags with external
+//! ordering), `seqcst-*` (strongest, needs an argument).
+
+use super::lockorder::receiver_before;
+use super::{push_json_str, AuditFinding, AuditPass, SourceFile};
+use crate::passes::{block_above_has, block_above_text};
+use crate::scanner::find_token;
+use std::collections::BTreeMap;
+
+const ATOMIC_TYPES: [&str; 11] = [
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+];
+
+const OPS: [&str; 15] = [
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+#[derive(Debug)]
+struct Decl {
+    file: String,
+    owner: String,
+    ty: String,
+}
+
+#[derive(Debug)]
+struct Site {
+    file: String,
+    line: usize,
+    op: String,
+    ordering: String,
+    role: &'static str,
+    snippet: String,
+    audit_ok: bool,
+    /// Lowercased comment text on/above the site — what its note claims.
+    claim: String,
+}
+
+#[derive(Debug, Default)]
+struct Group {
+    decls: Vec<Decl>,
+    sites: Vec<Site>,
+}
+
+/// Runs the pass over the scoped files, appending findings and
+/// returning the `audit/atomics.json` inventory document.
+pub fn run(files: &[&SourceFile], findings: &mut Vec<AuditFinding>) -> String {
+    let mut groups: BTreeMap<String, Group> = BTreeMap::new();
+    for f in files {
+        collect_decls(f, &mut groups);
+        collect_sites(f, &mut groups);
+    }
+
+    for (name, group) in &groups {
+        check_release_without_acquire(name, group, findings);
+        check_relaxed_claiming_pairing(group, findings);
+        check_all_seqcst_flag(name, group, findings);
+    }
+
+    render_json(&groups)
+}
+
+/// Role of a site, from its op and ordering. This is the vocabulary
+/// ORDERING notes should name.
+fn role(op: &str, ordering: &str) -> &'static str {
+    match op {
+        "compare_exchange" | "compare_exchange_weak" | "compare_and_swap" | "fetch_update" => {
+            "cas-loop"
+        }
+        "swap" => "swap",
+        "load" => match ordering {
+            "Acquire" | "SeqCst" => "acquire-load",
+            _ => "relaxed-load",
+        },
+        "store" => match ordering {
+            "Release" | "SeqCst" => "release-store",
+            _ => "relaxed-store",
+        },
+        // fetch_* read-modify-writes
+        _ => match ordering {
+            "Relaxed" => "relaxed-counter",
+            "Acquire" => "acquire-rmw",
+            "Release" => "release-rmw",
+            _ => "acqrel-rmw",
+        },
+    }
+}
+
+/// Does this site act as the release (publishing) side of a pairing?
+fn is_release_side(s: &Site) -> bool {
+    match s.op.as_str() {
+        "store" => matches!(s.ordering.as_str(), "Release" | "SeqCst"),
+        "load" => false,
+        _ => matches!(s.ordering.as_str(), "Release" | "AcqRel" | "SeqCst"),
+    }
+}
+
+/// Does this site act as the acquire (consuming) side of a pairing?
+fn is_acquire_side(s: &Site) -> bool {
+    match s.op.as_str() {
+        "load" => matches!(s.ordering.as_str(), "Acquire" | "SeqCst"),
+        "store" => false,
+        _ => matches!(s.ordering.as_str(), "Acquire" | "AcqRel" | "SeqCst"),
+    }
+}
+
+fn check_release_without_acquire(name: &str, group: &Group, out: &mut Vec<AuditFinding>) {
+    if group.decls.is_empty() {
+        // sites on locals/parameters can pair under another field name;
+        // only declared fields support a whole-program claim
+        return;
+    }
+    let releases: Vec<&Site> = group.sites.iter().filter(|s| is_release_side(s)).collect();
+    if releases.is_empty() || group.sites.iter().any(is_acquire_side) {
+        return;
+    }
+    if group.sites.iter().any(|s| s.audit_ok) {
+        return;
+    }
+    let first = releases[0];
+    out.push(AuditFinding {
+        pass: AuditPass::Atomics,
+        file: first.file.clone(),
+        line: first.line,
+        message: format!(
+            "`{name}` has a {} but no Acquire-or-stronger reader anywhere in the tree \
+             — the publication synchronizes with nobody (add the Acquire load, or \
+             downgrade to Relaxed if nothing is published)",
+            first.role
+        ),
+        snippet: first.snippet.clone(),
+    });
+}
+
+fn check_relaxed_claiming_pairing(group: &Group, out: &mut Vec<AuditFinding>) {
+    for s in &group.sites {
+        if s.ordering == "Relaxed" && s.claim.contains("pairs with") && !s.audit_ok {
+            out.push(AuditFinding {
+                pass: AuditPass::Atomics,
+                file: s.file.clone(),
+                line: s.line,
+                message: "Relaxed site whose ORDERING note claims it \"pairs with\" \
+                          another site — Relaxed creates no synchronizes-with edge; \
+                          use Release/Acquire or fix the note"
+                    .into(),
+                snippet: s.snippet.clone(),
+            });
+        }
+    }
+}
+
+fn check_all_seqcst_flag(name: &str, group: &Group, out: &mut Vec<AuditFinding>) {
+    if group.decls.is_empty() || group.sites.iter().any(|s| s.audit_ok) {
+        return;
+    }
+    let loads = group.sites.iter().filter(|s| s.op == "load").count();
+    let stores = group.sites.iter().filter(|s| s.op == "store").count();
+    if loads == 0 || stores == 0 || loads + stores != group.sites.len() {
+        return; // RMWs/CAS in the mix: SeqCst may be doing real work
+    }
+    if !group.sites.iter().all(|s| s.ordering == "SeqCst") {
+        return;
+    }
+    let first_store =
+        group.sites.iter().filter(|s| s.op == "store").min_by_key(|s| (s.file.clone(), s.line));
+    if let Some(s) = first_store {
+        out.push(AuditFinding {
+            pass: AuditPass::Atomics,
+            file: s.file.clone(),
+            line: s.line,
+            message: format!(
+                "`{name}` is a single flag touched only by SeqCst loads/stores — \
+                 pairwise Release/Acquire provably gives the same guarantee (no \
+                 multi-variable invariant exists for SeqCst to order); downgrade, or \
+                 keep it with an `// AUDIT-OK(reason)`"
+            ),
+            snippet: s.snippet.clone(),
+        });
+    }
+}
+
+/// Collects atomic field declarations (struct fields and statics).
+fn collect_decls(f: &SourceFile, groups: &mut BTreeMap<String, Group>) {
+    let mut depth: i64 = 0;
+    let mut struct_stack: Vec<(String, i64)> = Vec::new();
+    for line in &f.lines {
+        if line.in_test {
+            depth += brace_delta(&line.code);
+            continue;
+        }
+        let code = line.code.trim();
+        if let Some(at) = find_token(&line.code, "static", 0) {
+            let rest = line.code[at + "static".len()..].trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            if let Some((name, ty)) = rest.split_once(':') {
+                if let Some(t) = atomic_type(ty) {
+                    add_decl(groups, name.trim(), &f.rel, "static", t);
+                }
+            }
+        }
+        if let Some(at) = find_token(&line.code, "struct", 0) {
+            if let Some(open) = line.code.find('{') {
+                let name: String = line.code[at + "struct".len()..]
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if name.is_empty() {
+                    // not a struct header after all
+                } else if let Some(close) = line.code.rfind('}').filter(|c| *c > open) {
+                    // one-line body: `pub struct D { a: AtomicU64, b: AtomicBool }`
+                    for field in line.code[open + 1..close].split(',') {
+                        if let Some((fname, ty)) = strip_vis(field.trim()).split_once(':') {
+                            if let Some(t) = atomic_type(ty) {
+                                add_decl(groups, fname.trim(), &f.rel, &name, t);
+                            }
+                        }
+                    }
+                } else {
+                    struct_stack.push((name, depth + 1));
+                }
+            }
+        } else if let Some((owner, _)) = struct_stack.last() {
+            if let Some((name, ty)) = strip_vis(code).split_once(':') {
+                let name = name.trim();
+                let owner = owner.clone();
+                if is_ident(name) && !ty.starts_with(':') {
+                    if let Some(t) = atomic_type(ty) {
+                        add_decl(groups, name, &f.rel, &owner, t);
+                    }
+                }
+            }
+        }
+        depth += brace_delta(&line.code);
+        while struct_stack.last().is_some_and(|(_, d)| depth < *d) {
+            struct_stack.pop();
+        }
+    }
+}
+
+fn strip_vis(code: &str) -> &str {
+    code.strip_prefix("pub(crate) ")
+        .or_else(|| code.strip_prefix("pub(super) "))
+        .or_else(|| code.strip_prefix("pub "))
+        .unwrap_or(code)
+}
+
+fn add_decl(
+    groups: &mut BTreeMap<String, Group>,
+    name: &str,
+    file: &str,
+    owner: &str,
+    ty: &str,
+) {
+    if !is_ident(name) || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return;
+    }
+    groups.entry(name.to_string()).or_default().decls.push(Decl {
+        file: file.to_string(),
+        owner: owner.to_string(),
+        ty: ty.to_string(),
+    });
+}
+
+/// The atomic type named in a declared type, if any — `Arc<AtomicBool>`
+/// and `Vec<AtomicU64>` count: the wrapper changes sharing, not the
+/// protocol.
+fn atomic_type(ty: &str) -> Option<&'static str> {
+    ATOMIC_TYPES.iter().find(|t| ty.contains(*t)).copied()
+}
+
+/// Collects atomic op sites. A site is `.op(...)` whose argument list
+/// names an `Ordering::` — which is what separates `AtomicU32::load`
+/// from `Graph::load(path)`.
+fn collect_sites(f: &SourceFile, groups: &mut BTreeMap<String, Group>) {
+    for (idx, line) in f.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for op in OPS {
+            let needle = format!(".{op}(");
+            let mut from = 0;
+            while let Some(at) = code[from..].find(&needle).map(|p| from + p) {
+                from = at + needle.len();
+                let Some(ordering) = call_ordering(&f.lines, idx, at + needle.len() - 1) else {
+                    continue;
+                };
+                let mut receiver = receiver_before(code, at);
+                if receiver.is_empty() || receiver == "self" {
+                    // multiline chain: `self.reserved\n    .compare_exchange(...)`
+                    if idx > 0 {
+                        let prev = f.lines[idx - 1].code.trim_end();
+                        receiver = receiver_before(prev, prev.len());
+                    }
+                }
+                if !is_ident(&receiver)
+                    || receiver.chars().next().is_some_and(|c| c.is_ascii_digit())
+                {
+                    continue;
+                }
+                let r = role(op, &ordering);
+                groups.entry(receiver).or_default().sites.push(Site {
+                    file: f.rel.clone(),
+                    line: line.number,
+                    op: op.to_string(),
+                    ordering,
+                    role: r,
+                    snippet: code.trim().to_string(),
+                    audit_ok: block_above_has(&f.lines, idx, "AUDIT-OK("),
+                    claim: block_above_text(&f.lines, idx).to_lowercase(),
+                });
+            }
+        }
+    }
+}
+
+/// The first `Ordering::<X>` named inside the call whose open paren sits
+/// at `open` on `lines[idx]` — scanning across lines until the paren
+/// balance closes (bounded, so a stray unbalanced line cannot run away).
+fn call_ordering(lines: &[crate::scanner::Line], idx: usize, open: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut arg_text = String::new();
+    for (j, line) in lines.iter().enumerate().skip(idx).take(8) {
+        let code = if j == idx { &line.code[open..] } else { line.code.as_str() };
+        for c in code.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return extract_ordering(&arg_text);
+                    }
+                }
+                c => {
+                    if depth > 0 {
+                        arg_text.push(c);
+                    }
+                }
+            }
+        }
+        arg_text.push(' ');
+    }
+    extract_ordering(&arg_text)
+}
+
+fn extract_ordering(text: &str) -> Option<String> {
+    let at = text.find("Ordering::")? + "Ordering::".len();
+    let name: String =
+        text[at..].chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+fn brace_delta(code: &str) -> i64 {
+    code.chars().fold(0, |acc, c| match c {
+        '{' => acc + 1,
+        '}' => acc - 1,
+        _ => acc,
+    })
+}
+
+/// Renders the committed `audit/atomics.json` inventory: groups sorted
+/// by field name, sites aggregated by (file, op, ordering, role) so the
+/// document only changes when the protocol does — not when a line moves.
+fn render_json(groups: &BTreeMap<String, Group>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"gunrock-audit/v1\",\n");
+    out.push_str("  \"kind\": \"atomics\",\n");
+    out.push_str("  \"fields\": [");
+    let mut first_group = true;
+    for (name, group) in groups {
+        if group.sites.is_empty() && group.decls.is_empty() {
+            continue;
+        }
+        out.push_str(if first_group { "\n" } else { ",\n" });
+        first_group = false;
+        out.push_str("    {\"name\": ");
+        push_json_str(&mut out, name);
+        out.push_str(", \"declared\": [");
+        let mut decls: Vec<String> = group
+            .decls
+            .iter()
+            .map(|d| {
+                let mut s = String::from("{\"file\": ");
+                push_json_str(&mut s, &d.file);
+                s.push_str(", \"owner\": ");
+                push_json_str(&mut s, &d.owner);
+                s.push_str(", \"type\": ");
+                push_json_str(&mut s, &d.ty);
+                s.push('}');
+                s
+            })
+            .collect();
+        decls.sort();
+        decls.dedup();
+        out.push_str(&decls.join(", "));
+        out.push_str("], \"sites\": [");
+        let mut agg: BTreeMap<(String, String, String, &str), usize> = BTreeMap::new();
+        for s in &group.sites {
+            *agg.entry((s.file.clone(), s.op.clone(), s.ordering.clone(), s.role))
+                .or_insert(0) += 1;
+        }
+        let mut first_site = true;
+        for ((file, op, ordering, role), count) in &agg {
+            if !first_site {
+                out.push_str(", ");
+            }
+            first_site = false;
+            out.push_str("{\"file\": ");
+            push_json_str(&mut out, file);
+            out.push_str(", \"op\": ");
+            push_json_str(&mut out, op);
+            out.push_str(", \"ordering\": ");
+            push_json_str(&mut out, ordering);
+            out.push_str(", \"role\": ");
+            push_json_str(&mut out, role);
+            out.push_str(&format!(", \"count\": {count}}}"));
+        }
+        out.push_str("]}");
+    }
+    if !first_group {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn source(rel: &str, src: &str) -> SourceFile {
+        SourceFile { rel: rel.into(), lines: scan(src) }
+    }
+
+    fn audit(srcs: &[(&str, &str)]) -> (Vec<AuditFinding>, String) {
+        let files: Vec<SourceFile> = srcs.iter().map(|(r, s)| source(r, s)).collect();
+        let refs: Vec<&SourceFile> = files.iter().collect();
+        let mut findings = Vec::new();
+        let json = run(&refs, &mut findings);
+        (findings, json)
+    }
+
+    #[test]
+    fn release_store_with_acquire_load_is_coherent() {
+        let (findings, json) = audit(&[(
+            "crates/engine/src/flag.rs",
+            "pub struct F { done: AtomicBool }\n\
+             impl F {\n    pub fn set(&self) {\n        \
+             // ORDERING: Release — publishes the result buffer.\n        \
+             self.done.store(true, Ordering::Release);\n    }\n    \
+             pub fn get(&self) -> bool {\n        \
+             // ORDERING: Acquire — pairs with the Release in set.\n        \
+             self.done.load(Ordering::Acquire)\n    }\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(json.contains("\"name\": \"done\""));
+        assert!(json.contains("\"role\": \"release-store\""));
+        assert!(json.contains("\"role\": \"acquire-load\""));
+    }
+
+    #[test]
+    fn release_store_without_any_acquire_reader_is_flagged() {
+        let (findings, _) = audit(&[(
+            "crates/engine/src/flag.rs",
+            "pub struct F { done: AtomicBool }\n\
+             impl F {\n    pub fn set(&self) {\n        \
+             // ORDERING: Release — publishes the result.\n        \
+             self.done.store(true, Ordering::Release);\n    }\n    \
+             pub fn get(&self) -> bool {\n        \
+             // ORDERING: Relaxed — just polling.\n        \
+             self.done.load(Ordering::Relaxed)\n    }\n}\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no Acquire"), "{}", findings[0].message);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn acquire_reader_in_another_file_satisfies_the_pairing() {
+        let (findings, _) = audit(&[
+            (
+                "crates/engine/src/w.rs",
+                "pub struct W { pub done: AtomicBool }\n\
+                 impl W {\n    pub fn set(&self) {\n        \
+                 // ORDERING: Release — publishes.\n        \
+                 self.done.store(true, Ordering::Release);\n    }\n}\n",
+            ),
+            (
+                "crates/server/src/r.rs",
+                "fn poll(w: &W) -> bool {\n    \
+                 // ORDERING: Acquire — consumes the publication.\n    \
+                 w.done.load(Ordering::Acquire)\n}\n",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn relaxed_note_claiming_a_pairing_is_flagged() {
+        let (findings, _) = audit(&[(
+            "crates/engine/src/c.rs",
+            "pub struct C { n: AtomicU64 }\n\
+             impl C {\n    pub fn bump(&self) {\n        \
+             // ORDERING: Relaxed — pairs with the Acquire in read.\n        \
+             self.n.fetch_add(1, Ordering::Relaxed);\n    }\n}\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("pairs with"));
+    }
+
+    #[test]
+    fn all_seqcst_flag_is_advisory_and_audit_ok_waives() {
+        let bad = "pub struct S { stop: AtomicBool }\n\
+             impl S {\n    pub fn set(&self) {\n        \
+             // ORDERING: SeqCst — belt and braces.\n        \
+             self.stop.store(true, Ordering::SeqCst);\n    }\n    \
+             pub fn get(&self) -> bool {\n        \
+             // ORDERING: SeqCst — belt and braces.\n        \
+             self.stop.load(Ordering::SeqCst)\n    }\n}\n";
+        let (findings, _) = audit(&[("crates/engine/src/s.rs", bad)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("SeqCst"));
+
+        let waived = bad.replace(
+            "// ORDERING: SeqCst — belt and braces.\n        self.stop.store",
+            "// ORDERING: SeqCst — signal-handler simplicity.\n        \
+             // AUDIT-OK(slow path; SeqCst keeps the async-signal argument trivial)\n        \
+             self.stop.store",
+        );
+        let (findings, _) = audit(&[("crates/engine/src/s.rs", &waived)]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn relaxed_counters_and_cas_loops_are_clean() {
+        let (findings, json) = audit(&[(
+            "crates/engine/src/b.rs",
+            "pub struct B { reserved: AtomicU64 }\n\
+             impl B {\n    pub fn reserve(&self, n: u64) {\n        \
+             // ORDERING: Relaxed — CAS loop, value-only accounting.\n        \
+             let _ = self.reserved.compare_exchange_weak(\n            \
+             0, n, Ordering::Relaxed, Ordering::Relaxed);\n        \
+             // ORDERING: Relaxed — relaxed-counter telemetry.\n        \
+             self.reserved.fetch_add(0, Ordering::Relaxed);\n    }\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(json.contains("\"role\": \"cas-loop\""));
+        assert!(json.contains("\"role\": \"relaxed-counter\""));
+    }
+
+    #[test]
+    fn multiline_calls_resolve_receiver_and_ordering() {
+        let (_, json) = audit(&[(
+            "crates/engine/src/m.rs",
+            "pub struct M { hw: AtomicU64 }\n\
+             impl M {\n    pub fn observe(&self, v: u64) {\n        \
+             // ORDERING: Relaxed — monotonic max, value-only.\n        \
+             self.hw\n            .fetch_max(v, Ordering::Relaxed);\n    }\n}\n",
+        )]);
+        assert!(json.contains("\"name\": \"hw\""), "{json}");
+        assert!(json.contains("\"op\": \"fetch_max\""), "{json}");
+    }
+
+    #[test]
+    fn non_atomic_load_calls_are_not_sites() {
+        let (_, json) = audit(&[(
+            "crates/graph/src/io.rs",
+            "fn f() {\n    let g = Graph::load(\"x\");\n    let _ = g;\n}\n",
+        )]);
+        assert!(!json.contains("\"op\": \"load\""), "{json}");
+    }
+
+    #[test]
+    fn inventory_is_deterministic() {
+        let srcs = [(
+            "crates/engine/src/d.rs",
+            "pub struct D { a: AtomicU64, b: AtomicBool }\n\
+             impl D {\n    pub fn f(&self) {\n        \
+             // ORDERING: Relaxed — counter.\n        \
+             self.a.fetch_add(1, Ordering::Relaxed);\n    }\n}\n",
+        )];
+        let (_, j1) = audit(&srcs);
+        let (_, j2) = audit(&srcs);
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"name\": \"a\""));
+        assert!(j1.contains("\"name\": \"b\""), "decl-only fields stay in the inventory");
+    }
+}

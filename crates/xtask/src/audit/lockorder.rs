@@ -1,0 +1,957 @@
+//! The lock-order audit pass.
+//!
+//! A deadlock needs two locks taken in opposite orders — which is
+//! invisible to any single-site lint. This pass recovers, per function,
+//! which locks are *held* when another is acquired, accumulates the
+//! acquisition edges into a cross-crate graph, and then checks three
+//! properties: the graph is acyclic, every edge carries a
+//! `// LOCK-ORDER: <parent> -> <child>` annotation at (or above) some
+//! acquisition site, and no blocking call (`Condvar::wait`, thread
+//! join, channel recv, IO) runs while a lock is held.
+//!
+//! Lock identity is `<file-stem>::<Struct>.<field>` for fields,
+//! `<file-stem>::<STATIC>` for statics. Scope tracking is heuristic —
+//! brace depth plus binding shape — tuned to the workspace's idioms:
+//! guards bound with `let` live to the end of their block or an explicit
+//! `drop(guard)`; guards consumed by `Condvar::wait` are released (and
+//! re-acquired if the result rebinds the same name); temporaries like
+//! `self.lock().field = x;` live to the end of their statement. Helper
+//! methods that return a guard (`fn lock(&self) -> MutexGuard<...>`,
+//! `fn registry(&self) -> MutexGuard<...>`) are resolved file-locally,
+//! so `self.lock()` and `shared.registry()` count as acquisitions of
+//! the underlying field.
+
+use super::{push_json_str, AuditFinding, AuditPass, SourceFile};
+use crate::passes::block_above_has;
+use crate::scanner::{find_token, has_token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What the lock pass hands back to the orchestrator.
+pub struct LockPassOutput {
+    /// The `audit/lock_order.json` document.
+    pub json: String,
+    /// Sorted `(from, to)` edge ids for the `--deny-new-edges` gate.
+    pub edges: Vec<(String, String)>,
+}
+
+/// Per-file lock inventory: field/static/alias names resolved to ids.
+#[derive(Default)]
+struct FileLocks {
+    /// field name -> (lock id, kind)
+    fields: BTreeMap<String, (String, &'static str)>,
+    /// static name -> (lock id, kind)
+    statics: BTreeMap<String, (String, &'static str)>,
+    /// guard-returning helper method name -> lock id
+    aliases: BTreeMap<String, String>,
+    /// field names that are condvars (not locks, but wait targets)
+    condvars: BTreeSet<String>,
+}
+
+/// One lock currently held at a point in a function body.
+#[derive(Clone)]
+struct Hold {
+    id: String,
+    /// The guard variable, if the acquisition was `let`-bound.
+    var: Option<String>,
+    /// Brace depth the hold lives at; released when depth drops below.
+    depth: i64,
+    /// Statement-scoped temporary (no binding, no block): released at
+    /// the next `;` at or below its depth.
+    temp: bool,
+}
+
+struct EdgeInfo {
+    files: BTreeSet<String>,
+    first_file: String,
+    first_line: usize,
+    snippet: String,
+}
+
+pub fn run(files: &[&SourceFile], findings: &mut Vec<AuditFinding>) -> LockPassOutput {
+    // pass 1: per-file inventories (declarations + guard-returning helpers)
+    let mut inventories: Vec<FileLocks> = files.iter().map(|f| collect_decls(f)).collect();
+    for (f, inv) in files.iter().zip(inventories.iter_mut()) {
+        collect_aliases(f, inv);
+    }
+
+    // global registry for the committed inventory
+    let mut locks: BTreeMap<String, (&'static str, String)> = BTreeMap::new();
+    for (f, inv) in files.iter().zip(inventories.iter()) {
+        for (id, kind) in inv.fields.values().chain(inv.statics.values()) {
+            locks.insert(id.clone(), (kind, f.rel.clone()));
+        }
+    }
+
+    // pass 2: acquisition scopes and edges
+    let mut edges: BTreeMap<(String, String), EdgeInfo> = BTreeMap::new();
+    for (f, inv) in files.iter().zip(inventories.iter()) {
+        scan_file(f, inv, &mut locks, &mut edges, findings);
+    }
+
+    // pass 3: annotations (collected from every scoped file's comments)
+    let mut annotations: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    for f in files {
+        for line in &f.lines {
+            let mut rest = line.comment.as_str();
+            while let Some(at) = rest.find("LOCK-ORDER:") {
+                let spec = &rest[at + "LOCK-ORDER:".len()..];
+                if let Some((from, to)) = parse_edge_spec(spec) {
+                    annotations.entry((from, to)).or_insert((f.rel.clone(), line.number));
+                }
+                rest = &rest[at + "LOCK-ORDER:".len()..];
+            }
+        }
+    }
+
+    for ((from, to), info) in &edges {
+        if !annotations.contains_key(&(from.clone(), to.clone())) {
+            findings.push(AuditFinding {
+                pass: AuditPass::LockOrder,
+                file: info.first_file.clone(),
+                line: info.first_line,
+                message: format!(
+                    "lock-order edge `{from} -> {to}` has no \
+                     `// LOCK-ORDER: {from} -> {to}` annotation at any acquisition site"
+                ),
+                snippet: info.snippet.clone(),
+            });
+        }
+    }
+    for ((from, to), (file, line)) in &annotations {
+        if !edges.contains_key(&(from.clone(), to.clone())) {
+            findings.push(AuditFinding {
+                pass: AuditPass::LockOrder,
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "stale `LOCK-ORDER: {from} -> {to}` annotation — no such \
+                     acquisition edge exists in the tree (fix the annotation or the code)"
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+
+    // pass 4: cycle detection over the edge graph
+    for cycle in find_cycles(&edges) {
+        let first = edges
+            .get(&(cycle[0].clone(), cycle[1 % cycle.len()].clone()))
+            .map(|i| (i.first_file.clone(), i.first_line, i.snippet.clone()))
+            .unwrap_or_default();
+        let mut path = cycle.join(" -> ");
+        path.push_str(" -> ");
+        path.push_str(&cycle[0]);
+        findings.push(AuditFinding {
+            pass: AuditPass::LockOrder,
+            file: first.0,
+            line: first.1,
+            message: format!(
+                "lock-order cycle: {path} (potential deadlock — two threads taking \
+                 these in opposite orders wait on each other forever)"
+            ),
+            snippet: first.2,
+        });
+    }
+
+    let edge_ids: Vec<(String, String)> = edges.keys().cloned().collect();
+    let json = render_json(&locks, &edges, &annotations);
+    LockPassOutput { json, edges: edge_ids }
+}
+
+/// Kind of a synchronization field, judged from its declared type text.
+fn sync_kind(type_text: &str) -> Option<&'static str> {
+    let t = type_text.trim();
+    if t.contains("Mutex<") {
+        Some("mutex")
+    } else if t.contains("RwLock<") {
+        Some("rwlock")
+    } else if has_token(t, "Condvar") && !t.contains("Condvar::") {
+        Some("condvar")
+    } else {
+        None
+    }
+}
+
+/// File stem (`breaker` for `crates/engine/src/breaker.rs`) — the
+/// module-name half of every lock id.
+fn stem(rel: &str) -> &str {
+    rel.rsplit('/').next().unwrap_or(rel).trim_end_matches(".rs")
+}
+
+/// Collects `Mutex`/`RwLock`/`Condvar` struct fields and statics.
+fn collect_decls(f: &SourceFile) -> FileLocks {
+    let mut inv = FileLocks::default();
+    let module = stem(&f.rel);
+    let mut depth: i64 = 0;
+    // (struct name, depth its body opened at)
+    let mut struct_stack: Vec<(String, i64)> = Vec::new();
+    for line in &f.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim();
+        // statics: `static NAME: Mutex<...> = ...` at any depth
+        if let Some(at) = find_token(&line.code, "static", 0) {
+            let rest = &line.code[at + "static".len()..];
+            let rest = rest.trim_start().trim_start_matches("mut ").trim_start();
+            if let Some((name, ty)) = rest.split_once(':') {
+                let name = name.trim();
+                if is_ident(name) {
+                    if let Some(kind) = sync_kind(ty) {
+                        if kind != "condvar" {
+                            inv.statics
+                                .insert(name.to_string(), (format!("{module}::{name}"), kind));
+                        }
+                    }
+                }
+            }
+        }
+        // struct headers open a field region
+        if let Some(at) = find_token(&line.code, "struct", 0) {
+            if line.code.contains('{') {
+                let rest = &line.code[at + "struct".len()..];
+                let name: String = rest
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    struct_stack.push((name, depth + 1));
+                }
+            }
+        } else if let Some((owner, _)) = struct_stack.last() {
+            // field declaration: `name: Type,` inside the struct body
+            let body = code
+                .strip_prefix("pub(crate) ")
+                .or_else(|| code.strip_prefix("pub(super) "))
+                .or_else(|| code.strip_prefix("pub "))
+                .unwrap_or(code);
+            if let Some((name, ty)) = body.split_once(':') {
+                let name = name.trim();
+                // `Mutex::new` etc. in initializers has no `<`, so only
+                // real type positions match
+                if is_ident(name) && !ty.starts_with(':') {
+                    if let Some(kind) = sync_kind(ty) {
+                        if kind == "condvar" {
+                            inv.condvars.insert(name.to_string());
+                        } else {
+                            inv.fields.insert(
+                                name.to_string(),
+                                (format!("{module}::{owner}.{name}"), kind),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        depth += brace_delta(&line.code);
+        while struct_stack.last().is_some_and(|(_, d)| depth < *d) {
+            struct_stack.pop();
+        }
+    }
+    inv
+}
+
+/// Registers guard-returning helper methods (`fn lock(&self) ->
+/// MutexGuard<...>`) as aliases for the field they lock, so call sites
+/// like `self.lock()` resolve to the real lock.
+fn collect_aliases(f: &SourceFile, inv: &mut FileLocks) {
+    let mut pending: Option<(String, i64)> = None; // (fn name, header depth)
+    let mut depth: i64 = 0;
+    for line in &f.lines {
+        if !line.in_test {
+            if let Some(at) = find_token(&line.code, "fn", 0) {
+                // only guard *types* count: `ContextGuard`/`RunGuard`
+                // wrappers are not lock handles
+                if line.code.contains("MutexGuard")
+                    || line.code.contains("RwLockReadGuard")
+                    || line.code.contains("RwLockWriteGuard")
+                {
+                    let rest = &line.code[at + "fn".len()..];
+                    let name: String = rest
+                        .trim_start()
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        pending = Some((name, depth));
+                    }
+                }
+            }
+            if let Some((name, _)) = pending.clone() {
+                for (field, (id, _)) in &inv.fields {
+                    if line.code.contains(&format!(".{field}.lock()"))
+                        || line.code.contains(&format!(".{field}.read()"))
+                        || line.code.contains(&format!(".{field}.write()"))
+                    {
+                        inv.aliases.insert(name.clone(), id.clone());
+                        pending = None;
+                        break;
+                    }
+                }
+            }
+        }
+        depth += brace_delta(&line.code);
+        if let Some((_, d)) = &pending {
+            if depth <= *d && line.code.contains('}') {
+                pending = None; // helper body ended without a direct acquisition
+            }
+        }
+    }
+}
+
+/// Blocking calls that must not run under a lock. Empty-paren forms
+/// distinguish `handle.join()` (thread) from `sep.join(parts)` (string).
+const BLOCKING: [&str; 9] = [
+    ".join()",
+    ".recv()",
+    "thread::sleep",
+    ".accept()",
+    ".read_line(",
+    ".write_all(",
+    ".flush()",
+    "read_to_string(",
+    "File::open(",
+];
+
+fn scan_file(
+    f: &SourceFile,
+    inv: &FileLocks,
+    locks: &mut BTreeMap<String, (&'static str, String)>,
+    edges: &mut BTreeMap<(String, String), EdgeInfo>,
+    findings: &mut Vec<AuditFinding>,
+) {
+    let module = stem(&f.rel);
+    let mut depth: i64 = 0;
+    let mut holds: Vec<Hold> = Vec::new();
+    for (idx, line) in f.lines.iter().enumerate() {
+        if line.in_test {
+            depth += brace_delta(&line.code);
+            holds.retain(|h| h.depth <= depth);
+            continue;
+        }
+        let code = &line.code;
+        let end_depth = depth + brace_delta(code);
+        let opened_block = end_depth > depth;
+
+        // acquisitions, left to right
+        for (pos, method) in acquisition_sites(code, inv) {
+            let receiver = receiver_before(code, pos);
+            let resolved = inv
+                .fields
+                .get(&receiver)
+                .or_else(|| inv.statics.get(&receiver))
+                .map(|(id, _)| id.clone())
+                .or_else(|| inv.aliases.get(&method).cloned())
+                .unwrap_or_else(|| {
+                    let id = format!("{module}::{receiver}");
+                    locks.entry(id.clone()).or_insert(("unresolved", f.rel.clone()));
+                    id
+                });
+            for h in &holds {
+                if h.id == resolved {
+                    if !block_above_has(&f.lines, idx, "AUDIT-OK(") {
+                        findings.push(AuditFinding {
+                            pass: AuditPass::LockOrder,
+                            file: f.rel.clone(),
+                            line: line.number,
+                            message: format!(
+                                "`{resolved}` acquired while already held — a std \
+                                 Mutex self-deadlocks here"
+                            ),
+                            snippet: code.trim().to_string(),
+                        });
+                    }
+                } else {
+                    let e =
+                        edges.entry((h.id.clone(), resolved.clone())).or_insert_with(|| {
+                            EdgeInfo {
+                                files: BTreeSet::new(),
+                                first_file: f.rel.clone(),
+                                first_line: line.number,
+                                snippet: code.trim().to_string(),
+                            }
+                        });
+                    e.files.insert(f.rel.clone());
+                }
+            }
+            let (bound_var, temp) = binding_shape(code, pos, opened_block);
+            holds.push(Hold { id: resolved, var: bound_var, depth: end_depth, temp });
+        }
+
+        // Condvar::wait releases (and maybe re-binds) the guard it consumes
+        if let Some(guard_arg) = wait_guard_arg(code) {
+            let held_others: Vec<String> = holds
+                .iter()
+                .filter(|h| h.var.as_deref() != Some(guard_arg.as_str()))
+                .map(|h| h.id.clone())
+                .collect();
+            if !held_others.is_empty() && !block_above_has(&f.lines, idx, "AUDIT-OK(") {
+                findings.push(AuditFinding {
+                    pass: AuditPass::LockOrder,
+                    file: f.rel.clone(),
+                    line: line.number,
+                    message: format!(
+                        "`Condvar::wait` while holding {} — the wait only releases its \
+                         own guard, so every other lock is held for the full sleep",
+                        held_others.join(", ")
+                    ),
+                    snippet: code.trim().to_string(),
+                });
+            }
+            // `g = cv.wait(g)` (or `let g = ...`) keeps the hold; a wait
+            // whose result binds elsewhere releases it. Token-boundary
+            // match so `_gm = ...` does not count as rebinding `gm`.
+            let rebinds = find_token(code, &guard_arg, 0).is_some_and(|at| {
+                let tail = code[at + guard_arg.len()..].trim_start();
+                tail.starts_with('=') && !tail.starts_with("==")
+            });
+            if !rebinds {
+                holds.retain(|h| h.var.as_deref() != Some(guard_arg.as_str()));
+            }
+        } else if !holds.is_empty() {
+            // blocking calls under a lock
+            for pat in BLOCKING {
+                if code.contains(pat) && !block_above_has(&f.lines, idx, "AUDIT-OK(") {
+                    let held: Vec<String> = holds.iter().map(|h| h.id.clone()).collect();
+                    findings.push(AuditFinding {
+                        pass: AuditPass::LockOrder,
+                        file: f.rel.clone(),
+                        line: line.number,
+                        message: format!(
+                            "blocking call `{pat}` while holding {} — move the slow \
+                             work outside the critical section",
+                            held.join(", ")
+                        ),
+                        snippet: code.trim().to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+
+        // explicit `drop(guard)` releases
+        let mut from = 0;
+        while let Some(at) = find_token(code, "drop", from) {
+            from = at + 4;
+            let rest = code[at + 4..].trim_start();
+            if let Some(arg) = rest.strip_prefix('(') {
+                let var: String = arg
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !var.is_empty() {
+                    holds.retain(|h| h.var.as_deref() != Some(var.as_str()));
+                }
+            }
+        }
+
+        // statement end releases temporaries; block end releases the rest
+        depth = end_depth;
+        if code.contains(';') {
+            holds.retain(|h| !(h.temp && h.depth >= depth));
+        }
+        holds.retain(|h| h.depth <= depth);
+    }
+}
+
+/// Finds `(position, method)` for every lock acquisition on a line:
+/// empty-arg `.lock()` / `.read()` / `.write()` calls, plus calls to the
+/// file's guard-returning helpers.
+fn acquisition_sites(code: &str, inv: &FileLocks) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut methods: Vec<&str> = vec!["lock", "read", "write"];
+    for alias in inv.aliases.keys() {
+        if !methods.contains(&alias.as_str()) {
+            methods.push(alias);
+        }
+    }
+    for m in methods {
+        let needle = format!(".{m}()");
+        let mut from = 0;
+        while let Some(at) = code[from..].find(&needle).map(|p| from + p) {
+            // `.read()`/`.write()` only count when the receiver is a
+            // known lock (an io `read()` never has empty args, but stay
+            // conservative); `.lock()` and aliases always count
+            let receiver = receiver_before(code, at);
+            let known = inv.fields.contains_key(&receiver)
+                || inv.statics.contains_key(&receiver)
+                || inv.aliases.contains_key(m);
+            if m == "lock" || known {
+                out.push((at, m.to_string()));
+            }
+            from = at + needle.len();
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The field/static name a method call is invoked on: walks back from
+/// the `.` through the receiver chain (skipping `[index]` expressions)
+/// and returns the last path segment — `self.cells[i / 64]` yields
+/// `cells`, `READ_FAULT_HOOK` yields itself, `self` yields `self`.
+/// Shared with the atomics pass, which attributes `.load()`/`.store()`
+/// sites to fields the same way.
+pub(super) fn receiver_before(code: &str, dot_pos: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut i = dot_pos;
+    let mut segment_end = dot_pos;
+    let mut segments: Vec<String> = Vec::new();
+    while i > 0 {
+        let c = bytes[i - 1] as char;
+        if c == ']' {
+            // skip the index expression
+            let mut depth = 0;
+            while i > 0 {
+                let c = bytes[i - 1] as char;
+                if c == ']' {
+                    depth += 1;
+                } else if c == '[' {
+                    depth -= 1;
+                    if depth == 0 {
+                        i -= 1;
+                        break;
+                    }
+                }
+                i -= 1;
+            }
+            segment_end = i;
+        } else if c.is_alphanumeric() || c == '_' {
+            i -= 1;
+        } else if c == '.' {
+            if segment_end > i {
+                segments.push(code[i..segment_end].to_string());
+            }
+            i -= 1;
+            segment_end = i;
+        } else {
+            break;
+        }
+    }
+    if segment_end > i {
+        segments.push(code[i..segment_end].to_string());
+    }
+    segments.first().cloned().unwrap_or_default()
+}
+
+/// Classifies how an acquisition's guard is scoped: `(bound variable,
+/// is statement-temporary)`.
+fn binding_shape(code: &str, pos: usize, opened_block: bool) -> (Option<String>, bool) {
+    // does the guard survive the call expression? skip result-unwrapping
+    // suffixes that still yield the guard
+    let mut rest = after_call(code, pos);
+    loop {
+        let t = rest.trim_start();
+        if let Some(next) = t
+            .strip_prefix(".unwrap_or_else(")
+            .map(skip_paren_tail)
+            .or_else(|| t.strip_prefix(".unwrap()").map(|r| r.to_string()))
+            .or_else(|| t.strip_prefix(".expect(").map(skip_paren_tail))
+        {
+            rest = next;
+        } else {
+            break;
+        }
+    }
+    let tail = rest.trim_start();
+    let chained = !(tail.is_empty() || tail.starts_with(';') || tail.starts_with('{'));
+    if chained {
+        return (None, true);
+    }
+    if opened_block || tail.starts_with('{') {
+        // match/if-let scrutinee: block-scoped; bind the pattern var if any
+        return (let_bound_var(code, pos), false);
+    }
+    match let_bound_var(code, pos) {
+        Some(v) => (Some(v), false),
+        None => (None, true),
+    }
+}
+
+/// Remainder of `code` after the method call starting at `pos` (the dot)
+/// — i.e. past the call's matching close paren.
+fn after_call(code: &str, pos: usize) -> String {
+    let open = code[pos..].find('(').map(|p| pos + p).unwrap_or(code.len());
+    skip_paren_tail(&code[open + 1.min(code.len() - open)..])
+}
+
+/// Skips to just past the paren that closes an already-open group.
+fn skip_paren_tail(s: &str) -> String {
+    let mut depth = 1;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return s[i + 1..].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    String::new()
+}
+
+/// The variable a `let`-bound acquisition binds, unwrapping `mut`,
+/// `Ok(..)`, and `Some(..)` patterns: `if let Ok(mut slot) = ...` yields
+/// `slot`.
+fn let_bound_var(code: &str, before: usize) -> Option<String> {
+    let head = &code[..before];
+    let at = find_token(head, "let", 0)?;
+    let mut pat = head[at + 3..].trim_start();
+    loop {
+        let next = pat
+            .strip_prefix("mut ")
+            .or_else(|| pat.strip_prefix("Ok("))
+            .or_else(|| pat.strip_prefix("Some("))
+            .or_else(|| pat.strip_prefix('('));
+        match next {
+            Some(n) => pat = n.trim_start(),
+            None => break,
+        }
+    }
+    let var: String = pat.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if var.is_empty() || var == "_" {
+        None
+    } else {
+        Some(var)
+    }
+}
+
+/// If the line waits on a condvar, the guard variable it consumes.
+fn wait_guard_arg(code: &str) -> Option<String> {
+    let at = code
+        .find(".wait_timeout(")
+        .map(|p| p + ".wait_timeout(".len())
+        .or_else(|| code.find(".wait(").map(|p| p + ".wait(".len()))?;
+    let arg: String = code[at..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if arg.is_empty() {
+        None
+    } else {
+        Some(arg)
+    }
+}
+
+/// Parses `a -> b` from an annotation tail (up to end of comment).
+fn parse_edge_spec(spec: &str) -> Option<(String, String)> {
+    let (from, to) = spec.split_once("->")?;
+    let from = from.trim();
+    let to: String = to
+        .trim()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | ':' | '.'))
+        .collect();
+    if from.is_empty() || to.is_empty() {
+        None
+    } else {
+        Some((from.to_string(), to))
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+fn brace_delta(code: &str) -> i64 {
+    code.chars().fold(0, |acc, c| match c {
+        '{' => acc + 1,
+        '}' => acc - 1,
+        _ => acc,
+    })
+}
+
+/// Finds every elementary cycle's node set (deduped, rotation-normalized
+/// so each cycle reports once).
+fn find_cycles(edges: &BTreeMap<(String, String), EdgeInfo>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        // BFS for the shortest path start -> ... -> start
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue: Vec<&str> = vec![start];
+        let mut found = false;
+        let mut qi = 0;
+        while qi < queue.len() && !found {
+            let node = queue[qi];
+            qi += 1;
+            for next in adj.get(node).map(Vec::as_slice).unwrap_or(&[]) {
+                if *next == start {
+                    parent.insert(start, node);
+                    found = true;
+                    break;
+                }
+                if !parent.contains_key(next) {
+                    parent.insert(next, node);
+                    queue.push(next);
+                }
+            }
+        }
+        if found {
+            let mut path = vec![start.to_string()];
+            let mut at = parent[start];
+            while at != start {
+                path.push(at.to_string());
+                at = parent[at];
+            }
+            path.reverse();
+            // rotate the smallest node first so the same cycle found
+            // from different starts dedupes
+            let min_at = path
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, v)| v.as_str())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            path.rotate_left(min_at);
+            seen.insert(path);
+        }
+    }
+    seen.into_iter().collect()
+}
+
+fn render_json(
+    locks: &BTreeMap<String, (&'static str, String)>,
+    edges: &BTreeMap<(String, String), EdgeInfo>,
+    annotations: &BTreeMap<(String, String), (String, usize)>,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"gunrock-audit/v1\",\n");
+    out.push_str("  \"kind\": \"lock-order\",\n");
+    out.push_str("  \"locks\": [");
+    for (i, (id, (kind, file))) in locks.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"id\": ");
+        push_json_str(&mut out, id);
+        out.push_str(", \"kind\": ");
+        push_json_str(&mut out, kind);
+        out.push_str(", \"file\": ");
+        push_json_str(&mut out, file);
+        out.push('}');
+    }
+    out.push_str(if locks.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"edges\": [");
+    for (i, ((from, to), info)) in edges.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"from\": ");
+        push_json_str(&mut out, from);
+        out.push_str(", \"to\": ");
+        push_json_str(&mut out, to);
+        out.push_str(&format!(
+            ", \"annotated\": {}, \"files\": [",
+            annotations.contains_key(&(from.clone(), to.clone()))
+        ));
+        for (j, file) in info.files.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            push_json_str(&mut out, file);
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if edges.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn source(rel: &str, src: &str) -> SourceFile {
+        SourceFile { rel: rel.into(), lines: scan(src) }
+    }
+
+    #[test]
+    fn nested_acquisition_produces_an_edge_and_wants_an_annotation() {
+        let f = source(
+            "crates/engine/src/pair.rs",
+            "pub struct Pair {\n    a: Mutex<u32>,\n    b: Mutex<u32>,\n}\n\
+             impl Pair {\n    pub fn both(&self) -> u32 {\n        \
+             let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             *ga + *gb\n    }\n}\n",
+        );
+        let mut findings = Vec::new();
+        let out = run(&[&f], &mut findings);
+        assert_eq!(out.edges, vec![("pair::Pair.a".to_string(), "pair::Pair.b".to_string())]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no"), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn annotation_satisfies_the_edge_and_stale_annotations_flag() {
+        let f = source(
+            "crates/engine/src/pair.rs",
+            "pub struct Pair {\n    a: Mutex<u32>,\n    b: Mutex<u32>,\n}\n\
+             impl Pair {\n    pub fn both(&self) -> u32 {\n        \
+             // LOCK-ORDER: pair::Pair.a -> pair::Pair.b\n        \
+             let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             *ga + *gb\n    }\n}\n",
+        );
+        let mut findings = Vec::new();
+        let out = run(&[&f], &mut findings);
+        assert_eq!(out.edges.len(), 1);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn opposite_orders_report_a_cycle() {
+        let f = source(
+            "crates/engine/src/pair.rs",
+            "pub struct Pair {\n    a: Mutex<u32>,\n    b: Mutex<u32>,\n}\n\
+             impl Pair {\n    pub fn fwd(&self) {\n        \
+             // LOCK-ORDER: pair::Pair.a -> pair::Pair.b\n        \
+             let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             let _gb = self.b.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             drop(ga);\n    }\n    pub fn bwd(&self) {\n        \
+             // LOCK-ORDER: pair::Pair.b -> pair::Pair.a\n        \
+             let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             let _ga = self.a.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             drop(gb);\n    }\n}\n",
+        );
+        let mut findings = Vec::new();
+        let _ = run(&[&f], &mut findings);
+        assert!(
+            findings.iter().any(|f| f.message.contains("cycle")),
+            "expected a cycle finding: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_or_drop() {
+        let f = source(
+            "crates/engine/src/scopes.rs",
+            "pub struct S {\n    a: Mutex<u32>,\n    b: Mutex<u32>,\n}\n\
+             impl S {\n    pub fn sequential(&self) {\n        {\n            \
+             let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());\n            \
+             let _ = *ga;\n        }\n        \
+             let _gb = self.b.lock().unwrap_or_else(|e| e.into_inner());\n    }\n    \
+             pub fn dropped(&self) {\n        \
+             let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             drop(ga);\n        \
+             let _gb = self.b.lock().unwrap_or_else(|e| e.into_inner());\n    }\n}\n",
+        );
+        let mut findings = Vec::new();
+        let out = run(&[&f], &mut findings);
+        assert!(out.edges.is_empty(), "sequential locking is not nesting: {:?}", out.edges);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn statement_temporaries_overlap_like_rust_says_they_do() {
+        // `Snap { a: self.a.lock().x, b: self.b.lock().x }` holds both
+        // guards until the statement ends — that IS an a -> b edge
+        let f = source(
+            "crates/engine/src/snap.rs",
+            "pub struct S {\n    a: Mutex<u32>,\n    b: Mutex<u32>,\n}\n\
+             impl S {\n    pub fn snap(&self) -> (u32, u32) {\n        (\n            \
+             *self.a.lock().unwrap_or_else(|e| e.into_inner()),\n            \
+             *self.b.lock().unwrap_or_else(|e| e.into_inner()),\n        )\n    }\n}\n",
+        );
+        let mut findings = Vec::new();
+        let out = run(&[&f], &mut findings);
+        assert_eq!(out.edges.len(), 1, "temporaries overlap: {:?}", out.edges);
+    }
+
+    #[test]
+    fn condvar_wait_with_a_second_lock_held_is_flagged() {
+        let f = source(
+            "crates/engine/src/cv.rs",
+            "pub struct S {\n    a: Mutex<u32>,\n    m: Mutex<u32>,\n    cv: Condvar,\n}\n\
+             impl S {\n    pub fn bad(&self) {\n        \
+             // LOCK-ORDER: cv::S.a -> cv::S.m\n        \
+             let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             let gm = self.m.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             let _gm = self.cv.wait(gm).unwrap_or_else(|e| e.into_inner());\n        \
+             drop(ga);\n    }\n}\n",
+        );
+        let mut findings = Vec::new();
+        let _ = run(&[&f], &mut findings);
+        assert!(findings.iter().any(|f| f.message.contains("Condvar::wait")), "{findings:?}");
+    }
+
+    #[test]
+    fn wait_loop_rebinding_its_own_guard_is_clean() {
+        let f = source(
+            "crates/engine/src/q.rs",
+            "pub struct Q {\n    inner: Mutex<u32>,\n    ready: Condvar,\n}\n\
+             impl Q {\n    pub fn pop(&self) {\n        \
+             let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             while *inner == 0 {\n            \
+             inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());\n        \
+             }\n    }\n}\n",
+        );
+        let mut findings = Vec::new();
+        let out = run(&[&f], &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(out.edges.is_empty());
+    }
+
+    #[test]
+    fn guard_returning_helpers_resolve_to_their_field() {
+        let f = source(
+            "crates/engine/src/helper.rs",
+            "pub struct S {\n    cells: Mutex<u32>,\n    other: Mutex<u32>,\n}\n\
+             impl S {\n    fn lock(&self) -> MutexGuard<'_, u32> {\n        \
+             self.cells.lock().unwrap_or_else(|e| e.into_inner())\n    }\n    \
+             pub fn nested(&self) {\n        \
+             let g = self.lock();\n        \
+             let _o = self.other.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             drop(g);\n    }\n}\n",
+        );
+        let mut findings = Vec::new();
+        let out = run(&[&f], &mut findings);
+        assert_eq!(
+            out.edges,
+            vec![("helper::S.cells".to_string(), "helper::S.other".to_string())]
+        );
+        let _ = findings;
+    }
+
+    #[test]
+    fn blocking_call_under_a_lock_is_flagged_and_audit_ok_suppresses() {
+        let f = source(
+            "crates/engine/src/blk.rs",
+            "pub struct S {\n    a: Mutex<u32>,\n}\n\
+             impl S {\n    pub fn bad(&self, h: JoinHandle<()>) {\n        \
+             let g = self.a.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             let _ = h.join();\n        drop(g);\n    }\n    \
+             pub fn waived(&self, h: JoinHandle<()>) {\n        \
+             let g = self.a.lock().unwrap_or_else(|e| e.into_inner());\n        \
+             // AUDIT-OK(join target never takes blk::S.a)\n        \
+             let _ = h.join();\n        drop(g);\n    }\n}\n",
+        );
+        let mut findings = Vec::new();
+        let _ = run(&[&f], &mut findings);
+        let blocking: Vec<_> =
+            findings.iter().filter(|f| f.message.contains("blocking")).collect();
+        assert_eq!(blocking.len(), 1, "{findings:?}");
+        assert_eq!(blocking[0].line, 7);
+    }
+
+    #[test]
+    fn inventory_json_lists_locks_and_edges_deterministically() {
+        let f = source(
+            "crates/engine/src/pair.rs",
+            "pub struct Pair {\n    a: Mutex<u32>,\n    b: Mutex<u32>,\n}\n",
+        );
+        let mut findings = Vec::new();
+        let out1 = run(&[&f], &mut findings);
+        let out2 = run(&[&f], &mut Vec::new());
+        assert_eq!(out1.json, out2.json);
+        assert!(out1.json.contains("\"id\": \"pair::Pair.a\""));
+        assert!(out1.json.contains("\"kind\": \"mutex\""));
+    }
+}

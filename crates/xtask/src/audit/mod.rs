@@ -1,0 +1,298 @@
+//! `gunrock-audit`: semantic cross-file concurrency and taxonomy audits.
+//!
+//! Where the lint passes check that each risky *site* carries a
+//! justification comment, the audit passes check that the justified
+//! sites add up to a *coherent protocol* across files:
+//!
+//! 1. **lock-order** — extracts `Mutex`/`RwLock`/`Condvar` acquisition
+//!    scopes per function, builds the cross-crate lock-order graph,
+//!    flags cycles (potential deadlock), locks held across
+//!    `Condvar::wait` or blocking calls, and requires every edge to
+//!    carry a `// LOCK-ORDER: <parent> -> <child>` annotation. The
+//!    inventory is committed as `audit/lock_order.json` and CI denies
+//!    unreviewed new edges. Exit bit 1.
+//! 2. **atomics** — inventories every atomic field by (struct, field),
+//!    classifies each site's role from its op + ordering (counter, CAS
+//!    loop, release-store, acquire-load, flag), and flags incoherent
+//!    protocols: Release stores with no Acquire reader anywhere,
+//!    `Relaxed` sites whose justification claims a pairing, all-SeqCst
+//!    flag protocols where pairwise Release/Acquire suffices. The
+//!    inventory is committed as `audit/atomics.json`. Exit bit 2.
+//! 3. **taxonomy** — the `ErrorCode` taxonomy stays closed: every
+//!    variant has a wire spelling in `protocol.rs`, every wire code is
+//!    counted in `metrics.rs` and documented in DESIGN.md's table, and
+//!    nothing appears downstream that the enum does not define. Exit
+//!    bit 4.
+//!
+//! The escape hatch is `// AUDIT-OK(reason)` on the line or directly
+//! above — same placement rule as `ALLOC-OK`, and like it the reason is
+//! mandatory. Cycles have no escape hatch: a cyclic lock order is a
+//! deadlock waiting for a scheduler, not a style call.
+
+pub mod atomics;
+pub mod lockorder;
+pub mod taxonomy;
+
+use crate::report::Diagnostic;
+use crate::scanner::{self, Line};
+use crate::walk;
+use std::path::Path;
+
+/// Which audit pass produced a finding. Discriminant order doubles as
+/// the `audit` subcommand's exit-bit order (its own bit space — the lint
+/// bits already spend 1..16 of the process's u8 exit budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AuditPass {
+    /// Lock-order cycles, unannotated edges, blocking-while-locked (bit 1).
+    LockOrder,
+    /// Incoherent atomic protocols (bit 2).
+    Atomics,
+    /// Error-taxonomy drift between protocol/metrics/DESIGN.md (bit 4).
+    Taxonomy,
+}
+
+impl AuditPass {
+    pub fn name(self) -> &'static str {
+        match self {
+            AuditPass::LockOrder => "lock-order",
+            AuditPass::Atomics => "atomics",
+            AuditPass::Taxonomy => "taxonomy",
+        }
+    }
+
+    pub fn exit_bit(self) -> i32 {
+        match self {
+            AuditPass::LockOrder => 1,
+            AuditPass::Atomics => 2,
+            AuditPass::Taxonomy => 4,
+        }
+    }
+}
+
+/// One audit violation, pointing at a file:line.
+#[derive(Debug, Clone)]
+pub struct AuditFinding {
+    pub pass: AuditPass,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+    pub snippet: String,
+}
+
+impl Diagnostic for AuditFinding {
+    fn pass_name(&self) -> &'static str {
+        self.pass.name()
+    }
+    fn exit_bit(&self) -> i32 {
+        self.pass.exit_bit()
+    }
+    fn file(&self) -> &str {
+        &self.file
+    }
+    fn line(&self) -> usize {
+        self.line
+    }
+    fn message(&self) -> &str {
+        &self.message
+    }
+    fn snippet(&self) -> &str {
+        &self.snippet
+    }
+}
+
+/// The audit pass names, in exit-bit order, for summary counts.
+pub const AUDIT_PASS_NAMES: [&str; 3] = ["lock-order", "atomics", "taxonomy"];
+
+/// One scanned workspace source file, shared by every audit pass.
+pub struct SourceFile {
+    /// `/`-separated path relative to the workspace root.
+    pub rel: String,
+    /// Scanned lines (comments split out, literals blanked).
+    pub lines: Vec<Line>,
+}
+
+/// Audit scoping, mirroring the lint `Config` conventions: paths are
+/// `/`-separated prefixes relative to the workspace root.
+pub struct AuditConfig {
+    /// Modules whose lock acquisitions feed the lock-order graph.
+    pub lock_scope: Vec<String>,
+    /// Modules whose atomic sites feed the protocol inventory.
+    pub atomics_scope: Vec<String>,
+    /// Exempt from the atomics pass (the memory-model wrapper module
+    /// audits itself in prose; its tuple-struct internals are opaque to
+    /// the field heuristics anyway).
+    pub atomics_exempt: Vec<String>,
+    /// Where the `ErrorCode` enum and its wire spellings live.
+    pub protocol_file: String,
+    /// Where every wire code must be counted.
+    pub metrics_file: String,
+    /// Where every wire code must be documented (the taxonomy table).
+    pub design_file: String,
+}
+
+impl Default for AuditConfig {
+    fn default() -> AuditConfig {
+        AuditConfig {
+            // the concurrent control plane: engine primitives, the
+            // serving layer, operator contexts, and graph IO
+            lock_scope: vec![
+                "crates/engine/src".into(),
+                "crates/server/src".into(),
+                "crates/core/src".into(),
+                "crates/graph/src".into(),
+            ],
+            atomics_scope: vec![
+                "crates/engine/src".into(),
+                "crates/server/src".into(),
+                "crates/core/src".into(),
+                "crates/graph/src".into(),
+            ],
+            atomics_exempt: vec!["crates/engine/src/atomics.rs".into()],
+            protocol_file: "crates/server/src/protocol.rs".into(),
+            metrics_file: "crates/server/src/metrics.rs".into(),
+            design_file: "DESIGN.md".into(),
+        }
+    }
+}
+
+/// Outcome of a full audit run.
+pub struct AuditRun {
+    pub findings: Vec<AuditFinding>,
+    pub files_scanned: usize,
+    /// The `audit/lock_order.json` document computed from this tree.
+    pub lock_order_json: String,
+    /// The `audit/atomics.json` document computed from this tree.
+    pub atomics_json: String,
+    /// The lock-order edges as `(from, to)` ids, sorted — what
+    /// `--deny-new-edges` compares against the committed inventory.
+    pub lock_edges: Vec<(String, String)>,
+}
+
+impl AuditRun {
+    pub fn exit_code(&self) -> i32 {
+        crate::report::exit_code(&self.findings)
+    }
+}
+
+fn in_scope(path: &str, scope: &[String], exempt: &[String]) -> bool {
+    scope.iter().any(|p| path.starts_with(p.as_str()))
+        && !exempt.iter().any(|p| path.starts_with(p.as_str()))
+}
+
+/// Audits every workspace source file under `root` with `cfg`.
+pub fn audit_workspace(root: &Path, cfg: &AuditConfig) -> std::io::Result<AuditRun> {
+    let files = walk::workspace_sources(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in &files {
+        let raw = std::fs::read_to_string(root.join(rel))?;
+        sources.push(SourceFile { rel: rel.clone(), lines: scanner::scan(&raw) });
+    }
+    let mut findings = Vec::new();
+
+    let lock_files: Vec<&SourceFile> =
+        sources.iter().filter(|s| in_scope(&s.rel, &cfg.lock_scope, &[])).collect();
+    let lock = lockorder::run(&lock_files, &mut findings);
+
+    let atomic_files: Vec<&SourceFile> = sources
+        .iter()
+        .filter(|s| in_scope(&s.rel, &cfg.atomics_scope, &cfg.atomics_exempt))
+        .collect();
+    let atomics_json = atomics::run(&atomic_files, &mut findings);
+
+    taxonomy::run(root, cfg, &sources, &mut findings);
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+    Ok(AuditRun {
+        findings,
+        files_scanned: sources.len(),
+        lock_order_json: lock.json,
+        atomics_json,
+        lock_edges: lock.edges,
+    })
+}
+
+/// Compares the computed lock-order edges against the committed
+/// `audit/lock_order.json` under `root`, returning one finding per edge
+/// that is not in the committed inventory (and one if the inventory is
+/// missing entirely). This is the `--deny-new-edges` CI gate: a new
+/// edge must arrive in the same change that regenerates the inventory,
+/// so the lock-hierarchy diff shows up in review.
+pub fn deny_new_edges(root: &Path, run: &AuditRun) -> Vec<AuditFinding> {
+    let committed_path = root.join("audit").join("lock_order.json");
+    let rel = "audit/lock_order.json";
+    let Ok(committed) = std::fs::read_to_string(&committed_path) else {
+        return vec![AuditFinding {
+            pass: AuditPass::LockOrder,
+            file: rel.into(),
+            line: 1,
+            message: "committed lock-order inventory is missing — generate it with \
+                      `cargo xtask audit --write` and commit it"
+                .into(),
+            snippet: String::new(),
+        }];
+    };
+    let committed_edges = parse_committed_edges(&committed);
+    let mut out = Vec::new();
+    for (from, to) in &run.lock_edges {
+        if !committed_edges.contains(&(from.clone(), to.clone())) {
+            out.push(AuditFinding {
+                pass: AuditPass::LockOrder,
+                file: rel.into(),
+                line: 1,
+                message: format!(
+                    "new lock-order edge `{from} -> {to}` is not in the committed \
+                     inventory — regenerate with `cargo xtask audit --write`, annotate \
+                     the acquisition with `// LOCK-ORDER: {from} -> {to}`, and commit \
+                     the diff"
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts the `(from, to)` pairs from a committed lock-order document.
+/// A full JSON parser is overkill: the document is machine-written by
+/// this same binary, so scanning for the quoted `"from"`/`"to"` values
+/// is exact.
+fn parse_committed_edges(doc: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut from: Option<String> = None;
+    for line in doc.lines() {
+        if let Some(v) = quoted_value(line, "\"from\":") {
+            from = Some(v);
+        }
+        if let Some(v) = quoted_value(line, "\"to\":") {
+            if let Some(f) = from.take() {
+                out.push((f, v));
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the first `"..."` value after `key` on `line`, if any.
+fn quoted_value(line: &str, key: &str) -> Option<String> {
+    let at = line.find(key)? + key.len();
+    let rest = &line[at..];
+    let open = rest.find('"')?;
+    let body = &rest[open + 1..];
+    let close = body.find('"')?;
+    Some(body[..close].to_string())
+}
+
+/// Appends one escaped JSON string to `out` (shared by the inventory
+/// writers; findings go through `report::render_json_for` instead).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,237 @@
+//! The error-taxonomy exhaustiveness pass.
+//!
+//! The `ErrorCode` taxonomy is *closed*: every failure a client can
+//! observe maps to exactly one code, and every code is (a) given a wire
+//! spelling in `protocol.rs`, (b) counted in `metrics.rs`'s
+//! `CODE_COUNTERS` table, and (c) documented in DESIGN.md's taxonomy
+//! table. This pass makes "closed" mechanical: adding a variant in one
+//! place fails the audit in the others, in both directions — a counter
+//! or doc row for a code the enum does not define is as much drift as a
+//! missing one.
+//!
+//! Unlike the source passes this one reads *raw* text: wire spellings
+//! live inside string literals (which the scanner blanks) and the doc
+//! table lives in markdown.
+
+use super::{AuditConfig, AuditFinding, AuditPass, SourceFile};
+use std::path::Path;
+
+pub fn run(
+    root: &Path,
+    cfg: &AuditConfig,
+    _sources: &[SourceFile],
+    findings: &mut Vec<AuditFinding>,
+) {
+    // no protocol module, no taxonomy to audit (fixture trees opt in by
+    // shipping one)
+    let Ok(protocol) = std::fs::read_to_string(root.join(&cfg.protocol_file)) else {
+        return;
+    };
+    let variants = enum_variants(&protocol, "ErrorCode");
+    let spellings = wire_spellings(&protocol);
+
+    // (a) the enum and its wire spellings agree
+    for v in &variants {
+        if !spellings.iter().any(|(variant, _, _)| variant == v) {
+            findings.push(AuditFinding {
+                pass: AuditPass::Taxonomy,
+                file: cfg.protocol_file.clone(),
+                line: enum_line(&protocol, "ErrorCode"),
+                message: format!(
+                    "`ErrorCode::{v}` has no wire spelling in `as_str` — the taxonomy \
+                     must map every variant"
+                ),
+                snippet: v.clone(),
+            });
+        }
+    }
+    for (variant, _, line) in &spellings {
+        if !variants.contains(variant) {
+            findings.push(AuditFinding {
+                pass: AuditPass::Taxonomy,
+                file: cfg.protocol_file.clone(),
+                line: *line,
+                message: format!(
+                    "`as_str` maps `ErrorCode::{variant}`, which the enum does not \
+                     define"
+                ),
+                snippet: variant.clone(),
+            });
+        }
+    }
+
+    // (b) every wire code is counted in metrics.rs, and nothing extra is
+    let metrics = std::fs::read_to_string(root.join(&cfg.metrics_file)).unwrap_or_default();
+    let counter_line = find_line(&metrics, "CODE_COUNTERS");
+    for (_, wire, _) in &spellings {
+        if !metrics.contains(&format!("\"{wire}\"")) {
+            findings.push(AuditFinding {
+                pass: AuditPass::Taxonomy,
+                file: cfg.metrics_file.clone(),
+                line: counter_line,
+                message: format!(
+                    "error code \"{wire}\" is not counted in metrics — add it to \
+                     `CODE_COUNTERS`"
+                ),
+                snippet: wire.clone(),
+            });
+        }
+    }
+    for (code, line) in quoted_kebab_codes(&metrics, "CODE_COUNTERS") {
+        if !spellings.iter().any(|(_, wire, _)| *wire == code) {
+            findings.push(AuditFinding {
+                pass: AuditPass::Taxonomy,
+                file: cfg.metrics_file.clone(),
+                line,
+                message: format!(
+                    "`CODE_COUNTERS` counts \"{code}\", which is not a wire spelling \
+                     of any `ErrorCode` variant"
+                ),
+                snippet: code,
+            });
+        }
+    }
+
+    // (c) every wire code is documented in DESIGN.md's table
+    let design = std::fs::read_to_string(root.join(&cfg.design_file)).unwrap_or_default();
+    for (_, wire, _) in &spellings {
+        if !design.contains(&format!("`{wire}`")) {
+            findings.push(AuditFinding {
+                pass: AuditPass::Taxonomy,
+                file: cfg.design_file.clone(),
+                line: 1,
+                message: format!(
+                    "error code \"{wire}\" is undocumented — add a row to the \
+                     taxonomy table in {}",
+                    cfg.design_file
+                ),
+                snippet: wire.clone(),
+            });
+        }
+    }
+}
+
+/// The variant names of `enum <name>` — idents at the start of lines
+/// between the header and its closing brace.
+fn enum_variants(source: &str, name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut inside = false;
+    let mut depth = 0i64;
+    for line in source.lines() {
+        let trimmed = line.trim();
+        if !inside {
+            if trimmed.contains(&format!("enum {name}")) && trimmed.ends_with('{') {
+                inside = true;
+                depth = 1;
+            }
+            continue;
+        }
+        for c in trimmed.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 {
+            break;
+        }
+        if depth == 1 && !trimmed.starts_with("//") && !trimmed.starts_with('#') {
+            let ident: String =
+                trimmed.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if !ident.is_empty()
+                && ident.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && (trimmed[ident.len()..].trim_start().starts_with(',')
+                    || trimmed[ident.len()..].trim().is_empty())
+            {
+                out.push(ident);
+            }
+        }
+    }
+    out
+}
+
+fn enum_line(source: &str, name: &str) -> usize {
+    source.lines().position(|l| l.contains(&format!("enum {name}"))).map(|p| p + 1).unwrap_or(1)
+}
+
+/// `ErrorCode::Variant => "wire-spelling"` arms, with their line numbers.
+fn wire_spellings(source: &str) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let mut rest = line;
+        while let Some(at) = rest.find("ErrorCode::") {
+            rest = &rest[at + "ErrorCode::".len()..];
+            let variant: String =
+                rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            let tail = &rest[variant.len()..];
+            let Some(arrow) = tail.find("=>") else { continue };
+            let after = tail[arrow + 2..].trim_start();
+            let Some(stripped) = after.strip_prefix('"') else { continue };
+            let Some(close) = stripped.find('"') else { continue };
+            if !variant.is_empty() {
+                out.push((variant, stripped[..close].to_string(), i + 1));
+            }
+        }
+    }
+    out
+}
+
+fn find_line(source: &str, needle: &str) -> usize {
+    source.lines().position(|l| l.contains(needle)).map(|p| p + 1).unwrap_or(1)
+}
+
+/// Kebab-case string literals in the lines following the `marker` line
+/// (the `CODE_COUNTERS` table): the first quoted string per entry line.
+fn quoted_kebab_codes(source: &str, marker: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut inside = false;
+    for (i, line) in source.lines().enumerate() {
+        if !inside {
+            if line.contains(marker) && line.contains('[') {
+                inside = true;
+            }
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with("];") || trimmed == "]" {
+            break;
+        }
+        if let Some(open) = trimmed.find('"') {
+            let body = &trimmed[open + 1..];
+            if let Some(close) = body.find('"') {
+                out.push((body[..close].to_string(), i + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_and_spellings_parse() {
+        let src = "pub enum ErrorCode {\n    /// doc\n    BadRequest,\n    QueueFull,\n}\n\
+                   impl ErrorCode {\n    pub fn as_str(self) -> &'static str {\n        \
+                   match self {\n            ErrorCode::BadRequest => \"bad-request\",\n            \
+                   ErrorCode::QueueFull => \"queue-full\",\n        }\n    }\n}\n";
+        assert_eq!(enum_variants(src, "ErrorCode"), vec!["BadRequest", "QueueFull"]);
+        let spellings = wire_spellings(src);
+        assert_eq!(spellings.len(), 2);
+        assert_eq!(spellings[0].0, "BadRequest");
+        assert_eq!(spellings[0].1, "bad-request");
+    }
+
+    #[test]
+    fn code_counter_table_entries_parse() {
+        let src = "pub const CODE_COUNTERS: [(&str, &str); 2] = [\n    \
+                   (\"bad-request\", \"rejected_bad_request\"),\n    \
+                   (\"queue-full\", \"rejected_queue_full\"),\n];\n";
+        let codes = quoted_kebab_codes(src, "CODE_COUNTERS");
+        assert_eq!(codes.len(), 2);
+        assert_eq!(codes[0].0, "bad-request");
+        assert_eq!(codes[1].0, "queue-full");
+    }
+}

@@ -18,9 +18,15 @@
 //!    hot paths (`advance/`, `filter/`); `// ALLOC-OK(reason)` is the
 //!    audited escape hatch for off-steady-state launches. Exit bit 16.
 //!
+//! A second subcommand, `audit` (the `gunrock-audit` analyzer in
+//! [`audit`]), runs semantic cross-file passes — lock-order, atomic
+//! protocols, error-taxonomy exhaustiveness — with its own exit-bit
+//! space.
+//!
 //! The binary front-end lives in `main.rs`; everything here is a library
 //! so the fixture self-tests can drive the passes directly.
 
+pub mod audit;
 pub mod passes;
 pub mod report;
 pub mod scanner;

@@ -1,22 +1,33 @@
-//! `cargo run -p xtask -- lint [--json PATH] [--quiet] [--root DIR]`
+//! `cargo run -p xtask -- <lint|audit> [--json PATH] [--quiet] [--root DIR]`
 //!
-//! Exit code is a bitmask of failing passes (safety=1, panic=2,
-//! ordering=4, cast=8, alloc=16); 0 means the tree is clean, 32 means
-//! usage or I/O error.
+//! `lint` exit code is a bitmask of failing passes (safety=1, panic=2,
+//! ordering=4, cast=8, alloc=16). `audit` has its own bit space
+//! (lock-order=1, atomics=2, taxonomy=4). For both, 0 means the tree is
+//! clean and 32 means usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use xtask::audit::AuditConfig;
 use xtask::passes::Config;
 use xtask::report;
 
-const USAGE: &str = "usage: cargo run -p xtask -- lint [--json PATH] [--quiet] [--root DIR]
+const USAGE: &str = "usage: cargo run -p xtask -- lint  [--json PATH] [--quiet] [--root DIR]
+       cargo run -p xtask -- audit [--json PATH] [--quiet] [--root DIR] [--write] [--deny-new-edges]
 
-passes and exit-code bits:
+lint passes and exit-code bits:
   safety   (1)  unsafe without // SAFETY:
   panic    (2)  unwrap/expect/panic! in production modules
   ordering (4)  Ordering:: without // ORDERING: (outside atomics.rs)
   cast     (8)  as u32/usize in hot paths without // CAST:
   alloc   (16)  heap allocation in pooled operator hot paths without // ALLOC-OK(reason)
+
+audit passes and exit-code bits:
+  lock-order (1)  lock-order cycles, unannotated edges, blocking while locked
+  atomics    (2)  incoherent atomic protocols (Release with no Acquire, ...)
+  taxonomy   (4)  ErrorCode drift between protocol.rs, metrics.rs, DESIGN.md
+  --write           regenerate audit/lock_order.json and audit/atomics.json
+  --deny-new-edges  fail on lock-order edges absent from the committed inventory
+
 exit 0 = clean, 32 = usage or I/O error";
 
 fn main() -> ExitCode {
@@ -30,14 +41,30 @@ fn main() -> ExitCode {
     }
 }
 
+struct CommonArgs {
+    json_path: Option<PathBuf>,
+    root: PathBuf,
+    quiet: bool,
+}
+
 fn run(args: &[String]) -> Result<i32, String> {
-    if args.first().map(String::as_str) != Some("lint") {
-        return Err(format!("expected the `lint` subcommand\n{USAGE}"));
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("audit") => run_audit(&args[1..]),
+        _ => Err(format!("expected the `lint` or `audit` subcommand\n{USAGE}")),
     }
+}
+
+/// Parses the flags shared by both subcommands; returns `Ok(None)` for
+/// `--help` (already printed), delegating unknown flags to `extra`.
+fn parse_common<'a>(
+    args: &'a [String],
+    mut extra: impl FnMut(&'a str) -> Result<bool, String>,
+) -> Result<Option<CommonArgs>, String> {
     let mut json_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut quiet = false;
-    let mut it = args[1..].iter();
+    let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => {
@@ -53,23 +80,88 @@ fn run(args: &[String]) -> Result<i32, String> {
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
-                return Ok(0);
+                return Ok(None);
             }
+            other if extra(other)? => {}
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
     // default root: the workspace this binary was built from
     let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
-    let run = xtask::lint_workspace(&root, &Config::default())
-        .map_err(|e| format!("lint walk failed under {}: {e}", root.display()))?;
+    Ok(Some(CommonArgs { json_path, root, quiet }))
+}
+
+fn run_lint(args: &[String]) -> Result<i32, String> {
+    let Some(common) = parse_common(args, |_| Ok(false))? else { return Ok(0) };
+    let run = xtask::lint_workspace(&common.root, &Config::default())
+        .map_err(|e| format!("lint walk failed under {}: {e}", common.root.display()))?;
     let code = run.exit_code();
-    if let Some(path) = json_path {
+    if let Some(path) = common.json_path {
         let json = report::render_json(&run.findings, run.files_scanned, code);
         std::fs::write(&path, json)
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
-    if !quiet || code != 0 {
+    if !common.quiet || code != 0 {
         print!("{}", report::render_human(&run.findings, run.files_scanned));
+    }
+    Ok(code)
+}
+
+fn run_audit(args: &[String]) -> Result<i32, String> {
+    let mut write = false;
+    let mut deny = false;
+    let Some(common) = parse_common(args, |arg| match arg {
+        "--write" => {
+            write = true;
+            Ok(true)
+        }
+        "--deny-new-edges" => {
+            deny = true;
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?
+    else {
+        return Ok(0);
+    };
+    let mut run = xtask::audit::audit_workspace(&common.root, &AuditConfig::default())
+        .map_err(|e| format!("audit walk failed under {}: {e}", common.root.display()))?;
+    if deny {
+        let extra = xtask::audit::deny_new_edges(&common.root, &run);
+        run.findings.extend(extra);
+        run.findings.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+    }
+    let code = run.exit_code();
+    if write {
+        let dir = common.root.join("audit");
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        std::fs::write(dir.join("lock_order.json"), &run.lock_order_json)
+            .map_err(|e| format!("cannot write audit/lock_order.json: {e}"))?;
+        std::fs::write(dir.join("atomics.json"), &run.atomics_json)
+            .map_err(|e| format!("cannot write audit/atomics.json: {e}"))?;
+    }
+    if let Some(path) = common.json_path {
+        let json = report::render_json_for(
+            "gunrock-audit/v1",
+            &xtask::audit::AUDIT_PASS_NAMES,
+            &run.findings,
+            run.files_scanned,
+            code,
+        );
+        std::fs::write(&path, json)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if !common.quiet || code != 0 {
+        print!(
+            "{}",
+            report::render_human_for(
+                "gunrock-audit",
+                &xtask::audit::AUDIT_PASS_NAMES,
+                &run.findings,
+                run.files_scanned,
+            )
+        );
     }
     Ok(code)
 }

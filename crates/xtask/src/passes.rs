@@ -163,8 +163,10 @@ pub fn lint_file(path: &str, lines: &[Line], cfg: &Config) -> Vec<Finding> {
 }
 
 /// True if the contiguous comment/attribute block directly above
-/// `lines[idx]` (or the line itself) contains `marker`.
-fn block_above_has(lines: &[Line], idx: usize, marker: &str) -> bool {
+/// `lines[idx]` (or the line itself) contains `marker`. Shared with the
+/// audit passes, whose `AUDIT-OK(reason)` hatch uses the same placement
+/// rule as `ALLOC-OK`.
+pub(crate) fn block_above_has(lines: &[Line], idx: usize, marker: &str) -> bool {
     if lines[idx].comment.contains(marker) {
         return true;
     }
@@ -183,9 +185,29 @@ fn block_above_has(lines: &[Line], idx: usize, marker: &str) -> bool {
     false
 }
 
+/// Concatenated comment text of `lines[idx]` and the contiguous
+/// comment/attribute block directly above it — the same region
+/// `block_above_has` searches, surfaced as text so the audit passes can
+/// inspect what a justification *claims*, not just that one exists.
+pub(crate) fn block_above_text(lines: &[Line], idx: usize) -> String {
+    let mut parts = vec![lines[idx].comment.clone()];
+    for j in (0..idx).rev() {
+        let l = &lines[j];
+        let code = l.code.trim();
+        let comment_only = code.is_empty() && !l.comment.is_empty();
+        let attr_only = code.starts_with("#[") || code.starts_with("#!");
+        if !(comment_only || attr_only) {
+            break;
+        }
+        parts.push(l.comment.clone());
+    }
+    parts.reverse();
+    parts.join(" ")
+}
+
 /// True if `marker` appears between `lines[idx]` and its enclosing `fn`
 /// header (inclusive of the fn's contiguous doc/attribute block).
-fn fn_scope_has(lines: &[Line], idx: usize, marker: &str) -> bool {
+pub(crate) fn fn_scope_has(lines: &[Line], idx: usize, marker: &str) -> bool {
     if lines[idx].comment.contains(marker) {
         return true;
     }
@@ -285,7 +307,11 @@ fn panic_pass(path: &str, lines: &[Line], out: &mut Vec<Finding>) {
 /// Shared shape of the ORDERING pass: each `needle` use outside test
 /// code needs `marker` within its function scope. `std::cmp::Ordering`
 /// shares the atomics type's name but has nothing to justify, so
-/// `cmp::`-qualified uses are skipped.
+/// `cmp::`-qualified uses are skipped. Import lines (`use ...` and
+/// `pub use ...` re-exports, e.g. `use std::sync::atomic::Ordering::Relaxed;`)
+/// name the type without using it, so they are skipped too — there is
+/// nothing at an import to justify, and module-level imports have no
+/// enclosing fn to carry a note anyway.
 fn marker_pass(
     path: &str,
     lines: &[Line],
@@ -304,8 +330,17 @@ fn marker_pass(
         }
         false
     };
+    let is_import = |code: &str| {
+        let trimmed = code.trim_start();
+        let after_vis = trimmed
+            .strip_prefix("pub(crate) ")
+            .or_else(|| trimmed.strip_prefix("pub(super) "))
+            .or_else(|| trimmed.strip_prefix("pub "))
+            .unwrap_or(trimmed);
+        after_vis.starts_with("use ")
+    };
     for (idx, line) in lines.iter().enumerate() {
-        if line.in_test || !is_atomic_use(&line.code) {
+        if line.in_test || is_import(&line.code) || !is_atomic_use(&line.code) {
             continue;
         }
         if !fn_scope_has(lines, idx, marker) {
@@ -480,6 +515,20 @@ mod tests {
         assert!(run("crates/algos/src/x.rs", src).is_empty());
         let mixed = "fn f(x: &A) { x.load(Ordering::Relaxed); match std::cmp::Ordering::Less { _ => {} } }\n";
         assert_eq!(run("crates/engine/src/x.rs", mixed).len(), 1);
+    }
+
+    #[test]
+    fn ordering_imports_and_reexports_are_not_sites() {
+        // regression: `use std::sync::atomic::Ordering::Relaxed;` names
+        // the type at module level, where no fn scope exists to carry a
+        // note — imports must not count as ordering sites
+        let src = "use std::sync::atomic::Ordering::Relaxed;\n\
+                   pub use std::sync::atomic::Ordering::{Acquire, Release};\n\
+                   pub(crate) use std::sync::atomic::Ordering::SeqCst;\n\
+                   fn f(a: &AtomicU32) {\n    a.load(Ordering::Relaxed);\n}\n";
+        let f = run("crates/engine/src/x.rs", src);
+        assert_eq!(f.len(), 1, "only the real site is flagged: {f:?}");
+        assert_eq!(f[0].line, 5);
     }
 
     #[test]

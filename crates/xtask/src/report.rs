@@ -1,81 +1,144 @@
-//! Human-readable and JSON (`gunrock-lint/v1`) output for lint runs.
+//! Human-readable and JSON output shared by `gunrock-lint`
+//! (`gunrock-lint/v1`) and `gunrock-audit` (`gunrock-audit/v1`).
+//!
+//! Both tools produce findings with the same shape — a pass name, an
+//! exit bit, a file:line anchor, a message and a snippet — so the
+//! renderer is generic over the [`Diagnostic`] trait and each tool only
+//! supplies its tool name, schema tag, and pass-name list for the
+//! summary counts.
 
-use crate::passes::{Finding, Pass};
+use crate::passes::Finding;
+
+/// A renderable finding: implemented by the lint passes' [`Finding`] and
+/// by the audit passes' `AuditFinding` so both route through one
+/// renderer.
+pub trait Diagnostic {
+    fn pass_name(&self) -> &'static str;
+    fn exit_bit(&self) -> i32;
+    fn file(&self) -> &str;
+    fn line(&self) -> usize;
+    fn message(&self) -> &str;
+    fn snippet(&self) -> &str;
+}
+
+impl Diagnostic for Finding {
+    fn pass_name(&self) -> &'static str {
+        self.pass.name()
+    }
+    fn exit_bit(&self) -> i32 {
+        self.pass.exit_bit()
+    }
+    fn file(&self) -> &str {
+        &self.file
+    }
+    fn line(&self) -> usize {
+        self.line
+    }
+    fn message(&self) -> &str {
+        &self.message
+    }
+    fn snippet(&self) -> &str {
+        &self.snippet
+    }
+}
 
 /// Renders findings the way compilers do — `file:line: pass: message` —
 /// plus a per-pass summary line.
-pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+pub fn render_human_for<D: Diagnostic>(
+    tool: &str,
+    pass_names: &[&str],
+    diags: &[D],
+    files_scanned: usize,
+) -> String {
     let mut out = String::new();
-    for f in findings {
+    for f in diags {
         out.push_str(&format!(
             "{}:{}: [{}] {}\n    {}\n",
-            f.file,
-            f.line,
-            f.pass.name(),
-            f.message,
-            f.snippet
+            f.file(),
+            f.line(),
+            f.pass_name(),
+            f.message(),
+            f.snippet()
         ));
     }
-    let count = |p: Pass| findings.iter().filter(|f| f.pass == p).count();
+    let counts: Vec<String> = pass_names
+        .iter()
+        .map(|name| {
+            let n = diags.iter().filter(|f| f.pass_name() == *name).count();
+            format!("{name} {n}")
+        })
+        .collect();
     out.push_str(&format!(
-        "gunrock-lint: {} file(s) scanned, {} finding(s) \
-         (safety {}, panic {}, ordering {}, cast {}, alloc {})\n",
+        "{tool}: {} file(s) scanned, {} finding(s) ({})\n",
         files_scanned,
-        findings.len(),
-        count(Pass::Safety),
-        count(Pass::Panic),
-        count(Pass::Ordering),
-        count(Pass::Cast),
-        count(Pass::Alloc),
+        diags.len(),
+        counts.join(", "),
     ));
     out
 }
 
-/// Serializes findings as a `gunrock-lint/v1` JSON document. Hand-rolled
+/// Serializes findings as a schema-tagged JSON document. Hand-rolled
 /// like the rest of the crate — the schema is flat enough that an
 /// escaper and format strings cover it.
-pub fn render_json(findings: &[Finding], files_scanned: usize, exit_code: i32) -> String {
+pub fn render_json_for<D: Diagnostic>(
+    schema: &str,
+    pass_names: &[&str],
+    diags: &[D],
+    files_scanned: usize,
+    exit_code: i32,
+) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"gunrock-lint/v1\",\n");
+    out.push_str(&format!("  \"schema\": \"{schema}\",\n"));
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
     out.push_str(&format!("  \"exit_code\": {exit_code},\n"));
-    let count = |p: Pass| findings.iter().filter(|f| f.pass == p).count();
-    out.push_str(&format!(
-        "  \"counts\": {{\"safety\": {}, \"panic\": {}, \"ordering\": {}, \"cast\": {}, \
-         \"alloc\": {}}},\n",
-        count(Pass::Safety),
-        count(Pass::Panic),
-        count(Pass::Ordering),
-        count(Pass::Cast),
-        count(Pass::Alloc),
-    ));
+    let counts: Vec<String> = pass_names
+        .iter()
+        .map(|name| {
+            let n = diags.iter().filter(|f| f.pass_name() == *name).count();
+            format!("\"{name}\": {n}")
+        })
+        .collect();
+    out.push_str(&format!("  \"counts\": {{{}}},\n", counts.join(", ")));
     out.push_str("  \"findings\": [");
-    for (i, f) in findings.iter().enumerate() {
+    for (i, f) in diags.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
             "\n    {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \
              \"message\": \"{}\", \"snippet\": \"{}\"}}",
-            f.pass.name(),
-            escape(&f.file),
-            f.line,
-            escape(&f.message),
-            escape(&f.snippet),
+            f.pass_name(),
+            escape(f.file()),
+            f.line(),
+            escape(f.message()),
+            escape(f.snippet()),
         ));
     }
-    if !findings.is_empty() {
+    if !diags.is_empty() {
         out.push_str("\n  ");
     }
     out.push_str("]\n}\n");
     out
 }
 
+/// The lint pass names, in exit-bit order, for summary counts.
+pub const LINT_PASS_NAMES: [&str; 5] = ["safety", "panic", "ordering", "cast", "alloc"];
+
+/// Renders lint findings for terminals (see [`render_human_for`]).
+pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+    render_human_for("gunrock-lint", &LINT_PASS_NAMES, findings, files_scanned)
+}
+
+/// Serializes lint findings as a `gunrock-lint/v1` JSON document.
+pub fn render_json(findings: &[Finding], files_scanned: usize, exit_code: i32) -> String {
+    render_json_for("gunrock-lint/v1", &LINT_PASS_NAMES, findings, files_scanned, exit_code)
+}
+
 /// Computes the process exit code: the OR of the exit bits of every pass
 /// with at least one finding (safety=1, panic=2, ordering=4, cast=8,
-/// alloc=16).
-pub fn exit_code(findings: &[Finding]) -> i32 {
-    findings.iter().fold(0, |acc, f| acc | f.pass.exit_bit())
+/// alloc=16 for lint; lock-order=1, atomics=2, taxonomy=4 for audit).
+pub fn exit_code<D: Diagnostic>(findings: &[D]) -> i32 {
+    findings.iter().fold(0, |acc, f| acc | f.exit_bit())
 }
 
 fn escape(s: &str) -> String {
@@ -96,6 +159,7 @@ fn escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::passes::Pass;
 
     fn sample() -> Vec<Finding> {
         vec![
@@ -118,7 +182,7 @@ mod tests {
 
     #[test]
     fn exit_code_is_a_bitmask_of_failing_passes() {
-        assert_eq!(exit_code(&[]), 0);
+        assert_eq!(exit_code::<Finding>(&[]), 0);
         assert_eq!(exit_code(&sample()), 1 | 8);
     }
 

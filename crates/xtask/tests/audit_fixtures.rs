@@ -1,0 +1,147 @@
+//! End-to-end self-tests for `gunrock-audit`: run the real binary
+//! against the fixture tree (a seeded lock cycle, a Release store with
+//! no Acquire reader, an unmapped error code) and against the live
+//! workspace, asserting exit codes, file:line output, the JSON report
+//! schema, and that the committed inventories are byte-reproducible.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use xtask::audit::{audit_workspace, deny_new_edges, AuditConfig};
+
+fn xtask_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_audit(root: &Path, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("audit")
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn gunrock-audit")
+}
+
+#[test]
+fn bad_fixture_trips_every_audit_pass_with_file_and_line() {
+    let out = run_audit(&xtask_dir().join("fixtures/tree"), &[]);
+    // all three passes fire: lock-order|atomics|taxonomy = 1|2|4
+    assert_eq!(out.status.code(), Some(7), "exit code should OR all pass bits");
+    let text = String::from_utf8_lossy(&out.stdout);
+
+    // lock-order: the unannotated reverse edge, the cycle it closes, and
+    // the wait that sleeps holding a second lock
+    assert!(
+        text.contains("crates/engine/src/lockcycle.rs:23: [lock-order]"),
+        "missing unannotated-edge finding in:\n{text}"
+    );
+    assert!(text.contains("lockcycle::Pair.b -> lockcycle::Pair.a"), "{text}");
+    assert!(text.contains("lock-order cycle"), "{text}");
+    assert!(text.contains("crates/engine/src/lockcycle.rs:30: [lock-order]"), "{text}");
+    assert!(text.contains("Condvar::wait"), "{text}");
+
+    // atomics: the unpaired Release and the overclaiming Relaxed note
+    assert!(text.contains("crates/engine/src/relstore.rs:13: [atomics]"), "{text}");
+    assert!(text.contains("no Acquire-or-stronger reader"), "{text}");
+    assert!(text.contains("crates/engine/src/relstore.rs:18: [atomics]"), "{text}");
+    assert!(text.contains("pairs with"), "{text}");
+
+    // taxonomy: uncounted code, phantom counter row, undocumented code
+    assert!(text.contains("crates/server/src/metrics.rs:4: [taxonomy]"), "{text}");
+    assert!(text.contains("\"internal\" is not counted"), "{text}");
+    assert!(text.contains("crates/server/src/metrics.rs:6: [taxonomy]"), "{text}");
+    assert!(text.contains("gone-fishing"), "{text}");
+    assert!(text.contains("DESIGN.md:1: [taxonomy]"), "{text}");
+
+    // the lint fixtures and the clean twins stay out of the audit
+    assert!(!text.contains("clean.rs"), "clean fixture was flagged:\n{text}");
+    assert!(!text.contains("scan.rs"), "lint fixture tripped the audit:\n{text}");
+}
+
+#[test]
+fn json_report_is_schema_tagged_and_counts_match() {
+    let json_path = std::env::temp_dir()
+        .join(format!("gunrock-audit-selftest-{}.json", std::process::id()));
+    let out = run_audit(
+        &xtask_dir().join("fixtures/tree"),
+        &["--quiet", "--json", json_path.to_str().expect("utf8 temp path")],
+    );
+    assert_eq!(out.status.code(), Some(7));
+    let json = std::fs::read_to_string(&json_path).expect("json report written");
+    let _ = std::fs::remove_file(&json_path);
+    assert!(json.contains("\"schema\": \"gunrock-audit/v1\""), "{json}");
+    assert!(json.contains("\"exit_code\": 7"), "{json}");
+    assert!(json.contains("\"lock-order\": 3"), "{json}");
+    assert!(json.contains("\"atomics\": 2"), "{json}");
+    assert!(json.contains("\"taxonomy\": 3"), "{json}");
+    assert!(json.contains("\"file\": \"crates/engine/src/lockcycle.rs\""), "{json}");
+}
+
+#[test]
+fn fixture_inventories_match_committed_snapshots() {
+    let root = xtask_dir().join("fixtures/tree");
+    let run = audit_workspace(&root, &AuditConfig::default()).expect("fixture walk");
+    let lock = std::fs::read_to_string(root.join("audit/lock_order.json"))
+        .expect("committed lock json");
+    let atomics = std::fs::read_to_string(root.join("audit/atomics.json"))
+        .expect("committed atomics json");
+    assert_eq!(run.lock_order_json, lock, "regenerate with `cargo xtask audit --write`");
+    assert_eq!(run.atomics_json, atomics, "regenerate with `cargo xtask audit --write`");
+    // the seeded reverse edge is present and known-unannotated
+    assert!(lock.contains("\"annotated\": false"), "{lock}");
+    assert!(atomics.contains("\"role\": \"release-store\""), "{atomics}");
+}
+
+#[test]
+fn live_workspace_audits_clean_and_inventories_are_current() {
+    // the acceptance gate CI enforces: the real tree audits clean and the
+    // committed inventories reproduce byte-identically
+    let root = xtask_dir().join("../..");
+    let run = audit_workspace(&root, &AuditConfig::default()).expect("workspace walk");
+    assert!(run.findings.is_empty(), "workspace has audit findings:\n{:#?}", run.findings);
+    let lock = std::fs::read_to_string(root.join("audit/lock_order.json"))
+        .expect("committed lock json");
+    let atomics = std::fs::read_to_string(root.join("audit/atomics.json"))
+        .expect("committed atomics json");
+    assert_eq!(run.lock_order_json, lock, "regenerate with `cargo xtask audit --write`");
+    assert_eq!(run.atomics_json, atomics, "regenerate with `cargo xtask audit --write`");
+    assert!(deny_new_edges(&root, &run).is_empty(), "uncommitted lock-order edges");
+}
+
+#[test]
+fn deny_new_edges_flags_a_missing_inventory_and_passes_a_current_one() {
+    // fixture tree: committed inventory matches the computed edges
+    let root = xtask_dir().join("fixtures/tree");
+    let run = audit_workspace(&root, &AuditConfig::default()).expect("fixture walk");
+    assert!(deny_new_edges(&root, &run).is_empty());
+
+    // scratch tree with a nested acquisition but no committed inventory
+    let scratch =
+        std::env::temp_dir().join(format!("gunrock-audit-deny-{}", std::process::id()));
+    let src = scratch.join("crates/engine/src");
+    std::fs::create_dir_all(&src).expect("scratch tree");
+    std::fs::write(
+        src.join("nest.rs"),
+        "pub struct N {\n    a: Mutex<u32>,\n    b: Mutex<u32>,\n}\n\
+         impl N {\n    pub fn both(&self) {\n        let ga = self.a.lock();\n        \
+         let gb = self.b.lock();\n        *gb += *ga;\n    }\n}\n",
+    )
+    .expect("scratch source");
+    let run = audit_workspace(&scratch, &AuditConfig::default()).expect("scratch walk");
+    assert_eq!(run.lock_edges.len(), 1, "{:?}", run.lock_edges);
+    let findings = deny_new_edges(&scratch, &run);
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("missing"), "{}", findings[0].message);
+}
+
+#[test]
+fn usage_errors_exit_32() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["audit", "--frobnicate"])
+        .output()
+        .expect("spawn gunrock-audit");
+    assert_eq!(out.status.code(), Some(32));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}

@@ -82,7 +82,8 @@ fn library_api_agrees_with_binary_on_fixtures() {
     use xtask::passes::{Config, Pass};
     let run = xtask::lint_workspace(&xtask_dir().join("fixtures/tree"), &Config::default())
         .expect("fixture walk");
-    assert_eq!(run.files_scanned, 2);
+    // the lint pair (scan.rs/clean.rs) plus the four audit fixtures
+    assert_eq!(run.files_scanned, 6);
     assert_eq!(run.exit_code(), 15);
     let passes: Vec<Pass> = run.findings.iter().map(|f| f.pass).collect();
     assert_eq!(passes, vec![Pass::Safety, Pass::Panic, Pass::Ordering, Pass::Cast]);
