@@ -43,6 +43,8 @@ pub mod cc;
 pub mod extras;
 pub mod kcore;
 pub mod label_prop;
+pub mod msbfs;
+pub mod msppr;
 pub mod mst;
 pub mod pagerank;
 pub mod recover;
@@ -53,6 +55,8 @@ pub use bc::{bc, bc_resume, BcOptions, BcResult};
 pub use bfs::{bfs, bfs_resume, BfsOptions, BfsResult, BfsVariant};
 pub use cc::{cc, cc_resume, CcResult};
 pub use kcore::{k_core, KcoreResult};
+pub use msbfs::{msbfs, msbfs_resume, try_msbfs, MsbfsResult};
+pub use msppr::{msppr, msppr_resume, try_msppr, MspprOptions, MspprResult};
 pub use mst::{mst, MstResult};
 pub use pagerank::{pagerank, pagerank_pull, pagerank_resume, PrOptions, PrResult};
 pub use recover::{resume, try_bc, try_bfs, try_cc, try_pagerank, try_sssp, ResumedRun};

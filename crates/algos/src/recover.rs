@@ -12,6 +12,8 @@
 use crate::bc::{bc, bc_resume, BcOptions, BcResult};
 use crate::bfs::{bfs, bfs_resume, BfsOptions, BfsResult};
 use crate::cc::{cc, cc_resume, CcResult};
+use crate::msbfs::{msbfs_resume, MsbfsResult};
+use crate::msppr::{msppr_resume, MspprResult};
 use crate::pagerank::{pagerank, pagerank_resume, PrOptions, PrResult};
 use crate::sssp::{sssp, sssp_resume, SsspOptions, SsspResult};
 use gunrock::prelude::*;
@@ -151,6 +153,10 @@ pub enum ResumedRun {
     Cc(CcResult),
     /// A resumed PageRank run.
     PageRank(PrResult),
+    /// A resumed multi-source batched BFS run.
+    Msbfs(MsbfsResult),
+    /// A resumed multi-source PPR run.
+    Msppr(MspprResult),
 }
 
 impl ResumedRun {
@@ -162,6 +168,8 @@ impl ResumedRun {
             ResumedRun::Bc(r) => r.outcome,
             ResumedRun::Cc(r) => r.outcome,
             ResumedRun::PageRank(r) => r.outcome,
+            ResumedRun::Msbfs(r) => r.outcome,
+            ResumedRun::Msppr(r) => r.outcome,
         }
     }
 }
@@ -176,6 +184,8 @@ pub fn resume(ctx: &Context<'_>, ckpt: &Checkpoint) -> Result<ResumedRun, Gunroc
         "pagerank" => {
             pagerank_resume(ctx, PrOptions::default(), ckpt).map(ResumedRun::PageRank)
         }
+        "msbfs" => msbfs_resume(ctx, ckpt).map(ResumedRun::Msbfs),
+        "msppr" => msppr_resume(ctx, ckpt).map(ResumedRun::Msppr),
         other => Err(GunrockError::Checkpoint(CheckpointError::Malformed(format!(
             "unknown primitive {other:?} in checkpoint"
         )))),

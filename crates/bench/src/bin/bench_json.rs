@@ -5,30 +5,46 @@
 //! examined, advance/filter/compute time split).
 //!
 //! This is the file EXPERIMENTS.md regeneration and the CI stats check
-//! consume; `BENCH_pr7.json` in the repo root is the current committed
-//! snapshot (`BENCH_pr5.json` is the pre-bitmap-sweep baseline the
-//! regression gate diffs against — see `scripts/bench_compare`). Each row also
+//! consume; `BENCH_pr10.json` in the repo root is the current committed
+//! snapshot (`BENCH_pr7.json` is the pre-MS-BFS baseline the regression
+//! gate diffs against — see `scripts/bench_compare`). Each row also
 //! reports `recovery_events` so a fault-free benchmark run provably took
 //! zero retry/fallback paths, plus the buffer-pool counters
 //! (`pool_allocations` flat-lining across iterations is the
 //! zero-allocation property).
 //!
+//! With `--msbfs-scale N` (N > 0) the snapshot additionally carries the
+//! batching headline in a top-level `msbfs` array: one lane-packed
+//! MS-BFS batch of `--sources` traversals on an R-MAT (`kron`) graph at
+//! that scale, timed against the same sources served as sequential
+//! single-source direction-optimized BFS runs — exactly what the server
+//! did per query before coalescing. The figure of merit is aggregate
+//! source-throughput (sources/sec) and its batched/sequential speedup.
+//!
 //! Usage: `cargo run --release -p gunrock-bench --bin bench_json
-//!         [--scale N] [--runs N] [--reorder] [--out PATH]`
+//!         [--scale N] [--runs N] [--reorder] [--out PATH]
+//!         [--msbfs-scale N] [--sources N]`
 //!
 //! `--reorder` benchmarks the degree-descending relabeled datasets (the
 //! graphs are isomorphic, so rows stay comparable with unreordered runs).
 
+use gunrock::prelude::*;
+use gunrock_algos as algos;
 use gunrock_bench::datasets::DATASET_NAMES;
 use gunrock_bench::{
-    arg_flag, arg_value, load_dataset, run_system, Algorithm, BenchArgs, System,
+    arg_flag, arg_value, load_dataset, run_system, time_avg_ms, Algorithm, BenchArgs, System,
 };
 use gunrock_engine::json::JsonBuilder;
 
 fn main() {
     let args = BenchArgs::parse();
     let reorder = arg_flag("--reorder");
-    let out = arg_value("--out").unwrap_or_else(|| "BENCH_pr7.json".to_string());
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_pr10.json".to_string());
+    // 0 (the default) skips the multi-source section, keeping plain
+    // invocations as cheap as before this section existed
+    let msbfs_scale: u32 = arg_value("--msbfs-scale").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let lanes: usize =
+        arg_value("--sources").and_then(|s| s.parse().ok()).unwrap_or(LANES).clamp(1, LANES);
 
     let mut j = JsonBuilder::new();
     j.begin_object();
@@ -76,6 +92,12 @@ fn main() {
         }
     }
     j.end_array();
+    if msbfs_scale > 0 {
+        j.key("msbfs");
+        j.begin_array();
+        msbfs_row(&mut j, msbfs_scale, lanes, args.runs, reorder);
+        j.end_array();
+    }
     j.end_object();
 
     let json = j.finish();
@@ -84,4 +106,45 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out} ({} measurements)", DATASET_NAMES.len() * Algorithm::ALL.len());
+}
+
+/// One batched-vs-sequential comparison row on the R-MAT graph: `lanes`
+/// sources spread evenly across the id space, served once as a single
+/// MS-BFS batch and once as that many independent direction-optimized
+/// BFS runs (fresh context per run, as the pre-coalescing server paid).
+fn msbfs_row(j: &mut JsonBuilder, scale: u32, lanes: usize, runs: usize, reorder: bool) {
+    let d = load_dataset("kron", scale);
+    let d = if reorder { d.reordered() } else { d };
+    let g = &d.graph;
+    let n = g.num_vertices();
+    let sources: Vec<u32> = (0..lanes).map(|l| (l * n / lanes) as u32).collect();
+    let batched_ms = time_avg_ms(runs, || {
+        let ctx = Context::new(g);
+        std::hint::black_box(algos::msbfs(&ctx, &sources));
+    });
+    let sequential_ms = time_avg_ms(runs, || {
+        for &s in &sources {
+            let ctx = Context::new(g).with_reverse(d.reverse());
+            std::hint::black_box(algos::bfs(&ctx, s, algos::BfsOptions::direction_optimized()));
+        }
+    });
+    let sps = |ms: f64| lanes as f64 / (ms / 1e3);
+    let speedup = sequential_ms / batched_ms;
+    j.begin_object();
+    j.field_str("dataset", "kron");
+    j.field_u64("scale", scale as u64);
+    j.field_u64("num_vertices", n as u64);
+    j.field_u64("num_edges", g.num_edges() as u64);
+    j.field_u64("sources", lanes as u64);
+    j.field_f64("batched_millis", batched_ms);
+    j.field_f64("sequential_millis", sequential_ms);
+    j.field_f64("batched_sources_per_sec", sps(batched_ms));
+    j.field_f64("sequential_sources_per_sec", sps(sequential_ms));
+    j.field_f64("speedup", speedup);
+    j.end_object();
+    eprintln!(
+        "   MSBFS on kron s{scale}: {batched_ms:>10.3} ms batched vs {sequential_ms:>10.3} ms \
+         sequential ({lanes} sources, {speedup:.2}x, {:.0} sources/sec)",
+        sps(batched_ms)
+    );
 }

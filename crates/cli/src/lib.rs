@@ -12,6 +12,11 @@
 //!   --scale N          generator size exponent (default: 12)
 //!   --seed N           generator seed (default: 42)
 //!   --src N            source vertex for bfs/sssp/bc (default: 0)
+//!   --sources N        bfs only: run N lane-packed traversals (1..=64)
+//!                      as one bit-parallel MS-BFS batch, sources taking
+//!                      consecutive ids from --src (mod |V|); reports
+//!                      aggregate sources/sec, and checkpoints resume
+//!                      with the same flag
 //!   --weights LO..HI   random edge weights (default: 1..64 for sssp/mst)
 //!   --reorder          relabel vertices degree-descending (hub clustering)
 //!                      before running; results are mapped back to the
@@ -79,6 +84,9 @@ options:
   --scale N          generator size exponent (default: 12)
   --seed N           generator seed (default: 42)
   --src N            source vertex for bfs/sssp/bc (default: 0)
+  --sources N        bfs: one lane-packed MS-BFS batch of N traversals
+                     (1..=64) from consecutive ids at --src; prints
+                     aggregate sources/sec
   --weights LO..HI   random edge weights (default: 1..64 for sssp/mst)
   --reorder          degree-descending relabeling (results keep original ids)
   --verify           cross-check against the serial oracle
@@ -297,6 +305,10 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
         .as_ref()
         .filter(|inj| inj.plan().rate(FaultKind::Io) > 0.0)
         .map(|inj| install_read_faults(Arc::clone(inj)));
+    // `bfs --sources` runs (and snapshots/resumes as) the lane-packed
+    // msbfs primitive; its checkpoints carry that name
+    let batched = args.primitive == "bfs" && args.flags.contains_key("sources");
+    let ckpt_name = if batched { "msbfs" } else { args.primitive.as_str() };
     let resume_ckpt = match args.flags.get("resume") {
         None => None,
         Some(path) => {
@@ -305,11 +317,10 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
             }
             let ckpt = Checkpoint::load(std::path::Path::new(path))
                 .map_err(|e| format!("cannot resume from {path}: {e}"))?;
-            if ckpt.primitive() != args.primitive {
+            if ckpt.primitive() != ckpt_name {
                 return Err(format!(
-                    "checkpoint {path} holds a {} run, not {}",
+                    "checkpoint {path} holds a {} run, not {ckpt_name}",
                     ckpt.primitive(),
-                    args.primitive
                 ));
             }
             Some(ckpt)
@@ -333,7 +344,9 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
     // the resumed run against the right oracle (the snapshot stores the
     // id the algorithm ran with, so map it back under --reorder)
     if let Some(ckpt) = &resume_ckpt {
-        if matches!(args.primitive.as_str(), "bfs" | "sssp" | "bc") {
+        // msbfs snapshots pin a whole lane vector instead; the resumed
+        // result reports them, so nothing to do here for a batch
+        if !batched && matches!(args.primitive.as_str(), "bfs" | "sssp" | "bc") {
             if let Some(&s) = ckpt.u32s("scalars").ok().and_then(<[u32]>::first) {
                 src = relab.as_ref().map_or(s, |r| r.old_of_new(s));
             }
@@ -419,6 +432,53 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
                 let lo = if i == 0 { 0 } else { 1 << (i - 1) };
                 let hi = if i == 0 { 0 } else { (1 << i) - 1 };
                 println!("  degree {lo:>6}..{hi:<6} : {c} vertices");
+            }
+        }
+        // `--sources N`: one bit-parallel MS-BFS batch instead of a
+        // single traversal; lanes take consecutive ids from --src so the
+        // batch is reproducible without listing 64 vertices
+        "bfs" if batched => {
+            let lanes = args.get_usize("sources", 1)?;
+            if lanes == 0 || lanes > LANES {
+                return Err(format!("--sources expects 1..={LANES}, got {lanes}"));
+            }
+            let ctx = instrument(Context::new(&g).with_reverse(&g).with_policy(policy));
+            let r = match &resume_ckpt {
+                Some(ckpt) => algos::msbfs_resume(&ctx, ckpt)
+                    .map_err(|e| format!("resume failed: {e}"))?,
+                None => {
+                    let isrcs: Vec<VertexId> = (0..lanes)
+                        .map(|l| ((src as usize + l) % n) as VertexId)
+                        .map(|s| relab.as_ref().map_or(s, |rl| rl.new_of_old(s)))
+                        .collect();
+                    algos::msbfs(&ctx, &isrcs)
+                }
+            };
+            // original-id sources for printing and oracles (a resumed
+            // batch pins its own lanes, so recover them from the result)
+            let osrcs: Vec<VertexId> = r
+                .sources
+                .iter()
+                .map(|&s| relab.as_ref().map_or(s, |rl| rl.old_of_new(s)))
+                .collect();
+            let reached = r.depths.iter().filter(|&&d| d != INFINITY).count();
+            println!(
+                "msbfs x{} from {}: reached {} vertex-lanes in {} levels, {:.2} ms, {:.1} MTEPS, {:.0} sources/sec",
+                r.lanes(),
+                osrcs.first().copied().unwrap_or(src),
+                reached,
+                r.iterations,
+                r.elapsed.as_secs_f64() * 1e3,
+                r.edges_examined as f64 / r.elapsed.as_secs_f64() / 1e6,
+                r.sources_per_second()
+            );
+            outcome = r.outcome;
+            dump(&ctx, r.elapsed, r.outcome)?;
+            if verify(r.outcome) {
+                for (l, &s) in osrcs.iter().enumerate() {
+                    let what = format!("msbfs lane {l} depths");
+                    verify_eq(&restored(&relab, r.lane_depths(l)), &serial::bfs(og, s), &what)?;
+                }
             }
         }
         "bfs" => {
@@ -625,7 +685,7 @@ pub fn execute(args: &Args) -> Result<RunOutcome, String> {
     if !outcome.is_converged() {
         println!("partial result: {outcome}");
         if let Some(cp) = &ckpt_policy {
-            let p = cp.path(&args.primitive);
+            let p = cp.path(ckpt_name);
             if p.exists() {
                 println!("resumable checkpoint: {}", p.display());
             }
@@ -1112,6 +1172,96 @@ mod tests {
         let err = execute(&a).unwrap_err();
         assert!(err.contains("run failed"), "{err}");
         assert_eq!(run(args(&cmd)), 1);
+    }
+
+    #[test]
+    fn msbfs_sources_flag_matches_solo_oracle() {
+        // --verify compares every lane against the serial oracle from
+        // that lane's source, with and without --reorder restore
+        let a = parse_args(args(&[
+            "bfs",
+            "--gen",
+            "soc",
+            "--scale",
+            "7",
+            "--sources",
+            "9",
+            "--verify",
+        ]))
+        .unwrap();
+        assert_eq!(execute(&a).unwrap(), RunOutcome::Converged);
+        let a = parse_args(args(&[
+            "bfs",
+            "--gen",
+            "soc",
+            "--scale",
+            "7",
+            "--src",
+            "3",
+            "--sources",
+            "5",
+            "--reorder",
+            "--verify",
+        ]))
+        .unwrap();
+        assert_eq!(execute(&a).unwrap(), RunOutcome::Converged);
+        let bad = parse_args(args(&["bfs", "--scale", "7", "--sources", "65"])).unwrap();
+        assert!(execute(&bad).unwrap_err().contains("--sources"));
+        let bad = parse_args(args(&["bfs", "--scale", "7", "--sources", "0"])).unwrap();
+        assert!(execute(&bad).unwrap_err().contains("--sources"));
+    }
+
+    #[test]
+    fn msbfs_batch_resumes_from_checkpoint() {
+        let dir =
+            std::env::temp_dir().join(format!("gunrock_cli_msckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.to_str().unwrap().to_string();
+        let partial = args(&[
+            "bfs",
+            "--gen",
+            "kron",
+            "--scale",
+            "8",
+            "--sources",
+            "6",
+            "--max-iters",
+            "1",
+            "--checkpoint-every",
+            "1",
+            "--checkpoint-dir",
+            &d,
+        ]);
+        assert_eq!(run(partial), 2);
+        let ckpt = dir.join("msbfs.ckpt");
+        assert!(ckpt.exists(), "no batch checkpoint at {}", ckpt.display());
+        // a plain bfs resume must refuse the batch snapshot...
+        let a = parse_args(args(&[
+            "bfs",
+            "--gen",
+            "kron",
+            "--scale",
+            "8",
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(execute(&a).unwrap_err().contains("holds a msbfs run"));
+        // ...and the batched resume converges and verifies every lane
+        let resumed = args(&[
+            "bfs",
+            "--gen",
+            "kron",
+            "--scale",
+            "8",
+            "--sources",
+            "6",
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--verify",
+        ]);
+        assert_eq!(run(resumed), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! switching policy in [`policy`].
 
 pub mod fused;
+pub mod msbfs;
 pub mod policy;
 pub mod pull;
 pub mod push;

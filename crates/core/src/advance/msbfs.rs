@@ -1,0 +1,483 @@
+//! Bit-parallel multi-source batched advance (MS-BFS; PAPERS.md).
+//!
+//! The frontier abstraction amortizes one sweep over many vertices; lane
+//! packing amortizes one sweep over many *traversals*. Up to
+//! [`LANES`](gunrock_engine::lanes::LANES) independent source queries run
+//! in a single traversal: vertex `v` carries one `u64` frontier word
+//! whose bit `l` means "lane `l` reached `v` this level", and a matching
+//! `seen` word accumulating every lane that has ever reached `v`.
+//!
+//! One batched level is two phases inside one kernel launch:
+//!
+//! 1. **Scatter** — every active vertex ORs its whole frontier word into
+//!    each out-neighbor's `next` word with a single `fetch_or`: up to 64
+//!    traversals' worth of discovery per atomic, per edge.
+//! 2. **Update sweep** — disjoint word ranges (one word per vertex) are
+//!    swept without atomics: `new = next & !seen`, `seen |= new`,
+//!    `next = new`. Zero `next` words — vertices no lane reached — are
+//!    skipped wholesale, exactly like the masked pull sweep's zero-mask
+//!    skip. A visitor callback sees each discovered vertex once with its
+//!    new-lane word, which is where per-lane depth extraction lives.
+//!
+//! Below `EngineConfig::serial_threshold` active vertices both phases run
+//! single-threaded on the same pooled buffers (mirroring the push-side
+//! serial fast path), so tiny levels skip the fork/join entirely.
+
+use crate::context::Context;
+use crate::isolate::isolated;
+use crate::util::grain_size;
+use gunrock_engine::lanes::LaneMap;
+use gunrock_engine::stats::{OperatorKind, StepDirection};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Edge-scan interval between cooperative abort polls inside one scatter
+/// chunk — same cadence as the pull sweep: frequent enough that a
+/// deadline or cancel lands within microseconds, rare enough to stay
+/// invisible in the scan loop.
+const ABORT_POLL_EDGES: u64 = 4096;
+
+/// Result of one batched advance level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsbfsSweep {
+    /// Vertices that gained at least one new lane this level (each
+    /// counted once, however many lanes reached it).
+    pub discovered: u64,
+    /// OR over every discovered vertex's new-lane word: bit `l` set
+    /// means lane `l` discovered something this level and is still live.
+    /// The caller feeds this back as the next level's `frontier_lanes`.
+    pub lanes: u64,
+}
+
+/// Runs one bit-parallel multi-source advance level.
+///
+/// `frontier` holds the current level's lane words, `seen` the
+/// accumulated discovery words, and `next` — which **must be all zero on
+/// entry** — receives the new frontier: after the sweep `next[v]` is
+/// exactly the set of lanes that discovered `v` this level. Callers
+/// ping-pong `frontier`/`next` between levels (swap, then clear the new
+/// scratch map).
+///
+/// `active` is the number of vertices with a non-zero `frontier` word
+/// (the previous sweep's `discovered`; the distinct-source count at the
+/// seed level) and `frontier_lanes` the OR over the frontier's words
+/// (the previous sweep's `lanes`; the batch mask at the seed level) —
+/// both are carried by the caller so the operator never pays an extra
+/// O(n) sweep just for bookkeeping. They feed the serial-fast-path gate
+/// and the `msbfs` StepRecord's `lanes_active` field respectively.
+///
+/// `visitor(v, new_lanes)` is invoked exactly once per discovered vertex
+/// from disjoint word ranges (never twice for one vertex in one level),
+/// which is where per-lane depth extraction hooks in.
+///
+/// The level runs panic-isolated: an injected fault (`advance:msbfs`) or
+/// visitor panic poisons the context and returns an empty sweep; the
+/// enact loop's next guard check reports `Failed`.
+///
+/// All three lane maps must span `ctx.num_vertices()` words.
+pub fn advance_msbfs<V>(
+    ctx: &Context<'_>,
+    frontier: &LaneMap,
+    seen: &mut LaneMap,
+    next: &mut LaneMap,
+    active: u64,
+    frontier_lanes: u64,
+    visitor: V,
+) -> MsbfsSweep
+where
+    V: Fn(u32, u64) + Sync,
+{
+    let n = ctx.num_vertices();
+    assert_eq!(frontier.len(), n, "frontier lane map must span the graph");
+    assert_eq!(seen.len(), n, "seen lane map must span the graph");
+    assert_eq!(next.len(), n, "next lane map must span the graph");
+    // Kernel-launch boundary for the racecheck phase ledger.
+    gunrock_engine::racecheck::begin_phase();
+    let timer = ctx.sink().map(|_| (Instant::now(), ctx.counters.edges()));
+    let t = ctx.config.serial_threshold;
+    // CAST: active is a vertex count < u32::MAX; widening compare only.
+    let serial = t > 0 && active as usize <= t;
+    let result = isolated(ctx, "advance", || {
+        if let Some(inj) = ctx.injector() {
+            inj.maybe_panic("advance:msbfs");
+        }
+        if serial {
+            scatter_serial(ctx, frontier, seen, next);
+        } else {
+            scatter(ctx, frontier, seen, next);
+        }
+        // Phase boundary: the scatter's atomic ORs and the update
+        // sweep's plain stores never overlap in time.
+        gunrock_engine::racecheck::begin_phase();
+        if serial {
+            update_serial(seen, next, &visitor)
+        } else {
+            update(seen, next, &visitor)
+        }
+    });
+    let Some((discovered, lanes)) = result else { return MsbfsSweep::default() };
+    if let (Some((start, edges0)), Some(sink)) = (timer, ctx.sink()) {
+        sink.record_step_lanes(
+            OperatorKind::Advance,
+            if serial { "msbfs:serial" } else { "msbfs" },
+            Some(StepDirection::Push),
+            active,
+            u64::from(frontier_lanes.count_ones()),
+            discovered,
+            ctx.counters.edges() - edges0,
+            start.elapsed(),
+        );
+    }
+    MsbfsSweep { discovered, lanes }
+}
+
+/// Phase 1, parallel: every active vertex ORs its lane word into each
+/// out-neighbor's `next` word. Disjoint vertex ranges read the frontier;
+/// writes to `next` go through `fetch_or` because neighbors are shared
+/// across tasks. Lanes the neighbor has already seen — or already
+/// received from an earlier edge this level — are culled before the RMW
+/// (the update sweep would drop them anyway via `next & !seen`), so
+/// saturated words cost a read instead of a cache-line-dirtying OR and
+/// the update sweep keeps its whole-word zero skip on dense levels.
+/// `seen` is read-only during this phase (the update sweep that mutates
+/// it runs strictly after), so the loads race with nothing.
+fn scatter(ctx: &Context<'_>, frontier: &LaneMap, seen: &LaneMap, next: &mut LaneMap) {
+    let g = ctx.graph;
+    let cols = g.col_indices();
+    let next_ref: &LaneMap = next;
+    let vgrain = grain_size(frontier.len());
+    let edges = frontier
+        .words()
+        .par_chunks(vgrain)
+        .enumerate()
+        .map(|(ci, fwords)| {
+            let mut edges = 0u64;
+            // cancel/deadline abort: a raised flag truncates this chunk
+            // (and skips it entirely when raised before the chunk
+            // starts); suppressed while checkpointing so exit snapshots
+            // see complete operators.
+            if ctx.abort_mid_operator() {
+                return edges;
+            }
+            let mut next_poll = ABORT_POLL_EDGES;
+            'scan: for (i, fw) in fwords.iter().enumerate() {
+                // ORDERING: Relaxed — the frontier map is read-only during
+                // the scatter phase; the previous sweep's join barrier
+                // published these words.
+                let fword = fw.load(std::sync::atomic::Ordering::Relaxed);
+                // whole-word skip: a zero lane word is an inactive vertex
+                if fword == 0 {
+                    continue;
+                }
+                // CAST: ci * vgrain + i < num_vertices < u32::MAX by Csr::validate.
+                let v = (ci * vgrain + i) as u32;
+                for e in g.edge_range(v) {
+                    edges += 1;
+                    // CAST: u widens u32 -> usize for lane-map indexing — lossless.
+                    let u = cols[e] as usize;
+                    let want = fword & !seen.load(u);
+                    // two threads can both pass this check and OR the
+                    // same lanes; fetch_or is idempotent, so the race
+                    // only costs a duplicate RMW, never a lost lane
+                    if want != 0 && next_ref.load(u) & want != want {
+                        next_ref.fetch_or(u, want);
+                    }
+                }
+                if edges >= next_poll {
+                    next_poll = edges + ABORT_POLL_EDGES;
+                    if ctx.abort_mid_operator() {
+                        break 'scan;
+                    }
+                }
+            }
+            edges
+        })
+        .sum();
+    ctx.counters.add_edges(edges);
+}
+
+/// Phase 1, serial fast path: same scatter (including the seen-lane
+/// culling) on one thread. `next` is held exclusively, so even the
+/// neighbor ORs are plain read-modify-writes.
+fn scatter_serial(ctx: &Context<'_>, frontier: &LaneMap, seen: &LaneMap, next: &mut LaneMap) {
+    let g = ctx.graph;
+    let cols = g.col_indices();
+    let nwords = next.words_mut();
+    let mut edges = 0u64;
+    let mut next_poll = ABORT_POLL_EDGES;
+    if ctx.abort_mid_operator() {
+        return;
+    }
+    'scan: for v in 0..frontier.len() {
+        let fword = frontier.load(v);
+        // whole-word skip: a zero lane word is an inactive vertex
+        if fword == 0 {
+            continue;
+        }
+        // CAST: v < num_vertices < u32::MAX by Csr::validate.
+        for e in g.edge_range(v as u32) {
+            edges += 1;
+            // CAST: u widens u32 -> usize for lane-map indexing — lossless.
+            let u = cols[e] as usize;
+            let want = fword & !seen.load(u);
+            if want != 0 {
+                *nwords[u].get_mut() |= want;
+            }
+        }
+        if edges >= next_poll {
+            next_poll = edges + ABORT_POLL_EDGES;
+            if ctx.abort_mid_operator() {
+                break 'scan;
+            }
+        }
+    }
+    ctx.counters.add_edges(edges);
+}
+
+/// Phase 2, parallel: disjoint word ranges of `next` and `seen` are
+/// swept together without atomics — `new = next & !seen`, `seen |= new`,
+/// `next = new` — and the visitor sees each discovered vertex once.
+fn update<V>(seen: &mut LaneMap, next: &mut LaneMap, visitor: &V) -> (u64, u64)
+where
+    V: Fn(u32, u64) + Sync,
+{
+    let wgrain = grain_size(next.len());
+    next.words_mut()
+        .par_chunks_mut(wgrain)
+        .zip(seen.words_mut().par_chunks_mut(wgrain))
+        .enumerate()
+        .map(|(ci, (next_words, seen_words))| {
+            let mut found = 0u64;
+            let mut lanes = 0u64;
+            for (i, (nw, sw)) in next_words.iter_mut().zip(seen_words.iter_mut()).enumerate() {
+                // whole-word skip: no lane reached this vertex
+                let nxt = *nw.get_mut();
+                if nxt == 0 {
+                    continue;
+                }
+                let new = nxt & !*sw.get_mut();
+                *nw.get_mut() = new;
+                if new != 0 {
+                    *sw.get_mut() |= new;
+                    found += 1;
+                    lanes |= new;
+                    // CAST: ci * wgrain + i < num_vertices < u32::MAX by Csr::validate.
+                    visitor((ci * wgrain + i) as u32, new);
+                }
+            }
+            (found, lanes)
+        })
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 | b.1))
+}
+
+/// Phase 2, serial fast path: the same update sweep on one thread.
+fn update_serial<V>(seen: &mut LaneMap, next: &mut LaneMap, visitor: &V) -> (u64, u64)
+where
+    V: Fn(u32, u64) + Sync,
+{
+    let mut found = 0u64;
+    let mut lanes = 0u64;
+    for (v, (nw, sw)) in
+        next.words_mut().iter_mut().zip(seen.words_mut().iter_mut()).enumerate()
+    {
+        let nxt = *nw.get_mut();
+        if nxt == 0 {
+            continue;
+        }
+        let new = nxt & !*sw.get_mut();
+        *nw.get_mut() = new;
+        if new != 0 {
+            *sw.get_mut() |= new;
+            found += 1;
+            lanes |= new;
+            // CAST: v < num_vertices < u32::MAX by Csr::validate.
+            visitor(v as u32, new);
+        }
+    }
+    (found, lanes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gunrock_engine::lanes::{lane_mask, LaneMap};
+    use gunrock_engine::EngineConfig;
+    use gunrock_graph::{Coo, GraphBuilder};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn path4() -> gunrock_graph::Csr {
+        // directed path 0 -> 1 -> 2 -> 3
+        GraphBuilder::new().directed().build(Coo::from_edges(4, &[(0, 1), (1, 2), (2, 3)]))
+    }
+
+    fn run_level(
+        ctx: &Context<'_>,
+        frontier: &LaneMap,
+        seen: &mut LaneMap,
+        next: &mut LaneMap,
+        active: u64,
+        lanes: u64,
+    ) -> (MsbfsSweep, Vec<(u32, u64)>) {
+        let log = std::sync::Mutex::new(Vec::new());
+        let sweep = advance_msbfs(ctx, frontier, seen, next, active, lanes, |v, nl| {
+            log.lock().unwrap().push((v, nl));
+        });
+        let mut hits = log.into_inner().unwrap();
+        hits.sort_unstable();
+        (sweep, hits)
+    }
+
+    #[test]
+    fn two_lanes_advance_independently() {
+        let g = path4();
+        let ctx = Context::new(&g);
+        let mut frontier = LaneMap::take(ctx.pool(), 4);
+        let mut seen = LaneMap::take(ctx.pool(), 4);
+        let mut next = LaneMap::take(ctx.pool(), 4);
+        // lane 0 from vertex 0, lane 1 from vertex 2
+        frontier.set_lane(0, 0);
+        frontier.set_lane(2, 1);
+        seen.set_lane(0, 0);
+        seen.set_lane(2, 1);
+        let (s1, hits) = run_level(&ctx, &frontier, &mut seen, &mut next, 2, 0b11);
+        assert_eq!(s1.discovered, 2, "lane 0 reaches 1, lane 1 reaches 3");
+        assert_eq!(s1.lanes, 0b11);
+        assert_eq!(hits, vec![(1, 0b01), (3, 0b10)]);
+        // ping-pong: next becomes the frontier, old frontier is scratch
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear_all();
+        let (s2, hits) = run_level(&ctx, &frontier, &mut seen, &mut next, 2, s1.lanes);
+        assert_eq!(s2.discovered, 1, "only lane 0 still moving (1 -> 2)");
+        assert_eq!(s2.lanes, 0b01, "lane 1 retired at the path end");
+        assert_eq!(hits, vec![(2, 0b01)]);
+        for lm in [frontier, seen, next] {
+            lm.release(ctx.pool());
+        }
+    }
+
+    #[test]
+    fn seen_lanes_are_not_rediscovered() {
+        // triangle 0 -> 1 -> 2 -> 0
+        let g =
+            GraphBuilder::new().directed().build(Coo::from_edges(3, &[(0, 1), (1, 2), (2, 0)]));
+        let ctx = Context::new(&g);
+        let mut frontier = LaneMap::take(ctx.pool(), 3);
+        let mut seen = LaneMap::take(ctx.pool(), 3);
+        let mut next = LaneMap::take(ctx.pool(), 3);
+        frontier.set_lane(0, 0);
+        seen.set_lane(0, 0);
+        let mut total = 0;
+        let mut active = 1u64;
+        let mut lanes = lane_mask(1);
+        for _ in 0..4 {
+            let (s, _) = run_level(&ctx, &frontier, &mut seen, &mut next, active, lanes);
+            total += s.discovered;
+            active = s.discovered;
+            lanes = s.lanes;
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear_all();
+        }
+        assert_eq!(total, 2, "lane 0 visits 1 and 2 once, then goes quiet");
+        assert_eq!(lanes, 0);
+        for lm in [frontier, seen, next] {
+            lm.release(ctx.pool());
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree() {
+        // star hub plus a tail, 64 lanes all seeded at the hub
+        let mut edges: Vec<(u32, u32)> = (1..40).map(|v| (0, v)).collect();
+        edges.push((39, 40));
+        let g = GraphBuilder::new().directed().build(Coo::from_edges(41, &edges));
+        let n = 41usize;
+        let depths_for = |config: EngineConfig| {
+            let ctx = Context::new(&g).with_config(config);
+            let mut frontier = LaneMap::take(ctx.pool(), n);
+            let mut seen = LaneMap::take(ctx.pool(), n);
+            let mut next = LaneMap::take(ctx.pool(), n);
+            for l in 0..64 {
+                frontier.set_lane(0, l);
+                seen.set_lane(0, l);
+            }
+            let depths: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+            let mut active = 1u64;
+            let mut lanes = u64::MAX;
+            let mut level = 1u32;
+            while active > 0 {
+                let s = advance_msbfs(
+                    &ctx,
+                    &frontier,
+                    &mut seen,
+                    &mut next,
+                    active,
+                    lanes,
+                    |v, _| {
+                        depths[v as usize].store(level, Ordering::Relaxed);
+                    },
+                );
+                active = s.discovered;
+                lanes = s.lanes;
+                level += 1;
+                std::mem::swap(&mut frontier, &mut next);
+                next.clear_all();
+            }
+            for lm in [frontier, seen, next] {
+                lm.release(ctx.pool());
+            }
+            depths.into_iter().map(|d| d.into_inner()).collect::<Vec<_>>()
+        };
+        // threshold 0 disables the serial path; a huge threshold forces it
+        let parallel = depths_for(EngineConfig::default().with_serial_threshold(0));
+        let serial = depths_for(EngineConfig::default().with_serial_threshold(1 << 20));
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel[1], 1);
+        assert_eq!(parallel[40], 2);
+    }
+
+    #[test]
+    fn msbfs_steps_carry_lane_counts() {
+        let g = path4();
+        let ctx = Context::new(&g).with_stats();
+        let frontier = LaneMap::take(ctx.pool(), 4);
+        let mut seen = LaneMap::take(ctx.pool(), 4);
+        let mut next = LaneMap::take(ctx.pool(), 4);
+        frontier.set_lane(0, 0);
+        frontier.set_lane(0, 5);
+        seen.set_lane(0, 0);
+        seen.set_lane(0, 5);
+        let s = advance_msbfs(&ctx, &frontier, &mut seen, &mut next, 1, 0b100001, |_, _| {});
+        assert_eq!(s.discovered, 1);
+        let stats = ctx.run_stats();
+        let step = &stats.steps[0];
+        assert_eq!(step.strategy, "msbfs:serial");
+        assert_eq!(step.lanes_active, 2);
+        assert_eq!(step.output_len, 1);
+        for lm in [frontier, seen, next] {
+            lm.release(ctx.pool());
+        }
+    }
+
+    #[test]
+    fn injected_panic_poisons_and_returns_empty_sweep() {
+        use gunrock_engine::faults::{FaultInjector, FaultKind, FaultPlan};
+        use std::sync::Arc;
+        let g = path4();
+        let plan = FaultPlan::none(3).with_rate(FaultKind::Panic, 1.0);
+        let ctx = Context::new(&g).with_faults(Arc::new(FaultInjector::new(plan)));
+        let frontier = LaneMap::take(ctx.pool(), 4);
+        let mut seen = LaneMap::take(ctx.pool(), 4);
+        let mut next = LaneMap::take(ctx.pool(), 4);
+        frontier.set_lane(0, 0);
+        seen.set_lane(0, 0);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let s = advance_msbfs(&ctx, &frontier, &mut seen, &mut next, 1, 1, |_, _| {});
+        std::panic::set_hook(prev);
+        assert_eq!(s, MsbfsSweep::default());
+        assert!(ctx.is_poisoned());
+        for lm in [frontier, seen, next] {
+            lm.release(ctx.pool());
+        }
+    }
+}

@@ -60,6 +60,7 @@ pub mod prelude {
     pub use crate::advance::{
         self,
         fused::advance_filter_fused,
+        msbfs::{advance_msbfs, MsbfsSweep},
         policy::{DirectionPolicy, TraversalDirection},
         pull::{advance_pull, advance_pull_sweep, frontier_bitmap},
         AdvanceMode, AdvanceSpec, InputKind, OutputKind,
@@ -83,6 +84,7 @@ pub mod prelude {
     pub use gunrock_engine::checkpoint::{Checkpoint, CheckpointError};
     pub use gunrock_engine::faults::{FaultInjector, FaultKind, FaultPlan};
     pub use gunrock_engine::frontier::{Frontier, FrontierPair};
+    pub use gunrock_engine::lanes::{lane_mask, LaneMap, LANES};
     pub use gunrock_engine::stats::{
         OperatorKind, RecoveryEvent, RecoveryKind, RunOutcome, RunStats, RunStatsSummary,
         StatsSink, StepDirection, StepRecord, Timing, WorkCounters,

@@ -200,8 +200,10 @@ impl std::fmt::Debug for AtomicBitmap {
 }
 
 /// Converts a pool-checked-out `u64` buffer into atomic words without
-/// copying.
-fn into_atomic_words(mut v: Vec<u64>) -> Vec<AtomicU64> {
+/// copying. Shared with the lane-packed multi-source frontier
+/// (`crate::lanes`), whose per-vertex lane words use the same pooled
+/// storage discipline.
+pub(crate) fn into_atomic_words(mut v: Vec<u64>) -> Vec<AtomicU64> {
     let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
     std::mem::forget(v);
     // SAFETY: std guarantees AtomicU64 "has the same in-memory
@@ -213,7 +215,7 @@ fn into_atomic_words(mut v: Vec<u64>) -> Vec<AtomicU64> {
 
 /// The inverse of [`into_atomic_words`], for returning storage to the
 /// pool.
-fn into_plain_words(mut v: Vec<AtomicU64>) -> Vec<u64> {
+pub(crate) fn into_plain_words(mut v: Vec<AtomicU64>) -> Vec<u64> {
     let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
     std::mem::forget(v);
     // SAFETY: same layout guarantee as into_atomic_words, in reverse; the

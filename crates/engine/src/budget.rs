@@ -212,6 +212,10 @@ pub fn estimate_bytes(primitive: &str, n: u64, m: u64) -> u64 {
         "cc" => n * 4 + frontiers + advance,
         // rank ping-pong in f64 over a dense (all-vertex) frontier
         "pagerank" => 2 * n * 8 + frontiers + advance,
+        // lane-packed batch: three pooled n-word u64 lane maps
+        // (seen + frontier ping-pong pair) plus the 64-lane depth
+        // array; the batched advance needs no scan workspace
+        "msbfs" => 3 * pooled_bytes(n, 8) + 64 * n * 4,
         // the sleep diagnostic touches no graph state
         "sleep" => 0,
         _ => n * 4 + 4 * bitmap + frontiers + advance,

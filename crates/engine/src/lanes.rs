@@ -1,0 +1,269 @@
+//! Lane-packed multi-source frontier storage (MS-BFS, PAPERS.md).
+//!
+//! The frontier abstraction amortizes one sweep over many vertices; lane
+//! packing amortizes one sweep over many *traversals*. Up to [`LANES`]
+//! independent source queries share a single traversal: each vertex `v`
+//! carries one `u64` word whose bit `l` means "lane `l`'s traversal has
+//! reached `v`". A batched advance then ORs a vertex's whole lane word
+//! into each neighbor with a single `fetch_or` — 64 traversals' worth of
+//! discovery per atomic — and the newly-discovered lanes at a vertex are
+//! `next & !seen`, one AND-NOT per word.
+//!
+//! Storage discipline mirrors [`crate::bitmap::PooledBitmap`]: words come
+//! from a [`BufferPool`] `u64` checkout (counted by pool stats), are
+//! viewed as `AtomicU64` via the same layout-preserving transmute, and go
+//! back to the pool on release — so steady-state batch iterations
+//! allocate nothing. The difference is shape: a bitmap holds one *bit*
+//! per vertex (`n/64` words), a lane map holds one *word* per vertex
+//! (`n` words, bit = lane).
+
+use crate::bitmap::{into_atomic_words, into_plain_words};
+use crate::pool::BufferPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Traversal lanes per batch: the bit width of a lane word.
+pub const LANES: usize = 64;
+
+/// A full-word lane mask for the first `count` lanes (all 64 when
+/// `count >= 64`): the `seen`/`frontier` seed for a partially-filled
+/// batch, and the retirement test's "every lane done" value.
+#[inline]
+pub fn lane_mask(count: usize) -> u64 {
+    if count >= LANES {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
+    }
+}
+
+/// A pool-backed array of per-vertex lane words: `map[v]` holds one bit
+/// per in-flight traversal. Shared (`&self`) accessors are atomic, for
+/// the scatter phase where many active vertices OR into one neighbor;
+/// exclusive (`&mut self`) word access lets the update sweep partition
+/// the words into disjoint chunks and mutate without atomics, exactly
+/// like the masked pull sweep.
+pub struct LaneMap {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl LaneMap {
+    /// Checks out a cleared lane map with one word per vertex, drawing
+    /// storage from `pool` (counted by pool stats like any other
+    /// checkout).
+    pub fn take(pool: &BufferPool, len: usize) -> Self {
+        let mut words = pool.take_u64(len);
+        // resize within pooled capacity: zero-fill only, no reallocation
+        words.resize(len, 0);
+        LaneMap { words: into_atomic_words(words), len }
+    }
+
+    /// Returns the word storage to `pool` for reuse by the next checkout
+    /// (lane map, bitmap, or plain buffer). Dropping without releasing
+    /// is safe but forfeits the reuse.
+    pub fn release(self, pool: &BufferPool) {
+        pool.put_u64(into_plain_words(self.words));
+    }
+
+    /// Vertex capacity (== word count: one lane word per vertex).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if capacity is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Loads vertex `v`'s lane word (shared, atomic).
+    #[inline]
+    pub fn load(&self, v: usize) -> u64 {
+        debug_assert!(v < self.len);
+        // ORDERING: Relaxed — lane-word RMWs need only atomicity (no lost
+        // ORs); cross-phase visibility comes from the caller's join barrier.
+        self.words[v].load(Ordering::Relaxed)
+    }
+
+    /// Atomically ORs `bits` into vertex `v`'s lane word, returning the
+    /// previous word — the one-atomic-per-edge discovery step of the
+    /// batched advance (up to 64 traversals served per RMW).
+    #[inline]
+    pub fn fetch_or(&self, v: usize, bits: u64) -> u64 {
+        debug_assert!(v < self.len);
+        // ORDERING: Relaxed — lane-word RMWs need only atomicity (no lost
+        // ORs); cross-phase visibility comes from the caller's join barrier.
+        self.words[v].fetch_or(bits, Ordering::Relaxed)
+    }
+
+    /// Sets one lane bit at vertex `v` (shared, atomic) — batch seeding:
+    /// lane `lane`'s source is `v`.
+    #[inline]
+    pub fn set_lane(&self, v: usize, lane: usize) {
+        debug_assert!(lane < LANES);
+        self.fetch_or(v, 1u64 << lane);
+    }
+
+    /// Shared access to the backing words (index = vertex id) for the
+    /// scatter phase, where many active vertices OR into one neighbor
+    /// concurrently through [`AtomicU64::fetch_or`].
+    #[inline]
+    pub fn words(&self) -> &[AtomicU64] {
+        &self.words
+    }
+
+    /// Exclusive access to the backing words (index = vertex id). The
+    /// update sweep partitions this slice into disjoint per-task chunks
+    /// and mutates through `AtomicU64::get_mut` — plain loads/stores, no
+    /// atomic RMWs.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [AtomicU64] {
+        &mut self.words
+    }
+
+    /// Clears every lane word (exclusive; a word-sweep memset).
+    pub fn clear_all(&mut self) {
+        for w in self.words.iter_mut() {
+            *w.get_mut() = 0;
+        }
+    }
+
+    /// Number of active vertices: those with at least one live lane bit.
+    pub fn count_active(&self) -> usize {
+        (0..self.len).filter(|&v| self.load(v) != 0).count()
+    }
+
+    /// OR-reduction over every vertex's lane word: bit `l` set means
+    /// lane `l` is still live somewhere in this map. Its popcount is the
+    /// `lanes_active` figure the `msbfs` StepRecord carries.
+    pub fn union_lanes(&self) -> u64 {
+        (0..self.len).fold(0u64, |acc, v| acc | self.load(v))
+    }
+
+    /// Copies the lane words out into a plain `u64` buffer (checkpoint
+    /// sections snapshot lane state through this).
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        // ALLOC-OK(checkpoint snapshot path, off the steady-state sweep)
+        (0..self.len).map(|v| self.load(v)).collect()
+    }
+
+    /// Overwrites the lane words from a plain `u64` slice (checkpoint
+    /// restore). Panics if the lengths differ — callers validate section
+    /// lengths before restoring.
+    pub fn restore_words(&mut self, from: &[u64]) {
+        assert_eq!(from.len(), self.len, "lane-map restore requires equal length");
+        for (w, &src) in self.words.iter_mut().zip(from) {
+            *w.get_mut() = src;
+        }
+    }
+}
+
+impl std::fmt::Debug for LaneMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LaneMap({} vertices, {} active, lanes {:#x})",
+            self.len,
+            self.count_active(),
+            self.union_lanes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn lane_mask_fills_low_bits() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(7), 0x7f);
+        assert_eq!(lane_mask(63), u64::MAX >> 1);
+        assert_eq!(lane_mask(64), u64::MAX);
+        assert_eq!(lane_mask(100), u64::MAX);
+    }
+
+    #[test]
+    fn take_set_load_release_round_trip() {
+        let pool = BufferPool::new();
+        let lm = LaneMap::take(&pool, 100);
+        assert_eq!(lm.len(), 100);
+        assert_eq!(pool.stats().checkouts, 1);
+        lm.set_lane(3, 0);
+        lm.set_lane(3, 63);
+        lm.set_lane(99, 7);
+        assert_eq!(lm.load(3), (1 << 63) | 1);
+        assert_eq!(lm.load(99), 1 << 7);
+        assert_eq!(lm.count_active(), 2);
+        assert_eq!(lm.union_lanes(), (1 << 63) | (1 << 7) | 1);
+        lm.release(&pool);
+        assert_eq!(pool.stats().releases, 1);
+        // the next checkout reuses the same words, cleared
+        let again = LaneMap::take(&pool, 100);
+        assert_eq!(again.count_active(), 0);
+        assert_eq!(pool.stats().allocations, 1, "storage reused, not reallocated");
+    }
+
+    #[test]
+    fn fetch_or_returns_previous_word() {
+        let pool = BufferPool::new();
+        let lm = LaneMap::take(&pool, 8);
+        assert_eq!(lm.fetch_or(2, 0b1010), 0);
+        let old = lm.fetch_or(2, 0b0110);
+        assert_eq!(old, 0b1010);
+        // newly-set lanes are exactly `bits & !old`
+        assert_eq!(0b0110 & !old, 0b0100);
+        lm.release(&pool);
+    }
+
+    #[test]
+    fn concurrent_fetch_or_loses_no_lanes() {
+        let pool = BufferPool::new();
+        let lm = LaneMap::take(&pool, 4);
+        (0..64usize).into_par_iter().for_each(|l| {
+            lm.set_lane(1, l);
+        });
+        assert_eq!(lm.load(1), u64::MAX);
+        lm.release(&pool);
+    }
+
+    #[test]
+    fn exclusive_sweep_and_clear() {
+        let pool = BufferPool::new();
+        let mut lm = LaneMap::take(&pool, 10);
+        for w in lm.words_mut().iter_mut() {
+            *w.get_mut() = 0xff;
+        }
+        assert_eq!(lm.count_active(), 10);
+        lm.clear_all();
+        assert_eq!(lm.count_active(), 0);
+        lm.release(&pool);
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip() {
+        let pool = BufferPool::new();
+        let mut lm = LaneMap::take(&pool, 6);
+        lm.set_lane(0, 1);
+        lm.set_lane(5, 2);
+        let snap = lm.snapshot_words();
+        assert_eq!(snap, vec![2, 0, 0, 0, 0, 4]);
+        lm.clear_all();
+        lm.restore_words(&snap);
+        assert_eq!(lm.load(0), 2);
+        assert_eq!(lm.load(5), 4);
+        lm.release(&pool);
+    }
+
+    #[test]
+    fn empty_lane_map() {
+        let pool = BufferPool::new();
+        let lm = LaneMap::take(&pool, 0);
+        assert!(lm.is_empty());
+        assert_eq!(lm.union_lanes(), 0);
+        lm.release(&pool);
+    }
+}

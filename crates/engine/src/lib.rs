@@ -32,6 +32,7 @@ pub mod config;
 pub mod faults;
 pub mod frontier;
 pub mod json;
+pub mod lanes;
 pub mod pool;
 pub mod queue;
 pub mod racecheck;

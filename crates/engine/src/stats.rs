@@ -240,6 +240,11 @@ pub struct StepRecord {
     /// unvisited sweep set) — distinct from the in-frontier population.
     /// Zero for push/filter/compute steps, which have no candidate set.
     pub candidates_len: u64,
+    /// Distinct traversal lanes still live in this step's frontier, for
+    /// the bit-parallel multi-source (`msbfs`) strategy: the popcount of
+    /// the OR over every active vertex's lane word. Zero for
+    /// single-source steps, which have no lane packing.
+    pub lanes_active: u64,
     /// Output frontier length (0 for for-effect steps).
     pub output_len: u64,
     /// Edges examined by this step alone.
@@ -411,6 +416,38 @@ impl StatsSink {
             direction,
             input_len,
             candidates_len,
+            lanes_active: 0,
+            output_len,
+            edges_examined,
+            duration,
+        });
+    }
+
+    /// Records one lane-packed multi-source operator step: like
+    /// [`StatsSink::record_step_with_candidates`] but stamped with the
+    /// number of traversal lanes still live in the input frontier, so
+    /// the trace shows the amortization the `msbfs` strategy is buying
+    /// (one sweep serving `lanes_active` traversals).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_step_lanes(
+        &self,
+        operator: OperatorKind,
+        strategy: &'static str,
+        direction: Option<StepDirection>,
+        input_len: u64,
+        lanes_active: u64,
+        output_len: u64,
+        edges_examined: u64,
+        duration: Duration,
+    ) {
+        self.steps.lock().push(StepRecord {
+            iteration: self.current_iteration(),
+            operator,
+            strategy,
+            direction,
+            input_len,
+            candidates_len: 0,
+            lanes_active,
             output_len,
             edges_examined,
             duration,
@@ -591,6 +628,7 @@ impl RunStats {
             }
             j.field_u64("input_len", s.input_len);
             j.field_u64("candidates_len", s.candidates_len);
+            j.field_u64("lanes_active", s.lanes_active);
             j.field_u64("output_len", s.output_len);
             j.field_u64("edges_examined", s.edges_examined);
             j.field_f64("duration_ms", s.duration.as_secs_f64() * 1e3);
@@ -877,6 +915,37 @@ mod tests {
         assert_eq!(stats.steps[1].candidates_len, 0);
         let json = stats.to_json();
         assert!(json.contains(r#""candidates_len":90"#), "{json}");
+    }
+
+    #[test]
+    fn msbfs_steps_report_lanes_active() {
+        let sink = StatsSink::new();
+        sink.record_step_lanes(
+            OperatorKind::Advance,
+            "msbfs",
+            Some(StepDirection::Push),
+            12,
+            64,
+            30,
+            100,
+            Duration::from_millis(1),
+        );
+        // single-source steps carry no lane packing
+        sink.record_step(
+            OperatorKind::Advance,
+            "thread_mapped",
+            Some(StepDirection::Push),
+            30,
+            50,
+            200,
+            Duration::from_millis(1),
+        );
+        let stats = sink.snapshot();
+        assert_eq!(stats.steps[0].lanes_active, 64);
+        assert_eq!(stats.steps[0].strategy, "msbfs");
+        assert_eq!(stats.steps[1].lanes_active, 0);
+        let json = stats.to_json();
+        assert!(json.contains(r#""lanes_active":64"#), "{json}");
     }
 
     #[test]

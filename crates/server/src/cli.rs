@@ -45,6 +45,11 @@ options:
                         cannot fit are rejected with over-budget
   --watchdog-ms N       reap jobs silent for N ms (cancel at N, kill at
                         1.5N; 0: disabled, the default)
+  --batch-window-ms N   coalesce compatible point BFS queries arriving
+                        within N ms into one lane-packed multi-source
+                        job (0: disabled, the default)
+  --batch-lanes N       lane cap per coalesced batch (default: 64,
+                        clamped to 1..=64)
   --inject-faults SPEC  server-wide seeded faults:
                         panic=RATE,alloc=RATE,pool-alloc=RATE,io=RATE,stall=RATE
   --fault-seed N        seed for the fault schedule (default: 42)
@@ -171,6 +176,8 @@ fn build_config(flags: &HashMap<String, String>) -> Result<ServerConfig, String>
             0 => None,
             ms => Some(Duration::from_millis(ms)),
         },
+        batch_window: Duration::from_millis(get_u64(flags, "batch-window-ms", 0)?),
+        batch_lanes: get_u64(flags, "batch-lanes", 64)? as usize,
     })
 }
 
@@ -385,6 +392,10 @@ mod tests {
             "64m",
             "--watchdog-ms",
             "250",
+            "--batch-window-ms",
+            "2",
+            "--batch-lanes",
+            "32",
         ]);
         let cfg = build_config(&f).unwrap();
         assert_eq!(cfg.workers, 2);
@@ -396,10 +407,14 @@ mod tests {
         assert_eq!(cfg.serial_threshold, Some(9));
         assert_eq!(cfg.memory_budget, 64 << 20);
         assert_eq!(cfg.watchdog_interval, Some(Duration::from_millis(250)));
-        // governance defaults: unlimited, no watchdog
+        assert_eq!(cfg.batch_window, Duration::from_millis(2));
+        assert_eq!(cfg.batch_lanes, 32);
+        // governance defaults: unlimited, no watchdog, no coalescing
         let plain = build_config(&flags(&[])).unwrap();
         assert_eq!(plain.memory_budget, 0);
         assert_eq!(plain.watchdog_interval, None);
+        assert_eq!(plain.batch_window, Duration::ZERO);
+        assert_eq!(plain.batch_lanes, 64);
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Query coalescing: a short batching window in front of the worker
+//! pool that merges compatible BFS point queries into one lane-packed
+//! [`gunrock_algos::msbfs`] job.
+//!
+//! The serving cost of a point BFS is dominated by per-query overhead —
+//! admission, a queue slot, a context, and a full traversal that scans
+//! each edge for exactly one source. MS-BFS amortizes all of it: up to
+//! [`LANES`] queries ride one 64-bit lane word per vertex, one memory
+//! estimate, one queue slot, and one edge sweep per level. This module
+//! owns the *window* half of the story; `server.rs` owns dispatch (the
+//! queue push, the single per-batch admission charge, the metrics) and
+//! `jobs.rs` owns execution and per-lane result de-multiplexing.
+//!
+//! A request is *batchable* when it is a plain point BFS: no `resume`
+//! snapshot, no checkpoint request, no iteration cap. Batchable
+//! requests are grouped by **policy class** — deadline requests only
+//! merge with deadlines in the same power-of-two bucket (the batch
+//! adopts the earliest member deadline, so a 10 s query must never be
+//! yoked to a 10 ms one) — and a group is sealed when it fills
+//! `lanes` members or its window expires, whichever comes first.
+//! Per-request fault injection stays batchable on purpose: a poisoned
+//! lane fails the shared sweep, and the executor re-runs each lane in
+//! its own isolated context so batch-mates still answer (see
+//! `jobs::run_batch`).
+
+use crate::protocol::Request;
+use gunrock_engine::lanes::LANES;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One query waiting in (or sealed out of) a batching window.
+pub struct BatchMember {
+    /// The parsed request (always a batchable BFS).
+    pub req: Request,
+    /// Absolute deadline derived from `deadline_ms` at arrival.
+    pub deadline: Option<Instant>,
+    /// The connection thread blocked on this query's answer.
+    pub reply: mpsc::Sender<String>,
+}
+
+/// Why a batch left the window, for the flush-reason metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The window filled to the lane cap.
+    Full,
+    /// The batching window expired with the batch half-filled.
+    Window,
+    /// The drain sequence flushed a half-filled window.
+    Drain,
+}
+
+/// What [`Coalescer::offer`] did with a member.
+pub enum Offer {
+    /// Joined an open window; the flusher (or a later arrival) seals it.
+    Pending,
+    /// The member filled its window to the lane cap — dispatch now.
+    Sealed(Vec<BatchMember>),
+    /// The coalescer is closed (drain); the member is handed back so
+    /// the caller can answer `shutting-down`.
+    Closed(BatchMember),
+}
+
+/// True when a request can ride a lane of a batched MS-BFS job instead
+/// of a solo traversal.
+pub fn batchable(req: &Request) -> bool {
+    req.primitive == "bfs" && req.resume.is_none() && !req.checkpoint && req.max_iters.is_none()
+}
+
+/// The policy-class key: deadline-free queries form one class; deadline
+/// queries merge only within the same power-of-two millisecond bucket,
+/// bounding how much budget the batch's adopted minimum can steal from
+/// any member (at most 2x).
+fn group_key(req: &Request) -> u64 {
+    match req.deadline_ms {
+        None => 0,
+        Some(ms) => u64::from(64 - ms.leading_zeros()) + 1,
+    }
+}
+
+struct OpenBatch {
+    members: Vec<BatchMember>,
+    opened: Instant,
+}
+
+struct Pending {
+    /// Set by [`Coalescer::close`]; late offers bounce instead of
+    /// stranding a member in a window nobody will ever flush.
+    closed: bool,
+    groups: HashMap<u64, OpenBatch>,
+}
+
+/// The batching windows, one open batch per policy class.
+pub struct Coalescer {
+    window: Duration,
+    lanes: usize,
+    pending: Mutex<Pending>,
+}
+
+impl Coalescer {
+    /// A coalescer sealing batches at `lanes` members (clamped to
+    /// 1..=[`LANES`]) or `window` of age, whichever comes first.
+    pub fn new(window: Duration, lanes: usize) -> Self {
+        Coalescer {
+            window,
+            lanes: lanes.clamp(1, LANES),
+            pending: Mutex::new(Pending { closed: false, groups: HashMap::new() }),
+        }
+    }
+
+    /// The configured lane cap per batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The configured window duration.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// How often the flusher thread should sweep for expired windows: a
+    /// quarter window keeps worst-case added latency near `window`
+    /// without busy-spinning.
+    pub fn tick(&self) -> Duration {
+        (self.window / 4).max(Duration::from_millis(1))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Pending> {
+        self.pending.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Adds one member to its policy class's open window.
+    pub fn offer(&self, member: BatchMember) -> Offer {
+        let key = group_key(&member.req);
+        let mut p = self.lock();
+        if p.closed {
+            return Offer::Closed(member);
+        }
+        let open = p
+            .groups
+            .entry(key)
+            .or_insert_with(|| OpenBatch { members: Vec::new(), opened: Instant::now() });
+        open.members.push(member);
+        if open.members.len() >= self.lanes {
+            // LINT-ALLOW(panic): the entry was just inserted above.
+            let open = p.groups.remove(&key).unwrap();
+            Offer::Sealed(open.members)
+        } else {
+            Offer::Pending
+        }
+    }
+
+    /// Removes and returns every window older than the configured
+    /// duration (the flusher thread's sweep).
+    pub fn take_expired(&self) -> Vec<Vec<BatchMember>> {
+        let now = Instant::now();
+        let mut p = self.lock();
+        let expired: Vec<u64> = p
+            .groups
+            .iter()
+            .filter(|(_, b)| now.saturating_duration_since(b.opened) >= self.window)
+            .map(|(&k, _)| k)
+            .collect();
+        expired.into_iter().filter_map(|k| p.groups.remove(&k)).map(|b| b.members).collect()
+    }
+
+    /// Closes the coalescer (drain): returns every half-filled window
+    /// for a final dispatch and bounces all later offers.
+    pub fn close(&self) -> Vec<Vec<BatchMember>> {
+        let mut p = self.lock();
+        p.closed = true;
+        p.groups.drain().map(|(_, b)| b.members).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    fn member(line: &str) -> BatchMember {
+        let (tx, _rx) = mpsc::channel();
+        BatchMember { req: parse_request(line).unwrap(), deadline: None, reply: tx }
+    }
+
+    #[test]
+    fn only_plain_point_bfs_is_batchable() {
+        assert!(batchable(&parse_request(r#"{"primitive":"bfs","src":3}"#).unwrap()));
+        assert!(batchable(
+            &parse_request(r#"{"primitive":"bfs","inject":"panic=1.0"}"#).unwrap()
+        ));
+        assert!(batchable(&parse_request(r#"{"primitive":"bfs","deadline_ms":500}"#).unwrap()));
+        for not in [
+            r#"{"primitive":"sssp"}"#,
+            r#"{"primitive":"bfs","checkpoint":true}"#,
+            r#"{"primitive":"bfs","resume":"/tmp/x.ckpt"}"#,
+            r#"{"primitive":"bfs","max_iters":3}"#,
+        ] {
+            assert!(!batchable(&parse_request(not).unwrap()), "{not}");
+        }
+    }
+
+    #[test]
+    fn capacity_seals_a_window() {
+        let c = Coalescer::new(Duration::from_secs(60), 3);
+        assert!(matches!(c.offer(member(r#"{"primitive":"bfs","src":0}"#)), Offer::Pending));
+        assert!(matches!(c.offer(member(r#"{"primitive":"bfs","src":1}"#)), Offer::Pending));
+        match c.offer(member(r#"{"primitive":"bfs","src":2}"#)) {
+            Offer::Sealed(members) => {
+                assert_eq!(members.len(), 3);
+                let srcs: Vec<u32> = members.iter().map(|m| m.req.src).collect();
+                assert_eq!(srcs, vec![0, 1, 2]);
+            }
+            _ => panic!("third member must seal a 3-lane window"),
+        }
+        assert!(c.take_expired().is_empty(), "sealed windows leave nothing behind");
+    }
+
+    #[test]
+    fn deadline_classes_do_not_merge() {
+        let c = Coalescer::new(Duration::from_secs(60), 2);
+        // no-deadline, ~16ms bucket, ~16s bucket: three distinct classes
+        assert!(matches!(c.offer(member(r#"{"primitive":"bfs"}"#)), Offer::Pending));
+        assert!(matches!(
+            c.offer(member(r#"{"primitive":"bfs","deadline_ms":20}"#)),
+            Offer::Pending
+        ));
+        assert!(matches!(
+            c.offer(member(r#"{"primitive":"bfs","deadline_ms":16000}"#)),
+            Offer::Pending
+        ));
+        // same bucket as 20ms: seals that class only
+        assert!(matches!(
+            c.offer(member(r#"{"primitive":"bfs","deadline_ms":25}"#)),
+            Offer::Sealed(_)
+        ));
+        // the other two classes are still open, one member each
+        let left = c.close();
+        assert_eq!(left.len(), 2);
+        assert!(left.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn window_age_expires_half_filled_batches() {
+        let c = Coalescer::new(Duration::from_millis(5), 64);
+        assert!(matches!(c.offer(member(r#"{"primitive":"bfs","src":7}"#)), Offer::Pending));
+        assert!(c.take_expired().is_empty(), "window is younger than 5ms");
+        std::thread::sleep(Duration::from_millis(8));
+        let flushed = c.take_expired();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].len(), 1);
+        assert_eq!(flushed[0][0].req.src, 7);
+    }
+
+    #[test]
+    fn close_flushes_and_bounces_late_offers() {
+        let c = Coalescer::new(Duration::from_secs(60), 64);
+        assert!(matches!(c.offer(member(r#"{"primitive":"bfs"}"#)), Offer::Pending));
+        let flushed = c.close();
+        assert_eq!(flushed.len(), 1);
+        match c.offer(member(r#"{"primitive":"bfs","src":9}"#)) {
+            Offer::Closed(m) => assert_eq!(m.req.src, 9),
+            _ => panic!("a closed coalescer must bounce, not strand, late members"),
+        }
+    }
+
+    #[test]
+    fn lane_cap_is_clamped_to_the_word_width() {
+        assert_eq!(Coalescer::new(Duration::ZERO, 0).lanes(), 1);
+        assert_eq!(Coalescer::new(Duration::ZERO, 500).lanes(), LANES);
+        let c = Coalescer::new(Duration::from_millis(8), 64);
+        assert_eq!(c.tick(), Duration::from_millis(2));
+        assert!(Coalescer::new(Duration::ZERO, 1).tick() >= Duration::from_millis(1));
+    }
+}

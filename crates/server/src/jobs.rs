@@ -8,6 +8,7 @@
 //! only that context — the worker maps them to an `operator-panic`
 //! response and keeps serving.
 
+use crate::coalesce::BatchMember;
 use crate::protocol::{error_response, ErrorCode, Request, SCHEMA};
 use gunrock::prelude::*;
 use gunrock_algos as algos;
@@ -140,6 +141,7 @@ fn respond_result(
     summary: &RunSummary,
     checkpoint: Option<&Path>,
     resumed: bool,
+    batch_lanes: Option<u64>,
 ) -> String {
     let mut b = JsonBuilder::new();
     b.begin_object();
@@ -159,6 +161,10 @@ fn respond_result(
     }
     if let Some(path) = checkpoint {
         b.field_str("checkpoint", &path.display().to_string());
+    }
+    if let Some(lanes) = batch_lanes {
+        b.field_bool("batched", true);
+        b.field_u64("batch_lanes", lanes);
     }
     b.field_bool("resumed", resumed);
     b.end_object();
@@ -242,6 +248,42 @@ fn summarize_resumed(
             reached: None,
             num_components: None,
         },
+        // Batched resumes cannot be requested through the protocol (the
+        // served primitive set has no "msbfs"/"msppr" and resume demands
+        // the names match), but the summary is still honest: hash the
+        // lane-major matrix lane by lane in original-id order.
+        ResumedRun::Msbfs(r) => {
+            let restored: Vec<u32> = (0..r.lanes())
+                .flat_map(|l| match relab {
+                    Some(rl) => rl.restore_values(r.lane_depths(l)),
+                    None => r.lane_depths(l).to_vec(),
+                })
+                .collect();
+            RunSummary {
+                outcome: r.outcome,
+                iterations: r.iterations,
+                elapsed: r.elapsed,
+                result_hash: hash_u32s(&restored),
+                reached: Some(count_reached(&restored)),
+                num_components: None,
+            }
+        }
+        ResumedRun::Msppr(r) => {
+            let restored: Vec<f64> = (0..r.sources.len())
+                .flat_map(|l| match relab {
+                    Some(rl) => rl.restore_values(r.lane_scores(l)),
+                    None => r.lane_scores(l).to_vec(),
+                })
+                .collect();
+            RunSummary {
+                outcome: r.outcome,
+                iterations: r.iterations,
+                elapsed: r.elapsed,
+                result_hash: hash_f64s(&restored),
+                reached: None,
+                num_components: None,
+            }
+        }
     }
 }
 
@@ -284,7 +326,7 @@ fn run_sleep(
         num_components: None,
     };
     JobVerdict {
-        response: respond_result(req, &summary, None, false),
+        response: respond_result(req, &summary, None, false, None),
         status: if outcome.is_converged() { JobStatus::Ok } else { JobStatus::Partial },
         breaker_failure: false,
         deadline_missed: outcome == RunOutcome::TimedOut,
@@ -530,13 +572,184 @@ pub fn run_job(
         .map(|p| p.path(&req.primitive))
         .filter(|path| !summary.outcome.is_converged() && path.exists());
     JobVerdict {
-        response: respond_result(req, &summary, checkpoint.as_deref(), resumed),
+        response: respond_result(req, &summary, checkpoint.as_deref(), resumed, None),
         status: if summary.outcome.is_converged() { JobStatus::Ok } else { JobStatus::Partial },
         breaker_failure: false,
         deadline_missed: summary.outcome == RunOutcome::TimedOut,
         checkpointed: checkpoint.is_some(),
         degrades: ctx.degrade_count(),
     }
+}
+
+/// How a lane-packed batch ended: one verdict per member (aligned with
+/// the input slice) plus whether the shared sweep had to fall back to
+/// per-lane isolated re-runs.
+pub struct BatchOutcome {
+    /// Per-member verdicts, in member order.
+    pub verdicts: Vec<JobVerdict>,
+    /// The batched run failed (a poisoned lane) and every live member
+    /// was re-run in its own isolated context instead.
+    pub fell_back: bool,
+}
+
+impl BatchOutcome {
+    /// The last-line-of-defense verdict when batch dispatch itself
+    /// panicked outside any request context.
+    pub fn internal(members: &[BatchMember]) -> Self {
+        BatchOutcome {
+            verdicts: members
+                .iter()
+                .map(|m| JobVerdict {
+                    response: error_response(
+                        &m.req.id,
+                        ErrorCode::Internal,
+                        "batch dispatch panicked",
+                        None,
+                    ),
+                    status: JobStatus::Failed,
+                    breaker_failure: true,
+                    deadline_missed: false,
+                    checkpointed: false,
+                    degrades: 0,
+                })
+                .collect(),
+            fell_back: false,
+        }
+    }
+}
+
+/// Runs one coalesced batch of point BFS queries as a single lane-packed
+/// MS-BFS traversal, de-multiplexing per-lane depths back into one
+/// response per member. Members whose deadline expired while the window
+/// was open (or whose `inject` spec is malformed) are answered without
+/// costing the batch anything. The batch context adopts the earliest
+/// live deadline — members share a policy class, so no member's budget
+/// is cut by more than half (see `coalesce::group_key`).
+///
+/// **Per-lane panic isolation:** a poisoned lane poisons the *shared*
+/// context, so a failed sweep says nothing about which member was at
+/// fault. The fallback re-runs every live member through [`run_job`] in
+/// its own context — the faulty lane fails with its structured
+/// `operator-panic`, and its batch-mates still converge.
+pub fn run_batch(env: &JobEnv<'_>, members: &[BatchMember], seq: u64) -> BatchOutcome {
+    let now = Instant::now();
+    let mut verdicts: Vec<Option<JobVerdict>> = members.iter().map(|_| None).collect();
+    let mut live: Vec<usize> = Vec::with_capacity(members.len());
+    for (i, m) in members.iter().enumerate() {
+        if m.deadline.is_some_and(|d| now >= d) {
+            verdicts[i] = Some(JobVerdict {
+                response: error_response(
+                    &m.req.id,
+                    ErrorCode::DeadlineExpired,
+                    "deadline expired in the batching window",
+                    None,
+                ),
+                status: JobStatus::Rejected,
+                breaker_failure: false,
+                deadline_missed: false,
+                checkpointed: false,
+                degrades: 0,
+            });
+        } else if m.req.inject.as_deref().is_some_and(|s| FaultPlan::parse(s, 0).is_err()) {
+            verdicts[i] = Some(JobVerdict {
+                response: error_response(
+                    &m.req.id,
+                    ErrorCode::BadRequest,
+                    "inject: unparseable fault spec",
+                    None,
+                ),
+                status: JobStatus::Rejected,
+                breaker_failure: false,
+                deadline_missed: false,
+                checkpointed: false,
+                degrades: 0,
+            });
+        } else {
+            live.push(i);
+        }
+    }
+    let finish = |verdicts: Vec<Option<JobVerdict>>, fell_back: bool| BatchOutcome {
+        // LINT-ALLOW(panic): every index is either rejected above or in
+        // `live`, and both paths below fill every live slot.
+        verdicts: verdicts.into_iter().map(|v| v.unwrap()).collect(),
+        fell_back,
+    };
+    if live.is_empty() {
+        return finish(verdicts, false);
+    }
+
+    let mut policy = RunPolicy::unbounded().cancel_flag(env.cancel.clone());
+    if let Some(d) = live.iter().filter_map(|&i| members[i].deadline).min() {
+        policy = policy.wall_clock_budget(d.saturating_duration_since(Instant::now()));
+    }
+    // The shared sweep carries the first live member's fault plan (or
+    // the server-wide one): an injected fault fails the whole batch
+    // forward into the per-lane fallback, which is the isolation story.
+    let injector = live
+        .iter()
+        .find_map(|&i| {
+            let m = &members[i];
+            let spec = m.req.inject.as_deref()?;
+            FaultPlan::parse(spec, m.req.fault_seed)
+                .ok()
+                .map(|plan| Arc::new(FaultInjector::new(plan)))
+        })
+        .or_else(|| env.injector.cloned());
+
+    let mut ctx = Context::new(env.graph)
+        .with_reverse(env.graph)
+        .with_shared_pool(env.pool.clone())
+        .with_policy(policy);
+    if let Some(t) = env.serial_threshold {
+        ctx = ctx.with_config(EngineConfig::new().with_serial_threshold(t));
+    }
+    if let Some(inj) = injector {
+        ctx = ctx.with_faults(inj);
+    }
+    if let Some(hb) = env.heartbeat {
+        ctx = ctx.with_heartbeat(Arc::clone(hb));
+    }
+
+    let sources: Vec<u32> = live
+        .iter()
+        .map(|&i| {
+            let s = members[i].req.src;
+            env.relab.map_or(s, |r| r.new_of_old(s))
+        })
+        .collect();
+    let r = algos::msbfs(&ctx, &sources);
+
+    if r.outcome == RunOutcome::Failed {
+        drop(ctx);
+        for &i in &live {
+            verdicts[i] = Some(run_job(env, &members[i].req, members[i].deadline, seq));
+        }
+        return finish(verdicts, true);
+    }
+
+    let lanes = live.len() as u64;
+    for (lane, &i) in live.iter().enumerate() {
+        let depths = r.lane_depths(lane);
+        let summary = RunSummary {
+            outcome: r.outcome,
+            iterations: r.iterations,
+            elapsed: r.elapsed,
+            result_hash: hash_restored_u32(env.relab, depths),
+            reached: Some(count_reached(depths)),
+            num_components: None,
+        };
+        verdicts[i] = Some(JobVerdict {
+            response: respond_result(&members[i].req, &summary, None, false, Some(lanes)),
+            status: if r.outcome.is_converged() { JobStatus::Ok } else { JobStatus::Partial },
+            breaker_failure: false,
+            deadline_missed: r.outcome == RunOutcome::TimedOut,
+            checkpointed: false,
+            // the shared context's degrade rungs are batch-wide; charge
+            // them once (to the first lane) so metrics do not multiply
+            degrades: if lane == 0 { ctx.degrade_count() } else { 0 },
+        });
+    }
+    finish(verdicts, false)
 }
 
 #[cfg(test)]
@@ -680,6 +893,89 @@ mod tests {
         assert_eq!(request_dir(root, "../evil", 3), root.join("evil"));
         assert_eq!(request_dir(root, "", 3), root.join("req-3"));
         assert_ne!(request_dir(root, "a", 0), request_dir(root, "b", 0));
+    }
+
+    fn batch_member(
+        line: &str,
+        deadline: Option<Instant>,
+    ) -> (BatchMember, std::sync::mpsc::Receiver<String>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let req = crate::protocol::parse_request(line).unwrap();
+        (BatchMember { req, deadline, reply: tx }, rx)
+    }
+
+    #[test]
+    fn batch_demuxes_per_lane_results_identical_to_solo_runs() {
+        let g = GraphBuilder::new()
+            .build(Coo::from_edges(16, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]));
+        let drain = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(BufferPool::new());
+        let env = env_fixture(&g, &drain, &pool);
+        let lines = [
+            r#"{"id":"a","primitive":"bfs","src":0}"#,
+            r#"{"id":"b","primitive":"bfs","src":4}"#,
+            r#"{"id":"c","primitive":"bfs","src":2}"#,
+        ];
+        let members: Vec<BatchMember> = lines.iter().map(|l| batch_member(l, None).0).collect();
+        let out = run_batch(&env, &members, 0);
+        assert!(!out.fell_back);
+        assert_eq!(out.verdicts.len(), 3);
+        let hash = |resp: &str| {
+            gunrock_engine::json::JsonValue::parse(resp)
+                .unwrap()
+                .get("result_hash")
+                .and_then(|h| h.as_str().map(str::to_string))
+                .unwrap()
+        };
+        for (line, v) in lines.iter().zip(&out.verdicts) {
+            assert_eq!(v.status, JobStatus::Ok, "{line}");
+            assert!(v.response.contains("\"batched\":true"), "{}", v.response);
+            assert!(v.response.contains("\"batch_lanes\":3"), "{}", v.response);
+            // per-lane hash must be bit-identical to the solo job's
+            let solo = run_job(&env, &crate::protocol::parse_request(line).unwrap(), None, 9);
+            assert_eq!(hash(&v.response), hash(&solo.response), "{line}");
+        }
+    }
+
+    #[test]
+    fn expired_member_is_rejected_without_failing_batch_mates() {
+        let g = GraphBuilder::new().build(Coo::from_edges(8, &[(0, 1), (1, 2)]));
+        let drain = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(BufferPool::new());
+        let env = env_fixture(&g, &drain, &pool);
+        let (dead, _rx1) = batch_member(
+            r#"{"id":"late","primitive":"bfs","src":0,"deadline_ms":5}"#,
+            Some(Instant::now() - Duration::from_millis(1)),
+        );
+        let (live, _rx2) = batch_member(r#"{"id":"ok","primitive":"bfs","src":1}"#, None);
+        let out = run_batch(&env, &[dead, live], 0);
+        assert_eq!(out.verdicts[0].status, JobStatus::Rejected);
+        assert!(out.verdicts[0].response.contains("deadline-expired"));
+        assert_eq!(out.verdicts[1].status, JobStatus::Ok);
+        assert!(out.verdicts[1].response.contains("\"batch_lanes\":1"));
+    }
+
+    #[test]
+    fn poisoned_lane_falls_back_and_batch_mates_still_answer() {
+        let g = GraphBuilder::new().build(Coo::from_edges(8, &[(0, 1), (1, 2), (2, 3)]));
+        let drain = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(BufferPool::new());
+        let env = env_fixture(&g, &drain, &pool);
+        let (poisoned, _rx1) = batch_member(
+            r#"{"id":"bad","primitive":"bfs","src":0,"inject":"panic=1.0"}"#,
+            None,
+        );
+        let (clean, _rx2) = batch_member(r#"{"id":"good","primitive":"bfs","src":1}"#, None);
+        let out = run_batch(&env, &[poisoned, clean], 0);
+        assert!(out.fell_back, "a poisoned shared sweep must re-run lanes in isolation");
+        assert_eq!(out.verdicts[0].status, JobStatus::Failed);
+        assert!(out.verdicts[0].breaker_failure);
+        assert!(
+            out.verdicts[0].response.contains("operator-panic"),
+            "{}",
+            out.verdicts[0].response
+        );
+        assert_eq!(out.verdicts[1].status, JobStatus::Ok, "{}", out.verdicts[1].response);
     }
 
     #[test]

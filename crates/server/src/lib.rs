@@ -33,6 +33,7 @@
 
 pub mod cli;
 pub mod client;
+pub mod coalesce;
 pub mod jobs;
 pub mod metrics;
 pub mod protocol;

@@ -49,6 +49,30 @@ pub struct ServeMetrics {
     /// Degradation-ladder rungs taken inside admitted jobs (pull→push,
     /// lb_batch→thread_mapped) under memory pressure.
     pub degraded: AtomicU64,
+    /// Lane-packed batches dispatched to the worker pool.
+    pub batches: AtomicU64,
+    /// Point queries that rode a batch lane (each also counts in
+    /// `admitted` and exactly one completion counter).
+    pub batched_lanes: AtomicU64,
+    /// Batches whose shared sweep failed (a poisoned lane) and were
+    /// re-run as per-lane isolated jobs.
+    pub batch_fallbacks: AtomicU64,
+    /// Windows sealed because they filled to the lane cap.
+    pub batch_flush_full: AtomicU64,
+    /// Windows sealed because the batching window expired.
+    pub batch_flush_window: AtomicU64,
+    /// Half-filled windows flushed by the drain sequence.
+    pub batch_flush_drain: AtomicU64,
+}
+
+/// Coalescing configuration rendered under `"batching"` when the server
+/// runs with a window (`--batch-window-ms`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchingSnapshot {
+    /// The configured window in milliseconds.
+    pub window_ms: u64,
+    /// The configured lane cap per batch.
+    pub lanes_cap: u64,
 }
 
 /// Memory-governance gauges rendered under `"memory"` when the server
@@ -116,6 +140,7 @@ impl ServeMetrics {
     /// describe the bounded job queue at snapshot time; `workers` is the
     /// configured pool size; `breakers` is the circuit-breaker snapshot;
     /// `drained` marks the final summary printed on shutdown.
+    #[allow(clippy::too_many_arguments)]
     pub fn render(
         &self,
         workers: usize,
@@ -123,6 +148,7 @@ impl ServeMetrics {
         queue_capacity: usize,
         breakers: &[BreakerEntry],
         memory: Option<&MemorySnapshot>,
+        batching: Option<&BatchingSnapshot>,
         drained: bool,
     ) -> String {
         let mut b = JsonBuilder::new();
@@ -166,6 +192,33 @@ impl ServeMetrics {
             b.field_u64("pool_bytes_high_water", mem.pool_bytes_high_water);
             b.end_object();
         }
+        if let Some(batch) = batching {
+            let batches = read(&self.batches);
+            let lanes = read(&self.batched_lanes);
+            b.key("batching");
+            b.begin_object();
+            b.field_u64("window_ms", batch.window_ms);
+            b.field_u64("lanes_cap", batch.lanes_cap);
+            b.field_u64("batches", batches);
+            b.field_u64("lanes", lanes);
+            // occupancy: mean lanes per dispatched batch — the
+            // amortization factor actually achieved
+            b.field_f64(
+                "occupancy",
+                if batches == 0 { 0.0 } else { lanes as f64 / batches as f64 },
+            );
+            // queue slots + admission charges the coalescer saved versus
+            // serving every lane as a solo job
+            b.field_u64("amortized_admissions", lanes.saturating_sub(batches));
+            b.field_u64("fallbacks", read(&self.batch_fallbacks));
+            b.key("flushed");
+            b.begin_object();
+            b.field_u64("full", read(&self.batch_flush_full));
+            b.field_u64("window", read(&self.batch_flush_window));
+            b.field_u64("drain", read(&self.batch_flush_drain));
+            b.end_object();
+            b.end_object();
+        }
         b.key("breakers");
         b.begin_array();
         for entry in breakers {
@@ -194,7 +247,7 @@ mod tests {
         bump(&m.received);
         bump(&m.admitted);
         bump(&m.rejected_queue_full);
-        let doc = m.render(4, 1, 8, &[], None, false);
+        let doc = m.render(4, 1, 8, &[], None, None, false);
         let v = JsonValue::parse(&doc).unwrap();
         assert_eq!(v.get("schema").and_then(JsonValue::as_str), Some("gunrock-serve/v1"));
         let reqs = v.get("requests").unwrap();
@@ -207,6 +260,32 @@ mod tests {
             Some(8)
         );
         assert!(v.get("memory").is_none(), "no budget, no memory section");
+        assert!(v.get("batching").is_none(), "no window, no batching section");
+    }
+
+    #[test]
+    fn batching_section_reports_occupancy_and_amortization() {
+        let m = ServeMetrics::default();
+        bump_by(&m.batches, 2);
+        bump_by(&m.batched_lanes, 96);
+        bump(&m.batch_fallbacks);
+        bump(&m.batch_flush_full);
+        bump(&m.batch_flush_window);
+        let snap = BatchingSnapshot { window_ms: 2, lanes_cap: 64 };
+        let doc = m.render(4, 0, 8, &[], None, Some(&snap), false);
+        let v = JsonValue::parse(&doc).unwrap();
+        let batch = v.get("batching").expect("windowed server renders a batching section");
+        assert_eq!(batch.get("window_ms").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(batch.get("lanes_cap").and_then(JsonValue::as_u64), Some(64));
+        assert_eq!(batch.get("batches").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(batch.get("lanes").and_then(JsonValue::as_u64), Some(96));
+        assert_eq!(batch.get("occupancy").and_then(JsonValue::as_f64), Some(48.0));
+        assert_eq!(batch.get("amortized_admissions").and_then(JsonValue::as_u64), Some(94));
+        assert_eq!(batch.get("fallbacks").and_then(JsonValue::as_u64), Some(1));
+        let flushed = batch.get("flushed").unwrap();
+        assert_eq!(flushed.get("full").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(flushed.get("window").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(flushed.get("drain").and_then(JsonValue::as_u64), Some(0));
     }
 
     #[test]
@@ -223,7 +302,7 @@ mod tests {
             pool_bytes_live: 4096,
             pool_bytes_high_water: 8192,
         };
-        let doc = m.render(2, 0, 4, &[], Some(&mem), false);
+        let doc = m.render(2, 0, 4, &[], Some(&mem), None, false);
         let v = JsonValue::parse(&doc).unwrap();
         let rej = v.get("rejected").unwrap();
         assert_eq!(rej.get("over_budget").and_then(JsonValue::as_u64), Some(1));

@@ -24,8 +24,9 @@
 //! request asked for checkpoints), close the queue, join the workers,
 //! and emit one final `gunrock-serve/v1` summary.
 
+use crate::coalesce::{self, BatchMember, Coalescer, FlushReason, Offer};
 use crate::jobs::{self, JobEnv, JobStatus, JobVerdict};
-use crate::metrics::{bump, bump_by, read, MemorySnapshot, ServeMetrics};
+use crate::metrics::{bump, bump_by, read, BatchingSnapshot, MemorySnapshot, ServeMetrics};
 use crate::protocol::{error_response, parse_request, ErrorCode, Request, SERVE_PRIMITIVES};
 use crate::signal;
 use gunrock_engine::breaker::{Admission, CircuitBreaker};
@@ -77,6 +78,12 @@ pub struct ServerConfig {
     /// Watchdog stall interval: a job silent this long is cancelled,
     /// and killed `interval/2` later. `None` disables the watchdog.
     pub watchdog_interval: Option<Duration>,
+    /// Coalescing window: batchable point BFS queries wait up to this
+    /// long to merge into one lane-packed MS-BFS job. Zero (the
+    /// default) disables coalescing — every query is a solo job.
+    pub batch_window: Duration,
+    /// Lane cap per coalesced batch (clamped to 1..=64).
+    pub batch_lanes: usize,
 }
 
 impl Default for ServerConfig {
@@ -93,16 +100,19 @@ impl Default for ServerConfig {
             relabeling: None,
             memory_budget: 0,
             watchdog_interval: None,
+            batch_window: Duration::ZERO,
+            batch_lanes: 64,
         }
     }
 }
 
-/// One queued job: the parsed request plus its reply channel.
-struct Job {
-    req: Request,
-    deadline: Option<Instant>,
-    seq: u64,
-    reply: mpsc::Sender<String>,
+/// One queued unit of work: a solo request, or a sealed batch of
+/// coalesced point queries sharing one lane-packed traversal.
+enum Job {
+    /// A request served on its own, with its reply channel.
+    Single { req: Request, deadline: Option<Instant>, seq: u64, reply: mpsc::Sender<String> },
+    /// A sealed coalescing window: one queue slot, many replies.
+    Batch { members: Vec<BatchMember>, seq: u64 },
 }
 
 /// Shared server state: everything connection handlers and workers touch.
@@ -127,6 +137,9 @@ pub struct ServerState {
     /// lifetime.
     watchdog: Option<Watchdog>,
     injector: Option<Arc<FaultInjector>>,
+    /// The coalescing windows (`--batch-window-ms` > 0); `None` means
+    /// every query is a solo job.
+    coalescer: Option<Coalescer>,
     seq: AtomicU64,
 }
 
@@ -145,6 +158,8 @@ impl ServerState {
             pool.install_injector(Arc::clone(inj));
         }
         let watchdog = cfg.watchdog_interval.map(|i| Watchdog::new(WatchdogConfig::new(i)));
+        let coalescer = (!cfg.batch_window.is_zero())
+            .then(|| Coalescer::new(cfg.batch_window, cfg.batch_lanes));
         ServerState {
             queue: BoundedQueue::new(cfg.queue_capacity),
             breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown),
@@ -156,6 +171,7 @@ impl ServerState {
             budget,
             watchdog,
             injector,
+            coalescer,
             seq: AtomicU64::new(0),
             graph,
             cfg,
@@ -186,12 +202,17 @@ impl ServerState {
                 pool_bytes_high_water: pool.bytes_high_water,
             }
         });
+        let batching = self.coalescer.as_ref().map(|c| BatchingSnapshot {
+            window_ms: c.window().as_millis() as u64,
+            lanes_cap: c.lanes() as u64,
+        });
         self.metrics.render(
             self.cfg.workers,
             self.queue.len(),
             self.queue.capacity(),
             &self.breaker.snapshot(),
             memory.as_ref(),
+            batching.as_ref(),
             drained,
         )
     }
@@ -275,6 +296,33 @@ pub fn handle_request(state: &ServerState, line: &str) -> String {
             );
         }
     }
+    // Coalescing: a batchable point BFS joins its policy class's open
+    // window instead of going to the queue alone. The memory-budget
+    // estimate is deliberately NOT charged here — the sealed batch is
+    // charged exactly once at dispatch (`dispatch_batch`), which is the
+    // amortization the coalescer exists for.
+    if let Some(co) = &state.coalescer {
+        if coalesce::batchable(&req) {
+            let id = req.id.clone();
+            let (tx, rx) = mpsc::channel();
+            match co.offer(BatchMember { req, deadline, reply: tx }) {
+                Offer::Pending => {}
+                Offer::Sealed(members) => dispatch_batch(state, members, FlushReason::Full),
+                Offer::Closed(_) => {
+                    bump(&state.metrics.rejected_shutdown);
+                    return error_response(
+                        &id,
+                        ErrorCode::ShuttingDown,
+                        "server is draining",
+                        None,
+                    );
+                }
+            }
+            return rx.recv().unwrap_or_else(|_| {
+                error_response(&id, ErrorCode::Internal, "worker dropped the request", None)
+            });
+        }
+    }
     // Memory admission: compare the pessimistic up-front footprint
     // against the budget before the job costs a queue slot. Over the
     // hard limit the request can never run (no retry hint); over the
@@ -325,7 +373,7 @@ pub fn handle_request(state: &ServerState, line: &str) -> String {
     // checkpoint directory names; no memory is published through it.
     let seq = state.seq.fetch_add(1, Ordering::Relaxed);
     let id = req.id.clone();
-    match state.queue.try_push(Job { req, deadline, seq, reply: tx }) {
+    match state.queue.try_push(Job::Single { req, deadline, seq, reply: tx }) {
         Ok(()) => {}
         Err(PushError::Full(_)) => {
             bump(&state.metrics.rejected_queue_full);
@@ -347,6 +395,103 @@ pub fn handle_request(state: &ServerState, line: &str) -> String {
     rx.recv().unwrap_or_else(|_| {
         error_response(&id, ErrorCode::Internal, "worker dropped the request", None)
     })
+}
+
+/// Dispatches one sealed batch: bump the flush-reason counter, charge
+/// the memory estimate ONCE for the whole batch (the `msbfs` footprint,
+/// not `lanes` x the solo BFS footprint), and push a single queue slot.
+/// Every rejection answers every member — a sealed batch never strands
+/// a blocked connection thread.
+fn dispatch_batch(state: &ServerState, members: Vec<BatchMember>, reason: FlushReason) {
+    match reason {
+        FlushReason::Full => bump(&state.metrics.batch_flush_full),
+        FlushReason::Window => bump(&state.metrics.batch_flush_window),
+        FlushReason::Drain => bump(&state.metrics.batch_flush_drain),
+    }
+    if let Some(budget) = &state.budget {
+        let est = estimate_bytes(
+            "msbfs",
+            state.graph.num_vertices() as u64,
+            state.graph.num_edges() as u64,
+        );
+        let reject = |retry: Option<u64>, message: &str| {
+            for m in &members {
+                bump(&state.metrics.rejected_over_budget);
+                let _ = m.reply.send(error_response(
+                    &m.req.id,
+                    ErrorCode::OverBudget,
+                    message,
+                    retry,
+                ));
+            }
+        };
+        if est > budget.limit() {
+            reject(
+                None,
+                &format!(
+                    "batched bfs needs an estimated {est} bytes; the budget is {} bytes",
+                    budget.limit()
+                ),
+            );
+            return;
+        }
+        if est > budget.headroom() {
+            let hint = retry_after_hint(
+                state.cfg.retry_after.as_millis() as u64,
+                state.queue.len(),
+                state.queue.capacity(),
+                read(&state.metrics.received),
+            );
+            reject(
+                Some(hint),
+                &format!(
+                    "batched bfs needs an estimated {est} bytes; {} of {} are reserved — \
+                     retry later",
+                    budget.reserved(),
+                    budget.limit()
+                ),
+            );
+            return;
+        }
+    }
+    // ORDERING: Relaxed — see the solo path; the sequence number only
+    // disambiguates checkpoint directory names.
+    let seq = state.seq.fetch_add(1, Ordering::Relaxed);
+    let count = members.len() as u64;
+    match state.queue.try_push(Job::Batch { members, seq }) {
+        Ok(()) => {
+            bump_by(&state.metrics.admitted, count);
+            bump(&state.metrics.batches);
+            bump_by(&state.metrics.batched_lanes, count);
+        }
+        Err(PushError::Full(Job::Batch { members, .. })) => {
+            for m in members {
+                bump(&state.metrics.rejected_queue_full);
+                let _ = m.reply.send(error_response(
+                    &m.req.id,
+                    ErrorCode::QueueFull,
+                    &format!("job queue is full (capacity {})", state.queue.capacity()),
+                    Some(state.cfg.retry_after.as_millis() as u64),
+                ));
+            }
+        }
+        Err(PushError::Closed(Job::Batch { members, .. })) => {
+            for m in members {
+                bump(&state.metrics.rejected_shutdown);
+                let _ = m.reply.send(error_response(
+                    &m.req.id,
+                    ErrorCode::ShuttingDown,
+                    "server is draining",
+                    None,
+                ));
+            }
+        }
+        // push errors return the job they were handed; a Batch in can
+        // only come back out as a Batch
+        Err(PushError::Full(Job::Single { .. }) | PushError::Closed(Job::Single { .. })) => {
+            unreachable!("try_push returned a different job than it was given")
+        }
+    }
 }
 
 fn record_verdict(state: &ServerState, primitive: &str, verdict: &JobVerdict) {
@@ -383,29 +528,40 @@ fn worker_loop(state: &Arc<ServerState>) {
         let job_cancel = Arc::new(AtomicBool::new(state.drain_cancel.load(Ordering::Acquire)));
         state.register_inflight(&job_cancel);
         let heartbeat = state.watchdog.as_ref().map(|_| Arc::new(Heartbeat::new()));
-        // While watched, a kill answers the client from the reaper
+        // While watched, a kill answers the client(s) from the reaper
         // thread (the worker is presumed wedged), counts the failure,
-        // and feeds the primitive's breaker so followers are shed.
+        // and feeds the primitive's breaker so followers are shed. A
+        // batch kill answers every lane: one wedged sweep must not
+        // strand 64 connection threads.
         let watch = match (&state.watchdog, &heartbeat) {
             (Some(dog), Some(hb)) => {
                 let st = Arc::clone(state);
-                let reply = job.reply.clone();
-                let id = job.req.id.clone();
-                let primitive = job.req.primitive.clone();
+                let targets: Vec<(String, mpsc::Sender<String>)> = match &job {
+                    Job::Single { req, reply, .. } => vec![(req.id.clone(), reply.clone())],
+                    Job::Batch { members, .. } => {
+                        members.iter().map(|m| (m.req.id.clone(), m.reply.clone())).collect()
+                    }
+                };
+                let primitive = match &job {
+                    Job::Single { req, .. } => req.primitive.clone(),
+                    Job::Batch { .. } => "bfs".to_string(),
+                };
                 Some(dog.watch(
                     Arc::clone(hb),
                     Arc::clone(&job_cancel),
                     Box::new(move || {
                         bump(&st.metrics.watchdog_kills);
-                        bump(&st.metrics.failed);
                         st.breaker.record_failure(&primitive);
-                        let _ = reply.send(error_response(
-                            &id,
-                            ErrorCode::WatchdogKilled,
-                            "job stopped heartbeating and ignored cancellation; \
-                             the watchdog reaped it",
-                            None,
-                        ));
+                        for (id, reply) in &targets {
+                            bump(&st.metrics.failed);
+                            let _ = reply.send(error_response(
+                                id,
+                                ErrorCode::WatchdogKilled,
+                                "job stopped heartbeating and ignored cancellation; \
+                                 the watchdog reaped it",
+                                None,
+                            ));
+                        }
                     }),
                 ))
             }
@@ -425,33 +581,54 @@ fn worker_loop(state: &Arc<ServerState>) {
         // panics inside the request context; this catches bugs in the
         // dispatch layer itself so one bad request can never take the
         // worker (and with it the whole pool) down.
-        let verdict = catch_unwind(AssertUnwindSafe(|| {
-            jobs::run_job(&env, &job.req, job.deadline, job.seq)
-        }))
-        .unwrap_or_else(|_| JobVerdict {
-            response: error_response(
-                &job.req.id,
-                ErrorCode::Internal,
-                "request dispatch panicked",
-                None,
-            ),
-            status: JobStatus::Failed,
-            breaker_failure: true,
-            deadline_missed: false,
-            checkpointed: false,
-            degrades: 0,
-        });
-        let killed = heartbeat.as_ref().is_some_and(|hb| hb.is_killed());
-        drop(watch);
-        if killed {
-            // the kill callback already answered the client and recorded
-            // the failure; a late worker result would double-count
-            continue;
+        match job {
+            Job::Single { req, deadline, seq, reply } => {
+                let verdict =
+                    catch_unwind(AssertUnwindSafe(|| jobs::run_job(&env, &req, deadline, seq)))
+                        .unwrap_or_else(|_| JobVerdict {
+                            response: error_response(
+                                &req.id,
+                                ErrorCode::Internal,
+                                "request dispatch panicked",
+                                None,
+                            ),
+                            status: JobStatus::Failed,
+                            breaker_failure: true,
+                            deadline_missed: false,
+                            checkpointed: false,
+                            degrades: 0,
+                        });
+                let killed = heartbeat.as_ref().is_some_and(|hb| hb.is_killed());
+                drop(watch);
+                if killed {
+                    // the kill callback already answered the client and
+                    // recorded the failure; a late worker result would
+                    // double-count
+                    continue;
+                }
+                record_verdict(state, &req.primitive, &verdict);
+                // A send error means the connection thread gave up
+                // (client went away); the work is done either way.
+                let _ = reply.send(verdict.response);
+            }
+            Job::Batch { members, seq } => {
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| jobs::run_batch(&env, &members, seq)))
+                        .unwrap_or_else(|_| jobs::BatchOutcome::internal(&members));
+                let killed = heartbeat.as_ref().is_some_and(|hb| hb.is_killed());
+                drop(watch);
+                if killed {
+                    continue;
+                }
+                if outcome.fell_back {
+                    bump(&state.metrics.batch_fallbacks);
+                }
+                for (m, verdict) in members.iter().zip(outcome.verdicts) {
+                    record_verdict(state, &m.req.primitive, &verdict);
+                    let _ = m.reply.send(verdict.response);
+                }
+            }
         }
-        record_verdict(state, &job.req.primitive, &verdict);
-        // A send error means the connection thread gave up (client went
-        // away); the work is done either way.
-        let _ = job.reply.send(verdict.response);
     }
 }
 
@@ -509,6 +686,28 @@ fn spawn_workers(state: &Arc<ServerState>) -> Vec<thread::JoinHandle<()>> {
         .collect()
 }
 
+/// Spawns the coalescing flusher: a background sweep that seals windows
+/// older than `--batch-window-ms` so a lone query never waits on lanes
+/// that may not come. Exits when the server starts draining. `None`
+/// when coalescing is disabled.
+fn spawn_flusher(state: &Arc<ServerState>) -> Option<thread::JoinHandle<()>> {
+    let tick = state.coalescer.as_ref()?.tick();
+    let st = Arc::clone(state);
+    thread::Builder::new()
+        .name("gunrock-coalesce".to_string())
+        .spawn(move || {
+            while !st.draining() {
+                thread::sleep(tick);
+                if let Some(co) = &st.coalescer {
+                    for members in co.take_expired() {
+                        dispatch_batch(&st, members, FlushReason::Window);
+                    }
+                }
+            }
+        })
+        .ok()
+}
+
 /// Runs the drain sequence: stop admitting, cancel in-flight work, close
 /// the queue, join the workers, render the summary.
 fn drain(state: &Arc<ServerState>, workers: Vec<thread::JoinHandle<()>>) -> String {
@@ -530,6 +729,15 @@ fn drain(state: &Arc<ServerState>, workers: Vec<thread::JoinHandle<()>>) -> Stri
                 // operator chunk loops (`Context::cancel_requested`).
                 flag.store(true, Ordering::Release);
             }
+        }
+    }
+    // Half-filled coalescing windows are flushed INTO the queue before
+    // it closes: their members get real (cancelled-partial) answers from
+    // the workers instead of hanging on a window nobody will seal. The
+    // close also bounces any racing late offer with `shutting-down`.
+    if let Some(co) = &state.coalescer {
+        for members in co.close() {
+            dispatch_batch(state, members, FlushReason::Drain);
         }
     }
     state.queue.close();
@@ -599,7 +807,8 @@ pub fn start(graph: Arc<Csr>, cfg: ServerConfig, port: u16) -> Result<ServerHand
     let supervisor = thread::Builder::new()
         .name("gunrock-serve".to_string())
         .spawn(move || {
-            let workers = spawn_workers(&supervisor_state);
+            let mut workers = spawn_workers(&supervisor_state);
+            workers.extend(spawn_flusher(&supervisor_state));
             loop {
                 if supervisor_state.draining() || signal::shutdown_requested() {
                     break;
@@ -628,7 +837,8 @@ pub fn start(graph: Arc<Csr>, cfg: ServerConfig, port: u16) -> Result<ServerHand
 /// EOF.
 pub fn serve_stdin(graph: Arc<Csr>, cfg: ServerConfig) -> String {
     let state = Arc::new(ServerState::new(graph, cfg));
-    let workers = spawn_workers(&state);
+    let mut workers = spawn_workers(&state);
+    workers.extend(spawn_flusher(&state));
     let stdin = std::io::stdin();
     let mut line = String::new();
     loop {
@@ -793,6 +1003,132 @@ mod tests {
         });
         assert!(resp.contains("\"status\":\"ok\""), "got: {resp}");
         assert_eq!(crate::metrics::read(&state.metrics.watchdog_kills), 0);
+    }
+
+    #[test]
+    fn capacity_sealed_batch_answers_every_lane_from_one_queue_slot() {
+        let cfg = ServerConfig {
+            // a window long enough that only the lane cap can seal it
+            batch_window: Duration::from_secs(60),
+            batch_lanes: 3,
+            ..ServerConfig::default()
+        };
+        let state = state_fixture(cfg);
+        let responses = with_workers(&state, || {
+            let handles: Vec<_> = (0..3u32)
+                .map(|src| {
+                    let st = Arc::clone(&state);
+                    thread::spawn(move || {
+                        handle_request(
+                            &st,
+                            &format!(
+                                "{{\"id\":\"q{src}\",\"primitive\":\"bfs\",\"src\":{src}}}"
+                            ),
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        for resp in &responses {
+            assert!(resp.contains("\"status\":\"ok\""), "got: {resp}");
+            assert!(resp.contains("\"batched\":true"), "got: {resp}");
+            assert!(resp.contains("\"batch_lanes\":3"), "got: {resp}");
+        }
+        let m = state.metrics();
+        assert_eq!(read(&m.admitted), 3, "every lane counts as admitted");
+        assert_eq!(read(&m.completed_ok), 3);
+        assert_eq!(read(&m.batches), 1, "one queue slot served all three");
+        assert_eq!(read(&m.batched_lanes), 3);
+        assert_eq!(read(&m.batch_flush_full), 1);
+        assert_eq!(read(&m.batch_fallbacks), 0);
+        let doc = state.render_metrics(false);
+        assert!(doc.contains("\"batching\""), "windowed server renders batching: {doc}");
+        assert!(doc.contains("\"occupancy\":3"), "got: {doc}");
+    }
+
+    #[test]
+    fn poisoned_lane_fails_alone_while_batch_mates_answer() {
+        let cfg = ServerConfig {
+            batch_window: Duration::from_secs(60),
+            batch_lanes: 2,
+            ..ServerConfig::default()
+        };
+        let state = state_fixture(cfg);
+        let (bad, good) = with_workers(&state, || {
+            let st = Arc::clone(&state);
+            let bad = thread::spawn(move || {
+                handle_request(
+                    &st,
+                    r#"{"id":"bad","primitive":"bfs","src":0,"inject":"panic=1.0"}"#,
+                )
+            });
+            // give the poisoned query time to open the window so both
+            // land in the same batch regardless of scheduling
+            thread::sleep(Duration::from_millis(30));
+            let st = Arc::clone(&state);
+            let good = thread::spawn(move || {
+                handle_request(&st, r#"{"id":"good","primitive":"bfs","src":1}"#)
+            });
+            (bad.join().unwrap(), good.join().unwrap())
+        });
+        assert!(bad.contains("operator-panic"), "got: {bad}");
+        assert!(good.contains("\"status\":\"ok\""), "got: {good}");
+        let m = state.metrics();
+        assert_eq!(read(&m.batch_fallbacks), 1, "the shared sweep fell back to isolation");
+        assert_eq!(read(&m.completed_ok), 1);
+        assert_eq!(read(&m.failed), 1);
+    }
+
+    #[test]
+    fn drain_flushes_a_half_filled_window_with_real_answers() {
+        let cfg = ServerConfig {
+            batch_window: Duration::from_secs(60),
+            batch_lanes: 64,
+            ..ServerConfig::default()
+        };
+        let state = state_fixture(cfg);
+        let workers = spawn_workers(&state);
+        let st = Arc::clone(&state);
+        let waiting = thread::spawn(move || {
+            handle_request(&st, r#"{"id":"w","primitive":"bfs","src":0}"#)
+        });
+        // let the query join the (never-filling) window
+        thread::sleep(Duration::from_millis(50));
+        let summary = drain(&state, workers);
+        let resp = waiting.join().unwrap();
+        assert!(
+            resp.contains("\"status\":\"ok\"") || resp.contains("\"status\":\"partial\""),
+            "a drained window member gets a real answer, got: {resp}"
+        );
+        assert_eq!(read(&state.metrics.batch_flush_drain), 1);
+        assert!(summary.contains("\"drained\":true"));
+        // late batchable arrivals bounce instead of stranding
+        let late = handle_request(&state, r#"{"id":"l","primitive":"bfs","src":1}"#);
+        assert!(late.contains("shutting-down"), "got: {late}");
+    }
+
+    #[test]
+    fn window_expiry_flushes_a_lone_query_through_the_flusher() {
+        let cfg = ServerConfig {
+            batch_window: Duration::from_millis(5),
+            batch_lanes: 64,
+            ..ServerConfig::default()
+        };
+        let state = state_fixture(cfg);
+        let workers = spawn_workers(&state);
+        let flusher = spawn_flusher(&state).expect("coalescing server spawns a flusher");
+        let resp = handle_request(&state, r#"{"id":"solo","primitive":"bfs","src":0}"#);
+        assert!(resp.contains("\"status\":\"ok\""), "got: {resp}");
+        assert!(resp.contains("\"batch_lanes\":1"), "got: {resp}");
+        assert_eq!(read(&state.metrics.batch_flush_window), 1);
+        // ORDERING: Release — test stand-in for the drain sequence.
+        state.shutdown.store(true, Ordering::Release);
+        state.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = flusher.join();
     }
 
     #[test]

@@ -112,6 +112,7 @@ impl Default for Config {
                 "crates/engine/src/sort.rs".into(),
                 "crates/engine/src/search.rs".into(),
                 "crates/engine/src/bitmap.rs".into(),
+                "crates/engine/src/lanes.rs".into(),
                 "crates/engine/src/frontier.rs".into(),
                 "crates/engine/src/reduce.rs".into(),
                 "crates/engine/src/unsafe_slice.rs".into(),
@@ -126,11 +127,15 @@ impl Default for Config {
             // any direct allocation there needs the same argument
             // budget.rs and watchdog.rs sit on the governance path every
             // pooled checkout crosses: allocations there would charge the
-            // very accounting they implement, so each one must be argued
+            // very accounting they implement, so each one must be argued.
+            // lanes.rs is the MS-BFS lane-mask storage (advance covers
+            // advance/msbfs.rs): the batched sweep touches its words every
+            // edge, so steady state must never allocate there either
             alloc_scope: vec![
                 "crates/core/src/advance".into(),
                 "crates/core/src/filter".into(),
                 "crates/engine/src/bitmap.rs".into(),
+                "crates/engine/src/lanes.rs".into(),
                 "crates/engine/src/budget.rs".into(),
                 "crates/engine/src/watchdog.rs".into(),
             ],

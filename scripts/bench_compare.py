@@ -5,14 +5,20 @@ Compares the Gunrock MTEPS of every (primitive, dataset) pair in the new
 snapshot against the baseline, prints a markdown delta table, and exits
 non-zero if any pair regressed by more than the threshold (default 10%).
 
-    python3 scripts/bench_compare.py                       # pr5 -> pr7
+    python3 scripts/bench_compare.py                       # pr7 -> pr10
     python3 scripts/bench_compare.py --base A.json --new B.json \
-        --threshold 0.10 --markdown-out delta.md
+        --threshold 0.10 --msbfs-min 8.0 --markdown-out delta.md
 
-The default pairing (BENCH_pr5.json -> BENCH_pr7.json) gates the
-bitmap-frontier work: the masked word-sweep pull/culling paths must not
-cost throughput anywhere (and should win big on the pull-heavy bulk
-pairs), and the CI job fails the build if any pair regresses.
+The default pairing (BENCH_pr7.json -> BENCH_pr10.json) gates the
+MS-BFS work two ways:
+
+* no single-source (primitive, dataset) pair may lose more than the
+  threshold — the lane-packed machinery must be free when unused;
+* the candidate's `msbfs` section (batched vs sequential aggregate
+  source-throughput on the R-MAT graph) must clear `--msbfs-min`
+  (default 8x) speedup at its lane count. A baseline without the
+  section (pre-MS-BFS snapshots) only skips the cross-snapshot
+  sources/sec comparison, not the gate.
 """
 
 import argparse
@@ -37,14 +43,59 @@ def by_pair(data: dict) -> dict:
     return {(m["primitive"], m["dataset"]): m for m in data["measurements"]}
 
 
+def msbfs_rows(data: dict) -> dict:
+    """Index a snapshot's optional `msbfs` section by (scale, sources)."""
+    return {(m["scale"], m["sources"]): m for m in data.get("msbfs", [])}
+
+
+def compare_msbfs(base: dict, new: dict, msbfs_min: float,
+                  lines: list, failures: list) -> int:
+    """Gate and tabulate the batched source-throughput section."""
+    new_rows, base_rows = msbfs_rows(new), msbfs_rows(base)
+    if not new_rows:
+        failures.append(
+            "candidate snapshot has no `msbfs` section: regenerate with "
+            "`bench_json --msbfs-scale 16 --sources 64`"
+        )
+        return 0
+    lines += [
+        "",
+        "| MS-BFS | sources | batched sps | sequential sps | speedup "
+        "| vs base sps |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for key in sorted(new_rows):
+        m = new_rows[key]
+        b = base_rows.get(key)
+        vs_base = (
+            f"{m['batched_sources_per_sec'] / b['batched_sources_per_sec']:.2f}x"
+            if b and b["batched_sources_per_sec"] > 0 else "—"
+        )
+        lines.append(
+            f"| kron s{key[0]} | {key[1]} | {m['batched_sources_per_sec']:.0f} "
+            f"| {m['sequential_sources_per_sec']:.0f} | {m['speedup']:.2f}x "
+            f"| {vs_base} |"
+        )
+        if m["speedup"] < msbfs_min:
+            failures.append(
+                f"msbfs kron s{key[0]} x{key[1]}: {m['speedup']:.2f}x batched "
+                f"source-throughput, below the {msbfs_min:.1f}x floor"
+            )
+    return len(new_rows)
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--base", default=str(ROOT / "BENCH_pr5.json"),
-                    help="baseline snapshot (default: BENCH_pr5.json)")
-    ap.add_argument("--new", dest="new", default=str(ROOT / "BENCH_pr7.json"),
-                    help="candidate snapshot (default: BENCH_pr7.json)")
+    ap.add_argument("--base", default=str(ROOT / "BENCH_pr7.json"),
+                    help="baseline snapshot (default: BENCH_pr7.json)")
+    ap.add_argument("--new", dest="new", default=str(ROOT / "BENCH_pr10.json"),
+                    help="candidate snapshot (default: BENCH_pr10.json)")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="max tolerated MTEPS regression fraction (default 0.10)")
+    ap.add_argument("--msbfs-min", type=float, default=8.0,
+                    help="min batched/sequential source-throughput speedup the "
+                         "candidate's msbfs section must show (default 8.0; "
+                         "0 disables the gate)")
     ap.add_argument("--markdown-out", default=None,
                     help="also write the delta table to this file")
     args = ap.parse_args()
@@ -79,19 +130,27 @@ def main() -> int:
                 f"threshold {args.threshold * 100:.0f}%)"
             )
 
+    msbfs_compared = 0
+    if args.msbfs_min > 0:
+        msbfs_compared = compare_msbfs(base, new, args.msbfs_min, lines, failures)
+
     table = "\n".join(lines)
     print(table)
     if args.markdown_out:
         pathlib.Path(args.markdown_out).write_text(table + "\n")
 
     if failures:
-        print(f"\nFAIL: {len(failures)} pair(s) regressed beyond "
-              f"{args.threshold * 100:.0f}%:", file=sys.stderr)
+        print(f"\nFAIL: {len(failures)} gate(s) tripped "
+              f"(threshold {args.threshold * 100:.0f}%, "
+              f"msbfs floor {args.msbfs_min:.1f}x):", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nok: no (primitive, dataset) pair regressed beyond "
-          f"{args.threshold * 100:.0f}% ({len(base_pairs)} pairs compared)")
+    ok = (f"\nok: no (primitive, dataset) pair regressed beyond "
+          f"{args.threshold * 100:.0f}% ({len(base_pairs)} pairs compared")
+    if msbfs_compared:
+        ok += f"; {msbfs_compared} msbfs row(s) clear the {args.msbfs_min:.1f}x floor"
+    print(ok + ")")
     return 0
 
 
